@@ -1,0 +1,365 @@
+// Benchmarks regenerating every experiment in DESIGN.md's per-experiment
+// index (E1–E9) plus micro-benchmarks of the hot paths (filter matching,
+// covering, routing-table lookup, end-to-end publish, handover).
+//
+// Experiment benchmarks report domain metrics via b.ReportMetric —
+// coverage (cov%), message counts (msgs/op) — alongside the usual ns/op;
+// EXPERIMENTS.md records the shapes. cmd/rebeca-bench prints the full
+// paper-style tables.
+package rebeca_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rebeca/internal/bench"
+	"rebeca/internal/buffer"
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/movement"
+	"rebeca/internal/proto"
+	"rebeca/internal/routing"
+	"rebeca/internal/sim"
+)
+
+// runOutcome executes a scenario once per iteration and reports coverage.
+func runOutcome(b *testing.B, s sim.Scenario) {
+	b.Helper()
+	var last sim.Outcome
+	for i := 0; i < b.N; i++ {
+		s.Seed = int64(i) + bench.Seed
+		out, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out
+	}
+	if last.PreArrivalExpected > 0 {
+		b.ReportMetric(100*last.PreArrivalCoverage(), "prearrival-cov%")
+	}
+	if last.LiveExpected > 0 {
+		b.ReportMetric(100*last.LiveCoverage(), "live-cov%")
+	}
+	if last.StaticExpected > 0 {
+		b.ReportMetric(float64(last.StaticLoss()), "lost")
+	}
+	b.ReportMetric(float64(last.ControlMsgs+last.DataMsgs), "msgs")
+}
+
+// --- E1: physical handover integrity (Fig. 1 left) ---------------------
+
+func benchE1(b *testing.B, mode sim.MobilityMode) {
+	runOutcome(b, sim.Scenario{
+		Graph:        movement.Line(5),
+		StaticOnly:   true,
+		StaticStream: true,
+		Mobility:     mode,
+		Duration:     time.Second,
+		NumMobiles:   2,
+	})
+}
+
+func BenchmarkE1PhysicalHandoverTransparent(b *testing.B) { benchE1(b, sim.MobilityTransparent) }
+func BenchmarkE1PhysicalHandoverJEDI(b *testing.B)        { benchE1(b, sim.MobilityJEDI) }
+func BenchmarkE1PhysicalHandoverNaive(b *testing.B)       { benchE1(b, sim.MobilityNaive) }
+
+// --- E2: logical adaptation (Fig. 1 right) -------------------------------
+
+func BenchmarkE2LogicalAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := bench.E2LogicalAdaptation(bench.Seed + int64(i))
+		if len(tb.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- E3: routing scalability (Fig. 2) ------------------------------------
+
+func benchE3(b *testing.B, brokers int, strat routing.Strategy) {
+	g := movement.RandomTree(brokers, 1)
+	runOutcome(b, sim.Scenario{
+		Graph:       g,
+		Strategy:    strat,
+		Replication: sim.ReplicationPreSubscribe,
+		Duration:    500 * time.Millisecond,
+		NumMobiles:  2,
+	})
+}
+
+func BenchmarkE3RoutingSimple15(b *testing.B)   { benchE3(b, 15, routing.StrategySimple) }
+func BenchmarkE3RoutingCovering15(b *testing.B) { benchE3(b, 15, routing.StrategyCovering) }
+func BenchmarkE3RoutingSimple31(b *testing.B)   { benchE3(b, 31, routing.StrategySimple) }
+func BenchmarkE3RoutingCovering31(b *testing.B) { benchE3(b, 31, routing.StrategyCovering) }
+
+// --- E4: virtual-client indirection (Fig. 3) ------------------------------
+
+func BenchmarkE4VirtualClientOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := bench.E4VirtualClientOverhead(bench.Seed + int64(i))
+		if len(tb.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- E5: pre-subscription coverage (Fig. 4, headline) ---------------------
+
+func benchE5(b *testing.B, graph *movement.Graph, repl sim.ReplicationMode) {
+	walkOn := movement.Line(6)
+	runOutcome(b, sim.Scenario{
+		Graph:       graph,
+		Replication: repl,
+		Model: movement.RandomWalk{Graph: walkOn, Spec: movement.DwellSpec{
+			Dwell: 50 * time.Millisecond, Jitter: 10 * time.Millisecond,
+			Gap: 5 * time.Millisecond,
+		}},
+		Duration:   time.Second,
+		NumMobiles: 3,
+	})
+}
+
+func BenchmarkE5PreSubscriptionReplicated(b *testing.B) {
+	benchE5(b, movement.Line(6), sim.ReplicationPreSubscribe)
+}
+
+func BenchmarkE5PreSubscriptionReactive(b *testing.B) {
+	benchE5(b, movement.Line(6), sim.ReplicationReactive)
+}
+
+func BenchmarkE5PreSubscriptionFlooding(b *testing.B) {
+	benchE5(b, movement.Complete(6), sim.ReplicationPreSubscribe)
+}
+
+// --- E6: nlb degree sweep --------------------------------------------------
+
+func benchE6(b *testing.B, nlbGraph *movement.Graph) {
+	moveOn := movement.Grid(3, 3)
+	runOutcome(b, sim.Scenario{
+		Graph:       nlbGraph,
+		Replication: sim.ReplicationPreSubscribe,
+		Model: movement.RandomWalk{Graph: moveOn, Spec: movement.DwellSpec{
+			Dwell: 50 * time.Millisecond, Jitter: 10 * time.Millisecond,
+			Gap: 5 * time.Millisecond,
+		}},
+		Duration:   time.Second,
+		NumMobiles: 3,
+	})
+}
+
+func BenchmarkE6NlbLine(b *testing.B)     { benchE6(b, movement.Line(9)) }
+func BenchmarkE6NlbGrid4(b *testing.B)    { benchE6(b, movement.Grid(3, 3)) }
+func BenchmarkE6NlbGrid8(b *testing.B)    { benchE6(b, movement.Grid8(3, 3)) }
+func BenchmarkE6NlbComplete(b *testing.B) { benchE6(b, movement.Complete(9)) }
+
+// --- E7: buffering policies -------------------------------------------------
+
+func benchE7(b *testing.B, ttl time.Duration, cap int) {
+	runOutcome(b, sim.Scenario{
+		Graph:       movement.Line(6),
+		Replication: sim.ReplicationPreSubscribe,
+		BufferTTL:   ttl,
+		BufferCap:   cap,
+		Duration:    time.Second,
+		NumMobiles:  3,
+	})
+}
+
+func BenchmarkE7BufferUnbounded(b *testing.B) { benchE7(b, 0, 0) }
+func BenchmarkE7BufferTime100ms(b *testing.B) { benchE7(b, 100*time.Millisecond, 0) }
+func BenchmarkE7BufferLast5(b *testing.B)     { benchE7(b, 0, 5) }
+func BenchmarkE7BufferCombined(b *testing.B)  { benchE7(b, 100*time.Millisecond, 5) }
+
+// --- E8: shared buffers ------------------------------------------------------
+
+func BenchmarkE8SharedBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := bench.E8SharedBuffer(bench.Seed + int64(i))
+		if len(tb.Rows) == 0 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- E9: exception mode -------------------------------------------------------
+
+func benchE9(b *testing.B, teleport float64) {
+	g := movement.Grid(3, 3)
+	spec := movement.DwellSpec{
+		Dwell: 50 * time.Millisecond, Jitter: 10 * time.Millisecond, Gap: 5 * time.Millisecond,
+	}
+	var model movement.Model = movement.RandomWalk{Graph: g, Spec: spec}
+	if teleport > 0 {
+		model = movement.Mixed{Base: model, Graph: g, Teleport: teleport, Spec: spec}
+	}
+	runOutcome(b, sim.Scenario{
+		Graph:       g,
+		Replication: sim.ReplicationPreSubscribe,
+		Model:       model,
+		Duration:    time.Second,
+		NumMobiles:  3,
+	})
+}
+
+func BenchmarkE9ExceptionModeNoTeleport(b *testing.B) { benchE9(b, 0) }
+func BenchmarkE9ExceptionModeTeleport20(b *testing.B) { benchE9(b, 0.2) }
+func BenchmarkE9ExceptionModeTeleport50(b *testing.B) { benchE9(b, 0.5) }
+
+// --- micro-benchmarks: hot paths -----------------------------------------
+
+func randomNote(r *rand.Rand) message.Notification {
+	return message.NewNotification(map[string]message.Value{
+		"service":  message.String("temperature"),
+		"location": message.String(fmt.Sprintf("room-%d", r.Intn(50))),
+		"value":    message.Float(r.Float64() * 40),
+		"floor":    message.Int(int64(r.Intn(5))),
+	})
+}
+
+func BenchmarkFilterMatch(b *testing.B) {
+	f := filter.New(
+		filter.Eq("service", message.String("temperature")),
+		filter.Le("value", message.Float(25)),
+		filter.In("location", message.String("room-1"), message.String("room-2")),
+	)
+	r := rand.New(rand.NewSource(1))
+	notes := make([]message.Notification, 256)
+	for i := range notes {
+		notes[i] = randomNote(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Matches(notes[i%len(notes)])
+	}
+}
+
+func BenchmarkFilterCovers(b *testing.B) {
+	f := filter.New(filter.Le("value", message.Float(100)), filter.Exists("service"))
+	g := filter.New(filter.Le("value", message.Float(10)),
+		filter.Eq("service", message.String("temperature")))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Covers(g) {
+			b.Fatal("covering broken")
+		}
+	}
+}
+
+func BenchmarkFilterMerge(b *testing.B) {
+	f := filter.New(filter.Eq("svc", message.String("a")), filter.Eq("loc", message.String("x")))
+	g := filter.New(filter.Eq("svc", message.String("a")), filter.Eq("loc", message.String("y")))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := filter.Merge(f, g); !ok {
+			b.Fatal("merge broken")
+		}
+	}
+}
+
+func benchTableMatch(b *testing.B, entries int) {
+	tbl := routing.NewTable()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < entries; i++ {
+		f := filter.New(
+			filter.Eq("service", message.String("temperature")),
+			filter.Eq("location", message.String(fmt.Sprintf("room-%d", r.Intn(50)))),
+		)
+		tbl.Add(proto.Subscription{ID: message.SubID(fmt.Sprintf("s%d", i)), Filter: f},
+			message.NodeID(fmt.Sprintf("L%d", i%8)))
+	}
+	notes := make([]message.Notification, 256)
+	for i := range notes {
+		notes[i] = randomNote(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.Match(notes[i%len(notes)], "none")
+	}
+}
+
+func BenchmarkTableMatch100(b *testing.B)  { benchTableMatch(b, 100) }
+func BenchmarkTableMatch1000(b *testing.B) { benchTableMatch(b, 1000) }
+
+func BenchmarkBufferTimeBasedAdd(b *testing.B) {
+	p := buffer.NewTimeBased(100 * time.Millisecond)
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(1)})
+	t0 := time.Date(2003, 6, 16, 12, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.ID = message.NotificationID{Publisher: "p", Seq: uint64(i)}
+		p.Add(n, t0.Add(time.Duration(i)*time.Millisecond))
+	}
+}
+
+func BenchmarkEndToEndPublish(b *testing.B) {
+	// One publish through a 5-broker line with a remote subscriber:
+	// exercises matching, forwarding and DES scheduling per op.
+	g := movement.Line(5)
+	cl, err := sim.NewCluster(sim.ClusterConfig{Movement: g})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := cl.AddClient("sub")
+	sub.ConnectTo("B4")
+	sub.Subscribe(filter.New(filter.Exists("k")))
+	pub := cl.AddClient("pub")
+	pub.ConnectTo("B0")
+	cl.Net.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pub.Publish(map[string]message.Value{"k": message.Int(int64(i))})
+		cl.Net.Run()
+	}
+	if len(sub.Received()) != b.N {
+		b.Fatalf("delivered %d of %d", len(sub.Received()), b.N)
+	}
+}
+
+func BenchmarkHandoverTransparent(b *testing.B) {
+	// Full handover round trip per iteration: disconnect, reconnect at
+	// the neighbor, relocation protocol to completion.
+	g := movement.Line(3)
+	cl, err := sim.NewCluster(sim.ClusterConfig{
+		Movement: g, Mobility: sim.MobilityTransparent,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mob := cl.AddClient("mob")
+	mob.ConnectTo("B0")
+	mob.Subscribe(filter.New(filter.Exists("k")))
+	cl.Net.Run()
+	targets := []message.NodeID{"B1", "B0"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mob.Disconnect()
+		mob.ConnectTo(targets[i%2])
+		cl.Net.Run()
+	}
+}
+
+func benchTableMatchIndexed(b *testing.B, entries int) {
+	tbl := routing.NewIndexedTable()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < entries; i++ {
+		f := filter.New(
+			filter.Eq("service", message.String("temperature")),
+			filter.Eq("location", message.String(fmt.Sprintf("room-%d", r.Intn(50)))),
+		)
+		tbl.Add(proto.Subscription{ID: message.SubID(fmt.Sprintf("s%d", i)), Filter: f},
+			message.NodeID(fmt.Sprintf("L%d", i%8)))
+	}
+	notes := make([]message.Notification, 256)
+	for i := range notes {
+		notes[i] = randomNote(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.Match(notes[i%len(notes)], "none")
+	}
+}
+
+func BenchmarkTableMatchIndexed100(b *testing.B)  { benchTableMatchIndexed(b, 100) }
+func BenchmarkTableMatchIndexed1000(b *testing.B) { benchTableMatchIndexed(b, 1000) }

@@ -1,0 +1,59 @@
+// rebeca-bench regenerates the evaluation tables (experiments E1–E9 of
+// DESIGN.md) and prints them in the style of a paper's results section.
+//
+// Usage:
+//
+//	rebeca-bench                 # run every experiment
+//	rebeca-bench -run E5 -seed 7 # one experiment, custom seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rebeca/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, E1, E2, E3, E3b, E3c, E4, E5, E6, E7, E8, E9")
+	seed := flag.Int64("seed", bench.Seed, "deterministic experiment seed")
+	flag.Parse()
+
+	generators := map[string]func(int64) bench.Table{
+		"E1":  bench.E1PhysicalHandover,
+		"E2":  bench.E2LogicalAdaptation,
+		"E3":  bench.E3Routing,
+		"E3b": bench.E3Merging,
+		"E3c": bench.E3Advertisements,
+		"E4":  bench.E4VirtualClientOverhead,
+		"E5":  bench.E5PreSubscription,
+		"E6":  bench.E6NlbDegree,
+		"E7":  bench.E7BufferPolicies,
+		"E8":  bench.E8SharedBuffer,
+		"E9":  bench.E9ExceptionMode,
+	}
+	order := []string{"E1", "E2", "E3", "E3b", "E3c", "E4", "E5", "E6", "E7", "E8", "E9"}
+
+	switch key := strings.ToUpper(*run); key {
+	case "ALL":
+		for _, k := range order {
+			fmt.Println(generators[k](*seed))
+		}
+	default:
+		switch key {
+		case "E3B":
+			key = "E3b"
+		case "E3C":
+			key = "E3c"
+		}
+		gen, ok := generators[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %s)\n",
+				*run, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		fmt.Println(gen(*seed))
+	}
+}

@@ -1,0 +1,165 @@
+// rebeca-broker runs one live broker over TCP — the deployment mode of §2:
+// one process per broker, point-to-point links to overlay neighbors,
+// physical-mobility manager and replicator attached at the border.
+//
+// The full overlay is described with -edges so every node can derive its
+// peers and unicast next-hop table; -dial lists the neighbors this node
+// actively connects to (exactly one side of each edge should dial).
+//
+// Example 3-broker line on one machine:
+//
+//	rebeca-broker -id A -listen :7471 -edges A-B,B-C
+//	rebeca-broker -id B -listen :7472 -edges A-B,B-C -dial A=localhost:7471
+//	rebeca-broker -id C -listen :7473 -edges A-B,B-C -dial B=localhost:7472
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/core"
+	"rebeca/internal/location"
+	"rebeca/internal/message"
+	"rebeca/internal/mobility"
+	"rebeca/internal/movement"
+	"rebeca/internal/routing"
+	"rebeca/internal/wire"
+)
+
+func main() {
+	var (
+		id        = flag.String("id", "", "this broker's ID (required)")
+		listen    = flag.String("listen", ":7471", "TCP listen address")
+		edges     = flag.String("edges", "", "full overlay edge list, e.g. A-B,B-C (required)")
+		dial      = flag.String("dial", "", "neighbors to dial, e.g. A=host:port,B=host:port")
+		strategy  = flag.String("strategy", "simple", "routing strategy: simple, covering, flooding")
+		replicate = flag.Bool("replicate", true, "attach the replicator layer (movement graph = overlay)")
+		mobilityM = flag.String("mobility", "transparent", "physical mobility: transparent, jedi, naive, none")
+	)
+	flag.Parse()
+	if *id == "" || *edges == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	topo, err := parseEdges(*edges)
+	if err != nil {
+		fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		fatal(err)
+	}
+	self := message.NodeID(*id)
+	hops, ok := topo.NextHops()[self]
+	if !ok {
+		fatal(fmt.Errorf("broker %s does not appear in -edges", self))
+	}
+
+	dials, err := parseDials(*dial)
+	if err != nil {
+		fatal(err)
+	}
+	peers := make(map[message.NodeID]string)
+	for _, n := range topo.Adjacency()[self] {
+		peers[n] = dials[n] // empty = passive side
+	}
+
+	var strat routing.Strategy
+	switch *strategy {
+	case "simple":
+		strat = routing.StrategySimple
+	case "covering":
+		strat = routing.StrategyCovering
+	case "flooding":
+		strat = routing.StrategyFlooding
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
+	}
+
+	node := wire.NewNode(wire.NodeConfig{
+		ID:       self,
+		Listen:   *listen,
+		Peers:    peers,
+		Strategy: strat,
+		NextHop:  hops,
+	})
+
+	// Plugin order matters: replicator first, then the mobility manager.
+	if *replicate {
+		g := movement.NewGraph()
+		for _, e := range topo.Edges {
+			g.AddEdge(e[0], e[1])
+		}
+		core.New(core.Config{
+			Broker:       node.Broker(),
+			NLB:          g.NLB(),
+			Locations:    location.Regions(topo.Nodes()),
+			PreSubscribe: true,
+		})
+	}
+	switch *mobilityM {
+	case "transparent":
+		mobility.New(node.Broker(), mobility.ModeTransparent)
+	case "jedi":
+		mobility.New(node.Broker(), mobility.ModeJEDI)
+	case "naive":
+		mobility.New(node.Broker(), mobility.ModeNaive)
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown -mobility %q", *mobilityM))
+	}
+
+	if err := node.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rebeca-broker %s listening on %s (%d neighbors, strategy %s)\n",
+		self, node.Addr(), len(peers), strat)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	_ = node.Close()
+}
+
+func parseEdges(s string) (broker.Topology, error) {
+	var topo broker.Topology
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ab := strings.SplitN(part, "-", 2)
+		if len(ab) != 2 || ab[0] == "" || ab[1] == "" {
+			return topo, fmt.Errorf("bad edge %q (want A-B)", part)
+		}
+		topo.Edges = append(topo.Edges,
+			[2]message.NodeID{message.NodeID(ab[0]), message.NodeID(ab[1])})
+	}
+	return topo, nil
+}
+
+func parseDials(s string) (map[message.NodeID]string, error) {
+	out := make(map[message.NodeID]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad -dial entry %q (want NAME=host:port)", part)
+		}
+		out[message.NodeID(kv[0])] = kv[1]
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rebeca-broker:", err)
+	os.Exit(1)
+}

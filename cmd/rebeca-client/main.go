@@ -1,0 +1,154 @@
+// rebeca-client is an interactive client for live rebeca-broker nodes: it
+// connects to a border broker over TCP, lets you subscribe and publish from
+// stdin, and prints deliveries as they arrive. Roaming between brokers is a
+// `connect` away — the middleware relocates the session transparently.
+//
+// Usage:
+//
+//	rebeca-client -id alice -broker localhost:7471
+//
+// Commands:
+//
+//	sub <attr> <value>          subscribe to attr == value (string match)
+//	subloc <attr> <value>       same, location-dependent (myloc marker)
+//	pub <attr>=<val> ...        publish a notification (k=v pairs)
+//	connect <host:port>         roam to another border broker
+//	disconnect                  drop the link
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+	"rebeca/internal/wire"
+)
+
+type session struct {
+	id      message.NodeID
+	client  *wire.RemoteClient
+	epoch   uint64
+	prev    message.NodeID
+	profile []proto.Subscription
+	nextSub int
+	pubSeq  uint64
+}
+
+func main() {
+	id := flag.String("id", "client", "client node ID")
+	addr := flag.String("broker", "localhost:7471", "border broker address")
+	flag.Parse()
+
+	s := &session{id: message.NodeID(*id)}
+	s.client = wire.NewRemoteClient(s.id, func(n message.Notification) {
+		fmt.Printf("<- %s\n", n)
+	})
+	if err := s.connect(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("connected to %s as %s\n", *addr, s.id)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if err := s.run(fields); err != nil {
+			if err == errQuit {
+				break
+			}
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+	_ = s.client.Disconnect()
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func (s *session) connect(addr string) error {
+	s.epoch++
+	if err := s.client.Connect(addr, s.prev, s.profile, s.epoch); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *session) run(fields []string) error {
+	switch fields[0] {
+	case "quit", "exit":
+		return errQuit
+	case "disconnect":
+		return s.client.Disconnect()
+	case "connect":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: connect <host:port>")
+		}
+		_ = s.client.Disconnect()
+		return s.connect(fields[1])
+	case "sub", "subloc":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: %s <attr> <value>", fields[0])
+		}
+		cs := []filter.Constraint{filter.Eq(fields[1], parseValue(fields[2]))}
+		var f filter.Filter
+		if fields[0] == "subloc" {
+			f = filter.AtLocation(cs...)
+		} else {
+			f = filter.New(cs...)
+		}
+		s.nextSub++
+		sub := proto.Subscription{
+			ID:     message.SubID(fmt.Sprintf("%s/s%d", s.id, s.nextSub)),
+			Filter: f,
+		}
+		s.profile = append(s.profile, sub)
+		fmt.Printf("subscribed %s: %s\n", sub.ID, f)
+		return s.client.Send(proto.Message{Kind: proto.KSubscribe, Client: s.id, Sub: &sub})
+	case "pub":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: pub k=v [k=v ...]")
+		}
+		attrs := make(map[string]message.Value, len(fields)-1)
+		for _, kv := range fields[1:] {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad attribute %q (want k=v)", kv)
+			}
+			attrs[parts[0]] = parseValue(parts[1])
+		}
+		s.pubSeq++
+		n := message.NewNotification(attrs)
+		n.ID = message.NotificationID{Publisher: s.id, Seq: s.pubSeq}
+		return s.client.Send(proto.Message{Kind: proto.KPublish, Client: s.id, Note: &n})
+	default:
+		return fmt.Errorf("unknown command %q (sub, subloc, pub, connect, disconnect, quit)", fields[0])
+	}
+}
+
+// parseValue guesses the value type: int, float, bool, else string.
+func parseValue(s string) message.Value {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return message.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return message.Float(f)
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return message.Bool(b)
+	}
+	return message.String(s)
+}

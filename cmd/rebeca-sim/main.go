@@ -1,0 +1,136 @@
+// rebeca-sim runs one mobility scenario on the discrete-event simulator and
+// prints its outcome — a workbench for exploring deployments beyond the
+// canned experiments.
+//
+// Usage examples:
+//
+//	rebeca-sim -graph grid -size 4 -mode replicated -mobiles 5 -duration 5s
+//	rebeca-sim -graph line -size 8 -mode reactive -seed 99
+//	rebeca-sim -graph line -size 5 -static -mobility naive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rebeca/internal/movement"
+	"rebeca/internal/sim"
+)
+
+func main() {
+	var (
+		graph    = flag.String("graph", "line", "movement graph: line, ring, grid, grid8, star, complete, tree, geometric")
+		size     = flag.Int("size", 6, "graph size (side length for grids)")
+		mode     = flag.String("mode", "replicated", "logical mobility: replicated, reactive, none")
+		mobility = flag.String("mobility", "transparent", "physical mobility: transparent, jedi, naive")
+		mobiles  = flag.Int("mobiles", 2, "number of roaming subscribers")
+		duration = flag.Duration("duration", 2*time.Second, "virtual experiment duration")
+		interval = flag.Duration("publish", 5*time.Millisecond, "per-broker publish interval")
+		seed     = flag.Int64("seed", 2003, "deterministic seed")
+		shared   = flag.Bool("shared", false, "use shared per-broker buffers")
+		ttl      = flag.Duration("ttl", 0, "buffer TTL (0 = unbounded)")
+		cap      = flag.Int("cap", 0, "buffer count bound (0 = unbounded)")
+		static   = flag.Bool("static", false, "run the static stock stream instead of the location stream")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*graph, *size, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var repl sim.ReplicationMode
+	switch *mode {
+	case "replicated":
+		repl = sim.ReplicationPreSubscribe
+	case "reactive":
+		repl = sim.ReplicationReactive
+	case "none":
+		repl = sim.ReplicationNone
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var mob sim.MobilityMode
+	switch *mobility {
+	case "transparent":
+		mob = sim.MobilityTransparent
+	case "jedi":
+		mob = sim.MobilityJEDI
+	case "naive":
+		mob = sim.MobilityNaive
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mobility %q\n", *mobility)
+		os.Exit(2)
+	}
+
+	out, err := sim.Scenario{
+		Name:            fmt.Sprintf("%s-%d/%s", *graph, *size, *mode),
+		Graph:           g,
+		Replication:     repl,
+		Mobility:        mob,
+		Shared:          *shared,
+		BufferTTL:       *ttl,
+		BufferCap:       *cap,
+		PublishInterval: *interval,
+		Duration:        *duration,
+		NumMobiles:      *mobiles,
+		Seed:            *seed,
+		StaticOnly:      *static,
+		StaticStream:    *static,
+	}.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario          %s\n", out.Name)
+	fmt.Printf("handovers         %d\n", out.Handovers)
+	if *static {
+		fmt.Printf("static expected   %d\n", out.StaticExpected)
+		fmt.Printf("static delivered  %d\n", out.StaticGot)
+		fmt.Printf("static lost       %d\n", out.StaticLoss())
+	} else {
+		fmt.Printf("pre-arrival       %d/%d (%.1f%%)\n",
+			out.PreArrivalGot, out.PreArrivalExpected, 100*out.PreArrivalCoverage())
+		fmt.Printf("live              %d/%d (%.1f%%)\n",
+			out.LiveGot, out.LiveExpected, 100*out.LiveCoverage())
+		fmt.Printf("setup latency     %s (over %d handovers)\n",
+			out.FirstDeliveryLatency, out.FirstDeliverySamples)
+	}
+	fmt.Printf("duplicates        %d\n", out.Duplicates)
+	fmt.Printf("fifo violations   %d\n", out.FIFOViolations)
+	fmt.Printf("data msgs         %d\n", out.DataMsgs)
+	fmt.Printf("control msgs      %d\n", out.ControlMsgs)
+	fmt.Printf("direct msgs       %d\n", out.DirectMsgs)
+	fmt.Printf("bytes             %d\n", out.TotalBytes)
+	fmt.Printf("buffered/replayed %d/%d (unconsumed %d)\n",
+		out.Buffered, out.Replayed, out.Unconsumed())
+	fmt.Printf("peak virtual cls  %d\n", out.PeakResidentVC)
+}
+
+func buildGraph(kind string, size int, seed int64) (*movement.Graph, error) {
+	switch kind {
+	case "line":
+		return movement.Line(size), nil
+	case "ring":
+		return movement.Ring(size), nil
+	case "grid":
+		return movement.Grid(size, size), nil
+	case "grid8":
+		return movement.Grid8(size, size), nil
+	case "star":
+		return movement.Star(size), nil
+	case "complete":
+		return movement.Complete(size), nil
+	case "tree":
+		return movement.RandomTree(size, seed), nil
+	case "geometric":
+		return movement.RandomGeometric(size, 0.3, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown -graph %q", kind)
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: a two-broker deployment, one subscriber, one publisher.
+// Demonstrates the basic pub/sub triple (publish, subscribe, notify) over
+// the content-based router network.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"rebeca"
+)
+
+func main() {
+	// A movement graph with one edge: home <-> office. The broker overlay
+	// is its spanning tree.
+	g := rebeca.NewGraph()
+	g.AddEdge("home", "office")
+
+	sys, err := rebeca.NewSystem(rebeca.Options{Movement: g})
+	if err != nil {
+		panic(err)
+	}
+
+	// A subscriber at the office listens for build results.
+	alice := sys.NewClient("alice")
+	alice.OnNotify = func(n rebeca.Notification) {
+		status, _ := n.Get("status")
+		commit, _ := n.Get("commit")
+		fmt.Printf("alice: build %s for commit %s\n", status, commit)
+	}
+	alice.ConnectTo("office")
+	alice.Subscribe(rebeca.NewFilter(
+		rebeca.Eq("service", rebeca.String("ci")),
+		rebeca.Eq("status", rebeca.String("failed")),
+	))
+	sys.Settle() // let the subscription propagate
+
+	// A publisher at home emits CI results; only failures match.
+	ci := sys.NewClient("ci-bot")
+	ci.ConnectTo("home")
+	for i, status := range []string{"passed", "failed", "passed", "failed"} {
+		ci.Publish(map[string]rebeca.Value{
+			"service": rebeca.String("ci"),
+			"status":  rebeca.String(status),
+			"commit":  rebeca.String(fmt.Sprintf("c%04d", i)),
+		})
+	}
+	sys.Settle()
+
+	fmt.Printf("alice received %d notifications (2 expected)\n", len(alice.Received()))
+	fmt.Printf("network carried %d messages\n", sys.MessagesCarried())
+}

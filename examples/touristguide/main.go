@@ -1,0 +1,122 @@
+// Touristguide: the paper's §1 motivating workload — "the menus of
+// restaurants along the route of a car". A car drives along a highway of
+// broker cells; restaurants publish their daily menus sporadically. With
+// pre-subscriptions, the menu published in the next cell minutes before the
+// car arrives is waiting on arrival ("a subscription in the past"); the
+// reactive baseline misses it.
+//
+// Run with: go run ./examples/touristguide
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rebeca"
+)
+
+type runResult struct {
+	menusSeen   int
+	firstMenuAt []time.Duration
+}
+
+func drive(preSubscribe bool) runResult {
+	highway := rebeca.Line(6) // B0 .. B5, one broker per highway cell
+	sys, err := rebeca.NewSystem(rebeca.Options{
+		Movement:            highway,
+		DisablePreSubscribe: !preSubscribe,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Each cell has one restaurant that publishes its menu of the hour —
+	// sporadically (every 25ms), so a menu is usually published while the
+	// car is still one cell away.
+	for i, b := range highway.Nodes() {
+		r := sys.NewClient(rebeca.NodeID(fmt.Sprintf("restaurant%d", i)))
+		r.ConnectTo(b)
+		b, i := b, i
+		edition := 0
+		var publish func()
+		publish = func() {
+			edition++
+			n := rebeca.Notification{Attrs: map[string]rebeca.Value{
+				"service": rebeca.String("menu"),
+				"today":   rebeca.String(fmt.Sprintf("cell %d special, edition %d", i, edition)),
+			}}
+			n = rebeca.StampLocation(n, rebeca.Location("region-"+b))
+			r.Publish(n.Attrs)
+			if edition < 20 {
+				sys.After(25*time.Millisecond, publish)
+			}
+		}
+		sys.After(time.Duration(5+i*3)*time.Millisecond, publish)
+	}
+
+	car := sys.NewClient("car")
+	res := runResult{}
+	var arrivedAt time.Time
+	var gotFirstAtCell bool
+	car.OnNotify = func(n rebeca.Notification) {
+		if v, ok := n.Get("service"); !ok || v.Str() != "menu" {
+			return
+		}
+		res.menusSeen++
+		if !gotFirstAtCell {
+			gotFirstAtCell = true
+			res.firstMenuAt = append(res.firstMenuAt, sys.Now().Sub(arrivedAt))
+		}
+	}
+	car.ConnectTo("B0")
+	arrivedAt = sys.Now()
+	car.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
+
+	// Drive: 60ms per cell, 5ms between cells.
+	at := 60 * time.Millisecond
+	for _, next := range []rebeca.NodeID{"B1", "B2", "B3", "B4", "B5"} {
+		next := next
+		sys.After(at, func() { car.Disconnect() })
+		at += 5 * time.Millisecond
+		sys.After(at, func() {
+			car.ConnectTo(next)
+			arrivedAt = sys.Now()
+			gotFirstAtCell = false
+		})
+		at += 60 * time.Millisecond
+	}
+	sys.Settle()
+	return res
+}
+
+func main() {
+	pre := drive(true)
+	rea := drive(false)
+
+	fmt.Println("driving past 6 highway cells; each cell's restaurant publishes")
+	fmt.Println("its menu of the hour sporadically (every 25ms)")
+	fmt.Println()
+	fmt.Printf("%-22s %-12s %s\n", "deployment", "menus seen", "avg time-to-first-menu per cell")
+	report := func(name string, r runResult) {
+		var avg time.Duration
+		for _, d := range r.firstMenuAt {
+			avg += d
+		}
+		if len(r.firstMenuAt) > 0 {
+			avg /= time.Duration(len(r.firstMenuAt))
+		} else {
+			avg = -1
+		}
+		avgs := avg.String()
+		if avg < 0 {
+			avgs = "never"
+		}
+		fmt.Printf("%-22s %-12d %s\n", name, r.menusSeen, avgs)
+	}
+	report("pre-subscriptions", pre)
+	report("reactive (baseline)", rea)
+	fmt.Println()
+	fmt.Println("pre-subscriptions replay the menus published while the car was")
+	fmt.Println("still one cell away — delivered the moment it connects; the")
+	fmt.Println("reactive car waits for the next edition at every cell.")
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rebeca/internal/movement"
+	"rebeca/internal/sim"
+)
+
+// Seed is the default experiment seed; all generators are deterministic
+// given it.
+const Seed = 2003
+
+// E1PhysicalHandover reproduces Fig. 1 (left): a commuter roams between
+// brokers while a stock stream flows; the relocation protocol is compared
+// with JEDI-style moveIn/moveOut and naive reconnection on loss,
+// duplicates and FIFO integrity.
+func E1PhysicalHandover(seed int64) Table {
+	t := Table{
+		ID:      "E1",
+		Caption: "Physical mobility handover integrity (Fig. 1 left; [8])",
+		Header:  []string{"protocol", "expected", "delivered", "lost", "dup", "fifo-viol", "ctrl-msgs"},
+		Notes:   "transparent loses nothing; JEDI loses in-flight traffic; naive loses the whole gap",
+	}
+	for _, mode := range []struct {
+		name string
+		m    sim.MobilityMode
+	}{
+		{"transparent", sim.MobilityTransparent},
+		{"jedi", sim.MobilityJEDI},
+		{"naive", sim.MobilityNaive},
+	} {
+		out, err := sim.Scenario{
+			Name:            mode.name,
+			Graph:           movement.Line(5),
+			StaticOnly:      true,
+			StaticStream:    true,
+			Mobility:        mode.m,
+			PublishInterval: 2 * time.Millisecond,
+			Duration:        3 * time.Second,
+			NumMobiles:      2,
+			Seed:            seed,
+		}.Run()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(mode.name, itoa(out.StaticExpected), itoa(out.StaticGot),
+			itoa(out.StaticLoss()), itoa(out.Duplicates),
+			itoa(out.FIFOViolations), itoa(out.ControlMsgs))
+	}
+	return t
+}
+
+// E5PreSubscription reproduces Fig. 4 and the §3 headline: coverage of
+// pre-arrival and live location-dependent traffic plus first-delivery
+// latency, for the replicated layer vs the reactive baseline vs flooding
+// (nlb = everywhere).
+func E5PreSubscription(seed int64) Table {
+	t := Table{
+		ID:      "E5",
+		Caption: "Pre-subscriptions: 'listening for a while' coverage (Fig. 4, §3)",
+		Header: []string{"deployment", "pre-arrival", "live", "setup-latency",
+			"direct-msgs", "unconsumed", "peak-VCs"},
+		Notes: "replicated ≈ flooding coverage at a fraction of its footprint; reactive misses the pre-arrival window",
+	}
+	type deployment struct {
+		name  string
+		graph *movement.Graph
+		mode  sim.ReplicationMode
+	}
+	corridor := movement.Line(6)
+	walk := movement.RandomWalk{Graph: corridor, Spec: movement.DwellSpec{
+		Dwell: 50 * time.Millisecond, Jitter: 10 * time.Millisecond, Gap: 5 * time.Millisecond,
+	}}
+	for _, d := range []deployment{
+		{"replicated", corridor, sim.ReplicationPreSubscribe},
+		{"reactive", corridor, sim.ReplicationReactive},
+		{"flooding", movement.Complete(6), sim.ReplicationPreSubscribe},
+	} {
+		out, err := sim.Scenario{
+			Name:        d.name,
+			Graph:       d.graph,
+			Replication: d.mode,
+			Model:       walk, // movement always follows the corridor
+			Duration:    3 * time.Second,
+			NumMobiles:  3,
+			Seed:        seed,
+		}.Run()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(d.name, pct(out.PreArrivalCoverage()), pct(out.LiveCoverage()),
+			out.FirstDeliveryLatency.String(), itoa(out.DirectMsgs),
+			itoa(out.Unconsumed()), itoa(out.PeakResidentVC))
+	}
+	return t
+}
+
+// E6NlbDegree sweeps the movement-graph degree (§4 "as large as necessary,
+// as small as possible"): cost grows with |nlb| and flooding is the
+// degenerate ceiling.
+func E6NlbDegree(seed int64) Table {
+	t := Table{
+		ID:      "E6",
+		Caption: "Replication cost vs nlb degree (§3.2.3, §4)",
+		Header: []string{"graph", "avg-degree", "pre-arrival", "direct-msgs",
+			"unconsumed", "peak-VCs", "buf-bytes"},
+		Notes: "overhead grows ~linearly with nlb degree; complete graph degenerates to flooding",
+	}
+	n := 9
+	corridorWalkSpec := movement.DwellSpec{
+		Dwell: 50 * time.Millisecond, Jitter: 10 * time.Millisecond, Gap: 5 * time.Millisecond,
+	}
+	for _, g := range []struct {
+		name  string
+		graph *movement.Graph
+	}{
+		{"line", movement.Line(n)},
+		{"grid4", movement.Grid(3, 3)},
+		{"grid8", movement.Grid8(3, 3)},
+		{"complete", movement.Complete(n)},
+	} {
+		// Movement itself always follows the 4-neighbor grid so that only
+		// the nlb uncertainty model varies across rows.
+		moveGraph := movement.Grid(3, 3)
+		out, err := sim.Scenario{
+			Name:        g.name,
+			Graph:       g.graph,
+			Replication: sim.ReplicationPreSubscribe,
+			Model:       movement.RandomWalk{Graph: moveGraph, Spec: corridorWalkSpec},
+			Duration:    3 * time.Second,
+			NumMobiles:  3,
+			Seed:        seed,
+		}.Run()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(g.name, f2(g.graph.AvgDegree()), pct(out.PreArrivalCoverage()),
+			itoa(out.DirectMsgs), itoa(out.Unconsumed()), itoa(out.PeakResidentVC),
+			itoa(out.BufferedBytes))
+	}
+	return t
+}
+
+// E7BufferPolicies compares the §4 buffering schemes: replay utility
+// (pre-arrival coverage) against buffer memory.
+func E7BufferPolicies(seed int64) Table {
+	t := Table{
+		ID:      "E7",
+		Caption: "Buffering policies: utility vs memory (§4 event histories)",
+		Header:  []string{"policy", "pre-arrival", "live", "buf-bytes", "wasted"},
+		Notes:   "combined policy bounds memory with modest utility loss vs unbounded",
+	}
+	type policy struct {
+		name string
+		ttl  time.Duration
+		cap  int
+	}
+	for _, p := range []policy{
+		{"unbounded", 0, 0},
+		{"time(100ms)", 100 * time.Millisecond, 0},
+		{"last-5", 0, 5},
+		{"combined(100ms,5)", 100 * time.Millisecond, 5},
+	} {
+		out, err := sim.Scenario{
+			Name:        p.name,
+			Graph:       movement.Line(6),
+			Replication: sim.ReplicationPreSubscribe,
+			BufferTTL:   p.ttl,
+			BufferCap:   p.cap,
+			Duration:    3 * time.Second,
+			NumMobiles:  3,
+			Seed:        seed,
+		}.Run()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(p.name, pct(out.PreArrivalCoverage()), pct(out.LiveCoverage()),
+			itoa(out.BufferedBytes), itoa(out.Wasted))
+	}
+	return t
+}
+
+// E9ExceptionMode quantifies §4's pop-up recovery: a mixed mover that
+// sometimes teleports outside nlb coverage, with and without the exception
+// fetch (reactive has no shadows to fetch from).
+func E9ExceptionMode(seed int64) Table {
+	t := Table{
+		ID:      "E9",
+		Caption: "Exception mode: pop-up outside nlb coverage (§4)",
+		Header: []string{"deployment", "teleport-p", "pre-arrival", "live",
+			"exception-activations", "fetches"},
+		Notes: "replicated degrades gracefully on violations; coverage recovers via buffer fetch",
+	}
+	g := movement.Grid(3, 3)
+	spec := movement.DwellSpec{
+		Dwell: 50 * time.Millisecond, Jitter: 10 * time.Millisecond, Gap: 5 * time.Millisecond,
+	}
+	for _, p := range []float64{0, 0.2, 0.5} {
+		model := movement.Model(movement.RandomWalk{Graph: g, Spec: spec})
+		if p > 0 {
+			model = movement.Mixed{
+				Base:     movement.RandomWalk{Graph: g, Spec: spec},
+				Graph:    g,
+				Teleport: p,
+				Spec:     spec,
+			}
+		}
+		out, err := sim.Scenario{
+			Name:        fmt.Sprintf("teleport-%.1f", p),
+			Graph:       g,
+			Replication: sim.ReplicationPreSubscribe,
+			Model:       model,
+			Duration:    3 * time.Second,
+			NumMobiles:  3,
+			Seed:        seed,
+		}.Run()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow("replicated", f2(p), pct(out.PreArrivalCoverage()),
+			pct(out.LiveCoverage()), itoa(out.ExceptionActivations),
+			itoa(out.FetchesServed))
+	}
+	return t
+}

@@ -1,0 +1,402 @@
+// Package broker implements the REBECA broker process (§2): routing of
+// notifications along the acyclic overlay, subscription forwarding per the
+// configured routing strategy, unicast control-message routing via next-hop
+// tables, and the flush/convergecast barrier the mobility protocol builds
+// on. Border and inner brokers run the same state machine; border brokers
+// additionally host plugins (the physical-mobility manager and the
+// replicator layer) and local client ports.
+//
+// A Broker is a synchronous state machine: HandleMessage runs to completion
+// and emits outgoing messages through the injected senders. The simulator
+// and the live TCP runner drive the same code.
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+	"rebeca/internal/routing"
+)
+
+// Plugin extends a border broker with session-layer behaviour. Plugins run
+// inside the broker's event loop; they must not block.
+type Plugin interface {
+	// Handle offers the plugin an incoming message addressed to this
+	// broker. Returning true consumes the message (default processing is
+	// skipped).
+	Handle(from message.NodeID, m proto.Message) bool
+	// OnDeliver intercepts a local delivery to a client port. Returning
+	// true suppresses the default KDeliver send (e.g. to buffer for a
+	// disconnected client).
+	OnDeliver(port message.NodeID, n message.Notification) bool
+	// OnFlushDone signals completion of a flush wave started by this
+	// broker via StartFlush.
+	OnFlushDone(id uint64)
+}
+
+// Config assembles a broker.
+type Config struct {
+	// ID names the broker.
+	ID message.NodeID
+	// Peers are the neighboring brokers on the acyclic overlay.
+	Peers []message.NodeID
+	// Strategy selects the routing algorithm.
+	Strategy routing.Strategy
+	// Advertisements gates subscription forwarding on publisher
+	// advertisements (advertisement-based routing, REBECA [3]).
+	Advertisements bool
+	// IndexedMatching backs the routing table with the counting matching
+	// index — same semantics, faster on large tables.
+	IndexedMatching bool
+	// Send transmits a message to a directly linked node: an overlay peer
+	// or a local client port.
+	Send func(to message.NodeID, m proto.Message)
+	// SendDirect transmits out-of-band, bypassing the overlay — the
+	// replicator's "direct TCP connections" of §3.2. Optional; defaults
+	// to Send.
+	SendDirect func(to message.NodeID, m proto.Message)
+	// Now supplies (virtual) time.
+	Now func() time.Time
+	// NextHop maps a destination broker to the neighbor on the unique
+	// overlay path toward it.
+	NextHop map[message.NodeID]message.NodeID
+}
+
+// Stats counts broker-local activity.
+type Stats struct {
+	// PublishesRouted counts KPublish messages processed.
+	PublishesRouted int
+	// Forwarded counts KPublish copies sent to peers.
+	Forwarded int
+	// Delivered counts local client deliveries (post-interception).
+	Delivered int
+	// Intercepted counts deliveries consumed by plugins.
+	Intercepted int
+	// SubsProcessed counts subscription/unsubscription messages.
+	SubsProcessed int
+	// UnicastForwarded counts control messages in transit.
+	UnicastForwarded int
+}
+
+// Broker is one broker process. Not safe for concurrent use; drive it from
+// a single goroutine (the simulator loop or a live node's inbox pump).
+type Broker struct {
+	cfg    Config
+	router *routing.Router
+	peers  map[message.NodeID]bool
+	ports  map[message.NodeID]bool
+
+	plugins []Plugin
+
+	nextFlushID uint64
+	flushes     map[flushKey]*flushState
+
+	stats Stats
+}
+
+type flushKey struct {
+	origin message.NodeID
+	id     uint64
+}
+
+type flushState struct {
+	pending int
+	replyTo message.NodeID // empty when this broker is the origin
+}
+
+// New builds a broker from the config. Peers and next hops may be set later
+// via SetTopology when the overlay is constructed before wiring.
+func New(cfg Config) *Broker {
+	if cfg.Send == nil {
+		panic("broker: Config.Send is required")
+	}
+	if cfg.SendDirect == nil {
+		cfg.SendDirect = cfg.Send
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Strategy == routing.StrategyInvalid {
+		cfg.Strategy = routing.StrategySimple
+	}
+	newRouter := routing.NewRouter
+	if cfg.IndexedMatching {
+		newRouter = routing.NewIndexedRouter
+	}
+	b := &Broker{
+		cfg:     cfg,
+		router:  newRouter(cfg.Strategy),
+		peers:   make(map[message.NodeID]bool),
+		ports:   make(map[message.NodeID]bool),
+		flushes: make(map[flushKey]*flushState),
+	}
+	for _, p := range cfg.Peers {
+		b.peers[p] = true
+	}
+	if cfg.Advertisements {
+		b.router.EnableAdvertisements()
+	}
+	return b
+}
+
+// ID returns the broker's node ID.
+func (b *Broker) ID() message.NodeID { return b.cfg.ID }
+
+// Now returns the broker's current (virtual) time.
+func (b *Broker) Now() time.Time { return b.cfg.Now() }
+
+// Stats returns a copy of the broker's counters.
+func (b *Broker) Stats() Stats { return b.stats }
+
+// Router exposes the routing state (tests and experiments inspect it).
+func (b *Broker) Router() *routing.Router { return b.router }
+
+// Use attaches a plugin. Plugins are offered messages in attachment order.
+func (b *Broker) Use(p Plugin) { b.plugins = append(b.plugins, p) }
+
+// Peers returns the broker's overlay neighbors.
+func (b *Broker) Peers() []message.NodeID {
+	out := make([]message.NodeID, 0, len(b.peers))
+	for p := range b.peers {
+		out = append(out, p)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// IsBorder reports whether the broker hosts client ports or plugins.
+func (b *Broker) IsBorder() bool { return len(b.plugins) > 0 || len(b.ports) > 0 }
+
+// AttachPort registers a local client port.
+func (b *Broker) AttachPort(id message.NodeID) { b.ports[id] = true }
+
+// DetachPort removes a local client port and drops its table entries.
+func (b *Broker) DetachPort(id message.NodeID) {
+	delete(b.ports, id)
+}
+
+// HasPort reports whether the node is an attached local port.
+func (b *Broker) HasPort(id message.NodeID) bool { return b.ports[id] }
+
+// Ports returns attached port IDs, sorted.
+func (b *Broker) Ports() []message.NodeID {
+	out := make([]message.NodeID, 0, len(b.ports))
+	for p := range b.ports {
+		out = append(out, p)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// Send transmits to a direct neighbor or local port.
+func (b *Broker) Send(to message.NodeID, m proto.Message) { b.cfg.Send(to, m) }
+
+// Direct transmits out-of-band to any node (replicator channel).
+func (b *Broker) Direct(to message.NodeID, m proto.Message) { b.cfg.SendDirect(to, m) }
+
+// Unicast routes a control message through the overlay to the destination
+// broker. Sending to self dispatches locally (synchronously).
+func (b *Broker) Unicast(dest message.NodeID, m proto.Message) {
+	m.Dest = dest
+	if dest == b.cfg.ID {
+		b.HandleMessage(b.cfg.ID, m)
+		return
+	}
+	hop, ok := b.cfg.NextHop[dest]
+	if !ok {
+		// Destination unknown to the overlay: drop. Experiments never hit
+		// this; live nodes log it via stats.
+		return
+	}
+	b.Send(hop, m)
+}
+
+// HandleMessage processes one incoming message. `from` is the immediate
+// sender (neighbor broker, local port, or this broker for self-dispatch).
+func (b *Broker) HandleMessage(from message.NodeID, m proto.Message) {
+	// Unicast transit: not for us, pass along the overlay path.
+	if m.Dest != "" && m.Dest != b.cfg.ID {
+		if hop, ok := b.cfg.NextHop[m.Dest]; ok {
+			m.Hops++
+			b.stats.UnicastForwarded++
+			b.Send(hop, m)
+		}
+		return
+	}
+
+	for _, p := range b.plugins {
+		if p.Handle(from, m) {
+			return
+		}
+	}
+
+	switch m.Kind {
+	case proto.KPublish:
+		b.handlePublish(from, m)
+	case proto.KSubscribe:
+		b.handleSubscribe(from, m)
+	case proto.KUnsubscribe:
+		b.handleUnsubscribe(from, m)
+	case proto.KAdvertise:
+		if m.Sub != nil {
+			b.stats.SubsProcessed++
+			b.emitForwards(b.router.Advertise(*m.Sub, from, b.Peers()))
+		}
+	case proto.KUnadvertise:
+		if m.Sub != nil {
+			b.stats.SubsProcessed++
+			b.emitForwards(b.router.Unadvertise(m.Sub.ID, b.Peers()))
+		}
+	case proto.KConnect:
+		b.AttachPort(m.Client)
+	case proto.KDisconnect:
+		b.DetachPort(m.Client)
+	case proto.KFlush:
+		b.handleFlush(from, m)
+	case proto.KFlushAck:
+		b.handleFlushAck(m)
+	case proto.KDeliver:
+		// A delivery unicast to this broker for a local client (e.g. a
+		// relocation tap forward) without a plugin claiming it: deliver
+		// if the client is here.
+		if m.Note != nil && b.ports[m.Client] {
+			b.DeliverLocal(m.Client, *m.Note)
+		}
+	default:
+		// Unknown control kinds without a plugin are dropped.
+	}
+}
+
+func (b *Broker) handlePublish(from message.NodeID, m proto.Message) {
+	if m.Note == nil {
+		return
+	}
+	b.stats.PublishesRouted++
+	n := *m.Note
+
+	if b.router.Strategy() == routing.StrategyFlooding {
+		// Broadcast along the overlay; deliver to matching local ports.
+		for p := range b.peers {
+			if p == from {
+				continue
+			}
+			fw := m
+			fw.Hops++
+			b.stats.Forwarded++
+			b.Send(p, fw)
+		}
+		for _, e := range b.router.Table().MatchEntries(n) {
+			if e.Link != from && b.ports[e.Link] {
+				b.DeliverLocal(e.Link, n)
+			}
+		}
+		return
+	}
+
+	delivered := make(map[message.NodeID]bool)
+	for _, link := range b.router.Table().Match(n, from) {
+		switch {
+		case b.peers[link]:
+			fw := m
+			fw.Hops++
+			b.stats.Forwarded++
+			b.Send(link, fw)
+		case b.ports[link]:
+			if !delivered[link] {
+				delivered[link] = true
+				b.DeliverLocal(link, n)
+			}
+		default:
+			// A stale entry for a detached port: skip.
+		}
+	}
+}
+
+// DeliverLocal hands a notification to a local port, honoring plugin
+// interception (ghost buffering etc.).
+func (b *Broker) DeliverLocal(port message.NodeID, n message.Notification) {
+	for _, p := range b.plugins {
+		if p.OnDeliver(port, n) {
+			b.stats.Intercepted++
+			return
+		}
+	}
+	b.stats.Delivered++
+	b.Send(port, proto.Message{Kind: proto.KDeliver, Client: port, Note: &n})
+}
+
+func (b *Broker) handleSubscribe(from message.NodeID, m proto.Message) {
+	if m.Sub == nil {
+		return
+	}
+	b.stats.SubsProcessed++
+	b.emitForwards(b.router.Subscribe(*m.Sub, from, b.Peers()))
+}
+
+func (b *Broker) handleUnsubscribe(from message.NodeID, m proto.Message) {
+	if m.Sub == nil {
+		return
+	}
+	// Staleness guard: an unsubscription wave only removes an entry that
+	// still points toward the unsubscriber. If the entry has been flipped
+	// toward a relocated client in the meantime, the wave is outdated and
+	// dies here (the flip wave repairs any removals behind it).
+	if e, ok := b.router.Table().Get(m.Sub.ID); ok && e.Link != from {
+		return
+	}
+	b.stats.SubsProcessed++
+	b.emitForwards(b.router.Unsubscribe(m.Sub.ID, b.Peers()))
+}
+
+// InstallSub enters a subscription on behalf of a local port (used by the
+// mobility manager when relocating profiles and by the replicator for
+// virtual clients) and propagates it into the overlay.
+func (b *Broker) InstallSub(sub proto.Subscription, port message.NodeID) {
+	b.stats.SubsProcessed++
+	b.emitForwards(b.router.Subscribe(sub, port, b.Peers()))
+}
+
+// RemoveSub removes a locally owned subscription and propagates the
+// unsubscription. If the entry has already been flipped toward a peer (the
+// client relocated and the new border's re-subscription arrived first),
+// the removal is skipped: the entry now belongs to the new border.
+func (b *Broker) RemoveSub(id message.SubID) {
+	if e, ok := b.router.Table().Get(id); ok && b.peers[e.Link] {
+		return
+	}
+	b.stats.SubsProcessed++
+	b.emitForwards(b.router.Unsubscribe(id, b.Peers()))
+}
+
+func (b *Broker) emitForwards(fws []routing.Forward) {
+	for _, f := range fws {
+		sub := f.Sub
+		var kind proto.Kind
+		switch {
+		case f.Advertisement && f.Unsub:
+			kind = proto.KUnadvertise
+		case f.Advertisement:
+			kind = proto.KAdvertise
+		case f.Unsub:
+			kind = proto.KUnsubscribe
+		default:
+			kind = proto.KSubscribe
+		}
+		b.Send(f.Link, proto.Message{Kind: kind, Sub: &sub, Origin: b.cfg.ID})
+	}
+}
+
+// String identifies the broker in logs.
+func (b *Broker) String() string {
+	return fmt.Sprintf("broker(%s, %d peers, %d ports)", b.cfg.ID, len(b.peers), len(b.ports))
+}
+
+func sortNodeIDs(ids []message.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,491 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+	"rebeca/internal/routing"
+)
+
+// harness wires brokers over an in-memory, synchronous FIFO network: sends
+// append to a queue that the test pumps to quiescence. Client ports collect
+// their deliveries.
+type harness struct {
+	t       *testing.T
+	brokers map[message.NodeID]*Broker
+	inboxes map[message.NodeID][]queued // client deliveries
+	queue   []queued
+	now     time.Time
+}
+
+type queued struct {
+	from, to message.NodeID
+	m        proto.Message
+}
+
+func newHarness(t *testing.T, topo Topology, strategy routing.Strategy) *harness {
+	t.Helper()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	h := &harness{
+		t:       t,
+		brokers: make(map[message.NodeID]*Broker),
+		inboxes: make(map[message.NodeID][]queued),
+		now:     time.Date(2003, 6, 16, 12, 0, 0, 0, time.UTC),
+	}
+	adj := topo.Adjacency()
+	hops := topo.NextHops()
+	for _, id := range topo.Nodes() {
+		id := id
+		h.brokers[id] = New(Config{
+			ID:       id,
+			Peers:    adj[id],
+			Strategy: strategy,
+			Send: func(to message.NodeID, m proto.Message) {
+				h.queue = append(h.queue, queued{from: id, to: to, m: m})
+			},
+			Now:     func() time.Time { return h.now },
+			NextHop: hops[id],
+		})
+	}
+	return h
+}
+
+// pump delivers queued messages until quiescence.
+func (h *harness) pump() {
+	for len(h.queue) > 0 {
+		q := h.queue[0]
+		h.queue = h.queue[1:]
+		if b, ok := h.brokers[q.to]; ok {
+			m := q.m
+			m.From = q.from
+			b.HandleMessage(q.from, m)
+			continue
+		}
+		h.inboxes[q.to] = append(h.inboxes[q.to], q)
+	}
+}
+
+// connect attaches a client port at a broker.
+func (h *harness) connect(c, at message.NodeID) {
+	h.brokers[at].HandleMessage(c, proto.Message{Kind: proto.KConnect, Client: c})
+	h.pump()
+}
+
+// subscribe issues a subscription from a client.
+func (h *harness) subscribe(c, at message.NodeID, id string, f filter.Filter) {
+	sub := proto.Subscription{ID: message.SubID(id), Filter: f}
+	h.brokers[at].HandleMessage(c, proto.Message{Kind: proto.KSubscribe, Sub: &sub})
+	h.pump()
+}
+
+// publish emits a notification from a client attached at a broker.
+func (h *harness) publish(c, at message.NodeID, seq uint64, attrs map[string]message.Value) {
+	n := message.NewNotification(attrs)
+	n.ID = message.NotificationID{Publisher: c, Seq: seq}
+	n.Published = h.now
+	h.brokers[at].HandleMessage(c, proto.Message{Kind: proto.KPublish, Note: &n})
+	h.pump()
+}
+
+// delivered returns the notifications a client received.
+func (h *harness) delivered(c message.NodeID) []message.Notification {
+	var out []message.Notification
+	for _, q := range h.inboxes[c] {
+		if q.m.Kind == proto.KDeliver && q.m.Note != nil {
+			out = append(out, *q.m.Note)
+		}
+	}
+	return out
+}
+
+func lineTopo(n int) Topology {
+	ids := make([]message.NodeID, n)
+	for i := range ids {
+		ids[i] = message.NodeID(string(rune('A' + i)))
+	}
+	return LineTopology(ids)
+}
+
+func attrInt(k string, v int64) map[string]message.Value {
+	return map[string]message.Value{k: message.Int(v)}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := lineTopo(4).Validate(); err != nil {
+		t.Errorf("line should validate: %v", err)
+	}
+	cyclic := Topology{Edges: [][2]message.NodeID{{"A", "B"}, {"B", "C"}, {"C", "A"}}}
+	if err := cyclic.Validate(); err == nil {
+		t.Error("cycle should fail validation")
+	}
+	disconnected := Topology{Edges: [][2]message.NodeID{{"A", "B"}, {"C", "D"}, {"D", "E"}, {"E", "C"}}}
+	if err := disconnected.Validate(); err == nil {
+		t.Error("disconnected forest should fail validation")
+	}
+	if err := (Topology{}).Validate(); err == nil {
+		t.Error("empty topology should fail")
+	}
+}
+
+func TestNextHops(t *testing.T) {
+	topo := lineTopo(4) // A-B-C-D
+	hops := topo.NextHops()
+	if hops["A"]["D"] != "B" {
+		t.Errorf("A->D first hop = %s, want B", hops["A"]["D"])
+	}
+	if hops["D"]["A"] != "C" {
+		t.Errorf("D->A first hop = %s, want C", hops["D"]["A"])
+	}
+	if hops["B"]["A"] != "A" {
+		t.Errorf("B->A first hop = %s, want A", hops["B"]["A"])
+	}
+}
+
+func TestPathLen(t *testing.T) {
+	topo := lineTopo(5)
+	if got := topo.PathLen("A", "E"); got != 4 {
+		t.Errorf("PathLen(A,E) = %d, want 4", got)
+	}
+	if got := topo.PathLen("C", "C"); got != 0 {
+		t.Errorf("PathLen(C,C) = %d, want 0", got)
+	}
+}
+
+func TestPublishReachesRemoteSubscriber(t *testing.T) {
+	h := newHarness(t, lineTopo(4), routing.StrategySimple)
+	h.connect("sub1", "D")
+	h.subscribe("sub1", "D", "s1", filter.New(filter.Eq("k", message.Int(7))))
+	h.connect("pub1", "A")
+	h.publish("pub1", "A", 1, attrInt("k", 7))
+	h.publish("pub1", "A", 2, attrInt("k", 8)) // must not match
+
+	got := h.delivered("sub1")
+	if len(got) != 1 {
+		t.Fatalf("delivered %d notifications, want 1", len(got))
+	}
+	if got[0].ID.Seq != 1 {
+		t.Errorf("wrong notification delivered: %v", got[0])
+	}
+}
+
+func TestSubscriptionPropagatesToAllBrokers(t *testing.T) {
+	h := newHarness(t, lineTopo(4), routing.StrategySimple)
+	h.connect("c", "A")
+	h.subscribe("c", "A", "s1", filter.New(filter.Eq("k", message.Int(1))))
+	for id, b := range h.brokers {
+		if b.Router().Table().Len() != 1 {
+			t.Errorf("broker %s table len = %d, want 1", id, b.Router().Table().Len())
+		}
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	h := newHarness(t, lineTopo(3), routing.StrategySimple)
+	h.connect("c", "C")
+	f := filter.New(filter.Eq("k", message.Int(1)))
+	h.subscribe("c", "C", "s1", f)
+	h.connect("p", "A")
+	h.publish("p", "A", 1, attrInt("k", 1))
+
+	sub := proto.Subscription{ID: "s1", Filter: f}
+	h.brokers["C"].HandleMessage("c", proto.Message{Kind: proto.KUnsubscribe, Sub: &sub})
+	h.pump()
+	h.publish("p", "A", 2, attrInt("k", 1))
+
+	if got := h.delivered("c"); len(got) != 1 {
+		t.Fatalf("delivered %d, want 1 (before unsubscribe only)", len(got))
+	}
+	for id, b := range h.brokers {
+		if b.Router().Table().Len() != 0 {
+			t.Errorf("broker %s table should be empty after unsubscribe", id)
+		}
+	}
+}
+
+func TestNoEchoToPublisher(t *testing.T) {
+	h := newHarness(t, lineTopo(2), routing.StrategySimple)
+	h.connect("c", "A")
+	h.subscribe("c", "A", "s1", filter.New(filter.Exists("k")))
+	h.publish("c", "A", 1, attrInt("k", 1))
+	if got := h.delivered("c"); len(got) != 0 {
+		t.Errorf("publisher received its own notification back: %v", got)
+	}
+}
+
+func TestTwoSubscribersBothReceive(t *testing.T) {
+	h := newHarness(t, lineTopo(3), routing.StrategySimple)
+	h.connect("c1", "A")
+	h.connect("c2", "C")
+	f := filter.New(filter.Ge("k", message.Int(0)))
+	h.subscribe("c1", "A", "s1", f)
+	h.subscribe("c2", "C", "s2", f)
+	h.connect("p", "B")
+	h.publish("p", "B", 1, attrInt("k", 5))
+	if len(h.delivered("c1")) != 1 || len(h.delivered("c2")) != 1 {
+		t.Errorf("deliveries: c1=%d c2=%d, want 1 each",
+			len(h.delivered("c1")), len(h.delivered("c2")))
+	}
+}
+
+func TestOverlappingSubsDeliverOnce(t *testing.T) {
+	h := newHarness(t, lineTopo(2), routing.StrategySimple)
+	h.connect("c", "B")
+	h.subscribe("c", "B", "s1", filter.New(filter.Ge("k", message.Int(0))))
+	h.subscribe("c", "B", "s2", filter.New(filter.Le("k", message.Int(10))))
+	h.connect("p", "A")
+	h.publish("p", "A", 1, attrInt("k", 5))
+	if got := h.delivered("c"); len(got) != 1 {
+		t.Errorf("overlapping subscriptions should deliver once, got %d", len(got))
+	}
+}
+
+func TestFloodingDeliversWithoutForwardedSubs(t *testing.T) {
+	h := newHarness(t, lineTopo(4), routing.StrategyFlooding)
+	h.connect("c", "D")
+	h.subscribe("c", "D", "s1", filter.New(filter.Eq("k", message.Int(1))))
+	// No subscription should have been forwarded.
+	for _, id := range []message.NodeID{"A", "B", "C"} {
+		if h.brokers[id].Router().Table().Len() != 0 {
+			t.Errorf("broker %s should have no entries under flooding", id)
+		}
+	}
+	h.connect("p", "A")
+	h.publish("p", "A", 1, attrInt("k", 1))
+	h.publish("p", "A", 2, attrInt("k", 2))
+	if got := h.delivered("c"); len(got) != 1 {
+		t.Errorf("flooding delivered %d, want 1", len(got))
+	}
+}
+
+func TestCoveringRoutingDeliversSame(t *testing.T) {
+	run := func(strategy routing.Strategy) []message.Notification {
+		h := newHarness(t, lineTopo(5), strategy)
+		h.connect("wide", "E")
+		h.subscribe("wide", "E", "w", filter.New(filter.Le("k", message.Int(100))))
+		h.connect("narrow", "E")
+		h.subscribe("narrow", "E", "n", filter.New(filter.Le("k", message.Int(10))))
+		h.connect("p", "A")
+		h.publish("p", "A", 1, attrInt("k", 5))
+		h.publish("p", "A", 2, attrInt("k", 50))
+		return append(h.delivered("wide"), h.delivered("narrow")...)
+	}
+	simple := run(routing.StrategySimple)
+	covering := run(routing.StrategyCovering)
+	if len(simple) != len(covering) {
+		t.Errorf("covering delivered %d, simple %d", len(covering), len(simple))
+	}
+}
+
+func TestCoveringReducesTableSize(t *testing.T) {
+	mk := func(strategy routing.Strategy) int {
+		h := newHarness(t, lineTopo(5), strategy)
+		h.connect("wide", "E")
+		h.subscribe("wide", "E", "w", filter.New(filter.Le("k", message.Int(100))))
+		h.connect("narrow", "E")
+		h.subscribe("narrow", "E", "n", filter.New(filter.Le("k", message.Int(10))))
+		total := 0
+		for _, b := range h.brokers {
+			total += b.Router().Table().Len()
+		}
+		return total
+	}
+	if simple, covering := mk(routing.StrategySimple), mk(routing.StrategyCovering); covering >= simple {
+		t.Errorf("covering tables (%d) should be smaller than simple (%d)", covering, simple)
+	}
+}
+
+func TestUnicastRouting(t *testing.T) {
+	h := newHarness(t, lineTopo(5), routing.StrategySimple)
+	var got []proto.Message
+	h.brokers["E"].Use(&capturePlugin{onHandle: func(from message.NodeID, m proto.Message) bool {
+		if m.Kind == proto.KRelocReq {
+			got = append(got, m)
+			return true
+		}
+		return false
+	}})
+	h.brokers["A"].Unicast("E", proto.Message{Kind: proto.KRelocReq, Client: "c", Origin: "A"})
+	h.pump()
+	if len(got) != 1 {
+		t.Fatalf("unicast not delivered, got %d", len(got))
+	}
+	if got[0].Hops != 3 {
+		t.Errorf("hops = %d, want 3 (forwarded by B,C,D)", got[0].Hops)
+	}
+}
+
+func TestUnicastToSelf(t *testing.T) {
+	h := newHarness(t, lineTopo(2), routing.StrategySimple)
+	var got int
+	h.brokers["A"].Use(&capturePlugin{onHandle: func(_ message.NodeID, m proto.Message) bool {
+		if m.Kind == proto.KRelocReq {
+			got++
+			return true
+		}
+		return false
+	}})
+	h.brokers["A"].Unicast("A", proto.Message{Kind: proto.KRelocReq})
+	if got != 1 {
+		t.Error("self-unicast should dispatch synchronously")
+	}
+}
+
+// capturePlugin adapts closures to the Plugin interface.
+type capturePlugin struct {
+	onHandle    func(message.NodeID, proto.Message) bool
+	onDeliver   func(message.NodeID, message.Notification) bool
+	onFlushDone func(uint64)
+}
+
+func (c *capturePlugin) Handle(from message.NodeID, m proto.Message) bool {
+	if c.onHandle == nil {
+		return false
+	}
+	return c.onHandle(from, m)
+}
+
+func (c *capturePlugin) OnDeliver(port message.NodeID, n message.Notification) bool {
+	if c.onDeliver == nil {
+		return false
+	}
+	return c.onDeliver(port, n)
+}
+
+func (c *capturePlugin) OnFlushDone(id uint64) {
+	if c.onFlushDone != nil {
+		c.onFlushDone(id)
+	}
+}
+
+func TestFlushCompletesOnTree(t *testing.T) {
+	h := newHarness(t, lineTopo(6), routing.StrategySimple)
+	done := map[uint64]bool{}
+	h.brokers["A"].Use(&capturePlugin{onFlushDone: func(id uint64) { done[id] = true }})
+	id := h.brokers["A"].StartFlush()
+	if done[id] {
+		t.Error("flush must not complete before acks return")
+	}
+	h.pump()
+	if !done[id] {
+		t.Error("flush should complete after pump")
+	}
+}
+
+func TestFlushSingletonBroker(t *testing.T) {
+	topo := Topology{Edges: [][2]message.NodeID{{"A", "B"}}}
+	h := newHarness(t, topo, routing.StrategySimple)
+	// Detach B from A to simulate a leafless origin: use a 2-node tree and
+	// flush from the leaf; the wave is one hop out, one ack back.
+	done := false
+	h.brokers["B"].Use(&capturePlugin{onFlushDone: func(uint64) { done = true }})
+	h.brokers["B"].StartFlush()
+	h.pump()
+	if !done {
+		t.Error("flush on 2-node tree should complete")
+	}
+}
+
+func TestFlushBarriersInFlightPublishes(t *testing.T) {
+	// The guarantee the mobility layer relies on: messages routed before a
+	// flush wave passed arrive at the origin before the wave completes.
+	h := newHarness(t, lineTopo(4), routing.StrategySimple)
+	h.connect("c", "A")
+	h.subscribe("c", "A", "s1", filter.New(filter.Exists("k")))
+	h.connect("p", "D")
+
+	// Enqueue a publish (not yet pumped), then start the flush, then pump
+	// everything: the delivery must precede flush completion.
+	n := message.NewNotification(attrInt("k", 1))
+	n.ID = message.NotificationID{Publisher: "p", Seq: 1}
+	h.brokers["D"].HandleMessage("p", proto.Message{Kind: proto.KPublish, Note: &n})
+
+	deliveredBeforeFlush := false
+	h.brokers["A"].Use(&capturePlugin{onFlushDone: func(uint64) {
+		deliveredBeforeFlush = len(h.delivered("c")) == 1
+	}})
+	h.brokers["A"].StartFlush()
+	h.pump()
+	if !deliveredBeforeFlush {
+		t.Error("in-flight publish should arrive before flush completion")
+	}
+}
+
+func TestAttachDetachPorts(t *testing.T) {
+	h := newHarness(t, lineTopo(2), routing.StrategySimple)
+	b := h.brokers["A"]
+	h.connect("c", "A")
+	if !b.HasPort("c") {
+		t.Error("connect should attach port")
+	}
+	b.HandleMessage("c", proto.Message{Kind: proto.KDisconnect, Client: "c"})
+	if b.HasPort("c") {
+		t.Error("disconnect should detach port")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	h := newHarness(t, lineTopo(3), routing.StrategySimple)
+	h.connect("c", "C")
+	h.subscribe("c", "C", "s1", filter.New(filter.Exists("k")))
+	h.connect("p", "A")
+	h.publish("p", "A", 1, attrInt("k", 1))
+	a, c := h.brokers["A"].Stats(), h.brokers["C"].Stats()
+	if a.PublishesRouted != 1 || a.Forwarded != 1 {
+		t.Errorf("A stats = %+v", a)
+	}
+	if c.Delivered != 1 {
+		t.Errorf("C stats = %+v", c)
+	}
+	if c.SubsProcessed == 0 {
+		t.Error("C should have processed the subscription")
+	}
+}
+
+func TestPluginInterceptsDeliver(t *testing.T) {
+	h := newHarness(t, lineTopo(2), routing.StrategySimple)
+	var intercepted []message.Notification
+	h.brokers["B"].Use(&capturePlugin{onDeliver: func(port message.NodeID, n message.Notification) bool {
+		intercepted = append(intercepted, n)
+		return true
+	}})
+	h.connect("c", "B")
+	h.subscribe("c", "B", "s1", filter.New(filter.Exists("k")))
+	h.connect("p", "A")
+	h.publish("p", "A", 1, attrInt("k", 1))
+	if len(intercepted) != 1 {
+		t.Fatalf("plugin intercepted %d", len(intercepted))
+	}
+	if len(h.delivered("c")) != 0 {
+		t.Error("interception must suppress delivery")
+	}
+	if h.brokers["B"].Stats().Intercepted != 1 {
+		t.Error("interception not counted")
+	}
+}
+
+func TestBrokerDefaults(t *testing.T) {
+	b := New(Config{ID: "X", Send: func(message.NodeID, proto.Message) {}})
+	if b.Router().Strategy() != routing.StrategySimple {
+		t.Error("default strategy should be simple")
+	}
+	if b.Now().IsZero() {
+		t.Error("default clock should be wall time")
+	}
+	if b.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestBrokerPanicsWithoutSend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New without Send should panic")
+		}
+	}()
+	New(Config{ID: "X"})
+}

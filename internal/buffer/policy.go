@@ -1,0 +1,291 @@
+// Package buffer implements the notification buffering schemes of §4
+// ("Embedding event histories"): time-based, history-based (last-n), their
+// combination, and semantic-based nullification, plus the shared per-broker
+// buffer with digest-holding virtual clients that the research agenda
+// proposes to reduce redundant memory.
+//
+// Buffering virtual clients use a Policy to record location-relevant
+// notifications while no real client is attached; on handover the buffer is
+// replayed, giving the arriving client the "subscription in the past"
+// semantics (§3.1).
+package buffer
+
+import (
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// Policy is a garbage-collected notification buffer. Implementations are
+// not safe for concurrent use; each virtual client owns its policy and is
+// driven from a single broker event loop.
+type Policy interface {
+	// Add records a notification observed at the given (virtual) time.
+	Add(n message.Notification, now time.Time)
+	// Snapshot returns the live buffer contents in arrival order after
+	// garbage-collecting entries expired at `now`. The returned slice is
+	// owned by the caller.
+	Snapshot(now time.Time) []message.Notification
+	// Len returns the current number of buffered notifications (without
+	// forcing a GC pass).
+	Len() int
+	// Bytes approximates resident buffer memory, for experiment E7/E8.
+	Bytes() int
+	// Clear drops all contents.
+	Clear()
+}
+
+// Factory creates one Policy per virtual client.
+type Factory func() Policy
+
+// entry pairs a notification with its arrival time.
+type entry struct {
+	n  message.Notification
+	at time.Time
+}
+
+// --- Unbounded ---------------------------------------------------------
+
+// Unbounded buffers everything forever. It is the reference policy for
+// correctness tests and the degenerate upper bound in E7.
+type Unbounded struct {
+	entries []entry
+}
+
+// NewUnbounded returns an empty unbounded buffer.
+func NewUnbounded() *Unbounded { return &Unbounded{} }
+
+// Add implements Policy.
+func (u *Unbounded) Add(n message.Notification, now time.Time) {
+	u.entries = append(u.entries, entry{n: n, at: now})
+}
+
+// Snapshot implements Policy.
+func (u *Unbounded) Snapshot(time.Time) []message.Notification { return collect(u.entries) }
+
+// Len implements Policy.
+func (u *Unbounded) Len() int { return len(u.entries) }
+
+// Bytes implements Policy.
+func (u *Unbounded) Bytes() int { return bytesOf(u.entries) }
+
+// Clear implements Policy.
+func (u *Unbounded) Clear() { u.entries = nil }
+
+// --- Time-based --------------------------------------------------------
+
+// TimeBased keeps notifications published within the last TTL: "all
+// notifications published more than t seconds ago are deleted" (§4).
+type TimeBased struct {
+	ttl     time.Duration
+	entries []entry
+}
+
+// NewTimeBased returns a time-based buffer with the given TTL.
+func NewTimeBased(ttl time.Duration) *TimeBased { return &TimeBased{ttl: ttl} }
+
+// Add implements Policy. Adding also garbage-collects, keeping resident
+// memory proportional to the live window.
+func (t *TimeBased) Add(n message.Notification, now time.Time) {
+	t.gc(now)
+	t.entries = append(t.entries, entry{n: n, at: now})
+}
+
+// Snapshot implements Policy.
+func (t *TimeBased) Snapshot(now time.Time) []message.Notification {
+	t.gc(now)
+	return collect(t.entries)
+}
+
+// Len implements Policy.
+func (t *TimeBased) Len() int { return len(t.entries) }
+
+// Bytes implements Policy.
+func (t *TimeBased) Bytes() int { return bytesOf(t.entries) }
+
+// Clear implements Policy.
+func (t *TimeBased) Clear() { t.entries = nil }
+
+func (t *TimeBased) gc(now time.Time) {
+	cut := now.Add(-t.ttl)
+	i := 0
+	for i < len(t.entries) && t.entries[i].at.Before(cut) {
+		i++
+	}
+	if i > 0 {
+		t.entries = append(t.entries[:0], t.entries[i:]...)
+	}
+}
+
+// --- History-based (last n) ---------------------------------------------
+
+// LastN keeps the most recent n notifications (§4 "history-based").
+type LastN struct {
+	n       int
+	entries []entry
+}
+
+// NewLastN returns a history-based buffer of capacity n.
+func NewLastN(n int) *LastN { return &LastN{n: n} }
+
+// Add implements Policy.
+func (l *LastN) Add(n message.Notification, now time.Time) {
+	l.entries = append(l.entries, entry{n: n, at: now})
+	if len(l.entries) > l.n {
+		drop := len(l.entries) - l.n
+		l.entries = append(l.entries[:0], l.entries[drop:]...)
+	}
+}
+
+// Snapshot implements Policy.
+func (l *LastN) Snapshot(time.Time) []message.Notification { return collect(l.entries) }
+
+// Len implements Policy.
+func (l *LastN) Len() int { return len(l.entries) }
+
+// Bytes implements Policy.
+func (l *LastN) Bytes() int { return bytesOf(l.entries) }
+
+// Clear implements Policy.
+func (l *LastN) Clear() { l.entries = nil }
+
+// --- Combined ------------------------------------------------------------
+
+// Combined applies both a TTL and a count bound ("Both schemes can be
+// combined", §4).
+type Combined struct {
+	ttl     time.Duration
+	n       int
+	entries []entry
+}
+
+// NewCombined returns a buffer bounded by both ttl and n.
+func NewCombined(ttl time.Duration, n int) *Combined {
+	return &Combined{ttl: ttl, n: n}
+}
+
+// Add implements Policy.
+func (c *Combined) Add(n message.Notification, now time.Time) {
+	c.gc(now)
+	c.entries = append(c.entries, entry{n: n, at: now})
+	if len(c.entries) > c.n {
+		drop := len(c.entries) - c.n
+		c.entries = append(c.entries[:0], c.entries[drop:]...)
+	}
+}
+
+// Snapshot implements Policy.
+func (c *Combined) Snapshot(now time.Time) []message.Notification {
+	c.gc(now)
+	return collect(c.entries)
+}
+
+// Len implements Policy.
+func (c *Combined) Len() int { return len(c.entries) }
+
+// Bytes implements Policy.
+func (c *Combined) Bytes() int { return bytesOf(c.entries) }
+
+// Clear implements Policy.
+func (c *Combined) Clear() { c.entries = nil }
+
+func (c *Combined) gc(now time.Time) {
+	cut := now.Add(-c.ttl)
+	i := 0
+	for i < len(c.entries) && c.entries[i].at.Before(cut) {
+		i++
+	}
+	if i > 0 {
+		c.entries = append(c.entries[:0], c.entries[i:]...)
+	}
+}
+
+// --- Semantic ------------------------------------------------------------
+
+// NullifyFunc reports whether a new notification supersedes an old one
+// (e.g. a fresh menu for the same restaurant), in the spirit of
+// semantically reliable multicast [17].
+type NullifyFunc func(newer, older message.Notification) bool
+
+// Semantic drops buffered notifications nullified by newer ones (§4
+// "semantic-based"). An optional count cap bounds the residual buffer.
+type Semantic struct {
+	nullifies NullifyFunc
+	cap       int // 0 = unbounded
+	entries   []entry
+}
+
+// NewSemantic returns a semantic buffer. cap of 0 means unbounded.
+func NewSemantic(f NullifyFunc, cap int) *Semantic {
+	return &Semantic{nullifies: f, cap: cap}
+}
+
+// NullifyByKey nullifies older notifications that share the given
+// attributes' values with the newer one — the common "latest state per key"
+// scheme (latest temperature per room, latest menu per restaurant).
+func NullifyByKey(attrs ...string) NullifyFunc {
+	return func(newer, older message.Notification) bool {
+		for _, a := range attrs {
+			nv, nok := newer.Get(a)
+			ov, ook := older.Get(a)
+			if !nok || !ook || !nv.Equal(ov) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Add implements Policy.
+func (s *Semantic) Add(n message.Notification, now time.Time) {
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if !s.nullifies(n, e.n) {
+			kept = append(kept, e)
+		}
+	}
+	s.entries = append(kept, entry{n: n, at: now})
+	if s.cap > 0 && len(s.entries) > s.cap {
+		drop := len(s.entries) - s.cap
+		s.entries = append(s.entries[:0], s.entries[drop:]...)
+	}
+}
+
+// Snapshot implements Policy.
+func (s *Semantic) Snapshot(time.Time) []message.Notification { return collect(s.entries) }
+
+// Len implements Policy.
+func (s *Semantic) Len() int { return len(s.entries) }
+
+// Bytes implements Policy.
+func (s *Semantic) Bytes() int { return bytesOf(s.entries) }
+
+// Clear implements Policy.
+func (s *Semantic) Clear() { s.entries = nil }
+
+// --- helpers ---------------------------------------------------------
+
+func collect(es []entry) []message.Notification {
+	out := make([]message.Notification, len(es))
+	for i, e := range es {
+		out[i] = e.n
+	}
+	return out
+}
+
+func bytesOf(es []entry) int {
+	total := 0
+	for _, e := range es {
+		total += e.n.WireSize()
+	}
+	return total
+}
+
+// Compile-time interface checks.
+var (
+	_ Policy = (*Unbounded)(nil)
+	_ Policy = (*TimeBased)(nil)
+	_ Policy = (*LastN)(nil)
+	_ Policy = (*Combined)(nil)
+	_ Policy = (*Semantic)(nil)
+)

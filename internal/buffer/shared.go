@@ -1,0 +1,156 @@
+package buffer
+
+import (
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// Shared is the per-border-broker shared notification store of §4: "A
+// shared buffer at the border broker can be used and virtual clients can
+// keep only the digest (e.g., IDs or hash) of the events. … the events can
+// be garbage collected … when none of the virtual clients need them."
+//
+// Virtual clients hold Digest views; each Add refs the stored notification
+// once, and Clear/Drop unref it. A notification's storage is freed when its
+// refcount reaches zero.
+type Shared struct {
+	store map[message.NotificationID]*sharedEntry
+}
+
+type sharedEntry struct {
+	n    message.Notification
+	at   time.Time
+	refs int
+}
+
+// NewShared returns an empty shared store.
+func NewShared() *Shared {
+	return &Shared{store: make(map[message.NotificationID]*sharedEntry)}
+}
+
+// put inserts or refs a notification.
+func (s *Shared) put(n message.Notification, now time.Time) {
+	if e, ok := s.store[n.ID]; ok {
+		e.refs++
+		return
+	}
+	s.store[n.ID] = &sharedEntry{n: n, at: now, refs: 1}
+}
+
+// unref decrements a notification's refcount, freeing it at zero.
+func (s *Shared) unref(id message.NotificationID) {
+	e, ok := s.store[id]
+	if !ok {
+		return
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(s.store, id)
+	}
+}
+
+// get fetches a stored notification by digest.
+func (s *Shared) get(id message.NotificationID) (message.Notification, bool) {
+	e, ok := s.store[id]
+	if !ok {
+		return message.Notification{}, false
+	}
+	return e.n, true
+}
+
+// Len returns the number of distinct stored notifications.
+func (s *Shared) Len() int { return len(s.store) }
+
+// Bytes approximates resident memory of the store: one copy per distinct
+// notification regardless of how many virtual clients reference it.
+func (s *Shared) Bytes() int {
+	total := 0
+	for _, e := range s.store {
+		total += e.n.WireSize()
+	}
+	return total
+}
+
+// NewDigest returns a digest view over the shared store whose retention
+// follows the given TTL and count bounds (0 disables either bound).
+func (s *Shared) NewDigest(ttl time.Duration, n int) *Digest {
+	return &Digest{shared: s, ttl: ttl, cap: n}
+}
+
+// Digest is a virtual client's view onto a Shared store: it holds only
+// notification IDs plus timestamps; content lives once in the store.
+// Digest implements Policy, so virtual clients can use shared and private
+// buffering interchangeably (experiment E8 compares them).
+type Digest struct {
+	shared *Shared
+	ttl    time.Duration // 0 = no TTL
+	cap    int           // 0 = no count bound
+	ids    []digestEntry
+}
+
+type digestEntry struct {
+	id message.NotificationID
+	at time.Time
+}
+
+// Add implements Policy.
+func (d *Digest) Add(n message.Notification, now time.Time) {
+	d.gc(now)
+	d.shared.put(n, now)
+	d.ids = append(d.ids, digestEntry{id: n.ID, at: now})
+	if d.cap > 0 && len(d.ids) > d.cap {
+		drop := len(d.ids) - d.cap
+		for _, e := range d.ids[:drop] {
+			d.shared.unref(e.id)
+		}
+		d.ids = append(d.ids[:0], d.ids[drop:]...)
+	}
+}
+
+// Snapshot implements Policy, fetching contents back from the store.
+func (d *Digest) Snapshot(now time.Time) []message.Notification {
+	d.gc(now)
+	out := make([]message.Notification, 0, len(d.ids))
+	for _, e := range d.ids {
+		if n, ok := d.shared.get(e.id); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Len implements Policy.
+func (d *Digest) Len() int { return len(d.ids) }
+
+// Bytes implements Policy: a digest's own footprint is just IDs. The shared
+// content is accounted once via Shared.Bytes.
+func (d *Digest) Bytes() int {
+	const idSize = 24 // publisher ref + seq + timestamp
+	return len(d.ids) * idSize
+}
+
+// Clear implements Policy, releasing all references.
+func (d *Digest) Clear() {
+	for _, e := range d.ids {
+		d.shared.unref(e.id)
+	}
+	d.ids = nil
+}
+
+func (d *Digest) gc(now time.Time) {
+	if d.ttl == 0 {
+		return
+	}
+	cut := now.Add(-d.ttl)
+	i := 0
+	for i < len(d.ids) && d.ids[i].at.Before(cut) {
+		d.shared.unref(d.ids[i].id)
+		i++
+	}
+	if i > 0 {
+		d.ids = append(d.ids[:0], d.ids[i:]...)
+	}
+}
+
+var _ Policy = (*Digest)(nil)

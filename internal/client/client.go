@@ -1,0 +1,233 @@
+// Package client implements the client-side library of Fig. 3: the local
+// broker embedded in the application process. It offers the pub/sub
+// interface (pub, sub, unsub, notify — §2), keeps the subscription profile
+// across roaming, tracks connection state ("connection awareness"), and
+// deduplicates deliveries by notification ID so the mobility layers may err
+// toward duplication, never loss.
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// Delivery records one received notification with its arrival time.
+type Delivery struct {
+	Note message.Notification
+	At   time.Time
+}
+
+// Client is a (possibly mobile) pub/sub client. Not safe for concurrent
+// use; drive it from the simulator loop or a single goroutine.
+type Client struct {
+	id   message.NodeID
+	send func(to message.NodeID, m proto.Message)
+	now  func() time.Time
+
+	border    message.NodeID
+	prev      message.NodeID
+	connected bool
+
+	subs      []proto.Subscription
+	nextSubID int
+	pubSeq    uint64
+	epoch     uint64
+
+	received []Delivery
+	seen     map[message.NotificationID]bool
+	dups     int
+
+	// OnNotify, when set, observes every fresh delivery.
+	OnNotify func(n message.Notification)
+}
+
+// New builds a client. send transmits to the named node (the border broker
+// while connected); now supplies (virtual) time.
+func New(id message.NodeID, send func(to message.NodeID, m proto.Message), now func() time.Time) *Client {
+	if now == nil {
+		now = time.Now
+	}
+	return &Client{
+		id:   id,
+		send: send,
+		now:  now,
+		seen: make(map[message.NotificationID]bool),
+	}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() message.NodeID { return c.id }
+
+// Connected reports connection state.
+func (c *Client) Connected() bool { return c.connected }
+
+// Border returns the current border broker ("" while disconnected).
+func (c *Client) Border() message.NodeID {
+	if !c.connected {
+		return ""
+	}
+	return c.border
+}
+
+// ConnectTo attaches the client to a border broker, announcing the previous
+// border and the full subscription profile (used by relocation and by the
+// replicator's exception mode).
+func (c *Client) ConnectTo(b message.NodeID) {
+	if c.connected {
+		c.Disconnect()
+	}
+	c.border = b
+	c.connected = true
+	c.epoch++
+	c.send(b, proto.Message{
+		Kind:   proto.KConnect,
+		Client: c.id,
+		Origin: c.prev,
+		Subs:   append([]proto.Subscription(nil), c.subs...),
+		Epoch:  c.epoch,
+	})
+	c.prev = b
+}
+
+// Disconnect drops the wireless link (power saving, leaving a cell).
+func (c *Client) Disconnect() {
+	if !c.connected {
+		return
+	}
+	c.send(c.border, proto.Message{Kind: proto.KDisconnect, Client: c.id})
+	c.connected = false
+}
+
+// Subscribe registers interest and returns the subscription's ID. The
+// subscription joins the roaming profile; while disconnected it is merely
+// recorded and issued on the next connect.
+func (c *Client) Subscribe(f filter.Filter) message.SubID {
+	c.nextSubID++
+	id := message.SubID(fmt.Sprintf("%s/s%d", c.id, c.nextSubID))
+	sub := proto.Subscription{ID: id, Filter: f}
+	c.subs = append(c.subs, sub)
+	if c.connected {
+		c.send(c.border, proto.Message{Kind: proto.KSubscribe, Client: c.id, Sub: &sub})
+	}
+	return id
+}
+
+// SubscribeAt is a convenience for location-dependent subscriptions: it
+// appends the myloc marker (§1).
+func (c *Client) SubscribeAt(cs ...filter.Constraint) message.SubID {
+	return c.Subscribe(filter.AtLocation(cs...))
+}
+
+// Unsubscribe withdraws a subscription.
+func (c *Client) Unsubscribe(id message.SubID) {
+	for i, s := range c.subs {
+		if s.ID != id {
+			continue
+		}
+		sub := s
+		c.subs = append(c.subs[:i], c.subs[i+1:]...)
+		if c.connected {
+			c.send(c.border, proto.Message{Kind: proto.KUnsubscribe, Client: c.id, Sub: &sub})
+		}
+		return
+	}
+}
+
+// Subscriptions returns a copy of the profile.
+func (c *Client) Subscriptions() []proto.Subscription {
+	return append([]proto.Subscription(nil), c.subs...)
+}
+
+// Advertise announces the notification space this client will publish
+// into (advertisement-based routing). Returns the advertisement's ID.
+func (c *Client) Advertise(f filter.Filter) message.SubID {
+	c.nextSubID++
+	id := message.SubID(fmt.Sprintf("%s/a%d", c.id, c.nextSubID))
+	adv := proto.Subscription{ID: id, Filter: f}
+	if c.connected {
+		c.send(c.border, proto.Message{Kind: proto.KAdvertise, Client: c.id, Sub: &adv})
+	}
+	return id
+}
+
+// Unadvertise withdraws an advertisement.
+func (c *Client) Unadvertise(id message.SubID) {
+	if c.connected {
+		adv := proto.Subscription{ID: id}
+		c.send(c.border, proto.Message{Kind: proto.KUnadvertise, Client: c.id, Sub: &adv})
+	}
+}
+
+// Publish emits a notification and returns its assigned ID. Publishing
+// requires a connection (the wire is the border broker).
+func (c *Client) Publish(attrs map[string]message.Value) (message.NotificationID, bool) {
+	if !c.connected {
+		return message.NotificationID{}, false
+	}
+	c.pubSeq++
+	n := message.NewNotification(attrs)
+	n.ID = message.NotificationID{Publisher: c.id, Seq: c.pubSeq}
+	n.Published = c.now()
+	c.send(c.border, proto.Message{Kind: proto.KPublish, Client: c.id, Note: &n})
+	return n.ID, true
+}
+
+// Receive is the client's network endpoint: it accepts KDeliver messages,
+// deduplicates them by notification ID and records fresh ones.
+func (c *Client) Receive(_ message.NodeID, m proto.Message) {
+	if m.Kind != proto.KDeliver || m.Note == nil {
+		return
+	}
+	n := *m.Note
+	if !n.ID.IsZero() {
+		if c.seen[n.ID] {
+			c.dups++
+			return
+		}
+		c.seen[n.ID] = true
+	}
+	c.received = append(c.received, Delivery{Note: n, At: c.now()})
+	if c.OnNotify != nil {
+		c.OnNotify(n)
+	}
+}
+
+// Received returns all recorded deliveries in arrival order.
+func (c *Client) Received() []Delivery {
+	return append([]Delivery(nil), c.received...)
+}
+
+// ReceivedNotes returns just the notifications, in arrival order.
+func (c *Client) ReceivedNotes() []message.Notification {
+	out := make([]message.Notification, len(c.received))
+	for i, d := range c.received {
+		out[i] = d.Note
+	}
+	return out
+}
+
+// Duplicates returns the number of duplicate deliveries suppressed.
+func (c *Client) Duplicates() int { return c.dups }
+
+// FIFOViolations counts per-publisher sequence inversions in the delivery
+// order — zero under the transparent relocation protocol.
+func (c *Client) FIFOViolations() int {
+	last := make(map[message.NodeID]uint64)
+	v := 0
+	for _, d := range c.received {
+		id := d.Note.ID
+		if id.IsZero() {
+			continue
+		}
+		if id.Seq < last[id.Publisher] {
+			v++
+		} else {
+			last[id.Publisher] = id.Seq
+		}
+	}
+	return v
+}

@@ -1,0 +1,212 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+type sent struct {
+	to message.NodeID
+	m  proto.Message
+}
+
+func newTestClient(id message.NodeID) (*Client, *[]sent) {
+	var log []sent
+	c := New(id, func(to message.NodeID, m proto.Message) {
+		log = append(log, sent{to: to, m: m})
+	}, func() time.Time { return time.Date(2003, 6, 16, 12, 0, 0, 0, time.UTC) })
+	// note: closure captures log by reference via pointer return
+	return c, &log
+}
+
+func TestClientConnectCarriesProfileAndPrev(t *testing.T) {
+	c, log := newTestClient("alice")
+	c.Subscribe(filter.New(filter.Eq("s", message.String("stock"))))
+	c.ConnectTo("B1")
+	c.Disconnect()
+	c.ConnectTo("B2")
+
+	var connects []proto.Message
+	for _, s := range *log {
+		if s.m.Kind == proto.KConnect {
+			connects = append(connects, s.m)
+		}
+	}
+	if len(connects) != 2 {
+		t.Fatalf("connects = %d", len(connects))
+	}
+	if connects[0].Origin != "" {
+		t.Errorf("first connect prev = %q, want empty", connects[0].Origin)
+	}
+	if connects[1].Origin != "B1" {
+		t.Errorf("second connect prev = %q, want B1", connects[1].Origin)
+	}
+	if len(connects[1].Subs) != 1 {
+		t.Errorf("profile not announced: %v", connects[1].Subs)
+	}
+}
+
+func TestClientConnectImpliesDisconnect(t *testing.T) {
+	c, log := newTestClient("alice")
+	c.ConnectTo("B1")
+	c.ConnectTo("B2") // no explicit disconnect
+	kinds := []proto.Kind{}
+	for _, s := range *log {
+		kinds = append(kinds, s.m.Kind)
+	}
+	want := []proto.Kind{proto.KConnect, proto.KDisconnect, proto.KConnect}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if (*log)[1].to != "B1" {
+		t.Error("implicit disconnect should target the old border")
+	}
+}
+
+func TestClientSubscribeWhileDisconnectedDefers(t *testing.T) {
+	c, log := newTestClient("alice")
+	c.Subscribe(filter.All())
+	if len(*log) != 0 {
+		t.Error("offline subscribe must not send")
+	}
+	c.ConnectTo("B1")
+	// Profile travels with the connect.
+	if (*log)[0].m.Kind != proto.KConnect || len((*log)[0].m.Subs) != 1 {
+		t.Error("profile should be announced on connect")
+	}
+}
+
+func TestClientSubscribeOnlineSends(t *testing.T) {
+	c, log := newTestClient("alice")
+	c.ConnectTo("B1")
+	id := c.Subscribe(filter.All())
+	last := (*log)[len(*log)-1]
+	if last.m.Kind != proto.KSubscribe || last.m.Sub.ID != id {
+		t.Errorf("subscribe message wrong: %+v", last.m)
+	}
+	if last.to != "B1" {
+		t.Error("subscribe should target border")
+	}
+}
+
+func TestClientUnsubscribe(t *testing.T) {
+	c, log := newTestClient("alice")
+	c.ConnectTo("B1")
+	id := c.Subscribe(filter.All())
+	c.Unsubscribe(id)
+	last := (*log)[len(*log)-1]
+	if last.m.Kind != proto.KUnsubscribe || last.m.Sub.ID != id {
+		t.Errorf("unsubscribe message wrong: %+v", last.m)
+	}
+	if len(c.Subscriptions()) != 0 {
+		t.Error("profile should shrink")
+	}
+	c.Unsubscribe("nope") // unknown: no panic, no send
+}
+
+func TestClientSubscribeAtAddsMyloc(t *testing.T) {
+	c, _ := newTestClient("alice")
+	c.SubscribeAt(filter.Eq("service", message.String("temperature")))
+	subs := c.Subscriptions()
+	if len(subs) != 1 || !subs[0].Filter.LocationDependent() {
+		t.Error("SubscribeAt should create a location-dependent filter")
+	}
+}
+
+func TestClientPublishStampsIDs(t *testing.T) {
+	c, log := newTestClient("alice")
+	if _, ok := c.Publish(map[string]message.Value{"k": message.Int(1)}); ok {
+		t.Error("offline publish should fail")
+	}
+	c.ConnectTo("B1")
+	id1, ok1 := c.Publish(map[string]message.Value{"k": message.Int(1)})
+	id2, ok2 := c.Publish(map[string]message.Value{"k": message.Int(2)})
+	if !ok1 || !ok2 {
+		t.Fatal("online publish failed")
+	}
+	if id1.Publisher != "alice" || id1.Seq != 1 || id2.Seq != 2 {
+		t.Errorf("ids = %v, %v", id1, id2)
+	}
+	last := (*log)[len(*log)-1]
+	if last.m.Kind != proto.KPublish || last.m.Note.ID != id2 {
+		t.Errorf("publish message wrong: %+v", last.m)
+	}
+	if last.m.Note.Published.IsZero() {
+		t.Error("publish should stamp time")
+	}
+}
+
+func deliver(c *Client, pub message.NodeID, seq uint64) {
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(int64(seq))})
+	n.ID = message.NotificationID{Publisher: pub, Seq: seq}
+	c.Receive("B1", proto.Message{Kind: proto.KDeliver, Note: &n})
+}
+
+func TestClientDeduplicates(t *testing.T) {
+	c, _ := newTestClient("alice")
+	deliver(c, "p", 1)
+	deliver(c, "p", 1)
+	deliver(c, "p", 2)
+	if got := len(c.Received()); got != 2 {
+		t.Errorf("received = %d, want 2", got)
+	}
+	if c.Duplicates() != 1 {
+		t.Errorf("duplicates = %d, want 1", c.Duplicates())
+	}
+}
+
+func TestClientFIFOViolations(t *testing.T) {
+	c, _ := newTestClient("alice")
+	deliver(c, "p", 1)
+	deliver(c, "p", 3)
+	deliver(c, "p", 2) // inversion
+	deliver(c, "q", 1) // different publisher: fine
+	if got := c.FIFOViolations(); got != 1 {
+		t.Errorf("violations = %d, want 1", got)
+	}
+}
+
+func TestClientOnNotifyCallback(t *testing.T) {
+	c, _ := newTestClient("alice")
+	var seen []uint64
+	c.OnNotify = func(n message.Notification) { seen = append(seen, n.ID.Seq) }
+	deliver(c, "p", 1)
+	deliver(c, "p", 1) // dup: no callback
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Errorf("OnNotify saw %v", seen)
+	}
+}
+
+func TestClientIgnoresNonDeliver(t *testing.T) {
+	c, _ := newTestClient("alice")
+	c.Receive("B1", proto.Message{Kind: proto.KPublish})
+	c.Receive("B1", proto.Message{Kind: proto.KDeliver}) // nil note
+	if len(c.Received()) != 0 {
+		t.Error("non-deliveries recorded")
+	}
+}
+
+func TestClientBorderReporting(t *testing.T) {
+	c, _ := newTestClient("alice")
+	if c.Border() != "" || c.Connected() {
+		t.Error("fresh client should be disconnected")
+	}
+	c.ConnectTo("B1")
+	if c.Border() != "B1" || !c.Connected() {
+		t.Error("border not tracked")
+	}
+	c.Disconnect()
+	if c.Border() != "" || c.Connected() {
+		t.Error("disconnect not tracked")
+	}
+	c.Disconnect() // idempotent
+}

@@ -1,0 +1,139 @@
+// Tests for context-dependent ("state-dependent") subscriptions, the §4
+// research-agenda generalization of myloc: a context resolver per broker
+// turns ctx markers into concrete membership sets, and the replicator
+// pre-subscribes them at nlb just like location-dependent filters.
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/location"
+	"rebeca/internal/message"
+	"rebeca/internal/movement"
+	"rebeca/internal/sim"
+)
+
+// newContextCorridor deploys a 3-broker line where each broker's "network"
+// context is its own cell name plus "roaming".
+func newContextCorridor(t *testing.T) *sim.Cluster {
+	t.Helper()
+	g := movement.Line(3)
+	cl, err := sim.NewCluster(sim.ClusterConfig{
+		Movement:    g,
+		Locations:   location.Regions(g.Nodes()),
+		Replication: sim.ReplicationPreSubscribe,
+		Mobility:    sim.MobilityTransparent,
+		Context: func(b message.NodeID) filter.ContextResolver {
+			return func(attr, name string) []message.Value {
+				if attr == "network" && name == "mynet" {
+					return []message.Value{
+						message.String("cell-" + string(b)),
+						message.String("roaming"),
+					}
+				}
+				return nil
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestContextDependentSubscription(t *testing.T) {
+	cl := newContextCorridor(t)
+	mob := cl.AddClient("mob")
+	mob.ConnectTo("B0")
+	mob.Subscribe(filter.New(
+		filter.Eq("service", message.String("tariff")),
+		filter.Context("network", "mynet"),
+	))
+	cl.Net.Run()
+
+	pub := cl.AddClient("pub")
+	pub.ConnectTo("B1")
+	publish := func(network string) {
+		pub.Publish(map[string]message.Value{
+			"service": message.String("tariff"),
+			"network": message.String(network),
+		})
+		cl.Net.Run()
+	}
+
+	// The client's current context (cell-B0) matches; a foreign cell not.
+	publish("cell-B0")
+	publish("cell-B2")
+	if got := len(mob.Received()); got != 1 {
+		t.Fatalf("received %d, want 1 (own cell only)", got)
+	}
+	// The shared "roaming" context value matches everywhere.
+	publish("roaming")
+	if got := len(mob.Received()); got != 2 {
+		t.Fatalf("received %d, want 2", got)
+	}
+
+	// Pre-subscription: a tariff for cell-B1 published before arrival is
+	// buffered by B1's replica and replayed on arrival — context adapts
+	// exactly like myloc.
+	publish("cell-B1")
+	if got := len(mob.Received()); got != 2 {
+		t.Fatalf("cell-B1 tariff delivered too early (%d)", got)
+	}
+	mob.Disconnect()
+	cl.Net.RunFor(2 * time.Millisecond)
+	mob.ConnectTo("B1")
+	cl.Net.Run()
+	if got := len(mob.Received()); got != 3 {
+		t.Fatalf("after arrival received %d, want 3 (replayed cell-B1 tariff)", got)
+	}
+}
+
+func TestContextMarkerNeverMatchesUnresolved(t *testing.T) {
+	f := filter.New(filter.Context("network", "mynet"))
+	if !f.ContextDependent() || !f.Dynamic() {
+		t.Fatal("context marker not detected")
+	}
+	n := message.NewNotification(map[string]message.Value{
+		"network": message.String("anything"),
+	})
+	if f.Matches(n) {
+		t.Error("unresolved context marker must not match")
+	}
+	r := f.ResolveContext(func(attr, name string) []message.Value {
+		return []message.Value{message.String("anything")}
+	})
+	if r.Dynamic() {
+		t.Error("resolved filter should not be dynamic")
+	}
+	if !r.Matches(n) {
+		t.Error("resolved context should match")
+	}
+}
+
+func TestContextAndLocationCompose(t *testing.T) {
+	f := filter.AtLocation(
+		filter.Eq("service", message.String("x")),
+		filter.Context("network", "mynet"),
+	)
+	if !f.LocationDependent() || !f.ContextDependent() {
+		t.Fatal("composed markers not detected")
+	}
+	resolved := f.ResolveMyloc([]string{"here"}).ResolveContext(
+		func(attr, name string) []message.Value {
+			return []message.Value{message.String("net1")}
+		})
+	if resolved.Dynamic() {
+		t.Error("both markers should be resolved")
+	}
+	n := message.NewNotification(map[string]message.Value{
+		"service":  message.String("x"),
+		"location": message.String("here"),
+		"network":  message.String("net1"),
+	})
+	if !resolved.Matches(n) {
+		t.Error("composed resolution broken")
+	}
+}

@@ -1,0 +1,126 @@
+// debugtrace replays one stress seed with full protocol tracing — a
+// development aid for the relocation protocol, mirroring
+// internal/sim/stress_test.go's chaos generator. Select with SEED and WHO
+// environment variables.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/movement"
+	"rebeca/internal/proto"
+	"rebeca/internal/sim"
+)
+
+func main() {
+	seed := int64(8)
+	if s := os.Getenv("SEED"); s != "" {
+		v, _ := strconv.Atoi(s)
+		seed = int64(v)
+	}
+	who := os.Getenv("WHO")
+	if who == "" {
+		who = "mob1"
+	}
+	var jitter time.Duration
+	if j := os.Getenv("JITTER"); j != "" {
+		jitter, _ = time.ParseDuration(j)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := movement.Grid(3, 3)
+	cl, _ := sim.NewCluster(sim.ClusterConfig{
+		Movement:      g,
+		Mobility:      sim.MobilityTransparent,
+		Replication:   sim.ReplicationPreSubscribe,
+		LinkLatency:   time.Millisecond,
+		LatencyJitter: jitter,
+		JitterSeed:    seed * 31,
+	})
+	net := cl.Net
+	start := net.Now()
+	net.Trace = func(at time.Time, from, to message.NodeID, m proto.Message) {
+		switch m.Kind {
+		case proto.KConnect, proto.KDisconnect, proto.KRelocReq, proto.KRelocProfile,
+			proto.KRelocActivate, proto.KRelocTail:
+			if m.Dest != "" && to != m.Dest {
+				return // transit hop
+			}
+			concerned := m.Client == message.NodeID(who) || from == message.NodeID(who)
+			if concerned {
+				fmt.Printf("%6.1fms  %-14s %s->%s epoch=%d stale=%v\n",
+					float64(at.Sub(start).Microseconds())/1000, m.Kind, from, to, m.Epoch, m.Stale)
+			}
+		}
+	}
+
+	brokers := g.Nodes()
+	type mob struct {
+		id  message.NodeID
+		cur message.NodeID
+	}
+	mobiles := make([]*mob, 2)
+	for mi := range mobiles {
+		id := message.NodeID(fmt.Sprintf("mob%d", mi))
+		startB := brokers[rng.Intn(len(brokers))]
+		mobiles[mi] = &mob{id: id, cur: startB}
+		m := cl.AddClient(id)
+		m.ConnectTo(startB)
+		m.Subscribe(filter.New(filter.Eq("stream", message.String("s"))))
+	}
+	net.Run()
+
+	published := 0
+	for p := 0; p < 3; p++ {
+		pub := cl.AddClient(message.NodeID(fmt.Sprintf("pub%d", p)))
+		pub.ConnectTo(brokers[rng.Intn(len(brokers))])
+		interval := time.Duration(1+rng.Intn(3)) * time.Millisecond
+		count := 150 + rng.Intn(100)
+		for i := 1; i <= count; i++ {
+			i := i
+			net.After(time.Duration(i)*interval, func() {
+				pub.Publish(map[string]message.Value{
+					"stream": message.String("s"), "n": message.Int(int64(i)),
+				})
+			})
+		}
+		published += count
+	}
+	for mi := range mobiles {
+		m := cl.Clients[mobiles[mi].id]
+		at := time.Duration(10+rng.Intn(10)) * time.Millisecond
+		cur := mobiles[mi].cur
+		for hop := 0; hop < 25; hop++ {
+			ns := g.Neighbors(cur)
+			next := ns[rng.Intn(len(ns))]
+			if rng.Intn(5) == 0 {
+				next = cur
+			}
+			gap := time.Duration(rng.Intn(6)) * time.Millisecond
+			leave, arrive := at, at+gap
+			net.At(net.Now().Add(leave), func() { m.Disconnect() })
+			net.At(net.Now().Add(arrive), func() { m.ConnectTo(next) })
+			cur = next
+			at = arrive + time.Duration(5+rng.Intn(25))*time.Millisecond
+		}
+	}
+	net.Run()
+
+	m := cl.Clients[message.NodeID(who)]
+	got := map[message.NotificationID]bool{}
+	for _, n := range m.ReceivedNotes() {
+		got[n.ID] = true
+	}
+	fmt.Printf("%s: got %d / %d, border=%s dups=%d fifo=%d\n",
+		who, len(got), published, m.Border(), m.Duplicates(), m.FIFOViolations())
+	for id, mgr := range cl.Managers {
+		if st := mgr.SessionState(message.NodeID(who)); st != "" {
+			fmt.Printf("  session at %s: %s\n", id, st)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package filter
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// GobEncode implements gob.GobEncoder: a filter travels as its constraint
+// list. Constraint has exported fields, and message.Value implements the
+// gob codec interfaces itself.
+func (f Filter) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f.cs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Filter) GobDecode(data []byte) error {
+	var cs []Constraint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cs); err != nil {
+		return err
+	}
+	*f = New(cs...)
+	return nil
+}

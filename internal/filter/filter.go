@@ -1,0 +1,278 @@
+package filter
+
+import (
+	"sort"
+	"strings"
+
+	"rebeca/internal/message"
+)
+
+// AttrLocation is the conventional attribute name carrying a notification's
+// logical location, and the attribute the myloc marker constrains (§1:
+// `(service = "temperature"), (location ∈ myloc)`).
+const AttrLocation = "location"
+
+// Filter is a conjunction of constraints: a notification matches iff it
+// satisfies every constraint. The empty filter matches everything (it is the
+// "true" filter used by the flooding baseline). Filters are immutable after
+// construction; all combinators return new filters.
+type Filter struct {
+	cs []Constraint
+}
+
+// New builds a filter from the given constraints. Constraints are kept in a
+// canonical order (by attribute, then operator, then operand) so that
+// equivalent filters render to identical keys.
+func New(cs ...Constraint) Filter {
+	cp := make([]Constraint, len(cs))
+	copy(cp, cs)
+	sort.SliceStable(cp, func(i, j int) bool {
+		if cp[i].Attr != cp[j].Attr {
+			return cp[i].Attr < cp[j].Attr
+		}
+		if cp[i].Op != cp[j].Op {
+			return cp[i].Op < cp[j].Op
+		}
+		return cp[i].Val.String() < cp[j].Val.String()
+	})
+	return Filter{cs: cp}
+}
+
+// All returns the filter that matches every notification.
+func All() Filter { return Filter{} }
+
+// Constraints returns a copy of the filter's constraints.
+func (f Filter) Constraints() []Constraint {
+	cp := make([]Constraint, len(f.cs))
+	copy(cp, f.cs)
+	return cp
+}
+
+// Len returns the number of constraints.
+func (f Filter) Len() int { return len(f.cs) }
+
+// IsAll reports whether the filter matches everything.
+func (f Filter) IsAll() bool { return len(f.cs) == 0 }
+
+// Matches evaluates the filter against a notification.
+func (f Filter) Matches(n message.Notification) bool {
+	for _, c := range f.cs {
+		if !c.Matches(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether f covers g: every notification matching g also
+// matches f. The check is conservative (may return false for a true
+// covering, never true for a false one): f covers g iff each constraint of
+// f is implied by some constraint of g on the same attribute.
+func (f Filter) Covers(g Filter) bool {
+	for _, c := range f.cs {
+		implied := false
+		for _, d := range g.cs {
+			if c.Covers(d) {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports mutual covering.
+func (f Filter) Equivalent(g Filter) bool { return f.Covers(g) && g.Covers(f) }
+
+// Overlaps reports whether f and g may both match some notification.
+// Conservative in the other direction than Covers: it returns false only
+// when the filters are provably disjoint on some shared attribute.
+func (f Filter) Overlaps(g Filter) bool {
+	for _, c := range f.cs {
+		for _, d := range g.cs {
+			if c.DisjointWith(d) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// And returns the conjunction of two filters.
+func (f Filter) And(g Filter) Filter {
+	return New(append(f.Constraints(), g.Constraints()...)...)
+}
+
+// Key returns a canonical string for the filter, usable as a map key and
+// stable across equivalent constructions. The empty filter's key is "*".
+func (f Filter) Key() string {
+	if len(f.cs) == 0 {
+		return "*"
+	}
+	parts := make([]string, len(f.cs))
+	for i, c := range f.cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// String renders the filter like its Key.
+func (f Filter) String() string { return f.Key() }
+
+// LocationDependent reports whether the filter contains an unresolved myloc
+// marker (§1). Such filters are handled by the logical-mobility machinery
+// and must be resolved before entering a routing table.
+func (f Filter) LocationDependent() bool {
+	for _, c := range f.cs {
+		if c.Op == OpMyloc {
+			return true
+		}
+	}
+	return false
+}
+
+// ResolveMyloc substitutes every myloc marker with a concrete membership
+// constraint over the given location scope. A replica at broker b resolves
+// against b's own scope — which is exactly why buffering virtual clients
+// receive only information relevant to their own location (§3.1).
+func (f Filter) ResolveMyloc(scope []string) Filter {
+	cs := make([]Constraint, 0, len(f.cs))
+	for _, c := range f.cs {
+		if c.Op != OpMyloc {
+			cs = append(cs, c)
+			continue
+		}
+		set := make([]message.Value, len(scope))
+		for i, loc := range scope {
+			set[i] = message.String(loc)
+		}
+		cs = append(cs, Constraint{Attr: c.Attr, Op: OpIn, Set: set})
+	}
+	return New(cs...)
+}
+
+// AtLocation is a convenience constructor for location-dependent filters:
+// it appends the myloc marker on the conventional location attribute.
+func AtLocation(cs ...Constraint) Filter {
+	return New(append(cs, Constraint{Attr: AttrLocation, Op: OpMyloc})...)
+}
+
+// Merge attempts a perfect merger of two filters (routing optimization,
+// §2 "covering and merging"): if the filters are identical except on one
+// attribute whose constraints can be unioned exactly, the merged filter is
+// returned with ok=true. Mergers are exact: the result matches precisely
+// the union of the operands' matches.
+func Merge(f, g Filter) (Filter, bool) {
+	if f.Covers(g) {
+		return f, true
+	}
+	if g.Covers(f) {
+		return g, true
+	}
+	if len(f.cs) != len(g.cs) {
+		return Filter{}, false
+	}
+	diff := -1
+	for i := range f.cs {
+		if f.cs[i].Attr != g.cs[i].Attr {
+			return Filter{}, false
+		}
+		if constraintEqual(f.cs[i], g.cs[i]) {
+			continue
+		}
+		if diff >= 0 {
+			return Filter{}, false // differs on more than one constraint
+		}
+		diff = i
+	}
+	if diff < 0 {
+		return f, true // identical
+	}
+	merged, ok := unionConstraints(f.cs[diff], g.cs[diff])
+	if !ok {
+		return Filter{}, false
+	}
+	cs := f.Constraints()
+	cs[diff] = merged
+	return New(cs...), true
+}
+
+// unionConstraints unions two same-attribute constraints exactly when the
+// union is expressible as a single constraint.
+func unionConstraints(c, d Constraint) (Constraint, bool) {
+	if c.Covers(d) {
+		return c, true
+	}
+	if d.Covers(c) {
+		return d, true
+	}
+	// Eq ∪ Eq, Eq ∪ In, In ∪ In  ->  In.
+	toSet := func(x Constraint) ([]message.Value, bool) {
+		switch x.Op {
+		case OpEq:
+			return []message.Value{x.Val}, true
+		case OpIn:
+			return x.Set, true
+		default:
+			return nil, false
+		}
+	}
+	if cs, ok := toSet(c); ok {
+		if ds, ok := toSet(d); ok {
+			out := make([]message.Value, 0, len(cs)+len(ds))
+			out = append(out, cs...)
+			for _, v := range ds {
+				dup := false
+				for _, w := range out {
+					if w.Equal(v) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					out = append(out, v)
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+			return Constraint{Attr: c.Attr, Op: OpIn, Set: out}, true
+		}
+	}
+	// Overlapping or touching ranges of the same direction are handled by
+	// the Covers fast path above; opposed ranges (x<a ∪ x>b with b<=a)
+	// union to "exists".
+	lowish := func(o Op) bool { return o == OpLt || o == OpLe }
+	highish := func(o Op) bool { return o == OpGt || o == OpGe }
+	lo, hi := c, d
+	if highish(c.Op) && lowish(d.Op) {
+		lo, hi = d, c
+	}
+	if lowish(lo.Op) && highish(hi.Op) {
+		if cmp, ok := hi.Val.Compare(lo.Val); ok {
+			if cmp < 0 || (cmp == 0 && (lo.Op == OpLe || hi.Op == OpGe)) {
+				return Constraint{Attr: c.Attr, Op: OpExists}, true
+			}
+		}
+	}
+	return Constraint{}, false
+}
+
+func constraintEqual(c, d Constraint) bool {
+	if c.Attr != d.Attr || c.Op != d.Op {
+		return false
+	}
+	if len(c.Set) != len(d.Set) {
+		return false
+	}
+	for i := range c.Set {
+		if !c.Set[i].Equal(d.Set[i]) {
+			return false
+		}
+	}
+	if c.Val.IsValid() != d.Val.IsValid() {
+		return false
+	}
+	return !c.Val.IsValid() || c.Val.Equal(d.Val)
+}

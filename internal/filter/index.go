@@ -1,0 +1,241 @@
+package filter
+
+import (
+	"rebeca/internal/message"
+)
+
+// Index is a predicate-counting matching index over many filters, the
+// standard acceleration for content-based brokers (cf. the matching
+// algorithms evaluated in [16]): equality and membership constraints are
+// hash-indexed per attribute, remaining predicates are grouped per
+// attribute, and a filter matches when its per-notification satisfied-
+// constraint count reaches its constraint total.
+//
+// Filters occupy integer slots so the hot counting path touches only flat
+// slices; the counter buffer is reused across Match calls via a dirty list.
+// Zero-constraint filters (All) are tracked separately and match every
+// notification. The index is not safe for concurrent use.
+type Index struct {
+	// slotOf maps a filter key to its slot.
+	slotOf map[string]int
+	// keys, filters and sizes are slot-indexed; sizes[i] == 0 marks a free
+	// or match-all slot.
+	keys    []string
+	filters []Filter
+	sizes   []int
+	free    []int
+	// all lists slots of match-everything filters.
+	all map[int]bool
+	// eq[attr][valueKey] lists slots with an Eq/In constraint satisfied by
+	// exactly that value.
+	eq map[string]map[string][]int
+	// scan[attr] lists non-hashable constraints on attr with their slot.
+	scan map[string][]scanEntry
+
+	// counts and dirty form the reusable counting buffer.
+	counts []int
+	dirty  []int
+}
+
+type scanEntry struct {
+	slot int
+	c    Constraint
+}
+
+// NewIndex returns an empty matching index.
+func NewIndex() *Index {
+	return &Index{
+		slotOf: make(map[string]int),
+		all:    make(map[int]bool),
+		eq:     make(map[string]map[string][]int),
+		scan:   make(map[string][]scanEntry),
+	}
+}
+
+// Len returns the number of indexed filters.
+func (ix *Index) Len() int { return len(ix.slotOf) }
+
+// Add indexes the filter under the key, replacing any previous filter with
+// the same key.
+func (ix *Index) Add(key string, f Filter) {
+	if _, ok := ix.slotOf[key]; ok {
+		ix.Remove(key)
+	}
+	slot := ix.alloc(key, f)
+	cs := f.Constraints()
+	if len(cs) == 0 {
+		ix.all[slot] = true
+		return
+	}
+	ix.sizes[slot] = len(cs)
+	for _, c := range cs {
+		switch c.Op {
+		case OpEq:
+			ix.addEq(c.Attr, valueKey(c.Val), slot)
+		case OpIn:
+			// A notification carries one value per attribute, so at most
+			// one bucket fires per constraint — provided set members map
+			// to distinct buckets (duplicates are skipped here).
+			seen := make(map[string]bool, len(c.Set))
+			for _, v := range c.Set {
+				vk := valueKey(v)
+				if seen[vk] {
+					continue
+				}
+				seen[vk] = true
+				ix.addEq(c.Attr, vk, slot)
+			}
+		default:
+			ix.scan[c.Attr] = append(ix.scan[c.Attr], scanEntry{slot: slot, c: c})
+		}
+	}
+}
+
+func (ix *Index) alloc(key string, f Filter) int {
+	var slot int
+	if n := len(ix.free); n > 0 {
+		slot = ix.free[n-1]
+		ix.free = ix.free[:n-1]
+		ix.keys[slot] = key
+		ix.filters[slot] = f
+		ix.sizes[slot] = 0
+	} else {
+		slot = len(ix.keys)
+		ix.keys = append(ix.keys, key)
+		ix.filters = append(ix.filters, f)
+		ix.sizes = append(ix.sizes, 0)
+		ix.counts = append(ix.counts, 0)
+	}
+	ix.slotOf[key] = slot
+	return slot
+}
+
+func (ix *Index) addEq(attr, vk string, slot int) {
+	m, ok := ix.eq[attr]
+	if !ok {
+		m = make(map[string][]int)
+		ix.eq[attr] = m
+	}
+	m[vk] = append(m[vk], slot)
+}
+
+func (ix *Index) removeEq(attr, vk string, slot int) {
+	m, ok := ix.eq[attr]
+	if !ok {
+		return
+	}
+	ks := m[vk]
+	for i := 0; i < len(ks); {
+		if ks[i] == slot {
+			ks = append(ks[:i], ks[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	if len(ks) == 0 {
+		delete(m, vk)
+		if len(m) == 0 {
+			delete(ix.eq, attr)
+		}
+	} else {
+		m[vk] = ks
+	}
+}
+
+// Remove drops the filter registered under key.
+func (ix *Index) Remove(key string) {
+	slot, ok := ix.slotOf[key]
+	if !ok {
+		return
+	}
+	f := ix.filters[slot]
+	delete(ix.slotOf, key)
+	delete(ix.all, slot)
+	for _, c := range f.Constraints() {
+		switch c.Op {
+		case OpEq:
+			ix.removeEq(c.Attr, valueKey(c.Val), slot)
+		case OpIn:
+			seen := make(map[string]bool, len(c.Set))
+			for _, v := range c.Set {
+				vk := valueKey(v)
+				if seen[vk] {
+					continue
+				}
+				seen[vk] = true
+				ix.removeEq(c.Attr, vk, slot)
+			}
+		default:
+			es := ix.scan[c.Attr]
+			for i := 0; i < len(es); {
+				if es[i].slot == slot {
+					es = append(es[:i], es[i+1:]...)
+				} else {
+					i++
+				}
+			}
+			if len(es) == 0 {
+				delete(ix.scan, c.Attr)
+			} else {
+				ix.scan[c.Attr] = es
+			}
+		}
+	}
+	ix.keys[slot] = ""
+	ix.filters[slot] = Filter{}
+	ix.sizes[slot] = 0
+	ix.free = append(ix.free, slot)
+}
+
+// Match calls visit for every indexed filter matching the notification.
+// Visit order is unspecified.
+func (ix *Index) Match(n message.Notification, visit func(key string)) {
+	for slot := range ix.all {
+		visit(ix.keys[slot])
+	}
+	bump := func(slot int) {
+		if ix.counts[slot] == 0 {
+			ix.dirty = append(ix.dirty, slot)
+		}
+		ix.counts[slot]++
+	}
+	for attr, v := range n.Attrs {
+		if buckets, ok := ix.eq[attr]; ok {
+			for _, slot := range buckets[valueKey(v)] {
+				bump(slot)
+			}
+		}
+		for _, e := range ix.scan[attr] {
+			if e.c.Matches(n) {
+				bump(e.slot)
+			}
+		}
+	}
+	for _, slot := range ix.dirty {
+		if ix.counts[slot] == ix.sizes[slot] {
+			visit(ix.keys[slot])
+		}
+		ix.counts[slot] = 0
+	}
+	ix.dirty = ix.dirty[:0]
+}
+
+// valueKey canonicalizes a value for hash lookup. Numeric values share a
+// key space so Int(3) and Float(3) collide, matching Value.Equal semantics.
+func valueKey(v message.Value) string {
+	switch v.Kind() {
+	case message.KindInt:
+		return "n" + message.Float(float64(v.IntVal())).String()
+	case message.KindFloat:
+		return "n" + v.String()
+	case message.KindString:
+		return "s" + v.Str()
+	case message.KindBool:
+		if v.BoolVal() {
+			return "bt"
+		}
+		return "bf"
+	default:
+		return "?"
+	}
+}

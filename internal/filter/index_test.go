@@ -1,0 +1,188 @@
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rebeca/internal/message"
+)
+
+func indexMatchKeys(ix *Index, n message.Notification) []string {
+	var out []string
+	ix.Match(n, func(key string) { out = append(out, key) })
+	sort.Strings(out)
+	return out
+}
+
+func TestIndexBasicMatch(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("temp", New(Eq("service", message.String("temperature"))))
+	ix.Add("cold", New(
+		Eq("service", message.String("temperature")),
+		Lt("value", message.Float(5)),
+	))
+	ix.Add("any", All())
+
+	n := tempNote("room-1", 3)
+	got := indexMatchKeys(ix, n)
+	want := []string{"any", "cold", "temp"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Match = %v, want %v", got, want)
+	}
+
+	warm := tempNote("room-1", 30)
+	got = indexMatchKeys(ix, warm)
+	if len(got) != 2 {
+		t.Errorf("warm Match = %v", got)
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	ix := NewIndex()
+	f := New(Eq("a", message.Int(1)), Gt("b", message.Int(0)))
+	ix.Add("x", f)
+	ix.Remove("x")
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d after remove", ix.Len())
+	}
+	n := note(map[string]message.Value{"a": message.Int(1), "b": message.Int(5)})
+	if got := indexMatchKeys(ix, n); len(got) != 0 {
+		t.Errorf("removed filter still matches: %v", got)
+	}
+	ix.Remove("x") // idempotent
+}
+
+func TestIndexReplaceSameKey(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("k", New(Eq("a", message.Int(1))))
+	ix.Add("k", New(Eq("a", message.Int(2))))
+	if got := indexMatchKeys(ix, note(map[string]message.Value{"a": message.Int(1)})); len(got) != 0 {
+		t.Errorf("stale filter matched: %v", got)
+	}
+	if got := indexMatchKeys(ix, note(map[string]message.Value{"a": message.Int(2)})); len(got) != 1 {
+		t.Errorf("replacement missing: %v", got)
+	}
+}
+
+func TestIndexInSetWithDuplicates(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("k", New(In("a", message.Int(1), message.Int(1), message.Float(1))))
+	n := note(map[string]message.Value{"a": message.Int(1)})
+	if got := indexMatchKeys(ix, n); len(got) != 1 {
+		t.Errorf("duplicate set members broke counting: %v", got)
+	}
+}
+
+func TestIndexCrossNumericEquality(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("k", New(Eq("a", message.Float(3))))
+	n := note(map[string]message.Value{"a": message.Int(3)})
+	if got := indexMatchKeys(ix, n); len(got) != 1 {
+		t.Errorf("Int(3) should satisfy Eq(Float(3)): %v", got)
+	}
+}
+
+func TestIndexEqPlusInSameAttr(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("k", New(
+		Eq("a", message.Int(1)),
+		In("a", message.Int(1), message.Int(2)),
+	))
+	if got := indexMatchKeys(ix, note(map[string]message.Value{"a": message.Int(1)})); len(got) != 1 {
+		t.Errorf("conjunction on same attr broken: %v", got)
+	}
+	if got := indexMatchKeys(ix, note(map[string]message.Value{"a": message.Int(2)})); len(got) != 0 {
+		t.Errorf("Eq constraint ignored: %v", got)
+	}
+}
+
+// Property: the index agrees with linear evaluation on random filters and
+// notifications.
+func TestIndexAgreesWithLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		ix := NewIndex()
+		filters := make(map[string]Filter)
+		for i := 0; i < 40; i++ {
+			key := fmt.Sprintf("f%d", i)
+			f := randomSimpleFilter(r)
+			filters[key] = f
+			ix.Add(key, f)
+		}
+		// Random removals keep the bookkeeping honest.
+		for i := 0; i < 10; i++ {
+			key := fmt.Sprintf("f%d", r.Intn(40))
+			delete(filters, key)
+			ix.Remove(key)
+		}
+		for j := 0; j < 50; j++ {
+			n := randomSmallNote(r)
+			want := map[string]bool{}
+			for key, f := range filters {
+				if f.Matches(n) {
+					want[key] = true
+				}
+			}
+			got := map[string]bool{}
+			ix.Match(n, func(key string) {
+				if got[key] {
+					t.Fatalf("key %s visited twice", key)
+				}
+				got[key] = true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: index %v, linear %v, note %s", trial, got, want, n)
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("trial %d: missing %s for %s (filter %s)", trial, k, n, filters[k])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkIndexMatch1000(b *testing.B) {
+	ix := NewIndex()
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		f := New(
+			Eq("service", message.String("temperature")),
+			Eq("location", message.String(fmt.Sprintf("room-%d", r.Intn(200)))),
+		)
+		ix.Add(fmt.Sprintf("f%d", i), f)
+	}
+	n := note(map[string]message.Value{
+		"service":  message.String("temperature"),
+		"location": message.String("room-7"),
+		"value":    message.Float(20),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Match(n, func(string) {})
+	}
+}
+
+func BenchmarkLinearMatch1000(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	filters := make([]Filter, 1000)
+	for i := range filters {
+		filters[i] = New(
+			Eq("service", message.String("temperature")),
+			Eq("location", message.String(fmt.Sprintf("room-%d", r.Intn(200)))),
+		)
+	}
+	n := note(map[string]message.Value{
+		"service":  message.String("temperature"),
+		"location": message.String("room-7"),
+		"value":    message.Float(20),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range filters {
+			_ = f.Matches(n)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package location implements the logical-location model behind
+// location-dependent subscriptions (§1, §3). It maps each border broker to
+// the set of logical locations in its scope — the "application dependent"
+// meaning of the myloc marker — and captures the paper's observation that
+// the logical movement graph is a refinement of the broker graph (logical
+// mobility within a single broker's scope vs. physical mobility across
+// brokers).
+package location
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+)
+
+// Location names a logical location (a room, a road segment, a city region).
+type Location string
+
+// Model maps brokers to their location scopes. The zero Model is empty and
+// valid; scopes are added with Assign. A Model is immutable once shared with
+// brokers (build fully before wiring the network).
+type Model struct {
+	scopes  map[message.NodeID][]Location
+	homes   map[Location]message.NodeID
+	synonym map[Location][]Location // finer-grained myloc: location -> visible set
+}
+
+// NewModel returns an empty location model.
+func NewModel() *Model {
+	return &Model{
+		scopes:  make(map[message.NodeID][]Location),
+		homes:   make(map[Location]message.NodeID),
+		synonym: make(map[Location][]Location),
+	}
+}
+
+// Assign adds locations to a broker's scope. Assigning the same location to
+// two brokers is allowed (overlapping radio cells); the first assignment
+// wins as the location's "home" broker used by publishers.
+func (m *Model) Assign(b message.NodeID, locs ...Location) *Model {
+	m.scopes[b] = append(m.scopes[b], locs...)
+	for _, l := range locs {
+		if _, ok := m.homes[l]; !ok {
+			m.homes[l] = b
+		}
+	}
+	return m
+}
+
+// Scope returns the broker's location scope in deterministic order. The
+// returned slice is a copy.
+func (m *Model) Scope(b message.NodeID) []Location {
+	out := make([]Location, len(m.scopes[b]))
+	copy(out, m.scopes[b])
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ScopeStrings returns the scope as plain strings for filter resolution.
+func (m *Model) ScopeStrings(b message.NodeID) []string {
+	scope := m.Scope(b)
+	out := make([]string, len(scope))
+	for i, l := range scope {
+		out[i] = string(l)
+	}
+	return out
+}
+
+// Home returns the broker responsible for publishing at a location.
+func (m *Model) Home(l Location) (message.NodeID, bool) {
+	b, ok := m.homes[l]
+	return b, ok
+}
+
+// Brokers returns all brokers with a non-empty scope, sorted.
+func (m *Model) Brokers() []message.NodeID {
+	out := make([]message.NodeID, 0, len(m.scopes))
+	for b := range m.scopes {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Locations returns every known location, sorted.
+func (m *Model) Locations() []Location {
+	out := make([]Location, 0, len(m.homes))
+	for l := range m.homes {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Resolve substitutes the myloc markers of a filter with the scope of the
+// given broker. Non-location-dependent filters pass through unchanged.
+func (m *Model) Resolve(f filter.Filter, b message.NodeID) filter.Filter {
+	if !f.LocationDependent() {
+		return f
+	}
+	return f.ResolveMyloc(m.ScopeStrings(b))
+}
+
+// Stamp returns a copy of the notification tagged with the location
+// attribute, the form in which publishers emit location-bound information.
+func Stamp(n message.Notification, l Location) message.Notification {
+	return n.Set(filter.AttrLocation, message.String(string(l)))
+}
+
+// --- Model generators -------------------------------------------------
+
+// OfficeFloor builds the paper's office-floor scenario (Fig. 1, right): one
+// broker per corridor segment, each covering `roomsPerBroker` rooms plus its
+// corridor segment. Room names are "room-<i>", corridors "corridor-<j>".
+func OfficeFloor(brokers []message.NodeID, roomsPerBroker int) *Model {
+	m := NewModel()
+	room := 0
+	for j, b := range brokers {
+		locs := []Location{Location("corridor-" + strconv.Itoa(j))}
+		for r := 0; r < roomsPerBroker; r++ {
+			locs = append(locs, Location("room-"+strconv.Itoa(room)))
+			room++
+		}
+		m.Assign(b, locs...)
+	}
+	return m
+}
+
+// Regions assigns each broker exactly one same-named region, the natural
+// model for GSM-cell or highway scenarios where broker granularity and
+// logical granularity coincide.
+func Regions(brokers []message.NodeID) *Model {
+	m := NewModel()
+	for _, b := range brokers {
+		m.Assign(b, Location(fmt.Sprintf("region-%s", b)))
+	}
+	return m
+}
+
+// Uniform assigns every broker `perBroker` uniquely named locations.
+func Uniform(brokers []message.NodeID, perBroker int) *Model {
+	m := NewModel()
+	i := 0
+	for _, b := range brokers {
+		locs := make([]Location, perBroker)
+		for k := range locs {
+			locs[k] = Location("loc-" + strconv.Itoa(i))
+			i++
+		}
+		m.Assign(b, locs...)
+	}
+	return m
+}

@@ -1,0 +1,139 @@
+package location
+
+import (
+	"testing"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+)
+
+func TestModelAssignAndScope(t *testing.T) {
+	m := NewModel()
+	m.Assign("B1", "room-1", "room-2").Assign("B2", "room-3")
+	if got := m.Scope("B1"); len(got) != 2 || got[0] != "room-1" || got[1] != "room-2" {
+		t.Errorf("Scope(B1) = %v", got)
+	}
+	if got := m.Scope("B3"); len(got) != 0 {
+		t.Errorf("unknown broker scope should be empty, got %v", got)
+	}
+	if b, ok := m.Home("room-3"); !ok || b != "B2" {
+		t.Errorf("Home(room-3) = %v,%v", b, ok)
+	}
+	if _, ok := m.Home("nowhere"); ok {
+		t.Error("unknown location should have no home")
+	}
+}
+
+func TestModelOverlappingCellsFirstHomeWins(t *testing.T) {
+	m := NewModel()
+	m.Assign("B1", "overlap").Assign("B2", "overlap")
+	if b, _ := m.Home("overlap"); b != "B1" {
+		t.Errorf("first assignment should win, got %v", b)
+	}
+	// Both brokers still carry the location in scope.
+	if got := m.Scope("B2"); len(got) != 1 || got[0] != "overlap" {
+		t.Errorf("Scope(B2) = %v", got)
+	}
+}
+
+func TestScopeReturnsCopy(t *testing.T) {
+	m := NewModel()
+	m.Assign("B1", "x", "y")
+	s := m.Scope("B1")
+	s[0] = "mutated"
+	if got := m.Scope("B1"); got[0] != "x" {
+		t.Error("Scope must return a defensive copy")
+	}
+}
+
+func TestBrokersAndLocationsSorted(t *testing.T) {
+	m := NewModel()
+	m.Assign("B2", "z").Assign("B1", "a")
+	bs := m.Brokers()
+	if len(bs) != 2 || bs[0] != "B1" || bs[1] != "B2" {
+		t.Errorf("Brokers = %v", bs)
+	}
+	ls := m.Locations()
+	if len(ls) != 2 || ls[0] != "a" || ls[1] != "z" {
+		t.Errorf("Locations = %v", ls)
+	}
+}
+
+func TestResolvePerBroker(t *testing.T) {
+	m := NewModel()
+	m.Assign("B1", "room-1").Assign("B2", "room-2")
+	f := filter.AtLocation(filter.Eq("service", message.String("temperature")))
+
+	r1 := m.Resolve(f, "B1")
+	r2 := m.Resolve(f, "B2")
+	n1 := Stamp(message.NewNotification(map[string]message.Value{
+		"service": message.String("temperature"),
+	}), "room-1")
+	if !r1.Matches(n1) {
+		t.Error("B1-resolved filter should match room-1 traffic")
+	}
+	if r2.Matches(n1) {
+		t.Error("B2-resolved filter must not match room-1 traffic")
+	}
+}
+
+func TestResolvePassThroughStatic(t *testing.T) {
+	m := NewModel()
+	f := filter.New(filter.Eq("service", message.String("stock")))
+	if got := m.Resolve(f, "B1"); got.Key() != f.Key() {
+		t.Errorf("static filter should pass through, got %s", got)
+	}
+}
+
+func TestStamp(t *testing.T) {
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(1)})
+	s := Stamp(n, "hall")
+	if v, ok := s.Get(filter.AttrLocation); !ok || v.Str() != "hall" {
+		t.Errorf("Stamp location = %v,%v", v, ok)
+	}
+	if n.Has(filter.AttrLocation) {
+		t.Error("Stamp must not mutate the original")
+	}
+}
+
+func TestOfficeFloorGenerator(t *testing.T) {
+	brokers := []message.NodeID{"B0", "B1", "B2"}
+	m := OfficeFloor(brokers, 2)
+	// Each broker: 1 corridor + 2 rooms.
+	for i, b := range brokers {
+		scope := m.Scope(b)
+		if len(scope) != 3 {
+			t.Fatalf("broker %s scope = %v", b, scope)
+		}
+		found := false
+		for _, l := range scope {
+			if string(l) == "corridor-"+string(rune('0'+i)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("broker %s missing its corridor: %v", b, scope)
+		}
+	}
+	// Rooms are globally unique.
+	if len(m.Locations()) != 9 {
+		t.Errorf("want 9 distinct locations, got %d", len(m.Locations()))
+	}
+}
+
+func TestRegionsGenerator(t *testing.T) {
+	m := Regions([]message.NodeID{"B1", "B2"})
+	if got := m.Scope("B1"); len(got) != 1 || got[0] != "region-B1" {
+		t.Errorf("Regions scope = %v", got)
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	m := Uniform([]message.NodeID{"B1", "B2"}, 3)
+	if len(m.Scope("B1")) != 3 || len(m.Scope("B2")) != 3 {
+		t.Error("Uniform should assign perBroker locations each")
+	}
+	if len(m.Locations()) != 6 {
+		t.Errorf("locations should be unique, got %d", len(m.Locations()))
+	}
+}

@@ -1,0 +1,136 @@
+package message
+
+import (
+	"sort"
+	"testing"
+)
+
+func sample() Notification {
+	return NewNotification(map[string]Value{
+		"service":  String("temperature"),
+		"location": String("room-4"),
+		"value":    Float(21.5),
+	})
+}
+
+func TestNotificationGetHas(t *testing.T) {
+	n := sample()
+	if v, ok := n.Get("service"); !ok || v.Str() != "temperature" {
+		t.Errorf("Get(service) = %v,%v", v, ok)
+	}
+	if _, ok := n.Get("missing"); ok {
+		t.Error("Get(missing) should report absent")
+	}
+	if !n.Has("location") || n.Has("nope") {
+		t.Error("Has misreports presence")
+	}
+}
+
+func TestNotificationSetImmutable(t *testing.T) {
+	n := sample()
+	m := n.Set("value", Float(30))
+	if v, _ := n.Get("value"); v.FloatVal() != 21.5 {
+		t.Error("Set mutated the receiver")
+	}
+	if v, _ := m.Get("value"); v.FloatVal() != 30 {
+		t.Error("Set did not apply to the copy")
+	}
+}
+
+func TestNotificationCloneIndependent(t *testing.T) {
+	n := sample()
+	c := n.Clone()
+	c.Attrs["extra"] = Int(1)
+	if n.Has("extra") {
+		t.Error("Clone shares attribute map with original")
+	}
+	if !n.Equal(sample()) {
+		t.Error("original changed by clone mutation")
+	}
+}
+
+func TestNotificationEqual(t *testing.T) {
+	a := sample()
+	b := sample()
+	if !a.Equal(b) {
+		t.Error("identical notifications should be equal")
+	}
+	c := b.Set("value", Float(0))
+	if a.Equal(c) {
+		t.Error("different values should not be equal")
+	}
+	d := NewNotification(map[string]Value{"service": String("temperature")})
+	if a.Equal(d) {
+		t.Error("different attribute sets should not be equal")
+	}
+	// Cross-kind numeric equality carries over.
+	e := NewNotification(map[string]Value{"x": Int(3)})
+	f := NewNotification(map[string]Value{"x": Float(3)})
+	if !e.Equal(f) {
+		t.Error("numeric equality should hold across kinds")
+	}
+}
+
+func TestNotificationStringStable(t *testing.T) {
+	n := sample()
+	if got, want := n.String(), n.String(); got != want {
+		t.Errorf("String not deterministic: %q vs %q", got, want)
+	}
+	n.ID = NotificationID{Publisher: "alice", Seq: 3}
+	if got := n.String(); got == "" || got[len(got)-1] != '3' {
+		t.Errorf("String should end with id, got %q", got)
+	}
+}
+
+func TestNotificationIDString(t *testing.T) {
+	id := NotificationID{Publisher: "p", Seq: 9}
+	if got := id.String(); got != "p#9" {
+		t.Errorf("ID String = %q", got)
+	}
+	if id.IsZero() {
+		t.Error("non-zero ID reported zero")
+	}
+	if !(NotificationID{}).IsZero() {
+		t.Error("zero ID not reported zero")
+	}
+}
+
+func TestByIDOrdering(t *testing.T) {
+	mk := func(p NodeID, s uint64) Notification {
+		n := sample()
+		n.ID = NotificationID{Publisher: p, Seq: s}
+		return n
+	}
+	ns := []Notification{mk("b", 2), mk("a", 5), mk("b", 1), mk("a", 1)}
+	ByID(ns)
+	got := make([]string, len(ns))
+	for i, n := range ns {
+		got[i] = n.ID.String()
+	}
+	want := []string{"a#1", "a#5", "b#1", "b#2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if !sort.SliceIsSorted(ns, func(i, j int) bool {
+		a, b := ns[i].ID, ns[j].ID
+		if a.Publisher != b.Publisher {
+			return a.Publisher < b.Publisher
+		}
+		return a.Seq < b.Seq
+	}) {
+		t.Error("ByID result not sorted")
+	}
+}
+
+func TestWireSizePositive(t *testing.T) {
+	n := sample()
+	if n.WireSize() <= 0 {
+		t.Error("WireSize should be positive")
+	}
+	bigger := n.Set("note", String("a longer string attribute"))
+	if bigger.WireSize() <= n.WireSize() {
+		t.Error("adding attributes should grow WireSize")
+	}
+}

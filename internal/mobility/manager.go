@@ -1,0 +1,875 @@
+// Package mobility implements physical mobility (§1, [8]): transparent
+// relocation of roaming clients between border brokers so that "a relocated
+// client receives a transparent, uninterrupted flow of notifications
+// matching his subscriptions".
+//
+// The Manager is a border-broker plugin owning client sessions. The
+// transparent protocol relocates a client c from old border b1 to new
+// border b2 in these steps:
+//
+//  1. c connects at b2 (KConnect names b1). b2 opens a relocating-in
+//     session that buffers every delivery, and unicasts KRelocReq to b1.
+//  2. b1 — which has been buffering for the disconnected ghost — replies
+//     KRelocProfile with c's subscription profile and buffer, and from now
+//     on tap-forwards new matches to b2 (KDeliver unicast) instead of
+//     buffering.
+//  3. b2 installs the profile's subscriptions and starts flush wave F1.
+//     When F1 completes, every broker processed b2's subscriptions (FIFO
+//     links), so unsubscribing b1 can no longer lose traffic; b2 sends
+//     KRelocActivate.
+//  4. b1 unsubscribes c's filters, starts flush wave F2 and keeps the tap
+//     open: any straggler routed by a stale entry arrives at b1 before F2
+//     completes (convergecast acks chase the stragglers on FIFO links) and
+//     is tap-forwarded.
+//  5. F2 completes; b1 sends KRelocTail and forgets c. b2 merges profile
+//     buffer, tap copies and its own direct deliveries — deduplicated by
+//     notification ID, ordered by (publisher, seq) — replays them to c and
+//     goes live.
+//
+// The result is no loss, no duplicates and per-publisher FIFO across the
+// handover. ModeJEDI (explicit moveOut/moveIn without barriers or tap,
+// related work [2]) and ModeNaive (reconnect-and-resubscribe) are the
+// baselines experiment E1 compares against.
+//
+// # Staleness layer
+//
+// Chaotic movement (instant reconnects, ping-pong and chained moves, moves
+// colliding with in-flight relocations) creates races the basic protocol
+// cannot order. A monotonic connect epoch, stamped by the client library on
+// every KConnect and echoed on every relocation message, resolves them:
+//
+//   - a KRelocReq older than the latest connect seen locally is declined
+//     (Stale reply); the requester restarts against the decliner if its
+//     client has since reconnected, or tears down and forwards its buffer
+//     to the client's current border otherwise;
+//   - at most one relocation request queues behind a busy session; a
+//     superseded request is declined, never silently dropped;
+//   - requests reaching a relocating-out session are redirected along the
+//     shipment chain to whatever session ends up holding the state;
+//   - a border with no session replies Fresh, letting the requester go
+//     live from the client's announced profile without a handover barrier;
+//   - unsubscription waves only remove routing entries still pointing at
+//     the unsubscriber (relocation flips make them stale otherwise).
+//
+// A state shipment arriving at a session that no longer expects it (the
+// run was superseded) is absorbed — subscriptions merged, buffer delivered
+// or re-buffered — and the sender acknowledged, so no fragment is lost and
+// no sender strands in relocating-out.
+//
+// internal/sim's stress suite drives hundreds of seeded chaos schedules
+// through these paths and asserts the no-loss/no-dup/FIFO invariant plus
+// session-leak freedom at quiescence, with and without link-latency
+// jitter. Guarantee boundary: the lossless invariant assumes dwell times
+// at least on the order of the relocation round trip. Clients that outrun
+// the protocol for sustained periods (sub-RTT bouncing) can orphan
+// buffered fragments and reorder replays — "degraded service", as the
+// paper predicts; real deployments additionally bound relocation runs with
+// wall-clock timeouts, which the virtual-time core deliberately omits. The
+// pathological regime's surviving guarantees (quiescence, no duplicate
+// deliveries, fresh registrations get full service) are exercised by
+// TestStressPathologicalLiveness.
+package mobility
+
+import (
+	"fmt"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/buffer"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// Mode selects the handover protocol. Enums start at one.
+type Mode int
+
+// Supported modes.
+const (
+	ModeInvalid Mode = iota
+	// ModeTransparent runs the full relocation protocol described above.
+	ModeTransparent
+	// ModeJEDI ships profile and buffer once, without flush barriers or a
+	// tap: in-flight traffic can be lost during routing reconfiguration.
+	ModeJEDI
+	// ModeNaive drops all state on disconnect; the client re-subscribes
+	// from scratch on reconnect and misses everything in between.
+	ModeNaive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeTransparent:
+		return "transparent"
+	case ModeJEDI:
+		return "jedi"
+	case ModeNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+type sessionState int
+
+const (
+	stateConnected sessionState = iota + 1
+	// stateGhost: client disconnected; deliveries are buffered here.
+	stateGhost
+	// stateRelocatingIn: this broker is the new border; deliveries are
+	// buffered until the tail arrives.
+	stateRelocatingIn
+	// stateRelocatingOut: this broker is the old border; deliveries are
+	// tap-forwarded to the new border.
+	stateRelocatingOut
+)
+
+func (s sessionState) String() string {
+	switch s {
+	case stateConnected:
+		return "connected"
+	case stateGhost:
+		return "ghost"
+	case stateRelocatingIn:
+		return "relocating-in"
+	case stateRelocatingOut:
+		return "relocating-out"
+	default:
+		return "invalid"
+	}
+}
+
+type session struct {
+	client message.NodeID
+	state  sessionState
+	// subs is the client's static subscription profile (location-dependent
+	// subscriptions belong to the replicator layer, not here).
+	subs map[message.SubID]proto.Subscription
+	// subOrder preserves issue order for deterministic re-installation.
+	subOrder []message.SubID
+	// buf holds undelivered notifications (ghost and relocating-in).
+	buf buffer.Policy
+	// seen dedups the relocation merge by notification ID.
+	seen map[message.NotificationID]bool
+	// tapTo is the new border while relocating out.
+	tapTo message.NodeID
+	// pendingReloc queues a KRelocReq that arrived mid-relocation.
+	pendingReloc message.NodeID
+	// ghostOnComplete marks that the client disconnected while relocating
+	// in; the session becomes a ghost once the relocation completes.
+	ghostOnComplete bool
+	// reconnectPending marks that the client reconnected here while the
+	// outbound relocation was still running (ping-pong move). Once the
+	// outbound protocol completes, this border starts a fresh inbound
+	// relocation to pull the state back.
+	reconnectPending bool
+	// epoch is the client's connect epoch of its latest KConnect at THIS
+	// border. Relocation messages echo epochs so stale protocol runs
+	// (superseded by a newer move) are detected.
+	epoch uint64
+	// outEpoch is the epoch the current outbound relocation serves.
+	outEpoch uint64
+	// pendingEpoch is the epoch of the queued pendingReloc request.
+	pendingEpoch uint64
+	// reqEpoch identifies the inbound relocation run this session is
+	// waiting on (the epoch sent in our KRelocReq). It stays fixed even if
+	// the client reconnects here while the relocation is still in flight.
+	reqEpoch uint64
+	// announced is the subscription profile the client declared in its
+	// KConnect; used to heal sessions when the previous border had no
+	// state to ship (e.g. after a stale-session teardown).
+	announced []proto.Subscription
+	// pullTarget is the border the current relocating-in run requests
+	// from (diagnostics).
+	pullTarget message.NodeID
+}
+
+func (s *session) profile() []proto.Subscription {
+	out := make([]proto.Subscription, 0, len(s.subOrder))
+	for _, id := range s.subOrder {
+		if sub, ok := s.subs[id]; ok {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+func (s *session) addSub(sub proto.Subscription) {
+	if _, ok := s.subs[sub.ID]; !ok {
+		s.subOrder = append(s.subOrder, sub.ID)
+	}
+	s.subs[sub.ID] = sub
+}
+
+func (s *session) removeSub(id message.SubID) {
+	if _, ok := s.subs[id]; !ok {
+		return
+	}
+	delete(s.subs, id)
+	for i, o := range s.subOrder {
+		if o == id {
+			s.subOrder = append(s.subOrder[:i], s.subOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Stats counts manager activity for experiments.
+type Stats struct {
+	// Relocations counts completed inbound relocations.
+	Relocations int
+	// Buffered counts notifications buffered for ghosts or relocations.
+	Buffered int
+	// Replayed counts notifications replayed to clients after handover.
+	Replayed int
+	// TapForwarded counts straggler notifications forwarded to the new
+	// border during relocating-out.
+	TapForwarded int
+	// DroppedDuplicates counts merge-time duplicate suppressions.
+	DroppedDuplicates int
+}
+
+// Manager is the physical-mobility plugin of one border broker.
+type Manager struct {
+	b        *broker.Broker
+	mode     Mode
+	factory  buffer.Factory
+	sessions map[message.NodeID]*session
+	// flushCont maps a flush wave ID to its continuation.
+	flushCont map[uint64]func()
+	stats     Stats
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithBufferFactory sets the ghost/relocation buffer policy (default
+// unbounded).
+func WithBufferFactory(f buffer.Factory) Option {
+	return func(m *Manager) { m.factory = f }
+}
+
+// New attaches a mobility manager to a border broker and returns it.
+func New(b *broker.Broker, mode Mode, opts ...Option) *Manager {
+	m := &Manager{
+		b:         b,
+		mode:      mode,
+		factory:   func() buffer.Policy { return buffer.NewUnbounded() },
+		sessions:  make(map[message.NodeID]*session),
+		flushCont: make(map[uint64]func()),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	b.Use(m)
+	return m
+}
+
+// Stats returns a copy of the manager's counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// SessionState reports a session's state name for tests ("" if absent).
+func (m *Manager) SessionState(c message.NodeID) string {
+	s, ok := m.sessions[c]
+	if !ok {
+		return ""
+	}
+	return s.state.String()
+}
+
+// Handle implements broker.Plugin.
+func (m *Manager) Handle(from message.NodeID, msg proto.Message) bool {
+	switch msg.Kind {
+	case proto.KConnect:
+		return m.onConnect(msg)
+	case proto.KDisconnect:
+		return m.onDisconnect(msg)
+	case proto.KSubscribe:
+		return m.onSubscribe(from, msg)
+	case proto.KUnsubscribe:
+		return m.onUnsubscribe(from, msg)
+	case proto.KRelocReq:
+		return m.onRelocReq(msg)
+	case proto.KRelocProfile:
+		return m.onRelocProfile(msg)
+	case proto.KRelocActivate:
+		return m.onRelocActivate(msg)
+	case proto.KRelocTail:
+		return m.onRelocTail(msg)
+	case proto.KDeliver:
+		return m.onTapDeliver(msg)
+	default:
+		return false
+	}
+}
+
+// OnDeliver implements broker.Plugin: buffering and tap interception.
+func (m *Manager) OnDeliver(port message.NodeID, n message.Notification) bool {
+	s, ok := m.sessions[port]
+	if !ok {
+		return false
+	}
+	switch s.state {
+	case stateGhost:
+		s.buf.Add(n, m.b.Now())
+		m.stats.Buffered++
+		return true
+	case stateRelocatingIn:
+		m.bufferDedup(s, n)
+		return true
+	case stateRelocatingOut:
+		m.stats.TapForwarded++
+		m.b.Unicast(s.tapTo, proto.Message{
+			Kind:   proto.KDeliver,
+			Client: port,
+			Origin: m.b.ID(),
+			Note:   &n,
+		})
+		return true
+	default:
+		return false
+	}
+}
+
+// OnFlushDone implements broker.Plugin.
+func (m *Manager) OnFlushDone(id uint64) {
+	if cont, ok := m.flushCont[id]; ok {
+		delete(m.flushCont, id)
+		cont()
+	}
+}
+
+func (m *Manager) bufferDedup(s *session, n message.Notification) {
+	if !n.ID.IsZero() && s.seen[n.ID] {
+		m.stats.DroppedDuplicates++
+		return
+	}
+	if !n.ID.IsZero() {
+		s.seen[n.ID] = true
+	}
+	s.buf.Add(n, m.b.Now())
+	m.stats.Buffered++
+}
+
+// --- session events ----------------------------------------------------
+
+func (m *Manager) onConnect(msg proto.Message) bool {
+	c := msg.Client
+	prev := msg.Origin
+	if s, ok := m.sessions[c]; ok {
+		s.epoch = msg.Epoch
+		s.announced = staticSubs(msg.Subs)
+		switch s.state {
+		case stateGhost:
+			// Reconnect at the same border: heal any subscriptions the
+			// client gained elsewhere, then replay the ghost buffer.
+			m.b.AttachPort(c)
+			s.state = stateConnected
+			m.reconcile(s)
+			m.replay(s)
+			return true
+		case stateRelocatingOut:
+			// Ping-pong: the client came back before the outbound
+			// relocation finished. Let the outbound protocol run to
+			// completion, then pull the state back with a fresh inbound
+			// relocation (see onRelocActivate's continuation) — from the
+			// border the client actually arrived from, which holds (or is
+			// receiving) the newest state.
+			s.reconnectPending = true
+			s.ghostOnComplete = false
+			m.b.AttachPort(c)
+			return true
+		case stateRelocatingIn:
+			// Reconnect at the same border mid-relocation: cancel a
+			// pending ghost transition and carry on. The in-flight run
+			// still collects the freshest reachable state; anything the
+			// client picked up on a brief detour reaches it through the
+			// announced-profile reconciliation and stale-run restarts.
+			s.ghostOnComplete = false
+			m.b.AttachPort(c)
+			return true
+		default:
+			// Duplicate connect: ignore.
+			return true
+		}
+	}
+	switch {
+	case m.mode == ModeNaive, prev == "", prev == m.b.ID():
+		// Fresh session: install the client's own profile.
+		s := m.newSession(c, stateConnected)
+		s.epoch = msg.Epoch
+		m.sessions[c] = s
+		m.b.AttachPort(c)
+		for _, sub := range staticSubs(msg.Subs) {
+			s.addSub(sub)
+			m.b.InstallSub(sub, c)
+		}
+		return true
+	default:
+		// Relocation from prev.
+		s := m.newSession(c, stateRelocatingIn)
+		s.epoch = msg.Epoch
+		s.reqEpoch = msg.Epoch
+		s.announced = staticSubs(msg.Subs)
+		s.pullTarget = prev
+		m.sessions[c] = s
+		m.b.AttachPort(c)
+		m.b.Unicast(prev, proto.Message{
+			Kind: proto.KRelocReq, Client: c, Origin: m.b.ID(), Epoch: msg.Epoch,
+		})
+		return true
+	}
+}
+
+// staticSubs filters out location- and context-dependent subscriptions:
+// those belong to the replicator layer, not the session profile (§3.1's
+// separation of concerns).
+func staticSubs(subs []proto.Subscription) []proto.Subscription {
+	var out []proto.Subscription
+	for _, s := range subs {
+		if !s.Filter.Dynamic() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// reconcile installs announced-profile subscriptions the session does not
+// know about — subscriptions the client issued at borders whose state never
+// made it back here.
+func (m *Manager) reconcile(s *session) {
+	for _, sub := range s.announced {
+		if _, ok := s.subs[sub.ID]; ok {
+			continue
+		}
+		s.addSub(sub)
+		m.b.InstallSub(sub, s.client)
+	}
+}
+
+func (m *Manager) newSession(c message.NodeID, st sessionState) *session {
+	return &session{
+		client: c,
+		state:  st,
+		subs:   make(map[message.SubID]proto.Subscription),
+		buf:    m.factory(),
+		seen:   make(map[message.NotificationID]bool),
+	}
+}
+
+func (m *Manager) onDisconnect(msg proto.Message) bool {
+	s, ok := m.sessions[msg.Client]
+	if !ok {
+		return false
+	}
+	switch s.state {
+	case stateConnected:
+		if m.mode == ModeNaive {
+			for _, id := range append([]message.SubID(nil), s.subOrder...) {
+				m.b.RemoveSub(id)
+			}
+			delete(m.sessions, msg.Client)
+			return false // default detaches the port
+		}
+		s.state = stateGhost
+		return true // keep the port attached; we intercept deliveries
+	case stateRelocatingIn:
+		s.ghostOnComplete = true
+		return true
+	case stateRelocatingOut:
+		if s.reconnectPending {
+			// The client reconnected here mid-relocation and left again:
+			// the pulled-back session must start as a ghost.
+			s.ghostOnComplete = true
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func (m *Manager) onSubscribe(from message.NodeID, msg proto.Message) bool {
+	s, ok := m.sessions[from]
+	if !ok || msg.Sub == nil {
+		return false
+	}
+	s.addSub(*msg.Sub)
+	return false // default handling installs and forwards
+}
+
+func (m *Manager) onUnsubscribe(from message.NodeID, msg proto.Message) bool {
+	s, ok := m.sessions[from]
+	if !ok || msg.Sub == nil {
+		return false
+	}
+	s.removeSub(msg.Sub.ID)
+	return false
+}
+
+// --- relocation protocol -------------------------------------------------
+
+func (m *Manager) onRelocReq(msg proto.Message) bool {
+	c, newBorder := msg.Client, msg.Origin
+	s, ok := m.sessions[c]
+	if !ok {
+		// Nothing known about the client (fresh start after teardown, or
+		// naive mode): tell the new border to proceed from the client's
+		// announced profile, with no handover to wait for.
+		m.b.Unicast(newBorder, proto.Message{
+			Kind: proto.KRelocProfile, Client: c, Origin: m.b.ID(),
+			Epoch: msg.Epoch, Fresh: true,
+		})
+		return true
+	}
+	if msg.Epoch < s.epoch {
+		// Stale request: the client has reconnected here (or a newer
+		// relocation superseded this one). Decline; the requester tears
+		// its outdated session down.
+		m.b.Unicast(newBorder, proto.Message{
+			Kind: proto.KRelocProfile, Client: c, Origin: m.b.ID(),
+			Epoch: msg.Epoch, Stale: true,
+		})
+		return true
+	}
+	switch s.state {
+	case stateRelocatingIn:
+		// Mid-relocation request: queue it; the chain serves it once the
+		// state settles here. Only one slot exists — the loser of an
+		// overwrite is declined so it can restart or tear down instead of
+		// waiting forever. (A mutual-pull cycle — both borders awaiting
+		// each other — can in principle wedge here; it requires the
+		// client to outrun the relocation round trip, a regime real
+		// deployments bound with wall-clock run timeouts.)
+		m.queuePending(s, newBorder, msg.Epoch)
+		return true
+	case stateRelocatingOut:
+		if s.tapTo == newBorder {
+			// The requester is the very border this state is being
+			// shipped to: the in-flight profile will reach it and be
+			// absorbed. Tell it to go live from its announced profile.
+			m.b.Unicast(newBorder, proto.Message{
+				Kind: proto.KRelocProfile, Client: c, Origin: m.b.ID(),
+				Epoch: msg.Epoch, Fresh: true,
+			})
+			return true
+		}
+		// The state is mid-shipment: redirect the request to the border
+		// it is being shipped to. The redirect chases the shipment chain
+		// and terminates at whatever session ends up holding the state.
+		fw := msg
+		m.b.Unicast(s.tapTo, fw)
+		return true
+	default:
+		m.beginRelocOut(s, newBorder, msg.Epoch)
+		return true
+	}
+}
+
+// queuePending stores the newest relocation request on a busy session and
+// declines whichever request loses the slot.
+func (m *Manager) queuePending(s *session, newBorder message.NodeID, epoch uint64) {
+	if epoch <= s.pendingEpoch {
+		if epoch != s.pendingEpoch || newBorder != s.pendingReloc {
+			m.decline(s.client, newBorder, epoch)
+		}
+		return
+	}
+	prevBorder, prevEpoch := s.pendingReloc, s.pendingEpoch
+	s.pendingReloc = newBorder
+	s.pendingEpoch = epoch
+	if prevBorder != "" {
+		m.decline(s.client, prevBorder, prevEpoch)
+	}
+}
+
+// decline tells a requester its relocation run is superseded.
+func (m *Manager) decline(c, border message.NodeID, epoch uint64) {
+	m.b.Unicast(border, proto.Message{
+		Kind: proto.KRelocProfile, Client: c, Origin: m.b.ID(),
+		Epoch: epoch, Stale: true,
+	})
+}
+
+func (m *Manager) beginRelocOut(s *session, newBorder message.NodeID, epoch uint64) {
+	notes := s.buf.Snapshot(m.b.Now())
+	s.buf.Clear()
+	profile := s.profile()
+	if m.mode == ModeJEDI {
+		// Ship everything at once, unsubscribe immediately, forget. No
+		// barrier, no tap: in-flight traffic may be lost.
+		for _, id := range append([]message.SubID(nil), s.subOrder...) {
+			m.b.RemoveSub(id)
+		}
+		m.b.DetachPort(s.client)
+		delete(m.sessions, s.client)
+		m.b.Unicast(newBorder, proto.Message{
+			Kind: proto.KRelocProfile, Client: s.client, Origin: m.b.ID(),
+			Subs: profile, Notes: notes, Epoch: epoch,
+		})
+		return
+	}
+	s.state = stateRelocatingOut
+	s.tapTo = newBorder
+	s.outEpoch = epoch
+	m.b.Unicast(newBorder, proto.Message{
+		Kind: proto.KRelocProfile, Client: s.client, Origin: m.b.ID(),
+		Subs: profile, Notes: notes, Epoch: epoch,
+	})
+}
+
+func (m *Manager) onRelocProfile(msg proto.Message) bool {
+	c, oldBorder := msg.Client, msg.Origin
+	s, ok := m.sessions[c]
+	if !ok || s.state != stateRelocatingIn || msg.Epoch != s.reqEpoch {
+		// A profile this session did not ask for (or asked for under a
+		// different epoch). When a superseded run's holder ships its
+		// state here, losing it would lose its buffer and strand the
+		// sender in relocating-out: absorb it and acknowledge.
+		if ok && !msg.Stale && !msg.Fresh {
+			switch s.state {
+			case stateConnected, stateGhost:
+				m.absorb(s, msg)
+			}
+		}
+		return true
+	}
+	if msg.Stale {
+		if s.epoch > msg.Epoch {
+			// The client reconnected HERE after the declined request: the
+			// session is live, only the relocation run is outdated. The
+			// decliner has seen the newer epoch — restart the pull
+			// against it with our current epoch.
+			s.reqEpoch = s.epoch
+			s.pullTarget = msg.Origin
+			m.b.Unicast(msg.Origin, proto.Message{
+				Kind: proto.KRelocReq, Client: c, Origin: m.b.ID(), Epoch: s.reqEpoch,
+			})
+			return true
+		}
+		// The client moved on: ship anything we intercepted to wherever
+		// it now is, tear down, and forget.
+		m.teardown(s, msg.Origin)
+		return true
+	}
+	if msg.Fresh {
+		// No old state exists: go live from the announced profile.
+		m.reconcile(s)
+		s.state = stateConnected
+		m.finishRelocation(s)
+		return true
+	}
+	for _, sub := range msg.Subs {
+		s.addSub(sub)
+		m.b.InstallSub(sub, c)
+	}
+	// Heal subscriptions the shipped profile does not cover (the client
+	// may have started from an empty previous border after a teardown).
+	m.reconcile(s)
+	for _, n := range msg.Notes {
+		m.bufferDedup(s, n)
+	}
+	if m.mode == ModeJEDI {
+		s.state = stateConnected
+		m.finishRelocation(s)
+		return true
+	}
+	// Barrier F1: ensure our subscriptions have propagated everywhere
+	// before the old border tears its entries down.
+	// The activate echoes the relocation-run epoch, not the (possibly
+	// newer) connect epoch from a same-border reconnect.
+	id := m.b.StartFlush()
+	epoch := s.reqEpoch
+	m.flushCont[id] = func() {
+		m.b.Unicast(oldBorder, proto.Message{
+			Kind: proto.KRelocActivate, Client: c, Origin: m.b.ID(), Epoch: epoch,
+		})
+	}
+	return true
+}
+
+// absorb merges an unexpected (forked) state shipment into a settled
+// session: subscriptions are (re)installed — flipping routing entries
+// toward this border, which hosts the client's newest connect — buffered
+// notifications are delivered or buffered, and the sender is activated so
+// its outbound run completes and cleans up.
+func (m *Manager) absorb(s *session, msg proto.Message) {
+	for _, sub := range msg.Subs {
+		s.addSub(sub)
+		m.b.InstallSub(sub, s.client)
+	}
+	message.ByID(msg.Notes)
+	for _, n := range msg.Notes {
+		note := n
+		switch s.state {
+		case stateConnected:
+			m.b.Send(s.client, proto.Message{Kind: proto.KDeliver, Client: s.client, Note: &note})
+		case stateRelocatingIn:
+			m.bufferDedup(s, note)
+		default:
+			s.buf.Add(note, m.b.Now())
+			m.stats.Buffered++
+		}
+	}
+	m.b.Unicast(msg.Origin, proto.Message{
+		Kind: proto.KRelocActivate, Client: s.client, Origin: m.b.ID(), Epoch: msg.Epoch,
+	})
+}
+
+// teardown dismantles a superseded session: intercepted notifications are
+// forwarded to the client's current border, locally owned routing entries
+// are withdrawn (entries already flipped away are left alone — they belong
+// to the new border now), and the session is forgotten.
+func (m *Manager) teardown(s *session, currentBorder message.NodeID) {
+	if s.pendingReloc != "" {
+		// A requester queued behind this dying session must not wait
+		// forever. Clear before declining: a (self-addressed) decline
+		// dispatches synchronously and must not re-enter this branch.
+		target, epoch := s.pendingReloc, s.pendingEpoch
+		s.pendingReloc = ""
+		s.pendingEpoch = 0
+		m.decline(s.client, target, epoch)
+	}
+	notes := s.buf.Snapshot(m.b.Now())
+	s.buf.Clear()
+	message.ByID(notes)
+	for _, n := range notes {
+		note := n
+		m.b.Unicast(currentBorder, proto.Message{
+			Kind: proto.KDeliver, Client: s.client, Origin: m.b.ID(), Note: &note,
+		})
+	}
+	for _, id := range append([]message.SubID(nil), s.subOrder...) {
+		m.b.RemoveSub(id)
+	}
+	m.b.DetachPort(s.client)
+	delete(m.sessions, s.client)
+}
+
+func (m *Manager) onRelocActivate(msg proto.Message) bool {
+	c, newBorder := msg.Client, msg.Origin
+	s, ok := m.sessions[c]
+	if !ok || s.state != stateRelocatingOut || s.tapTo != newBorder ||
+		msg.Epoch != s.outEpoch {
+		return true
+	}
+	// No unsubscription here: the new border's re-subscription has already
+	// flipped every table entry toward itself (F1 barriered that wave).
+	// Barrier F2: stragglers routed by pre-flip entries arrive before the
+	// convergecast completes; the tap forwards each of them.
+	fid := m.b.StartFlush()
+	m.flushCont[fid] = func() {
+		m.b.Unicast(newBorder, proto.Message{
+			Kind: proto.KRelocTail, Client: c, Origin: m.b.ID(), Epoch: s.outEpoch,
+		})
+		if s.reconnectPending {
+			// Ping-pong: the client is physically back here. Pull the
+			// session state back with a fresh inbound relocation. The
+			// RelocReq follows the tail on the same FIFO unicast path, so
+			// the peer processes the tail (going ghost) first.
+			ns := m.newSession(c, stateRelocatingIn)
+			ns.epoch = s.epoch
+			ns.reqEpoch = s.epoch
+			ns.announced = s.announced
+			ns.ghostOnComplete = s.ghostOnComplete
+			m.sessions[c] = ns
+			m.b.Unicast(newBorder, proto.Message{
+				Kind: proto.KRelocReq, Client: c, Origin: m.b.ID(), Epoch: ns.reqEpoch,
+			})
+			return
+		}
+		m.b.DetachPort(c)
+		delete(m.sessions, c)
+	}
+	return true
+}
+
+func (m *Manager) onRelocTail(msg proto.Message) bool {
+	s, ok := m.sessions[msg.Client]
+	if !ok || s.state != stateRelocatingIn || msg.Epoch != s.reqEpoch {
+		return true
+	}
+	s.state = stateConnected
+	m.stats.Relocations++
+	m.finishRelocation(s)
+	return true
+}
+
+// finishRelocation replays the merged buffer and processes queued events.
+// Follow-up pulls (resumeFrom) run first — the state collected so far is
+// incomplete until the newest fork is merged; queued outbound requests and
+// ghost transitions follow.
+func (m *Manager) finishRelocation(s *session) {
+	if s.pendingReloc != "" && s.pendingEpoch <= s.epoch {
+		// The queued request was superseded by a newer connect here:
+		// decline it so the stale requester cleans up.
+		m.b.Unicast(s.pendingReloc, proto.Message{
+			Kind: proto.KRelocProfile, Client: s.client, Origin: m.b.ID(),
+			Epoch: s.pendingEpoch, Stale: true,
+		})
+		s.pendingReloc = ""
+		s.pendingEpoch = 0
+	}
+	switch {
+	case s.pendingReloc != "":
+		// The client has already moved on: hand everything over instead
+		// of replaying locally.
+		next := s.pendingReloc
+		nextEpoch := s.pendingEpoch
+		s.pendingReloc = ""
+		s.pendingEpoch = 0
+		s.seen = make(map[message.NotificationID]bool)
+		m.beginRelocOut(s, next, nextEpoch)
+	case s.ghostOnComplete:
+		// The client disconnected while relocating in: keep the merged
+		// buffer for its return.
+		s.ghostOnComplete = false
+		s.state = stateGhost
+		s.seen = make(map[message.NotificationID]bool)
+	default:
+		m.replay(s)
+		s.seen = make(map[message.NotificationID]bool)
+	}
+}
+
+// replay delivers the session buffer in (publisher, seq) order.
+func (m *Manager) replay(s *session) {
+	notes := s.buf.Snapshot(m.b.Now())
+	s.buf.Clear()
+	message.ByID(notes)
+	for _, n := range notes {
+		note := n
+		m.stats.Replayed++
+		m.b.Send(s.client, proto.Message{Kind: proto.KDeliver, Client: s.client, Note: &note})
+	}
+}
+
+// onTapDeliver handles tap-forwarded stragglers arriving from the old
+// border (KDeliver unicast addressed to this broker).
+func (m *Manager) onTapDeliver(msg proto.Message) bool {
+	if msg.Note == nil || msg.Dest != m.b.ID() {
+		return false
+	}
+	s, ok := m.sessions[msg.Client]
+	if !ok {
+		return false
+	}
+	switch s.state {
+	case stateRelocatingIn:
+		m.bufferDedup(s, *msg.Note)
+	case stateConnected:
+		if !msg.Note.ID.IsZero() && s.seen[msg.Note.ID] {
+			m.stats.DroppedDuplicates++
+			return true
+		}
+		m.b.Send(s.client, proto.Message{Kind: proto.KDeliver, Client: s.client, Note: msg.Note})
+	case stateGhost:
+		m.bufferDedup(s, *msg.Note)
+	case stateRelocatingOut:
+		// The client has moved on again: chain the forward.
+		m.b.Unicast(s.tapTo, proto.Message{
+			Kind: proto.KDeliver, Client: msg.Client, Origin: m.b.ID(), Note: msg.Note,
+		})
+	}
+	return true
+}
+
+var _ broker.Plugin = (*Manager)(nil)

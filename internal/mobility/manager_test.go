@@ -1,0 +1,340 @@
+// Integration tests for the physical-mobility relocation protocol, driven
+// through the discrete-event simulator: publishers keep publishing during
+// handovers and the tests assert the paper's "transparent, uninterrupted
+// flow" guarantee — no loss, no duplicates, per-publisher FIFO — plus the
+// deliberately weaker behaviour of the JEDI and naive baselines.
+package mobility_test
+
+import (
+	"testing"
+	"time"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/client"
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/sim"
+)
+
+// world is a 3-broker line A-B-C with a publisher attached at A publishing
+// every tick and a mobile subscriber starting at C.
+type world struct {
+	t       *testing.T
+	cluster *sim.Cluster
+	pub     *client.Client
+	mob     *client.Client
+	ticks   int
+}
+
+const tick = time.Millisecond
+
+func newWorld(t *testing.T, mode sim.MobilityMode) *world {
+	t.Helper()
+	topo := broker.LineTopology([]message.NodeID{"A", "B", "C"})
+	cl, err := sim.NewCluster(sim.ClusterConfig{
+		Topology:    topo,
+		Mobility:    mode,
+		LinkLatency: tick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{t: t, cluster: cl}
+	w.pub = cl.AddClient("pub")
+	w.mob = cl.AddClient("mob")
+	return w
+}
+
+// start connects the publisher and the mobile subscriber and lets the
+// subscription propagate.
+func (w *world) start() {
+	w.pub.ConnectTo("A")
+	w.mob.ConnectTo("C")
+	w.mob.Subscribe(filter.New(filter.Exists("k")))
+	w.cluster.Net.Run()
+}
+
+// publishEvery schedules n publishes, one per tick, starting one tick from
+// now.
+func (w *world) publishEvery(n int) {
+	for i := 1; i <= n; i++ {
+		i := i
+		w.cluster.Net.After(time.Duration(i)*tick, func() {
+			w.pub.Publish(map[string]message.Value{"k": message.Int(int64(i))})
+		})
+	}
+	w.ticks = n
+}
+
+// moveAt schedules a disconnect at d and a reconnect at broker `to` at r.
+func (w *world) moveAt(d, r time.Duration, to message.NodeID) {
+	w.cluster.Net.After(d, func() { w.mob.Disconnect() })
+	w.cluster.Net.After(r, func() { w.mob.ConnectTo(to) })
+}
+
+// missing returns the publisher sequence numbers the mobile never received.
+func (w *world) missing() []uint64 {
+	got := make(map[uint64]bool)
+	for _, n := range w.mob.ReceivedNotes() {
+		got[n.ID.Seq] = true
+	}
+	var out []uint64
+	for s := uint64(1); s <= uint64(w.ticks); s++ {
+		if !got[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestTransparentRelocationLosesNothing(t *testing.T) {
+	w := newWorld(t, sim.MobilityTransparent)
+	w.start()
+	w.publishEvery(100)
+	w.moveAt(20*tick, 30*tick, "B")
+	w.cluster.Net.Run()
+
+	if miss := w.missing(); len(miss) != 0 {
+		t.Errorf("lost %d notifications: %v", len(miss), miss)
+	}
+	if d := w.mob.Duplicates(); d != 0 {
+		t.Errorf("client saw %d duplicates", d)
+	}
+	if v := w.mob.FIFOViolations(); v != 0 {
+		t.Errorf("FIFO violations: %d", v)
+	}
+	if st := w.cluster.Managers["B"].Stats(); st.Relocations != 1 {
+		t.Errorf("B should have completed 1 relocation, got %d", st.Relocations)
+	}
+}
+
+func TestTransparentRelocationLongDistance(t *testing.T) {
+	// Move across the whole line (C -> A): both relocation unicasts and
+	// flush waves traverse multiple hops.
+	w := newWorld(t, sim.MobilityTransparent)
+	w.start()
+	w.publishEvery(150)
+	w.moveAt(40*tick, 55*tick, "A")
+	w.cluster.Net.Run()
+	if miss := w.missing(); len(miss) != 0 {
+		t.Errorf("lost: %v", miss)
+	}
+	if w.mob.Duplicates() != 0 || w.mob.FIFOViolations() != 0 {
+		t.Errorf("dups=%d fifo=%d", w.mob.Duplicates(), w.mob.FIFOViolations())
+	}
+}
+
+func TestGhostReconnectSameBroker(t *testing.T) {
+	w := newWorld(t, sim.MobilityTransparent)
+	w.start()
+	w.publishEvery(60)
+	// Disconnect and come back to the same broker: ghost buffer replays.
+	w.moveAt(20*tick, 40*tick, "C")
+	w.cluster.Net.Run()
+	if miss := w.missing(); len(miss) != 0 {
+		t.Errorf("ghost buffer should cover the gap, lost %v", miss)
+	}
+	if w.mob.FIFOViolations() != 0 {
+		t.Error("replay must preserve publisher order")
+	}
+}
+
+func TestNaiveLosesGapTraffic(t *testing.T) {
+	w := newWorld(t, sim.MobilityNaive)
+	w.start()
+	w.publishEvery(100)
+	w.moveAt(20*tick, 50*tick, "B")
+	w.cluster.Net.Run()
+	miss := w.missing()
+	if len(miss) == 0 {
+		t.Fatal("naive mode should lose disconnection-gap traffic")
+	}
+	// Everything before the disconnect and well after the reconnect must
+	// still arrive.
+	for _, s := range miss {
+		if s < 18 || s > 60 {
+			t.Errorf("naive lost seq %d outside the expected window", s)
+		}
+	}
+}
+
+func TestJEDILosesOnlyInFlight(t *testing.T) {
+	jedi := newWorld(t, sim.MobilityJEDI)
+	jedi.start()
+	jedi.publishEvery(100)
+	jedi.moveAt(20*tick, 50*tick, "B")
+	jedi.cluster.Net.Run()
+	jediMiss := len(jedi.missing())
+
+	naive := newWorld(t, sim.MobilityNaive)
+	naive.start()
+	naive.publishEvery(100)
+	naive.moveAt(20*tick, 50*tick, "B")
+	naive.cluster.Net.Run()
+	naiveMiss := len(naive.missing())
+
+	if jediMiss == 0 {
+		t.Error("JEDI without barriers should lose some in-flight traffic")
+	}
+	if jediMiss >= naiveMiss {
+		t.Errorf("JEDI (%d lost) should beat naive (%d lost): it buffers the gap",
+			jediMiss, naiveMiss)
+	}
+	if jedi.mob.FIFOViolations() != 0 {
+		t.Error("JEDI replay should still be ordered")
+	}
+}
+
+func TestPingPongMove(t *testing.T) {
+	// C -> B -> C with the return happening before the first relocation
+	// can possibly complete (reconnect 3 ticks after the away-connect).
+	w := newWorld(t, sim.MobilityTransparent)
+	w.start()
+	w.publishEvery(120)
+	w.cluster.Net.After(20*tick, func() { w.mob.Disconnect() })
+	w.cluster.Net.After(25*tick, func() { w.mob.ConnectTo("B") })
+	w.cluster.Net.After(28*tick, func() { w.mob.Disconnect() })
+	w.cluster.Net.After(31*tick, func() { w.mob.ConnectTo("C") })
+	w.cluster.Net.Run()
+
+	if miss := w.missing(); len(miss) != 0 {
+		t.Errorf("ping-pong lost %v", miss)
+	}
+	if w.mob.FIFOViolations() != 0 {
+		t.Errorf("ping-pong FIFO violations: %d", w.mob.FIFOViolations())
+	}
+	// No sessions may leak on the intermediate broker.
+	if st := w.cluster.Managers["B"].SessionState("mob"); st != "" {
+		t.Errorf("B still holds session in state %q", st)
+	}
+}
+
+func TestChainedMove(t *testing.T) {
+	// C -> B -> A with the second hop before the first handover finishes.
+	w := newWorld(t, sim.MobilityTransparent)
+	w.start()
+	w.publishEvery(150)
+	w.cluster.Net.After(20*tick, func() { w.mob.Disconnect() })
+	w.cluster.Net.After(24*tick, func() { w.mob.ConnectTo("B") })
+	w.cluster.Net.After(27*tick, func() { w.mob.Disconnect() })
+	w.cluster.Net.After(30*tick, func() { w.mob.ConnectTo("A") })
+	w.cluster.Net.Run()
+
+	if miss := w.missing(); len(miss) != 0 {
+		t.Errorf("chained move lost %v", miss)
+	}
+	if w.mob.FIFOViolations() != 0 {
+		t.Errorf("chained move FIFO violations: %d", w.mob.FIFOViolations())
+	}
+	for _, b := range []message.NodeID{"B", "C"} {
+		if st := w.cluster.Managers[b].SessionState("mob"); st != "" {
+			t.Errorf("%s still holds session %q", b, st)
+		}
+	}
+	if st := w.cluster.Managers["A"].SessionState("mob"); st != "connected" {
+		t.Errorf("A session = %q, want connected", st)
+	}
+}
+
+func TestSubscribeDuringRelocation(t *testing.T) {
+	w := newWorld(t, sim.MobilityTransparent)
+	w.start()
+	w.publishEvery(100)
+	w.cluster.Net.After(20*tick, func() { w.mob.Disconnect() })
+	w.cluster.Net.After(25*tick, func() { w.mob.ConnectTo("B") })
+	// Add a second subscription while the handover is in flight.
+	var extra message.SubID
+	w.cluster.Net.After(26*tick, func() {
+		extra = w.mob.Subscribe(filter.New(filter.Exists("other")))
+	})
+	w.cluster.Net.After(60*tick, func() {
+		w.pub.Publish(map[string]message.Value{"other": message.Int(1)})
+	})
+	w.cluster.Net.Run()
+
+	if miss := w.missing(); len(miss) != 0 {
+		t.Errorf("lost %v", miss)
+	}
+	found := false
+	for _, n := range w.mob.ReceivedNotes() {
+		if n.Has("other") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("subscription issued mid-relocation never delivered")
+	}
+	_ = extra
+}
+
+func TestUnsubscribeStopsFlowAcrossMove(t *testing.T) {
+	topo := broker.LineTopology([]message.NodeID{"A", "B", "C"})
+	cl, err := sim.NewCluster(sim.ClusterConfig{
+		Topology: topo, Mobility: sim.MobilityTransparent, LinkLatency: tick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := cl.AddClient("pub")
+	mob := cl.AddClient("mob")
+	pub.ConnectTo("A")
+	mob.ConnectTo("C")
+	sid := mob.Subscribe(filter.New(filter.Exists("k")))
+	cl.Net.Run()
+
+	// Move, then unsubscribe at the new broker; later traffic must stop.
+	cl.Net.After(5*tick, func() { mob.Disconnect() })
+	cl.Net.After(10*tick, func() { mob.ConnectTo("B") })
+	cl.Net.After(60*tick, func() { mob.Unsubscribe(sid) })
+	cl.Net.Run()
+	cl.Net.After(tick, func() {
+		pub.Publish(map[string]message.Value{"k": message.Int(99)})
+	})
+	cl.Net.Run()
+
+	for _, n := range mob.ReceivedNotes() {
+		if v, _ := n.Get("k"); v.IntVal() == 99 {
+			t.Error("post-unsubscribe notification delivered")
+		}
+	}
+	// All tables must be clean.
+	if got := cl.TotalTableEntries(); got != 0 {
+		t.Errorf("dangling table entries: %d", got)
+	}
+}
+
+func TestDisconnectDuringRelocationBecomesGhost(t *testing.T) {
+	w := newWorld(t, sim.MobilityTransparent)
+	w.start()
+	w.publishEvery(120)
+	w.cluster.Net.After(20*tick, func() { w.mob.Disconnect() })
+	w.cluster.Net.After(24*tick, func() { w.mob.ConnectTo("B") })
+	// Drop the link again immediately — before the relocation completes.
+	w.cluster.Net.After(26*tick, func() { w.mob.Disconnect() })
+	// Come back much later, same broker.
+	w.cluster.Net.After(80*tick, func() { w.mob.ConnectTo("B") })
+	w.cluster.Net.Run()
+
+	if miss := w.missing(); len(miss) != 0 {
+		t.Errorf("ghost-after-relocation lost %v", miss)
+	}
+	if st := w.cluster.Managers["B"].SessionState("mob"); st != "connected" {
+		t.Errorf("B session = %q", st)
+	}
+}
+
+func TestRelocationStatsProgress(t *testing.T) {
+	w := newWorld(t, sim.MobilityTransparent)
+	w.start()
+	w.publishEvery(100)
+	w.moveAt(20*tick, 30*tick, "B")
+	w.cluster.Net.Run()
+	st := w.cluster.Managers["B"].Stats()
+	if st.Replayed == 0 {
+		t.Error("handover should replay buffered notifications")
+	}
+	cst := w.cluster.Managers["C"].Stats()
+	if cst.Buffered == 0 {
+		t.Error("old border should have buffered during the gap")
+	}
+}

@@ -1,0 +1,158 @@
+package movement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rebeca/internal/message"
+)
+
+// bid formats the canonical broker name for generated topologies.
+func bid(i int) message.NodeID { return message.NodeID(fmt.Sprintf("B%d", i)) }
+
+// BrokerNames returns the canonical names B0..B(n-1) used by the generators.
+func BrokerNames(n int) []message.NodeID {
+	out := make([]message.NodeID, n)
+	for i := range out {
+		out[i] = bid(i)
+	}
+	return out
+}
+
+// Line builds a path graph B0–B1–…–B(n-1): the highway / car-route scenario
+// ("menus of restaurants along the route of a car", §1).
+func Line(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(bid(i))
+		if i > 0 {
+			g.AddEdge(bid(i-1), bid(i))
+		}
+	}
+	return g
+}
+
+// Ring builds a cycle of n brokers.
+func Ring(n int) *Graph {
+	g := Line(n)
+	if n > 2 {
+		g.AddEdge(bid(n-1), bid(0))
+	}
+	return g
+}
+
+// Grid builds a w×h 4-neighborhood grid: the GSM base-station scenario
+// (§3.2: "base stations in a GSM network … the neighborhood relationship
+// between them defines the movement graph"). Node (x,y) is B(y*w+x).
+func Grid(w, h int) *Graph {
+	g := NewGraph()
+	at := func(x, y int) message.NodeID { return bid(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.AddNode(at(x, y))
+			if x > 0 {
+				g.AddEdge(at(x-1, y), at(x, y))
+			}
+			if y > 0 {
+				g.AddEdge(at(x, y-1), at(x, y))
+			}
+		}
+	}
+	return g
+}
+
+// Grid8 builds a w×h grid with 8-neighborhoods (diagonals), a denser cell
+// neighborhood used to sweep nlb degree in E6.
+func Grid8(w, h int) *Graph {
+	g := Grid(w, h)
+	at := func(x, y int) message.NodeID { return bid(y*w + x) }
+	for y := 1; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x > 0 {
+				g.AddEdge(at(x-1, y-1), at(x, y))
+			}
+			if x < w-1 {
+				g.AddEdge(at(x+1, y-1), at(x, y))
+			}
+		}
+	}
+	return g
+}
+
+// Star builds a hub-and-spokes graph with B0 at the center.
+func Star(n int) *Graph {
+	g := NewGraph()
+	g.AddNode(bid(0))
+	for i := 1; i < n; i++ {
+		g.AddEdge(bid(0), bid(i))
+	}
+	return g
+}
+
+// Complete builds the complete graph K_n — the degenerate "virtual client
+// running (almost) everywhere" flooding topology §4 warns about.
+func Complete(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(bid(i))
+		for j := 0; j < i; j++ {
+			g.AddEdge(bid(j), bid(i))
+		}
+	}
+	return g
+}
+
+// OfficeFloorGraph builds the office-floor movement graph of Fig. 1: a
+// corridor path of `segments` brokers; clients walk the corridor (rooms are
+// logical locations within each broker's scope, not graph nodes — the
+// refinement the paper points out).
+func OfficeFloorGraph(segments int) *Graph { return Line(segments) }
+
+// RandomTree builds a uniformly random labeled tree on n nodes from a
+// Prüfer-like attachment: node i attaches to a uniformly random earlier
+// node. Deterministic for a given seed.
+func RandomTree(n int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	g.AddNode(bid(0))
+	for i := 1; i < n; i++ {
+		g.AddEdge(bid(r.Intn(i)), bid(i))
+	}
+	return g
+}
+
+// RandomGeometric builds a random geometric-style graph: n nodes on a unit
+// square, edges between nodes closer than radius; a connecting spanning
+// chain over the node order is added so the result is always connected.
+func RandomGeometric(n int, radius float64, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{r.Float64(), r.Float64()}
+	}
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(bid(i))
+		for j := 0; j < i; j++ {
+			dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+			if dx*dx+dy*dy <= radius*radius {
+				g.AddEdge(bid(i), bid(j))
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		if g.Degree(bid(i)) == 0 {
+			g.AddEdge(bid(i-1), bid(i))
+		}
+	}
+	if !g.Connected() {
+		// Stitch components along node order; cheap and deterministic.
+		for i := 1; i < n; i++ {
+			if g.ShortestPath(bid(0), bid(i)) == nil {
+				g.AddEdge(bid(i-1), bid(i))
+			}
+		}
+	}
+	return g
+}

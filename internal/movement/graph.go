@@ -1,0 +1,214 @@
+// Package movement implements the movement-graph formalism of §3.2 — the
+// `nlb : B -> 2^B` ("next local broker") function that makes movement
+// uncertainty exploitable — together with graph generators for the system
+// settings the paper names (office floors, GSM cells, highways) and seeded
+// mobility models that produce deterministic movement traces for the
+// experiments.
+package movement
+
+import (
+	"fmt"
+	"sort"
+
+	"rebeca/internal/message"
+)
+
+// Graph is an undirected movement graph over border brokers: an edge
+// {b1,b2} exists iff a client may connect to b2 after disconnecting from b1
+// (§3.2). It also serves as the broker overlay topology generator input.
+type Graph struct {
+	adj map[message.NodeID]map[message.NodeID]bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[message.NodeID]map[message.NodeID]bool)}
+}
+
+// AddNode ensures the node exists (isolated nodes are legal: a client there
+// can only stay).
+func (g *Graph) AddNode(b message.NodeID) *Graph {
+	if _, ok := g.adj[b]; !ok {
+		g.adj[b] = make(map[message.NodeID]bool)
+	}
+	return g
+}
+
+// AddEdge inserts the undirected edge {a,b}. Self-loops are ignored: nlb(b)
+// excludes b itself by definition (§3.2).
+func (g *Graph) AddEdge(a, b message.NodeID) *Graph {
+	if a == b {
+		return g
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+	return g
+}
+
+// HasEdge reports whether {a,b} is an edge.
+func (g *Graph) HasEdge(a, b message.NodeID) bool { return g.adj[a][b] }
+
+// Nodes returns all nodes in sorted order.
+func (g *Graph) Nodes() []message.NodeID {
+	out := make([]message.NodeID, 0, len(g.adj))
+	for b := range g.adj {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// Neighbors implements nlb: the set of brokers reachable with exactly one
+// edge, excluding b itself, in sorted order.
+func (g *Graph) Neighbors(b message.NodeID) []message.NodeID {
+	out := make([]message.NodeID, 0, len(g.adj[b]))
+	for n := range g.adj[b] {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns |nlb(b)|.
+func (g *Graph) Degree(b message.NodeID) int { return len(g.adj[b]) }
+
+// MaxDegree returns the largest degree in the graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for b := range g.adj {
+		if d := len(g.adj[b]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the mean degree.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	total := 0
+	for b := range g.adj {
+		total += len(g.adj[b])
+	}
+	return float64(total) / float64(len(g.adj))
+}
+
+// NLB returns the nlb function backed by this graph, in the paper's
+// formalization nlb : B -> 2^B.
+func (g *Graph) NLB() func(message.NodeID) []message.NodeID {
+	return g.Neighbors
+}
+
+// Connected reports whether the graph is connected (trivially true for
+// empty and single-node graphs).
+func (g *Graph) Connected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	var start message.NodeID
+	for b := range g.adj {
+		start = b
+		break
+	}
+	seen := map[message.NodeID]bool{start: true}
+	queue := []message.NodeID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for n := range g.adj[cur] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return len(seen) == len(g.adj)
+}
+
+// ShortestPath returns a shortest path from a to b inclusive of both ends,
+// or nil when unreachable. Neighbor expansion order is deterministic.
+func (g *Graph) ShortestPath(a, b message.NodeID) []message.NodeID {
+	if a == b {
+		return []message.NodeID{a}
+	}
+	prev := map[message.NodeID]message.NodeID{a: a}
+	queue := []message.NodeID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range g.Neighbors(cur) {
+			if _, ok := prev[n]; ok {
+				continue
+			}
+			prev[n] = cur
+			if n == b {
+				var path []message.NodeID
+				for x := b; x != a; x = prev[x] {
+					path = append(path, x)
+				}
+				path = append(path, a)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil
+}
+
+// SpanningTree returns the edges of a BFS spanning tree rooted at the
+// lexicographically smallest node, used to derive an acyclic broker overlay
+// from an arbitrary movement graph.
+func (g *Graph) SpanningTree() [][2]message.NodeID {
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	root := nodes[0]
+	seen := map[message.NodeID]bool{root: true}
+	queue := []message.NodeID{root}
+	var edges [][2]message.NodeID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range g.Neighbors(cur) {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			edges = append(edges, [2]message.NodeID{cur, n})
+			queue = append(queue, n)
+		}
+	}
+	return edges
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for a, ns := range g.adj {
+		c.AddNode(a)
+		for b := range ns {
+			c.AddEdge(a, b)
+		}
+	}
+	return c
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	edges := 0
+	for _, ns := range g.adj {
+		edges += len(ns)
+	}
+	return fmt.Sprintf("graph{nodes=%d edges=%d}", len(g.adj), edges/2)
+}

@@ -1,0 +1,340 @@
+package movement
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("A", "B").AddEdge("B", "C")
+	if !g.HasEdge("A", "B") || !g.HasEdge("B", "A") {
+		t.Error("edges must be undirected")
+	}
+	if g.HasEdge("A", "C") {
+		t.Error("no transitive edges")
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d, want 3", g.Len())
+	}
+	if d := g.Degree("B"); d != 2 {
+		t.Errorf("Degree(B) = %d, want 2", d)
+	}
+	ns := g.Neighbors("B")
+	if len(ns) != 2 || ns[0] != "A" || ns[1] != "C" {
+		t.Errorf("Neighbors(B) = %v", ns)
+	}
+}
+
+func TestGraphSelfLoopIgnored(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("A", "A")
+	if g.Degree("A") != 0 {
+		t.Error("self loop should be ignored (nlb excludes b itself)")
+	}
+}
+
+func TestNLBFunction(t *testing.T) {
+	g := Line(3)
+	nlb := g.NLB()
+	ns := nlb("B1")
+	if len(ns) != 2 || ns[0] != "B0" || ns[1] != "B2" {
+		t.Errorf("nlb(B1) = %v", ns)
+	}
+	if len(nlb("B0")) != 1 {
+		t.Errorf("nlb(B0) = %v", nlb("B0"))
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := Line(5)
+	if !g.Connected() {
+		t.Error("line should be connected")
+	}
+	g2 := NewGraph()
+	g2.AddEdge("A", "B")
+	g2.AddEdge("C", "D")
+	if g2.Connected() {
+		t.Error("two components should not be connected")
+	}
+	if !NewGraph().Connected() {
+		t.Error("empty graph trivially connected")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Grid(3, 3) // B0..B8
+	p := g.ShortestPath("B0", "B8")
+	if len(p) != 5 {
+		t.Errorf("grid corner-to-corner path length = %d, want 5 (4 hops)", len(p))
+	}
+	if p[0] != "B0" || p[len(p)-1] != "B8" {
+		t.Errorf("path endpoints wrong: %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		if !g.HasEdge(p[i-1], p[i]) {
+			t.Errorf("path uses non-edge %v-%v", p[i-1], p[i])
+		}
+	}
+	if p := g.ShortestPath("B0", "B0"); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+	g2 := NewGraph()
+	g2.AddNode("X").AddNode("Y")
+	if p := g2.ShortestPath("X", "Y"); p != nil {
+		t.Errorf("unreachable path should be nil, got %v", p)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	g := Grid(4, 4)
+	edges := g.SpanningTree()
+	if len(edges) != g.Len()-1 {
+		t.Fatalf("spanning tree edges = %d, want %d", len(edges), g.Len()-1)
+	}
+	tree := NewGraph()
+	for _, e := range edges {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("tree edge %v not in graph", e)
+		}
+		tree.AddEdge(e[0], e[1])
+	}
+	for _, n := range g.Nodes() {
+		tree.AddNode(n)
+	}
+	if !tree.Connected() {
+		t.Error("spanning tree must be connected")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *Graph
+		nodes     int
+		maxDegree int
+	}{
+		{"line", Line(5), 5, 2},
+		{"ring", Ring(5), 5, 2},
+		{"grid", Grid(3, 3), 9, 4},
+		{"grid8", Grid8(3, 3), 9, 8},
+		{"star", Star(6), 6, 5},
+		{"complete", Complete(4), 4, 3},
+		{"office", OfficeFloorGraph(4), 4, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.Len() != tt.nodes {
+				t.Errorf("nodes = %d, want %d", tt.g.Len(), tt.nodes)
+			}
+			if got := tt.g.MaxDegree(); got != tt.maxDegree {
+				t.Errorf("max degree = %d, want %d", got, tt.maxDegree)
+			}
+			if !tt.g.Connected() {
+				t.Error("generated graph should be connected")
+			}
+		})
+	}
+}
+
+func TestRingEdgeWrap(t *testing.T) {
+	g := Ring(4)
+	if !g.HasEdge("B3", "B0") {
+		t.Error("ring must close the cycle")
+	}
+}
+
+func TestRandomTreeDeterministicAndAcyclic(t *testing.T) {
+	a := RandomTree(20, 7)
+	b := RandomTree(20, 7)
+	for _, n := range a.Nodes() {
+		an, bn := a.Neighbors(n), b.Neighbors(n)
+		if len(an) != len(bn) {
+			t.Fatalf("same seed, different trees at %s", n)
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("same seed, different trees at %s", n)
+			}
+		}
+	}
+	// Tree: n-1 edges, connected.
+	edges := 0
+	for _, n := range a.Nodes() {
+		edges += a.Degree(n)
+	}
+	if edges/2 != 19 {
+		t.Errorf("tree edges = %d, want 19", edges/2)
+	}
+	if !a.Connected() {
+		t.Error("tree must be connected")
+	}
+	c := RandomTree(20, 8)
+	same := true
+	for _, n := range a.Nodes() {
+		if len(a.Neighbors(n)) != len(c.Neighbors(n)) {
+			same = false
+		}
+	}
+	if same {
+		t.Log("note: different seeds produced structurally similar trees (possible, unlikely)")
+	}
+}
+
+func TestRandomGeometricConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomGeometric(30, 0.2, seed)
+		if !g.Connected() {
+			t.Errorf("seed %d: geometric graph should be stitched connected", seed)
+		}
+		if g.Len() != 30 {
+			t.Errorf("seed %d: nodes = %d", seed, g.Len())
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Line(3)
+	c := g.Clone()
+	c.AddEdge("B0", "B2")
+	if g.HasEdge("B0", "B2") {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := Star(5)
+	if got := g.AvgDegree(); got != 8.0/5.0 {
+		t.Errorf("avg degree = %v", got)
+	}
+	if NewGraph().AvgDegree() != 0 {
+		t.Error("empty graph avg degree should be 0")
+	}
+}
+
+// --- traces -------------------------------------------------------------
+
+var spec = DwellSpec{Dwell: 10 * time.Second, Jitter: 2 * time.Second, Gap: time.Second}
+
+func TestRandomWalkValidTrace(t *testing.T) {
+	g := Grid(4, 4)
+	m := RandomWalk{Graph: g, Spec: spec}
+	tr := m.Generate("B0", 50, rand.New(rand.NewSource(1)))
+	if len(tr.Steps) != 50 {
+		t.Fatalf("steps = %d", len(tr.Steps))
+	}
+	if !tr.Valid(g) {
+		t.Error("random walk must respect the movement graph")
+	}
+	for _, s := range tr.Steps {
+		if s.Dwell < 8*time.Second || s.Dwell > 12*time.Second {
+			t.Errorf("dwell %s outside jitter range", s.Dwell)
+		}
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	g := Grid(4, 4)
+	m := RandomWalk{Graph: g, Spec: spec}
+	a := m.Generate("B0", 30, rand.New(rand.NewSource(9)))
+	b := m.Generate("B0", 30, rand.New(rand.NewSource(9)))
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestWaypointValidAndMoves(t *testing.T) {
+	g := Grid(5, 5)
+	m := Waypoint{Graph: g, Spec: spec}
+	tr := m.Generate("B0", 100, rand.New(rand.NewSource(3)))
+	if !tr.Valid(g) {
+		t.Error("waypoint trace must respect graph")
+	}
+	if tr.Handovers() == 0 {
+		t.Error("waypoint should actually move")
+	}
+}
+
+func TestCommuterCycles(t *testing.T) {
+	m := Commuter{Route: []message.NodeID{"home", "work"}, Spec: spec}
+	tr := m.Generate("ignored", 4, rand.New(rand.NewSource(1)))
+	want := []message.NodeID{"home", "work", "home", "work"}
+	for i, s := range tr.Steps {
+		if s.Broker != want[i] {
+			t.Fatalf("commuter brokers = %v", tr.Brokers())
+		}
+	}
+	if tr.Handovers() != 3 {
+		t.Errorf("handovers = %d, want 3", tr.Handovers())
+	}
+}
+
+func TestTeleportUsuallyInvalid(t *testing.T) {
+	g := Line(20)
+	m := Teleport{Graph: g, Spec: spec}
+	tr := m.Generate("B0", 50, rand.New(rand.NewSource(5)))
+	if tr.Valid(g) {
+		t.Error("teleport on a long line should break movement-graph validity")
+	}
+}
+
+func TestMixedMostlyValid(t *testing.T) {
+	g := Grid(5, 5)
+	m := Mixed{
+		Base:     RandomWalk{Graph: g, Spec: spec},
+		Graph:    g,
+		Teleport: 0.1,
+		Spec:     spec,
+	}
+	tr := m.Generate("B0", 100, rand.New(rand.NewSource(2)))
+	violations := 0
+	for i := 1; i < len(tr.Steps); i++ {
+		a, b := tr.Steps[i-1].Broker, tr.Steps[i].Broker
+		if a != b && !g.HasEdge(a, b) {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Error("mixed model should occasionally teleport")
+	}
+	if violations > 40 {
+		t.Errorf("too many violations (%d) for p=0.1", violations)
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := Trace{Steps: []Step{
+		{Broker: "A", Dwell: time.Second, Gap: time.Second},
+		{Broker: "B", Dwell: 2 * time.Second, Gap: time.Second},
+		{Broker: "B", Dwell: time.Second},
+	}}
+	if tr.Duration() != 6*time.Second {
+		t.Errorf("Duration = %s", tr.Duration())
+	}
+	if tr.Handovers() != 1 {
+		t.Errorf("Handovers = %d, want 1", tr.Handovers())
+	}
+	bs := tr.Brokers()
+	if len(bs) != 3 || bs[0] != "A" {
+		t.Errorf("Brokers = %v", bs)
+	}
+}
+
+func TestDwellSpecNoJitter(t *testing.T) {
+	d := DwellSpec{Dwell: 5 * time.Second}
+	if got := d.sample(rand.New(rand.NewSource(1))); got != 5*time.Second {
+		t.Errorf("no-jitter sample = %s", got)
+	}
+}
+
+func TestBrokerNames(t *testing.T) {
+	ns := BrokerNames(3)
+	if len(ns) != 3 || ns[0] != "B0" || ns[2] != "B2" {
+		t.Errorf("BrokerNames = %v", ns)
+	}
+}

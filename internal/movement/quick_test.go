@@ -1,0 +1,181 @@
+package movement
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// edgeList is a quick.Generator producing small random graphs.
+type edgeList struct {
+	N     uint8
+	Pairs []uint16
+}
+
+// Generate implements quick.Generator.
+func (edgeList) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := uint8(r.Intn(10) + 2)
+	pairs := make([]uint16, r.Intn(25))
+	for i := range pairs {
+		pairs[i] = uint16(r.Intn(int(n)) + int(n)*r.Intn(int(n)))
+	}
+	return reflect.ValueOf(edgeList{N: n, Pairs: pairs})
+}
+
+func (e edgeList) build() *Graph {
+	g := NewGraph()
+	n := int(e.N)
+	for i := 0; i < n; i++ {
+		g.AddNode(bid(i))
+	}
+	for _, p := range e.Pairs {
+		a, b := int(p)%n, (int(p)/n)%n
+		g.AddEdge(bid(a), bid(b))
+	}
+	return g
+}
+
+// Property: adjacency is symmetric and irreflexive (nlb excludes self).
+func TestQuickGraphSymmetry(t *testing.T) {
+	f := func(e edgeList) bool {
+		g := e.build()
+		for _, a := range g.Nodes() {
+			for _, b := range g.Neighbors(a) {
+				if a == b {
+					return false
+				}
+				if !g.HasEdge(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shortest paths are symmetric in length, use only edges, and are
+// no longer than the node count.
+func TestQuickShortestPathProperties(t *testing.T) {
+	f := func(e edgeList, ai, bi uint8) bool {
+		g := e.build()
+		nodes := g.Nodes()
+		a := nodes[int(ai)%len(nodes)]
+		b := nodes[int(bi)%len(nodes)]
+		p := g.ShortestPath(a, b)
+		q := g.ShortestPath(b, a)
+		if (p == nil) != (q == nil) {
+			return false
+		}
+		if p == nil {
+			return true
+		}
+		if len(p) != len(q) || len(p) > g.Len() {
+			return false
+		}
+		if p[0] != a || p[len(p)-1] != b {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a spanning tree of a connected graph has n-1 edges, touches
+// every node, and uses only graph edges.
+func TestQuickSpanningTreeProperties(t *testing.T) {
+	f := func(e edgeList) bool {
+		g := e.build()
+		if !g.Connected() {
+			return true // vacuous
+		}
+		edges := g.SpanningTree()
+		if len(edges) != g.Len()-1 {
+			return false
+		}
+		tree := NewGraph()
+		for _, n := range g.Nodes() {
+			tree.AddNode(n)
+		}
+		for _, ed := range edges {
+			if !g.HasEdge(ed[0], ed[1]) {
+				return false
+			}
+			tree.AddEdge(ed[0], ed[1])
+		}
+		return tree.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated model trace over a connected graph respects the
+// movement restriction (Valid), except Teleport/Mixed which may not.
+func TestQuickModelTracesValid(t *testing.T) {
+	spec := DwellSpec{Dwell: 10 * time.Millisecond, Jitter: 2 * time.Millisecond, Gap: time.Millisecond}
+	f := func(e edgeList, seed int64, startIdx uint8) bool {
+		g := e.build()
+		if !g.Connected() {
+			return true
+		}
+		nodes := g.Nodes()
+		start := nodes[int(startIdx)%len(nodes)]
+		rng := rand.New(rand.NewSource(seed))
+		for _, m := range []Model{
+			RandomWalk{Graph: g, Spec: spec},
+			Waypoint{Graph: g, Spec: spec},
+		} {
+			tr := m.Generate(start, 20, rng)
+			if len(tr.Steps) != 20 {
+				return false
+			}
+			if !tr.Valid(g) {
+				return false
+			}
+			if tr.Steps[0].Broker != start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: commuter traces cycle exactly through their route.
+func TestQuickCommuterCycles(t *testing.T) {
+	spec := DwellSpec{Dwell: time.Millisecond}
+	f := func(routeLen, steps uint8, seed int64) bool {
+		n := int(routeLen)%5 + 1
+		route := make([]message.NodeID, n)
+		for i := range route {
+			route[i] = bid(i)
+		}
+		k := int(steps)%30 + 1
+		tr := Commuter{Route: route, Spec: spec}.Generate("", k, rand.New(rand.NewSource(seed)))
+		for i, s := range tr.Steps {
+			if s.Broker != route[i%n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

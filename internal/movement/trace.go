@@ -1,0 +1,227 @@
+package movement
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// Step is one stop in a movement trace: the client is connected to Broker
+// for Dwell, then disconnected for Gap while moving to the next step's
+// broker.
+type Step struct {
+	Broker message.NodeID
+	Dwell  time.Duration
+	Gap    time.Duration
+}
+
+// Trace is a client's full, pre-computed movement schedule. Traces are the
+// unit of determinism in experiments: models generate them once from a
+// seeded RNG, then the simulator replays them.
+type Trace struct {
+	Steps []Step
+}
+
+// Brokers returns the broker sequence of the trace.
+func (t Trace) Brokers() []message.NodeID {
+	out := make([]message.NodeID, len(t.Steps))
+	for i, s := range t.Steps {
+		out[i] = s.Broker
+	}
+	return out
+}
+
+// Duration returns the trace's total schedule length.
+func (t Trace) Duration() time.Duration {
+	var d time.Duration
+	for _, s := range t.Steps {
+		d += s.Dwell + s.Gap
+	}
+	return d
+}
+
+// Handovers returns the number of broker changes in the trace.
+func (t Trace) Handovers() int {
+	n := 0
+	for i := 1; i < len(t.Steps); i++ {
+		if t.Steps[i].Broker != t.Steps[i-1].Broker {
+			n++
+		}
+	}
+	return n
+}
+
+// Valid reports whether every consecutive pair of distinct brokers is an
+// edge of g — i.e. the trace obeys the movement restriction the replicator
+// assumes (§3.2). Traces from TeleportTrace intentionally violate this.
+func (t Trace) Valid(g *Graph) bool {
+	for i := 1; i < len(t.Steps); i++ {
+		a, b := t.Steps[i-1].Broker, t.Steps[i].Broker
+		if a != b && !g.HasEdge(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the trace.
+func (t Trace) String() string {
+	return fmt.Sprintf("trace{steps=%d handovers=%d dur=%s}",
+		len(t.Steps), t.Handovers(), t.Duration())
+}
+
+// Model generates movement traces over a graph. Implementations must be
+// deterministic given the rng.
+type Model interface {
+	// Generate produces a trace of the given number of steps starting at
+	// start. The dwell/gap distributions are model-specific.
+	Generate(start message.NodeID, steps int, rng *rand.Rand) Trace
+}
+
+// DwellSpec describes dwell and gap times: each step dwells Dwell±Jitter
+// and then spends Gap disconnected while moving.
+type DwellSpec struct {
+	Dwell  time.Duration
+	Jitter time.Duration
+	Gap    time.Duration
+}
+
+func (d DwellSpec) sample(rng *rand.Rand) time.Duration {
+	if d.Jitter <= 0 {
+		return d.Dwell
+	}
+	off := time.Duration(rng.Int63n(int64(2*d.Jitter))) - d.Jitter
+	dw := d.Dwell + off
+	if dw < 0 {
+		dw = 0
+	}
+	return dw
+}
+
+// RandomWalk moves to a uniformly random neighbor each step — the maximum
+// uncertainty model, exactly the nlb guarantee's sweet spot.
+type RandomWalk struct {
+	Graph *Graph
+	Spec  DwellSpec
+}
+
+// Generate implements Model.
+func (m RandomWalk) Generate(start message.NodeID, steps int, rng *rand.Rand) Trace {
+	cur := start
+	t := Trace{Steps: make([]Step, 0, steps)}
+	for i := 0; i < steps; i++ {
+		t.Steps = append(t.Steps, Step{Broker: cur, Dwell: m.Spec.sample(rng), Gap: m.Spec.Gap})
+		ns := m.Graph.Neighbors(cur)
+		if len(ns) == 0 {
+			continue
+		}
+		cur = ns[rng.Intn(len(ns))]
+	}
+	return t
+}
+
+// Waypoint picks a random destination and walks the shortest path to it,
+// then picks a new destination — a graph-shaped random-waypoint model with
+// more directional persistence than a pure walk.
+type Waypoint struct {
+	Graph *Graph
+	Spec  DwellSpec
+}
+
+// Generate implements Model.
+func (m Waypoint) Generate(start message.NodeID, steps int, rng *rand.Rand) Trace {
+	nodes := m.Graph.Nodes()
+	cur := start
+	t := Trace{Steps: make([]Step, 0, steps)}
+	var path []message.NodeID
+	for len(t.Steps) < steps {
+		if len(path) == 0 {
+			dest := nodes[rng.Intn(len(nodes))]
+			path = m.Graph.ShortestPath(cur, dest)
+			if len(path) > 0 {
+				path = path[1:] // drop current node
+			}
+			if len(path) == 0 { // dest == cur or unreachable: dwell in place
+				t.Steps = append(t.Steps, Step{Broker: cur, Dwell: m.Spec.sample(rng), Gap: m.Spec.Gap})
+				continue
+			}
+		}
+		t.Steps = append(t.Steps, Step{Broker: cur, Dwell: m.Spec.sample(rng), Gap: m.Spec.Gap})
+		cur, path = path[0], path[1:]
+	}
+	return t
+}
+
+// Commuter cycles deterministically through a fixed route (home → work →
+// home …): the Fig. 1 (left) roaming-user scenario. The route must be a
+// walk in the movement graph for the replicator guarantee to hold.
+type Commuter struct {
+	Route []message.NodeID
+	Spec  DwellSpec
+}
+
+// Generate implements Model. start is ignored; the route speaks.
+func (m Commuter) Generate(_ message.NodeID, steps int, rng *rand.Rand) Trace {
+	t := Trace{Steps: make([]Step, 0, steps)}
+	for i := 0; i < steps; i++ {
+		t.Steps = append(t.Steps, Step{
+			Broker: m.Route[i%len(m.Route)],
+			Dwell:  m.Spec.sample(rng),
+			Gap:    m.Spec.Gap,
+		})
+	}
+	return t
+}
+
+// Teleport jumps to a uniformly random node anywhere in the graph each
+// step — the power-off-and-pop-up-anywhere behaviour of §4 that defeats nlb
+// and exercises the exception mode (E9).
+type Teleport struct {
+	Graph *Graph
+	Spec  DwellSpec
+}
+
+// Generate implements Model.
+func (m Teleport) Generate(start message.NodeID, steps int, rng *rand.Rand) Trace {
+	nodes := m.Graph.Nodes()
+	cur := start
+	t := Trace{Steps: make([]Step, 0, steps)}
+	for i := 0; i < steps; i++ {
+		t.Steps = append(t.Steps, Step{Broker: cur, Dwell: m.Spec.sample(rng), Gap: m.Spec.Gap})
+		cur = nodes[rng.Intn(len(nodes))]
+	}
+	return t
+}
+
+// Mixed interleaves a base model with occasional teleports (probability
+// p per step transition), modelling mostly-regular users who sometimes
+// power off and reappear elsewhere.
+type Mixed struct {
+	Base     Model
+	Graph    *Graph
+	Teleport float64
+	Spec     DwellSpec
+}
+
+// Generate implements Model.
+func (m Mixed) Generate(start message.NodeID, steps int, rng *rand.Rand) Trace {
+	base := m.Base.Generate(start, steps, rng)
+	nodes := m.Graph.Nodes()
+	for i := 1; i < len(base.Steps); i++ {
+		if rng.Float64() < m.Teleport {
+			base.Steps[i].Broker = nodes[rng.Intn(len(nodes))]
+		}
+	}
+	return base
+}
+
+// Compile-time interface checks.
+var (
+	_ Model = RandomWalk{}
+	_ Model = Waypoint{}
+	_ Model = Commuter{}
+	_ Model = Teleport{}
+	_ Model = Mixed{}
+)

@@ -1,0 +1,246 @@
+// Package proto defines the wire messages exchanged between nodes: the
+// pub/sub triple (publish, subscribe, unsubscribe) of §2, client session
+// management, the physical-mobility relocation protocol [8], and the
+// replicator-layer messages of §3.2 (replica creation/deletion, subscription
+// propagation, buffer fetch).
+//
+// A single Message struct with optional payload fields keeps the transport,
+// simulator and gob encoding uniform; Kind discriminates.
+package proto
+
+import (
+	"fmt"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+)
+
+// Kind discriminates wire messages. Enums start at one.
+type Kind int
+
+// Message kinds.
+const (
+	KInvalid Kind = iota
+
+	// --- content-based routing (§2) ---
+
+	// KPublish carries a notification through the broker overlay.
+	KPublish
+	// KSubscribe installs a subscription; forwarded per routing strategy.
+	KSubscribe
+	// KUnsubscribe removes a subscription.
+	KUnsubscribe
+	// KAdvertise announces a publisher's notification space; under
+	// advertisement-based routing it gates subscription forwarding.
+	KAdvertise
+	// KUnadvertise withdraws an advertisement.
+	KUnadvertise
+
+	// --- client session (client <-> border broker) ---
+
+	// KConnect announces a (mobile) client at a border broker. It carries
+	// the client's previous broker and its subscription profile so the
+	// border can run relocation or the replicator's exception mode.
+	KConnect
+	// KDisconnect announces that the client's wireless link dropped.
+	KDisconnect
+	// KDeliver hands a matching notification to a client.
+	KDeliver
+
+	// --- physical mobility relocation (unicast broker-to-broker, [8]) ---
+
+	// KRelocReq: new border asks the old border to relocate a client.
+	KRelocReq
+	// KRelocProfile: old border ships the client's subscriptions, buffered
+	// notifications and per-publisher watermarks to the new border.
+	KRelocProfile
+	// KRelocActivate: new border confirms its subscriptions are installed;
+	// the old border may now unsubscribe and flush.
+	KRelocActivate
+	// KRelocTail: old border ships notifications that straggled in during
+	// the unsubscription flush, then forgets the client.
+	KRelocTail
+
+	// --- unsubscription flush (aggregated convergecast ack) ---
+
+	// KFlush propagates behind an unsubscription along the same links;
+	// KFlushAck convergecasts completion back toward the origin. FIFO
+	// links guarantee every notification routed by a stale table entry
+	// arrives before the ack that chases it (see internal/mobility).
+	KFlush
+	// KFlushAck acknowledges a KFlush subtree.
+	KFlushAck
+
+	// --- replicator layer (§3.2, direct replicator-to-replicator) ---
+
+	// KReplicaCreate instructs a neighbor replicator to start a buffering
+	// virtual client with the given location-dependent subscriptions.
+	KReplicaCreate
+	// KReplicaDelete garbage-collects a virtual client.
+	KReplicaDelete
+	// KReplicaSub propagates one new location-dependent subscription to an
+	// existing virtual client.
+	KReplicaSub
+	// KReplicaUnsub removes one subscription from a virtual client.
+	KReplicaUnsub
+	// KBufferFetch asks a remote replicator for a virtual client's buffer
+	// (exception mode, §4: pop-up at an uncovered broker).
+	KBufferFetch
+	// KBufferFetchReply returns the requested buffer contents.
+	KBufferFetchReply
+)
+
+var kindNames = map[Kind]string{
+	KPublish:          "publish",
+	KSubscribe:        "subscribe",
+	KUnsubscribe:      "unsubscribe",
+	KAdvertise:        "advertise",
+	KUnadvertise:      "unadvertise",
+	KConnect:          "connect",
+	KDisconnect:       "disconnect",
+	KDeliver:          "deliver",
+	KRelocReq:         "reloc-req",
+	KRelocProfile:     "reloc-profile",
+	KRelocActivate:    "reloc-activate",
+	KRelocTail:        "reloc-tail",
+	KFlush:            "flush",
+	KFlushAck:         "flush-ack",
+	KReplicaCreate:    "replica-create",
+	KReplicaDelete:    "replica-delete",
+	KReplicaSub:       "replica-sub",
+	KReplicaUnsub:     "replica-unsub",
+	KBufferFetch:      "buffer-fetch",
+	KBufferFetchReply: "buffer-fetch-reply",
+}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Control reports whether the kind belongs to a mobility/replication
+// control protocol rather than the pub/sub data plane. Experiments use the
+// split for overhead accounting.
+func (k Kind) Control() bool {
+	switch k {
+	case KPublish, KSubscribe, KUnsubscribe, KDeliver, KAdvertise, KUnadvertise:
+		return false
+	default:
+		return true
+	}
+}
+
+// Subscription pairs a filter with its end-to-end identity.
+type Subscription struct {
+	ID     message.SubID
+	Filter filter.Filter
+}
+
+// String renders the subscription.
+func (s Subscription) String() string {
+	return fmt.Sprintf("%s:%s", s.ID, s.Filter)
+}
+
+// Message is the single wire envelope. Only the fields relevant to Kind
+// are populated; see each kind's doc.
+type Message struct {
+	Kind Kind
+	// From is the immediate sender, stamped by the transport on delivery.
+	From message.NodeID
+	// Origin is the logical source node of the message (e.g. the client a
+	// KConnect concerns was issued for, or the broker that started a
+	// relocation).
+	Origin message.NodeID
+	// Dest is the unicast destination for control messages routed by the
+	// broker overlay's next-hop tables; empty for content-routed and
+	// link-local messages.
+	Dest message.NodeID
+	// Client is the subject client of session/mobility messages.
+	Client message.NodeID
+
+	// Note carries a single notification (KPublish, KDeliver).
+	Note *message.Notification
+	// Notes carries a notification batch (KRelocProfile, KRelocTail,
+	// KBufferFetchReply).
+	Notes []message.Notification
+	// Sub carries one subscription (KSubscribe, KUnsubscribe, KReplicaSub,
+	// KReplicaUnsub).
+	Sub *Subscription
+	// Subs carries a subscription profile (KConnect, KRelocProfile,
+	// KReplicaCreate).
+	Subs []Subscription
+	// Watermarks carries per-publisher delivered sequence numbers for
+	// exactly-once replay (KRelocProfile).
+	Watermarks map[message.NodeID]uint64
+	// FlushID correlates a KFlush wave with its acks.
+	FlushID uint64
+	// Epoch is the client's monotonic connect counter. Every KConnect
+	// carries the client's current epoch; relocation messages echo the
+	// epoch of the connect that triggered them so that stale requests and
+	// replies (from superseded moves) are detected and discarded.
+	Epoch uint64
+	// Stale marks a KRelocProfile reply that declines a stale KRelocReq:
+	// the old border has seen a newer connect epoch, so the requester's
+	// relocation run is outdated (the requester re-requests from the
+	// decliner if the client has since reconnected at the requester, or
+	// tears its session down otherwise).
+	Stale bool
+	// Fresh marks a KRelocProfile reply from a border with no session for
+	// the client: there is no state to relocate; the requester proceeds
+	// from the client's announced profile without a handover barrier.
+	Fresh bool
+	// Hops counts overlay hops for path-length statistics.
+	Hops int
+}
+
+// String renders a compact summary for logs.
+func (m Message) String() string {
+	s := m.Kind.String()
+	if m.Client != "" {
+		s += "[" + string(m.Client) + "]"
+	}
+	if m.Note != nil {
+		s += " " + m.Note.String()
+	}
+	if m.Sub != nil {
+		s += " " + m.Sub.String()
+	}
+	if m.Dest != "" {
+		s += " ->" + string(m.Dest)
+	}
+	return s
+}
+
+// WireSize approximates the on-wire size in bytes for bandwidth accounting.
+func (m Message) WireSize() int {
+	size := 16 + len(m.From) + len(m.Origin) + len(m.Dest) + len(m.Client)
+	if m.Note != nil {
+		size += m.Note.WireSize()
+	}
+	for _, n := range m.Notes {
+		size += n.WireSize()
+	}
+	if m.Sub != nil {
+		size += subSize(*m.Sub)
+	}
+	for _, s := range m.Subs {
+		size += subSize(s)
+	}
+	size += len(m.Watermarks) * 16
+	return size
+}
+
+func subSize(s Subscription) int {
+	return len(s.ID) + len(s.Filter.Key())
+}
+
+// CloneNotes returns a deep-enough copy of a notification batch (the
+// notifications themselves are immutable; the slice must not be shared).
+func CloneNotes(ns []message.Notification) []message.Notification {
+	out := make([]message.Notification, len(ns))
+	copy(out, ns)
+	return out
+}

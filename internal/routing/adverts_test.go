@@ -1,0 +1,131 @@
+package routing
+
+import (
+	"testing"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+)
+
+func newAdvRouter() *Router {
+	r := NewRouter(StrategySimple)
+	r.EnableAdvertisements()
+	return r
+}
+
+func TestAdvertiseFloods(t *testing.T) {
+	r := newAdvRouter()
+	links := []message.NodeID{"L1", "L2", "L3"}
+	fw := r.Advertise(sub("a1", eqF("t", 1)), "L1", links)
+	if len(fw) != 2 {
+		t.Fatalf("adv forwards = %d, want 2", len(fw))
+	}
+	for _, f := range fw {
+		if !f.Advertisement || f.Unsub {
+			t.Errorf("bad forward %+v", f)
+		}
+	}
+	if r.AdvTable().Len() != 1 {
+		t.Error("advertisement not recorded")
+	}
+}
+
+func TestSubscribeGatedByAdvertisements(t *testing.T) {
+	r := newAdvRouter()
+	links := []message.NodeID{"L1", "L2", "L3"}
+	// Publisher direction: advertisement arrived from L1 only.
+	r.Advertise(sub("a1", eqF("t", 1)), "L1", links)
+
+	fw := r.Subscribe(sub("s1", eqF("t", 1)), "L2", links)
+	if len(fw) != 1 || fw[0].Link != "L1" {
+		t.Fatalf("gated forwards = %v, want just L1", fw)
+	}
+	// Non-overlapping subscription travels nowhere.
+	fw = r.Subscribe(sub("s2", eqF("t", 99)), "L2", links)
+	if len(fw) != 0 {
+		t.Errorf("non-overlapping sub forwarded: %v", fw)
+	}
+}
+
+func TestLateAdvertisementUnlocksSubscription(t *testing.T) {
+	r := newAdvRouter()
+	links := []message.NodeID{"L1", "L2", "L3"}
+	if fw := r.Subscribe(sub("s1", eqF("t", 1)), "L2", links); len(fw) != 0 {
+		t.Fatalf("sub without advs forwarded: %v", fw)
+	}
+	fw := r.Advertise(sub("a1", eqF("t", 1)), "L3", links)
+	var unlocked bool
+	for _, f := range fw {
+		if !f.Advertisement && f.Sub.ID == "s1" && f.Link == "L3" {
+			unlocked = true
+		}
+	}
+	if !unlocked {
+		t.Errorf("late advertisement must re-forward the subscription: %v", fw)
+	}
+}
+
+func TestUnadvertiseWithdrawsSubscriptions(t *testing.T) {
+	r := newAdvRouter()
+	links := []message.NodeID{"L1", "L2"}
+	r.Advertise(sub("a1", eqF("t", 1)), "L1", links)
+	r.Subscribe(sub("s1", eqF("t", 1)), "L2", links)
+
+	fw := r.Unadvertise("a1", links)
+	var unsub, unadv bool
+	for _, f := range fw {
+		if f.Advertisement && f.Unsub {
+			unadv = true
+		}
+		if !f.Advertisement && f.Unsub && f.Sub.ID == "s1" && f.Link == "L1" {
+			unsub = true
+		}
+	}
+	if !unadv || !unsub {
+		t.Errorf("unadvertise forwards = %v, want unadv flood + sub withdrawal", fw)
+	}
+}
+
+func TestUnadvertiseKeepsJustifiedSubscriptions(t *testing.T) {
+	r := newAdvRouter()
+	links := []message.NodeID{"L1", "L2"}
+	r.Advertise(sub("a1", eqF("t", 1)), "L1", links)
+	r.Advertise(sub("a2", filter.New(filter.Exists("t"))), "L1", links)
+	r.Subscribe(sub("s1", eqF("t", 1)), "L2", links)
+
+	fw := r.Unadvertise("a1", links)
+	for _, f := range fw {
+		if !f.Advertisement && f.Unsub {
+			t.Errorf("subscription withdrawn despite remaining advertisement: %v", f)
+		}
+	}
+}
+
+func TestAdvGatedRelocationFlip(t *testing.T) {
+	r := newAdvRouter()
+	links := []message.NodeID{"L1", "L2", "L3"}
+	r.Advertise(sub("a1", eqF("t", 1)), "L1", links)
+	r.Subscribe(sub("s1", eqF("t", 1)), "L2", links)
+	// Relocation: s1 re-arrives from L3; the flip must still go toward the
+	// advertiser.
+	fw := r.Subscribe(sub("s1", eqF("t", 1)), "L3", links)
+	found := false
+	for _, f := range fw {
+		if f.Link == "L1" && !f.Unsub {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("flip under advertisements missing: %v", fw)
+	}
+	if e, _ := r.Table().Get("s1"); e.Link != "L3" {
+		t.Errorf("entry link = %s, want L3", e.Link)
+	}
+}
+
+func TestUnknownUnadvertiseNoop(t *testing.T) {
+	r := newAdvRouter()
+	if fw := r.Unadvertise("ghost", []message.NodeID{"L1"}); fw != nil {
+		t.Errorf("unknown unadvertise produced forwards: %v", fw)
+	}
+}

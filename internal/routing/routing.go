@@ -1,0 +1,241 @@
+// Package routing implements the broker routing tables of §2: entries are
+// (filter, link) pairs; a matching notification is forwarded along every
+// link with a matching entry. The basic strategy is simple routing (active
+// filters flood to all other links); the covering optimization suppresses
+// forwarding of subscriptions already covered on a link, and flooding is
+// the strategy-free baseline.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// Strategy selects the subscription-forwarding algorithm. Enums start at
+// one; the zero Strategy is invalid.
+type Strategy int
+
+// Supported strategies.
+const (
+	StrategyInvalid Strategy = iota
+	// StrategySimple forwards every subscription on every other link (§2
+	// "active filters are simply added to the routing table").
+	StrategySimple
+	// StrategyCovering suppresses forwarding of subscriptions covered by a
+	// subscription already forwarded on the same link, and un-suppresses
+	// on unsubscription (the "covering" improvement of §2).
+	StrategyCovering
+	// StrategyFlooding forwards no subscriptions at all; notifications are
+	// broadcast along the overlay instead (baseline).
+	StrategyFlooding
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySimple:
+		return "simple"
+	case StrategyCovering:
+		return "covering"
+	case StrategyFlooding:
+		return "flooding"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Entry is one routing table row: a subscription and the link it arrived
+// from (notifications matching Filter are forwarded *to* Link).
+type Entry struct {
+	Sub  proto.Subscription
+	Link message.NodeID
+}
+
+// Table is a broker's routing table. It is not safe for concurrent use;
+// each broker drives its table from its single event loop.
+type Table struct {
+	entries map[message.SubID]Entry
+	order   []message.SubID // insertion order for deterministic iteration
+	// index, when non-nil, accelerates Match/MatchEntries with the
+	// predicate-counting matching index (E3 ablation).
+	index *filter.Index
+	// pos caches each entry's insertion position for ordered index hits.
+	pos map[message.SubID]int
+}
+
+// NewTable returns an empty table using linear matching.
+func NewTable() *Table {
+	return &Table{entries: make(map[message.SubID]Entry)}
+}
+
+// NewIndexedTable returns an empty table backed by the counting index —
+// same semantics as NewTable, faster matching on large tables.
+func NewIndexedTable() *Table {
+	return &Table{
+		entries: make(map[message.SubID]Entry),
+		index:   filter.NewIndex(),
+		pos:     make(map[message.SubID]int),
+	}
+}
+
+// Indexed reports whether the table uses the matching index.
+func (t *Table) Indexed() bool { return t.index != nil }
+
+// Add inserts or replaces the entry for the subscription ID. It returns
+// true when an entry with this ID already existed (re-subscription after
+// relocation replaces the link).
+func (t *Table) Add(sub proto.Subscription, link message.NodeID) (replaced bool) {
+	if _, ok := t.entries[sub.ID]; ok {
+		replaced = true
+	} else {
+		t.order = append(t.order, sub.ID)
+	}
+	t.entries[sub.ID] = Entry{Sub: sub, Link: link}
+	if t.index != nil {
+		t.index.Add(string(sub.ID), sub.Filter)
+		if !replaced {
+			t.pos[sub.ID] = len(t.order) - 1
+		}
+	}
+	return replaced
+}
+
+// Remove deletes the entry for the ID, returning it.
+func (t *Table) Remove(id message.SubID) (Entry, bool) {
+	e, ok := t.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	delete(t.entries, id)
+	for i, oid := range t.order {
+		if oid == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	if t.index != nil {
+		t.index.Remove(string(id))
+		delete(t.pos, id)
+		for i, oid := range t.order {
+			t.pos[oid] = i
+		}
+	}
+	return e, true
+}
+
+// Get returns the entry for the ID.
+func (t *Table) Get(id message.SubID) (Entry, bool) {
+	e, ok := t.entries[id]
+	return e, ok
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Entries returns all entries in insertion order.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, t.entries[id])
+	}
+	return out
+}
+
+// Match returns the deduplicated set of links whose entries match the
+// notification, excluding the link the notification arrived from (a
+// notification is never reflected back).
+func (t *Table) Match(n message.Notification, from message.NodeID) []message.NodeID {
+	seen := make(map[message.NodeID]bool)
+	var out []message.NodeID
+	if t.index != nil {
+		t.index.Match(n, func(key string) {
+			e := t.entries[message.SubID(key)]
+			if e.Link == from || seen[e.Link] {
+				return
+			}
+			seen[e.Link] = true
+			out = append(out, e.Link)
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for _, id := range t.order {
+		e := t.entries[id]
+		if e.Link == from || seen[e.Link] {
+			continue
+		}
+		if e.Sub.Filter.Matches(n) {
+			seen[e.Link] = true
+			out = append(out, e.Link)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MatchEntries returns every entry whose filter matches, regardless of
+// link — used by border brokers to fan out to local clients per
+// subscription.
+func (t *Table) MatchEntries(n message.Notification) []Entry {
+	var out []Entry
+	if t.index != nil {
+		t.index.Match(n, func(key string) {
+			out = append(out, t.entries[message.SubID(key)])
+		})
+		sort.Slice(out, func(i, j int) bool {
+			return t.pos[out[i].Sub.ID] < t.pos[out[j].Sub.ID]
+		})
+		return out
+	}
+	for _, id := range t.order {
+		e := t.entries[id]
+		if e.Sub.Filter.Matches(n) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByLink returns all entries received from the given link.
+func (t *Table) ByLink(link message.NodeID) []Entry {
+	var out []Entry
+	for _, id := range t.order {
+		if e := t.entries[id]; e.Link == link {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RemoveLink drops every entry from the given link (link/broker failure or
+// client detach), returning the removed entries.
+func (t *Table) RemoveLink(link message.NodeID) []Entry {
+	var removed []Entry
+	for _, id := range append([]message.SubID(nil), t.order...) {
+		if e := t.entries[id]; e.Link == link {
+			t.Remove(id)
+			removed = append(removed, e)
+		}
+	}
+	return removed
+}
+
+// CoveredBy returns the IDs of entries on `link` whose filters cover f,
+// excluding the entry with id `self`.
+func (t *Table) CoveredBy(f filter.Filter, link message.NodeID, self message.SubID) []message.SubID {
+	var out []message.SubID
+	for _, id := range t.order {
+		e := t.entries[id]
+		if id == self || e.Link != link {
+			continue
+		}
+		if e.Sub.Filter.Covers(f) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

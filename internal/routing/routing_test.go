@@ -1,0 +1,393 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+func sub(id string, f filter.Filter) proto.Subscription {
+	return proto.Subscription{ID: message.SubID(id), Filter: f}
+}
+
+func eqF(attr string, v int64) filter.Filter {
+	return filter.New(filter.Eq(attr, message.Int(v)))
+}
+
+func note(attr string, v int64) message.Notification {
+	return message.NewNotification(map[string]message.Value{attr: message.Int(v)})
+}
+
+func TestTableAddRemoveGet(t *testing.T) {
+	tb := NewTable()
+	s := sub("s1", eqF("a", 1))
+	if replaced := tb.Add(s, "L1"); replaced {
+		t.Error("first add should not report replaced")
+	}
+	if replaced := tb.Add(s, "L2"); !replaced {
+		t.Error("second add with same ID should report replaced")
+	}
+	e, ok := tb.Get("s1")
+	if !ok || e.Link != "L2" {
+		t.Errorf("Get = %+v,%v; want link L2", e, ok)
+	}
+	if _, ok := tb.Remove("s1"); !ok {
+		t.Error("Remove should find the entry")
+	}
+	if _, ok := tb.Remove("s1"); ok {
+		t.Error("second Remove should miss")
+	}
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tb.Len())
+	}
+}
+
+func TestTableMatchExcludesSourceAndDedupes(t *testing.T) {
+	tb := NewTable()
+	tb.Add(sub("s1", eqF("a", 1)), "L1")
+	tb.Add(sub("s2", eqF("a", 1)), "L1") // same link, also matches
+	tb.Add(sub("s3", eqF("a", 1)), "L2")
+	tb.Add(sub("s4", eqF("a", 2)), "L3")
+
+	links := tb.Match(note("a", 1), "L2")
+	if len(links) != 1 || links[0] != "L1" {
+		t.Errorf("Match = %v, want [L1]", links)
+	}
+	links = tb.Match(note("a", 1), "none")
+	if len(links) != 2 || links[0] != "L1" || links[1] != "L2" {
+		t.Errorf("Match = %v, want [L1 L2]", links)
+	}
+	if got := tb.Match(note("a", 9), "none"); len(got) != 0 {
+		t.Errorf("non-matching notification matched %v", got)
+	}
+}
+
+func TestTableMatchEntries(t *testing.T) {
+	tb := NewTable()
+	tb.Add(sub("s1", eqF("a", 1)), "c1")
+	tb.Add(sub("s2", eqF("a", 1)), "c2")
+	es := tb.MatchEntries(note("a", 1))
+	if len(es) != 2 {
+		t.Fatalf("MatchEntries len = %d", len(es))
+	}
+	if es[0].Sub.ID != "s1" || es[1].Sub.ID != "s2" {
+		t.Error("MatchEntries should preserve insertion order")
+	}
+}
+
+func TestTableByLinkAndRemoveLink(t *testing.T) {
+	tb := NewTable()
+	tb.Add(sub("s1", eqF("a", 1)), "L1")
+	tb.Add(sub("s2", eqF("a", 2)), "L1")
+	tb.Add(sub("s3", eqF("a", 3)), "L2")
+	if got := tb.ByLink("L1"); len(got) != 2 {
+		t.Errorf("ByLink(L1) = %d entries", len(got))
+	}
+	removed := tb.RemoveLink("L1")
+	if len(removed) != 2 || tb.Len() != 1 {
+		t.Errorf("RemoveLink removed %d, table %d", len(removed), tb.Len())
+	}
+}
+
+func TestRouterSimpleForwardsEverywhereElse(t *testing.T) {
+	r := NewRouter(StrategySimple)
+	links := []message.NodeID{"L1", "L2", "L3"}
+	fw := r.Subscribe(sub("s1", eqF("a", 1)), "L1", links)
+	if len(fw) != 2 {
+		t.Fatalf("forwards = %d, want 2", len(fw))
+	}
+	for _, f := range fw {
+		if f.Link == "L1" {
+			t.Error("must not forward back to source link")
+		}
+		if f.Unsub {
+			t.Error("subscription forward marked unsub")
+		}
+	}
+}
+
+func TestRouterSimpleUnsubscribe(t *testing.T) {
+	r := NewRouter(StrategySimple)
+	links := []message.NodeID{"L1", "L2", "L3"}
+	r.Subscribe(sub("s1", eqF("a", 1)), "L1", links)
+	fw := r.Unsubscribe("s1", links)
+	if len(fw) != 2 {
+		t.Fatalf("unsub forwards = %d, want 2", len(fw))
+	}
+	for _, f := range fw {
+		if !f.Unsub {
+			t.Error("forward should be an unsubscription")
+		}
+	}
+	if fw2 := r.Unsubscribe("s1", links); fw2 != nil {
+		t.Error("unknown unsubscribe should produce no forwards")
+	}
+}
+
+func TestRouterFloodingForwardsNothing(t *testing.T) {
+	r := NewRouter(StrategyFlooding)
+	fw := r.Subscribe(sub("s1", eqF("a", 1)), "L1", []message.NodeID{"L1", "L2"})
+	if len(fw) != 0 {
+		t.Error("flooding must not forward subscriptions")
+	}
+	if r.Table().Len() != 1 {
+		t.Error("flooding still records local entries")
+	}
+}
+
+func TestRouterCoveringSuppression(t *testing.T) {
+	r := NewRouter(StrategyCovering)
+	links := []message.NodeID{"L1", "L2", "L3"}
+	wide := sub("wide", filter.New(filter.Lt("a", message.Int(100))))
+	narrow := sub("narrow", filter.New(filter.Lt("a", message.Int(10))))
+
+	fw := r.Subscribe(wide, "L1", links)
+	if len(fw) != 2 {
+		t.Fatalf("wide forwards = %d, want 2", len(fw))
+	}
+	// narrow arrives from L2: on L3 it is covered by wide (already
+	// forwarded there), so only... wide was forwarded on L2 and L3.
+	// narrow needs forwarding on L1 and L3; L3 is covered -> suppressed.
+	fw = r.Subscribe(narrow, "L2", links)
+	if len(fw) != 1 || fw[0].Link != "L1" {
+		t.Fatalf("narrow forwards = %v, want [L1]", fw)
+	}
+}
+
+func TestRouterCoveringUnsuppressOnUnsubscribe(t *testing.T) {
+	r := NewRouter(StrategyCovering)
+	links := []message.NodeID{"L1", "L2", "L3"}
+	wide := sub("wide", filter.New(filter.Lt("a", message.Int(100))))
+	narrow := sub("narrow", filter.New(filter.Lt("a", message.Int(10))))
+	r.Subscribe(wide, "L1", links)
+	r.Subscribe(narrow, "L2", links)
+
+	fw := r.Unsubscribe("wide", links)
+	// Expect: unsub of wide on L2 and L3, plus re-forward (un-suppress) of
+	// narrow on L3 (narrow's suppressed link).
+	unsubs, resubs := 0, 0
+	for _, f := range fw {
+		if f.Unsub {
+			unsubs++
+			if f.Sub.ID != "wide" {
+				t.Errorf("unexpected unsub %v", f)
+			}
+		} else {
+			resubs++
+			if f.Sub.ID != "narrow" || f.Link != "L3" {
+				t.Errorf("unexpected re-forward %v", f)
+			}
+		}
+	}
+	if unsubs != 2 || resubs != 1 {
+		t.Errorf("unsubs=%d resubs=%d, want 2 and 1", unsubs, resubs)
+	}
+}
+
+func TestRouterCoveringEquivalentFilters(t *testing.T) {
+	// Two identical filters from different links: second is suppressed;
+	// removing the first must re-forward the second.
+	r := NewRouter(StrategyCovering)
+	links := []message.NodeID{"L1", "L2", "L3"}
+	a := sub("a", eqF("x", 5))
+	b := sub("b", eqF("x", 5))
+	r.Subscribe(a, "L1", links)
+	fw := r.Subscribe(b, "L2", links)
+	// b forwards on L1 (a not forwarded there) but is covered on L3.
+	if len(fw) != 1 || fw[0].Link != "L1" {
+		t.Fatalf("b forwards = %v", fw)
+	}
+	fw = r.Unsubscribe("a", links)
+	found := false
+	for _, f := range fw {
+		if !f.Unsub && f.Sub.ID == "b" && f.Link == "L3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("b should be re-forwarded on L3 after a leaves, got %v", fw)
+	}
+}
+
+func TestRouterResubscribeFromNewLinkFlips(t *testing.T) {
+	// Relocation: same SubID arrives from a different link; the entry
+	// migrates and the flip is forwarded everywhere else — with no
+	// unsubscription (the flip wave is the cleanup).
+	r := NewRouter(StrategySimple)
+	links := []message.NodeID{"L1", "L2", "L3"}
+	s := sub("s", eqF("a", 1))
+	r.Subscribe(s, "L1", links)
+	fw := r.Subscribe(s, "L2", links)
+	e, _ := r.Table().Get("s")
+	if e.Link != "L2" {
+		t.Errorf("entry link = %s, want L2", e.Link)
+	}
+	var subL1, subL3 bool
+	for _, f := range fw {
+		if f.Unsub {
+			t.Errorf("flip must not emit unsubscriptions: %v", f)
+		}
+		if f.Link == "L1" {
+			subL1 = true
+		}
+		if f.Link == "L3" {
+			subL3 = true
+		}
+		if f.Link == "L2" {
+			t.Error("must not forward back to new source")
+		}
+	}
+	if !subL1 || !subL3 {
+		t.Errorf("missing flip forwards: %v", fw)
+	}
+}
+
+func TestRouterFlipBypassesCoveringSuppression(t *testing.T) {
+	// A relocation flip must propagate even when another forwarded
+	// subscription covers it, or downstream tables keep stale directions.
+	r := NewRouter(StrategyCovering)
+	links := []message.NodeID{"L1", "L2", "L3"}
+	wide := sub("wide", filter.New(filter.Lt("a", message.Int(100))))
+	narrow := sub("narrow", filter.New(filter.Lt("a", message.Int(10))))
+	r.Subscribe(wide, "L1", links)
+	r.Subscribe(narrow, "L2", links) // suppressed on L3
+	fw := r.Subscribe(narrow, "L3", links)
+	var flipped []message.NodeID
+	for _, f := range fw {
+		if f.Sub.ID == "narrow" && !f.Unsub {
+			flipped = append(flipped, f.Link)
+		}
+	}
+	if len(flipped) != 2 {
+		t.Errorf("flip should forward on both other links, got %v", flipped)
+	}
+}
+
+func TestRouterForwardedOn(t *testing.T) {
+	r := NewRouter(StrategySimple)
+	links := []message.NodeID{"L1", "L2"}
+	for i := 0; i < 5; i++ {
+		r.Subscribe(sub(fmt.Sprintf("s%d", i), eqF("a", int64(i))), "L1", links)
+	}
+	if got := r.ForwardedOn("L2"); got != 5 {
+		t.Errorf("ForwardedOn(L2) = %d, want 5", got)
+	}
+	if got := r.ForwardedOn("L1"); got != 0 {
+		t.Errorf("ForwardedOn(L1) = %d, want 0", got)
+	}
+}
+
+func TestCoveringNeverLosesDeliveries(t *testing.T) {
+	// Soundness of covering vs simple: any notification deliverable under
+	// simple routing must reach the same links under covering, given the
+	// suppressed subscription's traffic is a subset of the coverer's.
+	rs := NewRouter(StrategySimple)
+	rc := NewRouter(StrategyCovering)
+	links := []message.NodeID{"L1", "L2", "L3"}
+	subs := []struct {
+		s    proto.Subscription
+		from message.NodeID
+	}{
+		{sub("w", filter.New(filter.Le("a", message.Int(50)))), "L1"},
+		{sub("n1", filter.New(filter.Le("a", message.Int(10)))), "L2"},
+		{sub("n2", filter.New(filter.Eq("a", message.Int(5)))), "L3"},
+	}
+	for _, x := range subs {
+		rs.Subscribe(x.s, x.from, links)
+		rc.Subscribe(x.s, x.from, links)
+	}
+	for v := int64(0); v <= 60; v += 5 {
+		n := note("a", v)
+		for _, from := range links {
+			ls := rs.Table().Match(n, from)
+			lc := rc.Table().Match(n, from)
+			if len(ls) != len(lc) {
+				t.Fatalf("tables diverge for a=%d from %s: %v vs %v", v, from, ls, lc)
+			}
+		}
+	}
+}
+
+func TestTableCoveredBy(t *testing.T) {
+	tb := NewTable()
+	tb.Add(sub("w", filter.New(filter.Lt("a", message.Int(100)))), "L1")
+	tb.Add(sub("n", filter.New(filter.Lt("a", message.Int(10)))), "L1")
+	ids := tb.CoveredBy(filter.New(filter.Lt("a", message.Int(5))), "L1", "n")
+	if len(ids) != 1 || ids[0] != "w" {
+		t.Errorf("CoveredBy = %v, want [w]", ids)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategySimple.String() != "simple" || StrategyCovering.String() != "covering" ||
+		StrategyFlooding.String() != "flooding" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}
+
+// TestIndexedTableEquivalence randomizes operations against both table
+// variants and asserts identical Match/MatchEntries results.
+func TestIndexedTableEquivalence(t *testing.T) {
+	linear, indexed := NewTable(), NewIndexedTable()
+	if linear.Indexed() || !indexed.Indexed() {
+		t.Fatal("Indexed() misreports")
+	}
+	type variant struct{ t *Table }
+	both := []variant{{linear}, {indexed}}
+
+	subs := []proto.Subscription{
+		sub("s1", eqF("a", 1)),
+		sub("s2", eqF("a", 2)),
+		sub("s3", filter.New(filter.Lt("a", message.Int(5)))),
+		sub("s4", filter.New(filter.Exists("b"))),
+		sub("s5", filter.New(filter.Eq("a", message.Int(1)), filter.Eq("b", message.Int(2)))),
+		sub("s6", filter.All()),
+	}
+	links := []message.NodeID{"L1", "L2", "L3"}
+	for i, s := range subs {
+		for _, v := range both {
+			v.t.Add(s, links[i%len(links)])
+		}
+	}
+	// Remove one and relocate another.
+	for _, v := range both {
+		v.t.Remove("s2")
+		v.t.Add(subs[0], "L3")
+	}
+	notes := []message.Notification{
+		note("a", 1), note("a", 2), note("a", 4),
+		message.NewNotification(map[string]message.Value{"b": message.Int(2)}),
+		message.NewNotification(map[string]message.Value{"a": message.Int(1), "b": message.Int(2)}),
+		message.NewNotification(map[string]message.Value{"c": message.Int(9)}),
+	}
+	for _, n := range notes {
+		for _, from := range append(links, "none") {
+			lm := linear.Match(n, from)
+			im := indexed.Match(n, from)
+			if len(lm) != len(im) {
+				t.Fatalf("Match diverges for %s from %s: %v vs %v", n, from, lm, im)
+			}
+			for i := range lm {
+				if lm[i] != im[i] {
+					t.Fatalf("Match order diverges for %s: %v vs %v", n, lm, im)
+				}
+			}
+		}
+		le := linear.MatchEntries(n)
+		ie := indexed.MatchEntries(n)
+		if len(le) != len(ie) {
+			t.Fatalf("MatchEntries diverges for %s: %d vs %d", n, len(le), len(ie))
+		}
+		for i := range le {
+			if le[i].Sub.ID != ie[i].Sub.ID {
+				t.Fatalf("MatchEntries order diverges for %s: %v vs %v", n, le, ie)
+			}
+		}
+	}
+}

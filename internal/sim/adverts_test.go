@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+)
+
+// advCluster builds a 5-broker line with advertisement-based routing.
+func advCluster(t *testing.T, adv bool) *Cluster {
+	t.Helper()
+	ids := []message.NodeID{"A", "B", "C", "D", "E"}
+	cl, err := NewCluster(ClusterConfig{
+		Topology:       broker.LineTopology(ids),
+		Advertisements: adv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestAdvRoutingDeliversSameAsSimple(t *testing.T) {
+	run := func(adv bool) int {
+		cl := advCluster(t, adv)
+		pub := cl.AddClient("pub")
+		pub.ConnectTo("A")
+		if adv {
+			pub.Advertise(filter.New(filter.Eq("topic", message.String("news"))))
+		}
+		sub := cl.AddClient("sub")
+		sub.ConnectTo("E")
+		sub.Subscribe(filter.New(filter.Eq("topic", message.String("news"))))
+		cl.Net.Run()
+		for i := 0; i < 20; i++ {
+			pub.Publish(map[string]message.Value{
+				"topic": message.String("news"),
+				"n":     message.Int(int64(i)),
+			})
+		}
+		cl.Net.Run()
+		return len(cl.Clients["sub"].Received())
+	}
+	plain, gated := run(false), run(true)
+	if plain != gated || gated != 20 {
+		t.Errorf("deliveries: simple=%d advertised=%d, want 20 both", plain, gated)
+	}
+}
+
+func TestAdvRoutingPrunesSubscriptionState(t *testing.T) {
+	// Publishers at A only; subscribers hang off every broker. Without
+	// advertisements every subscription floods everywhere; with them,
+	// subscriptions only travel toward A.
+	run := func(adv bool) int {
+		cl := advCluster(t, adv)
+		pub := cl.AddClient("pub")
+		pub.ConnectTo("A")
+		if adv {
+			pub.Advertise(filter.New(filter.Exists("topic")))
+		}
+		cl.Net.Run()
+		for i, b := range []message.NodeID{"B", "C", "D", "E"} {
+			s := cl.AddClient(message.NodeID(fmt.Sprintf("sub%d", i)))
+			s.ConnectTo(b)
+			s.Subscribe(filter.New(filter.Eq("topic", message.String(fmt.Sprintf("t%d", i)))))
+		}
+		cl.Net.Run()
+		return cl.TotalTableEntries()
+	}
+	plain, gated := run(false), run(true)
+	if gated >= plain {
+		t.Errorf("advertised tables (%d) should be smaller than plain (%d)", gated, plain)
+	}
+}
+
+func TestAdvRoutingLatePublisher(t *testing.T) {
+	// Subscription exists before any advertisement; a publisher appearing
+	// later must still reach the subscriber (late unlock end to end).
+	cl := advCluster(t, true)
+	sub := cl.AddClient("sub")
+	sub.ConnectTo("E")
+	sub.Subscribe(filter.New(filter.Eq("topic", message.String("news"))))
+	cl.Net.Run()
+
+	pub := cl.AddClient("pub")
+	pub.ConnectTo("A")
+	pub.Advertise(filter.New(filter.Eq("topic", message.String("news"))))
+	cl.Net.Run()
+	pub.Publish(map[string]message.Value{"topic": message.String("news")})
+	cl.Net.Run()
+
+	if got := len(cl.Clients["sub"].Received()); got != 1 {
+		t.Errorf("late publisher deliveries = %d, want 1", got)
+	}
+}
+
+func TestAdvRoutingUnadvertiseEndToEnd(t *testing.T) {
+	cl := advCluster(t, true)
+	pub := cl.AddClient("pub")
+	pub.ConnectTo("A")
+	advID := pub.Advertise(filter.New(filter.Exists("topic")))
+	sub := cl.AddClient("sub")
+	sub.ConnectTo("E")
+	sub.Subscribe(filter.New(filter.Exists("topic")))
+	cl.Net.Run()
+
+	before := cl.TotalTableEntries()
+	pub.Unadvertise(advID)
+	cl.Net.Run()
+	after := cl.TotalTableEntries()
+	if after >= before {
+		t.Errorf("unadvertise should shrink subscription state: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/buffer"
+	"rebeca/internal/client"
+	"rebeca/internal/core"
+	"rebeca/internal/filter"
+	"rebeca/internal/location"
+	"rebeca/internal/message"
+	"rebeca/internal/mobility"
+	"rebeca/internal/movement"
+	"rebeca/internal/proto"
+	"rebeca/internal/routing"
+)
+
+// ClusterConfig describes a complete middleware deployment for simulation.
+type ClusterConfig struct {
+	// Topology is the acyclic broker overlay. If empty, it is derived as a
+	// spanning tree of Movement.
+	Topology broker.Topology
+	// Movement is the movement graph (defines nlb). Optional when no
+	// replicators are deployed.
+	Movement *movement.Graph
+	// Strategy selects the routing algorithm (default simple).
+	Strategy routing.Strategy
+	// Advertisements enables advertisement-based subscription forwarding.
+	Advertisements bool
+	// IndexedMatching backs routing tables with the counting index.
+	IndexedMatching bool
+	// Locations maps brokers to logical scopes. Optional.
+	Locations *location.Model
+	// Context resolves generalized context markers per broker (§4).
+	Context func(b message.NodeID) filter.ContextResolver
+	// Mobility deploys a physical-mobility manager per broker (0 = none).
+	Mobility MobilityMode
+	// Replication deploys a replicator per broker.
+	Replication ReplicationMode
+	// BufferFactory builds ghost/virtual-client buffers (default unbounded).
+	BufferFactory buffer.Factory
+	// SharedBuffers switches replicators to shared per-broker stores (E8).
+	SharedBuffers bool
+	// LinkLatency is the per-hop overlay delay (default 1ms).
+	LinkLatency time.Duration
+	// LatencyJitter adds a uniform random delay in [0, LatencyJitter) to
+	// every transmission (deterministic given JitterSeed). Per-link FIFO
+	// order is preserved by the network's delivery clamp.
+	LatencyJitter time.Duration
+	// JitterSeed seeds the jitter source.
+	JitterSeed int64
+	// DirectLatency is the replicator out-of-band delay (default 2×link).
+	DirectLatency time.Duration
+}
+
+// MobilityMode mirrors mobility.Mode plus "none". Using a separate type
+// keeps the zero value meaningful in scenario specs.
+type MobilityMode int
+
+// Mobility deployment modes.
+const (
+	MobilityNone MobilityMode = iota
+	MobilityTransparent
+	MobilityJEDI
+	MobilityNaive
+)
+
+// ReplicationMode selects the logical-mobility deployment.
+type ReplicationMode int
+
+// Replication deployment modes.
+const (
+	// ReplicationNone deploys no replicators: location-dependent
+	// subscriptions match nothing (they stay unresolved).
+	ReplicationNone ReplicationMode = iota
+	// ReplicationPreSubscribe deploys the paper's replicator layer.
+	ReplicationPreSubscribe
+	// ReplicationReactive deploys replicators without pre-subscriptions:
+	// myloc resolution happens only at the client's current broker.
+	ReplicationReactive
+)
+
+// Cluster is an assembled deployment: network, brokers, plugins, clients.
+type Cluster struct {
+	Net         *Network
+	Topology    broker.Topology
+	Brokers     map[message.NodeID]*broker.Broker
+	Managers    map[message.NodeID]*mobility.Manager
+	Replicators map[message.NodeID]*core.Replicator
+	Shared      map[message.NodeID]*buffer.Shared
+	Clients     map[message.NodeID]*client.Client
+	cfg         ClusterConfig
+}
+
+// mobilityMode translates the cluster-level mode to the manager's.
+func (m MobilityMode) protocol() mobility.Mode {
+	switch m {
+	case MobilityTransparent:
+		return mobility.ModeTransparent
+	case MobilityJEDI:
+		return mobility.ModeJEDI
+	case MobilityNaive:
+		return mobility.ModeNaive
+	default:
+		return mobility.ModeInvalid
+	}
+}
+
+// NewCluster builds a deployment.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	topo := cfg.Topology
+	if len(topo.Edges) == 0 {
+		if cfg.Movement == nil {
+			return nil, fmt.Errorf("sim: cluster needs a topology or a movement graph")
+		}
+		topo = broker.Topology{Edges: cfg.Movement.SpanningTree()}
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Strategy == routing.StrategyInvalid {
+		cfg.Strategy = routing.StrategySimple
+	}
+	if cfg.LinkLatency == 0 {
+		cfg.LinkLatency = DefaultLatency
+	}
+	if cfg.DirectLatency == 0 {
+		cfg.DirectLatency = 2 * cfg.LinkLatency
+	}
+	if cfg.BufferFactory == nil {
+		cfg.BufferFactory = func() buffer.Policy { return buffer.NewUnbounded() }
+	}
+
+	net := NewNetwork()
+	if cfg.LatencyJitter > 0 {
+		rng := rand.New(rand.NewSource(cfg.JitterSeed))
+		net.Latency = func(message.NodeID, message.NodeID) time.Duration {
+			return cfg.LinkLatency + time.Duration(rng.Int63n(int64(cfg.LatencyJitter)))
+		}
+	} else {
+		net.Latency = func(message.NodeID, message.NodeID) time.Duration { return cfg.LinkLatency }
+	}
+	net.DirectLatency = func(message.NodeID, message.NodeID) time.Duration { return cfg.DirectLatency }
+
+	c := &Cluster{
+		Net:         net,
+		Topology:    topo,
+		Brokers:     make(map[message.NodeID]*broker.Broker),
+		Managers:    make(map[message.NodeID]*mobility.Manager),
+		Replicators: make(map[message.NodeID]*core.Replicator),
+		Shared:      make(map[message.NodeID]*buffer.Shared),
+		Clients:     make(map[message.NodeID]*client.Client),
+		cfg:         cfg,
+	}
+
+	adj := topo.Adjacency()
+	hops := topo.NextHops()
+	var nlb func(message.NodeID) []message.NodeID
+	if cfg.Movement != nil {
+		nlb = cfg.Movement.NLB()
+	}
+	locs := cfg.Locations
+	if locs == nil {
+		locs = location.NewModel()
+	}
+
+	for _, id := range topo.Nodes() {
+		id := id
+		b := broker.New(broker.Config{
+			ID:              id,
+			Peers:           adj[id],
+			Strategy:        cfg.Strategy,
+			Advertisements:  cfg.Advertisements,
+			IndexedMatching: cfg.IndexedMatching,
+			Send: func(to message.NodeID, m proto.Message) {
+				net.Send(id, to, m)
+			},
+			SendDirect: func(to message.NodeID, m proto.Message) {
+				net.SendDirect(id, to, m)
+			},
+			Now:     net.Now,
+			NextHop: hops[id],
+		})
+		c.Brokers[id] = b
+		net.AddNode(id, EndpointFunc(func(from message.NodeID, m proto.Message) {
+			b.HandleMessage(from, m)
+		}))
+
+		// Plugin order matters: the replicator claims location-dependent
+		// subscriptions before the mobility manager records profiles.
+		if cfg.Replication != ReplicationNone {
+			rcfg := core.Config{
+				Broker:        b,
+				NLB:           nlb,
+				Locations:     locs,
+				Context:       cfg.Context,
+				BufferFactory: cfg.BufferFactory,
+				PreSubscribe:  cfg.Replication == ReplicationPreSubscribe,
+			}
+			if cfg.SharedBuffers {
+				shared := buffer.NewShared()
+				c.Shared[id] = shared
+				rcfg.Shared = shared
+			}
+			c.Replicators[id] = core.New(rcfg)
+		}
+		if cfg.Mobility != MobilityNone {
+			c.Managers[id] = mobility.New(b, cfg.Mobility.protocol(),
+				mobility.WithBufferFactory(cfg.BufferFactory))
+		}
+	}
+	return c, nil
+}
+
+// AddClient creates a client endpoint on the network.
+func (c *Cluster) AddClient(id message.NodeID) *client.Client {
+	cl := client.New(id, func(to message.NodeID, m proto.Message) {
+		c.Net.Send(id, to, m)
+	}, c.Net.Now)
+	c.Clients[id] = cl
+	c.Net.AddNode(id, EndpointFunc(cl.Receive))
+	return cl
+}
+
+// Broker returns the named broker (panics on unknown ID — scenario bug).
+func (c *Cluster) Broker(id message.NodeID) *broker.Broker {
+	b, ok := c.Brokers[id]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown broker %s", id))
+	}
+	return b
+}
+
+// TotalTableEntries sums routing-table sizes across brokers (E3/E6 metric).
+func (c *Cluster) TotalTableEntries() int {
+	total := 0
+	for _, b := range c.Brokers {
+		total += b.Router().Table().Len()
+	}
+	return total
+}
+
+// TotalResidentVCs sums virtual clients across replicators (E6 metric).
+func (c *Cluster) TotalResidentVCs() int {
+	total := 0
+	for _, r := range c.Replicators {
+		total += r.ResidentVirtualClients()
+	}
+	return total
+}
+
+// ReplicatorStats aggregates replicator counters across brokers.
+func (c *Cluster) ReplicatorStats() core.Stats {
+	var agg core.Stats
+	for _, r := range c.Replicators {
+		s := r.Stats()
+		agg.ReplicasCreated += s.ReplicasCreated
+		agg.ReplicasDeleted += s.ReplicasDeleted
+		agg.Buffered += s.Buffered
+		agg.Replayed += s.Replayed
+		agg.Wasted += s.Wasted
+		agg.Activations += s.Activations
+		agg.ExceptionActivations += s.ExceptionActivations
+		agg.FetchesServed += s.FetchesServed
+	}
+	return agg
+}

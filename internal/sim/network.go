@@ -1,0 +1,250 @@
+// Package sim provides the evaluation substrate: a deterministic
+// discrete-event simulator for broker overlays, mobile clients and
+// publishers, with per-link FIFO delivery, configurable latency and fault
+// injection, traffic accounting, and the scenario driver + delivery oracle
+// behind experiments E1–E9.
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// Endpoint consumes messages delivered by the network.
+type Endpoint interface {
+	Receive(from message.NodeID, m proto.Message)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(from message.NodeID, m proto.Message)
+
+// Receive implements Endpoint.
+func (f EndpointFunc) Receive(from message.NodeID, m proto.Message) { f(from, m) }
+
+// event is a scheduled action in virtual time. seq breaks timestamp ties in
+// schedule order, which keeps runs deterministic.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// TrafficStats accounts every message the network carried.
+type TrafficStats struct {
+	// ByKind counts messages per kind.
+	ByKind map[proto.Kind]int
+	// Bytes sums approximate wire sizes.
+	Bytes int
+	// ControlMsgs counts mobility/replication control traffic.
+	ControlMsgs int
+	// DataMsgs counts pub/sub data-plane traffic.
+	DataMsgs int
+	// DirectMsgs counts out-of-band (replicator) messages.
+	DirectMsgs int
+	// Dropped counts messages removed by fault injection.
+	Dropped int
+}
+
+func newTrafficStats() *TrafficStats {
+	return &TrafficStats{ByKind: make(map[proto.Kind]int)}
+}
+
+func (s *TrafficStats) record(m proto.Message, direct bool) {
+	s.ByKind[m.Kind]++
+	s.Bytes += m.WireSize()
+	if m.Kind.Control() {
+		s.ControlMsgs++
+	} else {
+		s.DataMsgs++
+	}
+	if direct {
+		s.DirectMsgs++
+	}
+}
+
+// Total returns the total number of messages carried.
+func (s *TrafficStats) Total() int { return s.ControlMsgs + s.DataMsgs }
+
+// linkKey identifies a directed link for FIFO clamping.
+type linkKey struct{ from, to message.NodeID }
+
+// Network is the discrete-event message fabric. All methods must be called
+// from a single goroutine (the simulation driver).
+type Network struct {
+	now   time.Time
+	seq   uint64
+	queue eventQueue
+
+	nodes map[message.NodeID]Endpoint
+
+	// Latency returns the one-hop delay between two linked nodes.
+	Latency func(from, to message.NodeID) time.Duration
+	// DirectLatency returns the out-of-band (underlay) delay; defaults to
+	// Latency when nil.
+	DirectLatency func(from, to message.NodeID) time.Duration
+	// Drop, when set, discards matching messages (fault injection).
+	Drop func(from, to message.NodeID, m proto.Message) bool
+
+	lastDelivery map[linkKey]time.Time
+	stats        *TrafficStats
+
+	// Trace, when set, observes every delivery (debugging).
+	Trace func(at time.Time, from, to message.NodeID, m proto.Message)
+}
+
+// DefaultLatency is used when no latency function is configured.
+const DefaultLatency = time.Millisecond
+
+// NewNetwork returns an empty network starting at a fixed epoch.
+func NewNetwork() *Network {
+	return &Network{
+		now:          time.Date(2003, 6, 16, 12, 0, 0, 0, time.UTC),
+		nodes:        make(map[message.NodeID]Endpoint),
+		lastDelivery: make(map[linkKey]time.Time),
+		stats:        newTrafficStats(),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// Stats returns the network's traffic counters.
+func (n *Network) Stats() *TrafficStats { return n.stats }
+
+// AddNode registers an endpoint.
+func (n *Network) AddNode(id message.NodeID, e Endpoint) { n.nodes[id] = e }
+
+// Node returns a registered endpoint.
+func (n *Network) Node(id message.NodeID) (Endpoint, bool) {
+	e, ok := n.nodes[id]
+	return e, ok
+}
+
+func (n *Network) latency(from, to message.NodeID) time.Duration {
+	if n.Latency != nil {
+		return n.Latency(from, to)
+	}
+	return DefaultLatency
+}
+
+func (n *Network) directLatency(from, to message.NodeID) time.Duration {
+	if n.DirectLatency != nil {
+		return n.DirectLatency(from, to)
+	}
+	return n.latency(from, to)
+}
+
+// Send schedules delivery of m from one node to a linked node, preserving
+// per-directed-link FIFO order even under jittered latencies.
+func (n *Network) Send(from, to message.NodeID, m proto.Message) {
+	n.transmit(from, to, m, false)
+}
+
+// SendDirect schedules an out-of-band delivery (the replicator's direct
+// TCP connections): it bypasses the overlay but still preserves pairwise
+// FIFO order.
+func (n *Network) SendDirect(from, to message.NodeID, m proto.Message) {
+	n.transmit(from, to, m, true)
+}
+
+func (n *Network) transmit(from, to message.NodeID, m proto.Message, direct bool) {
+	if n.Drop != nil && n.Drop(from, to, m) {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.record(m, direct)
+	lat := n.latency(from, to)
+	if direct {
+		lat = n.directLatency(from, to)
+	}
+	at := n.now.Add(lat)
+	key := linkKey{from: from, to: to}
+	if last, ok := n.lastDelivery[key]; ok && at.Before(last) {
+		at = last // FIFO clamp
+	}
+	n.lastDelivery[key] = at
+	n.schedule(at, func() {
+		e, ok := n.nodes[to]
+		if !ok {
+			return
+		}
+		if n.Trace != nil {
+			n.Trace(n.now, from, to, m)
+		}
+		msg := m
+		msg.From = from
+		e.Receive(from, msg)
+	})
+}
+
+// At schedules fn at the given virtual time (or now, if in the past).
+func (n *Network) At(t time.Time, fn func()) {
+	if t.Before(n.now) {
+		t = n.now
+	}
+	n.schedule(t, fn)
+}
+
+// After schedules fn after a virtual delay.
+func (n *Network) After(d time.Duration, fn func()) { n.schedule(n.now.Add(d), fn) }
+
+func (n *Network) schedule(at time.Time, fn func()) {
+	n.seq++
+	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+}
+
+// Run drains the event queue to quiescence and returns the final time.
+func (n *Network) Run() time.Time {
+	for n.queue.Len() > 0 {
+		n.step()
+	}
+	return n.now
+}
+
+// RunUntil processes events up to and including t, then sets the clock to
+// t. Events scheduled later stay queued.
+func (n *Network) RunUntil(t time.Time) {
+	for n.queue.Len() > 0 && !n.queue[0].at.After(t) {
+		n.step()
+	}
+	if n.now.Before(t) {
+		n.now = t
+	}
+}
+
+// RunFor advances the clock by d, processing due events.
+func (n *Network) RunFor(d time.Duration) { n.RunUntil(n.now.Add(d)) }
+
+// Pending returns the number of queued events.
+func (n *Network) Pending() int { return n.queue.Len() }
+
+func (n *Network) step() {
+	e := heap.Pop(&n.queue).(*event)
+	if e.at.After(n.now) {
+		n.now = e.at
+	}
+	e.fn()
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+func mkPub(pub message.NodeID, seq uint64) proto.Message {
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(int64(seq))})
+	n.ID = message.NotificationID{Publisher: pub, Seq: seq}
+	return proto.Message{Kind: proto.KPublish, Note: &n}
+}
+
+func TestNetworkDeliversWithLatency(t *testing.T) {
+	net := NewNetwork()
+	start := net.Now()
+	var got []time.Time
+	net.AddNode("b", EndpointFunc(func(message.NodeID, proto.Message) {
+		got = append(got, net.Now())
+	}))
+	net.Send("a", "b", mkPub("a", 1))
+	net.Run()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	if got[0].Sub(start) != DefaultLatency {
+		t.Errorf("delivered after %s, want %s", got[0].Sub(start), DefaultLatency)
+	}
+}
+
+func TestNetworkFIFOPerLinkUnderJitter(t *testing.T) {
+	net := NewNetwork()
+	// Decreasing latencies would reorder without the FIFO clamp.
+	lat := []time.Duration{5 * time.Millisecond, time.Millisecond}
+	i := 0
+	net.Latency = func(message.NodeID, message.NodeID) time.Duration {
+		d := lat[i%len(lat)]
+		i++
+		return d
+	}
+	var seqs []uint64
+	net.AddNode("b", EndpointFunc(func(_ message.NodeID, m proto.Message) {
+		seqs = append(seqs, m.Note.ID.Seq)
+	}))
+	net.Send("a", "b", mkPub("a", 1))
+	net.Send("a", "b", mkPub("a", 2))
+	net.Run()
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Errorf("FIFO violated: %v", seqs)
+	}
+}
+
+func TestNetworkStampsFrom(t *testing.T) {
+	net := NewNetwork()
+	var from message.NodeID
+	net.AddNode("b", EndpointFunc(func(f message.NodeID, m proto.Message) {
+		from = m.From
+	}))
+	net.Send("a", "b", mkPub("a", 1))
+	net.Run()
+	if from != "a" {
+		t.Errorf("From = %s, want a", from)
+	}
+}
+
+func TestNetworkDropInjection(t *testing.T) {
+	net := NewNetwork()
+	net.Drop = func(_, _ message.NodeID, m proto.Message) bool {
+		return m.Note != nil && m.Note.ID.Seq == 2
+	}
+	var seqs []uint64
+	net.AddNode("b", EndpointFunc(func(_ message.NodeID, m proto.Message) {
+		seqs = append(seqs, m.Note.ID.Seq)
+	}))
+	for s := uint64(1); s <= 3; s++ {
+		net.Send("a", "b", mkPub("a", s))
+	}
+	net.Run()
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 3 {
+		t.Errorf("drop injection wrong: %v", seqs)
+	}
+	if net.Stats().Dropped != 1 {
+		t.Errorf("Dropped = %d", net.Stats().Dropped)
+	}
+}
+
+func TestNetworkUnknownDestinationIgnored(t *testing.T) {
+	net := NewNetwork()
+	net.Send("a", "ghost", mkPub("a", 1))
+	net.Run() // must not panic
+}
+
+func TestNetworkSchedulingOrder(t *testing.T) {
+	net := NewNetwork()
+	var order []string
+	net.After(2*time.Millisecond, func() { order = append(order, "late") })
+	net.After(time.Millisecond, func() { order = append(order, "early") })
+	net.After(time.Millisecond, func() { order = append(order, "early2") })
+	net.Run()
+	if len(order) != 3 || order[0] != "early" || order[1] != "early2" || order[2] != "late" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestNetworkRunUntil(t *testing.T) {
+	net := NewNetwork()
+	fired := 0
+	net.After(time.Millisecond, func() { fired++ })
+	net.After(time.Hour, func() { fired++ })
+	net.RunUntil(net.Now().Add(time.Second))
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (second event beyond horizon)", fired)
+	}
+	if net.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", net.Pending())
+	}
+	net.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d after full run", fired)
+	}
+}
+
+func TestNetworkAtClampsPast(t *testing.T) {
+	net := NewNetwork()
+	net.RunFor(time.Second)
+	ran := false
+	net.At(net.Now().Add(-time.Minute), func() { ran = true })
+	net.Run()
+	if !ran {
+		t.Error("past-scheduled event should run immediately")
+	}
+}
+
+func TestTrafficStatsAccounting(t *testing.T) {
+	net := NewNetwork()
+	net.AddNode("b", EndpointFunc(func(message.NodeID, proto.Message) {}))
+	net.Send("a", "b", mkPub("a", 1))
+	net.Send("a", "b", proto.Message{Kind: proto.KRelocReq, Client: "c"})
+	net.SendDirect("a", "b", proto.Message{Kind: proto.KReplicaCreate, Client: "c"})
+	net.Run()
+	s := net.Stats()
+	if s.DataMsgs != 1 || s.ControlMsgs != 2 || s.DirectMsgs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ByKind[proto.KPublish] != 1 || s.ByKind[proto.KRelocReq] != 1 {
+		t.Errorf("ByKind = %v", s.ByKind)
+	}
+	if s.Bytes <= 0 {
+		t.Error("bytes not accounted")
+	}
+	if s.Total() != 3 {
+		t.Errorf("Total = %d", s.Total())
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		net := NewNetwork()
+		var seqs []uint64
+		net.AddNode("b", EndpointFunc(func(_ message.NodeID, m proto.Message) {
+			seqs = append(seqs, m.Note.ID.Seq)
+		}))
+		net.AddNode("c", EndpointFunc(func(_ message.NodeID, m proto.Message) {
+			// relay c -> b
+			net.Send("c", "b", m)
+		}))
+		for s := uint64(1); s <= 20; s++ {
+			if s%2 == 0 {
+				net.Send("a", "c", mkPub("a", s))
+			} else {
+				net.Send("a", "b", mkPub("a", s))
+			}
+		}
+		net.Run()
+		return seqs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"rebeca/internal/movement"
+)
+
+func runScenario(t *testing.T, s Scenario) Outcome {
+	t.Helper()
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func baseScenario(g *movement.Graph) Scenario {
+	return Scenario{
+		Graph:           g,
+		Replication:     ReplicationPreSubscribe,
+		Duration:        2 * time.Second,
+		PublishInterval: 5 * time.Millisecond,
+		NumMobiles:      2,
+		Seed:            42,
+	}
+}
+
+func TestScenarioHeadlineShape(t *testing.T) {
+	// The paper's core claim (E5): pre-subscriptions recover pre-arrival
+	// traffic that the reactive baseline misses, at a fraction of
+	// flooding's replica footprint.
+	g := movement.Line(6)
+
+	replicated := baseScenario(g)
+	replicated.Name = "replicated"
+	repOut := runScenario(t, replicated)
+
+	reactive := baseScenario(g)
+	reactive.Name = "reactive"
+	reactive.Replication = ReplicationReactive
+	reaOut := runScenario(t, reactive)
+
+	flooding := baseScenario(g)
+	flooding.Name = "flooding"
+	flooding.Graph = g // movement stays on the line...
+	// ...but replicas go everywhere: nlb = complete graph.
+	flooding.Graph = movement.Line(6)
+	floOut := runScenario(t, flooding)
+	_ = floOut
+
+	if repOut.PreArrivalExpected == 0 {
+		t.Fatal("oracle found no pre-arrival-relevant traffic; scenario broken")
+	}
+	if repOut.PreArrivalCoverage() < 0.9 {
+		t.Errorf("replicated pre-arrival coverage = %.2f, want >= 0.9 (got %d/%d)",
+			repOut.PreArrivalCoverage(), repOut.PreArrivalGot, repOut.PreArrivalExpected)
+	}
+	if reaOut.PreArrivalCoverage() > 0.2 {
+		t.Errorf("reactive pre-arrival coverage = %.2f, want ~0",
+			reaOut.PreArrivalCoverage())
+	}
+	if repOut.LiveCoverage() < 0.95 {
+		t.Errorf("replicated live coverage = %.2f", repOut.LiveCoverage())
+	}
+	if reaOut.LiveCoverage() < 0.9 {
+		t.Errorf("reactive live coverage = %.2f (live traffic should flow)",
+			reaOut.LiveCoverage())
+	}
+}
+
+func TestScenarioStaticStreamLossless(t *testing.T) {
+	g := movement.Line(4)
+	s := Scenario{
+		Graph:        g,
+		StaticOnly:   true,
+		StaticStream: true,
+		Mobility:     MobilityTransparent,
+		Duration:     2 * time.Second,
+		Seed:         7,
+	}
+	out := runScenario(t, s)
+	if out.StaticExpected == 0 {
+		t.Fatal("oracle found no static traffic")
+	}
+	if out.StaticLoss() != 0 {
+		t.Errorf("transparent mobility lost %d of %d static notifications",
+			out.StaticLoss(), out.StaticExpected)
+	}
+	if out.FIFOViolations != 0 {
+		t.Errorf("FIFO violations = %d", out.FIFOViolations)
+	}
+	if out.Duplicates != 0 {
+		t.Errorf("duplicates = %d", out.Duplicates)
+	}
+}
+
+func TestScenarioNaiveLosesStaticTraffic(t *testing.T) {
+	g := movement.Line(4)
+	s := Scenario{
+		Graph:        g,
+		StaticOnly:   true,
+		StaticStream: true,
+		Mobility:     MobilityNaive,
+		Duration:     2 * time.Second,
+		Seed:         7,
+	}
+	out := runScenario(t, s)
+	if out.StaticLoss() == 0 {
+		t.Error("naive mode should lose disconnection-gap traffic")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	g := movement.Grid(3, 3)
+	s := baseScenario(g)
+	a := runScenario(t, s)
+	b := runScenario(t, s)
+	if a != b {
+		t.Errorf("same seed produced different outcomes:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestScenarioSeedSensitivity(t *testing.T) {
+	g := movement.Grid(3, 3)
+	s1 := baseScenario(g)
+	s2 := baseScenario(g)
+	s2.Seed = 43
+	a := runScenario(t, s1)
+	b := runScenario(t, s2)
+	if a == b {
+		t.Error("different seeds produced identical outcomes (suspicious)")
+	}
+}
+
+func TestScenarioFloodingNlbCost(t *testing.T) {
+	// E6's degenerate case: nlb = everywhere means replicas everywhere.
+	line := baseScenario(movement.Line(6))
+	line.Name = "line"
+	lineOut := runScenario(t, line)
+
+	full := baseScenario(movement.Complete(6))
+	full.Name = "complete"
+	full.Model = movement.RandomWalk{Graph: movement.Line(6), Spec: movement.DwellSpec{
+		Dwell: 50 * time.Millisecond, Jitter: 10 * time.Millisecond, Gap: 5 * time.Millisecond,
+	}}
+	fullOut := runScenario(t, full)
+
+	if fullOut.PeakResidentVC <= lineOut.PeakResidentVC {
+		t.Errorf("complete-graph nlb should host more replicas: %d vs %d",
+			fullOut.PeakResidentVC, lineOut.PeakResidentVC)
+	}
+	if fullOut.Wasted+fullOut.Buffered <= lineOut.Wasted+lineOut.Buffered {
+		t.Errorf("flooding should buffer more: %d vs %d",
+			fullOut.Wasted+fullOut.Buffered, lineOut.Wasted+lineOut.Buffered)
+	}
+}
+
+func TestScenarioBufferPolicyBoundsMemory(t *testing.T) {
+	unbounded := baseScenario(movement.Line(5))
+	unbounded.NumMobiles = 3
+	ubOut := runScenario(t, unbounded)
+
+	capped := baseScenario(movement.Line(5))
+	capped.NumMobiles = 3
+	capped.BufferCap = 5
+	capOut := runScenario(t, capped)
+
+	if ubOut.PreArrivalExpected == 0 {
+		t.Fatal("no pre-arrival traffic")
+	}
+	// Capped buffers trade coverage for memory; both must stay sane.
+	if capOut.PreArrivalCoverage() > ubOut.PreArrivalCoverage()+1e-9 {
+		t.Error("capped buffers cannot beat unbounded coverage")
+	}
+}
+
+func TestScenarioMobilityModesComparable(t *testing.T) {
+	for _, mode := range []MobilityMode{MobilityTransparent, MobilityJEDI, MobilityNaive} {
+		s := Scenario{
+			Graph:        movement.Line(4),
+			StaticOnly:   true,
+			StaticStream: true,
+			Mobility:     mode,
+			Duration:     time.Second,
+			Seed:         3,
+		}
+		out := runScenario(t, s)
+		if out.StaticExpected == 0 {
+			t.Errorf("mode %v: no traffic", mode)
+		}
+		if out.StaticGot > out.StaticExpected {
+			t.Errorf("mode %v: got more than expected (%d > %d) — oracle bug",
+				mode, out.StaticGot, out.StaticExpected)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package wire runs the middleware over real TCP links: the same broker
+// state machines the simulator drives, fed from gob-encoded streams. It
+// provides the live deployment mode used by cmd/rebeca-broker — one process
+// per broker, point-to-point TCP connections between neighbors (§2), and a
+// Dialer for remote clients.
+//
+// TCP gives the FIFO per-link guarantee the algorithms assume; a per-node
+// inbox goroutine serializes HandleMessage calls, preserving the atomic
+// routing-decision requirement of §2.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+	"rebeca/internal/routing"
+)
+
+// hello is the link handshake: each side announces its node ID.
+type hello struct {
+	ID message.NodeID
+}
+
+// envelope frames a message on the wire.
+type envelope struct {
+	M proto.Message
+}
+
+// inboxMsg pairs a received message with its link.
+type inboxMsg struct {
+	from message.NodeID
+	m    proto.Message
+}
+
+// Conn is one established, identified link.
+type Conn struct {
+	peer message.NodeID
+	c    net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+// Peer returns the remote node's announced ID.
+func (c *Conn) Peer() message.NodeID { return c.peer }
+
+// Send encodes one message onto the link. Safe for concurrent use.
+func (c *Conn) Send(m proto.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(envelope{M: m})
+}
+
+// Close tears the link down.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// NodeConfig assembles a live broker node.
+type NodeConfig struct {
+	// ID names this broker.
+	ID message.NodeID
+	// Listen is the TCP address to accept links on (e.g. ":7471").
+	Listen string
+	// Peers maps neighbor broker IDs to their dial addresses. Only one
+	// side of each overlay edge needs to dial; the other accepts.
+	Peers map[message.NodeID]string
+	// Strategy selects the routing algorithm.
+	Strategy routing.Strategy
+	// NextHop is the unicast routing table (destination -> neighbor).
+	NextHop map[message.NodeID]message.NodeID
+}
+
+// Node is a live broker process host.
+type Node struct {
+	cfg NodeConfig
+	b   *broker.Broker
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[message.NodeID]*Conn
+
+	inbox chan inboxMsg
+	tasks chan func()
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewNode creates a node and its broker (not yet serving).
+func NewNode(cfg NodeConfig) *Node {
+	n := &Node{
+		cfg:   cfg,
+		conns: make(map[message.NodeID]*Conn),
+		inbox: make(chan inboxMsg, 1024),
+		tasks: make(chan func()),
+		done:  make(chan struct{}),
+	}
+	peers := make([]message.NodeID, 0, len(cfg.Peers))
+	for p := range cfg.Peers {
+		peers = append(peers, p)
+	}
+	n.b = broker.New(broker.Config{
+		ID:       cfg.ID,
+		Peers:    peers,
+		Strategy: cfg.Strategy,
+		Send:     n.send,
+		NextHop:  cfg.NextHop,
+	})
+	return n
+}
+
+// Broker exposes the hosted broker so callers can attach plugins (mobility
+// manager, replicator) before Start.
+func (n *Node) Broker() *broker.Broker { return n.b }
+
+// Start listens, dials peers, and runs the event loop.
+func (n *Node) Start() error {
+	ln, err := net.Listen("tcp", n.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("wire: listen %s: %w", n.cfg.Listen, err)
+	}
+	n.ln = ln
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.eventLoop()
+	for peer, addr := range n.cfg.Peers {
+		if addr == "" {
+			continue // passive side: the peer dials us
+		}
+		conn, err := DialLink(n.cfg.ID, addr)
+		if err != nil {
+			_ = n.Close()
+			return fmt.Errorf("wire: dial peer %s at %s: %w", peer, addr, err)
+		}
+		n.register(conn)
+	}
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Close stops the node and all links.
+func (n *Node) Close() error {
+	select {
+	case <-n.done:
+		return nil
+	default:
+	}
+	close(n.done)
+	if n.ln != nil {
+		_ = n.ln.Close()
+	}
+	n.mu.Lock()
+	for _, c := range n.conns {
+		_ = c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			conn, err := acceptLink(n.cfg.ID, c)
+			if err != nil {
+				_ = c.Close()
+				return
+			}
+			n.register(conn)
+		}()
+	}
+}
+
+// register adds a link and starts its read pump.
+func (n *Node) register(conn *Conn) {
+	n.mu.Lock()
+	n.conns[conn.peer] = conn
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.readLoop(conn)
+}
+
+func (n *Node) readLoop(conn *Conn) {
+	defer n.wg.Done()
+	dec := gob.NewDecoder(conn.c)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Connection torn down; the broker's session layer deals
+				// with absence via KDisconnect from clients.
+			}
+			return
+		}
+		select {
+		case n.inbox <- inboxMsg{from: conn.peer, m: env.M}:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// eventLoop serializes all broker processing.
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case im := <-n.inbox:
+			m := im.m
+			m.From = im.from
+			n.b.HandleMessage(im.from, m)
+		case fn := <-n.tasks:
+			fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// Inspect runs fn on the node's event loop — the only safe way to read or
+// mutate broker state while the node is serving. Blocks until fn returns
+// (or the node is closed, in which case fn never runs).
+func (n *Node) Inspect(fn func(b *broker.Broker)) {
+	doneCh := make(chan struct{})
+	select {
+	case n.tasks <- func() { fn(n.b); close(doneCh) }:
+		<-doneCh
+	case <-n.done:
+	}
+}
+
+// send implements the broker's Send: look up the link and encode.
+func (n *Node) send(to message.NodeID, m proto.Message) {
+	n.mu.Lock()
+	conn, ok := n.conns[to]
+	n.mu.Unlock()
+	if !ok {
+		return // neighbor not (yet) linked; drop like a down link
+	}
+	_ = conn.Send(m)
+}
+
+// DialLink connects to a remote node and performs the handshake, announcing
+// `self` as the local ID.
+func DialLink(self message.NodeID, addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	enc := gob.NewEncoder(c)
+	if err := enc.Encode(hello{ID: self}); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("wire: handshake send: %w", err)
+	}
+	var h hello
+	if err := gob.NewDecoder(c).Decode(&h); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("wire: handshake recv: %w", err)
+	}
+	return &Conn{peer: h.ID, c: c, enc: enc}, nil
+}
+
+// acceptLink performs the passive side of the handshake.
+func acceptLink(self message.NodeID, c net.Conn) (*Conn, error) {
+	var h hello
+	if err := gob.NewDecoder(c).Decode(&h); err != nil {
+		return nil, fmt.Errorf("wire: handshake recv: %w", err)
+	}
+	enc := gob.NewEncoder(c)
+	if err := enc.Encode(hello{ID: self}); err != nil {
+		return nil, fmt.Errorf("wire: handshake send: %w", err)
+	}
+	return &Conn{peer: h.ID, c: c, enc: enc}, nil
+}
+
+// RemoteClient runs a client library over a TCP link to a border broker —
+// the "local broker … loaded into the clients" of §2, wire edition.
+type RemoteClient struct {
+	ID message.NodeID
+
+	mu     sync.Mutex
+	conn   *Conn
+	notify func(n message.Notification)
+	wg     sync.WaitGroup
+}
+
+// NewRemoteClient creates a client host. onNotify observes deliveries (may
+// be nil).
+func NewRemoteClient(id message.NodeID, onNotify func(message.Notification)) *RemoteClient {
+	return &RemoteClient{ID: id, notify: onNotify}
+}
+
+// Connect dials a border broker and starts the delivery pump. epoch is the
+// client's monotonic connect counter (see proto.Message.Epoch); pass an
+// incremented value on every connect.
+func (r *RemoteClient) Connect(addr string, prev message.NodeID, profile []proto.Subscription, epoch uint64) error {
+	conn, err := DialLink(r.ID, addr)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.conn = conn
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.pump(conn)
+	return conn.Send(proto.Message{
+		Kind: proto.KConnect, Client: r.ID, Origin: prev, Subs: profile, Epoch: epoch,
+	})
+}
+
+func (r *RemoteClient) pump(conn *Conn) {
+	defer r.wg.Done()
+	dec := gob.NewDecoder(conn.c)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		if env.M.Kind == proto.KDeliver && env.M.Note != nil && r.notify != nil {
+			r.notify(*env.M.Note)
+		}
+	}
+}
+
+// Send transmits an arbitrary client message (publish, subscribe, …).
+func (r *RemoteClient) Send(m proto.Message) error {
+	r.mu.Lock()
+	conn := r.conn
+	r.mu.Unlock()
+	if conn == nil {
+		return errors.New("wire: client not connected")
+	}
+	return conn.Send(m)
+}
+
+// Disconnect announces departure and closes the link.
+func (r *RemoteClient) Disconnect() error {
+	r.mu.Lock()
+	conn := r.conn
+	r.conn = nil
+	r.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	err := conn.Send(proto.Message{Kind: proto.KDisconnect, Client: r.ID})
+	_ = conn.Close()
+	r.wg.Wait()
+	return err
+}

@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+	"rebeca/internal/routing"
+)
+
+// startLine brings up a live 2-broker overlay on loopback and returns the
+// nodes. The caller must Close them.
+func startLine(t *testing.T) (*Node, *Node) {
+	t.Helper()
+	a := NewNode(NodeConfig{
+		ID:       "A",
+		Listen:   "127.0.0.1:0",
+		Peers:    map[message.NodeID]string{"B": ""}, // B dials us
+		Strategy: routing.StrategySimple,
+		NextHop:  map[message.NodeID]message.NodeID{"B": "B"},
+	})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewNode(NodeConfig{
+		ID:       "B",
+		Listen:   "127.0.0.1:0",
+		Peers:    map[message.NodeID]string{"A": a.Addr()},
+		Strategy: routing.StrategySimple,
+		NextHop:  map[message.NodeID]message.NodeID{"A": "A"},
+	})
+	if err := b.Start(); err != nil {
+		_ = a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = b.Close()
+		_ = a.Close()
+	})
+	return a, b
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLiveEndToEndPubSub(t *testing.T) {
+	a, b := startLine(t)
+
+	var mu sync.Mutex
+	var got []message.Notification
+	sub := NewRemoteClient("sub", func(n message.Notification) {
+		mu.Lock()
+		got = append(got, n)
+		mu.Unlock()
+	})
+	if err := sub.Connect(b.Addr(), "", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub.Disconnect() }()
+	f := filter.New(filter.Eq("k", message.Int(7)))
+	subscription := proto.Subscription{ID: "sub/s1", Filter: f}
+	if err := sub.Send(proto.Message{Kind: proto.KSubscribe, Client: "sub", Sub: &subscription}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the subscription to reach A.
+	waitFor(t, func() bool {
+		n := 0
+		a.Inspect(func(b *broker.Broker) { n = b.Router().Table().Len() })
+		return n >= 1
+	}, "subscription propagation")
+
+	pub := NewRemoteClient("pub", nil)
+	if err := pub.Connect(a.Addr(), "", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pub.Disconnect() }()
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(7)})
+	n.ID = message.NotificationID{Publisher: "pub", Seq: 1}
+	if err := pub.Send(proto.Message{Kind: proto.KPublish, Client: "pub", Note: &n}); err != nil {
+		t.Fatal(err)
+	}
+	miss := message.NewNotification(map[string]message.Value{"k": message.Int(8)})
+	miss.ID = message.NotificationID{Publisher: "pub", Seq: 2}
+	if err := pub.Send(proto.Message{Kind: proto.KPublish, Client: "pub", Note: &miss}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	}, "delivery across TCP")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].ID.Seq != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLiveHandshakeIdentity(t *testing.T) {
+	a, _ := startLine(t)
+	c, err := DialLink("tester", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if c.Peer() != "A" {
+		t.Errorf("peer = %s, want A", c.Peer())
+	}
+}
+
+func TestLiveGobRoundTripAllPayloads(t *testing.T) {
+	// Exercise the codec with every payload field populated.
+	a, b := startLine(t)
+	_ = a
+
+	done := make(chan proto.Message, 1)
+	cl := NewRemoteClient("probe", nil)
+	if err := cl.Connect(b.Addr(), "prevB", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Disconnect() }()
+
+	n := message.NewNotification(map[string]message.Value{
+		"s": message.String("x"), "i": message.Int(1),
+		"f": message.Float(2.5), "b": message.Bool(true),
+	})
+	n.ID = message.NotificationID{Publisher: "probe", Seq: 9}
+	f := filter.AtLocation(filter.Eq("service", message.String("menu")))
+	m := proto.Message{
+		Kind:   proto.KRelocProfile,
+		Client: "probe",
+		Origin: "B",
+		Notes:  []message.Notification{n},
+		Subs:   []proto.Subscription{{ID: "probe/s1", Filter: f}},
+		Watermarks: map[message.NodeID]uint64{
+			"pub": 9,
+		},
+		FlushID: 3,
+		Hops:    2,
+	}
+	// Round-trip through a raw link pair rather than the broker.
+	ln, err := DialLink("sender", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	_ = done
+	// Encode/decode through gob directly to verify fidelity.
+	back := roundTrip(t, m)
+	if back.Kind != m.Kind || back.Client != m.Client || len(back.Notes) != 1 ||
+		len(back.Subs) != 1 || back.Watermarks["pub"] != 9 {
+		t.Errorf("round trip mangled message: %+v", back)
+	}
+	if !back.Notes[0].Equal(n) || back.Notes[0].ID != n.ID {
+		t.Errorf("notification mangled: %v", back.Notes[0])
+	}
+	if !back.Subs[0].Filter.LocationDependent() {
+		t.Error("filter lost its myloc marker over the wire")
+	}
+}
+
+func roundTrip(t *testing.T, m proto.Message) proto.Message {
+	t.Helper()
+	p1, p2 := net.Pipe()
+	defer func() { _ = p1.Close(); _ = p2.Close() }()
+	sender := &Conn{peer: "b", c: p1, enc: gob.NewEncoder(p1)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- sender.Send(m) }()
+	var env envelope
+	if err := gob.NewDecoder(p2).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return env.M
+}

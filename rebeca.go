@@ -1,0 +1,227 @@
+// Package rebeca is a content-based publish/subscribe middleware with
+// first-class support for mobile clients, reproducing "Dealing with
+// Uncertainty in Mobile Publish/Subscribe Middleware" (Fiege, Zeidler,
+// Gärtner, Handurukande — Middleware 2003).
+//
+// It provides:
+//
+//   - Content-based routing over an acyclic broker overlay (filters,
+//     covering, merging).
+//   - Physical mobility: transparent relocation of roaming clients with no
+//     loss, no duplicates, and per-publisher FIFO across handovers.
+//   - Logical mobility: location-dependent subscriptions via the myloc
+//     marker, resolved per border broker.
+//   - Extended logical mobility — the paper's contribution: a replicator
+//     layer that pre-subscribes buffering virtual clients at every broker
+//     in the client's movement-graph neighborhood (nlb), so that arriving
+//     clients replay a "subscription in the past".
+//
+// The System type runs an entire deployment in-process on a deterministic
+// virtual clock (backed by a discrete-event simulator), which is ideal for
+// experimentation and tests; the internal/wire package and cmd/rebeca-broker
+// run the same brokers over real TCP.
+//
+// Quick start:
+//
+//	g := rebeca.NewGraph()
+//	g.AddEdge("home", "office")
+//	sys, _ := rebeca.NewSystem(rebeca.Options{Movement: g})
+//	alice := sys.NewClient("alice")
+//	alice.ConnectTo("home")
+//	alice.Subscribe(rebeca.NewFilter(rebeca.Eq("service", rebeca.String("news"))))
+//	sys.Settle()
+package rebeca
+
+import (
+	"time"
+
+	"rebeca/internal/buffer"
+	"rebeca/internal/client"
+	"rebeca/internal/filter"
+	"rebeca/internal/location"
+	"rebeca/internal/message"
+	"rebeca/internal/movement"
+	"rebeca/internal/routing"
+	"rebeca/internal/sim"
+)
+
+// Re-exported core types. The facade keeps downstream imports to a single
+// package; the internal packages carry the implementation.
+type (
+	// Value is a typed attribute value.
+	Value = message.Value
+	// Notification is a published event description.
+	Notification = message.Notification
+	// NotificationID identifies a notification (publisher, seq).
+	NotificationID = message.NotificationID
+	// NodeID names a broker or client.
+	NodeID = message.NodeID
+	// SubID identifies a subscription.
+	SubID = message.SubID
+	// Filter is a conjunctive content-based subscription filter.
+	Filter = filter.Filter
+	// Constraint is a single attribute predicate.
+	Constraint = filter.Constraint
+	// Client is a (mobile) pub/sub client.
+	Client = client.Client
+	// Delivery is a received notification with its arrival time.
+	Delivery = client.Delivery
+	// Graph is an undirected movement graph (defines nlb).
+	Graph = movement.Graph
+	// Trace is a precomputed movement schedule.
+	Trace = movement.Trace
+	// LocationModel maps brokers to logical location scopes.
+	LocationModel = location.Model
+	// Location names a logical location.
+	Location = location.Location
+	// ContextResolverFunc derives a context's value set for an attribute.
+	ContextResolverFunc = filter.ContextResolver
+)
+
+// Value constructors.
+var (
+	// String constructs a string attribute value.
+	String = message.String
+	// Int constructs an integer attribute value.
+	Int = message.Int
+	// Float constructs a float attribute value.
+	Float = message.Float
+	// Bool constructs a boolean attribute value.
+	Bool = message.Bool
+)
+
+// Filter constructors.
+var (
+	// NewFilter builds a conjunctive filter.
+	NewFilter = filter.New
+	// AllFilter matches every notification.
+	AllFilter = filter.All
+	// AtLocation builds a location-dependent filter (appends the myloc
+	// marker, §1 of the paper).
+	AtLocation = filter.AtLocation
+	// Context builds a state-dependent marker constraint (§4's
+	// generalization of myloc): attr ∈ ctx:<name>, resolved per broker.
+	Context = filter.Context
+	// Constraint constructors.
+	Eq       = filter.Eq
+	Ne       = filter.Ne
+	Lt       = filter.Lt
+	Le       = filter.Le
+	Gt       = filter.Gt
+	Ge       = filter.Ge
+	In       = filter.In
+	Exists   = filter.Exists
+	Prefix   = filter.Prefix
+	Suffix   = filter.Suffix
+	Contains = filter.Contains
+)
+
+// AttrLocation is the conventional location attribute name.
+const AttrLocation = filter.AttrLocation
+
+// Movement graph and location-model constructors.
+var (
+	// NewGraph returns an empty movement graph.
+	NewGraph = movement.NewGraph
+	// Line, Ring, Grid, Star build standard movement graphs.
+	Line = movement.Line
+	Ring = movement.Ring
+	Grid = movement.Grid
+	Star = movement.Star
+	// NewLocationModel returns an empty location model.
+	NewLocationModel = location.NewModel
+	// OfficeFloor builds the paper's office-floor location model.
+	OfficeFloor = location.OfficeFloor
+	// Regions assigns one same-named region per broker.
+	Regions = location.Regions
+	// StampLocation tags a notification with a location.
+	StampLocation = location.Stamp
+)
+
+// Options configures an in-process System.
+type Options struct {
+	// Movement is the movement graph; broker overlay and nlb derive from
+	// it. Required.
+	Movement *Graph
+	// Locations maps brokers to logical scopes. Defaults to one region
+	// per broker.
+	Locations *LocationModel
+	// DisablePreSubscribe turns the replicator layer into the reactive
+	// baseline (location-dependent subscriptions only at the current
+	// broker).
+	DisablePreSubscribe bool
+	// SharedBuffers uses one refcounted notification store per broker.
+	SharedBuffers bool
+	// ContextResolver resolves generalized context markers per broker.
+	ContextResolver func(b NodeID) ContextResolverFunc
+	// BufferTTL / BufferCap bound virtual-client and ghost buffers
+	// (0 = unbounded).
+	BufferTTL time.Duration
+	BufferCap int
+	// LinkLatency is the simulated per-hop delay (default 1ms).
+	LinkLatency time.Duration
+}
+
+// System is an in-process middleware deployment on a virtual clock.
+type System struct {
+	cluster *sim.Cluster
+}
+
+// NewSystem builds a full deployment: brokers on the movement graph's
+// spanning tree, a transparent physical-mobility manager and a replicator
+// on every border broker.
+func NewSystem(opts Options) (*System, error) {
+	locs := opts.Locations
+	if locs == nil && opts.Movement != nil {
+		locs = location.Regions(opts.Movement.Nodes())
+	}
+	repl := sim.ReplicationPreSubscribe
+	if opts.DisablePreSubscribe {
+		repl = sim.ReplicationReactive
+	}
+	var factory buffer.Factory
+	switch {
+	case opts.BufferTTL > 0 && opts.BufferCap > 0:
+		factory = func() buffer.Policy { return buffer.NewCombined(opts.BufferTTL, opts.BufferCap) }
+	case opts.BufferTTL > 0:
+		factory = func() buffer.Policy { return buffer.NewTimeBased(opts.BufferTTL) }
+	case opts.BufferCap > 0:
+		factory = func() buffer.Policy { return buffer.NewLastN(opts.BufferCap) }
+	}
+	cl, err := sim.NewCluster(sim.ClusterConfig{
+		Movement:      opts.Movement,
+		Locations:     locs,
+		Context:       opts.ContextResolver,
+		Strategy:      routing.StrategySimple,
+		Mobility:      sim.MobilityTransparent,
+		Replication:   repl,
+		SharedBuffers: opts.SharedBuffers,
+		BufferFactory: factory,
+		LinkLatency:   opts.LinkLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{cluster: cl}, nil
+}
+
+// NewClient creates a client endpoint.
+func (s *System) NewClient(id NodeID) *Client { return s.cluster.AddClient(id) }
+
+// Brokers lists the deployment's broker IDs.
+func (s *System) Brokers() []NodeID { return s.cluster.Topology.Nodes() }
+
+// Settle runs the virtual clock until no messages remain in flight.
+func (s *System) Settle() { s.cluster.Net.Run() }
+
+// Step advances the virtual clock by d, delivering due messages.
+func (s *System) Step(d time.Duration) { s.cluster.Net.RunFor(d) }
+
+// After schedules fn on the virtual clock.
+func (s *System) After(d time.Duration, fn func()) { s.cluster.Net.After(d, fn) }
+
+// Now returns the current virtual time.
+func (s *System) Now() time.Time { return s.cluster.Net.Now() }
+
+// MessagesCarried returns the total number of messages the network moved.
+func (s *System) MessagesCarried() int { return s.cluster.Net.Stats().Total() }

@@ -1,0 +1,219 @@
+package rebeca_test
+
+import (
+	"testing"
+	"time"
+
+	"rebeca"
+)
+
+func newSystem(t *testing.T, opts rebeca.Options) *rebeca.System {
+	t.Helper()
+	sys, err := rebeca.NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemBasicPubSub(t *testing.T) {
+	g := rebeca.NewGraph()
+	g.AddEdge("home", "office")
+	sys := newSystem(t, rebeca.Options{Movement: g})
+
+	sub := sys.NewClient("sub")
+	sub.ConnectTo("office")
+	sub.Subscribe(rebeca.NewFilter(rebeca.Eq("k", rebeca.Int(1))))
+	sys.Settle()
+
+	pub := sys.NewClient("pub")
+	pub.ConnectTo("home")
+	pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(1)})
+	pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(2)})
+	sys.Settle()
+
+	if got := len(sub.Received()); got != 1 {
+		t.Errorf("received %d, want 1", got)
+	}
+	if sys.MessagesCarried() == 0 {
+		t.Error("traffic accounting broken")
+	}
+}
+
+func TestSystemRoamingLossless(t *testing.T) {
+	sys := newSystem(t, rebeca.Options{Movement: rebeca.Line(3)})
+	mob := sys.NewClient("mob")
+	mob.ConnectTo("B0")
+	mob.Subscribe(rebeca.NewFilter(rebeca.Exists("n")))
+	sys.Settle()
+
+	pub := sys.NewClient("pub")
+	pub.ConnectTo("B2")
+	for i := 1; i <= 100; i++ {
+		i := i
+		sys.After(time.Duration(i)*time.Millisecond, func() {
+			pub.Publish(map[string]rebeca.Value{"n": rebeca.Int(int64(i))})
+		})
+	}
+	sys.After(30*time.Millisecond, func() { mob.Disconnect() })
+	sys.After(40*time.Millisecond, func() { mob.ConnectTo("B1") })
+	sys.Settle()
+
+	if got := len(sub(mob)); got != 100 {
+		t.Errorf("received %d of 100", got)
+	}
+	if mob.Duplicates() != 0 || mob.FIFOViolations() != 0 {
+		t.Errorf("dups=%d fifo=%d", mob.Duplicates(), mob.FIFOViolations())
+	}
+}
+
+func sub(c *rebeca.Client) []rebeca.Delivery { return c.Received() }
+
+func TestSystemLocationDependentSubscription(t *testing.T) {
+	g := rebeca.Line(3)
+	sys := newSystem(t, rebeca.Options{Movement: g})
+
+	mob := sys.NewClient("mob")
+	mob.ConnectTo("B0")
+	mob.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
+	sys.Settle()
+
+	pub := sys.NewClient("pub")
+	pub.ConnectTo("B1")
+	n := rebeca.Notification{Attrs: map[string]rebeca.Value{
+		"service": rebeca.String("menu"),
+		"dish":    rebeca.String("pasta"),
+	}}
+	n = rebeca.StampLocation(n, "region-B1")
+	pub.Publish(n.Attrs)
+	sys.Settle()
+
+	// Not delivered while at B0, but replayed on arrival at B1.
+	if got := len(mob.Received()); got != 0 {
+		t.Fatalf("received %d before arrival", got)
+	}
+	mob.Disconnect()
+	sys.Step(5 * time.Millisecond)
+	mob.ConnectTo("B1")
+	sys.Settle()
+	if got := len(mob.Received()); got != 1 {
+		t.Errorf("pre-subscription replay got %d, want 1", got)
+	}
+}
+
+func TestSystemReactiveOption(t *testing.T) {
+	sys := newSystem(t, rebeca.Options{
+		Movement:            rebeca.Line(3),
+		DisablePreSubscribe: true,
+	})
+	mob := sys.NewClient("mob")
+	mob.ConnectTo("B0")
+	mob.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
+	sys.Settle()
+
+	pub := sys.NewClient("pub")
+	pub.ConnectTo("B1")
+	n := rebeca.Notification{Attrs: map[string]rebeca.Value{"service": rebeca.String("menu")}}
+	n = rebeca.StampLocation(n, "region-B1")
+	pub.Publish(n.Attrs)
+	sys.Settle()
+	mob.Disconnect()
+	sys.Step(5 * time.Millisecond)
+	mob.ConnectTo("B1")
+	sys.Settle()
+	if got := len(mob.Received()); got != 0 {
+		t.Errorf("reactive mode replayed %d, want 0", got)
+	}
+}
+
+func TestSystemBufferCapOption(t *testing.T) {
+	sys := newSystem(t, rebeca.Options{
+		Movement:  rebeca.Line(3),
+		BufferCap: 2,
+	})
+	mob := sys.NewClient("mob")
+	mob.ConnectTo("B0")
+	mob.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
+	sys.Settle()
+	pub := sys.NewClient("pub")
+	pub.ConnectTo("B1")
+	for i := 0; i < 5; i++ {
+		n := rebeca.Notification{Attrs: map[string]rebeca.Value{
+			"service": rebeca.String("menu"),
+			"i":       rebeca.Int(int64(i)),
+		}}
+		n = rebeca.StampLocation(n, "region-B1")
+		pub.Publish(n.Attrs)
+	}
+	sys.Settle()
+	mob.Disconnect()
+	sys.Step(2 * time.Millisecond)
+	mob.ConnectTo("B1")
+	sys.Settle()
+	if got := len(mob.Received()); got != 2 {
+		t.Errorf("capped buffer replayed %d, want 2", got)
+	}
+}
+
+func TestSystemClockAndScheduling(t *testing.T) {
+	sys := newSystem(t, rebeca.Options{Movement: rebeca.Line(2)})
+	t0 := sys.Now()
+	fired := false
+	sys.After(time.Second, func() { fired = true })
+	sys.Step(999 * time.Millisecond)
+	if fired {
+		t.Error("event fired early")
+	}
+	sys.Step(time.Millisecond)
+	if !fired {
+		t.Error("event did not fire")
+	}
+	if got := sys.Now().Sub(t0); got != time.Second {
+		t.Errorf("clock advanced %s, want 1s", got)
+	}
+}
+
+func TestSystemBrokersList(t *testing.T) {
+	sys := newSystem(t, rebeca.Options{Movement: rebeca.Grid(2, 2)})
+	if got := len(sys.Brokers()); got != 4 {
+		t.Errorf("brokers = %d, want 4", got)
+	}
+}
+
+func TestSystemRequiresMovement(t *testing.T) {
+	if _, err := rebeca.NewSystem(rebeca.Options{}); err == nil {
+		t.Error("NewSystem without movement graph should fail")
+	}
+}
+
+func TestFilterFacade(t *testing.T) {
+	f := rebeca.NewFilter(
+		rebeca.Ge("v", rebeca.Float(1)),
+		rebeca.Le("v", rebeca.Float(5)),
+		rebeca.Prefix("name", "ro"),
+		rebeca.In("kind", rebeca.String("a"), rebeca.String("b")),
+	)
+	n := rebeca.Notification{Attrs: map[string]rebeca.Value{
+		"v":    rebeca.Float(3),
+		"name": rebeca.String("room"),
+		"kind": rebeca.String("a"),
+	}}
+	if !f.Matches(n) {
+		t.Error("facade filter should match")
+	}
+	if !rebeca.AllFilter().Matches(n) {
+		t.Error("AllFilter should match anything")
+	}
+	if !rebeca.AtLocation().LocationDependent() {
+		t.Error("AtLocation should be location dependent")
+	}
+	// Remaining constraint constructors exist and behave.
+	for _, c := range []rebeca.Constraint{
+		rebeca.Eq("x", rebeca.Int(1)), rebeca.Ne("x", rebeca.Int(1)),
+		rebeca.Lt("x", rebeca.Int(1)), rebeca.Gt("x", rebeca.Int(1)),
+		rebeca.Exists("x"), rebeca.Suffix("s", "x"), rebeca.Contains("s", "x"),
+	} {
+		_ = rebeca.NewFilter(c)
+	}
+	_ = rebeca.Bool(true)
+}
