@@ -20,7 +20,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"rebeca"
 	"rebeca/internal/broker"
 	"rebeca/internal/core"
 	"rebeca/internal/location"
@@ -40,6 +42,10 @@ func main() {
 		strategy  = flag.String("strategy", "simple", "routing strategy: simple, covering, flooding")
 		replicate = flag.Bool("replicate", true, "attach the replicator layer (movement graph = overlay)")
 		mobilityM = flag.String("mobility", "transparent", "physical mobility: transparent, jedi, naive, none")
+		stats     = flag.Duration("stats", 0, "print middleware metrics at this interval (0 = off)")
+		trace     = flag.Bool("trace", false, "log every publish, delivery and subscription")
+		rate      = flag.Float64("publish-rate", 0, "token-bucket limit on client publish ingress per second (0 = unlimited)")
+		burst     = flag.Int("publish-burst", 10, "token-bucket burst for -publish-rate")
 	)
 	flag.Parse()
 	if *id == "" || *edges == "" {
@@ -81,12 +87,36 @@ func main() {
 		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
 	}
 
+	// Middleware (the same exported chain the simulator installs): metrics,
+	// tracing and rate limiting are appended at Start, after the
+	// session-layer plugins attached below.
+	var (
+		mws     []rebeca.Middleware
+		metrics *rebeca.Metrics
+	)
+	if *stats > 0 {
+		metrics = rebeca.NewMetrics()
+		mws = append(mws, metrics)
+	}
+	if *trace {
+		mws = append(mws, rebeca.NewTracer(func(e rebeca.TraceEvent) {
+			fmt.Printf("%s %-9s broker=%s node=%s note=%v sub=%s\n",
+				e.At.Format("15:04:05.000"), e.Hook, e.Broker, e.Node, e.Note, e.Sub)
+		}))
+	}
+	var limiter *rebeca.RateLimiter
+	if *rate > 0 {
+		limiter = rebeca.NewRateLimiter(*rate, *burst)
+		mws = append(mws, limiter)
+	}
+
 	node := wire.NewNode(wire.NodeConfig{
-		ID:       self,
-		Listen:   *listen,
-		Peers:    peers,
-		Strategy: strat,
-		NextHop:  hops,
+		ID:         self,
+		Listen:     *listen,
+		Peers:      peers,
+		Strategy:   strat,
+		NextHop:    hops,
+		Middleware: mws,
 	})
 
 	// Plugin order matters: replicator first, then the mobility manager.
@@ -117,8 +147,22 @@ func main() {
 	if err := node.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("rebeca-broker %s listening on %s (%d neighbors, strategy %s)\n",
-		self, node.Addr(), len(peers), strat)
+	fmt.Printf("rebeca-broker %s listening on %s (%d neighbors, strategy %s, %d middleware)\n",
+		self, node.Addr(), len(peers), strat, len(mws))
+
+	if metrics != nil {
+		go func() {
+			for range time.Tick(*stats) {
+				m := metrics.Totals()
+				line := fmt.Sprintf("stats: publishes=%d deliveries=%d subscribes=%d avg-latency=%s",
+					m.Publishes, m.Deliveries, m.Subscribes, m.AvgDeliveryLatency())
+				if limiter != nil {
+					line += fmt.Sprintf(" rate-limited=%d", limiter.Dropped())
+				}
+				fmt.Println(line)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

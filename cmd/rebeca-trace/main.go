@@ -1,7 +1,9 @@
-// debugtrace replays one stress seed with full protocol tracing — a
+// rebeca-trace replays one stress seed with full protocol tracing — a
 // development aid for the relocation protocol, mirroring
 // internal/sim/stress_test.go's chaos generator. Select with SEED and WHO
 // environment variables.
+//
+// Run with: SEED=8 WHO=mob1 go run ./cmd/rebeca-trace
 package main
 
 import (

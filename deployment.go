@@ -1,0 +1,190 @@
+package rebeca
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rebeca/internal/client"
+	"rebeca/internal/sim"
+)
+
+// ErrNotConnected is returned by Port operations that need a live link to a
+// border broker.
+var ErrNotConnected = errors.New("rebeca: client not connected")
+
+// ErrUnknownBroker is returned by Port.Connect for a broker ID outside the
+// deployment.
+var ErrUnknownBroker = errors.New("rebeca: unknown broker")
+
+// Deployment is the common surface over the two ways to run the
+// middleware: the virtual-clock System (New) and the TCP-backed Live
+// (NewLive). The same client code, middleware and tests drive both.
+type Deployment interface {
+	// NewClient creates a client endpoint, not yet connected.
+	NewClient(id NodeID) Port
+	// Brokers lists the deployment's broker IDs.
+	Brokers() []NodeID
+	// Settle waits until in-flight traffic has drained: exactly (to
+	// quiescence of the event queue) under System, heuristically (a quiet
+	// window on broker and client activity, see WithSettleWindow) under
+	// Live.
+	Settle()
+	// Close tears the deployment down. System's Close is a no-op.
+	Close() error
+}
+
+// Port is the deployment-independent client surface: the pub/sub triple,
+// roaming, and delivery inspection. A Port is driven from one goroutine;
+// deliveries recorded by the middleware arrive between calls (System) or
+// concurrently (Live — accessors are safe to call while connected).
+type Port interface {
+	// ID returns the client's node ID.
+	ID() NodeID
+	// Connect attaches to a border broker (roaming to it if already
+	// connected elsewhere).
+	Connect(broker NodeID) error
+	// Disconnect drops the wireless link.
+	Disconnect() error
+	// Border returns the current border broker ("" while disconnected).
+	Border() NodeID
+	// Subscribe registers interest; the subscription joins the roaming
+	// profile.
+	Subscribe(f Filter) SubID
+	// SubscribeAt registers a location-dependent subscription (myloc).
+	SubscribeAt(cs ...Constraint) SubID
+	// Unsubscribe withdraws a subscription.
+	Unsubscribe(id SubID)
+	// Publish emits a notification (requires a connection).
+	Publish(attrs map[string]Value) (NotificationID, error)
+	// OnNotify registers an observer for every fresh delivery.
+	OnNotify(fn func(n Notification))
+	// Received returns all recorded deliveries in arrival order.
+	Received() []Delivery
+	// Duplicates counts suppressed duplicate deliveries.
+	Duplicates() int
+	// FIFOViolations counts per-publisher sequence inversions.
+	FIFOViolations() int
+}
+
+// System is an in-process middleware deployment on a virtual clock, backed
+// by the discrete-event simulator: deterministic, instant, and ideal for
+// experiments and tests. It implements Deployment.
+type System struct {
+	cluster *sim.Cluster
+}
+
+var _ Deployment = (*System)(nil)
+
+// New builds a full in-process deployment from the options: brokers on the
+// movement graph's spanning tree, a transparent physical-mobility manager
+// and a replicator on every broker, and the configured middleware chain.
+func New(opts ...Option) (*System, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	repl := sim.ReplicationPreSubscribe
+	if cfg.reactive {
+		repl = sim.ReplicationReactive
+	}
+	cl, err := sim.NewCluster(sim.ClusterConfig{
+		Movement:        cfg.movement,
+		Locations:       cfg.locations,
+		Context:         cfg.context,
+		Strategy:        cfg.strategy,
+		Advertisements:  cfg.advertisements,
+		IndexedMatching: cfg.indexed,
+		Mobility:        sim.MobilityTransparent,
+		Replication:     repl,
+		SharedBuffers:   cfg.shared,
+		BufferFactory:   cfg.bufferFactory(),
+		Middleware:      cfg.middleware,
+		LinkLatency:     cfg.linkLatency,
+		LatencyJitter:   cfg.latencyJitter,
+		JitterSeed:      cfg.jitterSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{cluster: cl}, nil
+}
+
+// NewClient creates a client endpoint.
+func (s *System) NewClient(id NodeID) Port {
+	return &simPort{sys: s, c: s.cluster.AddClient(id)}
+}
+
+// Brokers lists the deployment's broker IDs.
+func (s *System) Brokers() []NodeID { return s.cluster.Topology.Nodes() }
+
+// Settle runs the virtual clock until no messages remain in flight.
+func (s *System) Settle() { s.cluster.Net.Run() }
+
+// Close implements Deployment; the virtual deployment has nothing to tear
+// down.
+func (s *System) Close() error { return nil }
+
+// Step advances the virtual clock by d, delivering due messages.
+func (s *System) Step(d time.Duration) { s.cluster.Net.RunFor(d) }
+
+// After schedules fn on the virtual clock.
+func (s *System) After(d time.Duration, fn func()) { s.cluster.Net.After(d, fn) }
+
+// Now returns the current virtual time.
+func (s *System) Now() time.Time { return s.cluster.Net.Now() }
+
+// MessagesCarried returns the total number of messages the network moved.
+func (s *System) MessagesCarried() int { return s.cluster.Net.Stats().Total() }
+
+func (s *System) hasBroker(id NodeID) bool {
+	_, ok := s.cluster.Brokers[id]
+	return ok
+}
+
+// simPort adapts the simulator's client library to the Port interface.
+type simPort struct {
+	sys *System
+	c   *client.Client
+}
+
+var _ Port = (*simPort)(nil)
+
+func (p *simPort) ID() NodeID { return p.c.ID() }
+
+func (p *simPort) Connect(b NodeID) error {
+	if !p.sys.hasBroker(b) {
+		return fmt.Errorf("%w: %s", ErrUnknownBroker, b)
+	}
+	p.c.ConnectTo(b)
+	return nil
+}
+
+func (p *simPort) Disconnect() error {
+	p.c.Disconnect()
+	return nil
+}
+
+func (p *simPort) Border() NodeID { return p.c.Border() }
+
+func (p *simPort) Subscribe(f Filter) SubID { return p.c.Subscribe(f) }
+
+func (p *simPort) SubscribeAt(cs ...Constraint) SubID { return p.c.SubscribeAt(cs...) }
+
+func (p *simPort) Unsubscribe(id SubID) { p.c.Unsubscribe(id) }
+
+func (p *simPort) Publish(attrs map[string]Value) (NotificationID, error) {
+	id, ok := p.c.Publish(attrs)
+	if !ok {
+		return NotificationID{}, ErrNotConnected
+	}
+	return id, nil
+}
+
+func (p *simPort) OnNotify(fn func(n Notification)) { p.c.OnNotify = fn }
+
+func (p *simPort) Received() []Delivery { return p.c.Received() }
+
+func (p *simPort) Duplicates() int { return p.c.Duplicates() }
+
+func (p *simPort) FIFOViolations() int { return p.c.FIFOViolations() }

@@ -1,0 +1,163 @@
+package rebeca_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"rebeca"
+)
+
+// scenarioResult captures everything the parity check compares.
+type scenarioResult struct {
+	received   []uint64 // delivered sequence numbers, sorted
+	duplicates int
+	fifo       int
+	deliveries int // metrics middleware, summed over brokers
+	border     rebeca.NodeID
+}
+
+// runHandoverScenario drives one subscribe/publish/handover scenario
+// through any Deployment: a mobile subscriber starts at B0, receives a
+// batch published from B2, roams to B1 mid-session, and receives a second
+// batch. The scenario code is deployment-agnostic — the acceptance
+// criterion for the unified facade.
+func runHandoverScenario(t *testing.T, d rebeca.Deployment, metrics *rebeca.Metrics) scenarioResult {
+	t.Helper()
+
+	mob := d.NewClient("mob")
+	connect(t, mob, "B0")
+	mob.Subscribe(rebeca.NewFilter(rebeca.Eq("stream", rebeca.String("s"))))
+	d.Settle()
+
+	pub := d.NewClient("pub")
+	connect(t, pub, "B2")
+	publish := func(lo, hi int) {
+		t.Helper()
+		for i := lo; i <= hi; i++ {
+			if _, err := pub.Publish(map[string]rebeca.Value{
+				"stream": rebeca.String("s"),
+				"n":      rebeca.Int(int64(i)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	publish(1, 5)
+	d.Settle()
+
+	// Handover: B0 -> B1 while no traffic is in flight.
+	if err := mob.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	connect(t, mob, "B1")
+	d.Settle()
+
+	publish(6, 10)
+	d.Settle()
+
+	var seqs []uint64
+	for _, del := range mob.Received() {
+		seqs = append(seqs, del.Note.ID.Seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return scenarioResult{
+		received:   seqs,
+		duplicates: mob.Duplicates(),
+		fifo:       mob.FIFOViolations(),
+		deliveries: metrics.Totals().Deliveries,
+		border:     mob.Border(),
+	}
+}
+
+// TestDeploymentParity runs the identical scenario through the
+// virtual-clock System and the TCP-backed Live and requires matching
+// outcomes, with the Metrics middleware observing identical delivery
+// counts on both.
+func TestDeploymentParity(t *testing.T) {
+	simMetrics := rebeca.NewMetrics()
+	sys, err := rebeca.New(
+		rebeca.WithMovement(rebeca.Line(3)),
+		rebeca.WithMiddleware(simMetrics),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes := runHandoverScenario(t, sys, simMetrics)
+
+	liveMetrics := rebeca.NewMetrics()
+	live, err := rebeca.NewLive(
+		rebeca.WithMovement(rebeca.Line(3)),
+		rebeca.WithMiddleware(liveMetrics),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = live.Close() }()
+	liveRes := runHandoverScenario(t, live, liveMetrics)
+
+	for name, res := range map[string]scenarioResult{"sim": simRes, "live": liveRes} {
+		if len(res.received) != 10 {
+			t.Errorf("%s: received %d notifications, want 10 (%v)", name, len(res.received), res.received)
+		}
+		if res.duplicates != 0 || res.fifo != 0 {
+			t.Errorf("%s: dups=%d fifo=%d, want 0/0", name, res.duplicates, res.fifo)
+		}
+		if res.border != "B1" {
+			t.Errorf("%s: border = %s, want B1", name, res.border)
+		}
+	}
+	if fmt.Sprint(simRes.received) != fmt.Sprint(liveRes.received) {
+		t.Errorf("delivered sequences differ: sim=%v live=%v", simRes.received, liveRes.received)
+	}
+	if simRes.deliveries != liveRes.deliveries {
+		t.Errorf("metrics deliveries differ: sim=%d live=%d", simRes.deliveries, liveRes.deliveries)
+	}
+}
+
+// TestLiveRequiresTreeGraph documents the live deployment's topology
+// constraint.
+func TestLiveRequiresTreeGraph(t *testing.T) {
+	if _, err := rebeca.NewLive(rebeca.WithMovement(rebeca.Ring(4))); err == nil {
+		t.Error("NewLive on a ring graph should fail (tree required)")
+	}
+}
+
+// TestLiveLocationReplay runs the logical-mobility flow (pre-subscription,
+// roam, replay) over real TCP.
+func TestLiveLocationReplay(t *testing.T) {
+	live, err := rebeca.NewLive(rebeca.WithMovement(rebeca.Line(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = live.Close() }()
+
+	mob := live.NewClient("mob")
+	connect(t, mob, "B0")
+	mob.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
+	live.Settle()
+
+	pub := live.NewClient("pub")
+	connect(t, pub, "B1")
+	n := rebeca.Notification{Attrs: map[string]rebeca.Value{
+		"service": rebeca.String("menu"),
+		"dish":    rebeca.String("pasta"),
+	}}
+	n = rebeca.StampLocation(n, "region-B1")
+	if _, err := pub.Publish(n.Attrs); err != nil {
+		t.Fatal(err)
+	}
+	live.Settle()
+
+	if got := len(mob.Received()); got != 0 {
+		t.Fatalf("received %d before arrival, want 0", got)
+	}
+	if err := mob.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	connect(t, mob, "B1")
+	live.Settle()
+	if got := len(mob.Received()); got != 1 {
+		t.Errorf("pre-subscription replay over TCP got %d, want 1", got)
+	}
+}

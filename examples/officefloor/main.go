@@ -19,10 +19,10 @@ func main() {
 	// Four corridor segments; each broker covers its corridor plus 3 rooms.
 	g := rebeca.Line(4) // B0 - B1 - B2 - B3
 	locs := rebeca.OfficeFloor(g.Nodes(), 3)
-	sys, err := rebeca.NewSystem(rebeca.Options{
-		Movement:  g,
-		Locations: locs,
-	})
+	sys, err := rebeca.New(
+		rebeca.WithMovement(g),
+		rebeca.WithLocations(locs),
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -30,7 +30,9 @@ func main() {
 	// One thermometer per segment, reporting per-room temperatures.
 	for i, b := range g.Nodes() {
 		sensor := sys.NewClient(rebeca.NodeID(fmt.Sprintf("sensor%d", i)))
-		sensor.ConnectTo(b)
+		if err := sensor.Connect(b); err != nil {
+			panic(err)
+		}
 		b, i := b, i
 		var sample func()
 		nth := 0
@@ -42,7 +44,7 @@ func main() {
 					"celsius": rebeca.Float(19 + float64((i+nth)%5)),
 				}}
 				n = rebeca.StampLocation(n, room)
-				sensor.Publish(n.Attrs)
+				_, _ = sensor.Publish(n.Attrs)
 			}
 			if nth < 40 {
 				sys.After(10*time.Millisecond, sample)
@@ -54,20 +56,22 @@ func main() {
 	// The worker wants readings for wherever they currently are.
 	worker := sys.NewClient("worker")
 	readingsBySegment := make(map[string]int)
-	worker.OnNotify = func(n rebeca.Notification) {
+	worker.OnNotify(func(n rebeca.Notification) {
 		loc, _ := n.Get(rebeca.AttrLocation)
 		readingsBySegment[loc.Str()]++
+	})
+	if err := worker.Connect("B0"); err != nil {
+		panic(err)
 	}
-	worker.ConnectTo("B0")
 	worker.SubscribeAt(rebeca.Eq("service", rebeca.String("temperature")))
 
 	// Walk the corridor: B0 -> B1 -> B2, dwelling 100ms per segment. The
 	// schedule is laid out up front; Settle then runs the whole virtual
 	// timeline (sensors keep sampling throughout).
-	sys.After(100*time.Millisecond, func() { worker.Disconnect() })
-	sys.After(105*time.Millisecond, func() { worker.ConnectTo("B1") })
-	sys.After(200*time.Millisecond, func() { worker.Disconnect() })
-	sys.After(205*time.Millisecond, func() { worker.ConnectTo("B2") })
+	sys.After(100*time.Millisecond, func() { _ = worker.Disconnect() })
+	sys.After(105*time.Millisecond, func() { _ = worker.Connect("B1") })
+	sys.After(200*time.Millisecond, func() { _ = worker.Disconnect() })
+	sys.After(205*time.Millisecond, func() { _ = worker.Connect("B2") })
 	sys.Settle()
 
 	fmt.Println("temperature readings received, by location:")

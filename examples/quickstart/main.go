@@ -1,53 +1,82 @@
 // Quickstart: a two-broker deployment, one subscriber, one publisher.
 // Demonstrates the basic pub/sub triple (publish, subscribe, notify) over
-// the content-based router network.
+// the content-based router network, assembled with functional options and
+// observed through the Metrics middleware.
 //
-// Run with: go run ./examples/quickstart
+// The same code drives both deployment flavors behind the Deployment
+// interface: the virtual-clock simulator (default) and real TCP nodes on
+// loopback (-live).
+//
+// Run with: go run ./examples/quickstart [-live]
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"rebeca"
 )
 
 func main() {
+	live := flag.Bool("live", false, "run over real TCP on loopback instead of the virtual clock")
+	flag.Parse()
+
 	// A movement graph with one edge: home <-> office. The broker overlay
 	// is its spanning tree.
 	g := rebeca.NewGraph()
 	g.AddEdge("home", "office")
 
-	sys, err := rebeca.NewSystem(rebeca.Options{Movement: g})
+	metrics := rebeca.NewMetrics()
+	opts := []rebeca.Option{
+		rebeca.WithMovement(g),
+		rebeca.WithMiddleware(metrics),
+	}
+	var (
+		d   rebeca.Deployment
+		err error
+	)
+	if *live {
+		d, err = rebeca.NewLive(opts...)
+	} else {
+		d, err = rebeca.New(opts...)
+	}
 	if err != nil {
 		panic(err)
 	}
+	defer d.Close()
 
 	// A subscriber at the office listens for build results.
-	alice := sys.NewClient("alice")
-	alice.OnNotify = func(n rebeca.Notification) {
+	alice := d.NewClient("alice")
+	alice.OnNotify(func(n rebeca.Notification) {
 		status, _ := n.Get("status")
 		commit, _ := n.Get("commit")
 		fmt.Printf("alice: build %s for commit %s\n", status, commit)
+	})
+	if err := alice.Connect("office"); err != nil {
+		panic(err)
 	}
-	alice.ConnectTo("office")
 	alice.Subscribe(rebeca.NewFilter(
 		rebeca.Eq("service", rebeca.String("ci")),
 		rebeca.Eq("status", rebeca.String("failed")),
 	))
-	sys.Settle() // let the subscription propagate
+	d.Settle() // let the subscription propagate
 
 	// A publisher at home emits CI results; only failures match.
-	ci := sys.NewClient("ci-bot")
-	ci.ConnectTo("home")
+	ci := d.NewClient("ci-bot")
+	if err := ci.Connect("home"); err != nil {
+		panic(err)
+	}
 	for i, status := range []string{"passed", "failed", "passed", "failed"} {
-		ci.Publish(map[string]rebeca.Value{
+		_, _ = ci.Publish(map[string]rebeca.Value{
 			"service": rebeca.String("ci"),
 			"status":  rebeca.String(status),
 			"commit":  rebeca.String(fmt.Sprintf("c%04d", i)),
 		})
 	}
-	sys.Settle()
+	d.Settle()
 
+	totals := metrics.Totals()
 	fmt.Printf("alice received %d notifications (2 expected)\n", len(alice.Received()))
-	fmt.Printf("network carried %d messages\n", sys.MessagesCarried())
+	fmt.Printf("brokers routed %d publishes, delivered %d (avg latency %s)\n",
+		totals.Publishes, totals.Deliveries, totals.AvgDeliveryLatency())
 }

@@ -20,13 +20,15 @@ func main() {
 	g.AddEdge("home", "downtown")
 	g.AddEdge("downtown", "office")
 
-	sys, err := rebeca.NewSystem(rebeca.Options{Movement: g})
+	sys, err := rebeca.New(rebeca.WithMovement(g))
 	if err != nil {
 		panic(err)
 	}
 
 	commuter := sys.NewClient("commuter")
-	commuter.ConnectTo("home")
+	if err := commuter.Connect("home"); err != nil {
+		panic(err)
+	}
 	commuter.Subscribe(rebeca.NewFilter(
 		rebeca.Eq("service", rebeca.String("stock")),
 		rebeca.Eq("symbol", rebeca.String("TUD")),
@@ -35,12 +37,14 @@ func main() {
 
 	// The ticker publishes a quote every millisecond of virtual time.
 	ticker := sys.NewClient("ticker")
-	ticker.ConnectTo("downtown")
+	if err := ticker.Connect("downtown"); err != nil {
+		panic(err)
+	}
 	quotes := 200
 	for i := 1; i <= quotes; i++ {
 		i := i
 		sys.After(time.Duration(i)*time.Millisecond, func() {
-			ticker.Publish(map[string]rebeca.Value{
+			_, _ = ticker.Publish(map[string]rebeca.Value{
 				"service": rebeca.String("stock"),
 				"symbol":  rebeca.String("TUD"),
 				"price":   rebeca.Float(100 + float64(i)*0.25),
@@ -50,10 +54,10 @@ func main() {
 
 	// The morning commute: home -> downtown -> office, with short radio
 	// gaps while moving. Publishing never pauses.
-	sys.After(40*time.Millisecond, func() { commuter.Disconnect() })
-	sys.After(55*time.Millisecond, func() { commuter.ConnectTo("downtown") })
-	sys.After(110*time.Millisecond, func() { commuter.Disconnect() })
-	sys.After(125*time.Millisecond, func() { commuter.ConnectTo("office") })
+	sys.After(40*time.Millisecond, func() { _ = commuter.Disconnect() })
+	sys.After(55*time.Millisecond, func() { _ = commuter.Connect("downtown") })
+	sys.After(110*time.Millisecond, func() { _ = commuter.Disconnect() })
+	sys.After(125*time.Millisecond, func() { _ = commuter.Connect("office") })
 	sys.Settle()
 
 	received := commuter.Received()

@@ -22,10 +22,11 @@ type runResult struct {
 
 func drive(preSubscribe bool) runResult {
 	highway := rebeca.Line(6) // B0 .. B5, one broker per highway cell
-	sys, err := rebeca.NewSystem(rebeca.Options{
-		Movement:            highway,
-		DisablePreSubscribe: !preSubscribe,
-	})
+	opts := []rebeca.Option{rebeca.WithMovement(highway)}
+	if !preSubscribe {
+		opts = append(opts, rebeca.WithReactiveBaseline())
+	}
+	sys, err := rebeca.New(opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -35,7 +36,9 @@ func drive(preSubscribe bool) runResult {
 	// car is still one cell away.
 	for i, b := range highway.Nodes() {
 		r := sys.NewClient(rebeca.NodeID(fmt.Sprintf("restaurant%d", i)))
-		r.ConnectTo(b)
+		if err := r.Connect(b); err != nil {
+			panic(err)
+		}
 		b, i := b, i
 		edition := 0
 		var publish func()
@@ -46,7 +49,7 @@ func drive(preSubscribe bool) runResult {
 				"today":   rebeca.String(fmt.Sprintf("cell %d special, edition %d", i, edition)),
 			}}
 			n = rebeca.StampLocation(n, rebeca.Location("region-"+b))
-			r.Publish(n.Attrs)
+			_, _ = r.Publish(n.Attrs)
 			if edition < 20 {
 				sys.After(25*time.Millisecond, publish)
 			}
@@ -58,7 +61,7 @@ func drive(preSubscribe bool) runResult {
 	res := runResult{}
 	var arrivedAt time.Time
 	var gotFirstAtCell bool
-	car.OnNotify = func(n rebeca.Notification) {
+	car.OnNotify(func(n rebeca.Notification) {
 		if v, ok := n.Get("service"); !ok || v.Str() != "menu" {
 			return
 		}
@@ -67,8 +70,8 @@ func drive(preSubscribe bool) runResult {
 			gotFirstAtCell = true
 			res.firstMenuAt = append(res.firstMenuAt, sys.Now().Sub(arrivedAt))
 		}
-	}
-	car.ConnectTo("B0")
+	})
+	_ = car.Connect("B0")
 	arrivedAt = sys.Now()
 	car.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
 
@@ -76,10 +79,10 @@ func drive(preSubscribe bool) runResult {
 	at := 60 * time.Millisecond
 	for _, next := range []rebeca.NodeID{"B1", "B2", "B3", "B4", "B5"} {
 		next := next
-		sys.After(at, func() { car.Disconnect() })
+		sys.After(at, func() { _ = car.Disconnect() })
 		at += 5 * time.Millisecond
 		sys.After(at, func() {
-			car.ConnectTo(next)
+			_ = car.Connect(next)
 			arrivedAt = sys.Now()
 			gotFirstAtCell = false
 		})

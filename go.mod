@@ -1,0 +1,3 @@
+module rebeca
+
+go 1.24

@@ -88,7 +88,11 @@ type Broker struct {
 	peers  map[message.NodeID]bool
 	ports  map[message.NodeID]bool
 
-	plugins []Plugin
+	// chain is the ordered middleware chain; legacy plugins are adapted
+	// onto it. sessionPlugins counts the adapted Plugin stages (border
+	// classification).
+	chain          []Middleware
+	sessionPlugins int
 
 	nextFlushID uint64
 	flushes     map[flushKey]*flushState
@@ -153,8 +157,24 @@ func (b *Broker) Stats() Stats { return b.stats }
 // Router exposes the routing state (tests and experiments inspect it).
 func (b *Broker) Router() *routing.Router { return b.router }
 
-// Use attaches a plugin. Plugins are offered messages in attachment order.
-func (b *Broker) Use(p Plugin) { b.plugins = append(b.plugins, p) }
+// Use attaches a session-layer plugin by adapting it onto the middleware
+// chain. Stages run in attachment order.
+func (b *Broker) Use(p Plugin) {
+	b.chain = append(b.chain, pluginStage{p: p})
+	b.sessionPlugins++
+}
+
+// UseMiddleware appends stages to the broker's middleware chain. Stages run
+// in attachment order (first attached = outermost); stages attached after
+// the session-layer plugins run inside them, i.e. they see only the traffic
+// the session layers pass through.
+func (b *Broker) UseMiddleware(ms ...Middleware) {
+	b.chain = append(b.chain, ms...)
+}
+
+// Middlewares returns the chain length (plugins included) — introspection
+// for tests and stats.
+func (b *Broker) Middlewares() int { return len(b.chain) }
 
 // Peers returns the broker's overlay neighbors.
 func (b *Broker) Peers() []message.NodeID {
@@ -166,8 +186,9 @@ func (b *Broker) Peers() []message.NodeID {
 	return out
 }
 
-// IsBorder reports whether the broker hosts client ports or plugins.
-func (b *Broker) IsBorder() bool { return len(b.plugins) > 0 || len(b.ports) > 0 }
+// IsBorder reports whether the broker hosts client ports or session-layer
+// plugins (pure observer middleware does not make a broker a border).
+func (b *Broker) IsBorder() bool { return b.sessionPlugins > 0 || len(b.ports) > 0 }
 
 // AttachPort registers a local client port.
 func (b *Broker) AttachPort(id message.NodeID) { b.ports[id] = true }
@@ -226,12 +247,12 @@ func (b *Broker) HandleMessage(from message.NodeID, m proto.Message) {
 		return
 	}
 
-	for _, p := range b.plugins {
-		if p.Handle(from, m) {
-			return
-		}
-	}
+	b.runMessage(from, m, func() { b.dispatch(from, m) })
+}
 
+// dispatch is the broker's default processing, run after the middleware
+// chain's interceptors have passed the message through.
+func (b *Broker) dispatch(from message.NodeID, m proto.Message) {
 	switch m.Kind {
 	case proto.KPublish:
 		b.handlePublish(from, m)
@@ -273,8 +294,19 @@ func (b *Broker) handlePublish(from message.NodeID, m proto.Message) {
 	if m.Note == nil {
 		return
 	}
-	b.stats.PublishesRouted++
+	// The chain sees (and may mutate) a broker-local copy; forwarded
+	// messages carry the mutated copy, queued messages elsewhere don't.
 	n := *m.Note
+	b.runPublish(from, &n, func() {
+		m := m
+		m.Note = &n
+		b.routePublish(from, m, n)
+	})
+}
+
+// routePublish is the default publish processing: match, forward, deliver.
+func (b *Broker) routePublish(from message.NodeID, m proto.Message, n message.Notification) {
+	b.stats.PublishesRouted++
 
 	if b.router.Strategy() == routing.StrategyFlooding {
 		// Broadcast along the overlay; deliver to matching local ports.
@@ -314,25 +346,30 @@ func (b *Broker) handlePublish(from message.NodeID, m proto.Message) {
 	}
 }
 
-// DeliverLocal hands a notification to a local port, honoring plugin
-// interception (ghost buffering etc.).
+// DeliverLocal hands a notification to a local port through the middleware
+// chain's OnDeliver hooks; any stage — the session-layer plugins' ghost
+// buffering, or user middleware — may consume it.
 func (b *Broker) DeliverLocal(port message.NodeID, n message.Notification) {
-	for _, p := range b.plugins {
-		if p.OnDeliver(port, n) {
-			b.stats.Intercepted++
-			return
-		}
+	delivered := false
+	b.runDeliver(port, &n, func() {
+		delivered = true
+		b.stats.Delivered++
+		b.Send(port, proto.Message{Kind: proto.KDeliver, Client: port, Note: &n})
+	})
+	if !delivered {
+		b.stats.Intercepted++
 	}
-	b.stats.Delivered++
-	b.Send(port, proto.Message{Kind: proto.KDeliver, Client: port, Note: &n})
 }
 
 func (b *Broker) handleSubscribe(from message.NodeID, m proto.Message) {
 	if m.Sub == nil {
 		return
 	}
-	b.stats.SubsProcessed++
-	b.emitForwards(b.router.Subscribe(*m.Sub, from, b.Peers()))
+	sub := *m.Sub
+	b.runSubscribe(from, &sub, func() {
+		b.stats.SubsProcessed++
+		b.emitForwards(b.router.Subscribe(sub, from, b.Peers()))
+	})
 }
 
 func (b *Broker) handleUnsubscribe(from message.NodeID, m proto.Message) {

@@ -67,7 +67,9 @@ func (b *Broker) handleFlushAck(m proto.Message) {
 }
 
 func (b *Broker) flushDone(id uint64) {
-	for _, p := range b.plugins {
-		p.OnFlushDone(id)
+	for _, s := range b.chain {
+		if fo, ok := s.(FlushObserver); ok {
+			fo.OnFlushDone(b, id)
+		}
 	}
 }

@@ -1,0 +1,182 @@
+package broker
+
+import (
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// Middleware is one stage in a broker's ordered extension chain — the
+// exported successor of the internal Plugin hook points. A broker runs one
+// chain; every stage sees the hook points below in attachment order
+// (first attached = outermost). Each hook receives a next func that invokes
+// the rest of the chain and, ultimately, the broker's default processing.
+// Calling next at most once is enforced (extra calls are no-ops); not
+// calling it short-circuits: the event is consumed at this stage and the
+// default processing is skipped.
+//
+// Hook points:
+//
+//   - OnPublish wraps the routing of a KPublish at this broker — both
+//     forwarding to peers and local deliveries. It runs at every broker the
+//     notification transits, so per-broker middleware observes hop counts.
+//     Short-circuiting drops the publish at this broker (rate limiting).
+//   - OnDeliver wraps one local delivery to a client port, after the
+//     session layers (mobility manager, replicator) have had the chance to
+//     claim it. Short-circuiting suppresses the KDeliver send.
+//   - OnSubscribe wraps the routing-table installation of a KSubscribe,
+//     whether it arrived from a local port or an overlay peer.
+//     Short-circuiting rejects the subscription at this broker.
+//
+// The notification/subscription pointers target broker-local copies: a
+// stage may mutate them (e.g. stamp attributes) and the mutation is visible
+// to inner stages, to the default processing, and downstream on forwarded
+// copies — but never to other already-queued messages.
+//
+// Middleware runs inside the broker's event loop (the simulator loop or a
+// live node's inbox pump): stages must not block, and a stage shared by
+// several brokers must be safe for concurrent use when those brokers live
+// in different event loops (live TCP nodes).
+//
+// Two optional extension interfaces widen a stage's view: MessageInterceptor
+// (raw messages before kind dispatch) and FlushObserver (flush-wave
+// completion). The legacy session-layer plugins are adapted onto the same
+// chain via Use, so simulated and live brokers share a single extension
+// path.
+type Middleware interface {
+	// OnPublish wraps routing of an incoming publish at this broker.
+	OnPublish(b *Broker, from message.NodeID, n *message.Notification, next func())
+	// OnDeliver wraps a local delivery to a client port.
+	OnDeliver(b *Broker, port message.NodeID, n *message.Notification, next func())
+	// OnSubscribe wraps installation of a subscription at this broker.
+	OnSubscribe(b *Broker, from message.NodeID, sub *proto.Subscription, next func())
+}
+
+// MessageInterceptor is an optional Middleware extension: stages that
+// implement it are offered every incoming message before kind dispatch —
+// the hook the session-layer plugins (mobility manager, replicator) use to
+// consume their control protocols. Short-circuiting consumes the message.
+type MessageInterceptor interface {
+	Middleware
+	// OnMessage wraps processing of one incoming message.
+	OnMessage(b *Broker, from message.NodeID, m proto.Message, next func())
+}
+
+// FlushObserver is an optional Middleware extension: stages that implement
+// it are told when a flush wave started by this broker (StartFlush)
+// completes.
+type FlushObserver interface {
+	Middleware
+	// OnFlushDone signals completion of flush wave id.
+	OnFlushDone(b *Broker, id uint64)
+}
+
+// PassMiddleware is a no-op Middleware: every hook just calls next. Embed
+// it to implement only the hooks a stage cares about.
+type PassMiddleware struct{}
+
+// OnPublish implements Middleware as a pass-through.
+func (PassMiddleware) OnPublish(_ *Broker, _ message.NodeID, _ *message.Notification, next func()) {
+	next()
+}
+
+// OnDeliver implements Middleware as a pass-through.
+func (PassMiddleware) OnDeliver(_ *Broker, _ message.NodeID, _ *message.Notification, next func()) {
+	next()
+}
+
+// OnSubscribe implements Middleware as a pass-through.
+func (PassMiddleware) OnSubscribe(_ *Broker, _ message.NodeID, _ *proto.Subscription, next func()) {
+	next()
+}
+
+// pluginStage adapts a legacy Plugin onto the middleware chain: Handle maps
+// to OnMessage (returning true = short-circuit), OnDeliver to OnDeliver
+// (returning true = short-circuit), OnFlushDone to FlushObserver.
+type pluginStage struct {
+	PassMiddleware
+	p Plugin
+}
+
+func (s pluginStage) OnMessage(b *Broker, from message.NodeID, m proto.Message, next func()) {
+	if s.p.Handle(from, m) {
+		return
+	}
+	next()
+}
+
+func (s pluginStage) OnDeliver(b *Broker, port message.NodeID, n *message.Notification, next func()) {
+	if s.p.OnDeliver(port, *n) {
+		return
+	}
+	next()
+}
+
+func (s pluginStage) OnFlushDone(_ *Broker, id uint64) { s.p.OnFlushDone(id) }
+
+// nextOnce caps a continuation at one invocation.
+func nextOnce(fn func()) func() {
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		fn()
+	}
+}
+
+// runMessage threads an incoming message through the chain's interceptors;
+// final is the broker's kind dispatch.
+func (b *Broker) runMessage(from message.NodeID, m proto.Message, final func()) {
+	var run func(i int)
+	run = func(i int) {
+		for ; i < len(b.chain); i++ {
+			if mi, ok := b.chain[i].(MessageInterceptor); ok {
+				idx := i
+				mi.OnMessage(b, from, m, nextOnce(func() { run(idx + 1) }))
+				return
+			}
+		}
+		final()
+	}
+	run(0)
+}
+
+// runPublish threads a publish through every stage's OnPublish hook.
+func (b *Broker) runPublish(from message.NodeID, n *message.Notification, final func()) {
+	var run func(i int)
+	run = func(i int) {
+		if i >= len(b.chain) {
+			final()
+			return
+		}
+		b.chain[i].OnPublish(b, from, n, nextOnce(func() { run(i + 1) }))
+	}
+	run(0)
+}
+
+// runDeliver threads a local delivery through every stage's OnDeliver hook.
+func (b *Broker) runDeliver(port message.NodeID, n *message.Notification, final func()) {
+	var run func(i int)
+	run = func(i int) {
+		if i >= len(b.chain) {
+			final()
+			return
+		}
+		b.chain[i].OnDeliver(b, port, n, nextOnce(func() { run(i + 1) }))
+	}
+	run(0)
+}
+
+// runSubscribe threads a subscription through every stage's OnSubscribe hook.
+func (b *Broker) runSubscribe(from message.NodeID, sub *proto.Subscription, final func()) {
+	var run func(i int)
+	run = func(i int) {
+		if i >= len(b.chain) {
+			final()
+			return
+		}
+		b.chain[i].OnSubscribe(b, from, sub, nextOnce(func() { run(i + 1) }))
+	}
+	run(0)
+}

@@ -1,0 +1,292 @@
+package broker
+
+import (
+	"testing"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// recStage records hook crossings and optionally short-circuits or calls
+// next twice (idempotence check).
+type recStage struct {
+	PassMiddleware
+	name       string
+	log        *[]string
+	shortHooks map[string]bool
+	doubleNext bool
+}
+
+func (s *recStage) hook(hook string, next func()) {
+	*s.log = append(*s.log, s.name+":"+hook)
+	if s.shortHooks[hook] {
+		return
+	}
+	next()
+	if s.doubleNext {
+		next()
+	}
+}
+
+func (s *recStage) OnPublish(_ *Broker, _ message.NodeID, _ *message.Notification, next func()) {
+	s.hook("publish", next)
+}
+
+func (s *recStage) OnDeliver(_ *Broker, _ message.NodeID, _ *message.Notification, next func()) {
+	s.hook("deliver", next)
+}
+
+func (s *recStage) OnSubscribe(_ *Broker, _ message.NodeID, _ *proto.Subscription, next func()) {
+	s.hook("subscribe", next)
+}
+
+// newChainBroker builds a standalone broker with one local port and a
+// recorder for everything it sends.
+func newChainBroker(t *testing.T) (*Broker, *[]proto.Message) {
+	t.Helper()
+	var sent []proto.Message
+	b := New(Config{
+		ID:   "B",
+		Send: func(to message.NodeID, m proto.Message) { sent = append(sent, m) },
+	})
+	b.AttachPort("s") // subscriber port
+	b.AttachPort("p") // publisher port
+	return b, &sent
+}
+
+func subMsg(id message.SubID) proto.Message {
+	f := filter.New(filter.Exists("k"))
+	return proto.Message{Kind: proto.KSubscribe, Client: "s",
+		Sub: &proto.Subscription{ID: id, Filter: f}}
+}
+
+func pubMsg(seq uint64) proto.Message {
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(int64(seq))})
+	n.ID = message.NotificationID{Publisher: "p", Seq: seq}
+	return proto.Message{Kind: proto.KPublish, Client: "p", Note: &n}
+}
+
+func countKind(sent []proto.Message, k proto.Kind) int {
+	n := 0
+	for _, m := range sent {
+		if m.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMiddlewareOrdering(t *testing.T) {
+	b, sent := newChainBroker(t)
+	var log []string
+	b.UseMiddleware(
+		&recStage{name: "a", log: &log},
+		&recStage{name: "b", log: &log},
+	)
+
+	b.HandleMessage("s", subMsg("s/s1"))
+	b.HandleMessage("p", pubMsg(1))
+
+	want := []string{
+		"a:subscribe", "b:subscribe",
+		"a:publish", "b:publish",
+		"a:deliver", "b:deliver",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log[%d] = %s, want %s (full: %v)", i, log[i], want[i], log)
+		}
+	}
+	if got := countKind(*sent, proto.KDeliver); got != 1 {
+		t.Errorf("deliveries sent = %d, want 1", got)
+	}
+	if b.Stats().Delivered != 1 {
+		t.Errorf("Delivered = %d, want 1", b.Stats().Delivered)
+	}
+}
+
+func TestMiddlewareShortCircuitDeliver(t *testing.T) {
+	b, sent := newChainBroker(t)
+	var log []string
+	b.UseMiddleware(
+		&recStage{name: "a", log: &log, shortHooks: map[string]bool{"deliver": true}},
+		&recStage{name: "b", log: &log},
+	)
+
+	b.HandleMessage("s", subMsg("s/s1"))
+	b.HandleMessage("p", pubMsg(1))
+
+	if got := countKind(*sent, proto.KDeliver); got != 0 {
+		t.Errorf("deliveries sent = %d, want 0 (short-circuited)", got)
+	}
+	for _, e := range log {
+		if e == "b:deliver" {
+			t.Error("inner stage ran after outer short-circuit")
+		}
+	}
+	if b.Stats().Intercepted != 1 {
+		t.Errorf("Intercepted = %d, want 1", b.Stats().Intercepted)
+	}
+	if b.Stats().Delivered != 0 {
+		t.Errorf("Delivered = %d, want 0", b.Stats().Delivered)
+	}
+}
+
+func TestMiddlewareShortCircuitPublish(t *testing.T) {
+	b, sent := newChainBroker(t)
+	var log []string
+	b.UseMiddleware(&recStage{name: "a", log: &log, shortHooks: map[string]bool{"publish": true}})
+
+	b.HandleMessage("s", subMsg("s/s1"))
+	b.HandleMessage("p", pubMsg(1))
+
+	if got := countKind(*sent, proto.KDeliver); got != 0 {
+		t.Errorf("deliveries sent = %d, want 0 (publish dropped)", got)
+	}
+	if b.Stats().PublishesRouted != 0 {
+		t.Errorf("PublishesRouted = %d, want 0 (default processing skipped)", b.Stats().PublishesRouted)
+	}
+}
+
+func TestMiddlewareShortCircuitSubscribe(t *testing.T) {
+	b, sent := newChainBroker(t)
+	var log []string
+	b.UseMiddleware(&recStage{name: "a", log: &log, shortHooks: map[string]bool{"subscribe": true}})
+
+	b.HandleMessage("s", subMsg("s/s1"))
+	if b.Router().Table().Len() != 0 {
+		t.Error("subscription installed despite short-circuit")
+	}
+
+	b.HandleMessage("p", pubMsg(1))
+	if got := countKind(*sent, proto.KDeliver); got != 0 {
+		t.Errorf("deliveries sent = %d, want 0", got)
+	}
+}
+
+func TestMiddlewareNextIdempotent(t *testing.T) {
+	b, sent := newChainBroker(t)
+	var log []string
+	b.UseMiddleware(&recStage{name: "a", log: &log, doubleNext: true})
+
+	b.HandleMessage("s", subMsg("s/s1"))
+	b.HandleMessage("p", pubMsg(1))
+
+	if got := countKind(*sent, proto.KDeliver); got != 1 {
+		t.Errorf("deliveries sent = %d, want exactly 1 despite double next", got)
+	}
+	if b.Router().Table().Len() != 1 {
+		t.Errorf("table entries = %d, want 1", b.Router().Table().Len())
+	}
+}
+
+// consumingPlugin is a legacy Plugin that consumes KConnect messages and
+// intercepts deliveries to a chosen port.
+type consumingPlugin struct {
+	intercept  message.NodeID
+	handled    int
+	flushDones int
+}
+
+func (p *consumingPlugin) Handle(_ message.NodeID, m proto.Message) bool {
+	if m.Kind == proto.KConnect {
+		p.handled++
+		return true
+	}
+	return false
+}
+
+func (p *consumingPlugin) OnDeliver(port message.NodeID, _ message.Notification) bool {
+	return port == p.intercept
+}
+
+func (p *consumingPlugin) OnFlushDone(uint64) { p.flushDones++ }
+
+func TestPluginAdaptedOntoChain(t *testing.T) {
+	b, sent := newChainBroker(t)
+	pl := &consumingPlugin{intercept: "s"}
+	b.Use(pl)
+	var log []string
+	inner := &recStage{name: "in", log: &log}
+	b.UseMiddleware(inner)
+
+	// The plugin consumes KConnect before default processing attaches a
+	// port; an inner MessageInterceptor would not see it either.
+	b.HandleMessage("x", proto.Message{Kind: proto.KConnect, Client: "x"})
+	if pl.handled != 1 {
+		t.Fatalf("plugin handled %d messages, want 1", pl.handled)
+	}
+	if b.HasPort("x") {
+		t.Error("default KConnect processing ran despite plugin consumption")
+	}
+
+	// Deliveries to the intercepted port are claimed by the plugin stage
+	// before inner middleware runs.
+	b.HandleMessage("s", subMsg("s/s1"))
+	b.HandleMessage("p", pubMsg(1))
+	if got := countKind(*sent, proto.KDeliver); got != 0 {
+		t.Errorf("deliveries sent = %d, want 0 (plugin buffered)", got)
+	}
+	for _, e := range log {
+		if e == "in:deliver" {
+			t.Error("inner middleware saw a delivery the plugin claimed")
+		}
+	}
+	if b.Stats().Intercepted != 1 {
+		t.Errorf("Intercepted = %d, want 1", b.Stats().Intercepted)
+	}
+
+	// Flush completion reaches the adapted plugin.
+	b.StartFlush() // no peers: completes synchronously
+	if pl.flushDones != 1 {
+		t.Errorf("flush dones = %d, want 1", pl.flushDones)
+	}
+
+	// Border classification: plugins count, observer middleware alone
+	// would not.
+	if !b.IsBorder() {
+		t.Error("broker with plugin should be border")
+	}
+}
+
+func TestObserverMiddlewareNotBorder(t *testing.T) {
+	var sent []proto.Message
+	b := New(Config{ID: "B", Send: func(_ message.NodeID, m proto.Message) { sent = append(sent, m) }})
+	var log []string
+	b.UseMiddleware(&recStage{name: "a", log: &log})
+	if b.IsBorder() {
+		t.Error("observer middleware must not make a broker a border")
+	}
+	if b.Middlewares() != 1 {
+		t.Errorf("Middlewares() = %d, want 1", b.Middlewares())
+	}
+}
+
+// mutatingStage stamps an attribute on publishes.
+type mutatingStage struct{ PassMiddleware }
+
+func (mutatingStage) OnPublish(b *Broker, _ message.NodeID, n *message.Notification, next func()) {
+	n.Attrs["stamped"] = message.String(string(b.ID()))
+	next()
+}
+
+func TestMiddlewareMutatesNotification(t *testing.T) {
+	b, sent := newChainBroker(t)
+	b.UseMiddleware(mutatingStage{})
+	b.HandleMessage("s", subMsg("s/s1"))
+	b.HandleMessage("p", pubMsg(1))
+	for _, m := range *sent {
+		if m.Kind != proto.KDeliver {
+			continue
+		}
+		if v, ok := m.Note.Get("stamped"); !ok || v.Str() != "B" {
+			t.Errorf("delivered note not stamped: %v", m.Note)
+		}
+		return
+	}
+	t.Fatal("no delivery recorded")
+}

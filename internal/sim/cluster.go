@@ -44,6 +44,11 @@ type ClusterConfig struct {
 	BufferFactory buffer.Factory
 	// SharedBuffers switches replicators to shared per-broker stores (E8).
 	SharedBuffers bool
+	// Middleware is appended to every broker's extension chain, after the
+	// session-layer plugins — stages see the traffic the session layers
+	// pass through. Instances are shared across brokers (the sim runs one
+	// event loop, so unsynchronized stages are fine here).
+	Middleware []broker.Middleware
 	// LinkLatency is the per-hop overlay delay (default 1ms).
 	LinkLatency time.Duration
 	// LatencyJitter adds a uniform random delay in [0, LatencyJitter) to
@@ -211,6 +216,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			c.Managers[id] = mobility.New(b, cfg.Mobility.protocol(),
 				mobility.WithBufferFactory(cfg.BufferFactory))
 		}
+		b.UseMiddleware(cfg.Middleware...)
 	}
 	return c, nil
 }

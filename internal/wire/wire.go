@@ -73,6 +73,11 @@ type NodeConfig struct {
 	Strategy routing.Strategy
 	// NextHop is the unicast routing table (destination -> neighbor).
 	NextHop map[message.NodeID]message.NodeID
+	// Middleware is appended to the broker's extension chain at Start,
+	// after any session-layer plugins attached via Broker() — the same
+	// chain position the simulator gives it. Stages shared between several
+	// live nodes must be safe for concurrent use (one event loop each).
+	Middleware []broker.Middleware
 }
 
 // Node is a live broker process host.
@@ -119,6 +124,7 @@ func (n *Node) Broker() *broker.Broker { return n.b }
 
 // Start listens, dials peers, and runs the event loop.
 func (n *Node) Start() error {
+	n.b.UseMiddleware(n.cfg.Middleware...)
 	ln, err := net.Listen("tcp", n.cfg.Listen)
 	if err != nil {
 		return fmt.Errorf("wire: listen %s: %w", n.cfg.Listen, err)

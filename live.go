@@ -1,0 +1,395 @@
+package rebeca
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/buffer"
+	"rebeca/internal/core"
+	"rebeca/internal/message"
+	"rebeca/internal/mobility"
+	"rebeca/internal/proto"
+	"rebeca/internal/wire"
+)
+
+// Live is a middleware deployment over real TCP on the loopback interface:
+// one wire.Node per broker, point-to-point links between overlay neighbors,
+// the same session layers (transparent mobility manager, replicator) and
+// the same middleware chain the virtual-clock System installs. It
+// implements Deployment, so client code and tests written against the
+// facade run unchanged on real sockets.
+//
+// For a distributed deployment (one process per broker across machines),
+// use cmd/rebeca-broker and cmd/rebeca-client, which build on the same
+// internal node.
+type Live struct {
+	cfg   *config
+	ids   []NodeID
+	nodes map[NodeID]*wire.Node
+	addrs map[NodeID]string
+
+	mu     sync.Mutex
+	ports  []*livePort
+	closed bool
+}
+
+var _ Deployment = (*Live)(nil)
+
+// NewLive builds and starts a loopback TCP deployment from the options.
+// The movement graph must be a tree: the replicator's neighborhood and the
+// broker overlay both derive from its edges, and a live node only holds
+// links to overlay neighbors (simulated deployments accept arbitrary
+// graphs; non-tree live overlays need explicit topology support). The
+// spanning tree of a tree is the tree itself, so tree graphs behave
+// identically under New and NewLive.
+func NewLive(opts ...Option) (*Live, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	nodesIDs := cfg.movement.Nodes()
+	edgeCount := 0
+	for _, id := range nodesIDs {
+		edgeCount += cfg.movement.Degree(id)
+	}
+	edgeCount /= 2
+	if !cfg.movement.Connected() || edgeCount != len(nodesIDs)-1 {
+		return nil, fmt.Errorf("rebeca: NewLive needs a tree movement graph (%d nodes, %d edges)",
+			len(nodesIDs), edgeCount)
+	}
+
+	topo := broker.Topology{Edges: cfg.movement.SpanningTree()}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	adj := topo.Adjacency()
+	hops := topo.NextHops()
+	nlb := cfg.movement.NLB()
+	factory := cfg.bufferFactory()
+	if factory == nil {
+		factory = func() buffer.Policy { return buffer.NewUnbounded() }
+	}
+
+	l := &Live{
+		cfg:   cfg,
+		ids:   topo.Nodes(),
+		nodes: make(map[NodeID]*wire.Node),
+		addrs: make(map[NodeID]string),
+	}
+	for _, id := range l.ids {
+		peers := make(map[message.NodeID]string)
+		for _, p := range adj[id] {
+			peers[p] = l.addrs[p] // dial already-started neighbors; "" = they dial us
+		}
+		node := wire.NewNode(wire.NodeConfig{
+			ID:         id,
+			Listen:     "127.0.0.1:0",
+			Peers:      peers,
+			Strategy:   cfg.strategy,
+			NextHop:    hops[id],
+			Middleware: cfg.middleware,
+		})
+		rcfg := core.Config{
+			Broker:        node.Broker(),
+			NLB:           nlb,
+			Locations:     cfg.locations,
+			Context:       cfg.context,
+			BufferFactory: factory,
+			PreSubscribe:  !cfg.reactive,
+		}
+		if cfg.shared {
+			rcfg.Shared = buffer.NewShared()
+		}
+		core.New(rcfg)
+		mobility.New(node.Broker(), mobility.ModeTransparent,
+			mobility.WithBufferFactory(factory))
+		if err := node.Start(); err != nil {
+			_ = l.Close()
+			return nil, err
+		}
+		l.nodes[id] = node
+		l.addrs[id] = node.Addr()
+	}
+	return l, nil
+}
+
+// NewClient creates a client endpoint, not yet connected.
+func (l *Live) NewClient(id NodeID) Port {
+	p := &livePort{l: l, id: id, seen: make(map[NotificationID]bool)}
+	p.rc = wire.NewRemoteClient(id, p.deliver)
+	l.mu.Lock()
+	l.ports = append(l.ports, p)
+	l.mu.Unlock()
+	return p
+}
+
+// Brokers lists the deployment's broker IDs.
+func (l *Live) Brokers() []NodeID { return append([]NodeID(nil), l.ids...) }
+
+// Addr returns the TCP address a broker listens on ("" for unknown IDs) —
+// for connecting external clients (cmd/rebeca-client) to an in-process
+// deployment.
+func (l *Live) Addr(b NodeID) string { return l.addrs[b] }
+
+// Settle waits until the deployment looks quiescent: no broker stats,
+// routing-table sizes or client delivery counts have changed for the
+// configured quiet window (WithSettleWindow). Unlike System.Settle this is
+// a heuristic — real sockets have no global event queue to drain — but on
+// loopback the quiet window dwarfs link latency by orders of magnitude.
+func (l *Live) Settle() {
+	deadline := time.Now().Add(l.cfg.settleMax)
+	quietSince := time.Now()
+	prev := l.fingerprint()
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		cur := l.fingerprint()
+		if cur != prev {
+			prev = cur
+			quietSince = time.Now()
+			continue
+		}
+		if time.Since(quietSince) >= l.cfg.settleQuiet {
+			return
+		}
+	}
+}
+
+// fingerprint summarizes all observable activity; Settle polls it for
+// stability.
+func (l *Live) fingerprint() string {
+	var sb strings.Builder
+	for _, id := range l.ids {
+		l.nodes[id].Inspect(func(b *broker.Broker) {
+			fmt.Fprintf(&sb, "%s:%+v:%d;", id, b.Stats(), b.Router().Table().Len())
+		})
+	}
+	l.mu.Lock()
+	for _, p := range l.ports {
+		fmt.Fprintf(&sb, "%s:%d;", p.id, p.activity())
+	}
+	l.mu.Unlock()
+	return sb.String()
+}
+
+// Close disconnects all clients and stops all broker nodes.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	ports := append([]*livePort(nil), l.ports...)
+	l.mu.Unlock()
+	for _, p := range ports {
+		_ = p.Disconnect()
+	}
+	var first error
+	for i := len(l.ids) - 1; i >= 0; i-- {
+		if n := l.nodes[l.ids[i]]; n != nil {
+			if err := n.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// livePort adapts a TCP remote client to the Port interface, adding the
+// client-library bookkeeping the simulator's client does in-process:
+// roaming profile, connect epochs, dedup by notification ID.
+type livePort struct {
+	l  *Live
+	id NodeID
+	rc *wire.RemoteClient
+
+	mu        sync.Mutex
+	connected bool
+	border    NodeID
+	prev      NodeID
+	epoch     uint64
+	profile   []proto.Subscription
+	nextSub   int
+	pubSeq    uint64
+	received  []Delivery
+	seen      map[NotificationID]bool
+	dups      int
+	notify    func(n Notification)
+}
+
+var _ Port = (*livePort)(nil)
+
+// deliver is the RemoteClient's notification callback (pump goroutine).
+func (p *livePort) deliver(n Notification) {
+	p.mu.Lock()
+	if !n.ID.IsZero() {
+		if p.seen[n.ID] {
+			p.dups++
+			p.mu.Unlock()
+			return
+		}
+		p.seen[n.ID] = true
+	}
+	p.received = append(p.received, Delivery{Note: n, At: time.Now()})
+	fn := p.notify
+	p.mu.Unlock()
+	if fn != nil {
+		fn(n)
+	}
+}
+
+// activity feeds Live's settle fingerprint.
+func (p *livePort) activity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.received) + p.dups + int(p.epoch) + len(p.profile)
+}
+
+func (p *livePort) ID() NodeID { return p.id }
+
+func (p *livePort) Connect(b NodeID) error {
+	addr := p.l.Addr(b)
+	if addr == "" {
+		return fmt.Errorf("%w: %s", ErrUnknownBroker, b)
+	}
+	p.mu.Lock()
+	if p.connected {
+		// Drop the old link first; if the dial below fails the port is
+		// left cleanly disconnected, not pointing at a stale border.
+		p.connected = false
+		p.border = ""
+		p.mu.Unlock()
+		_ = p.rc.Disconnect()
+		p.mu.Lock()
+	}
+	p.epoch++
+	prev := p.prev
+	profile := append([]proto.Subscription(nil), p.profile...)
+	epoch := p.epoch
+	p.mu.Unlock()
+	if err := p.rc.Connect(addr, prev, profile, epoch); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.connected = true
+	p.border = b
+	p.prev = b
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *livePort) Disconnect() error {
+	p.mu.Lock()
+	if !p.connected {
+		p.mu.Unlock()
+		return nil
+	}
+	p.connected = false
+	p.border = ""
+	p.mu.Unlock()
+	return p.rc.Disconnect()
+}
+
+func (p *livePort) Border() NodeID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.connected {
+		return ""
+	}
+	return p.border
+}
+
+func (p *livePort) Subscribe(f Filter) SubID {
+	p.mu.Lock()
+	p.nextSub++
+	sub := proto.Subscription{
+		ID:     SubID(fmt.Sprintf("%s/s%d", p.id, p.nextSub)),
+		Filter: f,
+	}
+	p.profile = append(p.profile, sub)
+	connected := p.connected
+	p.mu.Unlock()
+	if connected {
+		_ = p.rc.Send(proto.Message{Kind: proto.KSubscribe, Client: p.id, Sub: &sub})
+	}
+	return sub.ID
+}
+
+func (p *livePort) SubscribeAt(cs ...Constraint) SubID {
+	return p.Subscribe(AtLocation(cs...))
+}
+
+func (p *livePort) Unsubscribe(id SubID) {
+	p.mu.Lock()
+	var sub *proto.Subscription
+	for i, s := range p.profile {
+		if s.ID == id {
+			s := s
+			sub = &s
+			p.profile = append(p.profile[:i], p.profile[i+1:]...)
+			break
+		}
+	}
+	connected := p.connected
+	p.mu.Unlock()
+	if sub != nil && connected {
+		_ = p.rc.Send(proto.Message{Kind: proto.KUnsubscribe, Client: p.id, Sub: sub})
+	}
+}
+
+func (p *livePort) Publish(attrs map[string]Value) (NotificationID, error) {
+	p.mu.Lock()
+	if !p.connected {
+		p.mu.Unlock()
+		return NotificationID{}, ErrNotConnected
+	}
+	p.pubSeq++
+	n := message.NewNotification(attrs)
+	n.ID = NotificationID{Publisher: p.id, Seq: p.pubSeq}
+	n.Published = time.Now()
+	p.mu.Unlock()
+	if err := p.rc.Send(proto.Message{Kind: proto.KPublish, Client: p.id, Note: &n}); err != nil {
+		return NotificationID{}, err
+	}
+	return n.ID, nil
+}
+
+func (p *livePort) OnNotify(fn func(n Notification)) {
+	p.mu.Lock()
+	p.notify = fn
+	p.mu.Unlock()
+}
+
+func (p *livePort) Received() []Delivery {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Delivery(nil), p.received...)
+}
+
+func (p *livePort) Duplicates() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dups
+}
+
+func (p *livePort) FIFOViolations() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	last := make(map[NodeID]uint64)
+	v := 0
+	for _, d := range p.received {
+		id := d.Note.ID
+		if id.IsZero() {
+			continue
+		}
+		if id.Seq < last[id.Publisher] {
+			v++
+		} else {
+			last[id.Publisher] = id.Seq
+		}
+	}
+	return v
+}

@@ -1,0 +1,321 @@
+package rebeca
+
+import (
+	"sync"
+	"time"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/proto"
+)
+
+// Middleware chain types, re-exported from the broker so downstream code
+// can implement stages without reaching into internal packages. See
+// Middleware's documentation for the chain's execution order and
+// short-circuit semantics.
+type (
+	// Middleware is one stage in a broker's ordered extension chain.
+	Middleware = broker.Middleware
+	// PassMiddleware is a no-op stage to embed for partial implementations.
+	PassMiddleware = broker.PassMiddleware
+	// MessageInterceptor is the optional raw-message hook.
+	MessageInterceptor = broker.MessageInterceptor
+	// FlushObserver is the optional flush-completion hook.
+	FlushObserver = broker.FlushObserver
+	// Broker is the broker a middleware stage is attached to.
+	Broker = broker.Broker
+	// Subscription pairs a filter with its end-to-end identity (the
+	// OnSubscribe hook's payload).
+	Subscription = proto.Subscription
+)
+
+// --- Metrics -------------------------------------------------------------
+
+// BrokerMetrics aggregates one broker's middleware-observed activity.
+type BrokerMetrics struct {
+	// Publishes counts notifications routed through the broker (every
+	// overlay hop counts at the broker it transits).
+	Publishes int
+	// Deliveries counts local client deliveries.
+	Deliveries int
+	// Subscribes counts subscription installations.
+	Subscribes int
+	// DeliveryLatency sums publish-to-delivery latency over Deliveries
+	// (virtual time under System, wall time under Live).
+	DeliveryLatency time.Duration
+	// MaxDeliveryLatency is the worst single delivery.
+	MaxDeliveryLatency time.Duration
+}
+
+// AvgDeliveryLatency returns the mean publish-to-delivery latency.
+func (m BrokerMetrics) AvgDeliveryLatency() time.Duration {
+	if m.Deliveries == 0 {
+		return 0
+	}
+	return m.DeliveryLatency / time.Duration(m.Deliveries)
+}
+
+func (m *BrokerMetrics) add(o BrokerMetrics) {
+	m.Publishes += o.Publishes
+	m.Deliveries += o.Deliveries
+	m.Subscribes += o.Subscribes
+	m.DeliveryLatency += o.DeliveryLatency
+	if o.MaxDeliveryLatency > m.MaxDeliveryLatency {
+		m.MaxDeliveryLatency = o.MaxDeliveryLatency
+	}
+}
+
+// Metrics is a built-in middleware collecting per-broker publish, delivery
+// and subscription counters plus delivery-latency statistics. One instance
+// is shared by every broker of a deployment and is safe for concurrent use,
+// so the same instance works under both System and Live.
+//
+// Counts reflect the stage's chain position: installed via WithMiddleware
+// it runs inside the session layers and therefore observes exactly the
+// events they pass through (virtual-client buffering and ghost interception
+// are not counted as deliveries).
+type Metrics struct {
+	PassMiddleware
+	mu        sync.Mutex
+	perBroker map[NodeID]*BrokerMetrics
+}
+
+// NewMetrics returns an empty metrics stage.
+func NewMetrics() *Metrics {
+	return &Metrics{perBroker: make(map[NodeID]*BrokerMetrics)}
+}
+
+func (m *Metrics) at(b NodeID) *BrokerMetrics {
+	bm, ok := m.perBroker[b]
+	if !ok {
+		bm = &BrokerMetrics{}
+		m.perBroker[b] = bm
+	}
+	return bm
+}
+
+// OnPublish implements Middleware.
+func (m *Metrics) OnPublish(b *Broker, _ NodeID, _ *Notification, next func()) {
+	m.mu.Lock()
+	m.at(b.ID()).Publishes++
+	m.mu.Unlock()
+	next()
+}
+
+// OnDeliver implements Middleware.
+func (m *Metrics) OnDeliver(b *Broker, _ NodeID, n *Notification, next func()) {
+	m.mu.Lock()
+	bm := m.at(b.ID())
+	bm.Deliveries++
+	if !n.Published.IsZero() {
+		lat := b.Now().Sub(n.Published)
+		if lat > 0 {
+			bm.DeliveryLatency += lat
+			if lat > bm.MaxDeliveryLatency {
+				bm.MaxDeliveryLatency = lat
+			}
+		}
+	}
+	m.mu.Unlock()
+	next()
+}
+
+// OnSubscribe implements Middleware.
+func (m *Metrics) OnSubscribe(b *Broker, _ NodeID, _ *Subscription, next func()) {
+	m.mu.Lock()
+	m.at(b.ID()).Subscribes++
+	m.mu.Unlock()
+	next()
+}
+
+// Snapshot returns a copy of the per-broker counters.
+func (m *Metrics) Snapshot() map[NodeID]BrokerMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[NodeID]BrokerMetrics, len(m.perBroker))
+	for id, bm := range m.perBroker {
+		out[id] = *bm
+	}
+	return out
+}
+
+// Totals aggregates the counters across brokers.
+func (m *Metrics) Totals() BrokerMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t BrokerMetrics
+	for _, bm := range m.perBroker {
+		t.add(*bm)
+	}
+	return t
+}
+
+// --- Tracer --------------------------------------------------------------
+
+// TraceEvent is one observed hook-point crossing.
+type TraceEvent struct {
+	// At is the broker's (virtual or wall) time.
+	At time.Time
+	// Broker is where the event was observed.
+	Broker NodeID
+	// Hook names the hook point: "publish", "deliver" or "subscribe".
+	Hook string
+	// Node is the immediate sender (publish, subscribe) or the local
+	// destination port (deliver).
+	Node NodeID
+	// Note identifies the notification (publish, deliver).
+	Note NotificationID
+	// Sub identifies the subscription (subscribe).
+	Sub SubID
+}
+
+// tracerCap bounds the retained event log; older events are dropped and
+// counted so long deployments don't grow without bound.
+const tracerCap = 16384
+
+// Tracer is a built-in middleware recording every publish, delivery and
+// subscription crossing the chain. Events are appended to an internal
+// bounded log and, when a callback is configured, forwarded to it
+// synchronously. Safe for concurrent use; observe-only (always passes
+// through).
+type Tracer struct {
+	PassMiddleware
+	fn      func(TraceEvent)
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped int
+}
+
+// NewTracer returns a tracing stage. fn, when non-nil, observes every event
+// as it happens (it runs inside the broker's event loop — keep it cheap).
+func NewTracer(fn func(TraceEvent)) *Tracer { return &Tracer{fn: fn} }
+
+func (t *Tracer) record(e TraceEvent) {
+	t.mu.Lock()
+	if len(t.events) >= tracerCap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	fn := t.fn
+	t.mu.Unlock()
+	if fn != nil {
+		fn(e)
+	}
+}
+
+// OnPublish implements Middleware.
+func (t *Tracer) OnPublish(b *Broker, from NodeID, n *Notification, next func()) {
+	t.record(TraceEvent{At: b.Now(), Broker: b.ID(), Hook: "publish", Node: from, Note: n.ID})
+	next()
+}
+
+// OnDeliver implements Middleware.
+func (t *Tracer) OnDeliver(b *Broker, port NodeID, n *Notification, next func()) {
+	t.record(TraceEvent{At: b.Now(), Broker: b.ID(), Hook: "deliver", Node: port, Note: n.ID})
+	next()
+}
+
+// OnSubscribe implements Middleware.
+func (t *Tracer) OnSubscribe(b *Broker, from NodeID, sub *Subscription, next func()) {
+	t.record(TraceEvent{At: b.Now(), Broker: b.ID(), Hook: "subscribe", Node: from, Sub: sub.ID})
+	next()
+}
+
+// Events returns a copy of the retained event log, in observation order.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Dropped reports events discarded after the log filled up.
+func (t *Tracer) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// --- RateLimiter ---------------------------------------------------------
+
+// RateLimiter is a built-in middleware enforcing a per-broker token-bucket
+// limit on client publish ingress. Publishes arriving from a broker's local
+// ports beyond the configured rate are dropped (short-circuited) at that
+// broker; transit traffic from peer brokers is never limited, so one
+// broker's hot publisher cannot starve routed notifications. Time comes
+// from the broker (virtual under System, wall under Live). Safe for
+// concurrent use.
+type RateLimiter struct {
+	PassMiddleware
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[NodeID]*tokenBucket
+	dropped int
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter admitting perSecond publishes per broker
+// with bursts up to burst. burst is raised to at least 1; a perSecond of
+// zero or less disables the limiter (everything is admitted) rather than
+// silently dropping all traffic once the burst is spent.
+func NewRateLimiter(perSecond float64, burst int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:    perSecond,
+		burst:   float64(burst),
+		buckets: make(map[NodeID]*tokenBucket),
+	}
+}
+
+// OnPublish implements Middleware: take a token or drop the publish.
+func (r *RateLimiter) OnPublish(b *Broker, from NodeID, _ *Notification, next func()) {
+	if r.rate <= 0 || !b.HasPort(from) {
+		next() // disabled, or transit already admitted at its ingress broker
+		return
+	}
+	now := b.Now()
+	r.mu.Lock()
+	tb, ok := r.buckets[b.ID()]
+	if !ok {
+		tb = &tokenBucket{tokens: r.burst, last: now}
+		r.buckets[b.ID()] = tb
+	}
+	if dt := now.Sub(tb.last); dt > 0 {
+		tb.tokens += r.rate * dt.Seconds()
+		if tb.tokens > r.burst {
+			tb.tokens = r.burst
+		}
+		tb.last = now
+	}
+	admit := tb.tokens >= 1
+	if admit {
+		tb.tokens--
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+	if admit {
+		next()
+	}
+}
+
+// Dropped reports publishes rejected across all brokers.
+func (r *RateLimiter) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// compile-time interface checks
+var (
+	_ Middleware = (*Metrics)(nil)
+	_ Middleware = (*Tracer)(nil)
+	_ Middleware = (*RateLimiter)(nil)
+)

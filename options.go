@@ -1,0 +1,301 @@
+package rebeca
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/buffer"
+	"rebeca/internal/location"
+	"rebeca/internal/movement"
+	"rebeca/internal/routing"
+)
+
+// RoutingStrategy selects the subscription-forwarding algorithm.
+type RoutingStrategy = routing.Strategy
+
+// Routing strategies.
+const (
+	// StrategySimple forwards every subscription on every other link.
+	StrategySimple = routing.StrategySimple
+	// StrategyCovering suppresses subscriptions covered by broader ones.
+	StrategyCovering = routing.StrategyCovering
+	// StrategyFlooding forwards no subscriptions; notifications flood.
+	StrategyFlooding = routing.StrategyFlooding
+)
+
+// config is the resolved deployment description both New (virtual clock)
+// and NewLive (TCP) build from.
+type config struct {
+	movement       *movement.Graph
+	locations      *location.Model
+	reactive       bool
+	shared         bool
+	context        func(b NodeID) ContextResolverFunc
+	bufferTTL      time.Duration
+	bufferCap      int
+	linkLatency    time.Duration
+	latencyJitter  time.Duration
+	jitterSeed     int64
+	strategy       routing.Strategy
+	advertisements bool
+	indexed        bool
+	middleware     []broker.Middleware
+	settleQuiet    time.Duration
+	settleMax      time.Duration
+
+	errs []error
+}
+
+// Option configures a deployment built by New or NewLive.
+type Option func(*config)
+
+// newConfig applies the options over the defaults and validates what can be
+// validated locally. Deployment-specific validation (e.g. NewLive's
+// tree-topology requirement) happens in the constructors.
+func newConfig(opts []Option) (*config, error) {
+	c := &config{
+		strategy:    routing.StrategySimple,
+		settleQuiet: 50 * time.Millisecond,
+		settleMax:   10 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.movement == nil {
+		c.errs = append(c.errs, errors.New("rebeca: a movement graph is required (WithMovement)"))
+	}
+	if len(c.errs) > 0 {
+		return nil, errors.Join(c.errs...)
+	}
+	if c.locations == nil {
+		c.locations = location.Regions(c.movement.Nodes())
+	}
+	return c, nil
+}
+
+// bufferFactory resolves the TTL/cap bounds into a buffer policy factory
+// (nil = deployment default, an unbounded buffer).
+func (c *config) bufferFactory() buffer.Factory {
+	switch {
+	case c.bufferTTL > 0 && c.bufferCap > 0:
+		return func() buffer.Policy { return buffer.NewCombined(c.bufferTTL, c.bufferCap) }
+	case c.bufferTTL > 0:
+		return func() buffer.Policy { return buffer.NewTimeBased(c.bufferTTL) }
+	case c.bufferCap > 0:
+		return func() buffer.Policy { return buffer.NewLastN(c.bufferCap) }
+	}
+	return nil
+}
+
+// WithMovement sets the movement graph. The broker overlay is its spanning
+// tree and the replicator neighborhood (nlb) derives from its edges.
+// Required.
+func WithMovement(g *Graph) Option {
+	return func(c *config) {
+		if g == nil {
+			c.errs = append(c.errs, errors.New("rebeca: WithMovement(nil)"))
+			return
+		}
+		c.movement = g
+	}
+}
+
+// WithLocations maps brokers to logical location scopes. Defaults to one
+// same-named region per broker.
+func WithLocations(m *LocationModel) Option {
+	return func(c *config) { c.locations = m }
+}
+
+// WithReactiveBaseline disables the replicator's pre-subscriptions:
+// location-dependent subscriptions resolve only at the client's current
+// broker (the paper's reactive baseline).
+func WithReactiveBaseline() Option {
+	return func(c *config) { c.reactive = true }
+}
+
+// WithSharedBuffers switches replicators to one refcounted notification
+// store per broker instead of one buffer per virtual client.
+func WithSharedBuffers() Option {
+	return func(c *config) { c.shared = true }
+}
+
+// WithContextResolver resolves generalized context markers (§4) per broker.
+func WithContextResolver(fn func(b NodeID) ContextResolverFunc) Option {
+	return func(c *config) { c.context = fn }
+}
+
+// WithBufferTTL bounds virtual-client and ghost buffers by age
+// (0 = unbounded).
+func WithBufferTTL(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithBufferTTL(%s): negative", d))
+			return
+		}
+		c.bufferTTL = d
+	}
+}
+
+// WithBufferCap bounds virtual-client and ghost buffers by count
+// (0 = unbounded).
+func WithBufferCap(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithBufferCap(%d): negative", n))
+			return
+		}
+		c.bufferCap = n
+	}
+}
+
+// WithLinkLatency sets the simulated per-hop overlay delay (default 1ms).
+// NewLive ignores it: real TCP links have real latency.
+func WithLinkLatency(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithLinkLatency(%s): negative", d))
+			return
+		}
+		c.linkLatency = d
+	}
+}
+
+// WithLatencyJitter adds a deterministic uniform random delay in [0, d) to
+// every simulated transmission. NewLive ignores it.
+func WithLatencyJitter(d time.Duration, seed int64) Option {
+	return func(c *config) {
+		if d < 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithLatencyJitter(%s): negative", d))
+			return
+		}
+		c.latencyJitter = d
+		c.jitterSeed = seed
+	}
+}
+
+// WithRoutingStrategy selects the subscription-forwarding algorithm
+// (default StrategySimple).
+func WithRoutingStrategy(s RoutingStrategy) Option {
+	return func(c *config) {
+		switch s {
+		case routing.StrategySimple, routing.StrategyCovering, routing.StrategyFlooding:
+			c.strategy = s
+		default:
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithRoutingStrategy(%d): unknown strategy", s))
+		}
+	}
+}
+
+// WithAdvertisements gates subscription forwarding on publisher
+// advertisements (advertisement-based routing).
+func WithAdvertisements() Option {
+	return func(c *config) { c.advertisements = true }
+}
+
+// WithIndexedMatching backs routing tables with the counting matching index
+// — same semantics, faster on large tables.
+func WithIndexedMatching() Option {
+	return func(c *config) { c.indexed = true }
+}
+
+// WithMiddleware appends stages to every broker's extension chain, in the
+// given order, after the built-in session layers (mobility manager,
+// replicator) — stages observe the traffic the session layers pass
+// through. The same instances are installed on every broker; under NewLive
+// each broker runs its own event loop, so shared stages must be safe for
+// concurrent use (the built-ins are).
+func WithMiddleware(ms ...Middleware) Option {
+	return func(c *config) {
+		for _, m := range ms {
+			if m == nil {
+				c.errs = append(c.errs, errors.New("rebeca: WithMiddleware(nil)"))
+				return
+			}
+		}
+		c.middleware = append(c.middleware, ms...)
+	}
+}
+
+// WithSettleWindow tunes Live.Settle's quiescence detection: the deployment
+// counts as settled after `quiet` with no observable broker or client
+// activity; `max` caps the wait. The virtual-clock System ignores it
+// (Settle there is exact). Defaults: 50ms quiet, 10s max.
+func WithSettleWindow(quiet, max time.Duration) Option {
+	return func(c *config) {
+		if quiet <= 0 || max <= 0 || max < quiet {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithSettleWindow(%s, %s): want 0 < quiet <= max", quiet, max))
+			return
+		}
+		c.settleQuiet = quiet
+		c.settleMax = max
+	}
+}
+
+// Options configures an in-process System.
+//
+// Deprecated: use New with functional options instead. Options{Movement: g,
+// BufferCap: n, …} maps to New(WithMovement(g), WithBufferCap(n), …);
+// DisablePreSubscribe maps to WithReactiveBaseline. Options cannot express
+// the middleware chain, routing strategies, or latency jitter.
+type Options struct {
+	// Movement is the movement graph; broker overlay and nlb derive from
+	// it. Required.
+	Movement *Graph
+	// Locations maps brokers to logical scopes. Defaults to one region
+	// per broker.
+	Locations *LocationModel
+	// DisablePreSubscribe turns the replicator layer into the reactive
+	// baseline (location-dependent subscriptions only at the current
+	// broker).
+	DisablePreSubscribe bool
+	// SharedBuffers uses one refcounted notification store per broker.
+	SharedBuffers bool
+	// ContextResolver resolves generalized context markers per broker.
+	ContextResolver func(b NodeID) ContextResolverFunc
+	// BufferTTL / BufferCap bound virtual-client and ghost buffers
+	// (0 = unbounded).
+	BufferTTL time.Duration
+	BufferCap int
+	// LinkLatency is the simulated per-hop delay (default 1ms).
+	LinkLatency time.Duration
+}
+
+// asOptions translates the legacy struct to functional options.
+func (o Options) asOptions() []Option {
+	var opts []Option
+	if o.Movement != nil {
+		opts = append(opts, WithMovement(o.Movement))
+	}
+	if o.Locations != nil {
+		opts = append(opts, WithLocations(o.Locations))
+	}
+	if o.DisablePreSubscribe {
+		opts = append(opts, WithReactiveBaseline())
+	}
+	if o.SharedBuffers {
+		opts = append(opts, WithSharedBuffers())
+	}
+	if o.ContextResolver != nil {
+		opts = append(opts, WithContextResolver(o.ContextResolver))
+	}
+	if o.BufferTTL > 0 {
+		opts = append(opts, WithBufferTTL(o.BufferTTL))
+	}
+	if o.BufferCap > 0 {
+		opts = append(opts, WithBufferCap(o.BufferCap))
+	}
+	if o.LinkLatency > 0 {
+		opts = append(opts, WithLinkLatency(o.LinkLatency))
+	}
+	return opts
+}
+
+// NewSystem builds an in-process deployment from the legacy flat struct.
+// Note that the client surface changed with it: NewClient now returns the
+// deployment-independent Port interface rather than a concrete client —
+// see CHANGES.md for the full migration table.
+//
+// Deprecated: use New with functional options.
+func NewSystem(opts Options) (*System, error) { return New(opts.asOptions()...) }

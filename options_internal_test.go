@@ -1,0 +1,176 @@
+package rebeca
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rebeca/internal/buffer"
+	"rebeca/internal/routing"
+)
+
+func TestOptionDefaults(t *testing.T) {
+	g := Line(3)
+	c, err := newConfig([]Option{WithMovement(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.movement != g {
+		t.Error("movement not applied")
+	}
+	if c.locations == nil {
+		t.Error("locations should default to one region per broker")
+	}
+	if got := c.locations.Scope("B0"); len(got) != 1 || got[0] != "region-B0" {
+		t.Errorf("default location scope = %v, want [region-B0]", got)
+	}
+	if c.strategy != routing.StrategySimple {
+		t.Errorf("strategy = %v, want simple", c.strategy)
+	}
+	if c.reactive || c.shared || c.advertisements || c.indexed {
+		t.Error("boolean options should default to false")
+	}
+	if c.bufferFactory() != nil {
+		t.Error("buffer factory should default to nil (unbounded)")
+	}
+	if c.settleQuiet != 50*time.Millisecond || c.settleMax != 10*time.Second {
+		t.Errorf("settle window = (%s, %s), want (50ms, 10s)", c.settleQuiet, c.settleMax)
+	}
+	if c.linkLatency != 0 || c.latencyJitter != 0 {
+		t.Error("latency options should default to zero (deployment default)")
+	}
+	if len(c.middleware) != 0 {
+		t.Error("middleware chain should default to empty")
+	}
+}
+
+func TestOptionApplication(t *testing.T) {
+	locs := Regions([]NodeID{"B0", "B1"})
+	resolver := func(b NodeID) ContextResolverFunc { return nil }
+	metrics := NewMetrics()
+	tracer := NewTracer(nil)
+
+	cases := []struct {
+		name  string
+		opt   Option
+		check func(c *config) bool
+	}{
+		{"WithLocations", WithLocations(locs),
+			func(c *config) bool { return c.locations == locs }},
+		{"WithReactiveBaseline", WithReactiveBaseline(),
+			func(c *config) bool { return c.reactive }},
+		{"WithSharedBuffers", WithSharedBuffers(),
+			func(c *config) bool { return c.shared }},
+		{"WithContextResolver", WithContextResolver(resolver),
+			func(c *config) bool { return c.context != nil }},
+		{"WithBufferTTL", WithBufferTTL(time.Second),
+			func(c *config) bool { return c.bufferTTL == time.Second }},
+		{"WithBufferCap", WithBufferCap(7),
+			func(c *config) bool { return c.bufferCap == 7 }},
+		{"WithLinkLatency", WithLinkLatency(3 * time.Millisecond),
+			func(c *config) bool { return c.linkLatency == 3*time.Millisecond }},
+		{"WithLatencyJitter", WithLatencyJitter(time.Millisecond, 42),
+			func(c *config) bool { return c.latencyJitter == time.Millisecond && c.jitterSeed == 42 }},
+		{"WithRoutingStrategy", WithRoutingStrategy(StrategyCovering),
+			func(c *config) bool { return c.strategy == routing.StrategyCovering }},
+		{"WithAdvertisements", WithAdvertisements(),
+			func(c *config) bool { return c.advertisements }},
+		{"WithIndexedMatching", WithIndexedMatching(),
+			func(c *config) bool { return c.indexed }},
+		{"WithMiddleware", WithMiddleware(metrics, tracer),
+			func(c *config) bool {
+				return len(c.middleware) == 2 && c.middleware[0] == Middleware(metrics)
+			}},
+		{"WithSettleWindow", WithSettleWindow(20*time.Millisecond, time.Second),
+			func(c *config) bool {
+				return c.settleQuiet == 20*time.Millisecond && c.settleMax == time.Second
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := newConfig([]Option{WithMovement(Line(2)), tc.opt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tc.check(c) {
+				t.Errorf("%s not applied", tc.name)
+			}
+		})
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"no movement", nil, "movement graph is required"},
+		{"nil movement", []Option{WithMovement(nil)}, "WithMovement(nil)"},
+		{"negative ttl", []Option{WithMovement(Line(2)), WithBufferTTL(-time.Second)}, "negative"},
+		{"negative cap", []Option{WithMovement(Line(2)), WithBufferCap(-1)}, "negative"},
+		{"negative latency", []Option{WithMovement(Line(2)), WithLinkLatency(-1)}, "negative"},
+		{"negative jitter", []Option{WithMovement(Line(2)), WithLatencyJitter(-1, 0)}, "negative"},
+		{"bad strategy", []Option{WithMovement(Line(2)), WithRoutingStrategy(0)}, "unknown strategy"},
+		{"nil middleware", []Option{WithMovement(Line(2)), WithMiddleware(nil)}, "WithMiddleware(nil)"},
+		{"bad settle window", []Option{WithMovement(Line(2)), WithSettleWindow(0, 0)}, "quiet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := newConfig(tc.opts)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBufferFactoryResolution(t *testing.T) {
+	mk := func(opts ...Option) buffer.Policy {
+		c, err := newConfig(append([]Option{WithMovement(Line(2))}, opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := c.bufferFactory()
+		if f == nil {
+			return nil
+		}
+		return f()
+	}
+	if p := mk(); p != nil {
+		t.Errorf("no bounds: policy = %T, want nil factory", p)
+	}
+	if _, ok := mk(WithBufferTTL(time.Second)).(*buffer.TimeBased); !ok {
+		t.Error("ttl only should yield a time-based policy")
+	}
+	if _, ok := mk(WithBufferCap(5)).(*buffer.LastN); !ok {
+		t.Error("cap only should yield a last-N policy")
+	}
+	if _, ok := mk(WithBufferTTL(time.Second), WithBufferCap(5)).(*buffer.Combined); !ok {
+		t.Error("ttl+cap should yield a combined policy")
+	}
+}
+
+func TestOptionsShimTranslation(t *testing.T) {
+	o := Options{
+		Movement:            Line(3),
+		DisablePreSubscribe: true,
+		SharedBuffers:       true,
+		BufferTTL:           time.Second,
+		BufferCap:           4,
+		LinkLatency:         2 * time.Millisecond,
+	}
+	c, err := newConfig(o.asOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.reactive || !c.shared {
+		t.Error("shim lost boolean options")
+	}
+	if c.bufferTTL != time.Second || c.bufferCap != 4 || c.linkLatency != 2*time.Millisecond {
+		t.Error("shim lost numeric options")
+	}
+}

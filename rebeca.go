@@ -16,33 +16,59 @@
 //     in the client's movement-graph neighborhood (nlb), so that arriving
 //     clients replay a "subscription in the past".
 //
-// The System type runs an entire deployment in-process on a deterministic
-// virtual clock (backed by a discrete-event simulator), which is ideal for
-// experimentation and tests; the internal/wire package and cmd/rebeca-broker
-// run the same brokers over real TCP.
+// # Deployments
 //
-// Quick start:
+// A deployment is assembled with functional options and comes in two
+// interchangeable flavors behind the Deployment interface:
+//
+//   - New builds a System: the entire overlay in one process on a
+//     deterministic virtual clock (a discrete-event simulator) — instant,
+//     reproducible, ideal for experiments and tests.
+//   - NewLive builds a Live: the same brokers as real TCP nodes on
+//     loopback, gob-framed links, one event loop per broker. The
+//     distributed equivalent (one process per broker) is cmd/rebeca-broker.
+//
+// Clients are created through Deployment.NewClient and driven through the
+// Port interface, so the same scenario code runs against both flavors.
+//
+// # Middleware
+//
+// Every broker runs an ordered extension chain (Middleware): hooks on
+// publish, deliver and subscribe, each receiving a next func in the style
+// of HTTP/ASGI middleware. Stages run in attachment order — the built-in
+// session layers (physical-mobility manager, replicator) first, then
+// everything installed via WithMiddleware — and a stage that does not call
+// next consumes the event. Built-ins: Metrics (per-broker counters and
+// delivery latency), Tracer (event log), RateLimiter (token-bucket publish
+// ingress control). Custom stages embed PassMiddleware and override the
+// hooks they care about.
+//
+// # Quick start
 //
 //	g := rebeca.NewGraph()
 //	g.AddEdge("home", "office")
-//	sys, _ := rebeca.NewSystem(rebeca.Options{Movement: g})
+//	metrics := rebeca.NewMetrics()
+//	sys, _ := rebeca.New(
+//		rebeca.WithMovement(g),
+//		rebeca.WithMiddleware(metrics),
+//	)
 //	alice := sys.NewClient("alice")
-//	alice.ConnectTo("home")
+//	alice.Connect("home")
 //	alice.Subscribe(rebeca.NewFilter(rebeca.Eq("service", rebeca.String("news"))))
 //	sys.Settle()
+//	// … publish from another client, Settle again, inspect
+//	// alice.Received() and metrics.Totals().
+//
+// Swap rebeca.New for rebeca.NewLive (and defer d.Close()) and the same
+// code runs over TCP.
 package rebeca
 
 import (
-	"time"
-
-	"rebeca/internal/buffer"
 	"rebeca/internal/client"
 	"rebeca/internal/filter"
 	"rebeca/internal/location"
 	"rebeca/internal/message"
 	"rebeca/internal/movement"
-	"rebeca/internal/routing"
-	"rebeca/internal/sim"
 )
 
 // Re-exported core types. The facade keeps downstream imports to a single
@@ -62,8 +88,6 @@ type (
 	Filter = filter.Filter
 	// Constraint is a single attribute predicate.
 	Constraint = filter.Constraint
-	// Client is a (mobile) pub/sub client.
-	Client = client.Client
 	// Delivery is a received notification with its arrival time.
 	Delivery = client.Delivery
 	// Graph is an undirected movement graph (defines nlb).
@@ -137,91 +161,3 @@ var (
 	// StampLocation tags a notification with a location.
 	StampLocation = location.Stamp
 )
-
-// Options configures an in-process System.
-type Options struct {
-	// Movement is the movement graph; broker overlay and nlb derive from
-	// it. Required.
-	Movement *Graph
-	// Locations maps brokers to logical scopes. Defaults to one region
-	// per broker.
-	Locations *LocationModel
-	// DisablePreSubscribe turns the replicator layer into the reactive
-	// baseline (location-dependent subscriptions only at the current
-	// broker).
-	DisablePreSubscribe bool
-	// SharedBuffers uses one refcounted notification store per broker.
-	SharedBuffers bool
-	// ContextResolver resolves generalized context markers per broker.
-	ContextResolver func(b NodeID) ContextResolverFunc
-	// BufferTTL / BufferCap bound virtual-client and ghost buffers
-	// (0 = unbounded).
-	BufferTTL time.Duration
-	BufferCap int
-	// LinkLatency is the simulated per-hop delay (default 1ms).
-	LinkLatency time.Duration
-}
-
-// System is an in-process middleware deployment on a virtual clock.
-type System struct {
-	cluster *sim.Cluster
-}
-
-// NewSystem builds a full deployment: brokers on the movement graph's
-// spanning tree, a transparent physical-mobility manager and a replicator
-// on every border broker.
-func NewSystem(opts Options) (*System, error) {
-	locs := opts.Locations
-	if locs == nil && opts.Movement != nil {
-		locs = location.Regions(opts.Movement.Nodes())
-	}
-	repl := sim.ReplicationPreSubscribe
-	if opts.DisablePreSubscribe {
-		repl = sim.ReplicationReactive
-	}
-	var factory buffer.Factory
-	switch {
-	case opts.BufferTTL > 0 && opts.BufferCap > 0:
-		factory = func() buffer.Policy { return buffer.NewCombined(opts.BufferTTL, opts.BufferCap) }
-	case opts.BufferTTL > 0:
-		factory = func() buffer.Policy { return buffer.NewTimeBased(opts.BufferTTL) }
-	case opts.BufferCap > 0:
-		factory = func() buffer.Policy { return buffer.NewLastN(opts.BufferCap) }
-	}
-	cl, err := sim.NewCluster(sim.ClusterConfig{
-		Movement:      opts.Movement,
-		Locations:     locs,
-		Context:       opts.ContextResolver,
-		Strategy:      routing.StrategySimple,
-		Mobility:      sim.MobilityTransparent,
-		Replication:   repl,
-		SharedBuffers: opts.SharedBuffers,
-		BufferFactory: factory,
-		LinkLatency:   opts.LinkLatency,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &System{cluster: cl}, nil
-}
-
-// NewClient creates a client endpoint.
-func (s *System) NewClient(id NodeID) *Client { return s.cluster.AddClient(id) }
-
-// Brokers lists the deployment's broker IDs.
-func (s *System) Brokers() []NodeID { return s.cluster.Topology.Nodes() }
-
-// Settle runs the virtual clock until no messages remain in flight.
-func (s *System) Settle() { s.cluster.Net.Run() }
-
-// Step advances the virtual clock by d, delivering due messages.
-func (s *System) Step(d time.Duration) { s.cluster.Net.RunFor(d) }
-
-// After schedules fn on the virtual clock.
-func (s *System) After(d time.Duration, fn func()) { s.cluster.Net.After(d, fn) }
-
-// Now returns the current virtual time.
-func (s *System) Now() time.Time { return s.cluster.Net.Now() }
-
-// MessagesCarried returns the total number of messages the network moved.
-func (s *System) MessagesCarried() int { return s.cluster.Net.Stats().Total() }

@@ -7,29 +7,40 @@ import (
 	"rebeca"
 )
 
-func newSystem(t *testing.T, opts rebeca.Options) *rebeca.System {
+func newSystem(t *testing.T, opts ...rebeca.Option) *rebeca.System {
 	t.Helper()
-	sys, err := rebeca.NewSystem(opts)
+	sys, err := rebeca.New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return sys
 }
 
+func connect(t *testing.T, p rebeca.Port, b rebeca.NodeID) {
+	t.Helper()
+	if err := p.Connect(b); err != nil {
+		t.Fatalf("connect %s to %s: %v", p.ID(), b, err)
+	}
+}
+
 func TestSystemBasicPubSub(t *testing.T) {
 	g := rebeca.NewGraph()
 	g.AddEdge("home", "office")
-	sys := newSystem(t, rebeca.Options{Movement: g})
+	sys := newSystem(t, rebeca.WithMovement(g))
 
 	sub := sys.NewClient("sub")
-	sub.ConnectTo("office")
+	connect(t, sub, "office")
 	sub.Subscribe(rebeca.NewFilter(rebeca.Eq("k", rebeca.Int(1))))
 	sys.Settle()
 
 	pub := sys.NewClient("pub")
-	pub.ConnectTo("home")
-	pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(1)})
-	pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(2)})
+	connect(t, pub, "home")
+	if _, err := pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
 	sys.Settle()
 
 	if got := len(sub.Received()); got != 1 {
@@ -41,25 +52,25 @@ func TestSystemBasicPubSub(t *testing.T) {
 }
 
 func TestSystemRoamingLossless(t *testing.T) {
-	sys := newSystem(t, rebeca.Options{Movement: rebeca.Line(3)})
+	sys := newSystem(t, rebeca.WithMovement(rebeca.Line(3)))
 	mob := sys.NewClient("mob")
-	mob.ConnectTo("B0")
+	connect(t, mob, "B0")
 	mob.Subscribe(rebeca.NewFilter(rebeca.Exists("n")))
 	sys.Settle()
 
 	pub := sys.NewClient("pub")
-	pub.ConnectTo("B2")
+	connect(t, pub, "B2")
 	for i := 1; i <= 100; i++ {
 		i := i
 		sys.After(time.Duration(i)*time.Millisecond, func() {
-			pub.Publish(map[string]rebeca.Value{"n": rebeca.Int(int64(i))})
+			_, _ = pub.Publish(map[string]rebeca.Value{"n": rebeca.Int(int64(i))})
 		})
 	}
-	sys.After(30*time.Millisecond, func() { mob.Disconnect() })
-	sys.After(40*time.Millisecond, func() { mob.ConnectTo("B1") })
+	sys.After(30*time.Millisecond, func() { _ = mob.Disconnect() })
+	sys.After(40*time.Millisecond, func() { _ = mob.Connect("B1") })
 	sys.Settle()
 
-	if got := len(sub(mob)); got != 100 {
+	if got := len(mob.Received()); got != 100 {
 		t.Errorf("received %d of 100", got)
 	}
 	if mob.Duplicates() != 0 || mob.FIFOViolations() != 0 {
@@ -67,34 +78,32 @@ func TestSystemRoamingLossless(t *testing.T) {
 	}
 }
 
-func sub(c *rebeca.Client) []rebeca.Delivery { return c.Received() }
-
 func TestSystemLocationDependentSubscription(t *testing.T) {
 	g := rebeca.Line(3)
-	sys := newSystem(t, rebeca.Options{Movement: g})
+	sys := newSystem(t, rebeca.WithMovement(g))
 
 	mob := sys.NewClient("mob")
-	mob.ConnectTo("B0")
+	connect(t, mob, "B0")
 	mob.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
 	sys.Settle()
 
 	pub := sys.NewClient("pub")
-	pub.ConnectTo("B1")
+	connect(t, pub, "B1")
 	n := rebeca.Notification{Attrs: map[string]rebeca.Value{
 		"service": rebeca.String("menu"),
 		"dish":    rebeca.String("pasta"),
 	}}
 	n = rebeca.StampLocation(n, "region-B1")
-	pub.Publish(n.Attrs)
+	_, _ = pub.Publish(n.Attrs)
 	sys.Settle()
 
 	// Not delivered while at B0, but replayed on arrival at B1.
 	if got := len(mob.Received()); got != 0 {
 		t.Fatalf("received %d before arrival", got)
 	}
-	mob.Disconnect()
+	_ = mob.Disconnect()
 	sys.Step(5 * time.Millisecond)
-	mob.ConnectTo("B1")
+	connect(t, mob, "B1")
 	sys.Settle()
 	if got := len(mob.Received()); got != 1 {
 		t.Errorf("pre-subscription replay got %d, want 1", got)
@@ -102,24 +111,24 @@ func TestSystemLocationDependentSubscription(t *testing.T) {
 }
 
 func TestSystemReactiveOption(t *testing.T) {
-	sys := newSystem(t, rebeca.Options{
-		Movement:            rebeca.Line(3),
-		DisablePreSubscribe: true,
-	})
+	sys := newSystem(t,
+		rebeca.WithMovement(rebeca.Line(3)),
+		rebeca.WithReactiveBaseline(),
+	)
 	mob := sys.NewClient("mob")
-	mob.ConnectTo("B0")
+	connect(t, mob, "B0")
 	mob.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
 	sys.Settle()
 
 	pub := sys.NewClient("pub")
-	pub.ConnectTo("B1")
+	connect(t, pub, "B1")
 	n := rebeca.Notification{Attrs: map[string]rebeca.Value{"service": rebeca.String("menu")}}
 	n = rebeca.StampLocation(n, "region-B1")
-	pub.Publish(n.Attrs)
+	_, _ = pub.Publish(n.Attrs)
 	sys.Settle()
-	mob.Disconnect()
+	_ = mob.Disconnect()
 	sys.Step(5 * time.Millisecond)
-	mob.ConnectTo("B1")
+	connect(t, mob, "B1")
 	sys.Settle()
 	if got := len(mob.Received()); got != 0 {
 		t.Errorf("reactive mode replayed %d, want 0", got)
@@ -127,28 +136,28 @@ func TestSystemReactiveOption(t *testing.T) {
 }
 
 func TestSystemBufferCapOption(t *testing.T) {
-	sys := newSystem(t, rebeca.Options{
-		Movement:  rebeca.Line(3),
-		BufferCap: 2,
-	})
+	sys := newSystem(t,
+		rebeca.WithMovement(rebeca.Line(3)),
+		rebeca.WithBufferCap(2),
+	)
 	mob := sys.NewClient("mob")
-	mob.ConnectTo("B0")
+	connect(t, mob, "B0")
 	mob.SubscribeAt(rebeca.Eq("service", rebeca.String("menu")))
 	sys.Settle()
 	pub := sys.NewClient("pub")
-	pub.ConnectTo("B1")
+	connect(t, pub, "B1")
 	for i := 0; i < 5; i++ {
 		n := rebeca.Notification{Attrs: map[string]rebeca.Value{
 			"service": rebeca.String("menu"),
 			"i":       rebeca.Int(int64(i)),
 		}}
 		n = rebeca.StampLocation(n, "region-B1")
-		pub.Publish(n.Attrs)
+		_, _ = pub.Publish(n.Attrs)
 	}
 	sys.Settle()
-	mob.Disconnect()
+	_ = mob.Disconnect()
 	sys.Step(2 * time.Millisecond)
-	mob.ConnectTo("B1")
+	connect(t, mob, "B1")
 	sys.Settle()
 	if got := len(mob.Received()); got != 2 {
 		t.Errorf("capped buffer replayed %d, want 2", got)
@@ -156,7 +165,7 @@ func TestSystemBufferCapOption(t *testing.T) {
 }
 
 func TestSystemClockAndScheduling(t *testing.T) {
-	sys := newSystem(t, rebeca.Options{Movement: rebeca.Line(2)})
+	sys := newSystem(t, rebeca.WithMovement(rebeca.Line(2)))
 	t0 := sys.Now()
 	fired := false
 	sys.After(time.Second, func() { fired = true })
@@ -174,13 +183,44 @@ func TestSystemClockAndScheduling(t *testing.T) {
 }
 
 func TestSystemBrokersList(t *testing.T) {
-	sys := newSystem(t, rebeca.Options{Movement: rebeca.Grid(2, 2)})
+	sys := newSystem(t, rebeca.WithMovement(rebeca.Grid(2, 2)))
 	if got := len(sys.Brokers()); got != 4 {
 		t.Errorf("brokers = %d, want 4", got)
 	}
 }
 
-func TestSystemRequiresMovement(t *testing.T) {
+func TestNewRequiresMovement(t *testing.T) {
+	if _, err := rebeca.New(); err == nil {
+		t.Error("New without movement graph should fail")
+	}
+}
+
+func TestPortErrors(t *testing.T) {
+	sys := newSystem(t, rebeca.WithMovement(rebeca.Line(2)))
+	c := sys.NewClient("c")
+	if err := c.Connect("nowhere"); err == nil {
+		t.Error("connect to unknown broker should fail")
+	}
+	if _, err := c.Publish(map[string]rebeca.Value{"k": rebeca.Int(1)}); err == nil {
+		t.Error("publish while disconnected should fail")
+	}
+	connect(t, c, "B0")
+	if got := c.Border(); got != "B0" {
+		t.Errorf("border = %s, want B0", got)
+	}
+}
+
+func TestDeprecatedOptionsShim(t *testing.T) {
+	sys, err := rebeca.NewSystem(rebeca.Options{
+		Movement:  rebeca.Line(3),
+		BufferCap: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Brokers()); got != 3 {
+		t.Errorf("brokers = %d, want 3", got)
+	}
 	if _, err := rebeca.NewSystem(rebeca.Options{}); err == nil {
 		t.Error("NewSystem without movement graph should fail")
 	}
