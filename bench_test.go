@@ -9,11 +9,13 @@
 package rebeca_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
+	"rebeca"
 	"rebeca/internal/bench"
 	"rebeca/internal/buffer"
 	"rebeca/internal/filter"
@@ -363,3 +365,117 @@ func benchTableMatchIndexed(b *testing.B, entries int) {
 
 func BenchmarkTableMatchIndexed100(b *testing.B)  { benchTableMatchIndexed(b, 100) }
 func BenchmarkTableMatchIndexed1000(b *testing.B) { benchTableMatchIndexed(b, 1000) }
+
+// --- facade delivery paths: channel stream vs callback adapter ----------
+
+// facadePair builds a 2-broker system with a subscriber on B0 and a
+// publisher on B1 through the public facade.
+func facadePair(b *testing.B, opts ...rebeca.Option) (*rebeca.System, rebeca.Port, rebeca.Port) {
+	b.Helper()
+	sys, err := rebeca.New(append([]rebeca.Option{rebeca.WithMovement(movement.Line(2))}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := sys.NewClient("sub")
+	if err := sub.Connect("B0"); err != nil {
+		b.Fatal(err)
+	}
+	pub := sys.NewClient("pub")
+	if err := pub.Connect("B1"); err != nil {
+		b.Fatal(err)
+	}
+	return sys, sub, pub
+}
+
+// BenchmarkDeliveryCallback measures one publish consumed through the
+// OnNotify callback adapter (publish + settle + synchronous callback).
+func BenchmarkDeliveryCallback(b *testing.B) {
+	sys, sub, pub := facadePair(b)
+	count := 0
+	sub.OnNotify(func(rebeca.Notification) { count++ })
+	sub.Subscribe(rebeca.NewFilter(rebeca.Exists("k")))
+	sys.Settle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+		sys.Settle()
+	}
+	if count != b.N {
+		b.Fatalf("callback saw %d of %d", count, b.N)
+	}
+}
+
+// BenchmarkDeliveryChannel measures the same flow consumed through the
+// subscription handle's bounded event stream.
+func BenchmarkDeliveryChannel(b *testing.B) {
+	sys, sub, pub := facadePair(b)
+	s := sub.Subscribe(rebeca.NewFilter(rebeca.Exists("k")), rebeca.WithStreamBuffer(4))
+	sys.Settle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+		sys.Settle()
+		<-s.Events()
+	}
+	if got := s.Stats().Delivered; got != uint64(b.N) {
+		b.Fatalf("stream delivered %d of %d", got, b.N)
+	}
+}
+
+// --- publish framing: N singles vs one batch frame ----------------------
+
+const benchBatchSize = 100
+
+// BenchmarkPublishSingle routes benchBatchSize notifications as individual
+// ingress frames per iteration.
+func BenchmarkPublishSingle(b *testing.B) {
+	sys, sub, pub := facadePair(b)
+	s := sub.Subscribe(rebeca.NewFilter(rebeca.Exists("k")),
+		rebeca.WithStreamBuffer(benchBatchSize))
+	sys.Settle()
+	before := sys.MessagesCarried()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchBatchSize; j++ {
+			if _, err := pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(int64(j))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Settle()
+		for j := 0; j < benchBatchSize; j++ {
+			<-s.Events()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sys.MessagesCarried()-before)/float64(b.N), "msgs/op")
+}
+
+// BenchmarkPublishBatch routes the same notifications as one batch frame
+// per iteration.
+func BenchmarkPublishBatch(b *testing.B) {
+	sys, sub, pub := facadePair(b)
+	s := sub.Subscribe(rebeca.NewFilter(rebeca.Exists("k")),
+		rebeca.WithStreamBuffer(benchBatchSize))
+	sys.Settle()
+	batch := make([]map[string]rebeca.Value, benchBatchSize)
+	for j := range batch {
+		batch[j] = map[string]rebeca.Value{"k": rebeca.Int(int64(j))}
+	}
+	before := sys.MessagesCarried()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.PublishBatch(context.Background(), batch); err != nil {
+			b.Fatal(err)
+		}
+		sys.Settle()
+		for j := 0; j < benchBatchSize; j++ {
+			<-s.Events()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sys.MessagesCarried()-before)/float64(b.N), "msgs/op")
+}

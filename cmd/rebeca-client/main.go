@@ -12,6 +12,8 @@
 //	sub <attr> <value>          subscribe to attr == value (string match)
 //	subloc <attr> <value>       same, location-dependent (myloc marker)
 //	pub <attr>=<val> ...        publish a notification (k=v pairs)
+//	pubn <count> <attr>=<val> ...  publish count copies as ONE batch frame
+//	                            (an `i` attribute carries the index)
 //	connect <host:port>         roam to another border broker
 //	disconnect                  drop the link
 //	quit
@@ -47,8 +49,12 @@ func main() {
 	flag.Parse()
 
 	s := &session{id: message.NodeID(*id)}
-	s.client = wire.NewRemoteClient(s.id, func(n message.Notification) {
-		fmt.Printf("<- %s\n", n)
+	s.client = wire.NewRemoteClient(s.id, func(n message.Notification, subs []message.SubID) {
+		if len(subs) > 0 {
+			fmt.Printf("<- %s (sub %s)\n", n, subs[0])
+		} else {
+			fmt.Printf("<- %s\n", n)
+		}
 	})
 	if err := s.connect(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "connect:", err)
@@ -134,8 +140,38 @@ func (s *session) run(fields []string) error {
 		n := message.NewNotification(attrs)
 		n.ID = message.NotificationID{Publisher: s.id, Seq: s.pubSeq}
 		return s.client.Send(proto.Message{Kind: proto.KPublish, Client: s.id, Note: &n})
+	case "pubn":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: pubn <count> k=v [k=v ...]")
+		}
+		count, err := strconv.Atoi(fields[1])
+		if err != nil || count < 1 {
+			return fmt.Errorf("bad count %q", fields[1])
+		}
+		base := make(map[string]message.Value, len(fields)-1)
+		for _, kv := range fields[2:] {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad attribute %q (want k=v)", kv)
+			}
+			base[parts[0]] = parseValue(parts[1])
+		}
+		notes := make([]message.Notification, count)
+		for i := range notes {
+			attrs := make(map[string]message.Value, len(base)+1)
+			for k, v := range base {
+				attrs[k] = v
+			}
+			attrs["i"] = message.Int(int64(i))
+			s.pubSeq++
+			n := message.NewNotification(attrs)
+			n.ID = message.NotificationID{Publisher: s.id, Seq: s.pubSeq}
+			notes[i] = n
+		}
+		fmt.Printf("publishing %d notifications in one batch frame\n", count)
+		return s.client.Send(proto.Message{Kind: proto.KPublishBatch, Client: s.id, Notes: notes})
 	default:
-		return fmt.Errorf("unknown command %q (sub, subloc, pub, connect, disconnect, quit)", fields[0])
+		return fmt.Errorf("unknown command %q (sub, subloc, pub, pubn, connect, disconnect, quit)", fields[0])
 	}
 }
 

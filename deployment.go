@@ -1,13 +1,20 @@
 package rebeca
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"rebeca/internal/client"
 	"rebeca/internal/sim"
 )
+
+// MaxBatchFrame is the largest number of notifications PublishBatch packs
+// into one wire message; larger batches are split, with the submission
+// context checked between frames.
+const MaxBatchFrame = 256
 
 // ErrNotConnected is returned by Port operations that need a live link to a
 // border broker.
@@ -35,9 +42,11 @@ type Deployment interface {
 }
 
 // Port is the deployment-independent client surface: the pub/sub triple,
-// roaming, and delivery inspection. A Port is driven from one goroutine;
-// deliveries recorded by the middleware arrive between calls (System) or
-// concurrently (Live — accessors are safe to call while connected).
+// roaming, and delivery inspection. Commands (Connect, Subscribe, Publish,
+// …) are driven from one goroutine; delivery streams — the Events channels
+// of Subscription handles and of the port itself — are consumed from any
+// goroutine. Deliveries arrive between calls (System) or concurrently
+// (Live).
 type Port interface {
 	// ID returns the client's node ID.
 	ID() NodeID
@@ -48,18 +57,37 @@ type Port interface {
 	Disconnect() error
 	// Border returns the current border broker ("" while disconnected).
 	Border() NodeID
-	// Subscribe registers interest; the subscription joins the roaming
-	// profile.
-	Subscribe(f Filter) SubID
-	// SubscribeAt registers a location-dependent subscription (myloc).
-	SubscribeAt(cs ...Constraint) SubID
-	// Unsubscribe withdraws a subscription.
-	Unsubscribe(id SubID)
+	// Subscribe registers interest and returns the subscription's handle:
+	// its bounded event stream, overflow policy and lifecycle. The
+	// subscription joins the roaming profile until its Cancel.
+	Subscribe(f Filter, opts ...SubOption) *Subscription
+	// SubscribeAt registers a location-dependent subscription (myloc)
+	// with default stream options; use Subscribe(AtLocation(cs...), …)
+	// to configure the stream.
+	SubscribeAt(cs ...Constraint) *Subscription
 	// Publish emits a notification (requires a connection).
 	Publish(attrs map[string]Value) (NotificationID, error)
-	// OnNotify registers an observer for every fresh delivery.
+	// PublishBatch emits several notifications framed as batch wire
+	// messages to the border broker (up to MaxBatchFrame notifications
+	// per frame), which unpacks and routes each like an individual
+	// Publish. ctx is checked between frames — a Live publisher blocked
+	// by downstream flow control stops at the next frame boundary (a
+	// send already stalled on the link is not interrupted mid-frame) —
+	// and the IDs of everything already framed are returned with the
+	// ctx error.
+	PublishBatch(ctx context.Context, batch []map[string]Value) ([]NotificationID, error)
+	// Events returns the port's catch-all stream: every fresh delivery,
+	// whichever subscription it matched, under a DropOldest bound.
+	Events() <-chan Delivery
+	// OnNotify registers an observer that synchronously consumes the
+	// catch-all stream — the callback adapter over Events. Registration
+	// discards any backlog already buffered in the stream: the callback
+	// observes deliveries from registration on. Register either an
+	// observer or a consumer of Events, not both.
 	OnNotify(fn func(n Notification))
-	// Received returns all recorded deliveries in arrival order.
+	// Received returns the retained deliveries in arrival order. The log
+	// is opt-in: without WithDeliveryLog it stays empty (per-subscription
+	// streams and stats are the primary surface).
 	Received() []Delivery
 	// Duplicates counts suppressed duplicate deliveries.
 	Duplicates() int
@@ -72,6 +100,10 @@ type Port interface {
 // experiments and tests. It implements Deployment.
 type System struct {
 	cluster *sim.Cluster
+	logCap  int
+
+	mu    sync.Mutex
+	ports []*simPort
 }
 
 var _ Deployment = (*System)(nil)
@@ -107,12 +139,18 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{cluster: cl}, nil
+	return &System{cluster: cl, logCap: cfg.logCap()}, nil
 }
 
 // NewClient creates a client endpoint.
 func (s *System) NewClient(id NodeID) Port {
-	return &simPort{sys: s, c: s.cluster.AddClient(id)}
+	p := &simPort{sys: s, c: s.cluster.AddClient(id), streams: newStreamSet()}
+	p.c.SetDeliveryLog(s.logCap)
+	p.c.OnDeliver = func(d client.Delivery) { p.streams.dispatch(d, nil) }
+	s.mu.Lock()
+	s.ports = append(s.ports, p)
+	s.mu.Unlock()
+	return p
 }
 
 // Brokers lists the deployment's broker IDs.
@@ -121,9 +159,18 @@ func (s *System) Brokers() []NodeID { return s.cluster.Topology.Nodes() }
 // Settle runs the virtual clock until no messages remain in flight.
 func (s *System) Settle() { s.cluster.Net.Run() }
 
-// Close implements Deployment; the virtual deployment has nothing to tear
-// down.
-func (s *System) Close() error { return nil }
+// Close implements Deployment: the virtual deployment has no transport to
+// tear down, but every port's streams are cancelled so range loops over
+// their Events channels terminate.
+func (s *System) Close() error {
+	s.mu.Lock()
+	ports := append([]*simPort(nil), s.ports...)
+	s.mu.Unlock()
+	for _, p := range ports {
+		p.streams.closeAll()
+	}
+	return nil
+}
 
 // Step advances the virtual clock by d, delivering due messages.
 func (s *System) Step(d time.Duration) { s.cluster.Net.RunFor(d) }
@@ -144,8 +191,9 @@ func (s *System) hasBroker(id NodeID) bool {
 
 // simPort adapts the simulator's client library to the Port interface.
 type simPort struct {
-	sys *System
-	c   *client.Client
+	sys     *System
+	c       *client.Client
+	streams *streamSet
 }
 
 var _ Port = (*simPort)(nil)
@@ -167,11 +215,23 @@ func (p *simPort) Disconnect() error {
 
 func (p *simPort) Border() NodeID { return p.c.Border() }
 
-func (p *simPort) Subscribe(f Filter) SubID { return p.c.Subscribe(f) }
+func (p *simPort) Subscribe(f Filter, opts ...SubOption) *Subscription {
+	var cfg subConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	id := p.c.Subscribe(f)
+	s := newSubscription(id, f, cfg, func(s *Subscription) {
+		p.streams.remove(s.ID())
+		p.c.Unsubscribe(s.ID())
+	})
+	p.streams.add(s)
+	return s
+}
 
-func (p *simPort) SubscribeAt(cs ...Constraint) SubID { return p.c.SubscribeAt(cs...) }
-
-func (p *simPort) Unsubscribe(id SubID) { p.c.Unsubscribe(id) }
+func (p *simPort) SubscribeAt(cs ...Constraint) *Subscription {
+	return p.Subscribe(AtLocation(cs...))
+}
 
 func (p *simPort) Publish(attrs map[string]Value) (NotificationID, error) {
 	id, ok := p.c.Publish(attrs)
@@ -181,7 +241,46 @@ func (p *simPort) Publish(attrs map[string]Value) (NotificationID, error) {
 	return id, nil
 }
 
-func (p *simPort) OnNotify(fn func(n Notification)) { p.c.OnNotify = fn }
+func (p *simPort) PublishBatch(ctx context.Context, batch []map[string]Value) ([]NotificationID, error) {
+	return publishFrames(ctx, batch, func(frame []map[string]Value) ([]NotificationID, error) {
+		ids, ok := p.c.PublishBatch(frame)
+		if !ok {
+			return nil, ErrNotConnected
+		}
+		return ids, nil
+	})
+}
+
+// publishFrames is the shared batch-framing loop behind both Port
+// implementations: it splits the batch into MaxBatchFrame-sized frames,
+// checks ctx between frames (a publisher stalled by downstream flow
+// control aborts at the next frame boundary), and accumulates the
+// assigned IDs — returning the IDs of everything already framed alongside
+// any error.
+func publishFrames(ctx context.Context, batch []map[string]Value,
+	send func(frame []map[string]Value) ([]NotificationID, error)) ([]NotificationID, error) {
+	var ids []NotificationID
+	for len(batch) > 0 {
+		if err := ctx.Err(); err != nil {
+			return ids, err
+		}
+		frame := batch
+		if len(frame) > MaxBatchFrame {
+			frame = frame[:MaxBatchFrame]
+		}
+		batch = batch[len(frame):]
+		frameIDs, err := send(frame)
+		ids = append(ids, frameIDs...)
+		if err != nil {
+			return ids, err
+		}
+	}
+	return ids, nil
+}
+
+func (p *simPort) Events() <-chan Delivery { return p.streams.catchAll.Events() }
+
+func (p *simPort) OnNotify(fn func(n Notification)) { p.streams.setNotify(fn) }
 
 func (p *simPort) Received() []Delivery { return p.c.Received() }
 

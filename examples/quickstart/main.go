@@ -1,7 +1,8 @@
 // Quickstart: a two-broker deployment, one subscriber, one publisher.
-// Demonstrates the basic pub/sub triple (publish, subscribe, notify) over
-// the content-based router network, assembled with functional options and
-// observed through the Metrics middleware.
+// Demonstrates the streaming subscription surface: Subscribe returns a
+// *Subscription handle whose Events channel carries the deliveries, the
+// publisher frames its notifications as one batch, and the Metrics
+// middleware observes the brokers.
 //
 // The same code drives both deployment flavors behind the Deployment
 // interface: the virtual-clock simulator (default) and real TCP nodes on
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -45,38 +47,50 @@ func main() {
 	}
 	defer d.Close()
 
-	// A subscriber at the office listens for build results.
+	// A subscriber at the office listens for failed builds. The handle
+	// owns a bounded event stream (default: 256 events, DropOldest).
 	alice := d.NewClient("alice")
-	alice.OnNotify(func(n rebeca.Notification) {
-		status, _ := n.Get("status")
-		commit, _ := n.Get("commit")
-		fmt.Printf("alice: build %s for commit %s\n", status, commit)
-	})
 	if err := alice.Connect("office"); err != nil {
 		panic(err)
 	}
-	alice.Subscribe(rebeca.NewFilter(
+	failures := alice.Subscribe(rebeca.NewFilter(
 		rebeca.Eq("service", rebeca.String("ci")),
 		rebeca.Eq("status", rebeca.String("failed")),
 	))
 	d.Settle() // let the subscription propagate
 
-	// A publisher at home emits CI results; only failures match.
+	// A publisher at home emits CI results as one batch frame; only the
+	// failures match.
 	ci := d.NewClient("ci-bot")
 	if err := ci.Connect("home"); err != nil {
 		panic(err)
 	}
+	var batch []map[string]rebeca.Value
 	for i, status := range []string{"passed", "failed", "passed", "failed"} {
-		_, _ = ci.Publish(map[string]rebeca.Value{
+		batch = append(batch, map[string]rebeca.Value{
 			"service": rebeca.String("ci"),
 			"status":  rebeca.String(status),
 			"commit":  rebeca.String(fmt.Sprintf("c%04d", i)),
 		})
 	}
+	if _, err := ci.PublishBatch(context.Background(), batch); err != nil {
+		panic(err)
+	}
 	d.Settle()
 
+	// Cancel closes the stream, so the range loop drains the buffered
+	// deliveries and terminates.
+	failures.Cancel()
+	got := 0
+	for del := range failures.Events() {
+		status, _ := del.Note.Get("status")
+		commit, _ := del.Note.Get("commit")
+		fmt.Printf("alice: build %s for commit %s\n", status.Str(), commit.Str())
+		got++
+	}
+
 	totals := metrics.Totals()
-	fmt.Printf("alice received %d notifications (2 expected)\n", len(alice.Received()))
+	fmt.Printf("alice received %d notifications (2 expected)\n", got)
 	fmt.Printf("brokers routed %d publishes, delivered %d (avg latency %s)\n",
 		totals.Publishes, totals.Deliveries, totals.AvgDeliveryLatency())
 }

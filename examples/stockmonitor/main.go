@@ -29,10 +29,12 @@ func main() {
 	if err := commuter.Connect("home"); err != nil {
 		panic(err)
 	}
-	commuter.Subscribe(rebeca.NewFilter(
+	// The subscription handle owns a bounded stream; 256 quotes of
+	// headroom is plenty for a 200-quote session.
+	quotesSub := commuter.Subscribe(rebeca.NewFilter(
 		rebeca.Eq("service", rebeca.String("stock")),
 		rebeca.Eq("symbol", rebeca.String("TUD")),
-	))
+	), rebeca.WithStreamBuffer(256))
 	sys.Settle()
 
 	// The ticker publishes a quote every millisecond of virtual time.
@@ -60,18 +62,20 @@ func main() {
 	sys.After(125*time.Millisecond, func() { _ = commuter.Connect("office") })
 	sys.Settle()
 
-	received := commuter.Received()
+	// Cancel closes the stream; the range loop drains every buffered
+	// quote and terminates.
+	quotesSub.Cancel()
+	seen := make(map[uint64]bool)
+	for d := range quotesSub.Events() {
+		seen[d.Note.ID.Seq] = true
+	}
 	fmt.Printf("quotes published: %d\n", quotes)
-	fmt.Printf("quotes received:  %d\n", len(received))
+	fmt.Printf("quotes received:  %d\n", len(seen))
 	fmt.Printf("duplicates:       %d\n", commuter.Duplicates())
 	fmt.Printf("fifo violations:  %d\n", commuter.FIFOViolations())
 
 	// Verify the stream is gap-free.
 	missing := 0
-	seen := make(map[uint64]bool)
-	for _, d := range received {
-		seen[d.Note.ID.Seq] = true
-	}
 	for s := uint64(1); s <= uint64(quotes); s++ {
 		if !seen[s] {
 			missing++

@@ -211,6 +211,10 @@ func (b *Broker) Ports() []message.NodeID {
 	return out
 }
 
+// portFilter selects the links whose matched subscription IDs MatchByLink
+// should collect: only local ports — peer forwards carry no identity.
+func (b *Broker) portFilter(link message.NodeID) bool { return b.ports[link] }
+
 // Send transmits to a direct neighbor or local port.
 func (b *Broker) Send(to message.NodeID, m proto.Message) { b.cfg.Send(to, m) }
 
@@ -256,6 +260,18 @@ func (b *Broker) dispatch(from message.NodeID, m proto.Message) {
 	switch m.Kind {
 	case proto.KPublish:
 		b.handlePublish(from, m)
+	case proto.KPublishBatch:
+		// Unpack a client's batch frame at the ingress border: each
+		// notification is routed exactly like an individual publish, so
+		// middleware and overlay semantics are identical — the batch only
+		// amortizes the client->border framing.
+		for i := range m.Notes {
+			one := m
+			one.Kind = proto.KPublish
+			one.Note = &m.Notes[i]
+			one.Notes = nil
+			b.handlePublish(from, one)
+		}
 	case proto.KSubscribe:
 		b.handleSubscribe(from, m)
 	case proto.KUnsubscribe:
@@ -283,7 +299,7 @@ func (b *Broker) dispatch(from message.NodeID, m proto.Message) {
 		// relocation tap forward) without a plugin claiming it: deliver
 		// if the client is here.
 		if m.Note != nil && b.ports[m.Client] {
-			b.DeliverLocal(m.Client, *m.Note)
+			b.DeliverMatched(m.Client, *m.Note, m.SubIDs)
 		}
 	default:
 		// Unknown control kinds without a plugin are dropped.
@@ -319,27 +335,23 @@ func (b *Broker) routePublish(from message.NodeID, m proto.Message, n message.No
 			b.stats.Forwarded++
 			b.Send(p, fw)
 		}
-		for _, e := range b.router.Table().MatchEntries(n) {
-			if e.Link != from && b.ports[e.Link] {
-				b.DeliverLocal(e.Link, n)
+		for _, lm := range b.router.Table().MatchByLink(n, from, b.portFilter) {
+			if b.ports[lm.Link] {
+				b.DeliverMatched(lm.Link, n, lm.Subs)
 			}
 		}
 		return
 	}
 
-	delivered := make(map[message.NodeID]bool)
-	for _, link := range b.router.Table().Match(n, from) {
+	for _, lm := range b.router.Table().MatchByLink(n, from, b.portFilter) {
 		switch {
-		case b.peers[link]:
+		case b.peers[lm.Link]:
 			fw := m
 			fw.Hops++
 			b.stats.Forwarded++
-			b.Send(link, fw)
-		case b.ports[link]:
-			if !delivered[link] {
-				delivered[link] = true
-				b.DeliverLocal(link, n)
-			}
+			b.Send(lm.Link, fw)
+		case b.ports[lm.Link]:
+			b.DeliverMatched(lm.Link, n, lm.Subs)
 		default:
 			// A stale entry for a detached port: skip.
 		}
@@ -348,13 +360,21 @@ func (b *Broker) routePublish(from message.NodeID, m proto.Message, n message.No
 
 // DeliverLocal hands a notification to a local port through the middleware
 // chain's OnDeliver hooks; any stage — the session-layer plugins' ghost
-// buffering, or user middleware — may consume it.
+// buffering, or user middleware — may consume it. The delivery carries no
+// subscription identity; the client resolves target streams by filter.
 func (b *Broker) DeliverLocal(port message.NodeID, n message.Notification) {
+	b.DeliverMatched(port, n, nil)
+}
+
+// DeliverMatched is DeliverLocal with the matched subscription identities:
+// the IDs travel on the KDeliver so the client routes the notification to
+// its per-subscription streams without re-matching.
+func (b *Broker) DeliverMatched(port message.NodeID, n message.Notification, subs []message.SubID) {
 	delivered := false
-	b.runDeliver(port, &n, func() {
+	b.runDeliver(port, &n, subs, func() {
 		delivered = true
 		b.stats.Delivered++
-		b.Send(port, proto.Message{Kind: proto.KDeliver, Client: port, Note: &n})
+		b.Send(port, proto.Message{Kind: proto.KDeliver, Client: port, Note: &n, SubIDs: subs})
 	})
 	if !delivered {
 		b.stats.Intercepted++

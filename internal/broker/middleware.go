@@ -22,7 +22,9 @@ import (
 //     Short-circuiting drops the publish at this broker (rate limiting).
 //   - OnDeliver wraps one local delivery to a client port, after the
 //     session layers (mobility manager, replicator) have had the chance to
-//     claim it. Short-circuiting suppresses the KDeliver send.
+//     claim it. subs names the subscriptions the notification matched at
+//     this broker (empty for session-layer replays, which are resolved
+//     client-side). Short-circuiting suppresses the KDeliver send.
 //   - OnSubscribe wraps the routing-table installation of a KSubscribe,
 //     whether it arrived from a local port or an overlay peer.
 //     Short-circuiting rejects the subscription at this broker.
@@ -45,8 +47,9 @@ import (
 type Middleware interface {
 	// OnPublish wraps routing of an incoming publish at this broker.
 	OnPublish(b *Broker, from message.NodeID, n *message.Notification, next func())
-	// OnDeliver wraps a local delivery to a client port.
-	OnDeliver(b *Broker, port message.NodeID, n *message.Notification, next func())
+	// OnDeliver wraps a local delivery to a client port. subs carries the
+	// matched subscription identities (may be empty).
+	OnDeliver(b *Broker, port message.NodeID, n *message.Notification, subs []message.SubID, next func())
 	// OnSubscribe wraps installation of a subscription at this broker.
 	OnSubscribe(b *Broker, from message.NodeID, sub *proto.Subscription, next func())
 }
@@ -80,7 +83,7 @@ func (PassMiddleware) OnPublish(_ *Broker, _ message.NodeID, _ *message.Notifica
 }
 
 // OnDeliver implements Middleware as a pass-through.
-func (PassMiddleware) OnDeliver(_ *Broker, _ message.NodeID, _ *message.Notification, next func()) {
+func (PassMiddleware) OnDeliver(_ *Broker, _ message.NodeID, _ *message.Notification, _ []message.SubID, next func()) {
 	next()
 }
 
@@ -104,7 +107,7 @@ func (s pluginStage) OnMessage(b *Broker, from message.NodeID, m proto.Message, 
 	next()
 }
 
-func (s pluginStage) OnDeliver(b *Broker, port message.NodeID, n *message.Notification, next func()) {
+func (s pluginStage) OnDeliver(b *Broker, port message.NodeID, n *message.Notification, _ []message.SubID, next func()) {
 	if s.p.OnDeliver(port, *n) {
 		return
 	}
@@ -156,14 +159,14 @@ func (b *Broker) runPublish(from message.NodeID, n *message.Notification, final 
 }
 
 // runDeliver threads a local delivery through every stage's OnDeliver hook.
-func (b *Broker) runDeliver(port message.NodeID, n *message.Notification, final func()) {
+func (b *Broker) runDeliver(port message.NodeID, n *message.Notification, subs []message.SubID, final func()) {
 	var run func(i int)
 	run = func(i int) {
 		if i >= len(b.chain) {
 			final()
 			return
 		}
-		b.chain[i].OnDeliver(b, port, n, nextOnce(func() { run(i + 1) }))
+		b.chain[i].OnDeliver(b, port, n, subs, nextOnce(func() { run(i + 1) }))
 	}
 	run(0)
 }

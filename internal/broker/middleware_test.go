@@ -33,7 +33,7 @@ func (s *recStage) OnPublish(_ *Broker, _ message.NodeID, _ *message.Notificatio
 	s.hook("publish", next)
 }
 
-func (s *recStage) OnDeliver(_ *Broker, _ message.NodeID, _ *message.Notification, next func()) {
+func (s *recStage) OnDeliver(_ *Broker, _ message.NodeID, _ *message.Notification, _ []message.SubID, next func()) {
 	s.hook("deliver", next)
 }
 

@@ -15,11 +15,182 @@ import (
 	"rebeca/internal/proto"
 )
 
-// Delivery records one received notification with its arrival time.
+// Delivery records one received notification with its arrival time and
+// the subscription identities it matched at the border broker (empty for
+// session-layer replays, which are resolved client-side by filter).
 type Delivery struct {
 	Note message.Notification
 	At   time.Time
+	Subs []message.SubID
 }
+
+// DeliveryLog is a bounded ring of deliveries — the capped backing store
+// behind Received. Capacity 0 means unbounded (plain append); capacity
+// < 0 disables recording entirely. The zero value is an unbounded log.
+// Not safe for concurrent use; callers serialize (the TCP port wraps it
+// in its own lock).
+type DeliveryLog struct {
+	cap   int
+	buf   []Delivery
+	start int // ring head when len(buf) == cap
+	total uint64
+}
+
+// SetCap bounds the log (n > 0: ring of n, 0: unbounded, < 0: disabled).
+// Resizing an already-populated log resets it.
+func (l *DeliveryLog) SetCap(n int) {
+	if n != l.cap {
+		l.buf, l.start = nil, 0
+	}
+	l.cap = n
+}
+
+// Add records one delivery. Total counts it even when retention is
+// disabled (Live's settle heuristic watches the count).
+func (l *DeliveryLog) Add(d Delivery) {
+	l.total++
+	switch {
+	case l.cap < 0:
+	case l.cap == 0:
+		l.buf = append(l.buf, d)
+	case len(l.buf) < l.cap:
+		l.buf = append(l.buf, d)
+	default:
+		l.buf[l.start] = d
+		l.start = (l.start + 1) % l.cap
+	}
+}
+
+// Snapshot returns the retained deliveries in arrival order.
+func (l *DeliveryLog) Snapshot() []Delivery {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	out := make([]Delivery, 0, len(l.buf))
+	out = append(out, l.buf[l.start:]...)
+	out = append(out, l.buf[:l.start]...)
+	return out
+}
+
+// Total counts every recorded delivery, independent of retention.
+func (l *DeliveryLog) Total() uint64 { return l.total }
+
+// DefaultDedupWindow is the per-publisher sliding window of sequence
+// numbers a DedupSet retains once a publisher outgrows exact tracking.
+const DefaultDedupWindow = 65536
+
+// DedupSet tracks seen notification IDs in bounded memory. Per publisher
+// it is exact — identical to an unbounded seen-map — until that publisher
+// has delivered more than `window` distinct notifications; only then are
+// the oldest entries pruned, and anything at or below the pruned floor is
+// conservatively reported as already seen. The suppression error is thus
+// confined to redeliveries lagging more than `window` behind a publisher
+// that already overflowed the window — with the default of 64k per-pub
+// entries, far beyond what the mobility layers' replay buffers hold in
+// any configured deployment. Not safe for concurrent use.
+type DedupSet struct {
+	window uint64
+	byPub  map[message.NodeID]*pubSeen
+}
+
+type pubSeen struct {
+	max   uint64
+	floor uint64 // highest pruned seq; 0 = nothing pruned yet (exact)
+	seqs  map[uint64]bool
+}
+
+// NewDedupSet builds a set retaining `window` recent sequence numbers per
+// publisher (0 = DefaultDedupWindow).
+func NewDedupSet(window uint64) *DedupSet {
+	if window == 0 {
+		window = DefaultDedupWindow
+	}
+	return &DedupSet{window: window, byPub: make(map[message.NodeID]*pubSeen)}
+}
+
+// Seen records the ID and reports whether it was already seen (or has
+// been pruned, which counts as seen).
+func (s *DedupSet) Seen(id message.NotificationID) bool {
+	w := s.byPub[id.Publisher]
+	if w == nil {
+		w = &pubSeen{seqs: make(map[uint64]bool)}
+		s.byPub[id.Publisher] = w
+	}
+	if id.Seq <= w.floor {
+		return true // at or below the pruned floor: treat as duplicate
+	}
+	if w.seqs[id.Seq] {
+		return true
+	}
+	w.seqs[id.Seq] = true
+	if id.Seq > w.max {
+		w.max = id.Seq
+	}
+	// Prune only on overflow, so tracking stays exact for any publisher
+	// within the window. The scan is amortized: it runs at most once per
+	// window's worth of fresh records.
+	if uint64(len(w.seqs)) > s.window {
+		floor := uint64(0)
+		if w.max > s.window {
+			floor = w.max - s.window
+		}
+		if floor > w.floor {
+			w.floor = floor
+		}
+		for seq := range w.seqs {
+			if seq <= w.floor {
+				delete(w.seqs, seq)
+			}
+		}
+	}
+	return false
+}
+
+// Tally is the per-port delivery accounting shared by the in-process
+// client and the TCP port: dedup by notification ID, incremental
+// per-publisher FIFO-violation counting, and the bounded delivery log.
+// Not safe for concurrent use; callers serialize.
+type Tally struct {
+	Log      DeliveryLog
+	seen     *DedupSet
+	dups     int
+	lastSeq  map[message.NodeID]uint64
+	fifoViol int
+}
+
+// NewTally builds an empty accounting state.
+func NewTally() *Tally {
+	return &Tally{
+		seen:    NewDedupSet(0),
+		lastSeq: make(map[message.NodeID]uint64),
+	}
+}
+
+// Record accounts one incoming delivery and reports whether it is fresh
+// (false = suppressed duplicate). Fresh deliveries are appended to the
+// log.
+func (t *Tally) Record(d Delivery) bool {
+	id := d.Note.ID
+	if !id.IsZero() {
+		if t.seen.Seen(id) {
+			t.dups++
+			return false
+		}
+		if id.Seq < t.lastSeq[id.Publisher] {
+			t.fifoViol++
+		} else {
+			t.lastSeq[id.Publisher] = id.Seq
+		}
+	}
+	t.Log.Add(d)
+	return true
+}
+
+// Duplicates returns the number of suppressed duplicate deliveries.
+func (t *Tally) Duplicates() int { return t.dups }
+
+// FIFOViolations returns the per-publisher sequence inversions observed.
+func (t *Tally) FIFOViolations() int { return t.fifoViol }
 
 // Client is a (possibly mobile) pub/sub client. Not safe for concurrent
 // use; drive it from the simulator loop or a single goroutine.
@@ -37,12 +208,14 @@ type Client struct {
 	pubSeq    uint64
 	epoch     uint64
 
-	received []Delivery
-	seen     map[message.NotificationID]bool
-	dups     int
+	tally *Tally
 
 	// OnNotify, when set, observes every fresh delivery.
 	OnNotify func(n message.Notification)
+	// OnDeliver, when set, observes every fresh delivery together with the
+	// matched subscription identities — the hook the deployment facade's
+	// per-subscription streams are fed from. Runs before OnNotify.
+	OnDeliver func(d Delivery)
 }
 
 // New builds a client. send transmits to the named node (the border broker
@@ -52,12 +225,18 @@ func New(id message.NodeID, send func(to message.NodeID, m proto.Message), now f
 		now = time.Now
 	}
 	return &Client{
-		id:   id,
-		send: send,
-		now:  now,
-		seen: make(map[message.NotificationID]bool),
+		id:    id,
+		send:  send,
+		now:   now,
+		tally: NewTally(),
 	}
 }
+
+// SetDeliveryLog bounds the client's delivery log: n > 0 retains the last
+// n deliveries in a ring, n == 0 retains everything (the default), n < 0
+// disables recording (Received returns nil; dedup and FIFO accounting are
+// unaffected).
+func (c *Client) SetDeliveryLog(n int) { c.tally.Log.SetCap(n) }
 
 // ID returns the client's node ID.
 func (c *Client) ID() message.NodeID { return c.id }
@@ -176,6 +355,32 @@ func (c *Client) Publish(attrs map[string]message.Value) (message.NotificationID
 	return n.ID, true
 }
 
+// PublishBatch emits several notifications in one wire message
+// (KPublishBatch): the border broker unpacks and routes each exactly like
+// an individual publish, so only the client->border framing is amortized.
+// Returns the assigned IDs, in order. Requires a connection.
+func (c *Client) PublishBatch(batch []map[string]message.Value) ([]message.NotificationID, bool) {
+	if !c.connected {
+		return nil, false
+	}
+	if len(batch) == 0 {
+		return nil, true
+	}
+	notes := make([]message.Notification, len(batch))
+	ids := make([]message.NotificationID, len(batch))
+	now := c.now()
+	for i, attrs := range batch {
+		c.pubSeq++
+		n := message.NewNotification(attrs)
+		n.ID = message.NotificationID{Publisher: c.id, Seq: c.pubSeq}
+		n.Published = now
+		notes[i] = n
+		ids[i] = n.ID
+	}
+	c.send(c.border, proto.Message{Kind: proto.KPublishBatch, Client: c.id, Notes: notes})
+	return ids, true
+}
+
 // Receive is the client's network endpoint: it accepts KDeliver messages,
 // deduplicates them by notification ID and records fresh ones.
 func (c *Client) Receive(_ message.NodeID, m proto.Message) {
@@ -183,51 +388,42 @@ func (c *Client) Receive(_ message.NodeID, m proto.Message) {
 		return
 	}
 	n := *m.Note
-	if !n.ID.IsZero() {
-		if c.seen[n.ID] {
-			c.dups++
-			return
-		}
-		c.seen[n.ID] = true
+	d := Delivery{Note: n, At: c.now(), Subs: m.SubIDs}
+	if !c.tally.Record(d) {
+		return
 	}
-	c.received = append(c.received, Delivery{Note: n, At: c.now()})
+	if c.OnDeliver != nil {
+		c.OnDeliver(d)
+	}
 	if c.OnNotify != nil {
 		c.OnNotify(n)
 	}
 }
 
-// Received returns all recorded deliveries in arrival order.
+// Received returns the retained deliveries in arrival order: everything
+// when the log is unbounded (the default), the last n under
+// SetDeliveryLog(n), nil when disabled.
 func (c *Client) Received() []Delivery {
-	return append([]Delivery(nil), c.received...)
+	return c.tally.Log.Snapshot()
 }
 
-// ReceivedNotes returns just the notifications, in arrival order.
+// ReceivedNotes returns just the retained notifications, in arrival order.
 func (c *Client) ReceivedNotes() []message.Notification {
-	out := make([]message.Notification, len(c.received))
-	for i, d := range c.received {
+	ds := c.tally.Log.Snapshot()
+	out := make([]message.Notification, len(ds))
+	for i, d := range ds {
 		out[i] = d.Note
 	}
 	return out
 }
 
+// Delivered returns the total number of fresh deliveries, independent of
+// how many the bounded log retains.
+func (c *Client) Delivered() uint64 { return c.tally.Log.Total() }
+
 // Duplicates returns the number of duplicate deliveries suppressed.
-func (c *Client) Duplicates() int { return c.dups }
+func (c *Client) Duplicates() int { return c.tally.Duplicates() }
 
 // FIFOViolations counts per-publisher sequence inversions in the delivery
 // order — zero under the transparent relocation protocol.
-func (c *Client) FIFOViolations() int {
-	last := make(map[message.NodeID]uint64)
-	v := 0
-	for _, d := range c.received {
-		id := d.Note.ID
-		if id.IsZero() {
-			continue
-		}
-		if id.Seq < last[id.Publisher] {
-			v++
-		} else {
-			last[id.Publisher] = id.Seq
-		}
-	}
-	return v
-}
+func (c *Client) FIFOViolations() int { return c.tally.FIFOViolations() }

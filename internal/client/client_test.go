@@ -210,3 +210,117 @@ func TestClientBorderReporting(t *testing.T) {
 	}
 	c.Disconnect() // idempotent
 }
+
+func TestClientBoundedDeliveryLog(t *testing.T) {
+	c, _ := newTestClient("alice")
+	c.SetDeliveryLog(3)
+	for seq := uint64(1); seq <= 7; seq++ {
+		deliver(c, "p", seq)
+	}
+	got := c.Received()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	for i, want := range []uint64{5, 6, 7} {
+		if got[i].Note.ID.Seq != want {
+			t.Errorf("retained[%d].Seq = %d, want %d", i, got[i].Note.ID.Seq, want)
+		}
+	}
+	if c.Delivered() != 7 {
+		t.Errorf("delivered total = %d, want 7", c.Delivered())
+	}
+	// FIFO accounting is incremental: an inversion involving deliveries
+	// the ring no longer retains is still counted.
+	deliver(c, "p", 9)
+	deliver(c, "p", 8)
+	if c.FIFOViolations() != 1 {
+		t.Errorf("violations = %d, want 1", c.FIFOViolations())
+	}
+
+	c2, _ := newTestClient("bob")
+	c2.SetDeliveryLog(-1)
+	deliver(c2, "p", 1)
+	if c2.Received() != nil {
+		t.Error("disabled log should retain nothing")
+	}
+	if c2.Delivered() != 1 {
+		t.Error("disabled log should still count deliveries")
+	}
+}
+
+func TestClientPublishBatch(t *testing.T) {
+	c, log := newTestClient("alice")
+	if _, ok := c.PublishBatch([]map[string]message.Value{{"k": message.Int(1)}}); ok {
+		t.Fatal("batch while disconnected should fail")
+	}
+	c.ConnectTo("B1")
+	*log = nil
+	ids, ok := c.PublishBatch([]map[string]message.Value{
+		{"k": message.Int(1)},
+		{"k": message.Int(2)},
+		{"k": message.Int(3)},
+	})
+	if !ok || len(ids) != 3 {
+		t.Fatalf("batch publish: ok=%v ids=%v", ok, ids)
+	}
+	if len(*log) != 1 {
+		t.Fatalf("batch framed %d wire messages, want 1", len(*log))
+	}
+	m := (*log)[0].m
+	if m.Kind != proto.KPublishBatch || len(m.Notes) != 3 {
+		t.Fatalf("frame = %v with %d notes, want publish-batch with 3", m.Kind, len(m.Notes))
+	}
+	for i, n := range m.Notes {
+		if n.ID != ids[i] || n.ID.Seq != uint64(i+1) {
+			t.Errorf("note %d has ID %v, want %v", i, n.ID, ids[i])
+		}
+	}
+}
+
+func TestClientOnDeliverHookSeesSubIDs(t *testing.T) {
+	c, _ := newTestClient("alice")
+	var got [][]message.SubID
+	c.OnDeliver = func(d Delivery) { got = append(got, d.Subs) }
+	n := message.Notification{ID: message.NotificationID{Publisher: "p", Seq: 1}}
+	c.Receive("B1", proto.Message{
+		Kind: proto.KDeliver, Note: &n, SubIDs: []message.SubID{"alice/s1"},
+	})
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != "alice/s1" {
+		t.Errorf("hook saw %v, want [[alice/s1]]", got)
+	}
+}
+
+func TestDedupSetWindow(t *testing.T) {
+	s := NewDedupSet(4)
+	id := func(seq uint64) message.NotificationID {
+		return message.NotificationID{Publisher: "p", Seq: seq}
+	}
+	if s.Seen(id(10)) {
+		t.Error("fresh seq reported seen")
+	}
+	if !s.Seen(id(10)) {
+		t.Error("repeat not reported seen")
+	}
+	// Exact until overflow: an old seq far below the newest is still
+	// fresh while the publisher has fewer than `window` entries.
+	if s.Seen(id(1)) {
+		t.Error("below-window seq reported seen before any pruning")
+	}
+	if s.Seen(id(8)) || s.Seen(id(9)) || s.Seen(id(20)) {
+		t.Error("fresh seqs reported seen")
+	}
+	// Six entries recorded with window 4: pruning has run, floor = 20-4.
+	if !s.Seen(id(16)) {
+		t.Error("seq at pruned floor should count as seen")
+	}
+	if !s.Seen(id(10)) {
+		t.Error("pruned seq should count as seen")
+	}
+	if s.Seen(id(17)) {
+		t.Error("fresh in-window seq reported seen after pruning")
+	}
+	// Other publishers are independent.
+	if s.Seen(message.NotificationID{Publisher: "q", Seq: 1}) {
+		t.Error("publisher windows must be independent")
+	}
+}

@@ -134,6 +134,23 @@ func (f Filter) LocationDependent() bool {
 	return false
 }
 
+// MatchesIgnoringMarkers evaluates the filter with unresolved myloc and
+// context markers treated as satisfied. Clients use it to route a
+// delivery lacking subscription identity (a session-layer replay) to the
+// local streams it plausibly belongs to: the border broker already
+// resolved and matched the markers before delivering.
+func (f Filter) MatchesIgnoringMarkers(n message.Notification) bool {
+	for _, c := range f.cs {
+		if c.Op == OpMyloc || c.Op == OpContext {
+			continue
+		}
+		if !c.Matches(n) {
+			return false
+		}
+	}
+	return true
+}
+
 // ResolveMyloc substitutes every myloc marker with a concrete membership
 // constraint over the given location scope. A replica at broker b resolves
 // against b's own scope — which is exactly why buffering virtual clients

@@ -26,6 +26,12 @@ const (
 
 	// KPublish carries a notification through the broker overlay.
 	KPublish
+	// KPublishBatch frames several publishes from one client in a single
+	// wire message (Notes). The border broker unpacks the batch and routes
+	// each notification exactly as an individual KPublish, so middleware
+	// and routing semantics are unchanged — only the client->border framing
+	// is amortized.
+	KPublishBatch
 	// KSubscribe installs a subscription; forwarded per routing strategy.
 	KSubscribe
 	// KUnsubscribe removes a subscription.
@@ -44,8 +50,14 @@ const (
 	KConnect
 	// KDisconnect announces that the client's wireless link dropped.
 	KDisconnect
-	// KDeliver hands a matching notification to a client.
+	// KDeliver hands a matching notification to a client. SubIDs, when
+	// set, names the client subscriptions the notification matched at the
+	// border broker (per-subscription stream routing client-side).
 	KDeliver
+	// KCredit grants the border broker delivery credits for this client
+	// link (credit-based flow control). It travels client -> border only
+	// and is consumed by the transport, never by the broker state machine.
+	KCredit
 
 	// --- physical mobility relocation (unicast broker-to-broker, [8]) ---
 
@@ -92,6 +104,8 @@ const (
 
 var kindNames = map[Kind]string{
 	KPublish:          "publish",
+	KPublishBatch:     "publish-batch",
+	KCredit:           "credit",
 	KSubscribe:        "subscribe",
 	KUnsubscribe:      "unsubscribe",
 	KAdvertise:        "advertise",
@@ -126,7 +140,7 @@ func (k Kind) String() string {
 // split for overhead accounting.
 func (k Kind) Control() bool {
 	switch k {
-	case KPublish, KSubscribe, KUnsubscribe, KDeliver, KAdvertise, KUnadvertise:
+	case KPublish, KPublishBatch, KSubscribe, KUnsubscribe, KDeliver, KAdvertise, KUnadvertise:
 		return false
 	default:
 		return true
@@ -163,9 +177,18 @@ type Message struct {
 
 	// Note carries a single notification (KPublish, KDeliver).
 	Note *message.Notification
-	// Notes carries a notification batch (KRelocProfile, KRelocTail,
-	// KBufferFetchReply).
+	// Notes carries a notification batch (KPublishBatch, KRelocProfile,
+	// KRelocTail, KBufferFetchReply).
 	Notes []message.Notification
+	// SubIDs names the subscriptions a KDeliver matched at the border
+	// broker. Empty on deliveries emitted by the session layers (ghost
+	// replay, relocation taps); clients then resolve the target streams
+	// by filter.
+	SubIDs []message.SubID
+	// Credits is the number of delivery credits granted by a KCredit, and
+	// the initial delivery window announced by a KConnect (0 = the link is
+	// not flow controlled).
+	Credits int
 	// Sub carries one subscription (KSubscribe, KUnsubscribe, KReplicaSub,
 	// KReplicaUnsub).
 	Sub *Subscription
@@ -230,6 +253,9 @@ func (m Message) WireSize() int {
 		size += subSize(s)
 	}
 	size += len(m.Watermarks) * 16
+	for _, id := range m.SubIDs {
+		size += len(id)
+	}
 	return size
 }
 

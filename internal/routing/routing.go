@@ -177,6 +177,45 @@ func (t *Table) Match(n message.Notification, from message.NodeID) []message.Nod
 	return out
 }
 
+// LinkMatch groups the matching subscription IDs behind one link: the
+// notification is transmitted once per link, and the IDs travel with the
+// delivery so clients can route it to the right per-subscription streams.
+type LinkMatch struct {
+	Link message.NodeID
+	Subs []message.SubID
+}
+
+// MatchByLink returns one LinkMatch per matching link, excluding the link
+// the notification arrived from, with the matching subscription IDs
+// collected per link. needSubs, when non-nil, limits the ID collection to
+// the links it selects (brokers pass their local-port predicate: peer
+// forwards carry no subscription identity, so collecting their IDs on the
+// hot publish path would be wasted allocation). Links are sorted; IDs
+// keep table insertion order.
+func (t *Table) MatchByLink(n message.Notification, from message.NodeID, needSubs func(message.NodeID) bool) []LinkMatch {
+	byLink := make(map[message.NodeID]int)
+	var out []LinkMatch
+	add := func(e Entry) {
+		if e.Link == from {
+			return
+		}
+		i, ok := byLink[e.Link]
+		if !ok {
+			i = len(out)
+			byLink[e.Link] = i
+			out = append(out, LinkMatch{Link: e.Link})
+		}
+		if needSubs == nil || needSubs(e.Link) {
+			out[i].Subs = append(out[i].Subs, e.Sub.ID)
+		}
+	}
+	for _, e := range t.MatchEntries(n) {
+		add(e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}
+
 // MatchEntries returns every entry whose filter matches, regardless of
 // link — used by border brokers to fan out to local clients per
 // subscription.

@@ -391,3 +391,28 @@ func TestIndexedTableEquivalence(t *testing.T) {
 		}
 	}
 }
+
+func TestTableMatchByLink(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		tb := NewTable()
+		if indexed {
+			tb = NewIndexedTable()
+		}
+		tb.Add(sub("s1", filter.New(filter.Eq("a", message.Int(1)))), "L1")
+		tb.Add(sub("s2", filter.New(filter.Exists("a"))), "L1")
+		tb.Add(sub("s3", filter.New(filter.Exists("a"))), "L2")
+		tb.Add(sub("s4", filter.New(filter.Eq("a", message.Int(9)))), "L2")
+		tb.Add(sub("s5", filter.New(filter.Exists("a"))), "origin")
+
+		lms := tb.MatchByLink(note("a", 1), "origin", nil)
+		if len(lms) != 2 {
+			t.Fatalf("indexed=%v: %d links, want 2 (origin excluded): %v", indexed, len(lms), lms)
+		}
+		if lms[0].Link != "L1" || len(lms[0].Subs) != 2 {
+			t.Errorf("indexed=%v: L1 match = %v, want s1+s2", indexed, lms[0])
+		}
+		if lms[1].Link != "L2" || len(lms[1].Subs) != 1 || lms[1].Subs[0] != "s3" {
+			t.Errorf("indexed=%v: L2 match = %v, want [s3]", indexed, lms[1])
+		}
+	}
+}

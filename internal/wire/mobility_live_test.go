@@ -82,7 +82,7 @@ type liveClient struct {
 
 func newLiveClient(id message.NodeID) *liveClient {
 	lc := &liveClient{id: id, got: make(map[message.NotificationID]bool)}
-	lc.rc = NewRemoteClient(id, func(n message.Notification) {
+	lc.rc = NewRemoteClient(id, func(n message.Notification, _ []message.SubID) {
 		lc.mu.Lock()
 		defer lc.mu.Unlock()
 		if lc.got[n.ID] {

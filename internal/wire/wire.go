@@ -39,12 +39,77 @@ type inboxMsg struct {
 	m    proto.Message
 }
 
+// flowState is the broker-side half of the credit-based delivery flow
+// control on a client link: the client's KConnect announces a delivery
+// window, every KDeliver consumes one credit, and the client grants
+// credits back (KCredit) as its application consumes the deliveries. At
+// zero credits the sender blocks — on a live node that is the broker's
+// event loop, so a stalled consumer exerts backpressure through the
+// overlay's TCP links all the way to the publisher.
+type flowState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	enabled bool
+	credits int
+	closed  bool
+}
+
+func newFlowState() *flowState {
+	f := &flowState{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// enable arms the window. Called from the link's read pump when a KConnect
+// announces a credit window.
+func (f *flowState) enable(window int) {
+	f.mu.Lock()
+	f.enabled = true
+	f.credits = window
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// grant adds credits (KCredit from the client).
+func (f *flowState) grant(n int) {
+	f.mu.Lock()
+	f.credits += n
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// acquire takes one delivery credit, blocking while the window is empty.
+// It returns false when the link closed instead.
+func (f *flowState) acquire() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.enabled && f.credits <= 0 && !f.closed {
+		f.cond.Wait()
+	}
+	if f.closed {
+		return false
+	}
+	if f.enabled {
+		f.credits--
+	}
+	return true
+}
+
+// close releases all waiters (link teardown).
+func (f *flowState) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
 // Conn is one established, identified link.
 type Conn struct {
 	peer message.NodeID
 	c    net.Conn
 	enc  *gob.Encoder
 	mu   sync.Mutex
+	fc   *flowState
 }
 
 // Peer returns the remote node's announced ID.
@@ -57,8 +122,11 @@ func (c *Conn) Send(m proto.Message) error {
 	return c.enc.Encode(envelope{M: m})
 }
 
-// Close tears the link down.
-func (c *Conn) Close() error { return c.c.Close() }
+// Close tears the link down, releasing any sender blocked on credits.
+func (c *Conn) Close() error {
+	c.fc.close()
+	return c.c.Close()
+}
 
 // NodeConfig assembles a live broker node.
 type NodeConfig struct {
@@ -204,6 +272,7 @@ func (n *Node) register(conn *Conn) {
 
 func (n *Node) readLoop(conn *Conn) {
 	defer n.wg.Done()
+	defer conn.fc.close()
 	dec := gob.NewDecoder(conn.c)
 	for {
 		var env envelope
@@ -213,6 +282,19 @@ func (n *Node) readLoop(conn *Conn) {
 				// with absence via KDisconnect from clients.
 			}
 			return
+		}
+		// Flow control is transport-level: credits are consumed here, on
+		// the link's own read pump, never via the inbox — a KCredit must
+		// be able to unblock an event loop that is itself waiting on this
+		// very link's window.
+		switch {
+		case env.M.Kind == proto.KCredit:
+			conn.fc.grant(env.M.Credits)
+			continue
+		case env.M.Kind == proto.KConnect && env.M.Credits > 0:
+			// Only clients send KConnect, so this link is a client link;
+			// arm its delivery window before the broker sees the connect.
+			conn.fc.enable(env.M.Credits)
 		}
 		select {
 		case n.inbox <- inboxMsg{from: conn.peer, m: env.M}:
@@ -252,12 +334,18 @@ func (n *Node) Inspect(fn func(b *broker.Broker)) {
 }
 
 // send implements the broker's Send: look up the link and encode.
+// Deliveries on a flow-controlled client link first take a credit, which
+// blocks the event loop while the client's window is exhausted — the
+// backpressure path of the Block overflow policy.
 func (n *Node) send(to message.NodeID, m proto.Message) {
 	n.mu.Lock()
 	conn, ok := n.conns[to]
 	n.mu.Unlock()
 	if !ok {
 		return // neighbor not (yet) linked; drop like a down link
+	}
+	if m.Kind == proto.KDeliver && !conn.fc.acquire() {
+		return // link closed while waiting for credits
 	}
 	_ = conn.Send(m)
 }
@@ -279,7 +367,7 @@ func DialLink(self message.NodeID, addr string) (*Conn, error) {
 		_ = c.Close()
 		return nil, fmt.Errorf("wire: handshake recv: %w", err)
 	}
-	return &Conn{peer: h.ID, c: c, enc: enc}, nil
+	return &Conn{peer: h.ID, c: c, enc: enc, fc: newFlowState()}, nil
 }
 
 // acceptLink performs the passive side of the handshake.
@@ -292,24 +380,50 @@ func acceptLink(self message.NodeID, c net.Conn) (*Conn, error) {
 	if err := enc.Encode(hello{ID: self}); err != nil {
 		return nil, fmt.Errorf("wire: handshake send: %w", err)
 	}
-	return &Conn{peer: h.ID, c: c, enc: enc}, nil
+	return &Conn{peer: h.ID, c: c, enc: enc, fc: newFlowState()}, nil
 }
+
+// DefaultWindow is the delivery window a RemoteClient announces when none
+// is configured: the border broker keeps at most this many deliveries in
+// flight ahead of the application's consumption.
+const DefaultWindow = 64
 
 // RemoteClient runs a client library over a TCP link to a border broker —
 // the "local broker … loaded into the clients" of §2, wire edition.
+// Deliveries are credit flow controlled: the Connect announces a window,
+// and the pump grants one credit back per delivery the onDeliver callback
+// has fully consumed — a callback that blocks (a full Block-policy stream)
+// therefore stalls the broker's deliveries to this client after at most
+// Window in-flight notifications.
 type RemoteClient struct {
 	ID message.NodeID
+	// Window is the delivery credit window announced on Connect
+	// (0 = DefaultWindow, negative = disable flow control).
+	Window int
 
-	mu     sync.Mutex
-	conn   *Conn
-	notify func(n message.Notification)
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	conn      *Conn
+	onDeliver func(n message.Notification, subs []message.SubID)
+	wg        sync.WaitGroup
 }
 
-// NewRemoteClient creates a client host. onNotify observes deliveries (may
-// be nil).
-func NewRemoteClient(id message.NodeID, onNotify func(message.Notification)) *RemoteClient {
-	return &RemoteClient{ID: id, notify: onNotify}
+// NewRemoteClient creates a client host. onDeliver observes deliveries
+// together with the subscription identities matched at the border (may be
+// nil). Credit flow control grants the next delivery only after onDeliver
+// returns.
+func NewRemoteClient(id message.NodeID, onDeliver func(n message.Notification, subs []message.SubID)) *RemoteClient {
+	return &RemoteClient{ID: id, onDeliver: onDeliver}
+}
+
+func (r *RemoteClient) window() int {
+	switch {
+	case r.Window < 0:
+		return 0
+	case r.Window == 0:
+		return DefaultWindow
+	default:
+		return r.Window
+	}
 }
 
 // Connect dials a border broker and starts the delivery pump. epoch is the
@@ -327,19 +441,41 @@ func (r *RemoteClient) Connect(addr string, prev message.NodeID, profile []proto
 	go r.pump(conn)
 	return conn.Send(proto.Message{
 		Kind: proto.KConnect, Client: r.ID, Origin: prev, Subs: profile, Epoch: epoch,
+		Credits: r.window(),
 	})
 }
 
 func (r *RemoteClient) pump(conn *Conn) {
 	defer r.wg.Done()
+	window := r.window()
+	// Credits are granted in chunks of half the window rather than one
+	// per delivery: the broker never fully drains its window before the
+	// first grant arrives, and the credit traffic is window/2-fold
+	// cheaper than per-delivery acks.
+	grantAt := window / 2
+	if grantAt < 1 {
+		grantAt = 1
+	}
+	consumed := 0
 	dec := gob.NewDecoder(conn.c)
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
-		if env.M.Kind == proto.KDeliver && env.M.Note != nil && r.notify != nil {
-			r.notify(*env.M.Note)
+		if env.M.Kind != proto.KDeliver || env.M.Note == nil {
+			continue
+		}
+		if r.onDeliver != nil {
+			r.onDeliver(*env.M.Note, env.M.SubIDs)
+		}
+		if window > 0 {
+			// The delivery has been consumed (or buffered) end to end;
+			// hand the broker its credits back.
+			if consumed++; consumed >= grantAt {
+				_ = conn.Send(proto.Message{Kind: proto.KCredit, Client: r.ID, Credits: consumed})
+				consumed = 0
+			}
 		}
 	}
 }

@@ -63,7 +63,7 @@ func TestLiveEndToEndPubSub(t *testing.T) {
 
 	var mu sync.Mutex
 	var got []message.Notification
-	sub := NewRemoteClient("sub", func(n message.Notification) {
+	sub := NewRemoteClient("sub", func(n message.Notification, _ []message.SubID) {
 		mu.Lock()
 		got = append(got, n)
 		mu.Unlock()

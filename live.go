@@ -1,6 +1,7 @@
 package rebeca
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"rebeca/internal/broker"
 	"rebeca/internal/buffer"
+	"rebeca/internal/client"
 	"rebeca/internal/core"
 	"rebeca/internal/message"
 	"rebeca/internal/mobility"
@@ -118,8 +120,15 @@ func NewLive(opts ...Option) (*Live, error) {
 
 // NewClient creates a client endpoint, not yet connected.
 func (l *Live) NewClient(id NodeID) Port {
-	p := &livePort{l: l, id: id, seen: make(map[NotificationID]bool)}
+	p := &livePort{
+		l:       l,
+		id:      id,
+		tally:   client.NewTally(),
+		streams: newStreamSet(),
+	}
+	p.tally.Log.SetCap(l.cfg.logCap())
 	p.rc = wire.NewRemoteClient(id, p.deliver)
+	p.rc.Window = l.cfg.window
 	l.mu.Lock()
 	l.ports = append(l.ports, p)
 	l.mu.Unlock()
@@ -186,6 +195,8 @@ func (l *Live) Close() error {
 	l.mu.Unlock()
 	for _, p := range ports {
 		_ = p.Disconnect()
+		// Close every stream so range loops over Events() terminate.
+		p.streams.closeAll()
 	}
 	var first error
 	for i := len(l.ids) - 1; i >= 0; i-- {
@@ -200,52 +211,51 @@ func (l *Live) Close() error {
 
 // livePort adapts a TCP remote client to the Port interface, adding the
 // client-library bookkeeping the simulator's client does in-process:
-// roaming profile, connect epochs, dedup by notification ID.
+// roaming profile, connect epochs, dedup by notification ID, and the
+// per-subscription stream dispatch.
 type livePort struct {
 	l  *Live
 	id NodeID
 	rc *wire.RemoteClient
 
-	mu        sync.Mutex
-	connected bool
-	border    NodeID
-	prev      NodeID
-	epoch     uint64
-	profile   []proto.Subscription
-	nextSub   int
-	pubSeq    uint64
-	received  []Delivery
-	seen      map[NotificationID]bool
-	dups      int
-	notify    func(n Notification)
+	mu         sync.Mutex
+	connected  bool
+	border     NodeID
+	prev       NodeID
+	epoch      uint64
+	profile    []proto.Subscription
+	nextSub    int
+	pubSeq     uint64
+	tally      *client.Tally
+	stop       chan struct{} // closed on disconnect; aborts Block pushes
+	stopClosed bool
+
+	streams *streamSet
 }
 
 var _ Port = (*livePort)(nil)
 
-// deliver is the RemoteClient's notification callback (pump goroutine).
-func (p *livePort) deliver(n Notification) {
+// deliver is the RemoteClient's delivery callback (pump goroutine). The
+// stream pushes run outside the port lock: a Block-policy stream may hold
+// the pump — and with it the broker's credit window — for as long as the
+// consumer lags, without wedging the port's accessors.
+func (p *livePort) deliver(n Notification, subs []SubID) {
+	d := Delivery{Note: n, At: time.Now(), Subs: subs}
 	p.mu.Lock()
-	if !n.ID.IsZero() {
-		if p.seen[n.ID] {
-			p.dups++
-			p.mu.Unlock()
-			return
-		}
-		p.seen[n.ID] = true
+	if !p.tally.Record(d) {
+		p.mu.Unlock()
+		return
 	}
-	p.received = append(p.received, Delivery{Note: n, At: time.Now()})
-	fn := p.notify
+	abort := p.stop
 	p.mu.Unlock()
-	if fn != nil {
-		fn(n)
-	}
+	p.streams.dispatch(d, abort)
 }
 
 // activity feeds Live's settle fingerprint.
 func (p *livePort) activity() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.received) + p.dups + int(p.epoch) + len(p.profile)
+	return int(p.tally.Log.Total()) + p.tally.Duplicates() + int(p.epoch) + len(p.profile)
 }
 
 func (p *livePort) ID() NodeID { return p.id }
@@ -258,9 +268,12 @@ func (p *livePort) Connect(b NodeID) error {
 	p.mu.Lock()
 	if p.connected {
 		// Drop the old link first; if the dial below fails the port is
-		// left cleanly disconnected, not pointing at a stale border.
+		// left cleanly disconnected, not pointing at a stale border. The
+		// old epoch's Block pushes are aborted so the delivery pump can
+		// drain before the link teardown waits on it.
 		p.connected = false
 		p.border = ""
+		p.closeStopLocked()
 		p.mu.Unlock()
 		_ = p.rc.Disconnect()
 		p.mu.Lock()
@@ -269,8 +282,15 @@ func (p *livePort) Connect(b NodeID) error {
 	prev := p.prev
 	profile := append([]proto.Subscription(nil), p.profile...)
 	epoch := p.epoch
+	// Arm the abort channel before dialing: the border may replay ghost
+	// buffers the instant the link is up.
+	p.stop = make(chan struct{})
+	p.stopClosed = false
 	p.mu.Unlock()
 	if err := p.rc.Connect(addr, prev, profile, epoch); err != nil {
+		p.mu.Lock()
+		p.closeStopLocked()
+		p.mu.Unlock()
 		return err
 	}
 	p.mu.Lock()
@@ -281,6 +301,18 @@ func (p *livePort) Connect(b NodeID) error {
 	return nil
 }
 
+// closeStopLocked aborts the current epoch's Block pushes. The closed
+// channel stays in p.stop (Connect replaces it): deliveries already in
+// the pump when the link drops must still find a firing abort channel,
+// or a Block push could wedge the pump and deadlock the link teardown.
+// Callers hold p.mu.
+func (p *livePort) closeStopLocked() {
+	if p.stop != nil && !p.stopClosed {
+		close(p.stop)
+		p.stopClosed = true
+	}
+}
+
 func (p *livePort) Disconnect() error {
 	p.mu.Lock()
 	if !p.connected {
@@ -289,6 +321,9 @@ func (p *livePort) Disconnect() error {
 	}
 	p.connected = false
 	p.border = ""
+	// Abort any Block push in flight so the delivery pump can drain and
+	// the link teardown below does not wait on a lagging consumer.
+	p.closeStopLocked()
 	p.mu.Unlock()
 	return p.rc.Disconnect()
 }
@@ -302,7 +337,11 @@ func (p *livePort) Border() NodeID {
 	return p.border
 }
 
-func (p *livePort) Subscribe(f Filter) SubID {
+func (p *livePort) Subscribe(f Filter, opts ...SubOption) *Subscription {
+	var cfg subConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	p.mu.Lock()
 	p.nextSub++
 	sub := proto.Subscription{
@@ -312,23 +351,29 @@ func (p *livePort) Subscribe(f Filter) SubID {
 	p.profile = append(p.profile, sub)
 	connected := p.connected
 	p.mu.Unlock()
+	s := newSubscription(sub.ID, f, cfg, p.unsubscribe)
+	p.streams.add(s)
 	if connected {
 		_ = p.rc.Send(proto.Message{Kind: proto.KSubscribe, Client: p.id, Sub: &sub})
 	}
-	return sub.ID
+	return s
 }
 
-func (p *livePort) SubscribeAt(cs ...Constraint) SubID {
+func (p *livePort) SubscribeAt(cs ...Constraint) *Subscription {
 	return p.Subscribe(AtLocation(cs...))
 }
 
-func (p *livePort) Unsubscribe(id SubID) {
+// unsubscribe is the Subscription.Cancel callback: drop the subscription
+// from the roaming profile and, while connected, withdraw it at the
+// border.
+func (p *livePort) unsubscribe(s *Subscription) {
+	p.streams.remove(s.ID())
 	p.mu.Lock()
 	var sub *proto.Subscription
-	for i, s := range p.profile {
-		if s.ID == id {
-			s := s
-			sub = &s
+	for i, ps := range p.profile {
+		if ps.ID == s.ID() {
+			ps := ps
+			sub = &ps
 			p.profile = append(p.profile[:i], p.profile[i+1:]...)
 			break
 		}
@@ -357,39 +402,50 @@ func (p *livePort) Publish(attrs map[string]Value) (NotificationID, error) {
 	return n.ID, nil
 }
 
-func (p *livePort) OnNotify(fn func(n Notification)) {
-	p.mu.Lock()
-	p.notify = fn
-	p.mu.Unlock()
+func (p *livePort) PublishBatch(ctx context.Context, batch []map[string]Value) ([]NotificationID, error) {
+	return publishFrames(ctx, batch, func(frame []map[string]Value) ([]NotificationID, error) {
+		p.mu.Lock()
+		if !p.connected {
+			p.mu.Unlock()
+			return nil, ErrNotConnected
+		}
+		notes := make([]message.Notification, len(frame))
+		frameIDs := make([]NotificationID, len(frame))
+		now := time.Now()
+		for i, attrs := range frame {
+			p.pubSeq++
+			n := message.NewNotification(attrs)
+			n.ID = NotificationID{Publisher: p.id, Seq: p.pubSeq}
+			n.Published = now
+			notes[i] = n
+			frameIDs[i] = n.ID
+		}
+		p.mu.Unlock()
+		if err := p.rc.Send(proto.Message{Kind: proto.KPublishBatch, Client: p.id, Notes: notes}); err != nil {
+			return nil, err
+		}
+		return frameIDs, nil
+	})
 }
+
+func (p *livePort) Events() <-chan Delivery { return p.streams.catchAll.Events() }
+
+func (p *livePort) OnNotify(fn func(n Notification)) { p.streams.setNotify(fn) }
 
 func (p *livePort) Received() []Delivery {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]Delivery(nil), p.received...)
+	return p.tally.Log.Snapshot()
 }
 
 func (p *livePort) Duplicates() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.dups
+	return p.tally.Duplicates()
 }
 
 func (p *livePort) FIFOViolations() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	last := make(map[NodeID]uint64)
-	v := 0
-	for _, d := range p.received {
-		id := d.Note.ID
-		if id.IsZero() {
-			continue
-		}
-		if id.Seq < last[id.Publisher] {
-			v++
-		} else {
-			last[id.Publisher] = id.Seq
-		}
-	}
-	return v
+	return p.tally.FIFOViolations()
 }

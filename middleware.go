@@ -23,9 +23,10 @@ type (
 	FlushObserver = broker.FlushObserver
 	// Broker is the broker a middleware stage is attached to.
 	Broker = broker.Broker
-	// Subscription pairs a filter with its end-to-end identity (the
-	// OnSubscribe hook's payload).
-	Subscription = proto.Subscription
+	// SubscriptionInfo pairs a filter with its end-to-end identity (the
+	// OnSubscribe hook's payload). The client-facing *Subscription handle
+	// returned by Port.Subscribe is a different type — see subscription.go.
+	SubscriptionInfo = proto.Subscription
 )
 
 // --- Metrics -------------------------------------------------------------
@@ -102,7 +103,7 @@ func (m *Metrics) OnPublish(b *Broker, _ NodeID, _ *Notification, next func()) {
 }
 
 // OnDeliver implements Middleware.
-func (m *Metrics) OnDeliver(b *Broker, _ NodeID, n *Notification, next func()) {
+func (m *Metrics) OnDeliver(b *Broker, _ NodeID, n *Notification, _ []SubID, next func()) {
 	m.mu.Lock()
 	bm := m.at(b.ID())
 	bm.Deliveries++
@@ -120,7 +121,7 @@ func (m *Metrics) OnDeliver(b *Broker, _ NodeID, n *Notification, next func()) {
 }
 
 // OnSubscribe implements Middleware.
-func (m *Metrics) OnSubscribe(b *Broker, _ NodeID, _ *Subscription, next func()) {
+func (m *Metrics) OnSubscribe(b *Broker, _ NodeID, _ *SubscriptionInfo, next func()) {
 	m.mu.Lock()
 	m.at(b.ID()).Subscribes++
 	m.mu.Unlock()
@@ -209,14 +210,23 @@ func (t *Tracer) OnPublish(b *Broker, from NodeID, n *Notification, next func())
 	next()
 }
 
-// OnDeliver implements Middleware.
-func (t *Tracer) OnDeliver(b *Broker, port NodeID, n *Notification, next func()) {
-	t.record(TraceEvent{At: b.Now(), Broker: b.ID(), Hook: "deliver", Node: port, Note: n.ID})
+// OnDeliver implements Middleware. A delivery matching several
+// subscriptions records one event per subscription identity, so per-sub
+// delivery audits see every match.
+func (t *Tracer) OnDeliver(b *Broker, port NodeID, n *Notification, subs []SubID, next func()) {
+	e := TraceEvent{At: b.Now(), Broker: b.ID(), Hook: "deliver", Node: port, Note: n.ID}
+	if len(subs) == 0 {
+		t.record(e)
+	}
+	for _, sub := range subs {
+		e.Sub = sub
+		t.record(e)
+	}
 	next()
 }
 
 // OnSubscribe implements Middleware.
-func (t *Tracer) OnSubscribe(b *Broker, from NodeID, sub *Subscription, next func()) {
+func (t *Tracer) OnSubscribe(b *Broker, from NodeID, sub *SubscriptionInfo, next func()) {
 	t.record(TraceEvent{At: b.Now(), Broker: b.ID(), Hook: "subscribe", Node: from, Sub: sub.ID})
 	next()
 }

@@ -14,6 +14,7 @@ func pubSubSystem(t *testing.T, mws ...rebeca.Middleware) (*rebeca.System, rebec
 	sys := newSystem(t,
 		rebeca.WithMovement(rebeca.Line(3)),
 		rebeca.WithMiddleware(mws...),
+		rebeca.WithDeliveryLog(64),
 	)
 	sub := sys.NewClient("sub")
 	connect(t, sub, "B0")

@@ -44,8 +44,19 @@ type config struct {
 	middleware     []broker.Middleware
 	settleQuiet    time.Duration
 	settleMax      time.Duration
+	deliveryLog    int
+	window         int
 
 	errs []error
+}
+
+// logCap translates the WithDeliveryLog option to the client library's
+// convention: the log is opt-in, so "not configured" disables it.
+func (c *config) logCap() int {
+	if c.deliveryLog > 0 {
+		return c.deliveryLog
+	}
+	return -1
 }
 
 // Option configures a deployment built by New or NewLive.
@@ -218,6 +229,37 @@ func WithMiddleware(ms ...Middleware) Option {
 	}
 }
 
+// WithDeliveryLog makes every Port retain its last n deliveries for
+// inspection via Received. The log is opt-in: without this option ports
+// record no history (mobile consumers cannot absorb unbounded delivery
+// state), and the per-subscription streams plus their Stats are the
+// delivery surface.
+func WithDeliveryLog(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithDeliveryLog(%d): want n > 0", n))
+			return
+		}
+		c.deliveryLog = n
+	}
+}
+
+// WithDeliveryWindow sets the per-client credit window a Live deployment's
+// ports announce to their border broker: the broker keeps at most n
+// deliveries in flight ahead of the application's consumption, so a
+// Block-policy stream exerts backpressure after at most n notifications.
+// Default wire.DefaultWindow (64). The virtual-clock System ignores it
+// (its network has no transport to flow control).
+func WithDeliveryWindow(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithDeliveryWindow(%d): want n > 0", n))
+			return
+		}
+		c.window = n
+	}
+}
+
 // WithSettleWindow tunes Live.Settle's quiescence detection: the deployment
 // counts as settled after `quiet` with no observable broker or client
 // activity; `max` caps the wait. The virtual-clock System ignores it
@@ -233,69 +275,6 @@ func WithSettleWindow(quiet, max time.Duration) Option {
 	}
 }
 
-// Options configures an in-process System.
-//
-// Deprecated: use New with functional options instead. Options{Movement: g,
-// BufferCap: n, …} maps to New(WithMovement(g), WithBufferCap(n), …);
-// DisablePreSubscribe maps to WithReactiveBaseline. Options cannot express
-// the middleware chain, routing strategies, or latency jitter.
-type Options struct {
-	// Movement is the movement graph; broker overlay and nlb derive from
-	// it. Required.
-	Movement *Graph
-	// Locations maps brokers to logical scopes. Defaults to one region
-	// per broker.
-	Locations *LocationModel
-	// DisablePreSubscribe turns the replicator layer into the reactive
-	// baseline (location-dependent subscriptions only at the current
-	// broker).
-	DisablePreSubscribe bool
-	// SharedBuffers uses one refcounted notification store per broker.
-	SharedBuffers bool
-	// ContextResolver resolves generalized context markers per broker.
-	ContextResolver func(b NodeID) ContextResolverFunc
-	// BufferTTL / BufferCap bound virtual-client and ghost buffers
-	// (0 = unbounded).
-	BufferTTL time.Duration
-	BufferCap int
-	// LinkLatency is the simulated per-hop delay (default 1ms).
-	LinkLatency time.Duration
-}
-
-// asOptions translates the legacy struct to functional options.
-func (o Options) asOptions() []Option {
-	var opts []Option
-	if o.Movement != nil {
-		opts = append(opts, WithMovement(o.Movement))
-	}
-	if o.Locations != nil {
-		opts = append(opts, WithLocations(o.Locations))
-	}
-	if o.DisablePreSubscribe {
-		opts = append(opts, WithReactiveBaseline())
-	}
-	if o.SharedBuffers {
-		opts = append(opts, WithSharedBuffers())
-	}
-	if o.ContextResolver != nil {
-		opts = append(opts, WithContextResolver(o.ContextResolver))
-	}
-	if o.BufferTTL > 0 {
-		opts = append(opts, WithBufferTTL(o.BufferTTL))
-	}
-	if o.BufferCap > 0 {
-		opts = append(opts, WithBufferCap(o.BufferCap))
-	}
-	if o.LinkLatency > 0 {
-		opts = append(opts, WithLinkLatency(o.LinkLatency))
-	}
-	return opts
-}
-
-// NewSystem builds an in-process deployment from the legacy flat struct.
-// Note that the client surface changed with it: NewClient now returns the
-// deployment-independent Port interface rather than a concrete client —
-// see CHANGES.md for the full migration table.
-//
-// Deprecated: use New with functional options.
-func NewSystem(opts Options) (*System, error) { return New(opts.asOptions()...) }
+// The deprecated Options struct and NewSystem shim were removed once all
+// in-repo callers migrated to functional options; CHANGES.md keeps the
+// field-by-field migration table.

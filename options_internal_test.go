@@ -154,23 +154,22 @@ func TestBufferFactoryResolution(t *testing.T) {
 	}
 }
 
-func TestOptionsShimTranslation(t *testing.T) {
-	o := Options{
-		Movement:            Line(3),
-		DisablePreSubscribe: true,
-		SharedBuffers:       true,
-		BufferTTL:           time.Second,
-		BufferCap:           4,
-		LinkLatency:         2 * time.Millisecond,
-	}
-	c, err := newConfig(o.asOptions())
+func TestDeliveryLogOption(t *testing.T) {
+	c, err := newConfig([]Option{WithMovement(Line(2))})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !c.reactive || !c.shared {
-		t.Error("shim lost boolean options")
+	if got := c.logCap(); got != -1 {
+		t.Errorf("default logCap = %d, want -1 (disabled)", got)
 	}
-	if c.bufferTTL != time.Second || c.bufferCap != 4 || c.linkLatency != 2*time.Millisecond {
-		t.Error("shim lost numeric options")
+	c, err = newConfig([]Option{WithMovement(Line(2)), WithDeliveryLog(32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.logCap(); got != 32 {
+		t.Errorf("logCap = %d, want 32", got)
+	}
+	if _, err := newConfig([]Option{WithMovement(Line(2)), WithDeliveryLog(0)}); err == nil {
+		t.Error("WithDeliveryLog(0) should fail")
 	}
 }

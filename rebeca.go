@@ -31,6 +31,18 @@
 // Clients are created through Deployment.NewClient and driven through the
 // Port interface, so the same scenario code runs against both flavors.
 //
+// # Subscriptions are streams
+//
+// Port.Subscribe returns a *Subscription handle: the unit that carries its
+// own delivery channel (Events), bounded buffer, overflow policy
+// (DropOldest, DropNewest, Block — see WithStreamBuffer / WithOverflow)
+// and lifecycle (Cancel). Under Live, a Block stream exerts credit-based
+// flow control through the broker overlay back to the publisher
+// (WithDeliveryWindow). Ports record no delivery history unless
+// WithDeliveryLog opts into a bounded log; OnNotify remains as a thin
+// callback adapter over the port's catch-all stream, and PublishBatch
+// frames many notifications per wire message.
+//
 // # Middleware
 //
 // Every broker runs an ordered extension chain (Middleware): hooks on
@@ -47,20 +59,21 @@
 //
 //	g := rebeca.NewGraph()
 //	g.AddEdge("home", "office")
-//	metrics := rebeca.NewMetrics()
-//	sys, _ := rebeca.New(
-//		rebeca.WithMovement(g),
-//		rebeca.WithMiddleware(metrics),
-//	)
+//	sys, _ := rebeca.New(rebeca.WithMovement(g))
 //	alice := sys.NewClient("alice")
 //	alice.Connect("home")
-//	alice.Subscribe(rebeca.NewFilter(rebeca.Eq("service", rebeca.String("news"))))
+//	news := alice.Subscribe(
+//		rebeca.NewFilter(rebeca.Eq("service", rebeca.String("news"))))
 //	sys.Settle()
-//	// … publish from another client, Settle again, inspect
-//	// alice.Received() and metrics.Totals().
+//	// … publish from another client, Settle again, then drain:
+//	news.Cancel() // closes the stream; buffered events stay readable
+//	for d := range news.Events() {
+//		fmt.Println(d.Note)
+//	}
 //
 // Swap rebeca.New for rebeca.NewLive (and defer d.Close()) and the same
-// code runs over TCP.
+// code runs over TCP — there a consumer goroutine typically ranges
+// news.Events() while traffic flows.
 package rebeca
 
 import (

@@ -1,6 +1,7 @@
 package rebeca_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -30,7 +31,7 @@ func TestSystemBasicPubSub(t *testing.T) {
 
 	sub := sys.NewClient("sub")
 	connect(t, sub, "office")
-	sub.Subscribe(rebeca.NewFilter(rebeca.Eq("k", rebeca.Int(1))))
+	s := sub.Subscribe(rebeca.NewFilter(rebeca.Eq("k", rebeca.Int(1))))
 	sys.Settle()
 
 	pub := sys.NewClient("pub")
@@ -43,11 +44,75 @@ func TestSystemBasicPubSub(t *testing.T) {
 	}
 	sys.Settle()
 
-	if got := len(sub.Received()); got != 1 {
-		t.Errorf("received %d, want 1", got)
+	if got := s.Stats().Delivered; got != 1 {
+		t.Errorf("stream delivered %d, want 1", got)
+	}
+	s.Cancel()
+	var notes []rebeca.Notification
+	for d := range s.Events() {
+		notes = append(notes, d.Note)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("drained %d events, want 1", len(notes))
+	}
+	if v, _ := notes[0].Get("k"); v.IntVal() != 1 {
+		t.Errorf("delivered k = %v, want 1", v)
 	}
 	if sys.MessagesCarried() == 0 {
 		t.Error("traffic accounting broken")
+	}
+}
+
+func TestSystemPublishBatch(t *testing.T) {
+	sys := newSystem(t, rebeca.WithMovement(rebeca.Line(3)))
+	sub := sys.NewClient("sub")
+	connect(t, sub, "B0")
+	s := sub.Subscribe(rebeca.NewFilter(rebeca.Exists("n")))
+	sys.Settle()
+
+	pub := sys.NewClient("pub")
+	connect(t, pub, "B2")
+	baseline := sys.MessagesCarried()
+
+	batch := make([]map[string]rebeca.Value, 10)
+	for i := range batch {
+		batch[i] = map[string]rebeca.Value{"n": rebeca.Int(int64(i))}
+	}
+	ids, err := pub.PublishBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("got %d ids, want 10", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i].Seq != ids[i-1].Seq+1 {
+			t.Errorf("ids not sequential: %v", ids)
+		}
+	}
+	sys.Settle()
+
+	if got := s.Stats().Delivered; got != 10 {
+		t.Errorf("stream delivered %d, want 10", got)
+	}
+	// One batch frame client->border, then per-note overlay forwarding
+	// (2 hops) and one delivery each: 1 + 10*2 + 10 messages. The same
+	// traffic published singly costs 10 ingress frames.
+	if got := sys.MessagesCarried() - baseline; got != 31 {
+		t.Errorf("batch carried %d messages, want 31 (1 frame + 20 hops + 10 delivers)", got)
+	}
+
+	// Batch while disconnected fails; empty batch is a no-op.
+	if err := pub.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.PublishBatch(context.Background(), batch); err == nil {
+		t.Error("batch while disconnected should fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pub.PublishBatch(ctx, batch); err == nil {
+		t.Error("batch with cancelled context should fail")
 	}
 }
 
@@ -55,7 +120,8 @@ func TestSystemRoamingLossless(t *testing.T) {
 	sys := newSystem(t, rebeca.WithMovement(rebeca.Line(3)))
 	mob := sys.NewClient("mob")
 	connect(t, mob, "B0")
-	mob.Subscribe(rebeca.NewFilter(rebeca.Exists("n")))
+	s := mob.Subscribe(rebeca.NewFilter(rebeca.Exists("n")),
+		rebeca.WithStreamBuffer(128))
 	sys.Settle()
 
 	pub := sys.NewClient("pub")
@@ -70,8 +136,16 @@ func TestSystemRoamingLossless(t *testing.T) {
 	sys.After(40*time.Millisecond, func() { _ = mob.Connect("B1") })
 	sys.Settle()
 
-	if got := len(mob.Received()); got != 100 {
-		t.Errorf("received %d of 100", got)
+	s.Cancel()
+	got := 0
+	for range s.Events() {
+		got++
+	}
+	if got != 100 {
+		t.Errorf("stream carried %d of 100", got)
+	}
+	if st := s.Stats(); st.Delivered != 100 || st.Dropped != 0 {
+		t.Errorf("stats = %+v, want 100 delivered, 0 dropped", st)
 	}
 	if mob.Duplicates() != 0 || mob.FIFOViolations() != 0 {
 		t.Errorf("dups=%d fifo=%d", mob.Duplicates(), mob.FIFOViolations())
@@ -80,7 +154,7 @@ func TestSystemRoamingLossless(t *testing.T) {
 
 func TestSystemLocationDependentSubscription(t *testing.T) {
 	g := rebeca.Line(3)
-	sys := newSystem(t, rebeca.WithMovement(g))
+	sys := newSystem(t, rebeca.WithMovement(g), rebeca.WithDeliveryLog(16))
 
 	mob := sys.NewClient("mob")
 	connect(t, mob, "B0")
@@ -114,6 +188,7 @@ func TestSystemReactiveOption(t *testing.T) {
 	sys := newSystem(t,
 		rebeca.WithMovement(rebeca.Line(3)),
 		rebeca.WithReactiveBaseline(),
+		rebeca.WithDeliveryLog(16),
 	)
 	mob := sys.NewClient("mob")
 	connect(t, mob, "B0")
@@ -139,6 +214,7 @@ func TestSystemBufferCapOption(t *testing.T) {
 	sys := newSystem(t,
 		rebeca.WithMovement(rebeca.Line(3)),
 		rebeca.WithBufferCap(2),
+		rebeca.WithDeliveryLog(16),
 	)
 	mob := sys.NewClient("mob")
 	connect(t, mob, "B0")
@@ -210,19 +286,46 @@ func TestPortErrors(t *testing.T) {
 	}
 }
 
-func TestDeprecatedOptionsShim(t *testing.T) {
-	sys, err := rebeca.NewSystem(rebeca.Options{
-		Movement:  rebeca.Line(3),
-		BufferCap: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
+func TestSubscriptionHandleLifecycle(t *testing.T) {
+	sys := newSystem(t, rebeca.WithMovement(rebeca.Line(2)))
+	c := sys.NewClient("c")
+	connect(t, c, "B0")
+	s := c.Subscribe(rebeca.NewFilter(rebeca.Exists("k")))
+	if s.ID() == "" {
+		t.Error("subscription should carry its end-to-end ID")
 	}
-	if got := len(sys.Brokers()); got != 3 {
-		t.Errorf("brokers = %d, want 3", got)
+	if !s.Filter().Matches(rebeca.Notification{Attrs: map[string]rebeca.Value{"k": rebeca.Int(1)}}) {
+		t.Error("handle should expose the subscribed filter")
 	}
-	if _, err := rebeca.NewSystem(rebeca.Options{}); err == nil {
-		t.Error("NewSystem without movement graph should fail")
+	sys.Settle()
+
+	pub := sys.NewClient("pub")
+	connect(t, pub, "B1")
+	_, _ = pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(1)})
+	sys.Settle()
+
+	if s.Cancelled() {
+		t.Error("not cancelled yet")
+	}
+	s.Cancel()
+	s.Cancel() // idempotent
+	if !s.Cancelled() {
+		t.Error("cancelled")
+	}
+	// The stream drains its buffered delivery, then terminates.
+	n := 0
+	for range s.Events() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("drained %d, want 1", n)
+	}
+
+	// Post-cancel traffic no longer reaches the stream.
+	_, _ = pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(2)})
+	sys.Settle()
+	if st := s.Stats(); st.Delivered != 1 || st.Buffered != 0 {
+		t.Errorf("post-cancel stats = %+v, want 1 delivered, 0 buffered", st)
 	}
 }
 
