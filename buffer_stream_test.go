@@ -1,0 +1,213 @@
+package rebeca_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"rebeca"
+)
+
+// The PR 2 stream matrix covered the overflow policies against live
+// traffic; these tests cross them with the broker-side buffer bounds
+// (WithBufferCap / WithBufferTTL): a ghost session's buffer evicts under
+// its TTL/cap policy while disconnected, and the surviving replay then
+// lands in a bounded stream under each overflow policy. Two independent
+// drop points, one observable outcome.
+
+// ghostReplayInts runs the shared scenario: subscribe with the given
+// stream options, disconnect, publish i=1..10 from another border (with an
+// optional mid-stream virtual-clock step), reconnect, and return the
+// i-values that reached the stream in order. For Block a concurrent
+// consumer drains the stream — without one the replay would deadlock the
+// virtual clock, which is exactly the semantics documented on Block.
+func ghostReplayInts(t *testing.T, sysOpts []rebeca.Option, subOpts []rebeca.SubOption,
+	block bool, midStep time.Duration) ([]int64, rebeca.SubscriptionStats) {
+	t.Helper()
+	opts := append([]rebeca.Option{rebeca.WithMovement(rebeca.Line(2))}, sysOpts...)
+	sys := newSystem(t, opts...)
+	defer func() { _ = sys.Close() }()
+	topic := rebeca.NewFilter(rebeca.Eq("topic", rebeca.String("t")))
+
+	alice := sys.NewClient("alice")
+	sub := alice.Subscribe(topic, subOpts...)
+	connect(t, alice, "B0")
+	sys.Settle()
+	if err := alice.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle()
+
+	pub := sys.NewClient("pub")
+	connect(t, pub, "B1")
+	sys.Settle()
+	for i := 1; i <= 10; i++ {
+		if i == 6 && midStep > 0 {
+			sys.Step(midStep) // age the first five past the TTL
+		}
+		if _, err := pub.Publish(map[string]rebeca.Value{
+			"topic": rebeca.String("t"), "i": rebeca.Int(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sys.Settle()
+	}
+
+	var (
+		mu  sync.Mutex
+		got []int64
+	)
+	done := make(chan struct{})
+	if block {
+		// Block needs a concurrent consumer while Settle replays.
+		go func() {
+			defer close(done)
+			for d := range sub.Events() {
+				if v, ok := d.Note.Get("i"); ok {
+					mu.Lock()
+					got = append(got, v.IntVal())
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	connect(t, alice, "B0")
+	sys.Settle()
+	if block {
+		// The stream stays open; wait for the consumer to drain what the
+		// replay pushed, then detach it.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			mu.Lock()
+			n := len(got)
+			mu.Unlock()
+			stats := sub.Stats()
+			if uint64(n) >= stats.Delivered && stats.Buffered == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("consumer drained %d of %d", n, stats.Delivered)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		sub.Cancel()
+		<-done
+	} else {
+		for {
+			select {
+			case d := <-sub.Events():
+				if v, ok := d.Note.Get("i"); ok {
+					got = append(got, v.IntVal())
+				}
+				continue
+			default:
+			}
+			break
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]int64(nil), got...), sub.Stats()
+}
+
+func wantInts(t *testing.T, got []int64, want ...int64) {
+	t.Helper()
+	g := append([]int64(nil), got...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	if len(g) != len(want) {
+		t.Fatalf("stream delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("stream delivered %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGhostCapEvictionAcrossOverflowPolicies(t *testing.T) {
+	// Ghost buffer keeps the last 4 of 10 (7..10); the cap-2 stream then
+	// applies its own policy to the 4-note replay.
+	capOpts := []rebeca.Option{rebeca.WithBufferCap(4)}
+
+	t.Run("drop-oldest", func(t *testing.T) {
+		got, stats := ghostReplayInts(t, capOpts,
+			[]rebeca.SubOption{rebeca.WithStreamBuffer(2), rebeca.WithOverflow(rebeca.DropOldest)},
+			false, 0)
+		wantInts(t, got, 9, 10) // freshest survive both bounds
+		if stats.Dropped != 2 {
+			t.Errorf("Dropped = %d, want 2", stats.Dropped)
+		}
+	})
+	t.Run("drop-newest", func(t *testing.T) {
+		got, stats := ghostReplayInts(t, capOpts,
+			[]rebeca.SubOption{rebeca.WithStreamBuffer(2), rebeca.WithOverflow(rebeca.DropNewest)},
+			false, 0)
+		wantInts(t, got, 7, 8) // oldest survivors of the ghost eviction
+		if stats.Dropped != 2 {
+			t.Errorf("Dropped = %d, want 2", stats.Dropped)
+		}
+	})
+	t.Run("block", func(t *testing.T) {
+		got, stats := ghostReplayInts(t, capOpts,
+			[]rebeca.SubOption{rebeca.WithStreamBuffer(2), rebeca.WithOverflow(rebeca.Block)},
+			true, 0)
+		wantInts(t, got, 7, 8, 9, 10) // backpressure loses nothing the ghost kept
+		if stats.Dropped != 0 {
+			t.Errorf("Dropped = %d, want 0", stats.Dropped)
+		}
+	})
+}
+
+func TestGhostTTLEvictionAcrossOverflowPolicies(t *testing.T) {
+	// Notifications 1..5 age past the 10s TTL before 6..10 are published:
+	// only 6..10 survive the ghost's GC; the cap-3 stream then applies its
+	// policy.
+	ttlOpts := []rebeca.Option{rebeca.WithBufferTTL(10 * time.Second)}
+	const step = 15 * time.Second
+
+	t.Run("drop-oldest", func(t *testing.T) {
+		got, _ := ghostReplayInts(t, ttlOpts,
+			[]rebeca.SubOption{rebeca.WithStreamBuffer(3), rebeca.WithOverflow(rebeca.DropOldest)},
+			false, step)
+		wantInts(t, got, 8, 9, 10)
+	})
+	t.Run("drop-newest", func(t *testing.T) {
+		got, _ := ghostReplayInts(t, ttlOpts,
+			[]rebeca.SubOption{rebeca.WithStreamBuffer(3), rebeca.WithOverflow(rebeca.DropNewest)},
+			false, step)
+		wantInts(t, got, 6, 7, 8)
+	})
+	t.Run("block", func(t *testing.T) {
+		got, stats := ghostReplayInts(t, ttlOpts,
+			[]rebeca.SubOption{rebeca.WithStreamBuffer(3), rebeca.WithOverflow(rebeca.Block)},
+			true, step)
+		wantInts(t, got, 6, 7, 8, 9, 10)
+		if stats.Dropped != 0 {
+			t.Errorf("Dropped = %d, want 0", stats.Dropped)
+		}
+	})
+}
+
+// TestGhostCombinedBoundsWithDurableStore crosses all three drop points:
+// TTL+cap eviction in the ghost buffer, a bounded stream, and a durable
+// store underneath — eviction must bound memory without un-acking the
+// store, and replay must still ack everything appended.
+func TestGhostCombinedBoundsWithDurableStore(t *testing.T) {
+	st := rebeca.NewMemoryStore()
+	got, _ := ghostReplayInts(t,
+		[]rebeca.Option{
+			rebeca.WithBufferTTL(10 * time.Second),
+			rebeca.WithBufferCap(3),
+			rebeca.WithDurable(st),
+		},
+		[]rebeca.SubOption{rebeca.WithStreamBuffer(2), rebeca.WithOverflow(rebeca.DropOldest)},
+		false, 15*time.Second)
+	// TTL kills 1..5, cap keeps 8..10, stream keeps 9..10.
+	wantInts(t, got, 9, 10)
+	// The replay acked the durable queue — including the evicted records,
+	// which were a memory bound, not an un-delivery.
+	if p := st.State("mob/B0/alice").Pending; p != 0 {
+		t.Errorf("durable queue still pending %d after replay", p)
+	}
+}

@@ -5,6 +5,10 @@
 //
 //	rebeca-bench                 # run every experiment
 //	rebeca-bench -run E5 -seed 7 # one experiment, custom seed
+//
+//	go test -bench . -benchtime 1x ./... | rebeca-bench -smoke
+//	                             # render bench output as the CI smoke
+//	                             # artifact (BENCH_<pr>.json) on stdout
 package main
 
 import (
@@ -19,7 +23,17 @@ import (
 func main() {
 	run := flag.String("run", "all", "experiment to run: all, E1, E2, E3, E3b, E3c, E4, E5, E6, E7, E8, E9")
 	seed := flag.Int64("seed", bench.Seed, "deterministic experiment seed")
+	smoke := flag.Bool("smoke", false, "read `go test -bench` output on stdin and emit the JSON smoke artifact on stdout")
+	benchtime := flag.String("benchtime", "1x", "benchtime label recorded in the -smoke artifact")
 	flag.Parse()
+
+	if *smoke {
+		if err := bench.WriteSmokeReport(os.Stdin, os.Stdout, *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "rebeca-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	generators := map[string]func(int64) bench.Table{
 		"E1":  bench.E1PhysicalHandover,

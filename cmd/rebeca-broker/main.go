@@ -30,6 +30,7 @@ import (
 	"rebeca/internal/mobility"
 	"rebeca/internal/movement"
 	"rebeca/internal/routing"
+	"rebeca/internal/store"
 	"rebeca/internal/wire"
 )
 
@@ -46,6 +47,8 @@ func main() {
 		trace     = flag.Bool("trace", false, "log every publish, delivery and subscription")
 		rate      = flag.Float64("publish-rate", 0, "token-bucket limit on client publish ingress per second (0 = unlimited)")
 		burst     = flag.Int("publish-burst", 10, "token-bucket burst for -publish-rate")
+		storeDir  = flag.String("store", "", "WAL directory for durable subscriptions (empty = in-memory only)")
+		drain     = flag.Duration("drain", 3*time.Second, "max time to drain in-flight deliveries on shutdown")
 	)
 	flag.Parse()
 	if *id == "" || *edges == "" {
@@ -119,6 +122,18 @@ func main() {
 		Middleware: mws,
 	})
 
+	// Durable subscriptions: a WAL on -store survives restarts — reopening
+	// the same directory recovers ghost sessions and their pending
+	// notifications below.
+	var st store.Store
+	if *storeDir != "" {
+		wal, err := store.OpenWAL(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		st = wal
+	}
+
 	// Plugin order matters: replicator first, then the mobility manager.
 	if *replicate {
 		g := movement.NewGraph()
@@ -130,15 +145,21 @@ func main() {
 			NLB:          g.NLB(),
 			Locations:    location.Regions(topo.Nodes()),
 			PreSubscribe: true,
+			Store:        st,
 		})
+	}
+	var mgr *mobility.Manager
+	mobOpts := []mobility.Option{}
+	if st != nil {
+		mobOpts = append(mobOpts, mobility.WithStore(st))
 	}
 	switch *mobilityM {
 	case "transparent":
-		mobility.New(node.Broker(), mobility.ModeTransparent)
+		mgr = mobility.New(node.Broker(), mobility.ModeTransparent, mobOpts...)
 	case "jedi":
-		mobility.New(node.Broker(), mobility.ModeJEDI)
+		mgr = mobility.New(node.Broker(), mobility.ModeJEDI, mobOpts...)
 	case "naive":
-		mobility.New(node.Broker(), mobility.ModeNaive)
+		mgr = mobility.New(node.Broker(), mobility.ModeNaive, mobOpts...)
 	case "none":
 	default:
 		fatal(fmt.Errorf("unknown -mobility %q", *mobilityM))
@@ -146,6 +167,19 @@ func main() {
 
 	if err := node.Start(); err != nil {
 		fatal(err)
+	}
+	if st != nil && mgr != nil {
+		// Resume the sessions a previous process persisted on this store.
+		// Re-installed subscriptions propagate over whichever overlay
+		// links are already up; start the passive (listening) side of each
+		// edge first — the same convention -dial assumes — so recovery
+		// forwards find their peers. The node is already serving, so the
+		// recovery mutation runs on its event loop like any other.
+		recovered := 0
+		node.Inspect(func(*broker.Broker) { recovered = mgr.Recover() })
+		if recovered > 0 {
+			fmt.Printf("recovered %d durable session(s) from %s\n", recovered, *storeDir)
+		}
 	}
 	fmt.Printf("rebeca-broker %s listening on %s (%d neighbors, strategy %s, %d middleware)\n",
 		self, node.Addr(), len(peers), strat, len(mws))
@@ -167,8 +201,32 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	// Graceful shutdown: let in-flight deliveries and buffer appends run
+	// to completion, make the store durable, then drop the links. A
+	// second signal skips the drain.
+	fmt.Println("shutting down: draining in-flight deliveries")
+	drained := make(chan bool, 1)
+	go func() { drained <- node.Drain(*drain) }()
+	select {
+	case ok := <-drained:
+		if !ok {
+			fmt.Fprintln(os.Stderr, "rebeca-broker: drain timed out; closing anyway")
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "rebeca-broker: second signal; skipping drain")
+	}
+	// Stop the node before the store: once the links and event loop are
+	// down nothing can append anymore, so the final sync-close captures
+	// every delivery the broker ever accepted.
 	_ = node.Close()
+	if st != nil {
+		if err := st.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "rebeca-broker: store sync:", err)
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rebeca-broker: store close:", err)
+		}
+	}
 }
 
 func parseEdges(s string) (broker.Topology, error) {

@@ -135,6 +135,7 @@ func New(opts ...Option) (*System, error) {
 		LinkLatency:     cfg.linkLatency,
 		LatencyJitter:   cfg.latencyJitter,
 		JitterSeed:      cfg.jitterSeed,
+		Store:           cfg.store,
 	})
 	if err != nil {
 		return nil, err
@@ -220,7 +221,15 @@ func (p *simPort) Subscribe(f Filter, opts ...SubOption) *Subscription {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	id := p.c.Subscribe(f)
+	var id SubID
+	if cfg.durable != "" {
+		// Durable subscriptions carry a stable, name-derived ID so a
+		// client recreated after a restart reattaches to the same
+		// broker-side queue.
+		id = p.c.SubscribeAs(durableSubID(p.ID(), cfg.durable), f)
+	} else {
+		id = p.c.Subscribe(f)
+	}
 	s := newSubscription(id, f, cfg, func(s *Subscription) {
 		p.streams.remove(s.ID())
 		p.c.Unsubscribe(s.ID())

@@ -1,0 +1,289 @@
+package rebeca_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rebeca"
+)
+
+// crashHarness abstracts the two deployment flavors for the crash-recovery
+// scenario: build constructs a deployment on the harness's persistent
+// store (the same store generation to generation), crash kills the running
+// deployment the way that flavor dies (memory-store Crash on the virtual
+// clock, abrupt node shutdown without store close over TCP), and
+// injectFault — when non-nil — arms the store's fsync faults before the
+// buffering phase.
+type crashHarness struct {
+	build       func(t *testing.T) rebeca.Deployment
+	crash       func(d rebeca.Deployment)
+	injectFault func()
+}
+
+// drainInts collects the "i" attribute of every delivery buffered in the
+// stream, waiting up to idle for stragglers (live deliveries arrive
+// concurrently).
+func drainInts(sub *rebeca.Subscription, idle time.Duration) map[int64]int {
+	got := make(map[int64]int)
+	for {
+		select {
+		case d, ok := <-sub.Events():
+			if !ok {
+				return got
+			}
+			if v, present := d.Note.Get("i"); present {
+				got[v.IntVal()]++
+			}
+		case <-time.After(idle):
+			return got
+		}
+	}
+}
+
+func orderAttrs(i int) map[string]rebeca.Value {
+	return map[string]rebeca.Value{
+		"topic": rebeca.String("orders"),
+		"i":     rebeca.Int(int64(i)),
+	}
+}
+
+// runCrashRecovery is the headline durable-subscription scenario, shared
+// verbatim by the sim and live deployments:
+//
+//  1. alice durable-subscribes at B0 and disconnects;
+//  2. a publisher at B1 streams notifications 1..10, which B0's ghost
+//     session appends to its durable queue;
+//  3. the broker is killed and a new deployment is built on the same
+//     store — recovery resurrects the ghost and re-installs its
+//     subscription into the (empty) routing tables;
+//  4. a second publisher streams 11..15, which must route to the
+//     recovered ghost;
+//  5. alice reattaches with the same durable name and must receive
+//     exactly 1..15 — no gaps across the crash, no duplicates from the
+//     replay.
+func runCrashRecovery(t *testing.T, h crashHarness) {
+	t.Helper()
+	orders := rebeca.NewFilter(rebeca.Eq("topic", rebeca.String("orders")))
+
+	d1 := h.build(t)
+	alice := d1.NewClient("alice")
+	sub := alice.Subscribe(orders, rebeca.Durable("orders"), rebeca.WithStreamBuffer(64))
+	connect(t, alice, "B0")
+	d1.Settle()
+	if err := alice.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	d1.Settle()
+	_ = sub // the pre-crash handle dies with d1
+
+	if h.injectFault != nil {
+		h.injectFault()
+	}
+	pubA := d1.NewClient("pub-a")
+	connect(t, pubA, "B1")
+	d1.Settle()
+	for i := 1; i <= 10; i++ {
+		if _, err := pubA.Publish(orderAttrs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1.Settle()
+	h.crash(d1)
+
+	d2 := h.build(t)
+	defer func() { _ = d2.Close() }()
+	d2.Settle() // recovered subscription installs propagate
+	pubB := d2.NewClient("pub-b")
+	connect(t, pubB, "B1")
+	d2.Settle()
+	for i := 11; i <= 15; i++ {
+		if _, err := pubB.Publish(orderAttrs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2.Settle()
+
+	alice2 := d2.NewClient("alice")
+	sub2 := alice2.Subscribe(orders, rebeca.Durable("orders"), rebeca.WithStreamBuffer(64))
+	connect(t, alice2, "B0")
+	d2.Settle()
+
+	got := drainInts(sub2, 500*time.Millisecond)
+	for i := int64(1); i <= 15; i++ {
+		switch got[i] {
+		case 1:
+		case 0:
+			t.Errorf("gap: notification %d lost across the crash", i)
+		default:
+			t.Errorf("duplicate: notification %d delivered %d times", i, got[i])
+		}
+	}
+	if len(got) != 15 {
+		t.Errorf("delivered %d distinct notifications, want 15 (%v)", len(got), got)
+	}
+	if d := alice2.Duplicates(); d != 0 {
+		t.Errorf("client suppressed %d duplicates; replay should be exact here", d)
+	}
+	if v := alice2.FIFOViolations(); v != 0 {
+		t.Errorf("%d FIFO violations across recovery", v)
+	}
+}
+
+// TestCrashRecoverySim runs the scenario on the virtual clock with an
+// in-memory store whose fsyncs transiently fail during the buffering
+// phase: the staged-until-synced WAL model must still surface every
+// notification after the crash.
+func TestCrashRecoverySim(t *testing.T) {
+	st := rebeca.NewMemoryStore()
+	runCrashRecovery(t, crashHarness{
+		build: func(t *testing.T) rebeca.Deployment {
+			sys, err := rebeca.New(rebeca.WithMovement(rebeca.Line(2)), rebeca.WithDurable(st))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		},
+		crash: func(d rebeca.Deployment) {
+			st.Crash() // everything not covered by a successful sync is gone
+			_ = d.Close()
+		},
+		injectFault: func() {
+			// The first three fsyncs of the buffering phase fail; later
+			// appends' syncs must cover the staged prefix.
+			st.FailSyncs(3, errors.New("injected fsync fault"))
+		},
+	})
+}
+
+// TestCrashRecoveryLive runs the identical scenario over real TCP: the
+// deployment is killed without closing its WAL (the handles just die, as
+// in a crash) and the restarted deployment reopens the same directory.
+func TestCrashRecoveryLive(t *testing.T) {
+	dir := t.TempDir()
+	runCrashRecovery(t, crashHarness{
+		build: func(t *testing.T) rebeca.Deployment {
+			wal, err := rebeca.OpenWAL(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := rebeca.NewLive(rebeca.WithMovement(rebeca.Line(2)), rebeca.WithDurable(wal))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		crash: func(d rebeca.Deployment) {
+			// Abrupt: tear the TCP nodes down but never Close the WAL —
+			// its per-append fsyncs are all the durability a kill leaves.
+			_ = d.Close()
+		},
+	})
+}
+
+// TestDurableCancelReleasesQueue asserts that cancelling a durable
+// subscription releases its broker-side queue: everything pending is acked
+// and the store compacts, so cancelled durable subscribers stop pinning
+// WAL state.
+func TestDurableCancelReleasesQueue(t *testing.T) {
+	st := rebeca.NewMemoryStore()
+	sys, err := rebeca.New(rebeca.WithMovement(rebeca.Line(2)), rebeca.WithDurable(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	orders := rebeca.NewFilter(rebeca.Eq("topic", rebeca.String("orders")))
+
+	alice := sys.NewClient("alice")
+	sub := alice.Subscribe(orders, rebeca.Durable("orders"))
+	connect(t, alice, "B0")
+	sys.Settle()
+	if err := alice.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle()
+
+	pub := sys.NewClient("pub")
+	connect(t, pub, "B1")
+	sys.Settle()
+	for i := 1; i <= 5; i++ {
+		if _, err := pub.Publish(orderAttrs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Settle()
+	queue := "mob/B0/alice"
+	if st.State(queue).Pending != 5 {
+		t.Fatalf("ghost queue pending = %d, want 5", st.State(queue).Pending)
+	}
+
+	// Reconnect (replaying acks the queue), then cancel the durable sub:
+	// the session must ack-all and compact.
+	connect(t, alice, "B0")
+	sys.Settle()
+	sub.Cancel()
+	sys.Settle()
+	if p := st.State(queue).Pending; p != 0 {
+		t.Errorf("cancelled durable queue still pins %d records", p)
+	}
+}
+
+// TestDurableResubscribeOrphansOldHandle: re-subscribing under the same
+// durable name supersedes the previous handle — its stream closes (a
+// ranging goroutine terminates instead of blocking forever) and the new
+// handle owns the deliveries; the old handle's Cancel must not tear the
+// new registration down.
+func TestDurableResubscribeOrphansOldHandle(t *testing.T) {
+	sys := newSystem(t, rebeca.WithMovement(rebeca.Line(2)))
+	topic := rebeca.NewFilter(rebeca.Eq("topic", rebeca.String("t")))
+	alice := sys.NewClient("alice")
+	connect(t, alice, "B0")
+	first := alice.Subscribe(topic, rebeca.Durable("orders"))
+	second := alice.Subscribe(topic, rebeca.Durable("orders"))
+	if first.ID() != second.ID() {
+		t.Fatalf("durable IDs diverged: %s vs %s", first.ID(), second.ID())
+	}
+	if _, ok := <-first.Events(); ok {
+		t.Fatal("superseded handle's stream not closed")
+	}
+	first.Cancel() // must be a no-op, not an unsubscribe of the successor
+
+	pub := sys.NewClient("pub")
+	connect(t, pub, "B1")
+	sys.Settle()
+	if _, err := pub.Publish(map[string]rebeca.Value{
+		"topic": rebeca.String("t"), "i": rebeca.Int(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle()
+	select {
+	case d := <-second.Events():
+		if v, _ := d.Note.Get("i"); v.IntVal() != 1 {
+			t.Fatalf("unexpected delivery %v", d.Note)
+		}
+	default:
+		t.Fatal("successor handle received nothing (old Cancel tore it down?)")
+	}
+}
+
+// TestDurableSubIDStable pins the derived identity durable subscriptions
+// rely on across restarts.
+func TestDurableSubIDStable(t *testing.T) {
+	sys := newSystem(t, rebeca.WithMovement(rebeca.Line(2)))
+	f := rebeca.AllFilter()
+	c := sys.NewClient("alice")
+	s1 := c.Subscribe(f, rebeca.Durable("orders"))
+	if want := rebeca.SubID("alice/d:orders"); s1.ID() != want {
+		t.Fatalf("durable SubID = %q, want %q", s1.ID(), want)
+	}
+	// A plain subscription still gets counter identity.
+	s2 := c.Subscribe(f)
+	if s2.ID() == s1.ID() {
+		t.Fatal("counter subscription collided with durable ID")
+	}
+	if s2.ID() != rebeca.SubID(fmt.Sprintf("alice/s%d", 2)) {
+		t.Logf("note: counter ID is %q", s2.ID()) // informative, not pinned
+	}
+}

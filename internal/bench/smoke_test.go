@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: rebeca
+BenchmarkDeliverCallback-8   	       1	     52300 ns/op
+BenchmarkDeliverStream-8     	       1	     48100 ns/op	    1024 B/op	      12 allocs/op
+BenchmarkBatchPublish/size=100-8 	       1	   2210000 ns/op	      33.5 msgs/note
+PASS
+ok  	rebeca	0.31s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	res, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(res))
+	}
+	if res[0].Name != "BenchmarkDeliverCallback-8" || res[0].NsPerOp != 52300 {
+		t.Fatalf("first result: %+v", res[0])
+	}
+	if res[1].Metrics["B/op"] != 1024 || res[1].Metrics["allocs/op"] != 12 {
+		t.Fatalf("metrics: %+v", res[1].Metrics)
+	}
+	if res[2].Metrics["msgs/note"] != 33.5 {
+		t.Fatalf("custom metric: %+v", res[2].Metrics)
+	}
+}
+
+func TestWriteSmokeReportRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSmokeReport(strings.NewReader(sampleBenchOutput), &buf, "1x"); err != nil {
+		t.Fatal(err)
+	}
+	var rep SmokeReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchtime != "1x" || len(rep.Results) != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestWriteSmokeReportRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSmokeReport(strings.NewReader("PASS\nok rebeca 0.1s\n"), &buf, "1x"); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

@@ -295,6 +295,30 @@ func (c *Client) Subscribe(f filter.Filter) message.SubID {
 	return id
 }
 
+// SubscribeAs registers a subscription under a caller-chosen stable ID —
+// the durable-subscription path, where the ID must survive process
+// restarts so a recreated client reattaches to its broker-side queue.
+// Re-registering an ID already in the profile updates its filter and,
+// while connected, re-announces it so the border's routing entry follows.
+func (c *Client) SubscribeAs(id message.SubID, f filter.Filter) message.SubID {
+	sub := proto.Subscription{ID: id, Filter: f}
+	replaced := false
+	for i, s := range c.subs {
+		if s.ID == id {
+			c.subs[i] = sub
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		c.subs = append(c.subs, sub)
+	}
+	if c.connected {
+		c.send(c.border, proto.Message{Kind: proto.KSubscribe, Client: c.id, Sub: &sub})
+	}
+	return id
+}
+
 // SubscribeAt is a convenience for location-dependent subscriptions: it
 // appends the myloc marker (§1).
 func (c *Client) SubscribeAt(cs ...filter.Constraint) message.SubID {

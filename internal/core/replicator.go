@@ -41,6 +41,7 @@ import (
 	"rebeca/internal/location"
 	"rebeca/internal/message"
 	"rebeca/internal/proto"
+	"rebeca/internal/store"
 )
 
 // Stats counts replicator activity for the experiments.
@@ -133,6 +134,15 @@ type Config struct {
 	// SharedTTL / SharedCap bound digest retention in shared mode (0 = unbounded).
 	SharedTTL time.Duration
 	SharedCap int
+	// Store, when non-nil, backs every virtual-client buffer with a
+	// persistence queue (repl/<broker>/<client>): appends happen when a
+	// notification is buffered, acks when its replay or fetch is served —
+	// the same append-before-deliver/ack-on-confirm path the mobility
+	// manager uses. A virtual client recreated on the same store (a
+	// restarted broker re-running the replica protocol) reloads its
+	// pending buffer. Ignored when Shared is set (digests hold no
+	// notification payloads to persist).
+	Store store.Store
 	// PreSubscribe enables the pre-subscription mechanism. When false the
 	// replicator degrades to the Reactive baseline: location-dependent
 	// subscriptions exist only at the client's current broker and are
@@ -223,9 +233,13 @@ func (r *Replicator) resolve(f filter.Filter) filter.Filter {
 	return f
 }
 
-func (r *Replicator) newBuffer() buffer.Policy {
+func (r *Replicator) newBuffer(c message.NodeID) buffer.Policy {
 	if r.cfg.Shared != nil {
 		return r.cfg.Shared.NewDigest(r.cfg.SharedTTL, r.cfg.SharedCap)
+	}
+	if r.cfg.Store != nil {
+		queue := fmt.Sprintf("repl/%s/%s", r.b.ID(), c)
+		return buffer.NewDurable(r.cfg.Store, queue, r.cfg.BufferFactory())
 	}
 	return r.cfg.BufferFactory()
 }
@@ -347,7 +361,7 @@ func (r *Replicator) ensureVC(c message.NodeID, active bool) *virtualClient {
 		vc = &virtualClient{
 			client: c,
 			subs:   make(map[message.SubID]filter.Filter),
-			buf:    r.newBuffer(),
+			buf:    r.newBuffer(c),
 		}
 		r.vcs[c] = vc
 		r.stats.ReplicasCreated++
@@ -440,13 +454,15 @@ func (r *Replicator) onDisconnect(m proto.Message) {
 // (publisher, seq) order: the "listen for a while" semantics of §1.
 func (r *Replicator) replay(vc *virtualClient) {
 	notes := vc.buf.Snapshot(r.b.Now())
-	vc.buf.Clear()
 	message.ByID(notes)
 	for _, n := range notes {
 		note := n
 		r.stats.Replayed++
 		r.b.Send(vc.client, proto.Message{Kind: proto.KDeliver, Client: vc.client, Note: &note})
 	}
+	// For a store-backed buffer the Clear acks the queue — only after the
+	// replay has been handed to the transport.
+	vc.buf.Clear()
 }
 
 // Remove implements client removal (§3.2.4): delete the local virtual
@@ -526,12 +542,12 @@ func (r *Replicator) onBufferFetch(m proto.Message) bool {
 		return true
 	}
 	notes := vc.buf.Snapshot(r.b.Now())
-	vc.buf.Clear()
 	r.stats.FetchesServed++
 	r.b.Direct(m.Origin, proto.Message{
 		Kind: proto.KBufferFetchReply, Client: m.Client, Origin: r.b.ID(),
 		Notes: notes,
 	})
+	vc.buf.Clear()
 	return true
 }
 

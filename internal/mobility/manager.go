@@ -71,12 +71,15 @@
 package mobility
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"rebeca/internal/broker"
 	"rebeca/internal/buffer"
 	"rebeca/internal/message"
 	"rebeca/internal/proto"
+	"rebeca/internal/store"
 )
 
 // Mode selects the handover protocol. Enums start at one.
@@ -226,6 +229,12 @@ type Stats struct {
 	TapForwarded int
 	// DroppedDuplicates counts merge-time duplicate suppressions.
 	DroppedDuplicates int
+	// RecoveredSessions counts ghost sessions rebuilt by Recover.
+	RecoveredSessions int
+	// RecoveryErrors counts persisted sessions Recover could not decode —
+	// their queues stay pending in the store but no subscriptions were
+	// re-installed; nonzero values deserve operator attention.
+	RecoveryErrors int
 }
 
 // Manager is the physical-mobility plugin of one border broker.
@@ -233,6 +242,7 @@ type Manager struct {
 	b        *broker.Broker
 	mode     Mode
 	factory  buffer.Factory
+	store    store.Store
 	sessions map[message.NodeID]*session
 	// flushCont maps a flush wave ID to its continuation.
 	flushCont map[uint64]func()
@@ -246,6 +256,16 @@ type Option func(*Manager)
 // unbounded).
 func WithBufferFactory(f buffer.Factory) Option {
 	return func(m *Manager) { m.factory = f }
+}
+
+// WithStore backs every session buffer with a persistence queue and every
+// session profile with a store snapshot: notifications are appended before
+// a ghost buffers them and acked only when their delivery (replay to the
+// reconnected client) or handover (KRelocActivate from the new border) is
+// confirmed, and a restarted broker rebuilds its disconnected-client
+// sessions with Recover.
+func WithStore(s store.Store) Option {
+	return func(m *Manager) { m.store = s }
 }
 
 // New attaches a mobility manager to a border broker and returns it.
@@ -266,6 +286,103 @@ func New(b *broker.Broker, mode Mode, opts ...Option) *Manager {
 
 // Stats returns a copy of the manager's counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// --- persistence -------------------------------------------------------
+
+// sessionSnap is the durable image of one session: its subscription
+// profile in issue order. Everything else (state, taps, epochs) is
+// protocol-transient — after a crash every client is disconnected, so
+// recovered sessions restart as ghosts.
+type sessionSnap struct {
+	Subs []proto.Subscription
+}
+
+// sessionKey names a session's snapshot and buffer queue in the store.
+// The broker ID is part of the key: in-process deployments share one
+// store across all brokers.
+func (m *Manager) sessionKey(c message.NodeID) string {
+	return "mob/" + string(m.b.ID()) + "/" + string(c)
+}
+
+// newBuffer builds a session buffer, store-backed when durability is on.
+// Building on a non-empty queue recovers its pending notifications.
+func (m *Manager) newBuffer(c message.NodeID) buffer.Policy {
+	if m.store == nil {
+		return m.factory()
+	}
+	return buffer.NewDurable(m.store, m.sessionKey(c), m.factory())
+}
+
+// persist snapshots a session's profile (no-op without a store).
+func (m *Manager) persist(s *session) {
+	if m.store == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sessionSnap{Subs: s.profile()}); err != nil {
+		return
+	}
+	_ = m.store.Snapshot(m.sessionKey(s.client), buf.Bytes())
+}
+
+// forget deletes a session's snapshot (no-op without a store). The
+// buffer queue is acked separately by the delivery/handover paths.
+func (m *Manager) forget(c message.NodeID) {
+	if m.store == nil {
+		return
+	}
+	_ = m.store.Snapshot(m.sessionKey(c), nil)
+}
+
+// release acks and compacts a session's durable queue — the path behind
+// Subscription.Cancel on a durable subscription, so cancelled queues stop
+// pinning WAL segments. Compact rewrites the store's live state, which is
+// acceptable on the event loop because the rewrite is bounded by what is
+// still pending (acked records are skipped) and last-subscription
+// cancellations are rare control-plane events; deployments where that
+// ever measures should amortize on a garbage-ratio threshold instead.
+func (m *Manager) release(s *session) {
+	if d, ok := s.buf.(*buffer.Durable); ok {
+		d.Release()
+	} else {
+		s.buf.Clear()
+	}
+}
+
+// Recover rebuilds the sessions persisted by a previous process on the
+// same store: each snapshot becomes a ghost session whose subscriptions
+// are re-installed into the routing table (and propagated to peers) and
+// whose buffer reloads the queue's pending notifications. Call it once,
+// after the broker is wired into its overlay and before client traffic.
+// Returns the number of sessions recovered.
+func (m *Manager) Recover() int {
+	if m.store == nil {
+		return 0
+	}
+	prefix := "mob/" + string(m.b.ID()) + "/"
+	recovered := 0
+	for key, blob := range m.store.Snapshots(prefix) {
+		c := message.NodeID(key[len(prefix):])
+		if _, ok := m.sessions[c]; ok || c == "" {
+			continue
+		}
+		var snap sessionSnap
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
+			m.stats.RecoveryErrors++
+			continue
+		}
+		s := m.newSession(c, stateGhost)
+		m.sessions[c] = s
+		m.b.AttachPort(c)
+		for _, sub := range snap.Subs {
+			s.addSub(sub)
+			m.b.InstallSub(sub, c)
+		}
+		recovered++
+	}
+	m.stats.RecoveredSessions += recovered
+	return recovered
+}
 
 // SessionState reports a session's state name for tests ("" if absent).
 func (m *Manager) SessionState(c message.NodeID) string {
@@ -403,6 +520,7 @@ func (m *Manager) onConnect(msg proto.Message) bool {
 			s.addSub(sub)
 			m.b.InstallSub(sub, c)
 		}
+		m.persist(s)
 		return true
 	default:
 		// Relocation from prev.
@@ -437,12 +555,17 @@ func staticSubs(subs []proto.Subscription) []proto.Subscription {
 // know about — subscriptions the client issued at borders whose state never
 // made it back here.
 func (m *Manager) reconcile(s *session) {
+	changed := false
 	for _, sub := range s.announced {
 		if _, ok := s.subs[sub.ID]; ok {
 			continue
 		}
 		s.addSub(sub)
 		m.b.InstallSub(sub, s.client)
+		changed = true
+	}
+	if changed {
+		m.persist(s)
 	}
 }
 
@@ -451,7 +574,7 @@ func (m *Manager) newSession(c message.NodeID, st sessionState) *session {
 		client: c,
 		state:  st,
 		subs:   make(map[message.SubID]proto.Subscription),
-		buf:    m.factory(),
+		buf:    m.newBuffer(c),
 		seen:   make(map[message.NotificationID]bool),
 	}
 }
@@ -467,6 +590,7 @@ func (m *Manager) onDisconnect(msg proto.Message) bool {
 			for _, id := range append([]message.SubID(nil), s.subOrder...) {
 				m.b.RemoveSub(id)
 			}
+			m.forget(msg.Client)
 			delete(m.sessions, msg.Client)
 			return false // default detaches the port
 		}
@@ -493,6 +617,7 @@ func (m *Manager) onSubscribe(from message.NodeID, msg proto.Message) bool {
 		return false
 	}
 	s.addSub(*msg.Sub)
+	m.persist(s)
 	return false // default handling installs and forwards
 }
 
@@ -502,6 +627,13 @@ func (m *Manager) onUnsubscribe(from message.NodeID, msg proto.Message) bool {
 		return false
 	}
 	s.removeSub(msg.Sub.ID)
+	m.persist(s)
+	if len(s.subs) == 0 && m.store != nil {
+		// The last (durable) subscription was cancelled: nothing can ever
+		// be delivered from this queue again. Ack everything and compact
+		// so the cancelled queue stops pinning WAL segments.
+		m.release(s)
+	}
 	return false
 }
 
@@ -591,7 +723,13 @@ func (m *Manager) decline(c, border message.NodeID, epoch uint64) {
 
 func (m *Manager) beginRelocOut(s *session, newBorder message.NodeID, epoch uint64) {
 	notes := s.buf.Snapshot(m.b.Now())
-	s.buf.Clear()
+	if m.store == nil || m.mode == ModeJEDI {
+		s.buf.Clear()
+	}
+	// With a store, the transparent protocol keeps the shipped buffer
+	// pending until KRelocActivate confirms the new border holds it: a
+	// crash mid-handover redelivers from the queue instead of losing the
+	// shipment (the client's dedup set absorbs the overlap).
 	profile := s.profile()
 	if m.mode == ModeJEDI {
 		// Ship everything at once, unsubscribe immediately, forget. No
@@ -599,6 +737,7 @@ func (m *Manager) beginRelocOut(s *session, newBorder message.NodeID, epoch uint
 		for _, id := range append([]message.SubID(nil), s.subOrder...) {
 			m.b.RemoveSub(id)
 		}
+		m.forget(s.client)
 		m.b.DetachPort(s.client)
 		delete(m.sessions, s.client)
 		m.b.Unicast(newBorder, proto.Message{
@@ -661,6 +800,9 @@ func (m *Manager) onRelocProfile(msg proto.Message) bool {
 		s.addSub(sub)
 		m.b.InstallSub(sub, c)
 	}
+	if len(msg.Subs) > 0 {
+		m.persist(s)
+	}
 	// Heal subscriptions the shipped profile does not cover (the client
 	// may have started from an empty previous border after a teardown).
 	m.reconcile(s)
@@ -696,6 +838,9 @@ func (m *Manager) absorb(s *session, msg proto.Message) {
 		s.addSub(sub)
 		m.b.InstallSub(sub, s.client)
 	}
+	if len(msg.Subs) > 0 {
+		m.persist(s)
+	}
 	message.ByID(msg.Notes)
 	for _, n := range msg.Notes {
 		note := n
@@ -729,7 +874,6 @@ func (m *Manager) teardown(s *session, currentBorder message.NodeID) {
 		m.decline(s.client, target, epoch)
 	}
 	notes := s.buf.Snapshot(m.b.Now())
-	s.buf.Clear()
 	message.ByID(notes)
 	for _, n := range notes {
 		note := n
@@ -737,9 +881,13 @@ func (m *Manager) teardown(s *session, currentBorder message.NodeID) {
 			Kind: proto.KDeliver, Client: s.client, Origin: m.b.ID(), Note: &note,
 		})
 	}
+	// Ack (durable Clear) only after the forwards are handed to the
+	// transport — same append-before-deliver/ack-after contract as replay.
+	s.buf.Clear()
 	for _, id := range append([]message.SubID(nil), s.subOrder...) {
 		m.b.RemoveSub(id)
 	}
+	m.forget(s.client)
 	m.b.DetachPort(s.client)
 	delete(m.sessions, s.client)
 }
@@ -751,6 +899,10 @@ func (m *Manager) onRelocActivate(msg proto.Message) bool {
 		msg.Epoch != s.outEpoch {
 		return true
 	}
+	// Handover confirmed: the new border holds the shipped buffer, so the
+	// durable queue behind it can be acked (no-op without a store — the
+	// buffer was already cleared at ship time).
+	s.buf.Clear()
 	// No unsubscription here: the new border's re-subscription has already
 	// flipped every table entry toward itself (F1 barriered that wave).
 	// Barrier F2: stragglers routed by pre-flip entries arrive before the
@@ -776,6 +928,7 @@ func (m *Manager) onRelocActivate(msg proto.Message) bool {
 			})
 			return
 		}
+		m.forget(c)
 		m.b.DetachPort(c)
 		delete(m.sessions, c)
 	}
@@ -830,16 +983,20 @@ func (m *Manager) finishRelocation(s *session) {
 	}
 }
 
-// replay delivers the session buffer in (publisher, seq) order.
+// replay delivers the session buffer in (publisher, seq) order, then
+// clears it — for a durable buffer the Clear is the delivery ack, so it
+// runs only after every KDeliver has been handed to the transport. A crash
+// in between redelivers on the next reconnect; the client's dedup set
+// keeps the stream exactly-once.
 func (m *Manager) replay(s *session) {
 	notes := s.buf.Snapshot(m.b.Now())
-	s.buf.Clear()
 	message.ByID(notes)
 	for _, n := range notes {
 		note := n
 		m.stats.Replayed++
 		m.b.Send(s.client, proto.Message{Kind: proto.KDeliver, Client: s.client, Note: &note})
 	}
+	s.buf.Clear()
 }
 
 // onTapDeliver handles tap-forwarded stragglers arriving from the old

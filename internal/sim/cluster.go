@@ -16,6 +16,7 @@ import (
 	"rebeca/internal/movement"
 	"rebeca/internal/proto"
 	"rebeca/internal/routing"
+	"rebeca/internal/store"
 )
 
 // ClusterConfig describes a complete middleware deployment for simulation.
@@ -44,6 +45,12 @@ type ClusterConfig struct {
 	BufferFactory buffer.Factory
 	// SharedBuffers switches replicators to shared per-broker stores (E8).
 	SharedBuffers bool
+	// Store, when non-nil, backs mobility-session and replicator buffers
+	// with persistence queues and session profiles with snapshots; after
+	// construction every manager runs Recover, so a cluster built on a
+	// previously used store resumes its ghost sessions (the simulated
+	// broker-restart scenario).
+	Store store.Store
 	// Middleware is appended to every broker's extension chain, after the
 	// session-layer plugins — stages see the traffic the session layers
 	// pass through. Instances are shared across brokers (the sim runs one
@@ -204,6 +211,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				Context:       cfg.Context,
 				BufferFactory: cfg.BufferFactory,
 				PreSubscribe:  cfg.Replication == ReplicationPreSubscribe,
+				Store:         cfg.Store,
 			}
 			if cfg.SharedBuffers {
 				shared := buffer.NewShared()
@@ -213,10 +221,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			c.Replicators[id] = core.New(rcfg)
 		}
 		if cfg.Mobility != MobilityNone {
-			c.Managers[id] = mobility.New(b, cfg.Mobility.protocol(),
-				mobility.WithBufferFactory(cfg.BufferFactory))
+			opts := []mobility.Option{mobility.WithBufferFactory(cfg.BufferFactory)}
+			if cfg.Store != nil {
+				opts = append(opts, mobility.WithStore(cfg.Store))
+			}
+			c.Managers[id] = mobility.New(b, cfg.Mobility.protocol(), opts...)
 		}
 		b.UseMiddleware(cfg.Middleware...)
+	}
+	// Recovery pass: a cluster built on a previously used store resumes
+	// the persisted ghost sessions. The re-installed subscriptions are
+	// forwarded as ordinary KSubscribe traffic, queued on the virtual
+	// network and drained by the first Run/Settle.
+	if cfg.Store != nil {
+		for _, m := range c.Managers {
+			m.Recover()
+		}
 	}
 	return c, nil
 }

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+func benchAppends(b *testing.B, s Store) {
+	b.Helper()
+	n := note("pub", 1)
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append("q", n, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryAppend(b *testing.B) {
+	benchAppends(b, NewMemory())
+}
+
+func BenchmarkWALAppendSynced(b *testing.B) {
+	w, err := OpenWAL(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	benchAppends(b, w)
+}
+
+func BenchmarkWALAppendNoSync(b *testing.B) {
+	w, err := OpenWAL(b.TempDir(), WALNoSync())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	benchAppends(b, w)
+}
+
+func BenchmarkWALRecovery(b *testing.B) {
+	dir := b.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_, _ = w.Append("q", note("pub", uint64(i+1)), time.Now())
+	}
+	_ = w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w2, err := OpenWAL(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs, _ := w2.ReplayFrom("q", 0); len(rs) != 1000 {
+			b.Fatalf("recovered %d records", len(rs))
+		}
+		_ = w2.Close()
+	}
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+var t0 = time.Date(2003, 6, 16, 12, 0, 0, 0, time.UTC)
+
+func note(pub message.NodeID, seq uint64) message.Notification {
+	n := message.NewNotification(map[string]message.Value{
+		"seq": message.Int(int64(seq)),
+	})
+	n.ID = message.NotificationID{Publisher: pub, Seq: seq}
+	return n
+}
+
+// each returns a fresh instance of every Store implementation.
+func each(t *testing.T) map[string]Store {
+	t.Helper()
+	wal, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = wal.Close() })
+	return map[string]Store{"memory": NewMemory(), "wal": wal}
+}
+
+func seqs(rs []Record) []uint64 {
+	out := make([]uint64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Seq
+	}
+	return out
+}
+
+func TestAppendReplayAck(t *testing.T) {
+	for name, s := range each(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := uint64(1); i <= 5; i++ {
+				seq, err := s.Append("q", note("p", i), t0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq != i {
+					t.Fatalf("Append seq = %d, want %d", seq, i)
+				}
+			}
+			rs, err := s.ReplayFrom("q", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := seqs(rs); len(got) != 5 || got[0] != 1 || got[4] != 5 {
+				t.Fatalf("ReplayFrom(0) = %v", got)
+			}
+			if rs[2].Note.ID != note("p", 3).ID {
+				t.Fatalf("record 3 carries %v", rs[2].Note.ID)
+			}
+			if !rs[0].At.Equal(t0) {
+				t.Fatalf("record time not preserved: %v", rs[0].At)
+			}
+
+			if err := s.Ack("q", 3); err != nil {
+				t.Fatal(err)
+			}
+			rs, _ = s.ReplayFrom("q", 0)
+			if got := seqs(rs); len(got) != 2 || got[0] != 4 {
+				t.Fatalf("after Ack(3): %v", got)
+			}
+			rs, _ = s.ReplayFrom("q", 4)
+			if got := seqs(rs); len(got) != 1 || got[0] != 5 {
+				t.Fatalf("ReplayFrom(4) = %v", got)
+			}
+
+			// Ack beyond the tail clamps; sequences keep climbing after.
+			if err := s.Ack("q", 99); err != nil {
+				t.Fatal(err)
+			}
+			if rs, _ := s.ReplayFrom("q", 0); len(rs) != 0 {
+				t.Fatalf("after Ack(99): %v", seqs(rs))
+			}
+			seq, _ := s.Append("q", note("p", 6), t0)
+			if seq != 6 {
+				t.Fatalf("post-ack Append seq = %d, want 6", seq)
+			}
+		})
+	}
+}
+
+func TestQueuesAreIndependent(t *testing.T) {
+	for name, s := range each(t) {
+		t.Run(name, func(t *testing.T) {
+			_, _ = s.Append("a", note("p", 1), t0)
+			_, _ = s.Append("b", note("p", 1), t0)
+			_, _ = s.Append("a", note("p", 2), t0)
+			_ = s.Ack("a", 2)
+			if rs, _ := s.ReplayFrom("a", 0); len(rs) != 0 {
+				t.Fatalf("queue a: %v", seqs(rs))
+			}
+			if rs, _ := s.ReplayFrom("b", 0); len(rs) != 1 {
+				t.Fatalf("queue b: %v", seqs(rs))
+			}
+		})
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	for name, s := range each(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Snapshot("mob/B1/alice", []byte("profile")); err != nil {
+				t.Fatal(err)
+			}
+			_ = s.Snapshot("mob/B1/bob", []byte("x"))
+			_ = s.Snapshot("repl/B1/vc", []byte("y"))
+			b, ok := s.LoadSnapshot("mob/B1/alice")
+			if !ok || string(b) != "profile" {
+				t.Fatalf("LoadSnapshot = %q, %v", b, ok)
+			}
+			all := s.Snapshots("mob/B1/")
+			if len(all) != 2 {
+				t.Fatalf("Snapshots(mob/B1/) = %v", all)
+			}
+			_ = s.Snapshot("mob/B1/bob", nil) // delete
+			if _, ok := s.LoadSnapshot("mob/B1/bob"); ok {
+				t.Fatal("deleted snapshot still present")
+			}
+		})
+	}
+}
+
+func TestCompactPreservesLiveState(t *testing.T) {
+	for name, s := range each(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := uint64(1); i <= 10; i++ {
+				_, _ = s.Append("q", note("p", i), t0)
+			}
+			_ = s.Ack("q", 7)
+			_ = s.Snapshot("meta", []byte("m"))
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			rs, _ := s.ReplayFrom("q", 0)
+			if got := seqs(rs); len(got) != 3 || got[0] != 8 || got[2] != 10 {
+				t.Fatalf("after compact: %v", got)
+			}
+			if _, ok := s.LoadSnapshot("meta"); !ok {
+				t.Fatal("snapshot lost in compaction")
+			}
+			// Sequence floor survives compaction.
+			seq, _ := s.Append("q", note("p", 11), t0)
+			if seq != 11 {
+				t.Fatalf("post-compact Append seq = %d, want 11", seq)
+			}
+		})
+	}
+}
+
+func TestMemoryCrashDiscardsUnsynced(t *testing.T) {
+	m := NewMemory()
+	_, _ = m.Append("q", note("p", 1), t0)
+	_, _ = m.Append("q", note("p", 2), t0)
+	// Every sync from here on fails: appends stay staged, not durable.
+	m.SetSyncFault(func() error { return errors.New("disk full") })
+	_, _ = m.Append("q", note("p", 3), t0)
+	_ = m.Snapshot("meta", []byte("m"))
+	// Visible before the crash…
+	if rs, _ := m.ReplayFrom("q", 0); len(rs) != 3 {
+		t.Fatalf("pre-crash: %v", seqs(rs))
+	}
+	m.Crash()
+	// …gone after: only the synced prefix survives.
+	rs, _ := m.ReplayFrom("q", 0)
+	if got := seqs(rs); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("post-crash: %v", got)
+	}
+	if _, ok := m.LoadSnapshot("meta"); ok {
+		t.Fatal("unsynced snapshot survived the crash")
+	}
+}
+
+func TestMemoryTransientFaultsCoveredByLaterSync(t *testing.T) {
+	m := NewMemory()
+	m.FailSyncs(3, errors.New("EIO"))
+	for i := uint64(1); i <= 5; i++ {
+		_, _ = m.Append("q", note("p", i), t0)
+	}
+	// Syncs 1–3 failed, but append 4's successful sync covers the whole
+	// staged prefix: nothing is lost.
+	m.Crash()
+	if rs, _ := m.ReplayFrom("q", 0); len(rs) != 5 {
+		t.Fatalf("after transient faults: %v", seqs(rs))
+	}
+}
+
+func TestMemoryCrashAfterCompact(t *testing.T) {
+	m := NewMemory()
+	for i := uint64(1); i <= 6; i++ {
+		_, _ = m.Append("q", note("p", i), t0)
+	}
+	_ = m.Ack("q", 4)
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	rs, _ := m.ReplayFrom("q", 0)
+	if got := seqs(rs); len(got) != 2 || got[0] != 5 {
+		t.Fatalf("crash after compact: %v", got)
+	}
+	if st := m.State("q"); st.Next != 7 || st.Acked != 4 {
+		t.Fatalf("queue meta lost: %+v", st)
+	}
+}

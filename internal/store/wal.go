@@ -1,0 +1,511 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// DefaultSegmentSize is the rotation threshold for WAL segment files.
+const DefaultSegmentSize = 4 << 20 // 4 MiB
+
+// walRecord is the gob-encoded payload of one framed WAL entry. Kind reuses
+// the Memory store's op vocabulary: append, ack, snapshot, queue-meta.
+type walRecord struct {
+	Kind  int
+	Queue string
+	Seq   uint64
+	At    time.Time
+	Note  message.Notification
+	UpTo  uint64
+	Next  uint64
+	Key   string
+	Data  []byte
+}
+
+// WAL is the file-backed Store: an append-only log of CRC-framed,
+// gob-encoded records split into rotating segment files
+// (wal-<n>.seg). Every record is fsynced before Append returns (unless
+// WALNoSync), so a killed process loses nothing it acknowledged. Compact
+// rewrites the live state (pending records, watermarks, snapshots) into a
+// fresh segment and deletes the older ones — the ack-driven garbage
+// collection that keeps cancelled durable subscriptions from pinning
+// segments forever.
+//
+// Frame format, little-endian:
+//
+//	[4B payload length][4B IEEE CRC-32 of payload][payload]
+//
+// Recovery reads segments in order, verifying each frame's CRC. A short or
+// corrupt frame in the newest segment marks the torn tail of an interrupted
+// write: recovery stops there and the file is truncated to the last good
+// frame. Corruption in an older segment is reported as an error — that is
+// data loss, not a torn tail.
+type WAL struct {
+	mu     sync.Mutex
+	dir    string
+	maxSeg int64
+	sync   bool
+
+	seg     *os.File // active segment, opened for append
+	segID   int
+	segSize int64
+
+	queues map[string]*memQueue
+	snaps  map[string][]byte
+	closed bool
+}
+
+var _ Store = (*WAL)(nil)
+
+// WALOption configures OpenWAL.
+type WALOption func(*WAL)
+
+// WALSegmentSize sets the segment rotation threshold in bytes.
+func WALSegmentSize(n int64) WALOption {
+	return func(w *WAL) {
+		if n > 0 {
+			w.maxSeg = n
+		}
+	}
+}
+
+// WALNoSync disables the per-append fsync (benchmarks; a crash may lose
+// the unsynced tail).
+func WALNoSync() WALOption {
+	return func(w *WAL) { w.sync = false }
+}
+
+// OpenWAL opens (creating if needed) a write-ahead log in dir and recovers
+// its state from the existing segments.
+func OpenWAL(dir string, opts ...WALOption) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	w := &WAL{
+		dir:    dir,
+		maxSeg: DefaultSegmentSize,
+		sync:   true,
+		queues: make(map[string]*memQueue),
+		snaps:  make(map[string][]byte),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	if err := w.recover(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Dir returns the WAL's directory.
+func (w *WAL) Dir() string { return w.dir }
+
+func segName(id int) string { return fmt.Sprintf("wal-%06d.seg", id) }
+
+// segments lists existing segment IDs in ascending order.
+func (w *WAL) segments() ([]int, error) {
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, e := range ents {
+		var id int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.seg", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// recover replays all segments into the in-memory index and opens the
+// newest one for append.
+func (w *WAL) recover() error {
+	ids, err := w.segments()
+	if err != nil {
+		return fmt.Errorf("store: scan wal dir: %w", err)
+	}
+	if len(ids) == 0 {
+		return w.openSegment(1)
+	}
+	for i, id := range ids {
+		last := i == len(ids)-1
+		if err := w.replaySegment(id, last); err != nil {
+			return err
+		}
+	}
+	w.segID = ids[len(ids)-1]
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.segID)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	w.seg = f
+	w.segSize = st.Size()
+	return nil
+}
+
+// replaySegment folds one segment into the index. In the last segment a
+// torn tail (short frame or CRC mismatch) truncates the file; anywhere
+// else it is corruption.
+func (w *WAL) replaySegment(id int, last bool) error {
+	path := filepath.Join(w.dir, segName(id))
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var offset int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) && last {
+				return os.Truncate(path, offset)
+			}
+			return fmt.Errorf("store: %s: torn frame header at %d", segName(id), offset)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if last {
+				return os.Truncate(path, offset)
+			}
+			return fmt.Errorf("store: %s: torn frame body at %d", segName(id), offset)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if last {
+				return os.Truncate(path, offset)
+			}
+			return fmt.Errorf("store: %s: CRC mismatch at %d", segName(id), offset)
+		}
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			if last {
+				return os.Truncate(path, offset)
+			}
+			return fmt.Errorf("store: %s: undecodable record at %d: %w", segName(id), offset, err)
+		}
+		w.fold(rec)
+		offset += int64(8 + len(payload))
+	}
+}
+
+// fold applies one recovered/written record to the in-memory index.
+func (w *WAL) fold(rec walRecord) {
+	switch opKind(rec.Kind) {
+	case opAppend:
+		q := w.queue(rec.Queue)
+		if rec.Seq+1 > q.next {
+			q.next = rec.Seq + 1
+		}
+		// Idempotence guard: a crash between Compact's segment rewrite and
+		// its old-segment deletion leaves the same append in two segments.
+		// Live appends are strictly increasing per queue, so a sequence at
+		// or below the current tail is a replayed duplicate, not data.
+		dup := len(q.records) > 0 && rec.Seq <= q.records[len(q.records)-1].Seq
+		if rec.Seq > q.acked && !dup {
+			q.records = append(q.records, Record{Queue: rec.Queue, Seq: rec.Seq, At: rec.At, Note: rec.Note})
+		}
+	case opAck:
+		q := w.queue(rec.Queue)
+		upTo := rec.UpTo
+		if upTo >= q.next {
+			upTo = q.next - 1
+		}
+		if upTo > q.acked {
+			q.acked = upTo
+		}
+		i := 0
+		for i < len(q.records) && q.records[i].Seq <= q.acked {
+			i++
+		}
+		if i > 0 {
+			q.records = append(q.records[:0], q.records[i:]...)
+		}
+	case opSnapshot:
+		if rec.Data == nil {
+			delete(w.snaps, rec.Key)
+		} else {
+			w.snaps[rec.Key] = append([]byte(nil), rec.Data...)
+		}
+	case opQueueMeta:
+		q := w.queue(rec.Queue)
+		if rec.Next > q.next {
+			q.next = rec.Next
+		}
+		if rec.UpTo > q.acked {
+			q.acked = rec.UpTo
+		}
+	}
+}
+
+func (w *WAL) queue(name string) *memQueue {
+	q, ok := w.queues[name]
+	if !ok {
+		q = &memQueue{next: 1}
+		w.queues[name] = q
+	}
+	return q
+}
+
+func (w *WAL) openSegment(id int) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(id)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open segment: %w", err)
+	}
+	w.seg = f
+	w.segID = id
+	w.segSize = 0
+	return nil
+}
+
+// write frames, writes and (optionally) fsyncs one record, rotating the
+// segment when it outgrows the threshold. Callers hold w.mu.
+func (w *WAL) write(rec walRecord) error {
+	if w.closed {
+		return errors.New("store: wal is closed")
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.seg.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.seg.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	w.segSize += int64(8 + payload.Len())
+	if w.sync {
+		if err := w.seg.Sync(); err != nil {
+			return err
+		}
+	}
+	if w.segSize >= w.maxSeg {
+		if err := w.seg.Close(); err != nil {
+			return err
+		}
+		if err := w.openSegment(w.segID + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append implements Store.
+func (w *WAL) Append(queue string, n message.Notification, at time.Time) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q := w.queue(queue)
+	seq := q.next
+	rec := walRecord{Kind: int(opAppend), Queue: queue, Seq: seq, At: at, Note: n}
+	if err := w.write(rec); err != nil {
+		return 0, err
+	}
+	w.fold(rec)
+	return seq, nil
+}
+
+// ReplayFrom implements Store.
+func (w *WAL) ReplayFrom(queue string, after uint64) ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q, ok := w.queues[queue]
+	if !ok {
+		return nil, nil
+	}
+	var out []Record
+	for _, r := range q.records {
+		if r.Seq > after {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Ack implements Store.
+func (w *WAL) Ack(queue string, upTo uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.queues[queue]; !ok {
+		return nil
+	}
+	rec := walRecord{Kind: int(opAck), Queue: queue, UpTo: upTo}
+	if err := w.write(rec); err != nil {
+		return err
+	}
+	w.fold(rec)
+	return nil
+}
+
+// Snapshot implements Store.
+func (w *WAL) Snapshot(key string, data []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec := walRecord{Kind: int(opSnapshot), Key: key, Data: data}
+	if err := w.write(rec); err != nil {
+		return err
+	}
+	w.fold(rec)
+	return nil
+}
+
+// LoadSnapshot implements Store.
+func (w *WAL) LoadSnapshot(key string) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, ok := w.snaps[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// Snapshots implements Store.
+func (w *WAL) Snapshots(prefix string) map[string][]byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string][]byte)
+	for k, v := range w.snaps {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out[k] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}
+
+// Compact implements Store: the live state is rewritten into a fresh
+// segment (fsynced before it becomes current) and every older segment is
+// deleted.
+func (w *WAL) Compact() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("store: wal is closed")
+	}
+	oldID := w.segID
+	if err := w.seg.Close(); err != nil {
+		return err
+	}
+	if err := w.openSegment(oldID + 1); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(w.queues))
+	for name := range w.queues {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		q := w.queues[name]
+		if q.next > 1 {
+			if err := w.write(walRecord{Kind: int(opQueueMeta), Queue: name, Next: q.next, UpTo: q.acked}); err != nil {
+				return err
+			}
+		}
+		for _, r := range q.records {
+			if err := w.write(walRecord{Kind: int(opAppend), Queue: name, Seq: r.Seq, At: r.At, Note: r.Note}); err != nil {
+				return err
+			}
+		}
+	}
+	keys := make([]string, 0, len(w.snaps))
+	for k := range w.snaps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := w.write(walRecord{Kind: int(opSnapshot), Key: k, Data: w.snaps[k]}); err != nil {
+			return err
+		}
+	}
+	if err := w.seg.Sync(); err != nil {
+		return err
+	}
+	// The rewrite is durable; the old segments are garbage.
+	ids, err := w.segments()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if id <= oldID {
+			if err := os.Remove(filepath.Join(w.dir, segName(id))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sync implements Store.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.seg == nil {
+		return nil
+	}
+	return w.seg.Sync()
+}
+
+// Close implements Store.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.seg == nil {
+		return nil
+	}
+	if err := w.seg.Sync(); err != nil {
+		_ = w.seg.Close()
+		return err
+	}
+	return w.seg.Close()
+}
+
+// State reports a queue's bookkeeping (tests, stats).
+func (w *WAL) State(queue string) QueueState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q, ok := w.queues[queue]
+	if !ok {
+		return QueueState{Next: 1}
+	}
+	return QueueState{Next: q.next, Acked: q.acked, Pending: len(q.records)}
+}
+
+// SegmentCount reports how many segment files exist (compaction tests).
+func (w *WAL) SegmentCount() (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids, err := w.segments()
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}

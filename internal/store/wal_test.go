@@ -1,0 +1,219 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func reopen(t *testing.T, dir string, opts ...WALOption) *WAL {
+	t.Helper()
+	w, err := OpenWAL(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	return w
+}
+
+func TestWALReopenRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	w := reopen(t, dir)
+	for i := uint64(1); i <= 8; i++ {
+		if _, err := w.Append("q", note("p", i), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Ack("q", 5)
+	_ = w.Snapshot("mob/B1/alice", []byte("profile"))
+	// No graceful close: reopening must recover from the raw files alone.
+	w2 := reopen(t, dir)
+	rs, _ := w2.ReplayFrom("q", 0)
+	if got := seqs(rs); len(got) != 3 || got[0] != 6 || got[2] != 8 {
+		t.Fatalf("recovered replay: %v", got)
+	}
+	if b, ok := w2.LoadSnapshot("mob/B1/alice"); !ok || string(b) != "profile" {
+		t.Fatalf("recovered snapshot: %q %v", b, ok)
+	}
+	if seq, _ := w2.Append("q", note("p", 9), t0); seq != 9 {
+		t.Fatalf("recovered next seq: got %d, want 9", seq)
+	}
+}
+
+func TestWALSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w := reopen(t, dir, WALSegmentSize(512))
+	for i := uint64(1); i <= 40; i++ {
+		if _, err := w.Append("q", note("p", i), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := w.SegmentCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 3 {
+		t.Fatalf("expected rotation into >= 3 segments, got %d", n)
+	}
+	_ = w.Ack("q", 38)
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := w.SegmentCount()
+	if after >= n {
+		t.Fatalf("compaction did not shrink segments: %d -> %d", n, after)
+	}
+	rs, _ := w.ReplayFrom("q", 0)
+	if got := seqs(rs); len(got) != 2 || got[0] != 39 {
+		t.Fatalf("after compact: %v", got)
+	}
+	// And the compacted state survives a reopen.
+	w2 := reopen(t, dir)
+	rs, _ = w2.ReplayFrom("q", 0)
+	if got := seqs(rs); len(got) != 2 || got[1] != 40 {
+		t.Fatalf("reopen after compact: %v", got)
+	}
+	if seq, _ := w2.Append("q", note("p", 41), t0); seq != 41 {
+		t.Fatalf("seq floor lost by compaction: got %d", seq)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := reopen(t, dir)
+	for i := uint64(1); i <= 3; i++ {
+		_, _ = w.Append("q", note("p", i), t0)
+	}
+	_ = w.Close()
+	// Simulate a crash mid-write: append half a frame to the newest
+	// segment.
+	ids, _ := w.segments()
+	path := filepath.Join(dir, segName(ids[len(ids)-1]))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x00, 0x00, 0x00, 0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	w2 := reopen(t, dir)
+	rs, _ := w2.ReplayFrom("q", 0)
+	if got := seqs(rs); len(got) != 3 {
+		t.Fatalf("torn tail recovery: %v", got)
+	}
+	// The torn bytes are gone: a fresh append lands on a clean frame
+	// boundary and a further reopen sees it.
+	if seq, _ := w2.Append("q", note("p", 4), t0); seq != 4 {
+		t.Fatal("append after torn-tail recovery")
+	}
+	w3 := reopen(t, dir)
+	rs, _ = w3.ReplayFrom("q", 0)
+	if got := seqs(rs); len(got) != 4 {
+		t.Fatalf("post-truncation reopen: %v", got)
+	}
+}
+
+func TestWALCorruptBodyDetected(t *testing.T) {
+	dir := t.TempDir()
+	w := reopen(t, dir)
+	for i := uint64(1); i <= 3; i++ {
+		_, _ = w.Append("q", note("p", i), t0)
+	}
+	_ = w.Close()
+	ids, _ := w.segments()
+	path := filepath.Join(dir, segName(ids[len(ids)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the file: a CRC mismatch in the tail
+	// segment is treated as a torn tail — recovery keeps the good prefix.
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := reopen(t, dir)
+	rs, _ := w2.ReplayFrom("q", 0)
+	if len(rs) >= 3 {
+		t.Fatalf("corrupt record not dropped: %v", seqs(rs))
+	}
+	for _, r := range rs {
+		if v, ok := r.Note.Get("seq"); !ok || v.IntVal() != int64(r.Seq) {
+			t.Fatalf("surviving record %d corrupted: %v", r.Seq, r.Note)
+		}
+	}
+}
+
+func TestWALCrashMidCompactDoesNotDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	w := reopen(t, dir)
+	for i := uint64(1); i <= 10; i++ {
+		_, _ = w.Append("q", note("p", i), t0)
+	}
+	_ = w.Ack("q", 7)
+	// Simulate a kill between Compact's rewrite and its old-segment
+	// deletion: stash the pre-compact segments and restore them afterward,
+	// so recovery sees the same appends in both the old and the compacted
+	// segment.
+	ids, _ := w.segments()
+	saved := make(map[string][]byte)
+	for _, id := range ids {
+		b, err := os.ReadFile(filepath.Join(dir, segName(id)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[segName(id)] = b
+	}
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	for name, b := range saved {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w2 := reopen(t, dir)
+	rs, _ := w2.ReplayFrom("q", 0)
+	if got := seqs(rs); len(got) != 3 || got[0] != 8 || got[1] != 9 || got[2] != 10 {
+		t.Fatalf("crash mid-compact replay = %v, want [8 9 10]", got)
+	}
+	if seq, _ := w2.Append("q", note("p", 11), t0); seq != 11 {
+		t.Fatalf("next seq = %d, want 11", seq)
+	}
+}
+
+func TestWALConcurrentAppends(t *testing.T) {
+	w := reopen(t, t.TempDir())
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			q := []string{"a", "b"}[g%2]
+			for i := uint64(0); i < 50; i++ {
+				if _, err := w.Append(q, note("p", i), t0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	for _, q := range []string{"a", "b"} {
+		rs, _ := w.ReplayFrom(q, 0)
+		if len(rs) != 100 {
+			t.Fatalf("queue %s: %d records, want 100", q, len(rs))
+		}
+		for i, r := range rs {
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("queue %s: gap at %d (seq %d)", q, i, r.Seq)
+			}
+		}
+	}
+}

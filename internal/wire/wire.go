@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"rebeca/internal/broker"
 	"rebeca/internal/message"
@@ -318,6 +319,37 @@ func (n *Node) eventLoop() {
 		case <-n.done:
 			return
 		}
+	}
+}
+
+// Drain waits until the node's inbox is empty and the event loop has
+// processed everything it already dequeued — the graceful-shutdown step
+// between "stop taking new work" and "close the store": in-flight
+// deliveries and buffer appends complete, so an fsync after Drain captures
+// them. Returns true on quiescence, false when the timeout expired or the
+// node closed first. New messages can still arrive while draining; Drain
+// only guarantees a moment of observed emptiness.
+func (n *Node) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(n.inbox) == 0 {
+			// Round-trip through the event loop: everything dequeued
+			// before this task has been fully processed.
+			idle := false
+			n.Inspect(func(*broker.Broker) { idle = len(n.inbox) == 0 })
+			if idle {
+				return true
+			}
+			select {
+			case <-n.done:
+				return false
+			default:
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

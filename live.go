@@ -32,6 +32,7 @@ type Live struct {
 	ids   []NodeID
 	nodes map[NodeID]*wire.Node
 	addrs map[NodeID]string
+	mgrs  map[NodeID]*mobility.Manager
 
 	mu     sync.Mutex
 	ports  []*livePort
@@ -80,6 +81,7 @@ func NewLive(opts ...Option) (*Live, error) {
 		ids:   topo.Nodes(),
 		nodes: make(map[NodeID]*wire.Node),
 		addrs: make(map[NodeID]string),
+		mgrs:  make(map[NodeID]*mobility.Manager),
 	}
 	for _, id := range l.ids {
 		peers := make(map[message.NodeID]string)
@@ -101,19 +103,35 @@ func NewLive(opts ...Option) (*Live, error) {
 			Context:       cfg.context,
 			BufferFactory: factory,
 			PreSubscribe:  !cfg.reactive,
+			Store:         cfg.store,
 		}
 		if cfg.shared {
 			rcfg.Shared = buffer.NewShared()
 		}
 		core.New(rcfg)
-		mobility.New(node.Broker(), mobility.ModeTransparent,
-			mobility.WithBufferFactory(factory))
+		mopts := []mobility.Option{mobility.WithBufferFactory(factory)}
+		if cfg.store != nil {
+			mopts = append(mopts, mobility.WithStore(cfg.store))
+		}
+		mgr := mobility.New(node.Broker(), mobility.ModeTransparent, mopts...)
 		if err := node.Start(); err != nil {
 			_ = l.Close()
 			return nil, err
 		}
 		l.nodes[id] = node
 		l.addrs[id] = node.Addr()
+		l.mgrs[id] = mgr
+	}
+	// Recovery pass, after every node is serving and the overlay links are
+	// dialed: each broker resumes the ghost sessions persisted by a
+	// previous process on this store, re-installing their subscriptions —
+	// the forwards propagate over the freshly established links. Run on
+	// the node's event loop like any other broker mutation.
+	if cfg.store != nil {
+		for _, id := range l.ids {
+			mgr := l.mgrs[id]
+			l.nodes[id].Inspect(func(*broker.Broker) { mgr.Recover() })
+		}
 	}
 	return l, nil
 }
@@ -343,12 +361,27 @@ func (p *livePort) Subscribe(f Filter, opts ...SubOption) *Subscription {
 		opt(&cfg)
 	}
 	p.mu.Lock()
-	p.nextSub++
-	sub := proto.Subscription{
-		ID:     SubID(fmt.Sprintf("%s/s%d", p.id, p.nextSub)),
-		Filter: f,
+	var id SubID
+	if cfg.durable != "" {
+		// Stable, name-derived identity: a port recreated after a restart
+		// mints the same ID and reattaches to its broker-side queue.
+		id = durableSubID(p.id, cfg.durable)
+	} else {
+		p.nextSub++
+		id = SubID(fmt.Sprintf("%s/s%d", p.id, p.nextSub))
 	}
-	p.profile = append(p.profile, sub)
+	sub := proto.Subscription{ID: id, Filter: f}
+	replaced := false
+	for i, ps := range p.profile {
+		if ps.ID == id {
+			p.profile[i] = sub
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		p.profile = append(p.profile, sub)
+	}
 	connected := p.connected
 	p.mu.Unlock()
 	s := newSubscription(sub.ID, f, cfg, p.unsubscribe)

@@ -10,6 +10,7 @@ import (
 	"rebeca/internal/location"
 	"rebeca/internal/movement"
 	"rebeca/internal/routing"
+	"rebeca/internal/store"
 )
 
 // RoutingStrategy selects the subscription-forwarding algorithm.
@@ -46,6 +47,7 @@ type config struct {
 	settleMax      time.Duration
 	deliveryLog    int
 	window         int
+	store          store.Store
 
 	errs []error
 }
@@ -257,6 +259,29 @@ func WithDeliveryWindow(n int) Option {
 			return
 		}
 		c.window = n
+	}
+}
+
+// WithDurable backs the deployment's buffering layers with a persistence
+// store: mobility-session (ghost/handover) buffers and replicator
+// virtual-client buffers append every notification before it counts as
+// buffered and ack only on confirmed delivery or handover, and session
+// profiles are snapshotted so a deployment rebuilt on the same store — a
+// restarted broker — recovers its disconnected subscribers, re-installs
+// their subscriptions and replays the pending backlog exactly once (the
+// client library's dedup set suppresses any at-least-once overlap).
+//
+// Use NewMemoryStore for the virtual-clock System (its Crash and
+// fsync-fault hooks drive recovery tests) and OpenWAL for live
+// deployments. The same store instance is shared by every broker in the
+// deployment; per-broker namespacing is internal.
+func WithDurable(s Store) Option {
+	return func(c *config) {
+		if s == nil {
+			c.errs = append(c.errs, errors.New("rebeca: WithDurable(nil)"))
+			return
+		}
+		c.store = s
 	}
 }
 

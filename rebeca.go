@@ -43,6 +43,24 @@
 // callback adapter over the port's catch-all stream, and PublishBatch
 // frames many notifications per wire message.
 //
+// # Durable subscriptions
+//
+// WithDurable(store) backs the buffering layers — the mobility manager's
+// ghost/handover buffers and the replicator's virtual clients — with a
+// pluggable persistence subsystem (Store): notifications are appended to a
+// write-ahead queue before they count as buffered and acked only when
+// their delivery or handover is confirmed, and session profiles are
+// snapshotted so a deployment rebuilt on the same store (a restarted
+// broker) resurrects its disconnected subscribers, re-installs their
+// subscriptions, and replays the pending backlog exactly once (the client
+// library's dedup set absorbs the at-least-once overlap). Subscriptions
+// that should survive a client restart take the Durable(name) option,
+// which pins a stable SubID. NewMemoryStore is the in-process
+// implementation (with crash and fsync-fault injection for tests); OpenWAL
+// is the file-backed one — CRC-framed records in rotating segments with
+// ack-driven compaction — used by live deployments and cmd/rebeca-broker's
+// -store flag.
+//
 // # Middleware
 //
 // Every broker runs an ordered extension chain (Middleware): hooks on

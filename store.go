@@ -1,0 +1,42 @@
+package rebeca
+
+import "rebeca/internal/store"
+
+// Store is the pluggable persistence interface behind WithDurable: named
+// append-only queues with ack watermarks (Append / ReplayFrom / Ack), a
+// keyed snapshot namespace for session metadata, and ack-driven Compact.
+// The middleware appends a notification before attempting delivery and
+// acks after delivery or handover is confirmed, so a crash between the two
+// redelivers rather than loses; the client library's dedup set turns that
+// at-least-once replay into exactly-once delivery.
+type Store = store.Store
+
+// StoreRecord is one persisted notification in a store queue.
+type StoreRecord = store.Record
+
+// MemoryStore is the in-process Store implementation: the zero-cost
+// default, with injectable fsync faults (FailSyncs, SetSyncFault) and a
+// simulated Crash for recovery tests on the virtual clock.
+type MemoryStore = store.Memory
+
+// NewMemoryStore returns an empty in-memory store.
+var NewMemoryStore = store.NewMemory
+
+// WALStore is the file-backed Store: CRC-framed records in rotating
+// segment files, fsynced per append, with ack-driven compaction. A live
+// deployment (or cmd/rebeca-broker) restarted on the same directory
+// recovers its durable subscriptions from it.
+type WALStore = store.WAL
+
+// WALOption configures OpenWAL.
+type WALOption = store.WALOption
+
+// OpenWAL opens (creating if needed) a write-ahead log directory and
+// recovers its state.
+var OpenWAL = store.OpenWAL
+
+// WALSegmentSize sets the WAL's segment rotation threshold in bytes.
+var WALSegmentSize = store.WALSegmentSize
+
+// WALNoSync disables the per-append fsync (benchmarks only).
+var WALNoSync = store.WALNoSync

@@ -51,8 +51,9 @@ const catchAllBuffer = 1024
 
 // subConfig collects per-subscription options.
 type subConfig struct {
-	buffer int
-	policy OverflowPolicy
+	buffer  int
+	policy  OverflowPolicy
+	durable string
 }
 
 // SubOption configures one subscription created by Port.Subscribe.
@@ -73,6 +74,23 @@ func WithStreamBuffer(n int) SubOption {
 // DropOldest).
 func WithOverflow(p OverflowPolicy) SubOption {
 	return func(c *subConfig) { c.policy = p }
+}
+
+// Durable gives the subscription a stable, named identity: its SubID is
+// derived from the client ID and name ("<client>/d:<name>") instead of a
+// per-process counter, so a client recreated after a process restart mints
+// the same ID and reattaches to the broker-side state — the durable queue
+// a WithDurable deployment kept feeding while the client was away. On a
+// deployment without a store the option still pins the ID but nothing
+// survives a broker restart. Cancel releases the broker-side queue
+// (ack-all + compact) once the cancellation reaches the border.
+func Durable(name string) SubOption {
+	return func(c *subConfig) { c.durable = name }
+}
+
+// durableSubID derives the stable SubID for a durable subscription.
+func durableSubID(client NodeID, name string) SubID {
+	return SubID(string(client) + "/d:" + name)
 }
 
 // SubscriptionStats snapshots one subscription's delivery accounting.
@@ -170,6 +188,21 @@ func (s *Subscription) Cancel() {
 	})
 }
 
+// orphan closes the stream without withdrawing the subscription at the
+// deployment — used when a newer handle supersedes an older one under the
+// same durable ID: the old handle's range loops terminate instead of
+// blocking forever, and its later Cancel is a no-op (so it cannot tear
+// down the successor's registration).
+func (s *Subscription) orphan() {
+	s.once.Do(func() {
+		s.done.Store(true)
+		close(s.cancelled)
+		s.pushMu.Lock()
+		close(s.ch)
+		s.pushMu.Unlock()
+	})
+}
+
 // push offers one delivery to the stream under the overflow policy. abort,
 // when non-nil, aborts a Block wait (port teardown); a nil abort channel
 // never fires.
@@ -235,8 +268,14 @@ func newStreamSet() *streamSet {
 
 func (ss *streamSet) add(s *Subscription) {
 	ss.mu.Lock()
+	old := ss.subs[s.id]
 	ss.subs[s.id] = s
 	ss.mu.Unlock()
+	if old != nil && old != s {
+		// Same (durable) ID re-subscribed: the newer handle owns the
+		// stream from here on; close the superseded one.
+		old.orphan()
+	}
 }
 
 func (ss *streamSet) remove(id SubID) {
