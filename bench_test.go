@@ -479,3 +479,54 @@ func BenchmarkPublishBatch(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(sys.MessagesCarried()-before)/float64(b.N), "msgs/op")
 }
+
+// BenchmarkOverlayReconverge measures one cut → detect → heal →
+// re-establish → flush cycle of the overlay subsystem on a 3-broker line
+// (virtual clock): the smoke artifact's reconnect-convergence signal.
+func BenchmarkOverlayReconverge(b *testing.B) {
+	g := rebeca.NewGraph().AddEdge("A", "B").AddEdge("B", "C")
+	sys, err := rebeca.New(
+		rebeca.WithMovement(g),
+		rebeca.WithHeartbeat(50*time.Millisecond, 150*time.Millisecond),
+		rebeca.WithDeliveryLog(16),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	sub := sys.NewClient("sub")
+	if err := sub.Connect("C"); err != nil {
+		b.Fatal(err)
+	}
+	sub.Subscribe(rebeca.NewFilter(rebeca.Exists("k")))
+	pub := sys.NewClient("pub")
+	if err := pub.Connect("A"); err != nil {
+		b.Fatal(err)
+	}
+	sys.Settle()
+
+	delivered := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.CutLink("A", "B"); err != nil {
+			b.Fatal(err)
+		}
+		sys.Step(300 * time.Millisecond) // heartbeat detection
+		if _, err := pub.Publish(map[string]rebeca.Value{"k": rebeca.Int(int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.HealLink("A", "B"); err != nil {
+			b.Fatal(err)
+		}
+		sys.Step(2 * time.Second) // backoff redial + handshake + flush
+		sys.Settle()
+		delivered++
+		want := delivered
+		if want > 16 {
+			want = 16 // WithDeliveryLog cap
+		}
+		if got := len(sub.Received()); got < want {
+			b.Fatalf("iteration %d: %d deliveries retained, want %d (queued publish lost)", i, got, want)
+		}
+	}
+}

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, E1, E2, E3, E3b, E3c, E4, E5, E6, E7, E8, E9")
+	run := flag.String("run", "all", "experiment to run: all, E1, E2, E3, E3b, E3c, E4, E5, E6, E7, E8, E9, E10")
 	seed := flag.Int64("seed", bench.Seed, "deterministic experiment seed")
 	smoke := flag.Bool("smoke", false, "read `go test -bench` output on stdin and emit the JSON smoke artifact on stdout")
 	benchtime := flag.String("benchtime", "1x", "benchtime label recorded in the -smoke artifact")
@@ -47,8 +47,9 @@ func main() {
 		"E7":  bench.E7BufferPolicies,
 		"E8":  bench.E8SharedBuffer,
 		"E9":  bench.E9ExceptionMode,
+		"E10": bench.E10OverlayReconvergence,
 	}
-	order := []string{"E1", "E2", "E3", "E3b", "E3c", "E4", "E5", "E6", "E7", "E8", "E9"}
+	order := []string{"E1", "E2", "E3", "E3b", "E3c", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 
 	switch key := strings.ToUpper(*run); key {
 	case "ALL":

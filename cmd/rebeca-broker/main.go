@@ -4,7 +4,13 @@
 //
 // The full overlay is described with -edges so every node can derive its
 // peers and unicast next-hop table; -dial lists the neighbors this node
-// actively connects to (exactly one side of each edge should dial).
+// actively connects to (exactly one side of each edge should dial). Start
+// order does not matter: a dial to a neighbor that is not up yet retries
+// with jittered backoff, and every link (re-)establishment runs a sync
+// handshake that replays routing installs before the link carries traffic
+// — so brokers can boot, restart and rejoin in any order. Established
+// links exchange heartbeats (-heartbeat/-heartbeat-timeout); failed links
+// go degraded, queue outbound traffic, and self-heal.
 //
 // Example 3-broker line on one machine:
 //
@@ -29,6 +35,7 @@ import (
 	"rebeca/internal/message"
 	"rebeca/internal/mobility"
 	"rebeca/internal/movement"
+	"rebeca/internal/overlay"
 	"rebeca/internal/routing"
 	"rebeca/internal/store"
 	"rebeca/internal/wire"
@@ -49,6 +56,9 @@ func main() {
 		burst     = flag.Int("publish-burst", 10, "token-bucket burst for -publish-rate")
 		storeDir  = flag.String("store", "", "WAL directory for durable subscriptions (empty = in-memory only)")
 		drain     = flag.Duration("drain", 3*time.Second, "max time to drain in-flight deliveries on shutdown")
+		hbEvery   = flag.Duration("heartbeat", time.Second, "overlay link heartbeat interval")
+		hbTimeout = flag.Duration("heartbeat-timeout", 0, "declare an overlay link failed after this much silence (0 = 3x interval)")
+		linkLog   = flag.Bool("link-log", true, "log overlay link state transitions")
 	)
 	flag.Parse()
 	if *id == "" || *edges == "" {
@@ -113,6 +123,19 @@ func main() {
 		mws = append(mws, limiter)
 	}
 
+	if *hbEvery <= 0 {
+		fatal(fmt.Errorf("-heartbeat %s: want a positive interval", *hbEvery))
+	}
+	if *hbTimeout != 0 && *hbTimeout < *hbEvery {
+		fatal(fmt.Errorf("-heartbeat-timeout %s: want >= -heartbeat %s (or 0 for 3x interval)", *hbTimeout, *hbEvery))
+	}
+	var observer overlay.Observer
+	if *linkLog {
+		observer = func(ev overlay.Event) {
+			fmt.Printf("%s link %s: %s -> %s (%s)\n",
+				ev.At.Format("15:04:05.000"), ev.Peer, ev.From, ev.To, ev.Reason)
+		}
+	}
 	node := wire.NewNode(wire.NodeConfig{
 		ID:         self,
 		Listen:     *listen,
@@ -120,6 +143,11 @@ func main() {
 		Strategy:   strat,
 		NextHop:    hops,
 		Middleware: mws,
+		Overlay: overlay.Settings{
+			HeartbeatInterval: *hbEvery,
+			HeartbeatTimeout:  *hbTimeout,
+		},
+		LinkObserver: observer,
 	})
 
 	// Durable subscriptions: a WAL on -store survives restarts — reopening
@@ -170,11 +198,11 @@ func main() {
 	}
 	if st != nil && mgr != nil {
 		// Resume the sessions a previous process persisted on this store.
-		// Re-installed subscriptions propagate over whichever overlay
-		// links are already up; start the passive (listening) side of each
-		// edge first — the same convention -dial assumes — so recovery
-		// forwards find their peers. The node is already serving, so the
-		// recovery mutation runs on its event loop like any other.
+		// Start order no longer matters: re-installed subscriptions reach
+		// neighbors whose links are already up immediately, and every
+		// link that establishes later replays them in its sync handshake.
+		// The node is already serving, so the recovery mutation runs on
+		// its event loop like any other.
 		recovered := 0
 		node.Inspect(func(*broker.Broker) { recovered = mgr.Recover() })
 		if recovered > 0 {
@@ -192,6 +220,14 @@ func main() {
 					m.Publishes, m.Deliveries, m.Subscribes, m.AvgDeliveryLatency())
 				if limiter != nil {
 					line += fmt.Sprintf(" rate-limited=%d", limiter.Dropped())
+				}
+				line += fmt.Sprintf(" link-establishments=%d link-failures=%d",
+					m.LinkEstablishments, m.LinkFailures)
+				for _, li := range node.LinkInfo() {
+					line += fmt.Sprintf(" link[%s]=%s", li.Peer, li.State)
+					if li.Pending > 0 {
+						line += fmt.Sprintf("(+%d queued)", li.Pending)
+					}
 				}
 				fmt.Println(line)
 			}

@@ -120,7 +120,7 @@ func New(opts ...Option) (*System, error) {
 	if cfg.reactive {
 		repl = sim.ReplicationReactive
 	}
-	cl, err := sim.NewCluster(sim.ClusterConfig{
+	scfg := sim.ClusterConfig{
 		Movement:        cfg.movement,
 		Locations:       cfg.locations,
 		Context:         cfg.context,
@@ -136,7 +136,13 @@ func New(opts ...Option) (*System, error) {
 		LatencyJitter:   cfg.latencyJitter,
 		JitterSeed:      cfg.jitterSeed,
 		Store:           cfg.store,
-	})
+		LinkObserver:    cfg.linkObserver,
+	}
+	if cfg.overlay {
+		set := cfg.overlaySettings()
+		scfg.Overlay = &set
+	}
+	cl, err := sim.NewCluster(scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +190,45 @@ func (s *System) Now() time.Time { return s.cluster.Net.Now() }
 
 // MessagesCarried returns the total number of messages the network moved.
 func (s *System) MessagesCarried() int { return s.cluster.Net.Stats().Total() }
+
+// ErrNoOverlay is returned by the link-chaos methods of a System built
+// without WithHeartbeat: only overlay-managed deployments supervise (and
+// therefore heal) their links.
+var ErrNoOverlay = errors.New("rebeca: overlay not deployed (WithHeartbeat required)")
+
+// CutLink severs the overlay link between two brokers (both directions).
+// The link managers notice — instantly on the next send, or via heartbeat
+// timeout when idle (advance the virtual clock with Step) — go degraded
+// and queue outbound traffic. Requires WithHeartbeat.
+func (s *System) CutLink(a, b NodeID) error {
+	if s.cluster.Overlays == nil {
+		return ErrNoOverlay
+	}
+	s.cluster.CutLink(a, b)
+	return nil
+}
+
+// HealLink restores a severed link; the dialer side's backoff probe
+// re-establishes it, the sync handshake replays routing installs, and the
+// queued backlog flushes. Advance the virtual clock (Step) to let the
+// probe fire.
+func (s *System) HealLink(a, b NodeID) error {
+	if s.cluster.Overlays == nil {
+		return ErrNoOverlay
+	}
+	s.cluster.HealLink(a, b)
+	return nil
+}
+
+// LinkStates snapshots a broker's overlay link states per peer (nil when
+// the overlay is not deployed or the broker is unknown).
+func (s *System) LinkStates(b NodeID) map[NodeID]LinkState {
+	mgr, ok := s.cluster.Overlays[b]
+	if !ok {
+		return nil
+	}
+	return mgr.States()
+}
 
 func (s *System) hasBroker(id NodeID) bool {
 	_, ok := s.cluster.Brokers[id]

@@ -8,6 +8,16 @@
 // interface: the virtual-clock simulator (default) and real TCP nodes on
 // loopback (-live).
 //
+// It also shows the overlay subsystem's surface: WithHeartbeat tunes the
+// broker-link supervision (KPing/KPong probe interval and failure
+// timeout), and WithLinkObserver — like any middleware implementing the
+// LinkObserver extension — watches links walk connecting → handshaking →
+// established (and degraded → established again after a failure; the
+// built-in Metrics tracks the same transitions per broker). Under -live
+// the links are real TCP connections that redial with backoff and replay
+// routing installs on every (re-)establishment, so broker start order
+// never matters.
+//
 // Run with: go run ./examples/quickstart [-live]
 package main
 
@@ -15,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"time"
 
 	"rebeca"
 )
@@ -32,6 +43,14 @@ func main() {
 	opts := []rebeca.Option{
 		rebeca.WithMovement(g),
 		rebeca.WithMiddleware(metrics),
+		// Overlay link supervision: probe established broker links every
+		// 200ms, declare them failed after 600ms of silence. (Under the
+		// virtual clock this also deploys the overlay managers; Live
+		// always runs them.)
+		rebeca.WithHeartbeat(200*time.Millisecond, 600*time.Millisecond),
+		rebeca.WithLinkObserver(func(ev rebeca.LinkEvent) {
+			fmt.Printf("overlay: link to %s %s -> %s (%s)\n", ev.Peer, ev.From, ev.To, ev.Reason)
+		}),
 	}
 	var (
 		d   rebeca.Deployment

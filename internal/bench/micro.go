@@ -388,5 +388,6 @@ func All() []Table {
 		E7BufferPolicies(Seed),
 		E8SharedBuffer(Seed),
 		E9ExceptionMode(Seed),
+		E10OverlayReconvergence(Seed),
 	}
 }

@@ -427,6 +427,65 @@ func (b *Broker) RemoveSub(id message.SubID) {
 	b.emitForwards(b.router.Unsubscribe(id, b.Peers()))
 }
 
+// SyncInstalls returns the routing state to replay to a peer on overlay
+// link (re-)establishment: every routing-table subscription and every
+// advertisement not learned from that peer itself. Together with
+// ApplySyncInstalls on the receiving side it makes broker start order
+// irrelevant — installs that were forwarded into a down link are
+// re-delivered by the handshake replay.
+func (b *Broker) SyncInstalls(peer message.NodeID) (subs, advs []proto.Subscription) {
+	for _, e := range b.router.Table().Entries() {
+		if e.Link != peer {
+			subs = append(subs, e.Sub)
+		}
+	}
+	for _, e := range b.router.AdvTable().Entries() {
+		if e.Link != peer {
+			advs = append(advs, e.Sub)
+		}
+	}
+	return subs, advs
+}
+
+// ApplySyncInstalls reconciles a peer's handshake replay into local
+// routing state. It is a full state transfer for the link: entries
+// previously learned from the peer but absent from the replay are
+// unsubscribed (propagating the removals — the peer processed an
+// unsubscription while the link was down), and every replayed install
+// runs through the normal subscribe/advertise path, which re-installs
+// idempotently (unchanged entries produce no forwards) and propagates
+// anything new further into the overlay.
+func (b *Broker) ApplySyncInstalls(peer message.NodeID, subs, advs []proto.Subscription) {
+	present := make(map[message.SubID]bool, len(subs))
+	for _, s := range subs {
+		present[s.ID] = true
+	}
+	for _, e := range b.router.Table().ByLink(peer) {
+		if !present[e.Sub.ID] {
+			b.stats.SubsProcessed++
+			b.emitForwards(b.router.Unsubscribe(e.Sub.ID, b.Peers()))
+		}
+	}
+	presentAdv := make(map[message.SubID]bool, len(advs))
+	for _, a := range advs {
+		presentAdv[a.ID] = true
+	}
+	for _, e := range b.router.AdvTable().ByLink(peer) {
+		if !presentAdv[e.Sub.ID] {
+			b.stats.SubsProcessed++
+			b.emitForwards(b.router.Unadvertise(e.Sub.ID, b.Peers()))
+		}
+	}
+	// Advertisements first: under advertisement-based routing they gate
+	// which of the replayed subscriptions propagate.
+	for i := range advs {
+		b.HandleMessage(peer, proto.Message{Kind: proto.KAdvertise, Sub: &advs[i], Origin: peer})
+	}
+	for i := range subs {
+		b.HandleMessage(peer, proto.Message{Kind: proto.KSubscribe, Sub: &subs[i], Origin: peer})
+	}
+}
+
 func (b *Broker) emitForwards(fws []routing.Forward) {
 	for _, f := range fws {
 		sub := f.Sub

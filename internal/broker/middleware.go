@@ -2,6 +2,7 @@ package broker
 
 import (
 	"rebeca/internal/message"
+	"rebeca/internal/overlay"
 	"rebeca/internal/proto"
 )
 
@@ -71,6 +72,30 @@ type FlushObserver interface {
 	Middleware
 	// OnFlushDone signals completion of flush wave id.
 	OnFlushDone(b *Broker, id uint64)
+}
+
+// LinkObserver is an optional Middleware extension: stages that implement
+// it observe the broker's overlay link transitions (connecting →
+// handshaking → established → degraded), as reported by the hosting
+// runtime through NotifyLinkChange. Observe-only — there is no next to
+// short-circuit; stages must not block (live nodes deliver transitions on
+// their event loop).
+type LinkObserver interface {
+	Middleware
+	// OnLinkChange observes one link state transition.
+	OnLinkChange(b *Broker, ev overlay.Event)
+}
+
+// NotifyLinkChange hands an overlay link transition to every LinkObserver
+// stage on the chain, in attachment order. Called by the hosting runtime
+// (live node event loop, simulator) — never by the overlay manager
+// directly, so observers run with broker state safely accessible.
+func (b *Broker) NotifyLinkChange(ev overlay.Event) {
+	for _, s := range b.chain {
+		if lo, ok := s.(LinkObserver); ok {
+			lo.OnLinkChange(b, ev)
+		}
+	}
 }
 
 // PassMiddleware is a no-op Middleware: every hook just calls next. Embed

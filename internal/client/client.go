@@ -13,6 +13,7 @@ import (
 	"rebeca/internal/filter"
 	"rebeca/internal/message"
 	"rebeca/internal/proto"
+	"rebeca/internal/store"
 )
 
 // Delivery records one received notification with its arrival time and
@@ -206,6 +207,7 @@ type Client struct {
 	subs      []proto.Subscription
 	nextSubID int
 	pubSeq    uint64
+	pubseq    *PubSequencer
 	epoch     uint64
 
 	tally *Tally
@@ -237,6 +239,25 @@ func New(id message.NodeID, send func(to message.NodeID, m proto.Message), now f
 // disables recording (Received returns nil; dedup and FIFO accounting are
 // unaffected).
 func (c *Client) SetDeliveryLog(n int) { c.tally.Log.SetCap(n) }
+
+// UseDurablePublisher backs the client's publish sequence numbers with a
+// persisted identity in the store's "pub/<client>" snapshot namespace: a
+// client recreated after a process restart resumes its sequence space
+// monotonically, so subscribers' dedup state keeps recognizing it as the
+// same publisher instead of suppressing the fresh notifications.
+func (c *Client) UseDurablePublisher(st store.Store) {
+	c.pubseq = NewPubSequencer(st, c.id)
+}
+
+// nextPubSeq assigns the next publish sequence number, durable when
+// UseDurablePublisher configured one.
+func (c *Client) nextPubSeq() uint64 {
+	if c.pubseq != nil {
+		return c.pubseq.Next()
+	}
+	c.pubSeq++
+	return c.pubSeq
+}
 
 // ID returns the client's node ID.
 func (c *Client) ID() message.NodeID { return c.id }
@@ -371,9 +392,8 @@ func (c *Client) Publish(attrs map[string]message.Value) (message.NotificationID
 	if !c.connected {
 		return message.NotificationID{}, false
 	}
-	c.pubSeq++
 	n := message.NewNotification(attrs)
-	n.ID = message.NotificationID{Publisher: c.id, Seq: c.pubSeq}
+	n.ID = message.NotificationID{Publisher: c.id, Seq: c.nextPubSeq()}
 	n.Published = c.now()
 	c.send(c.border, proto.Message{Kind: proto.KPublish, Client: c.id, Note: &n})
 	return n.ID, true
@@ -394,9 +414,8 @@ func (c *Client) PublishBatch(batch []map[string]message.Value) ([]message.Notif
 	ids := make([]message.NotificationID, len(batch))
 	now := c.now()
 	for i, attrs := range batch {
-		c.pubSeq++
 		n := message.NewNotification(attrs)
-		n.ID = message.NotificationID{Publisher: c.id, Seq: c.pubSeq}
+		n.ID = message.NotificationID{Publisher: c.id, Seq: c.nextPubSeq()}
 		n.Published = now
 		notes[i] = n
 		ids[i] = n.ID

@@ -1,0 +1,669 @@
+// Package overlay is the broker-overlay link subsystem: every
+// broker↔broker link is owned by a per-broker Manager as a supervised
+// state machine instead of a fire-and-forget dial. The manager is
+// transport-agnostic — the live TCP runner (internal/wire) and the
+// discrete-event simulator (internal/sim) both host the same state
+// machine through injected callbacks, so link-failure scenarios written
+// once run under real sockets and under the virtual clock alike.
+//
+// A link walks connecting → handshaking → established → degraded →
+// closed:
+//
+//   - connecting: the physical link is being brought up. The dialer side
+//     attempts the Dial callback and, on failure, retries with jittered
+//     exponential backoff; the passive side waits for an inbound link.
+//   - handshaking: the physical link is up; the two ends run the
+//     versioned sync handshake. Each side sends a KHello stamped with
+//     its handshake generation; each side answers a KHello with a
+//     KSyncInstall replaying its local routing installs (subscriptions
+//     and advertisements) and echoing the hello's generation. A side is
+//     established once it receives a KSyncInstall matching its current
+//     generation; stale replies from superseded link generations are
+//     discarded. A handshake that does not complete within the
+//     heartbeat timeout tears the link down and starts over.
+//   - established: the link carries traffic. Messages queued while the
+//     link was down flush first (before the peer's replay is applied, so
+//     per-link FIFO order vs. the sender's earlier sync reply holds),
+//     then the peer's installs are applied. KPing probes flow every
+//     HeartbeatInterval; a link silent for longer than HeartbeatTimeout
+//     is declared failed.
+//   - degraded: an established link was lost (read error, send error, or
+//     missed heartbeats). Outbound messages queue in a bounded pending
+//     buffer (oldest dropped beyond PendingCap) and the dialer side
+//     reconnects with backoff. Re-establishment replays the pending
+//     buffer after a fresh sync handshake, so routing state reconverges
+//     before the backlog lands.
+//   - closed: the manager was shut down.
+//
+// Because every (re-)establishment replays installs before traffic, the
+// broker start order stops mattering: a broker may dial a neighbor that
+// is not up yet (backoff retries), and a restarted broker re-learns the
+// overlay's routing state from its neighbors while they re-learn its —
+// the self-healing topology behind rolling restarts and link flaps.
+package overlay
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// State is a link's lifecycle position.
+type State int
+
+// Link states, in lifecycle order.
+const (
+	// StateClosed is the terminal (and zero) state: no link is being
+	// maintained.
+	StateClosed State = iota
+	// StateConnecting: bringing the physical link up; never established
+	// in this manager's lifetime.
+	StateConnecting
+	// StateHandshaking: physical link up, sync handshake in flight.
+	StateHandshaking
+	// StateEstablished: handshake complete, link carries traffic,
+	// heartbeats flow.
+	StateEstablished
+	// StateDegraded: a previously established link was lost; outbound
+	// traffic queues while the dialer side reconnects.
+	StateDegraded
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateConnecting:
+		return "connecting"
+	case StateHandshaking:
+		return "handshaking"
+	case StateEstablished:
+		return "established"
+	case StateDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Event is one link state transition, as seen by observers.
+type Event struct {
+	// Peer is the remote broker of the link.
+	Peer message.NodeID
+	// From and To are the states around the transition.
+	From, To State
+	// Reason is a short human-readable cause ("heartbeat timeout",
+	// "link up", …).
+	Reason string
+	// At is the manager's (virtual or wall) time of the transition.
+	At time.Time
+}
+
+// Observer consumes link transitions. It is called synchronously from
+// whatever goroutine drove the transition (event loop, timer, read
+// pump) and must not block; it may call the manager's read-only
+// accessors but not its mutating methods.
+type Observer func(Event)
+
+// Settings tunes the link supervision. The zero value selects the
+// defaults noted per field.
+type Settings struct {
+	// HeartbeatInterval is the KPing period on established links
+	// (default 1s). It also bounds how long a handshake may stall: a
+	// link still handshaking after HeartbeatTimeout is torn down.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a link failed after this much silence
+	// (default 3×HeartbeatInterval). Any inbound message counts as
+	// liveness, not just pongs.
+	HeartbeatTimeout time.Duration
+	// BackoffBase is the first redial delay (default 50ms); each failed
+	// attempt doubles it up to BackoffMax (default 3s). Actual delays
+	// are jittered uniformly in [base/2, base].
+	BackoffBase time.Duration
+	// BackoffMax caps the redial delay (default 3s).
+	BackoffMax time.Duration
+	// BackoffSeed seeds the jitter source (0 = a fixed default; the
+	// jitter is deterministic given the seed, which the simulator
+	// relies on).
+	BackoffSeed int64
+	// PendingCap bounds the per-link queue of messages accepted while
+	// the link is down (default 4096); beyond it the oldest messages
+	// are dropped and counted.
+	PendingCap int
+}
+
+func (s Settings) withDefaults() Settings {
+	if s.HeartbeatInterval <= 0 {
+		s.HeartbeatInterval = time.Second
+	}
+	if s.HeartbeatTimeout <= 0 {
+		s.HeartbeatTimeout = 3 * s.HeartbeatInterval
+	}
+	if s.BackoffBase <= 0 {
+		s.BackoffBase = 50 * time.Millisecond
+	}
+	if s.BackoffMax <= 0 {
+		s.BackoffMax = 3 * time.Second
+	}
+	if s.BackoffMax < s.BackoffBase {
+		s.BackoffMax = s.BackoffBase
+	}
+	if s.PendingCap <= 0 {
+		s.PendingCap = 4096
+	}
+	return s
+}
+
+// Config wires a Manager to its host. All callbacks are invoked without
+// the manager's lock held; SyncState and ApplySync are only ever called
+// from within HandleControl, so a host that calls HandleControl on its
+// broker's event loop gets routing-state access serialized for free.
+type Config struct {
+	// Self names the hosting broker.
+	Self message.NodeID
+	// Settings tunes supervision; zero fields take defaults.
+	Settings Settings
+	// Now supplies (virtual) time. Defaults to time.Now.
+	Now func() time.Time
+	// Transmit sends one message on the peer's current physical link.
+	// An error marks the link down and requeues the message.
+	Transmit func(peer message.NodeID, m proto.Message) error
+	// Dial asynchronously attempts the peer's physical link. The host
+	// reports the outcome via LinkUp or DialFailed — exactly one per
+	// attempt. Nil for hosts whose links are all passive.
+	Dial func(peer message.NodeID)
+	// CloseLink tears the peer's physical link down (heartbeat timeout,
+	// stalled handshake). May be nil when there is nothing to close.
+	CloseLink func(peer message.NodeID)
+	// Schedule runs fn once after d on the host's clock and returns a
+	// cancel func. All manager timers (heartbeats, redials, handshake
+	// deadlines) go through it, so the simulator can drive them on the
+	// virtual clock.
+	Schedule func(d time.Duration, fn func()) (cancel func())
+	// SyncState returns the local installs to replay to the peer on
+	// link establishment (the broker's SyncInstalls).
+	SyncState func(peer message.NodeID) (subs, advs []proto.Subscription)
+	// ApplySync reconciles the peer's replayed installs into local
+	// routing state (the broker's ApplySyncInstalls).
+	ApplySync func(peer message.NodeID, subs, advs []proto.Subscription)
+	// Observer, when non-nil, sees every link transition.
+	Observer Observer
+}
+
+// LinkInfo is a link's introspection snapshot.
+type LinkInfo struct {
+	// Peer is the remote broker.
+	Peer message.NodeID
+	// State is the current lifecycle state.
+	State State
+	// Dialer reports whether this side actively dials the link.
+	Dialer bool
+	// Established counts completed handshakes over the manager's
+	// lifetime (≥1 ⇒ the link has carried traffic at some point).
+	Established int
+	// Pending is the number of messages queued for the down link.
+	Pending int
+	// Dropped counts messages discarded by the pending-queue bound.
+	Dropped int
+	// LastSeen is the time of the last inbound message on the link.
+	LastSeen time.Time
+}
+
+type link struct {
+	peer        message.NodeID
+	dialer      bool
+	state       State
+	gen         uint64 // handshake generation; bumped per LinkUp
+	lastSeen    time.Time
+	pending     []proto.Message
+	dropped     int
+	established int
+	backoff     time.Duration
+	cancelHB    func() // heartbeat tick or handshake deadline
+	cancelRetry func() // pending redial
+}
+
+func (l *link) cancelTimers() {
+	if l.cancelHB != nil {
+		l.cancelHB()
+		l.cancelHB = nil
+	}
+	if l.cancelRetry != nil {
+		l.cancelRetry()
+		l.cancelRetry = nil
+	}
+}
+
+// Manager supervises one broker's overlay links. Safe for concurrent
+// use: the live runner drives it from read pumps, timers and the event
+// loop at once; the simulator from its single loop.
+type Manager struct {
+	cfg Config
+	set Settings
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	links  map[message.NodeID]*link
+	closed bool
+}
+
+// New builds a manager from the config.
+func New(cfg Config) *Manager {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Transmit == nil {
+		panic("overlay: Config.Transmit is required")
+	}
+	set := cfg.Settings.withDefaults()
+	seed := set.BackoffSeed
+	if seed == 0 {
+		// Derive the default from the broker's identity: deterministic
+		// (the simulator's runs stay reproducible) yet different per
+		// broker, so a partitioned clique's redial jitter is actually
+		// decorrelated. An explicit BackoffSeed overrides.
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(cfg.Self))
+		seed = int64(h.Sum64())
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	return &Manager{
+		cfg:   cfg,
+		set:   set,
+		rng:   rand.New(rand.NewSource(seed)),
+		links: make(map[message.NodeID]*link),
+	}
+}
+
+// Self returns the hosting broker's ID.
+func (m *Manager) Self() message.NodeID { return m.cfg.Self }
+
+// AddPeer registers an overlay link to supervise. The dialer side
+// starts its first dial attempt immediately; the passive side waits for
+// the host to report an inbound link via LinkUp.
+func (m *Manager) AddPeer(peer message.NodeID, dialer bool) {
+	m.mu.Lock()
+	if m.closed || m.links[peer] != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.links[peer] = &link{
+		peer:    peer,
+		dialer:  dialer,
+		state:   StateConnecting,
+		backoff: m.set.BackoffBase,
+	}
+	m.mu.Unlock()
+	m.observe(peer, StateClosed, StateConnecting, "peer added")
+	if dialer && m.cfg.Dial != nil {
+		m.cfg.Dial(peer)
+	}
+}
+
+// LinkUp reports a freshly established physical link (successful dial
+// or inbound accept). It starts the sync handshake and returns the
+// link's new handshake generation; the host tags the link's read pump
+// with it so events from superseded links are ignored. ok is false for
+// unknown peers or a closed manager — the host should drop the link.
+func (m *Manager) LinkUp(peer message.NodeID) (gen uint64, ok bool) {
+	m.mu.Lock()
+	l := m.links[peer]
+	if l == nil || m.closed {
+		m.mu.Unlock()
+		return 0, false
+	}
+	from := l.state
+	l.gen++
+	gen = l.gen
+	l.state = StateHandshaking
+	l.lastSeen = m.cfg.Now()
+	l.cancelTimers()
+	// A handshake that stalls (peer died mid-dial, sync reply lost) may
+	// not produce any read error; bound it by the heartbeat timeout.
+	l.cancelHB = m.schedule(m.set.HeartbeatTimeout, func() { m.handshakeDeadline(peer, gen) })
+	m.mu.Unlock()
+	m.observe(peer, from, StateHandshaking, "link up")
+	m.transmit(peer, gen, proto.Message{Kind: proto.KHello, Origin: m.cfg.Self, Epoch: gen})
+	return gen, true
+}
+
+// DialFailed reports a failed dial attempt; the manager schedules the
+// next one with jittered exponential backoff.
+func (m *Manager) DialFailed(peer message.NodeID) {
+	m.mu.Lock()
+	l := m.links[peer]
+	if l == nil || m.closed || !l.dialer ||
+		l.state == StateHandshaking || l.state == StateEstablished {
+		m.mu.Unlock()
+		return
+	}
+	m.scheduleRedialLocked(l)
+	m.mu.Unlock()
+}
+
+// LinkDown reports a lost physical link (read error, closed conn). gen
+// must be the generation LinkUp returned for that link; 0 matches any
+// (hosts without per-link generations, e.g. the simulator).
+func (m *Manager) LinkDown(peer message.NodeID, gen uint64, reason string) {
+	m.mu.Lock()
+	l := m.links[peer]
+	if l == nil || m.closed || (gen != 0 && gen != l.gen) {
+		m.mu.Unlock()
+		return
+	}
+	if l.state != StateHandshaking && l.state != StateEstablished {
+		m.mu.Unlock()
+		return
+	}
+	from := l.state
+	to := StateConnecting
+	if l.established > 0 {
+		to = StateDegraded
+	}
+	l.state = to
+	l.cancelTimers()
+	if l.dialer {
+		m.scheduleRedialLocked(l)
+	}
+	m.mu.Unlock()
+	m.observe(peer, from, to, reason)
+}
+
+// Touch records inbound liveness on the link (any message counts).
+func (m *Manager) Touch(peer message.NodeID, gen uint64) {
+	m.mu.Lock()
+	if l := m.links[peer]; l != nil && (gen == 0 || gen == l.gen) {
+		l.lastSeen = m.cfg.Now()
+	}
+	m.mu.Unlock()
+}
+
+// HandleControl offers the manager an inbound message from the peer.
+// It consumes the overlay's link-local kinds (KHello, KSyncInstall,
+// KPing, KPong) and returns whether the message was consumed; all other
+// kinds are left to the broker (the manager records their liveness).
+func (m *Manager) HandleControl(peer message.NodeID, gen uint64, msg proto.Message) bool {
+	switch msg.Kind {
+	case proto.KHello, proto.KSyncInstall, proto.KPing, proto.KPong:
+	default:
+		m.Touch(peer, gen)
+		return false
+	}
+	m.mu.Lock()
+	l := m.links[peer]
+	if l == nil || m.closed || (gen != 0 && gen != l.gen) {
+		m.mu.Unlock()
+		return true
+	}
+	l.lastSeen = m.cfg.Now()
+	curGen := l.gen
+	switch msg.Kind {
+	case proto.KPong:
+		m.mu.Unlock()
+	case proto.KPing:
+		if l.state != StateEstablished && l.state != StateHandshaking {
+			// We consider this link down (our end is closed): answering
+			// would keep a half-open link looking healthy to a peer that
+			// never saw the failure. Starved of pongs, the peer times out
+			// and re-establishes — both ends reconverge.
+			m.mu.Unlock()
+			return true
+		}
+		m.mu.Unlock()
+		m.transmit(peer, curGen, proto.Message{Kind: proto.KPong, Origin: m.cfg.Self})
+	case proto.KHello:
+		if l.state != StateHandshaking && l.state != StateEstablished {
+			// The physical link exists (a message arrived) but the host
+			// never reported it up: stale pump — drop.
+			m.mu.Unlock()
+			return true
+		}
+		m.mu.Unlock()
+		var subs, advs []proto.Subscription
+		if m.cfg.SyncState != nil {
+			subs, advs = m.cfg.SyncState(peer)
+		}
+		m.transmit(peer, curGen, proto.Message{
+			Kind: proto.KSyncInstall, Origin: m.cfg.Self,
+			Epoch: msg.Epoch, Subs: subs, Advs: advs,
+		})
+	case proto.KSyncInstall:
+		if l.state != StateHandshaking || msg.Epoch != curGen {
+			// A duplicate, or the reply to a hello from a superseded
+			// link generation: the versioning exists to discard exactly
+			// this.
+			m.mu.Unlock()
+			return true
+		}
+		from := l.state
+		l.state = StateEstablished
+		l.established++
+		l.backoff = m.set.BackoffBase
+		pending := l.pending
+		l.pending = nil
+		l.cancelTimers()
+		l.cancelHB = m.schedule(m.set.HeartbeatInterval, func() { m.heartbeatTick(peer, curGen) })
+		m.mu.Unlock()
+		m.observe(peer, from, StateEstablished,
+			fmt.Sprintf("synced (%d installs replayed by peer)", len(msg.Subs)+len(msg.Advs)))
+		// Flush the backlog before applying the peer's replay: our sync
+		// reply already precedes the backlog on the wire (FIFO link), so
+		// the peer routes it against re-synced tables — and anything our
+		// ApplySync emits below stays behind the backlog likewise.
+		for i, pm := range pending {
+			if err := m.cfg.Transmit(peer, pm); err != nil {
+				m.requeueFront(peer, curGen, pending[i:])
+				m.LinkDown(peer, curGen, fmt.Sprintf("flush: %v", err))
+				return true
+			}
+		}
+		if m.cfg.ApplySync != nil {
+			m.cfg.ApplySync(peer, msg.Subs, msg.Advs)
+		}
+	}
+	return true
+}
+
+// Send transmits m to the peer if its link is established, and queues
+// it in the bounded pending buffer otherwise. A transmit error requeues
+// the message and marks the link down.
+func (m *Manager) Send(peer message.NodeID, msg proto.Message) {
+	m.mu.Lock()
+	l := m.links[peer]
+	if l == nil || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if l.state != StateEstablished {
+		m.enqueueLocked(l, msg)
+		m.mu.Unlock()
+		return
+	}
+	gen := l.gen
+	m.mu.Unlock()
+	if err := m.cfg.Transmit(peer, msg); err != nil {
+		m.mu.Lock()
+		if l := m.links[peer]; l != nil && l.gen == gen {
+			m.enqueueLocked(l, msg)
+		}
+		m.mu.Unlock()
+		m.LinkDown(peer, gen, fmt.Sprintf("send: %v", err))
+	}
+}
+
+// State returns the peer's link state (StateClosed for unknown peers).
+func (m *Manager) State(peer message.NodeID) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l := m.links[peer]; l != nil {
+		return l.state
+	}
+	return StateClosed
+}
+
+// States snapshots every link's state.
+func (m *Manager) States() map[message.NodeID]State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[message.NodeID]State, len(m.links))
+	for p, l := range m.links {
+		out[p] = l.state
+	}
+	return out
+}
+
+// Info snapshots every link, sorted by peer ID.
+func (m *Manager) Info() []LinkInfo {
+	m.mu.Lock()
+	out := make([]LinkInfo, 0, len(m.links))
+	for _, l := range m.links {
+		out = append(out, LinkInfo{
+			Peer: l.peer, State: l.state, Dialer: l.dialer,
+			Established: l.established, Pending: len(l.pending),
+			Dropped: l.dropped, LastSeen: l.lastSeen,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// Close stops all supervision: timers are cancelled and every link goes
+// to StateClosed. The physical links are the host's to close.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, l := range m.links {
+		l.cancelTimers()
+		l.state = StateClosed
+	}
+	m.mu.Unlock()
+}
+
+// --- internals ----------------------------------------------------------
+
+// enqueueLocked appends to the bounded pending buffer, dropping the
+// oldest beyond the cap. Callers hold m.mu.
+func (m *Manager) enqueueLocked(l *link, msg proto.Message) {
+	if len(l.pending) >= m.set.PendingCap {
+		l.pending = l.pending[1:]
+		l.dropped++
+	}
+	l.pending = append(l.pending, msg)
+}
+
+// requeueFront puts an unflushed backlog suffix back at the head of the
+// pending buffer (gen-guarded against a racing re-establishment).
+func (m *Manager) requeueFront(peer message.NodeID, gen uint64, msgs []proto.Message) {
+	m.mu.Lock()
+	if l := m.links[peer]; l != nil && l.gen == gen {
+		l.pending = append(append([]proto.Message(nil), msgs...), l.pending...)
+		if over := len(l.pending) - m.set.PendingCap; over > 0 {
+			l.pending = l.pending[over:]
+			l.dropped += over
+		}
+	}
+	m.mu.Unlock()
+}
+
+// schedule wraps cfg.Schedule (nil-tolerant for hosts without timers).
+func (m *Manager) schedule(d time.Duration, fn func()) func() {
+	if m.cfg.Schedule == nil {
+		return nil
+	}
+	return m.cfg.Schedule(d, fn)
+}
+
+// scheduleRedialLocked arms the next dial attempt with jittered
+// exponential backoff. Callers hold m.mu.
+func (m *Manager) scheduleRedialLocked(l *link) {
+	if m.cfg.Dial == nil || m.cfg.Schedule == nil {
+		return
+	}
+	if l.cancelRetry != nil {
+		l.cancelRetry()
+	}
+	// Jitter uniformly in [backoff/2, backoff] so a partitioned clique
+	// does not reconnect in lockstep.
+	d := l.backoff/2 + time.Duration(m.rng.Int63n(int64(l.backoff/2)+1))
+	l.backoff *= 2
+	if l.backoff > m.set.BackoffMax {
+		l.backoff = m.set.BackoffMax
+	}
+	peer, gen := l.peer, l.gen
+	l.cancelRetry = m.cfg.Schedule(d, func() {
+		m.mu.Lock()
+		cur := m.links[peer]
+		ok := cur != nil && !m.closed && cur.gen == gen &&
+			cur.state != StateHandshaking && cur.state != StateEstablished
+		m.mu.Unlock()
+		if ok {
+			m.cfg.Dial(peer)
+		}
+	})
+}
+
+// handshakeDeadline fires when a handshake stalls past the heartbeat
+// timeout: tear the physical link down and let the dialer retry.
+func (m *Manager) handshakeDeadline(peer message.NodeID, gen uint64) {
+	m.mu.Lock()
+	l := m.links[peer]
+	stalled := l != nil && !m.closed && l.gen == gen && l.state == StateHandshaking
+	m.mu.Unlock()
+	if !stalled {
+		return
+	}
+	if m.cfg.CloseLink != nil {
+		m.cfg.CloseLink(peer)
+	}
+	m.LinkDown(peer, gen, "handshake timeout")
+}
+
+// heartbeatTick probes the link and checks for silence.
+func (m *Manager) heartbeatTick(peer message.NodeID, gen uint64) {
+	m.mu.Lock()
+	l := m.links[peer]
+	if l == nil || m.closed || l.gen != gen || l.state != StateEstablished {
+		m.mu.Unlock()
+		return
+	}
+	if m.cfg.Now().Sub(l.lastSeen) > m.set.HeartbeatTimeout {
+		m.mu.Unlock()
+		if m.cfg.CloseLink != nil {
+			m.cfg.CloseLink(peer)
+		}
+		m.LinkDown(peer, gen, "heartbeat timeout")
+		return
+	}
+	l.cancelHB = m.schedule(m.set.HeartbeatInterval, func() { m.heartbeatTick(peer, gen) })
+	m.mu.Unlock()
+	m.transmit(peer, gen, proto.Message{Kind: proto.KPing, Origin: m.cfg.Self})
+}
+
+// transmit sends on the current physical link, tearing the link down on
+// error.
+func (m *Manager) transmit(peer message.NodeID, gen uint64, msg proto.Message) {
+	if err := m.cfg.Transmit(peer, msg); err != nil {
+		m.LinkDown(peer, gen, fmt.Sprintf("send: %v", err))
+	}
+}
+
+func (m *Manager) observe(peer message.NodeID, from, to State, reason string) {
+	if m.cfg.Observer == nil || from == to {
+		return
+	}
+	m.cfg.Observer(Event{Peer: peer, From: from, To: to, Reason: reason, At: m.cfg.Now()})
+}

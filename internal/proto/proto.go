@@ -100,6 +100,25 @@ const (
 	KBufferFetch
 	// KBufferFetchReply returns the requested buffer contents.
 	KBufferFetchReply
+
+	// --- overlay link management (link-local, internal/overlay) ---
+
+	// KHello opens the sync handshake on a freshly (re-)established overlay
+	// link: each side announces itself (Origin) and its handshake
+	// generation (Epoch). The peer answers with a KSyncInstall echoing the
+	// Epoch, so replies from a superseded link generation are discarded.
+	KHello
+	// KSyncInstall replays the sender's local routing installs to the peer:
+	// Subs carries every routing-table subscription not learned from that
+	// peer, Advs the advertisement table likewise, and Epoch echoes the
+	// KHello that solicited the replay. Receiving a matching KSyncInstall
+	// completes the handshake — only then does the link carry traffic.
+	KSyncInstall
+	// KPing probes an established overlay link (heartbeat failure
+	// detection). Link-local; consumed by the overlay manager.
+	KPing
+	// KPong answers a KPing.
+	KPong
 )
 
 var kindNames = map[Kind]string{
@@ -125,6 +144,10 @@ var kindNames = map[Kind]string{
 	KReplicaUnsub:     "replica-unsub",
 	KBufferFetch:      "buffer-fetch",
 	KBufferFetchReply: "buffer-fetch-reply",
+	KHello:            "hello",
+	KSyncInstall:      "sync-install",
+	KPing:             "ping",
+	KPong:             "pong",
 }
 
 // String returns the kind's wire name.
@@ -193,8 +216,10 @@ type Message struct {
 	// KReplicaUnsub).
 	Sub *Subscription
 	// Subs carries a subscription profile (KConnect, KRelocProfile,
-	// KReplicaCreate).
+	// KReplicaCreate) or the routing-table replay of a KSyncInstall.
 	Subs []Subscription
+	// Advs carries the advertisement-table replay of a KSyncInstall.
+	Advs []Subscription
 	// Watermarks carries per-publisher delivered sequence numbers for
 	// exactly-once replay (KRelocProfile).
 	Watermarks map[message.NodeID]uint64
@@ -203,7 +228,9 @@ type Message struct {
 	// Epoch is the client's monotonic connect counter. Every KConnect
 	// carries the client's current epoch; relocation messages echo the
 	// epoch of the connect that triggered them so that stale requests and
-	// replies (from superseded moves) are detected and discarded.
+	// replies (from superseded moves) are detected and discarded. On
+	// KHello/KSyncInstall it carries the overlay link's handshake
+	// generation instead (same staleness role, link scope).
 	Epoch uint64
 	// Stale marks a KRelocProfile reply that declines a stale KRelocReq:
 	// the old border has seen a newer connect epoch, so the requester's
@@ -250,6 +277,9 @@ func (m Message) WireSize() int {
 		size += subSize(*m.Sub)
 	}
 	for _, s := range m.Subs {
+		size += subSize(s)
+	}
+	for _, s := range m.Advs {
 		size += subSize(s)
 	}
 	size += len(m.Watermarks) * 16

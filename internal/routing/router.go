@@ -71,12 +71,19 @@ func (r *Router) Strategy() Strategy { return r.strategy }
 // subscription): the entry migrates to the new link and the flip is
 // forwarded unconditionally so the whole tree re-points toward the new
 // border. No unsubscription is emitted — the flip wave is the cleanup.
+//
+// A subscription re-arriving unchanged (same ID, same link, same filter) is
+// an idempotent re-install — the overlay's sync handshake replays installs
+// on every link (re-)establishment — and is *not* re-forwarded on links it
+// already went out on: downstream state is intact, and each downstream link
+// runs its own replay when it flaps.
 func (r *Router) Subscribe(sub proto.Subscription, fromLink message.NodeID, brokerLinks []message.NodeID) []Forward {
 	if r.advBased {
 		return r.subscribeAdvGated(sub, fromLink, brokerLinks)
 	}
 	prev, existed := r.table.Get(sub.ID)
 	relocated := existed && prev.Link != fromLink
+	unchanged := existed && !relocated && prev.Sub.Filter.Key() == sub.Filter.Key()
 	r.table.Add(sub, fromLink)
 	if r.strategy == StrategyFlooding {
 		return nil
@@ -84,6 +91,9 @@ func (r *Router) Subscribe(sub proto.Subscription, fromLink message.NodeID, brok
 	var out []Forward
 	for _, link := range brokerLinks {
 		if link == fromLink {
+			continue
+		}
+		if unchanged && r.wasForwarded(link, sub.ID) {
 			continue
 		}
 		if !relocated && r.strategy == StrategyCovering && r.coveredOnLink(sub, link) {

@@ -14,6 +14,7 @@ import (
 	"rebeca/internal/message"
 	"rebeca/internal/mobility"
 	"rebeca/internal/movement"
+	"rebeca/internal/overlay"
 	"rebeca/internal/proto"
 	"rebeca/internal/routing"
 	"rebeca/internal/store"
@@ -56,6 +57,18 @@ type ClusterConfig struct {
 	// pass through. Instances are shared across brokers (the sim runs one
 	// event loop, so unsynchronized stages are fine here).
 	Middleware []broker.Middleware
+	// Overlay, when non-nil, deploys a per-broker overlay manager over the
+	// simulated links: the same link state machine the live TCP runner
+	// hosts, driven by the virtual clock — sync handshakes on
+	// (re-)establishment, heartbeat failure detection, backoff redials and
+	// bounded pending queues. Combine with the network's CutLink/HealLink
+	// to script link-failure scenarios deterministically. When nil (the
+	// default), brokers send to peers directly — the pre-overlay behavior
+	// every traffic-accounting experiment assumes.
+	Overlay *overlay.Settings
+	// LinkObserver, when non-nil, observes every overlay link transition
+	// (the broker chain's LinkObserver stages are notified regardless).
+	LinkObserver overlay.Observer
 	// LinkLatency is the per-hop overlay delay (default 1ms).
 	LinkLatency time.Duration
 	// LatencyJitter adds a uniform random delay in [0, LatencyJitter) to
@@ -104,7 +117,10 @@ type Cluster struct {
 	Replicators map[message.NodeID]*core.Replicator
 	Shared      map[message.NodeID]*buffer.Shared
 	Clients     map[message.NodeID]*client.Client
-	cfg         ClusterConfig
+	// Overlays holds the per-broker overlay managers (nil map without
+	// ClusterConfig.Overlay).
+	Overlays map[message.NodeID]*overlay.Manager
+	cfg      ClusterConfig
 }
 
 // mobilityMode translates the cluster-level mode to the manager's.
@@ -181,6 +197,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	for _, id := range topo.Nodes() {
 		id := id
+		peerOf := make(map[message.NodeID]bool, len(adj[id]))
+		for _, p := range adj[id] {
+			peerOf[p] = true
+		}
 		b := broker.New(broker.Config{
 			ID:              id,
 			Peers:           adj[id],
@@ -188,6 +208,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Advertisements:  cfg.Advertisements,
 			IndexedMatching: cfg.IndexedMatching,
 			Send: func(to message.NodeID, m proto.Message) {
+				// With an overlay deployed, peer links are supervised:
+				// messages for a down link queue and flush after its sync
+				// handshake instead of being dropped on the floor.
+				if mgr := c.Overlays[id]; mgr != nil && peerOf[to] {
+					mgr.Send(to, m)
+					return
+				}
 				net.Send(id, to, m)
 			},
 			SendDirect: func(to message.NodeID, m proto.Message) {
@@ -198,6 +225,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		})
 		c.Brokers[id] = b
 		net.AddNode(id, EndpointFunc(func(from message.NodeID, m proto.Message) {
+			if mgr := c.Overlays[id]; mgr != nil && peerOf[from] {
+				if mgr.HandleControl(from, 0, m) {
+					return
+				}
+			}
 			b.HandleMessage(from, m)
 		}))
 
@@ -229,6 +261,61 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		b.UseMiddleware(cfg.Middleware...)
 	}
+	// Overlay pass: deploy the same link state machine the live TCP
+	// runner hosts, driven by the virtual clock. Managers are built
+	// first, then peers added (AddPeer on the dialer side synchronously
+	// attempts the first dial, which needs both ends' managers to exist).
+	// The deterministic convention: the lexicographically smaller broker
+	// dials each edge.
+	if cfg.Overlay != nil {
+		c.Overlays = make(map[message.NodeID]*overlay.Manager, len(topo.Nodes()))
+		for _, id := range topo.Nodes() {
+			id := id
+			b := c.Brokers[id]
+			c.Overlays[id] = overlay.New(overlay.Config{
+				Self:     id,
+				Settings: *cfg.Overlay,
+				Now:      net.Now,
+				Transmit: func(peer message.NodeID, m proto.Message) error {
+					// A cut link refuses the send — the closed-conn
+					// analog — so the manager queues instead of feeding
+					// the drop counter.
+					if !net.Linked(id, peer) {
+						return fmt.Errorf("sim: link %s-%s is cut", id, peer)
+					}
+					net.Send(id, peer, m)
+					return nil
+				},
+				Dial:      func(peer message.NodeID) { c.dialSim(id, peer) },
+				Schedule:  net.Background,
+				SyncState: b.SyncInstalls,
+				ApplySync: b.ApplySyncInstalls,
+				Observer: func(ev overlay.Event) {
+					b.NotifyLinkChange(ev)
+					if cfg.LinkObserver != nil {
+						cfg.LinkObserver(ev)
+					}
+				},
+			})
+		}
+		// Passive sides first: the dialer's AddPeer dials synchronously,
+		// and the sim's "accept" is the peer manager's LinkUp — the peer
+		// must already know the link.
+		for _, id := range topo.Nodes() {
+			for _, p := range adj[id] {
+				if id > p {
+					c.Overlays[id].AddPeer(p, false)
+				}
+			}
+		}
+		for _, id := range topo.Nodes() {
+			for _, p := range adj[id] {
+				if id < p {
+					c.Overlays[id].AddPeer(p, true)
+				}
+			}
+		}
+	}
 	// Recovery pass: a cluster built on a previously used store resumes
 	// the persisted ghost sessions. The re-installed subscriptions are
 	// forwarded as ordinary KSubscribe traffic, queued on the virtual
@@ -241,11 +328,41 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// AddClient creates a client endpoint on the network.
+// dialSim models one dial attempt over the simulated fabric: it succeeds
+// iff the link is intact, bringing the physical link up on both ends at
+// once (the acceptor side learns of the connection like a TCP accept).
+func (c *Cluster) dialSim(from, to message.NodeID) {
+	if !c.Net.Linked(from, to) {
+		c.Overlays[from].DialFailed(to)
+		return
+	}
+	c.Overlays[from].LinkUp(to)
+	c.Overlays[to].LinkUp(from)
+}
+
+// CutLink severs an overlay link (both directions). With an overlay
+// deployed the link managers notice — instantly on the next send, or via
+// heartbeat timeout when idle — go degraded, queue outbound traffic and
+// probe for re-establishment; without one, transmissions are simply
+// dropped.
+func (c *Cluster) CutLink(a, b message.NodeID) { c.Net.CutLink(a, b) }
+
+// HealLink restores a severed link; the dialer side's backoff probe
+// re-establishes it (advance the virtual clock to let the probe fire).
+func (c *Cluster) HealLink(a, b message.NodeID) { c.Net.HealLink(a, b) }
+
+// AddClient creates a client endpoint on the network. On a durable
+// deployment the client's publisher identity (epoch + sequence floor)
+// persists in the store, so a client re-added under the same ID — a
+// restarted publisher — continues its sequence space instead of
+// restarting at 1 and confusing subscriber dedup state.
 func (c *Cluster) AddClient(id message.NodeID) *client.Client {
 	cl := client.New(id, func(to message.NodeID, m proto.Message) {
 		c.Net.Send(id, to, m)
 	}, c.Net.Now)
+	if c.cfg.Store != nil {
+		cl.UseDurablePublisher(c.cfg.Store)
+	}
 	c.Clients[id] = cl
 	c.Net.AddNode(id, EndpointFunc(cl.Receive))
 	return cl

@@ -25,11 +25,15 @@ type EndpointFunc func(from message.NodeID, m proto.Message)
 func (f EndpointFunc) Receive(from message.NodeID, m proto.Message) { f(from, m) }
 
 // event is a scheduled action in virtual time. seq breaks timestamp ties in
-// schedule order, which keeps runs deterministic.
+// schedule order, which keeps runs deterministic. Background events
+// (overlay heartbeats, redial timers) do not keep Run alive and may be
+// cancelled.
 type event struct {
-	at  time.Time
-	seq uint64
-	fn  func()
+	at        time.Time
+	seq       uint64
+	fn        func()
+	bg        bool
+	cancelled *bool
 }
 
 type eventQueue []*event
@@ -94,11 +98,13 @@ type linkKey struct{ from, to message.NodeID }
 // Network is the discrete-event message fabric. All methods must be called
 // from a single goroutine (the simulation driver).
 type Network struct {
-	now   time.Time
-	seq   uint64
-	queue eventQueue
+	now       time.Time
+	seq       uint64
+	queue     eventQueue
+	fgPending int // non-background events in the queue
 
 	nodes map[message.NodeID]Endpoint
+	cuts  map[linkKey]bool // severed links (overlay chaos)
 
 	// Latency returns the one-hop delay between two linked nodes.
 	Latency func(from, to message.NodeID) time.Duration
@@ -123,9 +129,30 @@ func NewNetwork() *Network {
 	return &Network{
 		now:          time.Date(2003, 6, 16, 12, 0, 0, 0, time.UTC),
 		nodes:        make(map[message.NodeID]Endpoint),
+		cuts:         make(map[linkKey]bool),
 		lastDelivery: make(map[linkKey]time.Time),
 		stats:        newTrafficStats(),
 	}
+}
+
+// CutLink severs the (undirected) link between two nodes: transmissions in
+// either direction are dropped — and counted — until HealLink. Messages
+// already in flight still deliver (they left before the cut), mirroring a
+// TCP link whose buffered segments land before the reset.
+func (n *Network) CutLink(a, b message.NodeID) {
+	n.cuts[linkKey{from: a, to: b}] = true
+	n.cuts[linkKey{from: b, to: a}] = true
+}
+
+// HealLink restores a severed link.
+func (n *Network) HealLink(a, b message.NodeID) {
+	delete(n.cuts, linkKey{from: a, to: b})
+	delete(n.cuts, linkKey{from: b, to: a})
+}
+
+// Linked reports whether the a→b link is intact (not cut).
+func (n *Network) Linked(a, b message.NodeID) bool {
+	return !n.cuts[linkKey{from: a, to: b}]
 }
 
 // Now returns the current virtual time.
@@ -171,6 +198,10 @@ func (n *Network) SendDirect(from, to message.NodeID, m proto.Message) {
 }
 
 func (n *Network) transmit(from, to message.NodeID, m proto.Message, direct bool) {
+	if n.cuts[linkKey{from: from, to: to}] {
+		n.stats.Dropped++
+		return
+	}
 	if n.Drop != nil && n.Drop(from, to, m) {
 		n.stats.Dropped++
 		return
@@ -211,21 +242,41 @@ func (n *Network) At(t time.Time, fn func()) {
 // After schedules fn after a virtual delay.
 func (n *Network) After(d time.Duration, fn func()) { n.schedule(n.now.Add(d), fn) }
 
+// Background schedules fn after a virtual delay as a background event:
+// it fires during RunUntil/RunFor windows that reach it, but does not
+// keep Run alive — Run drains to quiescence of *foreground* activity
+// (messages, scheduled scenario actions) and leaves future background
+// timers (overlay heartbeats, redial backoff) unfired, exactly like a
+// settled deployment whose next heartbeat has not come due yet. The
+// returned cancel func unarms the timer.
+func (n *Network) Background(d time.Duration, fn func()) (cancel func()) {
+	n.seq++
+	cancelled := false
+	heap.Push(&n.queue, &event{
+		at: n.now.Add(d), seq: n.seq, fn: fn, bg: true, cancelled: &cancelled,
+	})
+	return func() { cancelled = true }
+}
+
 func (n *Network) schedule(at time.Time, fn func()) {
 	n.seq++
+	n.fgPending++
 	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
 }
 
-// Run drains the event queue to quiescence and returns the final time.
+// Run drains the event queue to foreground quiescence and returns the
+// final time. Background timers due before the last foreground event run
+// in order; later ones stay armed.
 func (n *Network) Run() time.Time {
-	for n.queue.Len() > 0 {
+	for n.fgPending > 0 {
 		n.step()
 	}
 	return n.now
 }
 
-// RunUntil processes events up to and including t, then sets the clock to
-// t. Events scheduled later stay queued.
+// RunUntil processes events (foreground and background) up to and
+// including t, then sets the clock to t. Events scheduled later stay
+// queued.
 func (n *Network) RunUntil(t time.Time) {
 	for n.queue.Len() > 0 && !n.queue[0].at.After(t) {
 		n.step()
@@ -238,11 +289,17 @@ func (n *Network) RunUntil(t time.Time) {
 // RunFor advances the clock by d, processing due events.
 func (n *Network) RunFor(d time.Duration) { n.RunUntil(n.now.Add(d)) }
 
-// Pending returns the number of queued events.
-func (n *Network) Pending() int { return n.queue.Len() }
+// Pending returns the number of queued foreground events.
+func (n *Network) Pending() int { return n.fgPending }
 
 func (n *Network) step() {
 	e := heap.Pop(&n.queue).(*event)
+	if !e.bg {
+		n.fgPending--
+	}
+	if e.cancelled != nil && *e.cancelled {
+		return // unarmed timer: don't advance the clock for it
+	}
 	if e.at.After(n.now) {
 		n.now = e.at
 	}

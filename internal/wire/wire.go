@@ -7,6 +7,14 @@
 // TCP gives the FIFO per-link guarantee the algorithms assume; a per-node
 // inbox goroutine serializes HandleMessage calls, preserving the atomic
 // routing-decision requirement of §2.
+//
+// Broker↔broker links are owned by the node's overlay manager
+// (internal/overlay): dials retry with backoff instead of failing Start,
+// every (re-)established link runs the sync handshake that replays routing
+// installs before carrying traffic, established links exchange heartbeats,
+// and messages bound for a down link queue in a bounded buffer until it
+// heals — so broker start order does not matter and the topology self-heals
+// after restarts and link flaps.
 package wire
 
 import (
@@ -20,6 +28,7 @@ import (
 
 	"rebeca/internal/broker"
 	"rebeca/internal/message"
+	"rebeca/internal/overlay"
 	"rebeca/internal/proto"
 	"rebeca/internal/routing"
 )
@@ -34,10 +43,12 @@ type envelope struct {
 	M proto.Message
 }
 
-// inboxMsg pairs a received message with its link.
+// inboxMsg pairs a received message with its link. gen is the overlay
+// link generation for peer-broker links (0 on client links).
 type inboxMsg struct {
 	from message.NodeID
 	m    proto.Message
+	gen  uint64
 }
 
 // flowState is the broker-side half of the credit-based delivery flow
@@ -104,11 +115,15 @@ func (f *flowState) close() {
 	f.cond.Broadcast()
 }
 
-// Conn is one established, identified link.
+// Conn is one established, identified link. dec is the connection's
+// single gob decoder: gob decoders buffer reads, so the hello handshake
+// and the message pump must share one — a second decoder would start
+// mid-stream on whatever the first one read ahead.
 type Conn struct {
 	peer message.NodeID
 	c    net.Conn
 	enc  *gob.Encoder
+	dec  *gob.Decoder
 	mu   sync.Mutex
 	fc   *flowState
 }
@@ -147,6 +162,14 @@ type NodeConfig struct {
 	// chain position the simulator gives it. Stages shared between several
 	// live nodes must be safe for concurrent use (one event loop each).
 	Middleware []broker.Middleware
+	// Overlay tunes the broker-link supervision (heartbeat interval and
+	// timeout, redial backoff, pending-queue bound); zero fields take the
+	// overlay package's defaults.
+	Overlay overlay.Settings
+	// LinkObserver, when non-nil, observes every overlay link transition
+	// (in addition to the broker chain's LinkObserver stages). Called from
+	// whatever goroutine drove the transition; must not block.
+	LinkObserver overlay.Observer
 }
 
 // Node is a live broker process host.
@@ -154,28 +177,36 @@ type Node struct {
 	cfg NodeConfig
 	b   *broker.Broker
 	ln  net.Listener
+	ov  *overlay.Manager
 
-	mu    sync.Mutex
-	conns map[message.NodeID]*Conn
+	mu      sync.Mutex
+	conns   map[message.NodeID]*Conn
+	blocked map[message.NodeID]bool // link-chaos hook: refuse these peers
 
-	inbox chan inboxMsg
-	tasks chan func()
-	done  chan struct{}
-	wg    sync.WaitGroup
+	peerSet    map[message.NodeID]bool
+	inbox      chan inboxMsg
+	tasks      chan func()
+	linkEvents chan overlay.Event
+	done       chan struct{}
+	wg         sync.WaitGroup
 }
 
 // NewNode creates a node and its broker (not yet serving).
 func NewNode(cfg NodeConfig) *Node {
 	n := &Node{
-		cfg:   cfg,
-		conns: make(map[message.NodeID]*Conn),
-		inbox: make(chan inboxMsg, 1024),
-		tasks: make(chan func()),
-		done:  make(chan struct{}),
+		cfg:        cfg,
+		conns:      make(map[message.NodeID]*Conn),
+		blocked:    make(map[message.NodeID]bool),
+		peerSet:    make(map[message.NodeID]bool, len(cfg.Peers)),
+		inbox:      make(chan inboxMsg, 1024),
+		tasks:      make(chan func()),
+		linkEvents: make(chan overlay.Event, 256),
+		done:       make(chan struct{}),
 	}
 	peers := make([]message.NodeID, 0, len(cfg.Peers))
 	for p := range cfg.Peers {
 		peers = append(peers, p)
+		n.peerSet[p] = true
 	}
 	n.b = broker.New(broker.Config{
 		ID:       cfg.ID,
@@ -184,14 +215,56 @@ func NewNode(cfg NodeConfig) *Node {
 		Send:     n.send,
 		NextHop:  cfg.NextHop,
 	})
+	n.ov = overlay.New(overlay.Config{
+		Self:     cfg.ID,
+		Settings: cfg.Overlay,
+		Transmit: n.transmitPeer,
+		Dial:     n.dialPeer,
+		CloseLink: func(peer message.NodeID) {
+			n.mu.Lock()
+			conn := n.conns[peer]
+			n.mu.Unlock()
+			if conn != nil {
+				_ = conn.Close()
+			}
+		},
+		Schedule: func(d time.Duration, fn func()) func() {
+			t := time.AfterFunc(d, fn)
+			return func() { t.Stop() }
+		},
+		// SyncState/ApplySync run inside HandleControl, which the node
+		// only invokes from its event loop — direct broker access is safe.
+		SyncState: n.b.SyncInstalls,
+		ApplySync: n.b.ApplySyncInstalls,
+		Observer:  n.observeLink,
+	})
 	return n
+}
+
+// observeLink fans a link transition out to the configured observer and,
+// asynchronously, to the broker chain's LinkObserver stages (the event
+// loop dequeues linkEvents; transitions can originate on that very loop,
+// so the hand-off must not block — overflow drops the chain notification
+// rather than deadlocking).
+func (n *Node) observeLink(ev overlay.Event) {
+	if n.cfg.LinkObserver != nil {
+		n.cfg.LinkObserver(ev)
+	}
+	select {
+	case n.linkEvents <- ev:
+	default:
+	}
 }
 
 // Broker exposes the hosted broker so callers can attach plugins (mobility
 // manager, replicator) before Start.
 func (n *Node) Broker() *broker.Broker { return n.b }
 
-// Start listens, dials peers, and runs the event loop.
+// Start listens, runs the event loop, and hands every overlay link to the
+// node's overlay manager: active sides begin dialing (failed dials retry
+// with jittered backoff — a peer that is not up yet is not an error),
+// passive sides await the peer's dial. Start only fails if the listen
+// address is unavailable.
 func (n *Node) Start() error {
 	n.b.UseMiddleware(n.cfg.Middleware...)
 	ln, err := net.Listen("tcp", n.cfg.Listen)
@@ -203,15 +276,7 @@ func (n *Node) Start() error {
 	go n.acceptLoop()
 	go n.eventLoop()
 	for peer, addr := range n.cfg.Peers {
-		if addr == "" {
-			continue // passive side: the peer dials us
-		}
-		conn, err := DialLink(n.cfg.ID, addr)
-		if err != nil {
-			_ = n.Close()
-			return fmt.Errorf("wire: dial peer %s at %s: %w", peer, addr, err)
-		}
-		n.register(conn)
+		n.ov.AddPeer(peer, addr != "")
 	}
 	return nil
 }
@@ -232,6 +297,7 @@ func (n *Node) Close() error {
 	default:
 	}
 	close(n.done)
+	n.ov.Close() // stop redial/heartbeat timers before dropping links
 	if n.ln != nil {
 		_ = n.ln.Close()
 	}
@@ -257,12 +323,16 @@ func (n *Node) acceptLoop() {
 				_ = c.Close()
 				return
 			}
+			if n.peerSet[conn.peer] {
+				n.registerPeer(conn)
+				return
+			}
 			n.register(conn)
 		}()
 	}
 }
 
-// register adds a link and starts its read pump.
+// register adds a client link and starts its read pump.
 func (n *Node) register(conn *Conn) {
 	n.mu.Lock()
 	n.conns[conn.peer] = conn
@@ -271,10 +341,152 @@ func (n *Node) register(conn *Conn) {
 	go n.readLoop(conn)
 }
 
+// registerPeer installs a broker-peer link (dialed or accepted): it
+// replaces any previous conn to that peer, reports the link up to the
+// overlay manager — which starts the sync handshake — and starts the
+// gen-tagged read pump. Blocked peers (link-chaos hook) are refused.
+func (n *Node) registerPeer(conn *Conn) {
+	n.mu.Lock()
+	if n.blocked[conn.peer] || n.isClosed() {
+		n.mu.Unlock()
+		_ = conn.Close()
+		// A refused *dialed* conn must still report its attempt as
+		// failed, or the manager — whose retry timer was consumed to
+		// fire this dial — never schedules another and the link stays
+		// degraded past HealLink. No-op for accepted conns (passive
+		// links) and closed managers.
+		n.ov.DialFailed(conn.peer)
+		return
+	}
+	if old := n.conns[conn.peer]; old != nil && old != conn {
+		_ = old.Close()
+	}
+	n.conns[conn.peer] = conn
+	n.mu.Unlock()
+	gen, ok := n.ov.LinkUp(conn.peer)
+	if !ok {
+		_ = conn.Close()
+		return
+	}
+	n.wg.Add(1)
+	go n.readPeerLoop(conn, gen)
+}
+
+// dialPeer is the overlay manager's Dial callback: one asynchronous
+// attempt, reported back as LinkUp (via registerPeer) or DialFailed.
+func (n *Node) dialPeer(peer message.NodeID) {
+	go func() {
+		addr := n.cfg.Peers[peer]
+		n.mu.Lock()
+		refused := n.blocked[peer]
+		n.mu.Unlock()
+		if refused || n.isClosed() || addr == "" {
+			n.ov.DialFailed(peer)
+			return
+		}
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			n.ov.DialFailed(peer)
+			return
+		}
+		conn, err := handshakeLink(n.cfg.ID, c)
+		if err != nil || conn.peer != peer {
+			_ = c.Close()
+			n.ov.DialFailed(peer)
+			return
+		}
+		n.registerPeer(conn)
+	}()
+}
+
+// transmitPeer is the overlay manager's Transmit: encode on the peer's
+// current conn.
+func (n *Node) transmitPeer(peer message.NodeID, m proto.Message) error {
+	n.mu.Lock()
+	conn := n.conns[peer]
+	n.mu.Unlock()
+	if conn == nil {
+		return errors.New("wire: no link")
+	}
+	return conn.Send(m)
+}
+
+func (n *Node) isClosed() bool {
+	select {
+	case <-n.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// BlockPeer severs the link to a peer and refuses re-establishment —
+// dials fail fast and inbound accepts are rejected — until UnblockPeer.
+// This is the deterministic link-cut hook behind chaos tests: the overlay
+// manager sees the loss immediately (closed conn), queues outbound
+// traffic, and its redial loop heals the link as soon as the peer is
+// unblocked.
+func (n *Node) BlockPeer(peer message.NodeID) {
+	n.mu.Lock()
+	n.blocked[peer] = true
+	conn := n.conns[peer]
+	n.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// UnblockPeer lifts a BlockPeer; the dialer side's backoff loop
+// re-establishes the link.
+func (n *Node) UnblockPeer(peer message.NodeID) {
+	n.mu.Lock()
+	delete(n.blocked, peer)
+	n.mu.Unlock()
+}
+
+// LinkStates snapshots the overlay link state per peer.
+func (n *Node) LinkStates() map[message.NodeID]overlay.State { return n.ov.States() }
+
+// LinkInfo snapshots the overlay links (state, pending backlog, drops).
+func (n *Node) LinkInfo() []overlay.LinkInfo { return n.ov.Info() }
+
+// readPeerLoop pumps a broker-peer link. Heartbeats (KPing/KPong) are
+// handled here at the transport level — a busy event loop must not turn
+// into a false link failure — while handshake messages (KHello,
+// KSyncInstall) travel through the inbox so their routing-table work runs
+// serialized on the event loop. Everything else is normal broker traffic.
+func (n *Node) readPeerLoop(conn *Conn, gen uint64) {
+	defer n.wg.Done()
+	dec := conn.dec
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			reason := "link closed"
+			if !errors.Is(err, io.EOF) {
+				reason = err.Error()
+			}
+			n.ov.LinkDown(conn.peer, gen, reason)
+			return
+		}
+		switch env.M.Kind {
+		case proto.KPing, proto.KPong:
+			n.ov.HandleControl(conn.peer, gen, env.M)
+			continue
+		default:
+			n.ov.Touch(conn.peer, gen)
+		}
+		select {
+		case n.inbox <- inboxMsg{from: conn.peer, m: env.M, gen: gen}:
+		case <-n.done:
+			return
+		}
+	}
+}
+
 func (n *Node) readLoop(conn *Conn) {
 	defer n.wg.Done()
 	defer conn.fc.close()
-	dec := gob.NewDecoder(conn.c)
+	dec := conn.dec
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
@@ -305,7 +517,8 @@ func (n *Node) readLoop(conn *Conn) {
 	}
 }
 
-// eventLoop serializes all broker processing.
+// eventLoop serializes all broker processing, including the overlay's
+// sync-handshake work and the chain's link-transition notifications.
 func (n *Node) eventLoop() {
 	defer n.wg.Done()
 	for {
@@ -313,7 +526,12 @@ func (n *Node) eventLoop() {
 		case im := <-n.inbox:
 			m := im.m
 			m.From = im.from
+			if n.peerSet[im.from] && n.ov.HandleControl(im.from, im.gen, m) {
+				continue
+			}
 			n.b.HandleMessage(im.from, m)
+		case ev := <-n.linkEvents:
+			n.b.NotifyLinkChange(ev)
 		case fn := <-n.tasks:
 			fn()
 		case <-n.done:
@@ -365,16 +583,23 @@ func (n *Node) Inspect(fn func(b *broker.Broker)) {
 	}
 }
 
-// send implements the broker's Send: look up the link and encode.
+// send implements the broker's Send. Broker-peer links go through the
+// overlay manager: messages for a link that is down or mid-handshake queue
+// in its bounded pending buffer and flush after the sync handshake, so a
+// flapped or slow-starting neighbor loses nothing the queue can hold.
 // Deliveries on a flow-controlled client link first take a credit, which
 // blocks the event loop while the client's window is exhausted — the
 // backpressure path of the Block overflow policy.
 func (n *Node) send(to message.NodeID, m proto.Message) {
+	if n.peerSet[to] {
+		n.ov.Send(to, m)
+		return
+	}
 	n.mu.Lock()
 	conn, ok := n.conns[to]
 	n.mu.Unlock()
 	if !ok {
-		return // neighbor not (yet) linked; drop like a down link
+		return // client not (yet) linked; drop like a down link
 	}
 	if m.Kind == proto.KDeliver && !conn.fc.acquire() {
 		return // link closed while waiting for credits
@@ -389,30 +614,38 @@ func DialLink(self message.NodeID, addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	return handshakeLink(self, c)
+}
+
+// handshakeLink runs the active side of the identification handshake on an
+// established TCP connection.
+func handshakeLink(self message.NodeID, c net.Conn) (*Conn, error) {
 	enc := gob.NewEncoder(c)
 	if err := enc.Encode(hello{ID: self}); err != nil {
 		_ = c.Close()
 		return nil, fmt.Errorf("wire: handshake send: %w", err)
 	}
+	dec := gob.NewDecoder(c)
 	var h hello
-	if err := gob.NewDecoder(c).Decode(&h); err != nil {
+	if err := dec.Decode(&h); err != nil {
 		_ = c.Close()
 		return nil, fmt.Errorf("wire: handshake recv: %w", err)
 	}
-	return &Conn{peer: h.ID, c: c, enc: enc, fc: newFlowState()}, nil
+	return &Conn{peer: h.ID, c: c, enc: enc, dec: dec, fc: newFlowState()}, nil
 }
 
 // acceptLink performs the passive side of the handshake.
 func acceptLink(self message.NodeID, c net.Conn) (*Conn, error) {
+	dec := gob.NewDecoder(c)
 	var h hello
-	if err := gob.NewDecoder(c).Decode(&h); err != nil {
+	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("wire: handshake recv: %w", err)
 	}
 	enc := gob.NewEncoder(c)
 	if err := enc.Encode(hello{ID: self}); err != nil {
 		return nil, fmt.Errorf("wire: handshake send: %w", err)
 	}
-	return &Conn{peer: h.ID, c: c, enc: enc, fc: newFlowState()}, nil
+	return &Conn{peer: h.ID, c: c, enc: enc, dec: dec, fc: newFlowState()}, nil
 }
 
 // DefaultWindow is the delivery window a RemoteClient announces when none
@@ -489,7 +722,7 @@ func (r *RemoteClient) pump(conn *Conn) {
 		grantAt = 1
 	}
 	consumed := 0
-	dec := gob.NewDecoder(conn.c)
+	dec := conn.dec
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {

@@ -95,6 +95,11 @@ func NewLive(opts ...Option) (*Live, error) {
 			Strategy:   cfg.strategy,
 			NextHop:    hops[id],
 			Middleware: cfg.middleware,
+			// Live brokers always run the overlay manager (WithHeartbeat
+			// only tunes it): links queue-then-flush across flaps and
+			// restarted neighbors are redialed with backoff.
+			Overlay:      cfg.overlaySettings(),
+			LinkObserver: cfg.linkObserver,
 		})
 		rcfg := core.Config{
 			Broker:        node.Broker(),
@@ -136,13 +141,20 @@ func NewLive(opts ...Option) (*Live, error) {
 	return l, nil
 }
 
-// NewClient creates a client endpoint, not yet connected.
+// NewClient creates a client endpoint, not yet connected. On a durable
+// deployment the port's publisher identity persists in the store
+// ("pub/<client>"), so a port recreated under the same ID — a restarted
+// publisher — continues its sequence space and keeps its dedup identity
+// at every subscriber.
 func (l *Live) NewClient(id NodeID) Port {
 	p := &livePort{
 		l:       l,
 		id:      id,
 		tally:   client.NewTally(),
 		streams: newStreamSet(),
+	}
+	if l.cfg.store != nil {
+		p.pubseq = client.NewPubSequencer(l.cfg.store, id)
 	}
 	p.tally.Log.SetCap(l.cfg.logCap())
 	p.rc = wire.NewRemoteClient(id, p.deliver)
@@ -201,6 +213,44 @@ func (l *Live) fingerprint() string {
 	return sb.String()
 }
 
+// CutLink severs the overlay link between two brokers: the TCP
+// connection is killed and re-establishment is refused until HealLink.
+// Both link managers go degraded and queue outbound traffic in their
+// bounded pending buffers — the deterministic "kill + keep down" half of
+// a live link-flap scenario.
+func (l *Live) CutLink(a, b NodeID) error {
+	na, nb := l.nodes[a], l.nodes[b]
+	if na == nil || nb == nil {
+		return fmt.Errorf("%w: %s-%s", ErrUnknownBroker, a, b)
+	}
+	na.BlockPeer(b)
+	nb.BlockPeer(a)
+	return nil
+}
+
+// HealLink lifts a CutLink; the dialing side's backoff probe reconnects,
+// the sync handshake replays routing installs, and the queued backlog
+// flushes.
+func (l *Live) HealLink(a, b NodeID) error {
+	na, nb := l.nodes[a], l.nodes[b]
+	if na == nil || nb == nil {
+		return fmt.Errorf("%w: %s-%s", ErrUnknownBroker, a, b)
+	}
+	na.UnblockPeer(b)
+	nb.UnblockPeer(a)
+	return nil
+}
+
+// LinkStates snapshots a broker's overlay link states per peer (nil for
+// unknown brokers).
+func (l *Live) LinkStates(b NodeID) map[NodeID]LinkState {
+	n := l.nodes[b]
+	if n == nil {
+		return nil
+	}
+	return n.LinkStates()
+}
+
 // Close disconnects all clients and stops all broker nodes.
 func (l *Live) Close() error {
 	l.mu.Lock()
@@ -244,6 +294,7 @@ type livePort struct {
 	profile    []proto.Subscription
 	nextSub    int
 	pubSeq     uint64
+	pubseq     *client.PubSequencer // durable identity (nil = in-memory)
 	tally      *client.Tally
 	stop       chan struct{} // closed on disconnect; aborts Block pushes
 	stopClosed bool
@@ -418,15 +469,24 @@ func (p *livePort) unsubscribe(s *Subscription) {
 	}
 }
 
+// nextSeqLocked assigns the next publish sequence number (durable when
+// the deployment has a store). Callers hold p.mu.
+func (p *livePort) nextSeqLocked() uint64 {
+	if p.pubseq != nil {
+		return p.pubseq.Next()
+	}
+	p.pubSeq++
+	return p.pubSeq
+}
+
 func (p *livePort) Publish(attrs map[string]Value) (NotificationID, error) {
 	p.mu.Lock()
 	if !p.connected {
 		p.mu.Unlock()
 		return NotificationID{}, ErrNotConnected
 	}
-	p.pubSeq++
 	n := message.NewNotification(attrs)
-	n.ID = NotificationID{Publisher: p.id, Seq: p.pubSeq}
+	n.ID = NotificationID{Publisher: p.id, Seq: p.nextSeqLocked()}
 	n.Published = time.Now()
 	p.mu.Unlock()
 	if err := p.rc.Send(proto.Message{Kind: proto.KPublish, Client: p.id, Note: &n}); err != nil {
@@ -446,9 +506,8 @@ func (p *livePort) PublishBatch(ctx context.Context, batch []map[string]Value) (
 		frameIDs := make([]NotificationID, len(frame))
 		now := time.Now()
 		for i, attrs := range frame {
-			p.pubSeq++
 			n := message.NewNotification(attrs)
-			n.ID = NotificationID{Publisher: p.id, Seq: p.pubSeq}
+			n.ID = NotificationID{Publisher: p.id, Seq: p.nextSeqLocked()}
 			n.Published = now
 			notes[i] = n
 			frameIDs[i] = n.ID

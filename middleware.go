@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rebeca/internal/broker"
+	"rebeca/internal/overlay"
 	"rebeca/internal/proto"
 )
 
@@ -21,12 +22,30 @@ type (
 	MessageInterceptor = broker.MessageInterceptor
 	// FlushObserver is the optional flush-completion hook.
 	FlushObserver = broker.FlushObserver
+	// LinkObserver is the optional overlay link-transition hook.
+	LinkObserver = broker.LinkObserver
+	// LinkEvent is one overlay link state transition.
+	LinkEvent = overlay.Event
+	// LinkState is an overlay link's lifecycle state.
+	LinkState = overlay.State
 	// Broker is the broker a middleware stage is attached to.
 	Broker = broker.Broker
 	// SubscriptionInfo pairs a filter with its end-to-end identity (the
 	// OnSubscribe hook's payload). The client-facing *Subscription handle
 	// returned by Port.Subscribe is a different type — see subscription.go.
 	SubscriptionInfo = proto.Subscription
+)
+
+// Overlay link states (see the overlay subsystem in CHANGES.md): a
+// broker↔broker link is connecting until its first establishment,
+// handshaking while the routing re-sync runs, established while carrying
+// traffic, and degraded after a failure until the backoff redial heals it.
+const (
+	LinkClosed      = overlay.StateClosed
+	LinkConnecting  = overlay.StateConnecting
+	LinkHandshaking = overlay.StateHandshaking
+	LinkEstablished = overlay.StateEstablished
+	LinkDegraded    = overlay.StateDegraded
 )
 
 // --- Metrics -------------------------------------------------------------
@@ -45,6 +64,12 @@ type BrokerMetrics struct {
 	DeliveryLatency time.Duration
 	// MaxDeliveryLatency is the worst single delivery.
 	MaxDeliveryLatency time.Duration
+	// LinkEstablishments counts overlay links reaching established
+	// (initial handshakes and re-establishments after failures).
+	LinkEstablishments int
+	// LinkFailures counts established overlay links lost (read/send
+	// errors, missed heartbeats).
+	LinkFailures int
 }
 
 // AvgDeliveryLatency returns the mean publish-to-delivery latency.
@@ -63,6 +88,8 @@ func (m *BrokerMetrics) add(o BrokerMetrics) {
 	if o.MaxDeliveryLatency > m.MaxDeliveryLatency {
 		m.MaxDeliveryLatency = o.MaxDeliveryLatency
 	}
+	m.LinkEstablishments += o.LinkEstablishments
+	m.LinkFailures += o.LinkFailures
 }
 
 // Metrics is a built-in middleware collecting per-broker publish, delivery
@@ -78,11 +105,15 @@ type Metrics struct {
 	PassMiddleware
 	mu        sync.Mutex
 	perBroker map[NodeID]*BrokerMetrics
+	links     map[NodeID]map[NodeID]LinkState
 }
 
 // NewMetrics returns an empty metrics stage.
 func NewMetrics() *Metrics {
-	return &Metrics{perBroker: make(map[NodeID]*BrokerMetrics)}
+	return &Metrics{
+		perBroker: make(map[NodeID]*BrokerMetrics),
+		links:     make(map[NodeID]map[NodeID]LinkState),
+	}
 }
 
 func (m *Metrics) at(b NodeID) *BrokerMetrics {
@@ -128,6 +159,42 @@ func (m *Metrics) OnSubscribe(b *Broker, _ NodeID, _ *SubscriptionInfo, next fun
 	next()
 }
 
+// OnLinkChange implements the LinkObserver extension: overlay health
+// rolls up into the per-broker counters and the LinkStates snapshot.
+func (m *Metrics) OnLinkChange(b *Broker, ev LinkEvent) {
+	m.mu.Lock()
+	bm := m.at(b.ID())
+	switch {
+	case ev.To == LinkEstablished:
+		bm.LinkEstablishments++
+	case ev.From == LinkEstablished:
+		bm.LinkFailures++
+	}
+	ls, ok := m.links[b.ID()]
+	if !ok {
+		ls = make(map[NodeID]LinkState)
+		m.links[b.ID()] = ls
+	}
+	ls[ev.Peer] = ev.To
+	m.mu.Unlock()
+}
+
+// LinkStates snapshots the last observed overlay link state per broker
+// and peer — the overlay-health view behind rebeca-broker's -stats.
+func (m *Metrics) LinkStates() map[NodeID]map[NodeID]LinkState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[NodeID]map[NodeID]LinkState, len(m.links))
+	for b, ls := range m.links {
+		cp := make(map[NodeID]LinkState, len(ls))
+		for p, s := range ls {
+			cp[p] = s
+		}
+		out[b] = cp
+	}
+	return out
+}
+
 // Snapshot returns a copy of the per-broker counters.
 func (m *Metrics) Snapshot() map[NodeID]BrokerMetrics {
 	m.mu.Lock()
@@ -158,15 +225,19 @@ type TraceEvent struct {
 	At time.Time
 	// Broker is where the event was observed.
 	Broker NodeID
-	// Hook names the hook point: "publish", "deliver" or "subscribe".
+	// Hook names the hook point: "publish", "deliver", "subscribe" or
+	// "link".
 	Hook string
-	// Node is the immediate sender (publish, subscribe) or the local
-	// destination port (deliver).
+	// Node is the immediate sender (publish, subscribe), the local
+	// destination port (deliver), or the link's peer broker (link).
 	Node NodeID
 	// Note identifies the notification (publish, deliver).
 	Note NotificationID
 	// Sub identifies the subscription (subscribe).
 	Sub SubID
+	// Info carries the transition summary of a link event
+	// ("established <- handshaking: …").
+	Info string
 }
 
 // tracerCap bounds the retained event log; older events are dropped and
@@ -229,6 +300,15 @@ func (t *Tracer) OnDeliver(b *Broker, port NodeID, n *Notification, subs []SubID
 func (t *Tracer) OnSubscribe(b *Broker, from NodeID, sub *SubscriptionInfo, next func()) {
 	t.record(TraceEvent{At: b.Now(), Broker: b.ID(), Hook: "subscribe", Node: from, Sub: sub.ID})
 	next()
+}
+
+// OnLinkChange implements the LinkObserver extension: overlay link
+// transitions join the trace as "link" events.
+func (t *Tracer) OnLinkChange(b *Broker, ev LinkEvent) {
+	t.record(TraceEvent{
+		At: ev.At, Broker: b.ID(), Hook: "link", Node: ev.Peer,
+		Info: ev.To.String() + " <- " + ev.From.String() + ": " + ev.Reason,
+	})
 }
 
 // Events returns a copy of the retained event log, in observation order.
@@ -325,7 +405,9 @@ func (r *RateLimiter) Dropped() int {
 
 // compile-time interface checks
 var (
-	_ Middleware = (*Metrics)(nil)
-	_ Middleware = (*Tracer)(nil)
-	_ Middleware = (*RateLimiter)(nil)
+	_ Middleware   = (*Metrics)(nil)
+	_ Middleware   = (*Tracer)(nil)
+	_ Middleware   = (*RateLimiter)(nil)
+	_ LinkObserver = (*Metrics)(nil)
+	_ LinkObserver = (*Tracer)(nil)
 )

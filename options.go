@@ -9,6 +9,7 @@ import (
 	"rebeca/internal/buffer"
 	"rebeca/internal/location"
 	"rebeca/internal/movement"
+	"rebeca/internal/overlay"
 	"rebeca/internal/routing"
 	"rebeca/internal/store"
 )
@@ -48,8 +49,21 @@ type config struct {
 	deliveryLog    int
 	window         int
 	store          store.Store
+	overlay        bool
+	hbInterval     time.Duration
+	hbTimeout      time.Duration
+	linkObserver   overlay.Observer
 
 	errs []error
+}
+
+// overlaySettings resolves the heartbeat options into the overlay
+// manager's settings (zero fields take the overlay package defaults).
+func (c *config) overlaySettings() overlay.Settings {
+	return overlay.Settings{
+		HeartbeatInterval: c.hbInterval,
+		HeartbeatTimeout:  c.hbTimeout,
+	}
 }
 
 // logCap translates the WithDeliveryLog option to the client library's
@@ -282,6 +296,51 @@ func WithDurable(s Store) Option {
 			return
 		}
 		c.store = s
+	}
+}
+
+// WithHeartbeat tunes the overlay's link supervision: established
+// broker↔broker links exchange KPing/KPong probes every interval, and a
+// link silent for longer than timeout is declared failed — it goes
+// degraded, outbound messages queue in its bounded pending buffer, and
+// the dialing side reconnects with jittered exponential backoff; the sync
+// handshake on re-establishment replays routing installs before the
+// backlog flushes. timeout 0 defaults to 3×interval.
+//
+// Under NewLive the overlay manager always supervises broker links (this
+// option only tunes it; defaults 1s/3s). Under New the overlay is
+// deployed only when this option is given — it adds handshake and
+// heartbeat traffic to the virtual network, which the traffic-accounting
+// experiments must opt into — and runs on the virtual clock: use
+// System.Step to advance through detection and reconnect windows, and
+// System.CutLink/HealLink to script link failures.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(c *config) {
+		if interval <= 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithHeartbeat(%s, %s): want interval > 0", interval, timeout))
+			return
+		}
+		if timeout != 0 && timeout < interval {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithHeartbeat(%s, %s): want timeout >= interval (or 0 for the default)", interval, timeout))
+			return
+		}
+		c.overlay = true
+		c.hbInterval = interval
+		c.hbTimeout = timeout
+	}
+}
+
+// WithLinkObserver registers an observer for overlay link transitions
+// (connecting → handshaking → established → degraded), in addition to any
+// LinkObserver middleware stages on the broker chains. The callback runs
+// on whatever goroutine drove the transition and must not block.
+func WithLinkObserver(fn func(LinkEvent)) Option {
+	return func(c *config) {
+		if fn == nil {
+			c.errs = append(c.errs, errors.New("rebeca: WithLinkObserver(nil)"))
+			return
+		}
+		c.linkObserver = overlay.Observer(fn)
 	}
 }
 

@@ -114,6 +114,9 @@ func TestOptionErrors(t *testing.T) {
 		{"bad strategy", []Option{WithMovement(Line(2)), WithRoutingStrategy(0)}, "unknown strategy"},
 		{"nil middleware", []Option{WithMovement(Line(2)), WithMiddleware(nil)}, "WithMiddleware(nil)"},
 		{"bad settle window", []Option{WithMovement(Line(2)), WithSettleWindow(0, 0)}, "quiet"},
+		{"zero heartbeat", []Option{WithMovement(Line(2)), WithHeartbeat(0, time.Second)}, "interval > 0"},
+		{"short heartbeat timeout", []Option{WithMovement(Line(2)), WithHeartbeat(time.Second, time.Millisecond)}, "timeout >= interval"},
+		{"nil link observer", []Option{WithMovement(Line(2)), WithLinkObserver(nil)}, "WithLinkObserver(nil)"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

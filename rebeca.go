@@ -61,6 +61,21 @@
 // ack-driven compaction — used by live deployments and cmd/rebeca-broker's
 // -store flag.
 //
+// # Self-healing overlay
+//
+// Broker↔broker links are owned by a per-broker overlay manager: every
+// link is a supervised state machine (connecting → handshaking →
+// established → degraded) whose (re-)establishment runs a sync handshake
+// replaying routing installs before the link carries traffic — broker
+// start order never matters, and a broker restarted on the same WAL
+// directory rejoins the mesh with converged routing. Established links
+// exchange heartbeats (WithHeartbeat); a failed link queues outbound
+// messages in a bounded buffer and redials with jittered backoff. Link
+// transitions surface through the LinkObserver middleware extension
+// (Metrics and Tracer implement it) and WithLinkObserver; scenarios
+// script failures with CutLink/HealLink on both System (virtual clock)
+// and Live (TCP).
+//
 // # Middleware
 //
 // Every broker runs an ordered extension chain (Middleware): hooks on
