@@ -480,6 +480,59 @@ func BenchmarkPublishBatch(b *testing.B) {
 	b.ReportMetric(float64(sys.MessagesCarried()-before)/float64(b.N), "msgs/op")
 }
 
+// BenchmarkLivePublishThroughput measures the end-to-end publish hot path
+// over real loopback TCP: binary wire codec, coalesced flushes, indexed
+// matching — one publisher on B1 streaming to one subscriber on B0
+// through a 2-broker overlay, consumed concurrently under Block flow
+// control. ns/op is the steady-state per-notification pipeline cost
+// (publisher → border → overlay link → border → subscriber stream).
+func BenchmarkLivePublishThroughput(b *testing.B) {
+	live, err := rebeca.NewLive(
+		rebeca.WithMovement(movement.Line(2)),
+		rebeca.WithSettleWindow(100*time.Millisecond, 10*time.Second),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer live.Close()
+	sub := live.NewClient("sub")
+	if err := sub.Connect("B0"); err != nil {
+		b.Fatal(err)
+	}
+	s := sub.Subscribe(rebeca.NewFilter(rebeca.Exists("k")),
+		rebeca.WithStreamBuffer(1024), rebeca.WithOverflow(rebeca.Block))
+	pub := live.NewClient("pub")
+	if err := pub.Connect("B1"); err != nil {
+		b.Fatal(err)
+	}
+	live.Settle()
+
+	attrs := map[string]rebeca.Value{
+		"k":       rebeca.Int(0),
+		"service": rebeca.String("temperature"),
+		"value":   rebeca.Float(21.5),
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			<-s.Events()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attrs["k"] = rebeca.Int(int64(i))
+		if _, err := pub.Publish(attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	b.StopTimer()
+	if got := s.Stats().Delivered; got != uint64(b.N) {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
 // BenchmarkOverlayReconverge measures one cut → detect → heal →
 // re-establish → flush cycle of the overlay subsystem on a 3-broker line
 // (virtual clock): the smoke artifact's reconnect-convergence signal.

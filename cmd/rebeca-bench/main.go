@@ -9,6 +9,11 @@
 //	go test -bench . -benchtime 1x ./... | rebeca-bench -smoke
 //	                             # render bench output as the CI smoke
 //	                             # artifact (BENCH_<pr>.json) on stdout
+//
+//	go test -bench MatchIndexed -benchmem ./internal/routing |
+//	    rebeca-bench -check-allocs 'BenchmarkMatchIndexed'
+//	                             # exit nonzero if a matching benchmark
+//	                             # reports >0 allocs/op (CI perf gate)
 package main
 
 import (
@@ -25,7 +30,17 @@ func main() {
 	seed := flag.Int64("seed", bench.Seed, "deterministic experiment seed")
 	smoke := flag.Bool("smoke", false, "read `go test -bench` output on stdin and emit the JSON smoke artifact on stdout")
 	benchtime := flag.String("benchtime", "1x", "benchtime label recorded in the -smoke artifact")
+	checkAllocs := flag.String("check-allocs", "", "read `go test -bench -benchmem` output on stdin and fail if a benchmark matching this regexp reports >0 allocs/op")
 	flag.Parse()
+
+	if *checkAllocs != "" {
+		if err := bench.CheckZeroAllocs(os.Stdin, *checkAllocs); err != nil {
+			fmt.Fprintln(os.Stderr, "rebeca-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rebeca-bench: all benchmarks matching %q report 0 allocs/op\n", *checkAllocs)
+		return
+	}
 
 	if *smoke {
 		if err := bench.WriteSmokeReport(os.Stdin, os.Stdout, *benchtime); err != nil {

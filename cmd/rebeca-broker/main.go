@@ -12,6 +12,11 @@
 // links exchange heartbeats (-heartbeat/-heartbeat-timeout); failed links
 // go degraded, queue outbound traffic, and self-heal.
 //
+// Links speak the length-prefixed binary wire protocol (internal/codec);
+// accepted connections auto-detect peers still talking the old gob
+// encoding, and `-wire gob` makes this node dial in it — run that on the
+// upgraded nodes of a mixed fleet for one release, then drop the flag.
+//
 // Example 3-broker line on one machine:
 //
 //	rebeca-broker -id A -listen :7471 -edges A-B,B-C
@@ -48,6 +53,8 @@ func main() {
 		edges     = flag.String("edges", "", "full overlay edge list, e.g. A-B,B-C (required)")
 		dial      = flag.String("dial", "", "neighbors to dial, e.g. A=host:port,B=host:port")
 		strategy  = flag.String("strategy", "simple", "routing strategy: simple, covering, flooding")
+		wireMode  = flag.String("wire", "binary", "wire codec for links this node dials: binary, gob (fallback for pre-binary peers; accepted links auto-detect)")
+		linearM   = flag.Bool("linear-match", false, "revert routing tables to linear scans (matching-index ablation)")
 		replicate = flag.Bool("replicate", true, "attach the replicator layer (movement graph = overlay)")
 		mobilityM = flag.String("mobility", "transparent", "physical mobility: transparent, jedi, naive, none")
 		stats     = flag.Duration("stats", 0, "print middleware metrics at this interval (0 = off)")
@@ -100,6 +107,16 @@ func main() {
 		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
 	}
 
+	var wcodec wire.Codec
+	switch *wireMode {
+	case "binary":
+		wcodec = wire.CodecBinary
+	case "gob":
+		wcodec = wire.CodecGob
+	default:
+		fatal(fmt.Errorf("unknown -wire %q (want binary or gob)", *wireMode))
+	}
+
 	// Middleware (the same exported chain the simulator installs): metrics,
 	// tracing and rate limiting are appended at Start, after the
 	// session-layer plugins attached below.
@@ -137,12 +154,14 @@ func main() {
 		}
 	}
 	node := wire.NewNode(wire.NodeConfig{
-		ID:         self,
-		Listen:     *listen,
-		Peers:      peers,
-		Strategy:   strat,
-		NextHop:    hops,
-		Middleware: mws,
+		ID:             self,
+		Listen:         *listen,
+		Peers:          peers,
+		Strategy:       strat,
+		LinearMatching: *linearM,
+		Wire:           wcodec,
+		NextHop:        hops,
+		Middleware:     mws,
 		Overlay: overlay.Settings{
 			HeartbeatInterval: *hbEvery,
 			HeartbeatTimeout:  *hbTimeout,

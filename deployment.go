@@ -121,22 +121,22 @@ func New(opts ...Option) (*System, error) {
 		repl = sim.ReplicationReactive
 	}
 	scfg := sim.ClusterConfig{
-		Movement:        cfg.movement,
-		Locations:       cfg.locations,
-		Context:         cfg.context,
-		Strategy:        cfg.strategy,
-		Advertisements:  cfg.advertisements,
-		IndexedMatching: cfg.indexed,
-		Mobility:        sim.MobilityTransparent,
-		Replication:     repl,
-		SharedBuffers:   cfg.shared,
-		BufferFactory:   cfg.bufferFactory(),
-		Middleware:      cfg.middleware,
-		LinkLatency:     cfg.linkLatency,
-		LatencyJitter:   cfg.latencyJitter,
-		JitterSeed:      cfg.jitterSeed,
-		Store:           cfg.store,
-		LinkObserver:    cfg.linkObserver,
+		Movement:       cfg.movement,
+		Locations:      cfg.locations,
+		Context:        cfg.context,
+		Strategy:       cfg.strategy,
+		Advertisements: cfg.advertisements,
+		LinearMatching: cfg.linear,
+		Mobility:       sim.MobilityTransparent,
+		Replication:    repl,
+		SharedBuffers:  cfg.shared,
+		BufferFactory:  cfg.bufferFactory(),
+		Middleware:     cfg.middleware,
+		LinkLatency:    cfg.linkLatency,
+		LatencyJitter:  cfg.latencyJitter,
+		JitterSeed:     cfg.jitterSeed,
+		Store:          cfg.store,
+		LinkObserver:   cfg.linkObserver,
 	}
 	if cfg.overlay {
 		set := cfg.overlaySettings()

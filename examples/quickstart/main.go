@@ -18,6 +18,13 @@
 // routing installs on every (re-)establishment, so broker start order
 // never matters.
 //
+// Since PR 5 live links speak a length-prefixed binary wire protocol and
+// every broker matches through the counting index by default — nothing to
+// configure here. When running distributed brokers (cmd/rebeca-broker)
+// against nodes from before the binary codec, start the upgraded side
+// with `-wire gob` for one release; accepting sides auto-detect either
+// encoding.
+//
 // Run with: go run ./examples/quickstart [-live]
 package main
 

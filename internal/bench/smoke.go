@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -74,6 +75,41 @@ func ParseBenchOutput(r io.Reader) ([]SmokeResult, error) {
 		out = append(out, res)
 	}
 	return out, sc.Err()
+}
+
+// CheckZeroAllocs parses `go test -bench -benchmem` output from r and
+// fails if any benchmark matching pattern reports more than zero
+// allocs/op — the CI gate that keeps the indexed match path
+// allocation-free. Matching benchmarks missing the allocs/op metric (run
+// without -benchmem) and patterns matching nothing are errors too: a
+// silently toothless gate is worse than a failing one.
+func CheckZeroAllocs(r io.Reader, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bench: bad pattern %q: %w", pattern, err)
+	}
+	results, err := ParseBenchOutput(r)
+	if err != nil {
+		return err
+	}
+	matched := 0
+	for _, res := range results {
+		if !re.MatchString(res.Name) {
+			continue
+		}
+		matched++
+		allocs, ok := res.Metrics["allocs/op"]
+		if !ok {
+			return fmt.Errorf("bench: %s has no allocs/op metric (run with -benchmem)", res.Name)
+		}
+		if allocs > 0 {
+			return fmt.Errorf("bench: %s allocates %.0f allocs/op, want 0", res.Name, allocs)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench: no benchmark matched %q", pattern)
+	}
+	return nil
 }
 
 // WriteSmokeReport parses bench output from r and writes the JSON artifact

@@ -56,3 +56,25 @@ func TestWriteSmokeReportRejectsEmpty(t *testing.T) {
 		t.Fatal("empty bench output accepted")
 	}
 }
+
+func TestCheckZeroAllocs(t *testing.T) {
+	const out = `goos: linux
+BenchmarkMatchIndexed/subs=100-8   370968   648.1 ns/op   0 B/op   0 allocs/op
+BenchmarkMatchIndexed/subs=1000-8   50798   4866 ns/op    0 B/op   0 allocs/op
+BenchmarkMatchLinear/subs=100-8     38378   6457 ns/op   87 B/op   3 allocs/op
+PASS
+`
+	if err := CheckZeroAllocs(strings.NewReader(out), "BenchmarkMatchIndexed"); err != nil {
+		t.Fatalf("clean gate failed: %v", err)
+	}
+	if err := CheckZeroAllocs(strings.NewReader(out), "BenchmarkMatchLinear"); err == nil {
+		t.Fatal("allocating benchmark passed the gate")
+	}
+	if err := CheckZeroAllocs(strings.NewReader(out), "BenchmarkNoSuch"); err == nil {
+		t.Fatal("pattern matching nothing must fail (toothless gate)")
+	}
+	const noMem = "BenchmarkMatchIndexed/subs=100-8 370968 648.1 ns/op\nPASS\n"
+	if err := CheckZeroAllocs(strings.NewReader(noMem), "BenchmarkMatchIndexed"); err == nil {
+		t.Fatal("missing allocs/op metric must fail (run without -benchmem)")
+	}
+}

@@ -47,9 +47,10 @@ type Config struct {
 	// Advertisements gates subscription forwarding on publisher
 	// advertisements (advertisement-based routing, REBECA [3]).
 	Advertisements bool
-	// IndexedMatching backs the routing table with the counting matching
-	// index — same semantics, faster on large tables.
-	IndexedMatching bool
+	// LinearMatching reverts the routing table to linear scans. The
+	// counting matching index is the default (same semantics, faster on
+	// large tables); linear matching remains as the E3 ablation baseline.
+	LinearMatching bool
 	// Send transmits a message to a directly linked node: an overlay peer
 	// or a local client port.
 	Send func(to message.NodeID, m proto.Message)
@@ -125,9 +126,9 @@ func New(cfg Config) *Broker {
 	if cfg.Strategy == routing.StrategyInvalid {
 		cfg.Strategy = routing.StrategySimple
 	}
-	newRouter := routing.NewRouter
-	if cfg.IndexedMatching {
-		newRouter = routing.NewIndexedRouter
+	newRouter := routing.NewIndexedRouter
+	if cfg.LinearMatching {
+		newRouter = routing.NewRouter
 	}
 	b := &Broker{
 		cfg:     cfg,
@@ -321,9 +322,18 @@ func (b *Broker) handlePublish(from message.NodeID, m proto.Message) {
 }
 
 // routePublish is the default publish processing: match, forward, deliver.
+//
+// The match result is table-owned scratch, valid only while no user code
+// runs (a delivery hook may synchronously publish, re-entering this very
+// function and recycling the buffer). So the loop over it does transport
+// sends only — those never re-enter the broker — and copies the port
+// deliveries out (Link and the freshly allocated Subs) before running
+// them: local deliveries, and the middleware chain they invoke, happen
+// strictly after the scratch is released.
 func (b *Broker) routePublish(from message.NodeID, m proto.Message, n message.Notification) {
 	b.stats.PublishesRouted++
 
+	var deliver []routing.LinkMatch // nil on inner brokers: no allocation
 	if b.router.Strategy() == routing.StrategyFlooding {
 		// Broadcast along the overlay; deliver to matching local ports.
 		for p := range b.peers {
@@ -337,24 +347,26 @@ func (b *Broker) routePublish(from message.NodeID, m proto.Message, n message.No
 		}
 		for _, lm := range b.router.Table().MatchByLink(n, from, b.portFilter) {
 			if b.ports[lm.Link] {
-				b.DeliverMatched(lm.Link, n, lm.Subs)
+				deliver = append(deliver, lm)
 			}
 		}
-		return
-	}
-
-	for _, lm := range b.router.Table().MatchByLink(n, from, b.portFilter) {
-		switch {
-		case b.peers[lm.Link]:
-			fw := m
-			fw.Hops++
-			b.stats.Forwarded++
-			b.Send(lm.Link, fw)
-		case b.ports[lm.Link]:
-			b.DeliverMatched(lm.Link, n, lm.Subs)
-		default:
-			// A stale entry for a detached port: skip.
+	} else {
+		for _, lm := range b.router.Table().MatchByLink(n, from, b.portFilter) {
+			switch {
+			case b.peers[lm.Link]:
+				fw := m
+				fw.Hops++
+				b.stats.Forwarded++
+				b.Send(lm.Link, fw)
+			case b.ports[lm.Link]:
+				deliver = append(deliver, lm)
+			default:
+				// A stale entry for a detached port: skip.
+			}
 		}
+	}
+	for _, d := range deliver {
+		b.DeliverMatched(d.Link, n, d.Subs)
 	}
 }
 

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -488,4 +489,98 @@ func TestBrokerPanicsWithoutSend(t *testing.T) {
 		}
 	}()
 	New(Config{ID: "X"})
+}
+
+// republishStage synchronously publishes a derived notification from
+// inside the delivery hook — the re-entrant pattern the middleware
+// contract allows and routePublish must survive: the nested publish
+// recycles the routing table's match scratch while the outer publish is
+// still being processed.
+type republishStage struct{}
+
+func (republishStage) OnPublish(b *Broker, from message.NodeID, n *message.Notification, next func()) {
+	next()
+}
+
+func (republishStage) OnDeliver(b *Broker, port message.NodeID, n *message.Notification, subs []message.SubID, next func()) {
+	next()
+	if _, derived := n.Attrs["derived"]; derived {
+		return // don't recurse on our own output
+	}
+	d := n.Clone()
+	d.Attrs["derived"] = message.Bool(true)
+	d.ID = message.NotificationID{Publisher: "chain", Seq: n.ID.Seq}
+	b.HandleMessage(b.ID(), proto.Message{Kind: proto.KPublish, Note: &d})
+}
+
+func (republishStage) OnSubscribe(b *Broker, from message.NodeID, sub *proto.Subscription, next func()) {
+	next()
+}
+
+// TestReentrantPublishFromDeliverHook pins the scratch-release discipline
+// of routePublish: with several matching ports, every outer delivery
+// still reaches its port (with the right subscription identity) even
+// though each one triggers a nested publish that reuses the match
+// buffers, and the derived notifications fan out to every port too.
+func TestReentrantPublishFromDeliverHook(t *testing.T) {
+	sent := make(map[message.NodeID][]proto.Message)
+	b := New(Config{
+		ID: "B", Send: func(to message.NodeID, m proto.Message) {
+			sent[to] = append(sent[to], m)
+		},
+	})
+	b.UseMiddleware(republishStage{})
+	ports := []message.NodeID{"p1", "p2", "p3", "p4"}
+	for i, p := range ports {
+		b.AttachPort(p)
+		b.HandleMessage(p, proto.Message{Kind: proto.KSubscribe, Sub: &proto.Subscription{
+			ID:     message.SubID(fmt.Sprintf("%s/s", p)),
+			Filter: filter.New(filter.Exists("k")),
+		}})
+		_ = i
+	}
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(1)})
+	n.ID = message.NotificationID{Publisher: "pub", Seq: 1}
+	b.HandleMessage("p1", proto.Message{Kind: proto.KPublish, Note: &n})
+
+	for _, p := range ports {
+		if p == "p1" {
+			continue // publisher's own link is excluded from the original
+		}
+		var original, derived int
+		for _, m := range sent[p] {
+			if m.Kind != proto.KDeliver || m.Note == nil {
+				continue
+			}
+			if _, ok := m.Note.Attrs["derived"]; ok {
+				derived++
+				continue
+			}
+			original++
+			if len(m.SubIDs) != 1 || m.SubIDs[0] != message.SubID(string(p)+"/s") {
+				t.Errorf("%s: original delivery lost its subscription identity: %v", p, m.SubIDs)
+			}
+		}
+		if original != 1 {
+			t.Errorf("%s: %d original deliveries, want 1 (nested publish corrupted the match scratch?)", p, original)
+		}
+		// Each of the three original deliveries republished once; every
+		// derived publish fans out to all four ports.
+		if derived != 3 {
+			t.Errorf("%s: %d derived deliveries, want 3", p, derived)
+		}
+	}
+	// p1 receives only the derived notifications (self-dispatched from B).
+	var derived int
+	for _, m := range sent["p1"] {
+		if m.Kind == proto.KDeliver && m.Note != nil {
+			if _, ok := m.Note.Attrs["derived"]; !ok {
+				t.Error("p1 got the original back (reflected to its source link)")
+			}
+			derived++
+		}
+	}
+	if derived != 3 {
+		t.Errorf("p1: %d derived deliveries, want 3", derived)
+	}
 }

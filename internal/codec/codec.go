@@ -1,0 +1,573 @@
+// Package codec implements the binary wire protocol of the live transport:
+// a hand-rolled, length-prefixed encoding of proto.Message with explicit
+// encode/decode for every message kind, attribute value and filter
+// constraint. It replaces the reflective per-envelope gob encoding on the
+// publish hot path — the paper's broker network pays serialization on every
+// hop, so the frame format is designed for cheap, allocation-light encoding
+// (pooled scratch buffers, varint integers, no type descriptors on the
+// wire).
+//
+// # Frame format (version 1)
+//
+//	frame   := length:uint32le payload
+//	payload := kind:uvarint flags:byte
+//	           from origin dest client:string
+//	           [note:notification]          (flags&1)
+//	           notes:list<notification>
+//	           subIDs:list<string>
+//	           credits:varint
+//	           [sub:subscription]           (flags&2)
+//	           subs:list<subscription>
+//	           advs:list<subscription>
+//	           watermarks:list<string uvarint>
+//	           flushID:uvarint epoch:uvarint hops:varint
+//
+// flags: 1 = Note present, 2 = Sub present, 4 = Stale, 8 = Fresh.
+// Strings are uvarint-length prefixed; lists are uvarint-count prefixed;
+// varint is the zig-zag signed encoding. A notification is
+// publisher+seq+timestamp+attribute list; a value is a one-byte kind tag
+// plus its payload; a filter travels as its canonical constraint list.
+//
+// Decoding is defensive end to end: every read is bounds-checked, list
+// counts are validated against the remaining payload before any
+// allocation, and a torn or truncated frame yields an error — never a
+// panic — so a malformed peer cannot take a broker down.
+//
+// The codec is versioned by the link handshake (see internal/wire): the
+// hello frame carries Magic and Version, and peers that do not speak it
+// fall back to the gob envelope encoding for one release.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// Version is the binary protocol version negotiated by the link handshake.
+// Peers agree on min(theirs, ours); version 0 means "gob".
+const Version byte = 1
+
+// Magic opens a binary hello frame; it lets an accepting side distinguish
+// a binary peer from a legacy gob peer on the first bytes of the stream.
+var Magic = [4]byte{'R', 'B', 'C', 'W'}
+
+// MaxFrame bounds a frame payload. A decoder rejects larger length
+// prefixes outright instead of allocating attacker-controlled buffers;
+// an encoder refuses to emit one (the transport escalates that to a link
+// failure — see wire.Conn.Send — rather than dropping it silently). The
+// bound leaves generous headroom over the largest legitimate frame, a
+// KSyncInstall replaying a whole routing table.
+const MaxFrame = 64 << 20
+
+// value kind tags on the wire.
+const (
+	tagInvalid byte = iota
+	tagString
+	tagInt
+	tagFloat
+	tagTrue
+	tagFalse
+)
+
+// message flag bits.
+const (
+	flagNote byte = 1 << iota
+	flagSub
+	flagStale
+	flagFresh
+)
+
+// framePool recycles encode scratch across connections: a broker encodes
+// on many links concurrently, and steady-state publishing should not
+// allocate per frame.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// Encoder writes length-prefixed binary frames to w. Not safe for
+// concurrent use; callers serialize (the wire transport holds a per-conn
+// send lock).
+type Encoder struct {
+	w io.Writer
+}
+
+// NewEncoder returns an encoder writing frames to w. Pair it with a
+// buffered writer: the encoder issues exactly one Write per message.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode writes one message as a single frame.
+func (e *Encoder) Encode(m proto.Message) error {
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	buf = AppendMessage(buf, &m)
+	n := len(buf) - 4
+	if n > MaxFrame {
+		*bp = buf
+		framePool.Put(bp)
+		return fmt.Errorf("codec: frame of %d bytes exceeds limit", n)
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	_, err := e.w.Write(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+// Decoder reads length-prefixed binary frames from r. The payload buffer
+// is reused across Decode calls; decoded messages never alias it.
+type Decoder struct {
+	r   io.Reader
+	hdr [4]byte
+	buf []byte
+	// small counts consecutive frames fitting shrinkCap; once a long run
+	// shows the conn is back to steady-state traffic, an oversized buffer
+	// (grown by one big routing replay, up to MaxFrame) is released
+	// instead of staying pinned for the conn's lifetime.
+	small int
+}
+
+// Decoder buffer shrink policy: drop an over-grown payload buffer after
+// shrinkAfter consecutive frames at or below shrinkCap.
+const (
+	shrinkCap   = 64 << 10
+	shrinkAfter = 256
+)
+
+// NewDecoder returns a decoder reading frames from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads the next frame into m. io.EOF is returned only at a clean
+// frame boundary; a frame torn mid-payload yields io.ErrUnexpectedEOF.
+func (d *Decoder) Decode(m *proto.Message) error {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	// Bounds-check in uint32 space before converting: on 32-bit platforms
+	// a length >= 2^31 would wrap negative as int and slip past the guard
+	// into a panicking slice expression.
+	n32 := binary.LittleEndian.Uint32(d.hdr[:])
+	if n32 > MaxFrame {
+		return fmt.Errorf("codec: frame of %d bytes exceeds limit", n32)
+	}
+	n := int(n32)
+	if n > shrinkCap {
+		d.small = 0
+	} else if cap(d.buf) > shrinkCap {
+		if d.small++; d.small >= shrinkAfter {
+			d.buf = nil
+			d.small = 0
+		}
+	}
+	if cap(d.buf) < n {
+		c := n
+		if c < 1024 {
+			c = 1024
+		}
+		d.buf = make([]byte, c)
+	}
+	buf := d.buf[:n]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	msg, err := DecodeMessage(buf)
+	if err != nil {
+		return err
+	}
+	*m = msg
+	return nil
+}
+
+// --- encoding ----------------------------------------------------------
+
+// AppendMessage appends the payload encoding of m (no length prefix).
+func AppendMessage(b []byte, m *proto.Message) []byte {
+	b = binary.AppendUvarint(b, uint64(m.Kind))
+	var flags byte
+	if m.Note != nil {
+		flags |= flagNote
+	}
+	if m.Sub != nil {
+		flags |= flagSub
+	}
+	if m.Stale {
+		flags |= flagStale
+	}
+	if m.Fresh {
+		flags |= flagFresh
+	}
+	b = append(b, flags)
+	b = appendString(b, string(m.From))
+	b = appendString(b, string(m.Origin))
+	b = appendString(b, string(m.Dest))
+	b = appendString(b, string(m.Client))
+	if m.Note != nil {
+		b = appendNotification(b, m.Note)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Notes)))
+	for i := range m.Notes {
+		b = appendNotification(b, &m.Notes[i])
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.SubIDs)))
+	for _, id := range m.SubIDs {
+		b = appendString(b, string(id))
+	}
+	b = binary.AppendVarint(b, int64(m.Credits))
+	if m.Sub != nil {
+		b = appendSubscription(b, *m.Sub)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Subs)))
+	for _, s := range m.Subs {
+		b = appendSubscription(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Advs)))
+	for _, s := range m.Advs {
+		b = appendSubscription(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Watermarks)))
+	for node, seq := range m.Watermarks {
+		b = appendString(b, string(node))
+		b = binary.AppendUvarint(b, seq)
+	}
+	b = binary.AppendUvarint(b, m.FlushID)
+	b = binary.AppendUvarint(b, m.Epoch)
+	b = binary.AppendVarint(b, int64(m.Hops))
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v message.Value) []byte {
+	switch v.Kind() {
+	case message.KindString:
+		b = append(b, tagString)
+		b = appendString(b, v.Str())
+	case message.KindInt:
+		b = append(b, tagInt)
+		b = binary.AppendVarint(b, v.IntVal())
+	case message.KindFloat:
+		b = append(b, tagFloat)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.FloatVal()))
+	case message.KindBool:
+		if v.BoolVal() {
+			b = append(b, tagTrue)
+		} else {
+			b = append(b, tagFalse)
+		}
+	default:
+		b = append(b, tagInvalid)
+	}
+	return b
+}
+
+func appendNotification(b []byte, n *message.Notification) []byte {
+	b = appendString(b, string(n.ID.Publisher))
+	b = binary.AppendUvarint(b, n.ID.Seq)
+	if n.Published.IsZero() {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint64(b, uint64(n.Published.UnixNano()))
+	}
+	b = binary.AppendUvarint(b, uint64(len(n.Attrs)))
+	for name, v := range n.Attrs {
+		b = appendString(b, name)
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func appendConstraint(b []byte, c filter.Constraint) []byte {
+	b = appendString(b, c.Attr)
+	b = binary.AppendUvarint(b, uint64(c.Op))
+	b = appendValue(b, c.Val)
+	b = binary.AppendUvarint(b, uint64(len(c.Set)))
+	for _, v := range c.Set {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func appendFilter(b []byte, f filter.Filter) []byte {
+	cs := f.Constraints()
+	b = binary.AppendUvarint(b, uint64(len(cs)))
+	for _, c := range cs {
+		b = appendConstraint(b, c)
+	}
+	return b
+}
+
+func appendSubscription(b []byte, s proto.Subscription) []byte {
+	b = appendString(b, string(s.ID))
+	return appendFilter(b, s.Filter)
+}
+
+// --- decoding ----------------------------------------------------------
+
+var errTruncated = errors.New("codec: truncated frame")
+
+// reader tracks a decode position with sticky error state so every field
+// accessor stays a one-liner at the call site and no read can run past
+// the payload.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail(errTruncated)
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(errTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(errTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail(errTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.remaining()) {
+		r.fail(errTruncated)
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// count reads a list length and validates it against the remaining bytes
+// (each element needs at least minBytes), so a corrupt count cannot drive
+// a huge allocation.
+func (r *reader) count(minBytes int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.remaining()/minBytes) {
+		r.fail(fmt.Errorf("codec: list of %d elements exceeds frame", n))
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) value() message.Value {
+	switch tag := r.byte(); tag {
+	case tagString:
+		return message.String(r.str())
+	case tagInt:
+		return message.Int(r.varint())
+	case tagFloat:
+		return message.Float(math.Float64frombits(r.uint64()))
+	case tagTrue:
+		return message.Bool(true)
+	case tagFalse:
+		return message.Bool(false)
+	case tagInvalid:
+		return message.Value{}
+	default:
+		r.fail(fmt.Errorf("codec: unknown value tag %d", tag))
+		return message.Value{}
+	}
+}
+
+func (r *reader) notification() message.Notification {
+	var n message.Notification
+	n.ID.Publisher = message.NodeID(r.str())
+	n.ID.Seq = r.uvarint()
+	if r.byte() == 1 {
+		n.Published = time.Unix(0, int64(r.uint64()))
+	}
+	cnt := r.count(2)
+	if cnt > 0 {
+		n.Attrs = make(map[string]message.Value, cnt)
+		for i := 0; i < cnt && r.err == nil; i++ {
+			name := r.str()
+			n.Attrs[name] = r.value()
+		}
+	}
+	return n
+}
+
+func (r *reader) constraint() filter.Constraint {
+	var c filter.Constraint
+	c.Attr = r.str()
+	c.Op = filter.Op(r.uvarint())
+	c.Val = r.value()
+	cnt := r.count(1)
+	if cnt > 0 {
+		c.Set = make([]message.Value, 0, cnt)
+		for i := 0; i < cnt && r.err == nil; i++ {
+			c.Set = append(c.Set, r.value())
+		}
+	}
+	return c
+}
+
+func (r *reader) filter() filter.Filter {
+	cnt := r.count(2)
+	if cnt == 0 {
+		return filter.All()
+	}
+	cs := make([]filter.Constraint, 0, cnt)
+	for i := 0; i < cnt && r.err == nil; i++ {
+		cs = append(cs, r.constraint())
+	}
+	if r.err != nil {
+		return filter.Filter{}
+	}
+	return filter.New(cs...)
+}
+
+func (r *reader) subscription() proto.Subscription {
+	var s proto.Subscription
+	s.ID = message.SubID(r.str())
+	s.Filter = r.filter()
+	return s
+}
+
+// DecodeMessage decodes one frame payload (no length prefix). Malformed
+// input — truncated fields, inflated list counts, unknown tags, trailing
+// garbage — returns an error; DecodeMessage never panics.
+func DecodeMessage(data []byte) (proto.Message, error) {
+	r := reader{data: data}
+	var m proto.Message
+	kind := r.uvarint()
+	if r.err == nil && (kind == uint64(proto.KInvalid) || kind >= uint64(proto.NumKinds)) {
+		return proto.Message{}, fmt.Errorf("codec: unknown message kind %d", kind)
+	}
+	m.Kind = proto.Kind(kind)
+	flags := r.byte()
+	if r.err == nil && flags&^(flagNote|flagSub|flagStale|flagFresh) != 0 {
+		return proto.Message{}, fmt.Errorf("codec: unknown flag bits %#x", flags)
+	}
+	m.From = message.NodeID(r.str())
+	m.Origin = message.NodeID(r.str())
+	m.Dest = message.NodeID(r.str())
+	m.Client = message.NodeID(r.str())
+	if flags&flagNote != 0 {
+		n := r.notification()
+		m.Note = &n
+	}
+	if cnt := r.count(3); cnt > 0 {
+		m.Notes = make([]message.Notification, 0, cnt)
+		for i := 0; i < cnt && r.err == nil; i++ {
+			m.Notes = append(m.Notes, r.notification())
+		}
+	}
+	if cnt := r.count(1); cnt > 0 {
+		m.SubIDs = make([]message.SubID, 0, cnt)
+		for i := 0; i < cnt && r.err == nil; i++ {
+			m.SubIDs = append(m.SubIDs, message.SubID(r.str()))
+		}
+	}
+	m.Credits = int(r.varint())
+	if flags&flagSub != 0 {
+		s := r.subscription()
+		m.Sub = &s
+	}
+	if cnt := r.count(2); cnt > 0 {
+		m.Subs = make([]proto.Subscription, 0, cnt)
+		for i := 0; i < cnt && r.err == nil; i++ {
+			m.Subs = append(m.Subs, r.subscription())
+		}
+	}
+	if cnt := r.count(2); cnt > 0 {
+		m.Advs = make([]proto.Subscription, 0, cnt)
+		for i := 0; i < cnt && r.err == nil; i++ {
+			m.Advs = append(m.Advs, r.subscription())
+		}
+	}
+	if cnt := r.count(2); cnt > 0 {
+		m.Watermarks = make(map[message.NodeID]uint64, cnt)
+		for i := 0; i < cnt && r.err == nil; i++ {
+			node := message.NodeID(r.str())
+			m.Watermarks[node] = r.uvarint()
+		}
+	}
+	m.FlushID = r.uvarint()
+	m.Epoch = r.uvarint()
+	m.Hops = int(r.varint())
+	m.Stale = flags&flagStale != 0
+	m.Fresh = flags&flagFresh != 0
+	if r.err != nil {
+		return proto.Message{}, r.err
+	}
+	if r.off != len(r.data) {
+		return proto.Message{}, fmt.Errorf("codec: %d trailing bytes after message", len(r.data)-r.off)
+	}
+	return m, nil
+}

@@ -1,0 +1,58 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// TestDecoderShrinksOversizedBuffer: one big frame must not pin a
+// near-MaxFrame payload buffer for the connection's lifetime once the
+// stream is back to small steady-state frames.
+func TestDecoderShrinksOversizedBuffer(t *testing.T) {
+	big := proto.Message{Kind: proto.KPublishBatch}
+	for i := 0; i < 3000; i++ {
+		n := message.NewNotification(map[string]message.Value{
+			"pad": message.String(strings.Repeat("x", 64)),
+		})
+		n.ID = message.NotificationID{Publisher: "p", Seq: uint64(i + 1)}
+		big.Notes = append(big.Notes, n)
+	}
+	small := proto.Message{Kind: proto.KPing, From: "A"}
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(big); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shrinkAfter+8; i++ {
+		if err := enc.Encode(small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+	var m proto.Message
+	if err := dec.Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Notes) != 3000 {
+		t.Fatalf("big frame mangled: %d notes", len(m.Notes))
+	}
+	if cap(dec.buf) <= shrinkCap {
+		t.Fatalf("test premise broken: big frame only grew buffer to %d", cap(dec.buf))
+	}
+	for i := 0; i < shrinkAfter+8; i++ {
+		if err := dec.Decode(&m); err != nil {
+			t.Fatalf("small frame %d: %v", i, err)
+		}
+		if m.Kind != proto.KPing {
+			t.Fatalf("small frame %d mangled", i)
+		}
+	}
+	if c := cap(dec.buf); c > shrinkCap {
+		t.Fatalf("decode buffer still pinned at %d bytes after %d small frames", c, shrinkAfter+8)
+	}
+}

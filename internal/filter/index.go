@@ -1,6 +1,8 @@
 package filter
 
 import (
+	"slices"
+
 	"rebeca/internal/message"
 )
 
@@ -12,23 +14,29 @@ import (
 // constraint count reaches its constraint total.
 //
 // Filters occupy integer slots so the hot counting path touches only flat
-// slices; the counter buffer is reused across Match calls via a dirty list.
+// slices; the counter buffer is reused across Match calls via a dirty
+// list. Hash lookups key on a comparable value struct — no per-attribute
+// string building — and each filter's constraint list is cached at Add
+// time, so the steady-state Match path performs zero allocations.
 // Zero-constraint filters (All) are tracked separately and match every
 // notification. The index is not safe for concurrent use.
 type Index struct {
 	// slotOf maps a filter key to its slot.
 	slotOf map[string]int
-	// keys, filters and sizes are slot-indexed; sizes[i] == 0 marks a free
-	// or match-all slot.
+	// keys, filters, cons and sizes are slot-indexed; sizes[i] == 0 marks
+	// a free or match-all slot. cons caches Filter.Constraints() from Add
+	// so Remove (and re-indexing) never re-copies the constraint list.
 	keys    []string
 	filters []Filter
+	cons    [][]Constraint
 	sizes   []int
 	free    []int
-	// all lists slots of match-everything filters.
-	all map[int]bool
+	// all lists slots of match-everything filters, kept sorted ascending
+	// so Match visits them deterministically.
+	all []int
 	// eq[attr][valueKey] lists slots with an Eq/In constraint satisfied by
 	// exactly that value.
-	eq map[string]map[string][]int
+	eq map[string]map[valueKey][]int
 	// scan[attr] lists non-hashable constraints on attr with their slot.
 	scan map[string][]scanEntry
 
@@ -46,8 +54,7 @@ type scanEntry struct {
 func NewIndex() *Index {
 	return &Index{
 		slotOf: make(map[string]int),
-		all:    make(map[int]bool),
-		eq:     make(map[string]map[string][]int),
+		eq:     make(map[string]map[valueKey][]int),
 		scan:   make(map[string][]scanEntry),
 	}
 }
@@ -61,48 +68,67 @@ func (ix *Index) Add(key string, f Filter) {
 	if _, ok := ix.slotOf[key]; ok {
 		ix.Remove(key)
 	}
-	slot := ix.alloc(key, f)
 	cs := f.Constraints()
+	slot := ix.alloc(key, f, cs)
 	if len(cs) == 0 {
-		ix.all[slot] = true
+		ix.insertAll(slot)
 		return
 	}
 	ix.sizes[slot] = len(cs)
 	for _, c := range cs {
-		switch c.Op {
-		case OpEq:
-			ix.addEq(c.Attr, valueKey(c.Val), slot)
-		case OpIn:
-			// A notification carries one value per attribute, so at most
-			// one bucket fires per constraint — provided set members map
-			// to distinct buckets (duplicates are skipped here).
-			seen := make(map[string]bool, len(c.Set))
-			for _, v := range c.Set {
-				vk := valueKey(v)
-				if seen[vk] {
-					continue
-				}
-				seen[vk] = true
-				ix.addEq(c.Attr, vk, slot)
-			}
+		switch {
+		case c.Op == OpEq && !isNaN(c.Val):
+			ix.addEq(c.Attr, keyOf(c.Val), slot)
+		case c.Op == OpEq:
+			// Eq(NaN) can never be satisfied (NaN equals nothing, itself
+			// included). It must not enter the hash buckets: a NaN map key
+			// is unreachable — un-removable, a leak — and would wrongly
+			// count as satisfied for a NaN notification value. The scan
+			// path evaluates Matches, which is correctly always false.
+			ix.scan[c.Attr] = append(ix.scan[c.Attr], scanEntry{slot: slot, c: c})
+		case c.Op == OpIn:
+			eachHashableSetKey(c, func(vk valueKey) { ix.addEq(c.Attr, vk, slot) })
 		default:
 			ix.scan[c.Attr] = append(ix.scan[c.Attr], scanEntry{slot: slot, c: c})
 		}
 	}
 }
 
-func (ix *Index) alloc(key string, f Filter) int {
+// eachHashableSetKey visits the distinct bucket keys of an In constraint:
+// duplicates are skipped (a notification carries one value per attribute,
+// so at most one bucket may fire per constraint) and NaN members entirely
+// (they can never equal an attribute value, and a NaN map key would be
+// unreachable). Add and Remove share this walk so the buckets they touch
+// are always symmetric.
+func eachHashableSetKey(c Constraint, fn func(valueKey)) {
+	seen := make(map[valueKey]bool, len(c.Set))
+	for _, v := range c.Set {
+		if isNaN(v) {
+			continue
+		}
+		vk := keyOf(v)
+		if seen[vk] {
+			continue
+		}
+		seen[vk] = true
+		fn(vk)
+	}
+}
+
+func (ix *Index) alloc(key string, f Filter, cs []Constraint) int {
 	var slot int
 	if n := len(ix.free); n > 0 {
 		slot = ix.free[n-1]
 		ix.free = ix.free[:n-1]
 		ix.keys[slot] = key
 		ix.filters[slot] = f
+		ix.cons[slot] = cs
 		ix.sizes[slot] = 0
 	} else {
 		slot = len(ix.keys)
 		ix.keys = append(ix.keys, key)
 		ix.filters = append(ix.filters, f)
+		ix.cons = append(ix.cons, cs)
 		ix.sizes = append(ix.sizes, 0)
 		ix.counts = append(ix.counts, 0)
 	}
@@ -110,16 +136,29 @@ func (ix *Index) alloc(key string, f Filter) int {
 	return slot
 }
 
-func (ix *Index) addEq(attr, vk string, slot int) {
+// insertAll adds a slot to the sorted match-all list.
+func (ix *Index) insertAll(slot int) {
+	i, _ := slices.BinarySearch(ix.all, slot)
+	ix.all = slices.Insert(ix.all, i, slot)
+}
+
+// removeAll drops a slot from the sorted match-all list.
+func (ix *Index) removeAll(slot int) {
+	if i, ok := slices.BinarySearch(ix.all, slot); ok {
+		ix.all = slices.Delete(ix.all, i, i+1)
+	}
+}
+
+func (ix *Index) addEq(attr string, vk valueKey, slot int) {
 	m, ok := ix.eq[attr]
 	if !ok {
-		m = make(map[string][]int)
+		m = make(map[valueKey][]int)
 		ix.eq[attr] = m
 	}
 	m[vk] = append(m[vk], slot)
 }
 
-func (ix *Index) removeEq(attr, vk string, slot int) {
+func (ix *Index) removeEq(attr string, vk valueKey, slot int) {
 	m, ok := ix.eq[attr]
 	if !ok {
 		return
@@ -148,23 +187,17 @@ func (ix *Index) Remove(key string) {
 	if !ok {
 		return
 	}
-	f := ix.filters[slot]
+	cs := ix.cons[slot]
 	delete(ix.slotOf, key)
-	delete(ix.all, slot)
-	for _, c := range f.Constraints() {
-		switch c.Op {
-		case OpEq:
-			ix.removeEq(c.Attr, valueKey(c.Val), slot)
-		case OpIn:
-			seen := make(map[string]bool, len(c.Set))
-			for _, v := range c.Set {
-				vk := valueKey(v)
-				if seen[vk] {
-					continue
-				}
-				seen[vk] = true
-				ix.removeEq(c.Attr, vk, slot)
-			}
+	if len(cs) == 0 {
+		ix.removeAll(slot)
+	}
+	for _, c := range cs {
+		switch {
+		case c.Op == OpEq && !isNaN(c.Val):
+			ix.removeEq(c.Attr, keyOf(c.Val), slot)
+		case c.Op == OpIn:
+			eachHashableSetKey(c, func(vk valueKey) { ix.removeEq(c.Attr, vk, slot) })
 		default:
 			es := ix.scan[c.Attr]
 			for i := 0; i < len(es); {
@@ -183,14 +216,24 @@ func (ix *Index) Remove(key string) {
 	}
 	ix.keys[slot] = ""
 	ix.filters[slot] = Filter{}
+	ix.cons[slot] = nil
 	ix.sizes[slot] = 0
 	ix.free = append(ix.free, slot)
 }
 
 // Match calls visit for every indexed filter matching the notification.
-// Visit order is unspecified.
+//
+// Visit-order contract: the zero-constraint (match-all) filters are
+// visited first, in ascending slot order — deterministic across calls for
+// an unchanged index. The constrained matches follow in an unspecified
+// order (the counting pass walks the notification's attribute map), so
+// callers needing a total order re-sort the visited keys themselves, as
+// routing.Table does with its insertion positions.
+//
+// The steady-state path allocates nothing: the counter buffer, dirty list
+// and hash keys are all reused or stack-allocated.
 func (ix *Index) Match(n message.Notification, visit func(key string)) {
-	for slot := range ix.all {
+	for _, slot := range ix.all {
 		visit(ix.keys[slot])
 	}
 	bump := func(slot int) {
@@ -201,7 +244,7 @@ func (ix *Index) Match(n message.Notification, visit func(key string)) {
 	}
 	for attr, v := range n.Attrs {
 		if buckets, ok := ix.eq[attr]; ok {
-			for _, slot := range buckets[valueKey(v)] {
+			for _, slot := range buckets[keyOf(v)] {
 				bump(slot)
 			}
 		}
@@ -220,22 +263,44 @@ func (ix *Index) Match(n message.Notification, visit func(key string)) {
 	ix.dirty = ix.dirty[:0]
 }
 
-// valueKey canonicalizes a value for hash lookup. Numeric values share a
-// key space so Int(3) and Float(3) collide, matching Value.Equal semantics.
-func valueKey(v message.Value) string {
+// valueKey canonicalizes a value for hash lookup as a comparable struct —
+// no string building on the Match hot path. Numeric values share the
+// float key space so Int(3) and Float(3) collide, matching Value.Equal
+// semantics; NaN never equals itself, which likewise matches (an Eq(NaN)
+// constraint can never be satisfied).
+type valueKey struct {
+	kind byte // 'n' numeric, 's' string, 'b' bool, '?' invalid
+	num  float64
+	str  string
+}
+
+// isNaN reports whether v is a float NaN — the one value Eq/In hashing
+// must special-case: it equals nothing, and as a raw map key it would be
+// unreachable (and therefore un-removable).
+func isNaN(v message.Value) bool {
+	return v.Kind() == message.KindFloat && v.FloatVal() != v.FloatVal()
+}
+
+func keyOf(v message.Value) valueKey {
 	switch v.Kind() {
 	case message.KindInt:
-		return "n" + message.Float(float64(v.IntVal())).String()
+		return valueKey{kind: 'n', num: float64(v.IntVal())}
 	case message.KindFloat:
-		return "n" + v.String()
+		if f := v.FloatVal(); f != f {
+			// Canonicalize NaN: never used as a bucket key (Add/Remove
+			// filter NaN out), and as a lookup key it must not panic or
+			// behave platform-dependently.
+			return valueKey{kind: 'N'}
+		}
+		return valueKey{kind: 'n', num: v.FloatVal()}
 	case message.KindString:
-		return "s" + v.Str()
+		return valueKey{kind: 's', str: v.Str()}
 	case message.KindBool:
 		if v.BoolVal() {
-			return "bt"
+			return valueKey{kind: 'b', num: 1}
 		}
-		return "bf"
+		return valueKey{kind: 'b'}
 	default:
-		return "?"
+		return valueKey{kind: '?'}
 	}
 }

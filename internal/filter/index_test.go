@@ -2,7 +2,9 @@ package filter
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 
@@ -183,6 +185,97 @@ func BenchmarkLinearMatch1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, f := range filters {
 			_ = f.Matches(n)
+		}
+	}
+}
+
+// TestIndexMatchAllOrderDeterministic pins the visit-order contract of
+// Match: zero-constraint (match-all) filters are visited first, in
+// ascending slot order, identically on every call — the all-set is a
+// sorted slice, not a map. (Counted matches follow in unspecified order;
+// routing tables re-sort those by insertion position.)
+func TestIndexMatchAllOrderDeterministic(t *testing.T) {
+	ix := NewIndex()
+	// Interleave adds and removes so the slot free list is exercised and
+	// slot numbers are not simply insertion order.
+	for i := 0; i < 8; i++ {
+		ix.Add(fmt.Sprintf("all-%d", i), All())
+	}
+	ix.Remove("all-2")
+	ix.Remove("all-5")
+	ix.Add("all-9", All())  // reuses slot of all-5 (LIFO free list)
+	ix.Add("all-10", All()) // reuses slot of all-2
+	n := message.NewNotification(map[string]message.Value{"x": message.Int(1)})
+
+	var first []string
+	ix.Match(n, func(key string) { first = append(first, key) })
+	if len(first) != 8 {
+		t.Fatalf("visited %d, want 8", len(first))
+	}
+	for run := 0; run < 10; run++ {
+		var again []string
+		ix.Match(n, func(key string) { again = append(again, key) })
+		if !slices.Equal(first, again) {
+			t.Fatalf("visit order changed between calls: %v vs %v", first, again)
+		}
+	}
+	// Ascending slot order: all-9 landed in all-5's slot (5), all-10 in
+	// all-2's slot (2), so the expected sequence is fixed.
+	want := []string{"all-0", "all-1", "all-10", "all-3", "all-4", "all-9", "all-6", "all-7"}
+	if !slices.Equal(first, want) {
+		t.Fatalf("visit order = %v, want %v", first, want)
+	}
+}
+
+// TestIndexNaNConstraintsDoNotLeak is the regression test for the NaN
+// bucket leak: Eq(NaN)/In(...NaN...) constraints arrive over the wire
+// (the codec decodes arbitrary float bits), and a raw NaN map key would
+// be unreachable — inserted by Add, never found by Remove, one permanent
+// eq bucket per subscribe/unsubscribe cycle.
+func TestIndexNaNConstraintsDoNotLeak(t *testing.T) {
+	nan := message.Float(math.NaN())
+	ix := NewIndex()
+	for i := 0; i < 100; i++ {
+		ix.Add("eq", New(Eq("x", nan)))
+		ix.Add("in", New(In("y", nan, message.Int(1))))
+		ix.Remove("eq")
+		ix.Remove("in")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("index retains %d filters", ix.Len())
+	}
+	for attr, m := range ix.eq {
+		if len(m) != 0 {
+			t.Fatalf("leaked %d eq buckets on %q: %v", len(m), attr, m)
+		}
+	}
+	if len(ix.scan) != 0 {
+		t.Fatalf("leaked %d scan lists: %v", len(ix.scan), ix.scan)
+	}
+
+	// Semantics: Eq(NaN) matches nothing — not even a NaN attribute —
+	// and a NaN In-member never satisfies; the index must agree with the
+	// linear evaluation on both.
+	ix.Add("eq", New(Eq("x", nan)))
+	ix.Add("in", New(In("y", nan, message.Int(1))))
+	for _, n := range []message.Notification{
+		message.NewNotification(map[string]message.Value{"x": nan, "y": nan}),
+		message.NewNotification(map[string]message.Value{"x": message.Float(1), "y": message.Int(1)}),
+	} {
+		got := indexMatchKeys(ix, n)
+		var want []string
+		for _, key := range []string{"eq", "in"} {
+			f := map[string]Filter{
+				"eq": New(Eq("x", nan)),
+				"in": New(In("y", nan, message.Int(1))),
+			}[key]
+			if f.Matches(n) {
+				want = append(want, key)
+			}
+		}
+		sort.Strings(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%s: index matched %v, linear %v", n, got, want)
 		}
 	}
 }

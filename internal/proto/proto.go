@@ -119,7 +119,14 @@ const (
 	KPing
 	// KPong answers a KPing.
 	KPong
+
+	// numKinds marks the end of the enum; keep it last.
+	numKinds
 )
+
+// NumKinds is the number of defined message kinds plus the invalid zero —
+// the sentinel explicit codecs validate decoded kinds against.
+const NumKinds = int(numKinds)
 
 var kindNames = map[Kind]string{
 	KPublish:          "publish",

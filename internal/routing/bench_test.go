@@ -1,0 +1,142 @@
+package routing_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+	"rebeca/internal/routing"
+)
+
+// fillTable populates a table with n two-constraint subscriptions spread
+// over 8 links and 50 rooms — the shape the E3 routing experiments use.
+func fillTable(tb *routing.Table, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		f := filter.New(
+			filter.Eq("service", message.String("temperature")),
+			filter.Eq("location", message.String(fmt.Sprintf("room-%d", rng.Intn(50)))),
+		)
+		tb.Add(proto.Subscription{ID: message.SubID(fmt.Sprintf("s%d", i)), Filter: f},
+			message.NodeID(fmt.Sprintf("L%d", i%8)))
+	}
+}
+
+func benchNotes(rng *rand.Rand) []message.Notification {
+	notes := make([]message.Notification, 256)
+	for i := range notes {
+		notes[i] = message.NewNotification(map[string]message.Value{
+			"service":  message.String("temperature"),
+			"location": message.String(fmt.Sprintf("room-%d", rng.Intn(50))),
+			"value":    message.Float(rng.Float64() * 40),
+		})
+	}
+	return notes
+}
+
+// benchMatch drives Table.Match over a subscription-count sweep. The
+// warmup pass grows the table's scratch buffers to their steady-state
+// size, so the timed loop measures the allocation-free hot path — the CI
+// bench job gates on the indexed variant reporting 0 allocs/op.
+func benchMatch(b *testing.B, newTable func() *routing.Table) {
+	for _, subs := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			tb := newTable()
+			fillTable(tb, subs, rng)
+			notes := benchNotes(rng)
+			for i := range notes {
+				_ = tb.Match(notes[i], "none")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tb.Match(notes[i%len(notes)], "none")
+			}
+		})
+	}
+}
+
+func BenchmarkMatchIndexed(b *testing.B) { benchMatch(b, routing.NewIndexedTable) }
+func BenchmarkMatchLinear(b *testing.B)  { benchMatch(b, routing.NewTable) }
+
+// BenchmarkMatchByLink measures the broker's actual publish hot path —
+// grouped link matching with port-only ID collection — on the default
+// (indexed) table.
+func BenchmarkMatchByLink(b *testing.B) {
+	for _, subs := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			tb := routing.NewIndexedTable()
+			fillTable(tb, subs, rng)
+			notes := benchNotes(rng)
+			noPorts := func(message.NodeID) bool { return false }
+			for i := range notes {
+				_ = tb.MatchByLink(notes[i], "none", noPorts)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tb.MatchByLink(notes[i%len(notes)], "none", noPorts)
+			}
+		})
+	}
+}
+
+// BenchmarkTableChurn exercises the removal path the O(n²) fix targets:
+// a table holding 10k subscriptions replaces its oldest entry every
+// iteration (Remove + Add). Before tombstoned removal each Remove on an
+// indexed table rebuilt the whole position map — O(n) per op, O(k·n) for
+// a k-entry RemoveLink.
+func BenchmarkTableChurn(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		new  func() *routing.Table
+	}{
+		{"indexed", routing.NewIndexedTable},
+		{"linear", routing.NewTable},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			const n = 10000
+			rng := rand.New(rand.NewSource(7))
+			tb := variant.new()
+			fillTable(tb, n, rng)
+			f := filter.New(filter.Eq("service", message.String("churn")))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				old := message.SubID(fmt.Sprintf("s%d", i%n))
+				if i >= n {
+					old = message.SubID(fmt.Sprintf("c%d", i-n))
+				}
+				if _, ok := tb.Remove(old); !ok {
+					b.Fatalf("missing %s", old)
+				}
+				tb.Add(proto.Subscription{ID: message.SubID(fmt.Sprintf("c%d", i)), Filter: f},
+					"L0")
+			}
+			if tb.Len() != n {
+				b.Fatalf("table drifted to %d entries", tb.Len())
+			}
+		})
+	}
+}
+
+// BenchmarkRemoveLink churns whole links: 10k subscriptions across 8
+// links, dropping and re-adding one link's ~1250 entries per iteration.
+func BenchmarkRemoveLink(b *testing.B) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(7))
+	tb := routing.NewIndexedTable()
+	fillTable(tb, n, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		removed := tb.RemoveLink(message.NodeID(fmt.Sprintf("L%d", i%8)))
+		for _, e := range removed {
+			tb.Add(e.Sub, e.Link)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+func churnSub(i int) proto.Subscription {
+	return proto.Subscription{
+		ID:     message.SubID(fmt.Sprintf("s%d", i)),
+		Filter: filter.New(filter.Eq("k", message.Int(int64(i%5)))),
+	}
+}
+
+// TestTableChurnKeepsOrderAndMatches drives enough remove/re-add cycles to
+// cross the compaction threshold repeatedly and checks the tombstoned
+// order against a straightforwardly maintained model: insertion order of
+// the live entries, Match results and Len must never drift.
+func TestTableChurnKeepsOrderAndMatches(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("indexed=%v", indexed), func(t *testing.T) {
+			tb := NewTable()
+			if indexed {
+				tb = NewIndexedTable()
+			}
+			rng := rand.New(rand.NewSource(42))
+			var model []proto.Subscription // live entries in insertion order
+			next := 0
+			add := func() {
+				s := churnSub(next)
+				next++
+				tb.Add(s, message.NodeID(fmt.Sprintf("L%d", next%3)))
+				model = append(model, s)
+			}
+			removeAt := func(i int) {
+				id := model[i].ID
+				if _, ok := tb.Remove(id); !ok {
+					t.Fatalf("remove %s failed", id)
+				}
+				model = append(model[:i], model[i+1:]...)
+			}
+			for i := 0; i < 200; i++ {
+				add()
+			}
+			for round := 0; round < 2000; round++ {
+				switch {
+				case len(model) == 0 || rng.Intn(3) == 0:
+					add()
+				case rng.Intn(4) == 0:
+					// Re-add a removed id: exercises the stale-duplicate slot.
+					i := rng.Intn(len(model))
+					s := model[i]
+					removeAt(i)
+					tb.Add(s, "L9")
+					model = append(model, s)
+				default:
+					removeAt(rng.Intn(len(model)))
+				}
+			}
+			if tb.Len() != len(model) {
+				t.Fatalf("Len = %d, want %d", tb.Len(), len(model))
+			}
+			got := tb.Entries()
+			if len(got) != len(model) {
+				t.Fatalf("Entries len = %d, want %d", len(got), len(model))
+			}
+			for i := range model {
+				if got[i].Sub.ID != model[i].ID {
+					t.Fatalf("insertion order drifted at %d: %s vs %s", i, got[i].Sub.ID, model[i].ID)
+				}
+			}
+			// Match agreement with a naive scan over the model.
+			for k := int64(0); k < 5; k++ {
+				n := message.NewNotification(map[string]message.Value{"k": message.Int(k)})
+				want := map[message.NodeID]bool{}
+				for _, s := range model {
+					if s.Filter.Matches(n) {
+						e, _ := tb.Get(s.ID)
+						want[e.Link] = true
+					}
+				}
+				links := tb.Match(n, "none")
+				if len(links) != len(want) {
+					t.Fatalf("k=%d: Match = %v, want %d links", k, links, len(want))
+				}
+				for _, l := range links {
+					if !want[l] {
+						t.Fatalf("k=%d: unexpected link %s", k, l)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTableRemoveLinkChurn pins the RemoveLink complexity fix's
+// semantics: dropping a link removes exactly its entries and preserves
+// the others' order, even mid-tombstone.
+func TestTableRemoveLinkChurn(t *testing.T) {
+	tb := NewIndexedTable()
+	for i := 0; i < 300; i++ {
+		tb.Add(churnSub(i), message.NodeID(fmt.Sprintf("L%d", i%3)))
+	}
+	// Punch holes so tombstones are outstanding during RemoveLink.
+	for i := 0; i < 300; i += 7 {
+		tb.Remove(message.SubID(fmt.Sprintf("s%d", i)))
+	}
+	removed := tb.RemoveLink("L1")
+	for _, e := range removed {
+		if e.Link != "L1" {
+			t.Fatalf("removed foreign entry %+v", e)
+		}
+		if _, ok := tb.Get(e.Sub.ID); ok {
+			t.Fatalf("%s still present", e.Sub.ID)
+		}
+	}
+	if got := tb.ByLink("L1"); len(got) != 0 {
+		t.Fatalf("L1 still has %d entries", len(got))
+	}
+	prev := -1
+	for _, e := range tb.Entries() {
+		var i int
+		fmt.Sscanf(string(e.Sub.ID), "s%d", &i)
+		if i <= prev {
+			t.Fatalf("order drifted: s%d after s%d", i, prev)
+		}
+		prev = i
+	}
+}
+
+// TestMatchScratchReuseSafety documents the aliasing contract: the result
+// of MatchByLink stays intact through one nested MatchByLink call (the
+// double buffer), and the Subs slices never alias between calls.
+func TestMatchScratchReuseSafety(t *testing.T) {
+	tb := NewIndexedTable()
+	tb.Add(churnSub(0), "port0")
+	tb.Add(churnSub(5), "port1") // k=0 as well
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(0)})
+	ports := func(message.NodeID) bool { return true }
+
+	first := tb.MatchByLink(n, "none", ports)
+	if len(first) != 2 {
+		t.Fatalf("want 2 links, got %v", first)
+	}
+	firstSubs := first[0].Subs
+	// A nested (re-entrant) match must not clobber `first`.
+	second := tb.MatchByLink(n, "none", ports)
+	if len(first) != 2 || first[0].Link != "port0" || len(first[0].Subs) != 1 {
+		t.Fatalf("nested MatchByLink clobbered the outer result: %v", first)
+	}
+	if &firstSubs[0] == &second[0].Subs[0] {
+		t.Fatal("Subs slices alias across calls; they escape into queued deliveries")
+	}
+}

@@ -8,7 +8,8 @@ package routing
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"rebeca/internal/filter"
 	"rebeca/internal/message"
@@ -56,34 +57,70 @@ type Entry struct {
 }
 
 // Table is a broker's routing table. It is not safe for concurrent use;
-// each broker drives its table from its single event loop.
+// each broker drives its table from its single event loop — which is also
+// what lets the Match methods hand out reusable scratch buffers instead of
+// allocating per notification.
 type Table struct {
 	entries map[message.SubID]Entry
-	order   []message.SubID // insertion order for deterministic iteration
-	// index, when non-nil, accelerates Match/MatchEntries with the
-	// predicate-counting matching index (E3 ablation).
-	index *filter.Index
-	// pos caches each entry's insertion position for ordered index hits.
+	// order holds insertion order for deterministic iteration. Removal
+	// tombstones in place (the id stays until compaction); an id is live
+	// at position i iff it is present in entries and pos[id] == i, which
+	// also skips the stale occurrence left behind when a removed id is
+	// re-added.
+	order []message.SubID
+	// pos maps each live entry to its position in order.
 	pos map[message.SubID]int
+	// dead counts tombstones in order; compact() runs when they dominate.
+	dead int
+	// index, when non-nil, accelerates Match/MatchEntries with the
+	// predicate-counting matching index (the default; linear scanning
+	// remains as the E3 ablation).
+	index *filter.Index
+
+	// Reusable match scratch. seenLinks doubles as the per-call dedup set
+	// and link->result-index map; the result slices are recycled across
+	// calls (see the Match methods' aliasing contract). lm is
+	// double-buffered so one level of re-entrant matching — a middleware
+	// stage publishing from inside a delivery hook — cannot clobber a
+	// result set its caller is still iterating.
+	seenLinks map[message.NodeID]int
+	linkBuf   []message.NodeID
+	entryBuf  []Entry
+	lmBuf     [2][]LinkMatch
+	lmFlip    int
 }
 
 // NewTable returns an empty table using linear matching.
 func NewTable() *Table {
-	return &Table{entries: make(map[message.SubID]Entry)}
+	return &Table{
+		entries:   make(map[message.SubID]Entry),
+		pos:       make(map[message.SubID]int),
+		seenLinks: make(map[message.NodeID]int),
+	}
 }
 
 // NewIndexedTable returns an empty table backed by the counting index —
 // same semantics as NewTable, faster matching on large tables.
 func NewIndexedTable() *Table {
-	return &Table{
-		entries: make(map[message.SubID]Entry),
-		index:   filter.NewIndex(),
-		pos:     make(map[message.SubID]int),
-	}
+	t := NewTable()
+	t.index = filter.NewIndex()
+	return t
 }
 
 // Indexed reports whether the table uses the matching index.
 func (t *Table) Indexed() bool { return t.index != nil }
+
+// live reports whether the id at order position i is a current entry (not
+// a tombstone, not a stale duplicate of a re-added id). With no tombstones
+// outstanding every slot is live, so the position check — a second map
+// lookup — is skipped on clean tables.
+func (t *Table) live(id message.SubID, i int) (Entry, bool) {
+	e, ok := t.entries[id]
+	if !ok || (t.dead > 0 && t.pos[id] != i) {
+		return Entry{}, false
+	}
+	return e, true
+}
 
 // Add inserts or replaces the entry for the subscription ID. It returns
 // true when an entry with this ID already existed (re-subscription after
@@ -93,38 +130,50 @@ func (t *Table) Add(sub proto.Subscription, link message.NodeID) (replaced bool)
 		replaced = true
 	} else {
 		t.order = append(t.order, sub.ID)
+		t.pos[sub.ID] = len(t.order) - 1
 	}
 	t.entries[sub.ID] = Entry{Sub: sub, Link: link}
 	if t.index != nil {
 		t.index.Add(string(sub.ID), sub.Filter)
-		if !replaced {
-			t.pos[sub.ID] = len(t.order) - 1
-		}
 	}
 	return replaced
 }
 
-// Remove deletes the entry for the ID, returning it.
+// Remove deletes the entry for the ID, returning it. Removal is O(1)
+// amortized: the order slot is tombstoned and reclaimed by a periodic
+// compaction instead of shifting (and re-numbering) every later entry.
 func (t *Table) Remove(id message.SubID) (Entry, bool) {
 	e, ok := t.entries[id]
 	if !ok {
 		return Entry{}, false
 	}
 	delete(t.entries, id)
-	for i, oid := range t.order {
-		if oid == id {
-			t.order = append(t.order[:i], t.order[i+1:]...)
-			break
-		}
-	}
+	delete(t.pos, id)
+	t.dead++
 	if t.index != nil {
 		t.index.Remove(string(id))
-		delete(t.pos, id)
-		for i, oid := range t.order {
-			t.pos[oid] = i
-		}
+	}
+	if t.dead > 64 && t.dead > len(t.order)/2 {
+		t.compact()
 	}
 	return e, true
+}
+
+// compact rewrites order without tombstones and renumbers pos. Amortized
+// against the removals that created the tombstones, this keeps every
+// iteration O(live entries) while Remove stays O(1).
+func (t *Table) compact() {
+	w := 0
+	for i, id := range t.order {
+		if _, ok := t.live(id, i); !ok {
+			continue
+		}
+		t.order[w] = id
+		t.pos[id] = w
+		w++
+	}
+	t.order = t.order[:w]
+	t.dead = 0
 }
 
 // Get returns the entry for the ID.
@@ -138,42 +187,59 @@ func (t *Table) Len() int { return len(t.entries) }
 
 // Entries returns all entries in insertion order.
 func (t *Table) Entries() []Entry {
-	out := make([]Entry, 0, len(t.order))
-	for _, id := range t.order {
-		out = append(out, t.entries[id])
+	out := make([]Entry, 0, len(t.entries))
+	for i, id := range t.order {
+		if e, ok := t.live(id, i); ok {
+			out = append(out, e)
+		}
 	}
 	return out
 }
 
-// Match returns the deduplicated set of links whose entries match the
-// notification, excluding the link the notification arrived from (a
+// Match returns the deduplicated, sorted set of links whose entries match
+// the notification, excluding the link the notification arrived from (a
 // notification is never reflected back).
+//
+// The returned slice is a reusable scratch buffer owned by the table: it
+// is valid until the next Match call and must not be retained or sent
+// across goroutines. On the indexed path the whole call is allocation
+// free.
 func (t *Table) Match(n message.Notification, from message.NodeID) []message.NodeID {
-	seen := make(map[message.NodeID]bool)
-	var out []message.NodeID
+	seen := t.seenLinks
+	clear(seen)
+	out := t.linkBuf[:0]
+	add := func(e Entry) {
+		if e.Link == from {
+			return
+		}
+		if _, dup := seen[e.Link]; dup {
+			return
+		}
+		seen[e.Link] = 0
+		out = append(out, e.Link)
+	}
 	if t.index != nil {
 		t.index.Match(n, func(key string) {
-			e := t.entries[message.SubID(key)]
-			if e.Link == from || seen[e.Link] {
-				return
-			}
-			seen[e.Link] = true
-			out = append(out, e.Link)
+			add(t.entries[message.SubID(key)])
 		})
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		return out
-	}
-	for _, id := range t.order {
-		e := t.entries[id]
-		if e.Link == from || seen[e.Link] {
-			continue
+	} else {
+		for i, id := range t.order {
+			e, ok := t.live(id, i)
+			if !ok || e.Link == from {
+				continue
+			}
+			// Dedup before evaluating: once a link matched, the remaining
+			// entries behind it need no filter work at all.
+			if _, dup := seen[e.Link]; dup {
+				continue
+			}
+			if e.Sub.Filter.Matches(n) {
+				add(e)
+			}
 		}
-		if e.Sub.Filter.Matches(n) {
-			seen[e.Link] = true
-			out = append(out, e.Link)
-		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	t.linkBuf = out
 	return out
 }
 
@@ -192,58 +258,88 @@ type LinkMatch struct {
 // forwards carry no subscription identity, so collecting their IDs on the
 // hot publish path would be wasted allocation). Links are sorted; IDs
 // keep table insertion order.
+//
+// The returned slice is table-owned scratch: callers must finish with it
+// before running any code that could match on this table again — the
+// broker copies port deliveries out and releases the buffer before its
+// delivery hooks (which may synchronously publish) run. Double-buffering
+// additionally tolerates a single overlapping use as defense in depth.
+// The Subs slices are freshly allocated (they travel on KDeliver
+// messages and outlive the call); only the grouping structure is
+// recycled.
 func (t *Table) MatchByLink(n message.Notification, from message.NodeID, needSubs func(message.NodeID) bool) []LinkMatch {
-	byLink := make(map[message.NodeID]int)
-	var out []LinkMatch
-	add := func(e Entry) {
+	ents := t.matchEntriesScratch(n)
+	byLink := t.seenLinks
+	clear(byLink)
+	buf := &t.lmBuf[t.lmFlip]
+	t.lmFlip = 1 - t.lmFlip
+	out := (*buf)[:0]
+	for _, e := range ents {
 		if e.Link == from {
-			return
+			continue
 		}
 		i, ok := byLink[e.Link]
 		if !ok {
 			i = len(out)
 			byLink[e.Link] = i
+			// Subs must not alias a previous call's result: those slices
+			// escape into queued deliveries. Reset to nil, never to [:0].
 			out = append(out, LinkMatch{Link: e.Link})
 		}
 		if needSubs == nil || needSubs(e.Link) {
 			out[i].Subs = append(out[i].Subs, e.Sub.ID)
 		}
 	}
-	for _, e := range t.MatchEntries(n) {
-		add(e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	slices.SortFunc(out, func(a, b LinkMatch) int {
+		return strings.Compare(string(a.Link), string(b.Link))
+	})
+	*buf = out
 	return out
 }
 
-// MatchEntries returns every entry whose filter matches, regardless of
-// link — used by border brokers to fan out to local clients per
-// subscription.
+// MatchEntries returns every entry whose filter matches, in insertion
+// order, regardless of link — used by border brokers to fan out to local
+// clients per subscription. The result is freshly allocated (callers may
+// retain it); the broker hot path goes through MatchByLink instead.
 func (t *Table) MatchEntries(n message.Notification) []Entry {
-	var out []Entry
+	return slices.Clone(t.matchEntriesScratch(n))
+}
+
+// matchEntriesScratch is MatchEntries into the table's reusable entry
+// buffer: valid until the next Match/MatchByLink/MatchEntries call.
+func (t *Table) matchEntriesScratch(n message.Notification) []Entry {
+	out := t.entryBuf[:0]
 	if t.index != nil {
 		t.index.Match(n, func(key string) {
 			out = append(out, t.entries[message.SubID(key)])
 		})
-		sort.Slice(out, func(i, j int) bool {
-			return t.pos[out[i].Sub.ID] < t.pos[out[j].Sub.ID]
+		// The index visits counted matches in attribute-map order; restore
+		// the table's insertion order (documented contract, and what the
+		// per-subscription stream tests pin down).
+		slices.SortFunc(out, func(a, b Entry) int {
+			return t.pos[a.Sub.ID] - t.pos[b.Sub.ID]
 		})
+		t.entryBuf = out
 		return out
 	}
-	for _, id := range t.order {
-		e := t.entries[id]
+	for i, id := range t.order {
+		e, ok := t.live(id, i)
+		if !ok {
+			continue
+		}
 		if e.Sub.Filter.Matches(n) {
 			out = append(out, e)
 		}
 	}
+	t.entryBuf = out
 	return out
 }
 
 // ByLink returns all entries received from the given link.
 func (t *Table) ByLink(link message.NodeID) []Entry {
 	var out []Entry
-	for _, id := range t.order {
-		if e := t.entries[id]; e.Link == link {
+	for i, id := range t.order {
+		if e, ok := t.live(id, i); ok && e.Link == link {
 			out = append(out, e)
 		}
 	}
@@ -251,12 +347,18 @@ func (t *Table) ByLink(link message.NodeID) []Entry {
 }
 
 // RemoveLink drops every entry from the given link (link/broker failure or
-// client detach), returning the removed entries.
+// client detach), returning the removed entries. With tombstoned removal
+// this is O(order + removed), not O(removed × table).
 func (t *Table) RemoveLink(link message.NodeID) []Entry {
+	var ids []message.SubID
+	for i, id := range t.order {
+		if e, ok := t.live(id, i); ok && e.Link == link {
+			ids = append(ids, id)
+		}
+	}
 	var removed []Entry
-	for _, id := range append([]message.SubID(nil), t.order...) {
-		if e := t.entries[id]; e.Link == link {
-			t.Remove(id)
+	for _, id := range ids {
+		if e, ok := t.Remove(id); ok {
 			removed = append(removed, e)
 		}
 	}
@@ -267,9 +369,9 @@ func (t *Table) RemoveLink(link message.NodeID) []Entry {
 // excluding the entry with id `self`.
 func (t *Table) CoveredBy(f filter.Filter, link message.NodeID, self message.SubID) []message.SubID {
 	var out []message.SubID
-	for _, id := range t.order {
-		e := t.entries[id]
-		if id == self || e.Link != link {
+	for i, id := range t.order {
+		e, ok := t.live(id, i)
+		if !ok || id == self || e.Link != link {
 			continue
 		}
 		if e.Sub.Filter.Covers(f) {

@@ -32,8 +32,9 @@ type ClusterConfig struct {
 	Strategy routing.Strategy
 	// Advertisements enables advertisement-based subscription forwarding.
 	Advertisements bool
-	// IndexedMatching backs routing tables with the counting index.
-	IndexedMatching bool
+	// LinearMatching reverts routing tables to linear scans (the counting
+	// index is the default; this is the E3 ablation knob).
+	LinearMatching bool
 	// Locations maps brokers to logical scopes. Optional.
 	Locations *location.Model
 	// Context resolves generalized context markers per broker (§4).
@@ -202,11 +203,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			peerOf[p] = true
 		}
 		b := broker.New(broker.Config{
-			ID:              id,
-			Peers:           adj[id],
-			Strategy:        cfg.Strategy,
-			Advertisements:  cfg.Advertisements,
-			IndexedMatching: cfg.IndexedMatching,
+			ID:             id,
+			Peers:          adj[id],
+			Strategy:       cfg.Strategy,
+			Advertisements: cfg.Advertisements,
+			LinearMatching: cfg.LinearMatching,
 			Send: func(to message.NodeID, m proto.Message) {
 				// With an overlay deployed, peer links are supervised:
 				// messages for a down link queue and flush after its sync

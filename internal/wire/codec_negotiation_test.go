@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/filter"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+	"rebeca/internal/routing"
+)
+
+// TestCrossCodecHandshake is the rolling-upgrade scenario: a binary
+// (current) broker and a gob-pinned (previous release) broker share one
+// overlay link, a gob client subscribes at the legacy node and a binary
+// client publishes at the new one. The accepting sides auto-detect each
+// peer's encoding from the hello, so every combination interoperates and
+// the notification crosses the version boundary.
+func TestCrossCodecHandshake(t *testing.T) {
+	a := NewNode(NodeConfig{
+		ID:       "A",
+		Listen:   "127.0.0.1:0",
+		Peers:    map[message.NodeID]string{"B": ""}, // B dials us
+		Strategy: routing.StrategySimple,
+		NextHop:  map[message.NodeID]message.NodeID{"B": "B"},
+		// A speaks binary (the default) on every link it initiates.
+	})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewNode(NodeConfig{
+		ID:       "B",
+		Listen:   "127.0.0.1:0",
+		Peers:    map[message.NodeID]string{"A": a.Addr()},
+		Strategy: routing.StrategySimple,
+		NextHop:  map[message.NodeID]message.NodeID{"A": "A"},
+		Wire:     CodecGob, // B still dials in the previous release's encoding
+	})
+	if err := b.Start(); err != nil {
+		_ = a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = b.Close()
+		_ = a.Close()
+	})
+
+	var mu sync.Mutex
+	var got []message.Notification
+	sub := NewRemoteClient("sub", func(n message.Notification, _ []message.SubID) {
+		mu.Lock()
+		got = append(got, n)
+		mu.Unlock()
+	})
+	sub.Wire = CodecGob // legacy client library against the legacy node
+	if err := sub.Connect(b.Addr(), "", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub.Disconnect() }()
+	f := filter.New(filter.Eq("k", message.Int(7)))
+	s := proto.Subscription{ID: "sub/s1", Filter: f}
+	if err := sub.Send(proto.Message{Kind: proto.KSubscribe, Client: "sub", Sub: &s}); err != nil {
+		t.Fatal(err)
+	}
+	// The subscription must cross the mixed-codec overlay link to A.
+	waitFor(t, func() bool {
+		n := 0
+		a.Inspect(func(b *broker.Broker) { n = b.Router().Table().Len() })
+		return n >= 1
+	}, "subscription across the gob<->binary link")
+
+	pub := NewRemoteClient("pub", nil) // current client library, binary
+	if err := pub.Connect(a.Addr(), "", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pub.Disconnect() }()
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(7)})
+	n.ID = message.NotificationID{Publisher: "pub", Seq: 1}
+	if err := pub.Send(proto.Message{Kind: proto.KPublish, Client: "pub", Note: &n}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	}, "delivery across the version boundary")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].ID.Seq != 1 {
+		t.Errorf("got %v", got)
+	}
+	if v, ok := got[0].Get("k"); !ok || v.IntVal() != 7 {
+		t.Errorf("attribute mangled across codecs: %v", got[0])
+	}
+}
+
+// TestBinaryDialerRejectsNothing ensures the auto-detecting accept side
+// answers a binary dialer in kind even when the node itself is pinned to
+// gob for its own dials.
+func TestAcceptAutoDetectsOnGobPinnedNode(t *testing.T) {
+	b := NewNode(NodeConfig{
+		ID:       "B",
+		Listen:   "127.0.0.1:0",
+		Peers:    map[message.NodeID]string{},
+		Strategy: routing.StrategySimple,
+		Wire:     CodecGob,
+	})
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	conn, err := DialLink("probe", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if conn.Wire() != CodecBinary {
+		t.Fatalf("negotiated %s, want binary", conn.Wire())
+	}
+	if conn.Peer() != "B" {
+		t.Fatalf("peer = %s", conn.Peer())
+	}
+}
+
+// TestClientChurnReleasesFlushers guards the conn-lifecycle fix: every
+// Conn owns a flusher goroutine, so a client that disconnects (read pump
+// exit) or reconnects under the same ID (conn replacement in register)
+// must release the old conn — otherwise a churning broker leaks one
+// goroutine, one fd and two bufio buffers per connect.
+func TestClientChurnReleasesFlushers(t *testing.T) {
+	b := NewNode(NodeConfig{
+		ID:       "B",
+		Listen:   "127.0.0.1:0",
+		Peers:    map[message.NodeID]string{},
+		Strategy: routing.StrategySimple,
+	})
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+
+	churn := func(id message.NodeID) {
+		cl := NewRemoteClient(id, nil)
+		if err := cl.Connect(b.Addr(), "", nil, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Disconnect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	churn("warmup") // warm up structures
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	const cycles = 50
+	for i := 0; i < cycles; i++ {
+		// Distinct IDs: exercises the pump-exit release; repeated IDs
+		// would also be saved by register()'s replace-and-close.
+		churn(message.NodeID(fmt.Sprintf("churner-%d", i)))
+	}
+	waitFor(t, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+5
+	}, "flusher goroutines to drain after client churn")
+}

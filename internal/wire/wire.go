@@ -1,12 +1,20 @@
 // Package wire runs the middleware over real TCP links: the same broker
-// state machines the simulator drives, fed from gob-encoded streams. It
-// provides the live deployment mode used by cmd/rebeca-broker — one process
-// per broker, point-to-point TCP connections between neighbors (§2), and a
-// Dialer for remote clients.
+// state machines the simulator drives, fed from length-prefixed binary
+// frames (internal/codec). It provides the live deployment mode used by
+// cmd/rebeca-broker — one process per broker, point-to-point TCP
+// connections between neighbors (§2), and a Dialer for remote clients.
 //
 // TCP gives the FIFO per-link guarantee the algorithms assume; a per-node
 // inbox goroutine serializes HandleMessage calls, preserving the atomic
 // routing-decision requirement of §2.
+//
+// Every link buffers its writes through a bufio.Writer that is flushed by
+// a per-conn flusher goroutine when the writer goes idle — never inline
+// per message — so back-to-back publishes coalesce into one syscall. The
+// identification handshake carries a protocol version byte: accepting
+// sides auto-detect legacy gob peers from the first bytes of the stream,
+// and CodecGob keeps a node dialing in the old encoding for one release
+// (`rebeca-broker -wire gob`).
 //
 // Broker↔broker links are owned by the node's overlay manager
 // (internal/overlay): dials retry with backoff instead of failing Start,
@@ -18,6 +26,9 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -27,20 +38,74 @@ import (
 	"time"
 
 	"rebeca/internal/broker"
+	"rebeca/internal/codec"
 	"rebeca/internal/message"
 	"rebeca/internal/overlay"
 	"rebeca/internal/proto"
 	"rebeca/internal/routing"
 )
 
-// hello is the link handshake: each side announces its node ID.
+// Codec selects the wire encoding a node or client uses on links it
+// initiates. Accepting sides always auto-detect the peer's choice from
+// the handshake, so mixed deployments interoperate link by link.
+type Codec int
+
+// Wire encodings.
+const (
+	// CodecBinary is the length-prefixed binary protocol (internal/codec),
+	// the default since PR 5.
+	CodecBinary Codec = iota
+	// CodecGob is the reflective gob envelope encoding of earlier
+	// releases, kept as a one-release fallback for rolling upgrades
+	// (`rebeca-broker -wire gob`).
+	CodecGob
+)
+
+// String names the codec.
+func (c Codec) String() string {
+	if c == CodecGob {
+		return "gob"
+	}
+	return "binary"
+}
+
+// hello is the gob link handshake: each side announces its node ID. The
+// binary handshake instead sends codec.Magic, a version byte and the ID.
 type hello struct {
 	ID message.NodeID
 }
 
-// envelope frames a message on the wire.
+// envelope frames a message on the gob wire.
 type envelope struct {
 	M proto.Message
+}
+
+// msgEncoder/msgDecoder abstract the negotiated encoding on one link.
+type msgEncoder interface {
+	Encode(m proto.Message) error
+}
+
+type msgDecoder interface {
+	Decode(m *proto.Message) error
+}
+
+// gobCodec adapts a gob stream pair to the message codec interfaces.
+// Encoder and decoder are created once per conn: gob streams carry type
+// descriptors and read ahead, so they must never be recreated mid-stream.
+type gobCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (g *gobCodec) Encode(m proto.Message) error { return g.enc.Encode(envelope{M: m}) }
+
+func (g *gobCodec) Decode(m *proto.Message) error {
+	var env envelope
+	if err := g.dec.Decode(&env); err != nil {
+		return err
+	}
+	*m = env.M
+	return nil
 }
 
 // inboxMsg pairs a received message with its link. gen is the overlay
@@ -115,32 +180,110 @@ func (f *flowState) close() {
 	f.cond.Broadcast()
 }
 
-// Conn is one established, identified link. dec is the connection's
-// single gob decoder: gob decoders buffer reads, so the hello handshake
-// and the message pump must share one — a second decoder would start
-// mid-stream on whatever the first one read ahead.
+// Conn is one established, identified link. All writes go through bw; a
+// dedicated flusher goroutine flushes it when the writer goes idle (see
+// Send), so bursts of messages coalesce into few syscalls. dec is the
+// connection's single decoder: both codecs buffer reads, so the hello
+// handshake and the message pump must share one — a second decoder would
+// start mid-stream on whatever the first one read ahead.
 type Conn struct {
 	peer message.NodeID
 	c    net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	wire Codec
+	ver  byte
+	bw   *bufio.Writer
+	enc  msgEncoder
+	dec  msgDecoder
 	mu   sync.Mutex
 	fc   *flowState
+
+	flushReq  chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// newConn assembles a post-handshake link and starts its flusher. ver is
+// the negotiated binary protocol version (0 on gob links).
+func newConn(peer message.NodeID, c net.Conn, wire Codec, ver byte, bw *bufio.Writer, enc msgEncoder, dec msgDecoder) *Conn {
+	conn := &Conn{
+		peer: peer, c: c, wire: wire, ver: ver, bw: bw, enc: enc, dec: dec,
+		fc:       newFlowState(),
+		flushReq: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	go conn.flushLoop()
+	return conn
 }
 
 // Peer returns the remote node's announced ID.
 func (c *Conn) Peer() message.NodeID { return c.peer }
 
-// Send encodes one message onto the link. Safe for concurrent use.
+// Wire returns the negotiated encoding.
+func (c *Conn) Wire() Codec { return c.wire }
+
+// ProtocolVersion returns the negotiated binary protocol version,
+// min(ours, peer's) — the version a future multi-version encoder must
+// emit on this link. Gob links report 0.
+func (c *Conn) ProtocolVersion() byte { return c.ver }
+
+// Send encodes one message into the link's write buffer and wakes the
+// flusher. Safe for concurrent use. The flusher only runs when it can
+// take the send lock — while senders keep arriving their frames pile into
+// the buffer, and one Flush (one syscall) carries the whole burst.
+//
+// An encode failure tears the link down. Callers largely ignore Send
+// errors (a lost volatile message is a down link's normal cost), but a
+// message the codec refuses — an over-MaxFrame frame, say a gigantic
+// KSyncInstall replay — must not leave the link looking healthy while
+// its peer waits forever for the dropped frame: closing the conn makes
+// the read pump report LinkDown, so the failure is observed and
+// supervised instead of becoming a silent routing blackhole.
 func (c *Conn) Send(m proto.Message) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.enc.Encode(envelope{M: m})
+	err := c.enc.Encode(m)
+	c.mu.Unlock()
+	if err != nil {
+		_ = c.Close()
+		return err
+	}
+	select {
+	case c.flushReq <- struct{}{}:
+	default: // a flush is already pending; it will cover this frame too
+	}
+	return nil
 }
 
-// Close tears the link down, releasing any sender blocked on credits.
+// flushLoop drains flush requests. The signal is sent after the frame is
+// in the buffer, so by the time the loop takes the lock every signalled
+// frame is flushed — there is no lost-wakeup window.
+func (c *Conn) flushLoop() {
+	for {
+		select {
+		case <-c.flushReq:
+			c.mu.Lock()
+			err := c.bw.Flush()
+			c.mu.Unlock()
+			if err != nil {
+				return // socket broken; the read pump reports the failure
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Close tears the link down: it releases any sender blocked on credits,
+// flushes buffered frames (bounded by a write deadline, so a wedged peer
+// cannot hang teardown) and closes the socket.
 func (c *Conn) Close() error {
-	c.fc.close()
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.fc.close()
+		_ = c.c.SetWriteDeadline(time.Now().Add(time.Second))
+		c.mu.Lock()
+		_ = c.bw.Flush()
+		c.mu.Unlock()
+	})
 	return c.c.Close()
 }
 
@@ -155,6 +298,13 @@ type NodeConfig struct {
 	Peers map[message.NodeID]string
 	// Strategy selects the routing algorithm.
 	Strategy routing.Strategy
+	// LinearMatching reverts the broker's routing table to linear scans
+	// (the matching index is the default; this is the E3 ablation knob).
+	LinearMatching bool
+	// Wire selects the encoding for links this node dials; accepted links
+	// auto-detect the peer's choice. CodecBinary (the zero value) unless
+	// a rolling upgrade still has pre-binary neighbors (CodecGob).
+	Wire Codec
 	// NextHop is the unicast routing table (destination -> neighbor).
 	NextHop map[message.NodeID]message.NodeID
 	// Middleware is appended to the broker's extension chain at Start,
@@ -209,11 +359,12 @@ func NewNode(cfg NodeConfig) *Node {
 		n.peerSet[p] = true
 	}
 	n.b = broker.New(broker.Config{
-		ID:       cfg.ID,
-		Peers:    peers,
-		Strategy: cfg.Strategy,
-		Send:     n.send,
-		NextHop:  cfg.NextHop,
+		ID:             cfg.ID,
+		Peers:          peers,
+		Strategy:       cfg.Strategy,
+		LinearMatching: cfg.LinearMatching,
+		Send:           n.send,
+		NextHop:        cfg.NextHop,
 	})
 	n.ov = overlay.New(overlay.Config{
 		Self:     cfg.ID,
@@ -332,9 +483,14 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// register adds a client link and starts its read pump.
+// register adds a client link and starts its read pump. A replaced conn
+// (client reconnecting under the same ID) is closed, not just dropped:
+// every Conn owns a flusher goroutine that only Close releases.
 func (n *Node) register(conn *Conn) {
 	n.mu.Lock()
+	if old := n.conns[conn.peer]; old != nil && old != conn {
+		_ = old.Close()
+	}
 	n.conns[conn.peer] = conn
 	n.mu.Unlock()
 	n.wg.Add(1)
@@ -389,9 +545,13 @@ func (n *Node) dialPeer(peer message.NodeID) {
 			n.ov.DialFailed(peer)
 			return
 		}
-		conn, err := handshakeLink(n.cfg.ID, c)
-		if err != nil || conn.peer != peer {
-			_ = c.Close()
+		conn, err := handshakeLink(n.cfg.ID, c, n.cfg.Wire)
+		if err != nil {
+			n.ov.DialFailed(peer) // handshakeLink closed the socket
+			return
+		}
+		if conn.peer != peer {
+			_ = conn.Close() // full Close: the conn's flusher is running
 			n.ov.DialFailed(peer)
 			return
 		}
@@ -457,10 +617,11 @@ func (n *Node) LinkInfo() []overlay.LinkInfo { return n.ov.Info() }
 // serialized on the event loop. Everything else is normal broker traffic.
 func (n *Node) readPeerLoop(conn *Conn, gen uint64) {
 	defer n.wg.Done()
+	defer func() { _ = conn.Close() }() // release the conn's flusher goroutine
 	dec := conn.dec
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		var m proto.Message
+		if err := dec.Decode(&m); err != nil {
 			reason := "link closed"
 			if !errors.Is(err, io.EOF) {
 				reason = err.Error()
@@ -468,15 +629,15 @@ func (n *Node) readPeerLoop(conn *Conn, gen uint64) {
 			n.ov.LinkDown(conn.peer, gen, reason)
 			return
 		}
-		switch env.M.Kind {
+		switch m.Kind {
 		case proto.KPing, proto.KPong:
-			n.ov.HandleControl(conn.peer, gen, env.M)
+			n.ov.HandleControl(conn.peer, gen, m)
 			continue
 		default:
 			n.ov.Touch(conn.peer, gen)
 		}
 		select {
-		case n.inbox <- inboxMsg{from: conn.peer, m: env.M, gen: gen}:
+		case n.inbox <- inboxMsg{from: conn.peer, m: m, gen: gen}:
 		case <-n.done:
 			return
 		}
@@ -485,11 +646,13 @@ func (n *Node) readPeerLoop(conn *Conn, gen uint64) {
 
 func (n *Node) readLoop(conn *Conn) {
 	defer n.wg.Done()
-	defer conn.fc.close()
+	// Full Close, not just fc.close(): the pump exiting (client hung up)
+	// must also release the conn's flusher goroutine.
+	defer func() { _ = conn.Close() }()
 	dec := conn.dec
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		var m proto.Message
+		if err := dec.Decode(&m); err != nil {
 			if !errors.Is(err, io.EOF) {
 				// Connection torn down; the broker's session layer deals
 				// with absence via KDisconnect from clients.
@@ -501,16 +664,16 @@ func (n *Node) readLoop(conn *Conn) {
 		// be able to unblock an event loop that is itself waiting on this
 		// very link's window.
 		switch {
-		case env.M.Kind == proto.KCredit:
-			conn.fc.grant(env.M.Credits)
+		case m.Kind == proto.KCredit:
+			conn.fc.grant(m.Credits)
 			continue
-		case env.M.Kind == proto.KConnect && env.M.Credits > 0:
+		case m.Kind == proto.KConnect && m.Credits > 0:
 			// Only clients send KConnect, so this link is a client link;
 			// arm its delivery window before the broker sees the connect.
-			conn.fc.enable(env.M.Credits)
+			conn.fc.enable(m.Credits)
 		}
 		select {
-		case n.inbox <- inboxMsg{from: conn.peer, m: env.M}:
+		case n.inbox <- inboxMsg{from: conn.peer, m: m}:
 		case <-n.done:
 			return
 		}
@@ -607,45 +770,153 @@ func (n *Node) send(to message.NodeID, m proto.Message) {
 	_ = conn.Send(m)
 }
 
-// DialLink connects to a remote node and performs the handshake, announcing
-// `self` as the local ID.
+// DialLink connects to a remote node and performs the handshake with the
+// default binary codec, announcing `self` as the local ID.
 func DialLink(self message.NodeID, addr string) (*Conn, error) {
+	return DialLinkCodec(self, addr, CodecBinary)
+}
+
+// DialLinkCodec is DialLink with an explicit wire encoding — the gob
+// escape hatch for dialing a pre-binary node.
+func DialLinkCodec(self message.NodeID, addr string, wire Codec) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return handshakeLink(self, c)
+	return handshakeLink(self, c, wire)
+}
+
+// writeBinaryHello emits the binary identification frame:
+// magic, version byte, uvarint-length-prefixed node ID.
+func writeBinaryHello(bw *bufio.Writer, self message.NodeID) error {
+	if _, err := bw.Write(codec.Magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(codec.Version); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(self)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(string(self)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readBinaryHello parses the version byte and node ID of a binary hello
+// whose magic has already been consumed, and returns the negotiated
+// protocol version (min of both sides).
+func readBinaryHello(br *bufio.Reader) (message.NodeID, byte, error) {
+	ver, err := br.ReadByte()
+	if err != nil {
+		return "", 0, err
+	}
+	if ver == 0 {
+		return "", 0, errors.New("wire: peer announced protocol version 0")
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", 0, err
+	}
+	if n > 1024 {
+		return "", 0, fmt.Errorf("wire: absurd hello ID length %d", n)
+	}
+	id := make([]byte, n)
+	if _, err := io.ReadFull(br, id); err != nil {
+		return "", 0, err
+	}
+	if ver > codec.Version {
+		ver = codec.Version
+	}
+	return message.NodeID(id), ver, nil
 }
 
 // handshakeLink runs the active side of the identification handshake on an
-// established TCP connection.
-func handshakeLink(self message.NodeID, c net.Conn) (*Conn, error) {
-	enc := gob.NewEncoder(c)
-	if err := enc.Encode(hello{ID: self}); err != nil {
+// established TCP connection, speaking the given wire encoding. The
+// passive side auto-detects, so a binary dialer reaching a binary-capable
+// node always negotiates binary; reaching a pre-binary (gob-only) node
+// requires CodecGob on the dialer for one release.
+func handshakeLink(self message.NodeID, c net.Conn, wire Codec) (*Conn, error) {
+	bw := bufio.NewWriter(c)
+	br := bufio.NewReader(c)
+	if wire == CodecGob {
+		enc := gob.NewEncoder(bw)
+		if err := enc.Encode(hello{ID: self}); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("wire: handshake send: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("wire: handshake send: %w", err)
+		}
+		dec := gob.NewDecoder(br)
+		var h hello
+		if err := dec.Decode(&h); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("wire: handshake recv: %w", err)
+		}
+		g := &gobCodec{enc: enc, dec: dec}
+		return newConn(h.ID, c, CodecGob, 0, bw, g, g), nil
+	}
+	if err := writeBinaryHello(bw, self); err != nil {
 		_ = c.Close()
 		return nil, fmt.Errorf("wire: handshake send: %w", err)
 	}
-	dec := gob.NewDecoder(c)
-	var h hello
-	if err := dec.Decode(&h); err != nil {
+	magic := make([]byte, len(codec.Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
 		_ = c.Close()
 		return nil, fmt.Errorf("wire: handshake recv: %w", err)
 	}
-	return &Conn{peer: h.ID, c: c, enc: enc, dec: dec, fc: newFlowState()}, nil
+	if !bytes.Equal(magic, codec.Magic[:]) {
+		_ = c.Close()
+		return nil, errors.New("wire: peer does not speak the binary protocol (pre-binary node? dial with the gob codec)")
+	}
+	peer, ver, err := readBinaryHello(br)
+	if err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("wire: handshake recv: %w", err)
+	}
+	return newConn(peer, c, CodecBinary, ver, bw, codec.NewEncoder(bw), codec.NewDecoder(br)), nil
 }
 
-// acceptLink performs the passive side of the handshake.
+// acceptLink performs the passive side of the handshake. It peeks the
+// first bytes of the stream to negotiate the encoding: codec.Magic opens
+// a binary hello, anything else is a legacy gob hello — so one listener
+// serves binary and gob peers side by side during a rolling upgrade.
 func acceptLink(self message.NodeID, c net.Conn) (*Conn, error) {
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	head, err := br.Peek(len(codec.Magic))
+	if err == nil && bytes.Equal(head, codec.Magic[:]) {
+		if _, err := br.Discard(len(codec.Magic)); err != nil {
+			return nil, err
+		}
+		peer, ver, err := readBinaryHello(br)
+		if err != nil {
+			return nil, fmt.Errorf("wire: handshake recv: %w", err)
+		}
+		if err := writeBinaryHello(bw, self); err != nil {
+			return nil, fmt.Errorf("wire: handshake send: %w", err)
+		}
+		return newConn(peer, c, CodecBinary, ver, bw, codec.NewEncoder(bw), codec.NewDecoder(br)), nil
+	}
+	dec := gob.NewDecoder(br)
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("wire: handshake recv: %w", err)
 	}
-	enc := gob.NewEncoder(c)
+	enc := gob.NewEncoder(bw)
 	if err := enc.Encode(hello{ID: self}); err != nil {
 		return nil, fmt.Errorf("wire: handshake send: %w", err)
 	}
-	return &Conn{peer: h.ID, c: c, enc: enc, dec: dec, fc: newFlowState()}, nil
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("wire: handshake send: %w", err)
+	}
+	g := &gobCodec{enc: enc, dec: dec}
+	return newConn(h.ID, c, CodecGob, 0, bw, g, g), nil
 }
 
 // DefaultWindow is the delivery window a RemoteClient announces when none
@@ -665,6 +936,9 @@ type RemoteClient struct {
 	// Window is the delivery credit window announced on Connect
 	// (0 = DefaultWindow, negative = disable flow control).
 	Window int
+	// Wire selects the encoding for the broker link (CodecBinary default;
+	// CodecGob when connecting to a pre-binary broker).
+	Wire Codec
 
 	mu        sync.Mutex
 	conn      *Conn
@@ -695,7 +969,7 @@ func (r *RemoteClient) window() int {
 // client's monotonic connect counter (see proto.Message.Epoch); pass an
 // incremented value on every connect.
 func (r *RemoteClient) Connect(addr string, prev message.NodeID, profile []proto.Subscription, epoch uint64) error {
-	conn, err := DialLink(r.ID, addr)
+	conn, err := DialLinkCodec(r.ID, addr, r.Wire)
 	if err != nil {
 		return err
 	}
@@ -712,6 +986,7 @@ func (r *RemoteClient) Connect(addr string, prev message.NodeID, profile []proto
 
 func (r *RemoteClient) pump(conn *Conn) {
 	defer r.wg.Done()
+	defer func() { _ = conn.Close() }() // broker hung up: release the flusher
 	window := r.window()
 	// Credits are granted in chunks of half the window rather than one
 	// per delivery: the broker never fully drains its window before the
@@ -724,15 +999,15 @@ func (r *RemoteClient) pump(conn *Conn) {
 	consumed := 0
 	dec := conn.dec
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		var m proto.Message
+		if err := dec.Decode(&m); err != nil {
 			return
 		}
-		if env.M.Kind != proto.KDeliver || env.M.Note == nil {
+		if m.Kind != proto.KDeliver || m.Note == nil {
 			continue
 		}
 		if r.onDeliver != nil {
-			r.onDeliver(*env.M.Note, env.M.SubIDs)
+			r.onDeliver(*m.Note, m.SubIDs)
 		}
 		if window > 0 {
 			// The delivery has been consumed (or buffered) end to end;

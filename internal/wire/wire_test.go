@@ -1,13 +1,13 @@
 package wire
 
 import (
-	"encoding/gob"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"rebeca/internal/broker"
+	"rebeca/internal/codec"
 	"rebeca/internal/filter"
 	"rebeca/internal/message"
 	"rebeca/internal/proto"
@@ -161,8 +161,8 @@ func TestLiveGobRoundTripAllPayloads(t *testing.T) {
 	}
 	defer func() { _ = ln.Close() }()
 	_ = done
-	// Encode/decode through gob directly to verify fidelity.
-	back := roundTrip(t, m)
+	// Encode/decode through the default (binary) codec to verify fidelity.
+	back := roundTrip(t, m, CodecBinary)
 	if back.Kind != m.Kind || back.Client != m.Client || len(back.Notes) != 1 ||
 		len(back.Subs) != 1 || back.Watermarks["pub"] != 9 {
 		t.Errorf("round trip mangled message: %+v", back)
@@ -175,19 +175,100 @@ func TestLiveGobRoundTripAllPayloads(t *testing.T) {
 	}
 }
 
-func roundTrip(t *testing.T, m proto.Message) proto.Message {
+// pipePair runs the full identification handshake over an in-memory pipe:
+// the active side speaks `wire`, the passive side auto-detects.
+func pipePair(t *testing.T, wire Codec) (sender, receiver *Conn) {
 	t.Helper()
 	p1, p2 := net.Pipe()
-	defer func() { _ = p1.Close(); _ = p2.Close() }()
-	sender := &Conn{peer: "b", c: p1, enc: gob.NewEncoder(p1)}
-	errCh := make(chan error, 1)
-	go func() { errCh <- sender.Send(m) }()
-	var env envelope
-	if err := gob.NewDecoder(p2).Decode(&env); err != nil {
+	type res struct {
+		c   *Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := handshakeLink("a", p1, wire)
+		ch <- res{c, err}
+	}()
+	receiver, err := acceptLink("b", p2)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := <-errCh; err != nil {
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	sender = r.c
+	t.Cleanup(func() { _ = sender.Close(); _ = receiver.Close() })
+	if sender.Peer() != "b" || receiver.Peer() != "a" {
+		t.Fatalf("handshake identities wrong: %s / %s", sender.Peer(), receiver.Peer())
+	}
+	if sender.Wire() != wire || receiver.Wire() != wire {
+		t.Fatalf("negotiated codec = %s/%s, want %s", sender.Wire(), receiver.Wire(), wire)
+	}
+	wantVer := codec.Version
+	if wire == CodecGob {
+		wantVer = 0
+	}
+	if sender.ProtocolVersion() != wantVer || receiver.ProtocolVersion() != wantVer {
+		t.Fatalf("negotiated version = %d/%d, want %d",
+			sender.ProtocolVersion(), receiver.ProtocolVersion(), wantVer)
+	}
+	return sender, receiver
+}
+
+func roundTrip(t *testing.T, m proto.Message, wire Codec) proto.Message {
+	t.Helper()
+	sender, receiver := pipePair(t, wire)
+	if err := sender.Send(m); err != nil {
 		t.Fatal(err)
 	}
-	return env.M
+	var out proto.Message
+	if err := receiver.dec.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRoundTripGobFallback keeps the legacy encoding honest: the same
+// fidelity check as the binary round trip, negotiated down to gob.
+func TestRoundTripGobFallback(t *testing.T) {
+	f := filter.New(filter.Eq("k", message.Int(1)))
+	n := message.NewNotification(map[string]message.Value{"k": message.Int(1)})
+	n.ID = message.NotificationID{Publisher: "pub", Seq: 3}
+	m := proto.Message{
+		Kind: proto.KRelocProfile, Client: "probe",
+		Notes:      []message.Notification{n},
+		Subs:       []proto.Subscription{{ID: "probe/s1", Filter: f}},
+		Watermarks: map[message.NodeID]uint64{"pub": 9},
+	}
+	back := roundTrip(t, m, CodecGob)
+	if back.Kind != m.Kind || len(back.Notes) != 1 || back.Watermarks["pub"] != 9 {
+		t.Errorf("gob round trip mangled message: %+v", back)
+	}
+}
+
+// TestCoalescedWrites verifies the flush coalescing path end to end: a
+// burst of sends issued while the flusher cannot run must arrive intact
+// and in order on the peer.
+func TestCoalescedWrites(t *testing.T) {
+	sender, receiver := pipePair(t, CodecBinary)
+	const burst = 64
+	go func() {
+		for i := 0; i < burst; i++ {
+			n := message.NewNotification(map[string]message.Value{"i": message.Int(int64(i))})
+			n.ID = message.NotificationID{Publisher: "a", Seq: uint64(i + 1)}
+			if err := sender.Send(proto.Message{Kind: proto.KPublish, Note: &n}); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < burst; i++ {
+		var m proto.Message
+		if err := receiver.dec.Decode(&m); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if m.Note == nil || m.Note.ID.Seq != uint64(i+1) {
+			t.Fatalf("message %d out of order: %+v", i, m)
+		}
+	}
 }

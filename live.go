@@ -89,12 +89,13 @@ func NewLive(opts ...Option) (*Live, error) {
 			peers[p] = l.addrs[p] // dial already-started neighbors; "" = they dial us
 		}
 		node := wire.NewNode(wire.NodeConfig{
-			ID:         id,
-			Listen:     "127.0.0.1:0",
-			Peers:      peers,
-			Strategy:   cfg.strategy,
-			NextHop:    hops[id],
-			Middleware: cfg.middleware,
+			ID:             id,
+			Listen:         "127.0.0.1:0",
+			Peers:          peers,
+			Strategy:       cfg.strategy,
+			LinearMatching: cfg.linear,
+			NextHop:        hops[id],
+			Middleware:     cfg.middleware,
 			// Live brokers always run the overlay manager (WithHeartbeat
 			// only tunes it): links queue-then-flush across flaps and
 			// restarted neighbors are redialed with backoff.

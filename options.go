@@ -42,7 +42,7 @@ type config struct {
 	jitterSeed     int64
 	strategy       routing.Strategy
 	advertisements bool
-	indexed        bool
+	linear         bool
 	middleware     []broker.Middleware
 	settleQuiet    time.Duration
 	settleMax      time.Duration
@@ -221,10 +221,23 @@ func WithAdvertisements() Option {
 	return func(c *config) { c.advertisements = true }
 }
 
-// WithIndexedMatching backs routing tables with the counting matching index
-// — same semantics, faster on large tables.
+// WithIndexedMatching backs routing tables with the counting matching
+// index.
+//
+// Deprecated: indexed matching is the default since PR 5; this option is a
+// true no-op kept for compatibility (in particular it does not override a
+// WithLinearMatching elsewhere in the option list). Use WithLinearMatching
+// to revert to linear scans (the E3 ablation baseline).
 func WithIndexedMatching() Option {
-	return func(c *config) { c.indexed = true }
+	return func(*config) {}
+}
+
+// WithLinearMatching reverts every broker's routing table to linear scans
+// instead of the counting matching index — same semantics, O(table) per
+// publish. Only useful as the ablation baseline for the E3 matching
+// experiments.
+func WithLinearMatching() Option {
+	return func(c *config) { c.linear = true }
 }
 
 // WithMiddleware appends stages to every broker's extension chain, in the

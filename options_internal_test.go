@@ -27,7 +27,7 @@ func TestOptionDefaults(t *testing.T) {
 	if c.strategy != routing.StrategySimple {
 		t.Errorf("strategy = %v, want simple", c.strategy)
 	}
-	if c.reactive || c.shared || c.advertisements || c.indexed {
+	if c.reactive || c.shared || c.advertisements || c.linear {
 		t.Error("boolean options should default to false")
 	}
 	if c.bufferFactory() != nil {
@@ -76,7 +76,9 @@ func TestOptionApplication(t *testing.T) {
 		{"WithAdvertisements", WithAdvertisements(),
 			func(c *config) bool { return c.advertisements }},
 		{"WithIndexedMatching", WithIndexedMatching(),
-			func(c *config) bool { return c.indexed }},
+			func(c *config) bool { return !c.linear }},
+		{"WithLinearMatching", WithLinearMatching(),
+			func(c *config) bool { return c.linear }},
 		{"WithMiddleware", WithMiddleware(metrics, tracer),
 			func(c *config) bool {
 				return len(c.middleware) == 2 && c.middleware[0] == Middleware(metrics)
