@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -43,6 +44,7 @@ import (
 	"rebeca/internal/overlay"
 	"rebeca/internal/routing"
 	"rebeca/internal/store"
+	"rebeca/internal/telemetry"
 	"rebeca/internal/wire"
 )
 
@@ -57,7 +59,8 @@ func main() {
 		linearM   = flag.Bool("linear-match", false, "revert routing tables to linear scans (matching-index ablation)")
 		replicate = flag.Bool("replicate", true, "attach the replicator layer (movement graph = overlay)")
 		mobilityM = flag.String("mobility", "transparent", "physical mobility: transparent, jedi, naive, none")
-		stats     = flag.Duration("stats", 0, "print middleware metrics at this interval (0 = off)")
+		stats     = flag.Duration("stats", 0, "print telemetry-registry metrics at this interval (0 = off)")
+		opsAddr   = flag.String("ops", "", "HTTP operations endpoint address, e.g. :9090 (/metrics, /healthz, /readyz, /trace, /config, /debug/pprof)")
 		trace     = flag.Bool("trace", false, "log every publish, delivery and subscription")
 		rate      = flag.Float64("publish-rate", 0, "token-bucket limit on client publish ingress per second (0 = unlimited)")
 		burst     = flag.Int("publish-burst", 10, "token-bucket burst for -publish-rate")
@@ -117,27 +120,55 @@ func main() {
 		fatal(fmt.Errorf("unknown -wire %q (want binary or gob)", *wireMode))
 	}
 
-	// Middleware (the same exported chain the simulator installs): metrics,
-	// tracing and rate limiting are appended at Start, after the
-	// session-layer plugins attached below.
+	// Middleware (the same exported chain the simulator installs):
+	// telemetry, tracing and rate limiting are appended at Start, after
+	// the session-layer plugins attached below. Both -stats and -ops are
+	// fed by one telemetry registry; -ops additionally turns on hop-trace
+	// stamping so /trace can reconstruct multi-hop paths.
 	var (
-		mws     []rebeca.Middleware
-		metrics *rebeca.Metrics
+		mws   []rebeca.Middleware
+		reg   *telemetry.Registry
+		spans *telemetry.SpanStore
+		tmw   *telemetry.Middleware
 	)
-	if *stats > 0 {
-		metrics = rebeca.NewMetrics()
-		mws = append(mws, metrics)
+	if *stats > 0 || *opsAddr != "" {
+		reg = telemetry.NewRegistry()
+		spans = telemetry.NewSpanStore(0)
+		tmw = telemetry.NewMiddleware(reg, spans)
+		tmw.EnableHopTrace(*opsAddr != "")
+		telemetry.RegisterSpanMetrics(reg, spans)
+		mws = append(mws, tmw)
 	}
+	var tracer *rebeca.Tracer
 	if *trace {
-		mws = append(mws, rebeca.NewTracer(func(e rebeca.TraceEvent) {
+		tracer = rebeca.NewTracer(func(e rebeca.TraceEvent) {
 			fmt.Printf("%s %-9s broker=%s node=%s note=%v sub=%s\n",
 				e.At.Format("15:04:05.000"), e.Hook, e.Broker, e.Node, e.Note, e.Sub)
-		}))
+		})
+		mws = append(mws, tracer)
 	}
 	var limiter *rebeca.RateLimiter
 	if *rate > 0 {
 		limiter = rebeca.NewRateLimiter(*rate, *burst)
 		mws = append(mws, limiter)
+	}
+	if reg != nil {
+		if limiter != nil {
+			reg.CounterFunc(telemetry.MetricRateLimited,
+				"Client publishes rejected by the rate-limiter middleware.",
+				func(emit func(telemetry.Labels, float64)) {
+					for b, n := range limiter.DroppedPerBroker() {
+						emit(telemetry.Labels{"broker": string(b)}, float64(n))
+					}
+				})
+		}
+		if tracer != nil {
+			reg.CounterFunc(telemetry.MetricTracerDropped,
+				"Trace events evicted by the Tracer's newest-retaining ring bound.",
+				func(emit func(telemetry.Labels, float64)) {
+					emit(nil, float64(tracer.Dropped()))
+				})
+		}
 	}
 
 	if *hbEvery <= 0 {
@@ -167,18 +198,36 @@ func main() {
 			HeartbeatTimeout:  *hbTimeout,
 		},
 		LinkObserver: observer,
+		Telemetry:    reg,
 	})
 
 	// Durable subscriptions: a WAL on -store survives restarts — reopening
 	// the same directory recovers ghost sessions and their pending
 	// notifications below.
 	var st store.Store
+	var wal *store.WAL
 	if *storeDir != "" {
-		wal, err := store.OpenWAL(*storeDir)
+		wal, err = store.OpenWAL(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
 		st = wal
+	}
+	if reg != nil && wal != nil {
+		reg.GaugeFunc(telemetry.MetricWALSegments,
+			"Write-ahead-log segment files on disk.",
+			func(emit func(telemetry.Labels, float64)) {
+				if s, err := wal.Stats(); err == nil {
+					emit(nil, float64(s.Segments))
+				}
+			})
+		reg.GaugeFunc(telemetry.MetricWALBytes,
+			"Total write-ahead-log bytes on disk (compaction shrinks it).",
+			func(emit func(telemetry.Labels, float64)) {
+				if s, err := wal.Stats(); err == nil {
+					emit(nil, float64(s.Bytes))
+				}
+			})
 	}
 
 	// Plugin order matters: replicator first, then the mobility manager.
@@ -231,24 +280,87 @@ func main() {
 	fmt.Printf("rebeca-broker %s listening on %s (%d neighbors, strategy %s, %d middleware)\n",
 		self, node.Addr(), len(peers), strat, len(mws))
 
-	if metrics != nil {
-		go func() {
-			for range time.Tick(*stats) {
-				m := metrics.Totals()
-				line := fmt.Sprintf("stats: publishes=%d deliveries=%d subscribes=%d avg-latency=%s",
-					m.Publishes, m.Deliveries, m.Subscribes, m.AvgDeliveryLatency())
-				if limiter != nil {
-					line += fmt.Sprintf(" rate-limited=%d", limiter.Dropped())
+	// The ops endpoint: Prometheus /metrics over the registry, readiness
+	// gated on this node's overlay links, hop-trace reconstruction, and
+	// the runtime knobs.
+	var ops *telemetry.Ops
+	if *opsAddr != "" {
+		ops = telemetry.NewOps(reg, spans)
+		ops.AddReadyCheck("links:"+string(self), node.Ready)
+		ops.AddKnob("heartbeat", telemetry.Knob{
+			Help: "overlay heartbeat as interval[,timeout]; timeout 0 defaults to 3x interval",
+			Get: func() string {
+				interval, timeout := node.Heartbeat()
+				return fmt.Sprintf("%s,%s", interval, timeout)
+			},
+			Set: func(v string) error {
+				interval, timeout, err := parseHeartbeatKnob(v)
+				if err != nil {
+					return err
 				}
-				line += fmt.Sprintf(" link-establishments=%d link-failures=%d",
-					m.LinkEstablishments, m.LinkFailures)
-				for _, li := range node.LinkInfo() {
-					line += fmt.Sprintf(" link[%s]=%s", li.Peer, li.State)
-					if li.Pending > 0 {
-						line += fmt.Sprintf("(+%d queued)", li.Pending)
+				node.SetHeartbeat(interval, timeout)
+				return nil
+			},
+		})
+		ops.AddKnob("trace", telemetry.Knob{
+			Help: "hop-trace stamping and span recording: on/off",
+			Get:  func() string { return onOff(tmw.HopTraceEnabled()) },
+			Set: func(v string) error {
+				on, err := parseOnOff(v)
+				if err != nil {
+					return err
+				}
+				tmw.EnableHopTrace(on)
+				return nil
+			},
+		})
+		if tracer != nil {
+			ops.AddKnob("tracer", telemetry.Knob{
+				Help: "event-log Tracer recording: on/off",
+				Get:  func() string { return onOff(tracer.Enabled()) },
+				Set: func(v string) error {
+					on, err := parseOnOff(v)
+					if err != nil {
+						return err
 					}
+					tracer.SetEnabled(on)
+					return nil
+				},
+			})
+		}
+		if limiter != nil {
+			ops.AddKnob("rate_limit", telemetry.Knob{
+				Help: "client publish admission as perSecond[,burst]; perSecond <= 0 disables",
+				Get: func() string {
+					r, b := limiter.Limit()
+					return fmt.Sprintf("%g,%d", r, b)
+				},
+				Set: func(v string) error {
+					return setRateLimit(limiter, v)
+				},
+			})
+		}
+		if err := ops.Start(*opsAddr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ops endpoint on http://%s (/metrics /healthz /readyz /trace /config /debug/pprof)\n", ops.Addr())
+	}
+
+	// -stats: a periodic one-line digest of the same registry /metrics
+	// serves, with per-link detail. NewTicker (not time.Tick) so shutdown
+	// releases the ticker instead of leaking it for the process lifetime.
+	statsDone := make(chan struct{})
+	if *stats > 0 {
+		ticker := time.NewTicker(*stats)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Println(statsLine(reg, node))
+				case <-statsDone:
+					return
 				}
-				fmt.Println(line)
 			}
 		}()
 	}
@@ -260,6 +372,10 @@ func main() {
 	// to completion, make the store durable, then drop the links. A
 	// second signal skips the drain.
 	fmt.Println("shutting down: draining in-flight deliveries")
+	close(statsDone)
+	if ops != nil {
+		_ = ops.Close()
+	}
 	drained := make(chan bool, 1)
 	go func() { drained <- node.Drain(*drain) }()
 	select {
@@ -282,6 +398,87 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rebeca-broker: store close:", err)
 		}
 	}
+}
+
+// statsLine renders the -stats digest from the telemetry registry.
+func statsLine(reg *telemetry.Registry, node *wire.Node) string {
+	sum, count := reg.HistogramStats(telemetry.MetricE2ESeconds)
+	avg := time.Duration(0)
+	if count > 0 {
+		avg = time.Duration(sum / float64(count) * float64(time.Second))
+	}
+	line := fmt.Sprintf("stats: publishes=%d deliveries=%d subscribes=%d avg-latency=%s rate-limited=%d link-establishments=%d link-failures=%d",
+		int(reg.Total(telemetry.MetricPublishes)),
+		int(reg.Total(telemetry.MetricDeliveries)),
+		int(reg.Total(telemetry.MetricSubscribes)),
+		avg,
+		int(reg.Total(telemetry.MetricRateLimited)),
+		int(reg.Total(telemetry.MetricLinkUps)),
+		int(reg.Total(telemetry.MetricLinkDowns)))
+	for _, li := range node.LinkInfo() {
+		line += fmt.Sprintf(" link[%s]=%s", li.Peer, li.State)
+		if li.Pending > 0 {
+			line += fmt.Sprintf("(+%d queued)", li.Pending)
+		}
+	}
+	return line
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
+}
+
+func parseOnOff(v string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad toggle %q (want on/off)", v)
+}
+
+// parseHeartbeatKnob parses the heartbeat knob's "interval[,timeout]".
+func parseHeartbeatKnob(v string) (interval, timeout time.Duration, err error) {
+	parts := strings.SplitN(v, ",", 2)
+	interval, err = time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad interval %q: %v", parts[0], err)
+	}
+	if interval <= 0 {
+		return 0, 0, fmt.Errorf("bad interval %s: want > 0", interval)
+	}
+	if len(parts) == 2 {
+		timeout, err = time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad timeout %q: %v", parts[1], err)
+		}
+		if timeout != 0 && timeout < interval {
+			return 0, 0, fmt.Errorf("bad timeout %s: want >= interval (or 0 for the default)", timeout)
+		}
+	}
+	return interval, timeout, nil
+}
+
+// setRateLimit parses the rate_limit knob's "perSecond[,burst]".
+func setRateLimit(limiter *rebeca.RateLimiter, v string) error {
+	parts := strings.SplitN(v, ",", 2)
+	r, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return fmt.Errorf("bad rate %q: %v", parts[0], err)
+	}
+	_, burst := limiter.Limit()
+	if len(parts) == 2 {
+		burst, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return fmt.Errorf("bad burst %q: %v", parts[1], err)
+		}
+	}
+	limiter.SetLimit(r, burst)
+	return nil
 }
 
 func parseEdges(s string) (broker.Topology, error) {

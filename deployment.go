@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"rebeca/internal/client"
 	"rebeca/internal/sim"
+	"rebeca/internal/telemetry"
 )
 
 // MaxBatchFrame is the largest number of notifications PublishBatch packs
@@ -101,6 +103,7 @@ type Port interface {
 type System struct {
 	cluster *sim.Cluster
 	logCap  int
+	ops     *opsStack
 
 	mu    sync.Mutex
 	ports []*simPort
@@ -119,6 +122,12 @@ func New(opts ...Option) (*System, error) {
 	repl := sim.ReplicationPreSubscribe
 	if cfg.reactive {
 		repl = sim.ReplicationReactive
+	}
+	var ops *opsStack
+	if cfg.opsAddr != "" {
+		// Before cluster construction: the telemetry stage joins the chain
+		// every broker installs.
+		ops = newOpsStack(cfg)
 	}
 	scfg := sim.ClusterConfig{
 		Movement:       cfg.movement,
@@ -146,7 +155,82 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{cluster: cl, logCap: cfg.logCap()}, nil
+	s := &System{cluster: cl, logCap: cfg.logCap(), ops: ops}
+	if ops != nil {
+		if err := s.startOps(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// startOps wires the System-specific probes, knobs and collectors into
+// the ops stack and starts its HTTP listener. The virtual-clock flavor
+// hosts the same endpoint the live deployment does — useful for watching
+// a long-running experiment — with readiness derived from the simulated
+// overlay managers (a System built without WithHeartbeat deploys no
+// overlay and is trivially ready).
+func (s *System) startOps(cfg *config) error {
+	st := s.ops
+	st.ops.AddReadyCheck("overlay", func() (bool, string) {
+		if s.cluster.Overlays == nil {
+			return true, "overlay not deployed"
+		}
+		var waiting []string
+		for _, id := range s.Brokers() {
+			if mgr := s.cluster.Overlays[id]; mgr != nil {
+				waiting = append(waiting, waitingLinks(id, mgr)...)
+			}
+		}
+		if len(waiting) > 0 {
+			return false, "links not established: " + strings.Join(waiting, ", ")
+		}
+		return true, "all links established"
+	})
+	if s.cluster.Overlays != nil {
+		st.ops.AddKnob("heartbeat", telemetry.Knob{
+			Help: "overlay heartbeat as interval[,timeout] (virtual clock), applied to every broker; timeout 0 defaults to 3x interval",
+			Get: func() string {
+				for _, id := range s.Brokers() {
+					if mgr := s.cluster.Overlays[id]; mgr != nil {
+						return renderHeartbeat(mgr.Heartbeat())
+					}
+				}
+				return ""
+			},
+			Set: func(v string) error {
+				interval, timeout, err := parseHeartbeat(v)
+				if err != nil {
+					return err
+				}
+				for _, mgr := range s.cluster.Overlays {
+					mgr.SetHeartbeat(interval, timeout)
+				}
+				return nil
+			},
+		})
+	}
+	st.registerStreams(func(emit func(NodeID, streamStat)) {
+		s.mu.Lock()
+		ports := append([]*simPort(nil), s.ports...)
+		s.mu.Unlock()
+		for _, p := range ports {
+			for _, stat := range p.streams.stats() {
+				emit(p.ID(), stat)
+			}
+		}
+	})
+	st.registerCommon(cfg)
+	return st.ops.Start(cfg.opsAddr)
+}
+
+// OpsAddr returns the bound address of the telemetry subsystem's HTTP
+// endpoint ("" without WithOps).
+func (s *System) OpsAddr() string {
+	if s.ops == nil {
+		return ""
+	}
+	return s.ops.ops.Addr()
 }
 
 // NewClient creates a client endpoint.
@@ -175,6 +259,9 @@ func (s *System) Close() error {
 	s.mu.Unlock()
 	for _, p := range ports {
 		p.streams.closeAll()
+	}
+	if s.ops != nil {
+		_ = s.ops.ops.Close()
 	}
 	return nil
 }

@@ -21,8 +21,14 @@
 //	           advs:list<subscription>
 //	           watermarks:list<string uvarint>
 //	           flushID:uvarint epoch:uvarint hops:varint
+//	           [path:list<string uint64le>] (flags&16, version 2)
 //
-// flags: 1 = Note present, 2 = Sub present, 4 = Stale, 8 = Fresh.
+// flags: 1 = Note present, 2 = Sub present, 4 = Stale, 8 = Fresh,
+// 16 = the note carries a telemetry hop trail (version 2). Version 1
+// decoders reject unknown flag bits, so a version-2 encoder only sets the
+// traced bit on links whose handshake negotiated version ≥ 2 — the trail
+// is stripped for older peers, and the gob fallback carries the
+// Notification.Path field natively.
 // Strings are uvarint-length prefixed; lists are uvarint-count prefixed;
 // varint is the zig-zag signed encoding. A notification is
 // publisher+seq+timestamp+attribute list; a value is a one-byte kind tag
@@ -53,8 +59,9 @@ import (
 )
 
 // Version is the binary protocol version negotiated by the link handshake.
-// Peers agree on min(theirs, ours); version 0 means "gob".
-const Version byte = 1
+// Peers agree on min(theirs, ours); version 0 means "gob". Version 2 added
+// the traced flags bit carrying a notification's hop trail.
+const Version byte = 2
 
 // Magic opens a binary hello frame; it lets an accepting side distinguish
 // a binary peer from a legacy gob peer on the first bytes of the stream.
@@ -84,6 +91,10 @@ const (
 	flagSub
 	flagStale
 	flagFresh
+	// flagTraced marks a Note carrying a telemetry hop trail (version 2).
+	// Version 1 peers reject unknown bits, so encoders only set it on
+	// links negotiated at version ≥ 2.
+	flagTraced
 )
 
 // framePool recycles encode scratch across connections: a broker encodes
@@ -100,15 +111,46 @@ var framePool = sync.Pool{
 // concurrent use; callers serialize (the wire transport holds a per-conn
 // send lock).
 type Encoder struct {
-	w io.Writer
+	w       io.Writer
+	ver     byte
+	onFrame func(bytes int)
 }
 
-// NewEncoder returns an encoder writing frames to w. Pair it with a
-// buffered writer: the encoder issues exactly one Write per message.
-func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+// NewEncoder returns an encoder writing frames to w at the current
+// protocol version. Pair it with a buffered writer: the encoder issues
+// exactly one Write per message.
+func NewEncoder(w io.Writer) *Encoder { return NewEncoderVersion(w, Version) }
+
+// NewEncoderVersion returns an encoder emitting frames a peer negotiated
+// at ver can decode: fields and flag bits introduced in later versions are
+// stripped (a version-1 link never sees the traced bit). ver is clamped to
+// [1, Version].
+func NewEncoderVersion(w io.Writer, ver byte) *Encoder {
+	if ver < 1 {
+		ver = 1
+	}
+	if ver > Version {
+		ver = Version
+	}
+	return &Encoder{w: w, ver: ver}
+}
+
+// OnFrame registers an observer of encoded frame sizes (payload + length
+// prefix, in bytes), called after every successful Encode — the telemetry
+// feed for frame-size histograms. Set before the encoder is shared; not
+// synchronized with Encode.
+func (e *Encoder) OnFrame(fn func(bytes int)) { e.onFrame = fn }
 
 // Encode writes one message as a single frame.
 func (e *Encoder) Encode(m proto.Message) error {
+	if e.ver < 2 && m.Note != nil && len(m.Note.Path) > 0 {
+		// The peer's decoder predates the traced bit: forward the
+		// notification without its hop trail rather than poisoning the
+		// link with a flag the peer rejects.
+		n := *m.Note
+		n.Path = nil
+		m.Note = &n
+	}
 	bp := framePool.Get().(*[]byte)
 	buf := append((*bp)[:0], 0, 0, 0, 0)
 	buf = AppendMessage(buf, &m)
@@ -120,8 +162,12 @@ func (e *Encoder) Encode(m proto.Message) error {
 	}
 	binary.LittleEndian.PutUint32(buf, uint32(n))
 	_, err := e.w.Write(buf)
+	total := len(buf)
 	*bp = buf
 	framePool.Put(bp)
+	if err == nil && e.onFrame != nil {
+		e.onFrame(total)
+	}
 	return err
 }
 
@@ -203,6 +249,9 @@ func AppendMessage(b []byte, m *proto.Message) []byte {
 	var flags byte
 	if m.Note != nil {
 		flags |= flagNote
+		if len(m.Note.Path) > 0 {
+			flags |= flagTraced
+		}
 	}
 	if m.Sub != nil {
 		flags |= flagSub
@@ -249,6 +298,13 @@ func AppendMessage(b []byte, m *proto.Message) []byte {
 	b = binary.AppendUvarint(b, m.FlushID)
 	b = binary.AppendUvarint(b, m.Epoch)
 	b = binary.AppendVarint(b, int64(m.Hops))
+	if flags&flagTraced != 0 {
+		b = binary.AppendUvarint(b, uint64(len(m.Note.Path)))
+		for _, h := range m.Note.Path {
+			b = appendString(b, string(h.Broker))
+			b = binary.LittleEndian.AppendUint64(b, uint64(h.At.UnixNano()))
+		}
+	}
 	return b
 }
 
@@ -511,8 +567,11 @@ func DecodeMessage(data []byte) (proto.Message, error) {
 	}
 	m.Kind = proto.Kind(kind)
 	flags := r.byte()
-	if r.err == nil && flags&^(flagNote|flagSub|flagStale|flagFresh) != 0 {
+	if r.err == nil && flags&^(flagNote|flagSub|flagStale|flagFresh|flagTraced) != 0 {
 		return proto.Message{}, fmt.Errorf("codec: unknown flag bits %#x", flags)
+	}
+	if r.err == nil && flags&flagTraced != 0 && flags&flagNote == 0 {
+		return proto.Message{}, errors.New("codec: traced flag without a note")
 	}
 	m.From = message.NodeID(r.str())
 	m.Origin = message.NodeID(r.str())
@@ -561,6 +620,20 @@ func DecodeMessage(data []byte) (proto.Message, error) {
 	m.FlushID = r.uvarint()
 	m.Epoch = r.uvarint()
 	m.Hops = int(r.varint())
+	if flags&flagTraced != 0 {
+		// Each hop is at least a length byte plus its 8-byte timestamp.
+		cnt := r.count(9)
+		if cnt > 0 {
+			path := make([]message.HopStamp, 0, cnt)
+			for i := 0; i < cnt && r.err == nil; i++ {
+				broker := message.NodeID(r.str())
+				path = append(path, message.HopStamp{Broker: broker, At: time.Unix(0, int64(r.uint64()))})
+			}
+			if r.err == nil {
+				m.Note.Path = path
+			}
+		}
+	}
 	m.Stale = flags&flagStale != 0
 	m.Fresh = flags&flagFresh != 0
 	if r.err != nil {

@@ -1,0 +1,113 @@
+package codec_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"rebeca/internal/codec"
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+)
+
+// tracedNote is a notification carrying a multi-hop telemetry trail.
+func tracedNote() message.Notification {
+	n := sampleNote(7)
+	n.Path = []message.HopStamp{
+		{Broker: "A", At: time.Unix(0, 1055764800000000001)},
+		{Broker: "B", At: time.Unix(0, 1055764800000000002)},
+		{Broker: "C", At: time.Unix(0, 1055764800000000003)},
+	}
+	return n
+}
+
+func TestCodecRoundTripHopPath(t *testing.T) {
+	note := tracedNote()
+	m := proto.Message{Kind: proto.KPublish, From: "B1", Client: "alice", Note: &note}
+
+	var buf bytes.Buffer
+	if err := codec.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got proto.Message
+	if err := codec.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Note == nil {
+		t.Fatal("note lost")
+	}
+	if !reflect.DeepEqual(got.Note.Path, note.Path) {
+		t.Fatalf("path mismatch:\n got %+v\nwant %+v", got.Note.Path, note.Path)
+	}
+}
+
+func TestCodecV1EncoderStripsHopPath(t *testing.T) {
+	note := tracedNote()
+	m := proto.Message{Kind: proto.KPublish, From: "B1", Client: "alice", Note: &note}
+
+	var buf bytes.Buffer
+	if err := codec.NewEncoderVersion(&buf, 1).Encode(m); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got proto.Message
+	if err := codec.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Note == nil {
+		t.Fatal("note lost")
+	}
+	if got.Note.Path != nil {
+		t.Fatalf("version-1 frame carried a hop path: %+v", got.Note.Path)
+	}
+	// The caller's notification must not be mutated by the strip.
+	if len(note.Path) != 3 {
+		t.Fatalf("encoder mutated the caller's note: %+v", note.Path)
+	}
+}
+
+func TestCodecRejectsTracedFlagWithoutNote(t *testing.T) {
+	m := proto.Message{Kind: proto.KCredit, From: "B1", Client: "alice", Credits: 8}
+	payload := codec.AppendMessage(nil, &m)
+	// Payload layout: kind:uvarint (1 byte for small kinds), then flags.
+	payload[1] |= 16 // the traced bit, with no note present
+	if _, err := codec.DecodeMessage(payload); err == nil {
+		t.Fatal("decode accepted traced flag without a note")
+	}
+}
+
+func TestCodecV1DecoderWouldRejectTracedBit(t *testing.T) {
+	// The interop contract: version-1 decoders treat the traced bit as an
+	// unknown flag. Encoding a traced note at version 2 and flipping the
+	// version-2-only path off again is not possible from outside, so this
+	// asserts the guard DecodeMessage applies to genuinely unknown bits.
+	m := proto.Message{Kind: proto.KCredit, From: "B1", Credits: 1}
+	payload := codec.AppendMessage(nil, &m)
+	payload[1] |= 32 // a bit no version defines
+	if _, err := codec.DecodeMessage(payload); err == nil {
+		t.Fatal("decode accepted an unknown flag bit")
+	}
+}
+
+func TestEncoderOnFrameObserver(t *testing.T) {
+	var frames []int
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(&buf)
+	enc.OnFrame(func(n int) { frames = append(frames, n) })
+
+	for i := 0; i < 3; i++ {
+		if err := enc.Encode(proto.Message{Kind: proto.KCredit, Credits: i}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	if len(frames) != 3 {
+		t.Fatalf("observer saw %d frames, want 3", len(frames))
+	}
+	total := 0
+	for _, n := range frames {
+		total += n
+	}
+	if total != buf.Len() {
+		t.Fatalf("observed %d bytes, wrote %d", total, buf.Len())
+	}
+}

@@ -35,6 +35,15 @@ func (id NotificationID) String() string {
 // notification that never passed through a client library).
 func (id NotificationID) IsZero() bool { return id.Publisher == "" && id.Seq == 0 }
 
+// HopStamp records one broker hop of a traced notification: which broker
+// routed it and when (that broker's virtual or wall clock).
+type HopStamp struct {
+	// Broker is the broker the notification transited.
+	Broker NodeID
+	// At is the broker-local time of the hop.
+	At time.Time
+}
+
 // Notification is a message that reifies and describes an occurred event
 // (§2). It carries a set of named, typed attributes; content-based filters
 // are predicates over this attribute set.
@@ -46,6 +55,11 @@ type Notification struct {
 	Published time.Time
 	// Attrs holds the notification content.
 	Attrs map[string]Value
+	// Path is the notification's broker hop trail, appended by the
+	// telemetry middleware at every transit broker and propagated across
+	// links by the binary codec's traced flags bit (protocol version 2;
+	// gob carries the field natively). Empty unless hop tracing is on.
+	Path []HopStamp
 }
 
 // NewNotification builds a notification from alternating name/value pairs.
@@ -78,12 +92,16 @@ func (n Notification) Set(name string, v Value) Notification {
 	return cp
 }
 
-// Clone deep-copies the notification, including its attribute map.
+// Clone deep-copies the notification, including its attribute map and hop
+// trail.
 func (n Notification) Clone() Notification {
 	cp := n
 	cp.Attrs = make(map[string]Value, len(n.Attrs))
 	for k, v := range n.Attrs {
 		cp.Attrs[k] = v
+	}
+	if n.Path != nil {
+		cp.Path = append([]HopStamp(nil), n.Path...)
 	}
 	return cp
 }

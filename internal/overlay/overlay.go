@@ -500,6 +500,31 @@ func (m *Manager) Send(peer message.NodeID, msg proto.Message) {
 	}
 }
 
+// SetHeartbeat retunes the link supervision at runtime (the ops /config
+// knob): the next scheduled tick of every established link picks the new
+// interval up, and silence checks use the new timeout immediately. A
+// non-positive timeout resolves to 3× the (new) interval; a non-positive
+// interval keeps the current one.
+func (m *Manager) SetHeartbeat(interval, timeout time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if interval > 0 {
+		m.set.HeartbeatInterval = interval
+	}
+	if timeout > 0 {
+		m.set.HeartbeatTimeout = timeout
+	} else {
+		m.set.HeartbeatTimeout = 3 * m.set.HeartbeatInterval
+	}
+}
+
+// Heartbeat returns the current heartbeat interval and timeout.
+func (m *Manager) Heartbeat() (interval, timeout time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.set.HeartbeatInterval, m.set.HeartbeatTimeout
+}
+
 // State returns the peer's link state (StateClosed for unknown peers).
 func (m *Manager) State(peer message.NodeID) State {
 	m.mu.Lock()

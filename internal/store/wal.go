@@ -509,3 +509,31 @@ func (w *WAL) SegmentCount() (int, error) {
 	}
 	return len(ids), nil
 }
+
+// WALStats summarizes the log's on-disk footprint (the telemetry
+// registry's WAL collectors scrape it).
+type WALStats struct {
+	// Segments is the number of segment files.
+	Segments int
+	// Bytes is their total size.
+	Bytes int64
+}
+
+// Stats reports the log's segment count and total on-disk bytes.
+func (w *WAL) Stats() (WALStats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids, err := w.segments()
+	if err != nil {
+		return WALStats{}, err
+	}
+	s := WALStats{Segments: len(ids)}
+	for _, id := range ids {
+		st, err := os.Stat(filepath.Join(w.dir, segName(id)))
+		if err != nil {
+			continue // racing a compaction's deletion; skip
+		}
+		s.Bytes += st.Size()
+	}
+	return s, nil
+}

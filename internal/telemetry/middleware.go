@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rebeca/internal/broker"
+	"rebeca/internal/message"
+	"rebeca/internal/overlay"
+	"rebeca/internal/proto"
+)
+
+// Metric names the middleware stage feeds. Exported as constants so the
+// ops tooling (rebeca-broker's -stats line, tests, the CI golden-name
+// check) can reference them without string drift.
+const (
+	MetricPublishes      = "rebeca_publishes_total"
+	MetricDeliveries     = "rebeca_deliveries_total"
+	MetricSubscribes     = "rebeca_subscribes_total"
+	MetricLinkUps        = "rebeca_link_establishments_total"
+	MetricLinkDowns      = "rebeca_link_failures_total"
+	MetricMatchSeconds   = "rebeca_match_seconds"
+	MetricE2ESeconds     = "rebeca_e2e_latency_seconds"
+	MetricSpansRetained  = "rebeca_trace_spans_retained"
+	MetricSpansEvicted   = "rebeca_trace_spans_evicted_total"
+	MetricLinkState      = "rebeca_link_state"
+	MetricLinkPending    = "rebeca_link_pending"
+	MetricLinkDropped    = "rebeca_link_dropped_total"
+	MetricFrameBytes     = "rebeca_codec_frame_bytes"
+	MetricWALSegments    = "rebeca_wal_segments"
+	MetricWALBytes       = "rebeca_wal_bytes"
+	MetricStreamBuffered = "rebeca_stream_buffered"
+	MetricStreamDropped  = "rebeca_stream_dropped_total"
+	MetricRateLimited    = "rebeca_rate_limited_total"
+	MetricTracerDropped  = "rebeca_tracer_dropped_total"
+)
+
+// instruments is one broker's resolved hot-path handles.
+type instruments struct {
+	publishes    *Counter
+	deliveries   *Counter
+	subscribes   *Counter
+	linkUps      *Counter
+	linkDowns    *Counter
+	matchSeconds *Histogram
+	e2eSeconds   *Histogram
+}
+
+// Middleware is the broker-chain stage feeding the registry (and, when
+// hop tracing is on, the span store): publish/deliver/subscribe counters,
+// match- and end-to-end-latency histograms, link transition counters, and
+// the per-broker hop stamp every transit broker appends to a traced
+// notification's Path. One instance is shared by every broker of a
+// deployment; handles resolve once per broker, after which the hooks cost
+// a few atomic adds. Safe for concurrent use.
+type Middleware struct {
+	broker.PassMiddleware
+	reg   *Registry
+	spans *SpanStore
+	trace atomic.Bool
+
+	mu  sync.Mutex
+	ins sync.Map // message.NodeID -> *instruments
+}
+
+// NewMiddleware returns a telemetry stage recording into reg. spans may be
+// nil; with a span store attached, EnableHopTrace(true) turns on hop
+// stamping and span recording.
+func NewMiddleware(reg *Registry, spans *SpanStore) *Middleware {
+	return &Middleware{reg: reg, spans: spans}
+}
+
+// Registry returns the registry this stage records into.
+func (t *Middleware) Registry() *Registry { return t.reg }
+
+// Spans returns the attached span store (nil when none).
+func (t *Middleware) Spans() *SpanStore { return t.spans }
+
+// EnableHopTrace toggles hop stamping at runtime (the /config trace knob).
+// While on, every broker appends its HopStamp to publishes crossing the
+// chain and records the accumulated path into the span store.
+func (t *Middleware) EnableHopTrace(on bool) { t.trace.Store(on && t.spans != nil) }
+
+// HopTraceEnabled reports whether hop stamping is on.
+func (t *Middleware) HopTraceEnabled() bool { return t.trace.Load() }
+
+// at resolves a broker's instruments, registering them on first use.
+func (t *Middleware) at(b message.NodeID) *instruments {
+	if v, ok := t.ins.Load(b); ok {
+		return v.(*instruments)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.ins.Load(b); ok {
+		return v.(*instruments)
+	}
+	labels := Labels{"broker": string(b)}
+	ins := &instruments{
+		publishes:  t.reg.Counter(MetricPublishes, "Notifications routed through the broker (every overlay hop counts).", labels),
+		deliveries: t.reg.Counter(MetricDeliveries, "Local client deliveries.", labels),
+		subscribes: t.reg.Counter(MetricSubscribes, "Subscription installations.", labels),
+		linkUps:    t.reg.Counter(MetricLinkUps, "Overlay links reaching established.", labels),
+		linkDowns:  t.reg.Counter(MetricLinkDowns, "Established overlay links lost.", labels),
+		matchSeconds: t.reg.Histogram(MetricMatchSeconds,
+			"Wall time one publish spends in matching and routing at this broker.", LatencyBuckets, labels),
+		e2eSeconds: t.reg.Histogram(MetricE2ESeconds,
+			"Publish-to-delivery latency observed at delivery (virtual time under the sim).", LatencyBuckets, labels),
+	}
+	t.ins.Store(b, ins)
+	return ins
+}
+
+// OnPublish implements broker.Middleware: count, time the rest of the
+// chain (matching + routing), and — with hop tracing on — stamp this
+// broker onto the notification's path. The stamp mutates the broker-local
+// copy, which the broker forwards to its peers, so the path accumulates
+// across hops; the codec propagates it on version-2 binary links and gob
+// links, and strips it for version-1 peers.
+func (t *Middleware) OnPublish(b *broker.Broker, _ message.NodeID, n *message.Notification, next func()) {
+	ins := t.at(b.ID())
+	ins.publishes.Inc()
+	if t.trace.Load() && n != nil {
+		self := b.ID()
+		if len(n.Path) == 0 || n.Path[len(n.Path)-1].Broker != self {
+			n.Path = append(n.Path, message.HopStamp{Broker: self, At: b.Now()})
+		}
+		t.spans.Record(n.ID, n.Path)
+	}
+	start := time.Now()
+	next()
+	ins.matchSeconds.Observe(time.Since(start).Seconds())
+}
+
+// OnDeliver implements broker.Middleware: count and observe end-to-end
+// latency on the broker's clock.
+func (t *Middleware) OnDeliver(b *broker.Broker, _ message.NodeID, n *message.Notification, _ []message.SubID, next func()) {
+	ins := t.at(b.ID())
+	ins.deliveries.Inc()
+	if n != nil && !n.Published.IsZero() {
+		if lat := b.Now().Sub(n.Published); lat > 0 {
+			ins.e2eSeconds.Observe(lat.Seconds())
+		}
+	}
+	next()
+}
+
+// OnSubscribe implements broker.Middleware.
+func (t *Middleware) OnSubscribe(b *broker.Broker, _ message.NodeID, _ *proto.Subscription, next func()) {
+	t.at(b.ID()).subscribes.Inc()
+	next()
+}
+
+// OnLinkChange implements the broker.LinkObserver extension: link
+// transitions roll into per-broker counters.
+func (t *Middleware) OnLinkChange(b *broker.Broker, ev overlay.Event) {
+	ins := t.at(b.ID())
+	switch {
+	case ev.To == overlay.StateEstablished:
+		ins.linkUps.Inc()
+	case ev.From == overlay.StateEstablished:
+		ins.linkDowns.Inc()
+	}
+}
+
+// RegisterSpanMetrics exposes the span store's occupancy on the registry.
+func RegisterSpanMetrics(reg *Registry, spans *SpanStore) {
+	reg.GaugeFunc(MetricSpansRetained, "Notification hop paths currently retained by the span store.",
+		func(emit func(Labels, float64)) { emit(nil, float64(spans.Len())) })
+	reg.CounterFunc(MetricSpansEvicted, "Notification hop paths evicted by the span store's capacity bound.",
+		func(emit func(Labels, float64)) { emit(nil, float64(spans.Evicted())) })
+}
+
+// compile-time interface checks
+var (
+	_ broker.Middleware   = (*Middleware)(nil)
+	_ broker.LinkObserver = (*Middleware)(nil)
+)

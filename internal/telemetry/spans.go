@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"sync"
+
+	"rebeca/internal/message"
+)
+
+// DefaultSpanCap is the number of distinct notification IDs a SpanStore
+// retains when built with NewSpanStore(0).
+const DefaultSpanCap = 4096
+
+// SpanStore retains the hop paths of recently seen notifications, keyed by
+// notification ID — the data behind the ops server's /trace endpoint. It
+// is a bounded ring over IDs: once full, recording a new ID evicts the
+// oldest retained one, so a long-running broker always traces recent
+// traffic. Safe for concurrent use.
+type SpanStore struct {
+	mu      sync.Mutex
+	cap     int
+	paths   map[message.NotificationID][]message.HopStamp
+	ring    []message.NotificationID
+	head    int
+	evicted uint64
+}
+
+// NewSpanStore returns a store retaining up to capacity notification
+// paths (0 = DefaultSpanCap).
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &SpanStore{
+		cap:   capacity,
+		paths: make(map[message.NotificationID][]message.HopStamp, capacity),
+	}
+}
+
+// Record stores a notification's hop path (copied). A notification seen
+// again — the same ID observed at a later hop — keeps the longer path: a
+// delivering broker has the full trail, an early transit broker a prefix.
+func (s *SpanStore) Record(id message.NotificationID, path []message.HopStamp) {
+	if id.IsZero() || len(path) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.paths[id]; ok {
+		if len(path) > len(old) {
+			s.paths[id] = append(old[:0], path...)
+		}
+		return
+	}
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, id)
+	} else {
+		delete(s.paths, s.ring[s.head])
+		s.evicted++
+		s.ring[s.head] = id
+		s.head = (s.head + 1) % s.cap
+	}
+	s.paths[id] = append([]message.HopStamp(nil), path...)
+}
+
+// Get returns the recorded hop path for id (nil when unknown or evicted).
+func (s *SpanStore) Get(id message.NotificationID) []message.HopStamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path, ok := s.paths[id]
+	if !ok {
+		return nil
+	}
+	return append([]message.HopStamp(nil), path...)
+}
+
+// Len returns the number of retained notification paths.
+func (s *SpanStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.paths)
+}
+
+// Evicted counts paths discarded by the capacity bound.
+func (s *SpanStore) Evicted() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"rebeca/internal/overlay"
 	"rebeca/internal/proto"
 	"rebeca/internal/routing"
+	"rebeca/internal/telemetry"
 )
 
 // Codec selects the wire encoding a node or client uses on links it
@@ -215,6 +217,15 @@ func newConn(peer message.NodeID, c net.Conn, wire Codec, ver byte, bw *bufio.Wr
 	return conn
 }
 
+// observeFrames attaches a frame-size observer to a binary link's encoder
+// (no-op on gob links). Attach before the conn carries traffic — the
+// registration paths do, ahead of LinkUp and the read pump.
+func (c *Conn) observeFrames(fn func(bytes int)) {
+	if e, ok := c.enc.(*codec.Encoder); ok {
+		e.OnFrame(fn)
+	}
+}
+
 // Peer returns the remote node's announced ID.
 func (c *Conn) Peer() message.NodeID { return c.peer }
 
@@ -320,6 +331,11 @@ type NodeConfig struct {
 	// (in addition to the broker chain's LinkObserver stages). Called from
 	// whatever goroutine drove the transition; must not block.
 	LinkObserver overlay.Observer
+	// Telemetry, when non-nil, receives the node's transport metrics:
+	// per-link overlay state, pending-queue depth and drop counts as
+	// pull-model collectors, and encoded frame sizes as a per-broker
+	// histogram every binary link's encoder observes.
+	Telemetry *telemetry.Registry
 }
 
 // Node is a live broker process host.
@@ -339,6 +355,8 @@ type Node struct {
 	linkEvents chan overlay.Event
 	done       chan struct{}
 	wg         sync.WaitGroup
+
+	frameObs func(bytes int) // telemetry frame-size observer (nil = off)
 }
 
 // NewNode creates a node and its broker (not yet serving).
@@ -389,6 +407,34 @@ func NewNode(cfg NodeConfig) *Node {
 		ApplySync: n.b.ApplySyncInstalls,
 		Observer:  n.observeLink,
 	})
+	if reg := cfg.Telemetry; reg != nil {
+		bid := string(cfg.ID)
+		hist := reg.Histogram(telemetry.MetricFrameBytes,
+			"Encoded wire frame sizes in bytes (length prefix included), per sending broker.",
+			telemetry.SizeBuckets, telemetry.Labels{"broker": bid})
+		n.frameObs = func(bytes int) { hist.Observe(float64(bytes)) }
+		reg.GaugeFunc(telemetry.MetricLinkState,
+			"Overlay link state (1 = the link is in the state named by the state label).",
+			func(emit func(telemetry.Labels, float64)) {
+				for _, li := range n.ov.Info() {
+					emit(telemetry.Labels{"broker": bid, "peer": string(li.Peer), "state": li.State.String()}, 1)
+				}
+			})
+		reg.GaugeFunc(telemetry.MetricLinkPending,
+			"Messages queued for a down overlay link.",
+			func(emit func(telemetry.Labels, float64)) {
+				for _, li := range n.ov.Info() {
+					emit(telemetry.Labels{"broker": bid, "peer": string(li.Peer)}, float64(li.Pending))
+				}
+			})
+		reg.CounterFunc(telemetry.MetricLinkDropped,
+			"Messages discarded by an overlay link's bounded pending queue.",
+			func(emit func(telemetry.Labels, float64)) {
+				for _, li := range n.ov.Info() {
+					emit(telemetry.Labels{"broker": bid, "peer": string(li.Peer)}, float64(li.Dropped))
+				}
+			})
+	}
 	return n
 }
 
@@ -487,6 +533,9 @@ func (n *Node) acceptLoop() {
 // (client reconnecting under the same ID) is closed, not just dropped:
 // every Conn owns a flusher goroutine that only Close releases.
 func (n *Node) register(conn *Conn) {
+	if n.frameObs != nil {
+		conn.observeFrames(n.frameObs)
+	}
 	n.mu.Lock()
 	if old := n.conns[conn.peer]; old != nil && old != conn {
 		_ = old.Close()
@@ -502,6 +551,9 @@ func (n *Node) register(conn *Conn) {
 // overlay manager — which starts the sync handshake — and starts the
 // gen-tagged read pump. Blocked peers (link-chaos hook) are refused.
 func (n *Node) registerPeer(conn *Conn) {
+	if n.frameObs != nil {
+		conn.observeFrames(n.frameObs)
+	}
 	n.mu.Lock()
 	if n.blocked[conn.peer] || n.isClosed() {
 		n.mu.Unlock()
@@ -609,6 +661,35 @@ func (n *Node) LinkStates() map[message.NodeID]overlay.State { return n.ov.State
 
 // LinkInfo snapshots the overlay links (state, pending backlog, drops).
 func (n *Node) LinkInfo() []overlay.LinkInfo { return n.ov.Info() }
+
+// Ready reports overlay convergence — the node's /readyz gate: every
+// configured overlay link is established (each establishment completes the
+// sync handshake, so routing installs are applied before the link counts).
+// A node with no peers is trivially ready. detail names the links still
+// converging.
+func (n *Node) Ready() (ok bool, detail string) {
+	var waiting []string
+	for _, li := range n.ov.Info() {
+		if li.State != overlay.StateEstablished {
+			waiting = append(waiting, fmt.Sprintf("%s:%s", li.Peer, li.State))
+		}
+	}
+	if len(waiting) > 0 {
+		return false, "links not established: " + strings.Join(waiting, ", ")
+	}
+	return true, fmt.Sprintf("%d link(s) established", len(n.ov.Info()))
+}
+
+// SetHeartbeat retunes the overlay supervision's heartbeat at runtime
+// (the ops /config knob); see overlay.Manager.SetHeartbeat for the
+// interval/timeout resolution rules.
+func (n *Node) SetHeartbeat(interval, timeout time.Duration) {
+	n.ov.SetHeartbeat(interval, timeout)
+}
+
+// Heartbeat returns the overlay supervision's current heartbeat interval
+// and timeout.
+func (n *Node) Heartbeat() (interval, timeout time.Duration) { return n.ov.Heartbeat() }
 
 // readPeerLoop pumps a broker-peer link. Heartbeats (KPing/KPong) are
 // handled here at the transport level — a busy event loop must not turn
@@ -879,7 +960,10 @@ func handshakeLink(self message.NodeID, c net.Conn, wire Codec) (*Conn, error) {
 		_ = c.Close()
 		return nil, fmt.Errorf("wire: handshake recv: %w", err)
 	}
-	return newConn(peer, c, CodecBinary, ver, bw, codec.NewEncoder(bw), codec.NewDecoder(br)), nil
+	// The encoder emits what the negotiated version can decode: fields
+	// gated on newer flag bits (the traced hop trail) are stripped for
+	// older peers.
+	return newConn(peer, c, CodecBinary, ver, bw, codec.NewEncoderVersion(bw, ver), codec.NewDecoder(br)), nil
 }
 
 // acceptLink performs the passive side of the handshake. It peeks the
@@ -901,7 +985,7 @@ func acceptLink(self message.NodeID, c net.Conn) (*Conn, error) {
 		if err := writeBinaryHello(bw, self); err != nil {
 			return nil, fmt.Errorf("wire: handshake send: %w", err)
 		}
-		return newConn(peer, c, CodecBinary, ver, bw, codec.NewEncoder(bw), codec.NewDecoder(br)), nil
+		return newConn(peer, c, CodecBinary, ver, bw, codec.NewEncoderVersion(bw, ver), codec.NewDecoder(br)), nil
 	}
 	dec := gob.NewDecoder(br)
 	var h hello

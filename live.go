@@ -14,6 +14,7 @@ import (
 	"rebeca/internal/message"
 	"rebeca/internal/mobility"
 	"rebeca/internal/proto"
+	"rebeca/internal/telemetry"
 	"rebeca/internal/wire"
 )
 
@@ -33,6 +34,7 @@ type Live struct {
 	nodes map[NodeID]*wire.Node
 	addrs map[NodeID]string
 	mgrs  map[NodeID]*mobility.Manager
+	ops   *opsStack
 
 	mu     sync.Mutex
 	ports  []*livePort
@@ -83,12 +85,17 @@ func NewLive(opts ...Option) (*Live, error) {
 		addrs: make(map[NodeID]string),
 		mgrs:  make(map[NodeID]*mobility.Manager),
 	}
+	if cfg.opsAddr != "" {
+		// Before broker construction: the telemetry stage joins the chain
+		// every broker installs.
+		l.ops = newOpsStack(cfg)
+	}
 	for _, id := range l.ids {
 		peers := make(map[message.NodeID]string)
 		for _, p := range adj[id] {
 			peers[p] = l.addrs[p] // dial already-started neighbors; "" = they dial us
 		}
-		node := wire.NewNode(wire.NodeConfig{
+		ncfg := wire.NodeConfig{
 			ID:             id,
 			Listen:         "127.0.0.1:0",
 			Peers:          peers,
@@ -101,7 +108,11 @@ func NewLive(opts ...Option) (*Live, error) {
 			// restarted neighbors are redialed with backoff.
 			Overlay:      cfg.overlaySettings(),
 			LinkObserver: cfg.linkObserver,
-		})
+		}
+		if l.ops != nil {
+			ncfg.Telemetry = l.ops.reg
+		}
+		node := wire.NewNode(ncfg)
 		rcfg := core.Config{
 			Broker:        node.Broker(),
 			NLB:           nlb,
@@ -139,7 +150,64 @@ func NewLive(opts ...Option) (*Live, error) {
 			l.nodes[id].Inspect(func(*broker.Broker) { mgr.Recover() })
 		}
 	}
+	if l.ops != nil {
+		if err := l.startOps(); err != nil {
+			_ = l.Close()
+			return nil, err
+		}
+	}
 	return l, nil
+}
+
+// startOps wires the Live-specific probes, knobs and collectors into the
+// ops stack and starts its HTTP listener.
+func (l *Live) startOps() error {
+	st := l.ops
+	// Readiness: every broker's overlay links established (and their
+	// initial routing sync applied — establishment is entered on
+	// KSyncInstall receipt).
+	for _, id := range l.ids {
+		node := l.nodes[id]
+		st.ops.AddReadyCheck("links:"+string(id), node.Ready)
+	}
+	st.ops.AddKnob("heartbeat", telemetry.Knob{
+		Help: "overlay heartbeat as interval[,timeout] (e.g. 500ms,2s), applied to every broker; timeout 0 defaults to 3x interval",
+		Get: func() string {
+			return renderHeartbeat(l.nodes[l.ids[0]].Heartbeat())
+		},
+		Set: func(v string) error {
+			interval, timeout, err := parseHeartbeat(v)
+			if err != nil {
+				return err
+			}
+			for _, id := range l.ids {
+				l.nodes[id].SetHeartbeat(interval, timeout)
+			}
+			return nil
+		},
+	})
+	st.registerStreams(func(emit func(NodeID, streamStat)) {
+		l.mu.Lock()
+		ports := append([]*livePort(nil), l.ports...)
+		l.mu.Unlock()
+		for _, p := range ports {
+			for _, s := range p.streams.stats() {
+				emit(p.id, s)
+			}
+		}
+	})
+	st.registerCommon(l.cfg)
+	return st.ops.Start(l.cfg.opsAddr)
+}
+
+// OpsAddr returns the bound address of the telemetry subsystem's HTTP
+// endpoint ("" without WithOps) — e.g. to scrape /metrics or query
+// /trace on a WithOps("127.0.0.1:0") deployment.
+func (l *Live) OpsAddr() string {
+	if l.ops == nil {
+		return ""
+	}
+	return l.ops.ops.Addr()
 }
 
 // NewClient creates a client endpoint, not yet connected. On a durable
@@ -262,6 +330,9 @@ func (l *Live) Close() error {
 	l.closed = true
 	ports := append([]*livePort(nil), l.ports...)
 	l.mu.Unlock()
+	if l.ops != nil {
+		_ = l.ops.ops.Close()
+	}
 	for _, p := range ports {
 		_ = p.Disconnect()
 		// Close every stream so range loops over Events() terminate.

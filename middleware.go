@@ -240,39 +240,68 @@ type TraceEvent struct {
 	Info string
 }
 
-// tracerCap bounds the retained event log; older events are dropped and
-// counted so long deployments don't grow without bound.
+// tracerCap bounds the retained event log; the log is a ring, so once it
+// fills the oldest events are evicted (and counted) — a long-running
+// deployment always traces its most recent activity.
 const tracerCap = 16384
 
 // Tracer is a built-in middleware recording every publish, delivery and
 // subscription crossing the chain. Events are appended to an internal
-// bounded log and, when a callback is configured, forwarded to it
-// synchronously. Safe for concurrent use; observe-only (always passes
-// through).
+// bounded ring — the newest tracerCap events are retained, older ones are
+// evicted and counted by Dropped — and, when a callback is configured,
+// forwarded to it synchronously. Safe for concurrent use; observe-only
+// (always passes through). SetEnabled pauses and resumes recording at
+// runtime (the ops /config trace knob).
 type Tracer struct {
 	PassMiddleware
-	fn      func(TraceEvent)
-	mu      sync.Mutex
-	events  []TraceEvent
-	dropped int
+	fn       func(TraceEvent)
+	mu       sync.Mutex
+	disabled bool
+	events   []TraceEvent // ring once len == tracerCap
+	head     int          // index of the oldest event while the ring is full
+	dropped  int
 }
 
-// NewTracer returns a tracing stage. fn, when non-nil, observes every event
-// as it happens (it runs inside the broker's event loop — keep it cheap).
+// NewTracer returns a tracing stage, enabled. fn, when non-nil, observes
+// every event as it happens (it runs inside the broker's event loop — keep
+// it cheap).
 func NewTracer(fn func(TraceEvent)) *Tracer { return &Tracer{fn: fn} }
 
 func (t *Tracer) record(e TraceEvent) {
 	t.mu.Lock()
-	if len(t.events) >= tracerCap {
-		t.dropped++
-	} else {
+	if t.disabled {
+		t.mu.Unlock()
+		return
+	}
+	if len(t.events) < tracerCap {
 		t.events = append(t.events, e)
+	} else {
+		// Ring is full: overwrite the oldest event so the log keeps the
+		// newest activity.
+		t.events[t.head] = e
+		t.head = (t.head + 1) % tracerCap
+		t.dropped++
 	}
 	fn := t.fn
 	t.mu.Unlock()
 	if fn != nil {
 		fn(e)
 	}
+}
+
+// SetEnabled pauses (false) or resumes (true) event recording and the
+// callback. The retained log is kept either way.
+func (t *Tracer) SetEnabled(on bool) {
+	t.mu.Lock()
+	t.disabled = !on
+	t.mu.Unlock()
+}
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.disabled
 }
 
 // OnPublish implements Middleware.
@@ -311,14 +340,18 @@ func (t *Tracer) OnLinkChange(b *Broker, ev LinkEvent) {
 	})
 }
 
-// Events returns a copy of the retained event log, in observation order.
+// Events returns a copy of the retained event log, in observation order
+// (oldest retained event first).
 func (t *Tracer) Events() []TraceEvent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]TraceEvent(nil), t.events...)
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	return append(out, t.events[:t.head]...)
 }
 
-// Dropped reports events discarded after the log filled up.
+// Dropped reports old events evicted to keep the log within its bound
+// (the ring retains the newest tracerCap events).
 func (t *Tracer) Dropped() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -336,12 +369,13 @@ func (t *Tracer) Dropped() int {
 // concurrent use.
 type RateLimiter struct {
 	PassMiddleware
-	rate  float64 // tokens per second
-	burst float64
 
-	mu      sync.Mutex
-	buckets map[NodeID]*tokenBucket
-	dropped int
+	mu        sync.Mutex
+	rate      float64 // tokens per second
+	burst     float64
+	buckets   map[NodeID]*tokenBucket
+	dropped   int
+	droppedBy map[NodeID]int
 }
 
 type tokenBucket struct {
@@ -358,20 +392,26 @@ func NewRateLimiter(perSecond float64, burst int) *RateLimiter {
 		burst = 1
 	}
 	return &RateLimiter{
-		rate:    perSecond,
-		burst:   float64(burst),
-		buckets: make(map[NodeID]*tokenBucket),
+		rate:      perSecond,
+		burst:     float64(burst),
+		buckets:   make(map[NodeID]*tokenBucket),
+		droppedBy: make(map[NodeID]int),
 	}
 }
 
 // OnPublish implements Middleware: take a token or drop the publish.
 func (r *RateLimiter) OnPublish(b *Broker, from NodeID, _ *Notification, next func()) {
-	if r.rate <= 0 || !b.HasPort(from) {
-		next() // disabled, or transit already admitted at its ingress broker
+	if !b.HasPort(from) {
+		next() // transit traffic was already admitted at its ingress broker
 		return
 	}
 	now := b.Now()
 	r.mu.Lock()
+	if r.rate <= 0 {
+		r.mu.Unlock()
+		next() // disabled
+		return
+	}
 	tb, ok := r.buckets[b.ID()]
 	if !ok {
 		tb = &tokenBucket{tokens: r.burst, last: now}
@@ -389,6 +429,7 @@ func (r *RateLimiter) OnPublish(b *Broker, from NodeID, _ *Notification, next fu
 		tb.tokens--
 	} else {
 		r.dropped++
+		r.droppedBy[b.ID()]++
 	}
 	r.mu.Unlock()
 	if admit {
@@ -396,11 +437,49 @@ func (r *RateLimiter) OnPublish(b *Broker, from NodeID, _ *Notification, next fu
 	}
 }
 
+// SetLimit retunes the limiter at runtime (the ops /config knobs): the
+// next publish at every broker sees the new rate and burst. The same
+// conventions as NewRateLimiter apply — burst is raised to at least 1,
+// perSecond <= 0 disables the limiter.
+func (r *RateLimiter) SetLimit(perSecond float64, burst int) {
+	if burst < 1 {
+		burst = 1
+	}
+	r.mu.Lock()
+	r.rate = perSecond
+	r.burst = float64(burst)
+	for _, tb := range r.buckets {
+		if tb.tokens > r.burst {
+			tb.tokens = r.burst
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Limit returns the current rate and burst.
+func (r *RateLimiter) Limit() (perSecond float64, burst int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rate, int(r.burst)
+}
+
 // Dropped reports publishes rejected across all brokers.
 func (r *RateLimiter) Dropped() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.dropped
+}
+
+// DroppedPerBroker snapshots the rejected-publish counts by broker (the
+// telemetry registry's rate-limited collector reads it).
+func (r *RateLimiter) DroppedPerBroker() map[NodeID]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[NodeID]int, len(r.droppedBy))
+	for id, n := range r.droppedBy {
+		out[id] = n
+	}
+	return out
 }
 
 // compile-time interface checks

@@ -1,0 +1,212 @@
+package rebeca
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rebeca/internal/overlay"
+	"rebeca/internal/store"
+	"rebeca/internal/telemetry"
+)
+
+// opsStack bundles one deployment's telemetry objects: the metric
+// registry, the hop-trace span store, the broker-chain middleware stage
+// feeding both, and the HTTP endpoint serving them. Built by New/NewLive
+// when WithOps is configured; without the option none of it exists and
+// the hot paths carry no instrumentation.
+type opsStack struct {
+	reg   *telemetry.Registry
+	spans *telemetry.SpanStore
+	mw    *telemetry.Middleware
+	ops   *telemetry.Ops
+}
+
+// newOpsStack builds the registry/span-store/middleware triple and
+// appends the telemetry stage to the config's broker chain. Must run
+// before broker construction so every broker installs the stage.
+func newOpsStack(cfg *config) *opsStack {
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanStore(0)
+	mw := telemetry.NewMiddleware(reg, spans)
+	mw.EnableHopTrace(true)
+	cfg.middleware = append(cfg.middleware, mw)
+	telemetry.RegisterSpanMetrics(reg, spans)
+	return &opsStack{reg: reg, spans: spans, mw: mw, ops: telemetry.NewOps(reg, spans)}
+}
+
+// registerCommon wires the knobs and collectors both deployment flavors
+// share: the hop-trace toggle, rate-limiter retuning and drop counts,
+// Tracer toggling and eviction counts, and the WAL's on-disk footprint.
+func (st *opsStack) registerCommon(cfg *config) {
+	st.ops.AddKnob("trace", telemetry.Knob{
+		Help: "hop-trace stamping and span recording: on/off",
+		Get:  func() string { return onOff(st.mw.HopTraceEnabled()) },
+		Set: func(v string) error {
+			on, err := parseOnOff(v)
+			if err != nil {
+				return err
+			}
+			st.mw.EnableHopTrace(on)
+			return nil
+		},
+	})
+	for _, m := range cfg.middleware {
+		switch m := m.(type) {
+		case *RateLimiter:
+			rl := m
+			st.ops.AddKnob("rate_limit", telemetry.Knob{
+				Help: "client publish admission as perSecond[,burst]; perSecond <= 0 disables",
+				Get: func() string {
+					r, b := rl.Limit()
+					return fmt.Sprintf("%g,%d", r, b)
+				},
+				Set: func(v string) error {
+					parts := strings.SplitN(v, ",", 2)
+					r, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+					if err != nil {
+						return fmt.Errorf("bad rate %q: %v", parts[0], err)
+					}
+					_, burst := rl.Limit()
+					if len(parts) == 2 {
+						burst, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+						if err != nil {
+							return fmt.Errorf("bad burst %q: %v", parts[1], err)
+						}
+					}
+					rl.SetLimit(r, burst)
+					return nil
+				},
+			})
+			st.reg.CounterFunc(telemetry.MetricRateLimited,
+				"Client publishes rejected by the rate-limiter middleware.",
+				func(emit func(telemetry.Labels, float64)) {
+					for id, n := range rl.DroppedPerBroker() {
+						emit(telemetry.Labels{"broker": string(id)}, float64(n))
+					}
+				})
+		case *Tracer:
+			tr := m
+			st.ops.AddKnob("tracer", telemetry.Knob{
+				Help: "event-log Tracer recording: on/off",
+				Get:  func() string { return onOff(tr.Enabled()) },
+				Set: func(v string) error {
+					on, err := parseOnOff(v)
+					if err != nil {
+						return err
+					}
+					tr.SetEnabled(on)
+					return nil
+				},
+			})
+			st.reg.CounterFunc(telemetry.MetricTracerDropped,
+				"Trace events evicted by the Tracer's newest-retaining ring bound.",
+				func(emit func(telemetry.Labels, float64)) {
+					emit(nil, float64(tr.Dropped()))
+				})
+		}
+	}
+	if w, ok := cfg.store.(*store.WAL); ok {
+		st.reg.GaugeFunc(telemetry.MetricWALSegments,
+			"Write-ahead-log segment files on disk.",
+			func(emit func(telemetry.Labels, float64)) {
+				if s, err := w.Stats(); err == nil {
+					emit(nil, float64(s.Segments))
+				}
+			})
+		st.reg.GaugeFunc(telemetry.MetricWALBytes,
+			"Total write-ahead-log bytes on disk (compaction shrinks it).",
+			func(emit func(telemetry.Labels, float64)) {
+				if s, err := w.Stats(); err == nil {
+					emit(nil, float64(s.Bytes))
+				}
+			})
+	}
+}
+
+// registerStreams exposes client-side stream depths: snap walks every
+// port's subscription streams at scrape time.
+func (st *opsStack) registerStreams(snap func(emit func(client NodeID, s streamStat))) {
+	st.reg.GaugeFunc(telemetry.MetricStreamBuffered,
+		"Deliveries waiting in client subscription streams.",
+		func(emit func(telemetry.Labels, float64)) {
+			snap(func(client NodeID, s streamStat) {
+				emit(telemetry.Labels{"client": string(client), "sub": subLabel(s.id)},
+					float64(s.stats.Buffered))
+			})
+		})
+	st.reg.CounterFunc(telemetry.MetricStreamDropped,
+		"Deliveries discarded by stream overflow policies.",
+		func(emit func(telemetry.Labels, float64)) {
+			snap(func(client NodeID, s streamStat) {
+				emit(telemetry.Labels{"client": string(client), "sub": subLabel(s.id)},
+					float64(s.stats.Dropped))
+			})
+		})
+}
+
+// subLabel renders a stream's metric label ("" is the port's catch-all).
+func subLabel(id SubID) string {
+	if id == "" {
+		return "catch-all"
+	}
+	return string(id)
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
+}
+
+func parseOnOff(v string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad toggle %q (want on/off)", v)
+}
+
+// parseHeartbeat parses the heartbeat knob's "interval[,timeout]" value
+// under WithHeartbeat's conventions (timeout 0 → 3×interval).
+func parseHeartbeat(v string) (interval, timeout time.Duration, err error) {
+	parts := strings.SplitN(v, ",", 2)
+	interval, err = time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad interval %q: %v", parts[0], err)
+	}
+	if interval <= 0 {
+		return 0, 0, fmt.Errorf("bad interval %s: want > 0", interval)
+	}
+	if len(parts) == 2 {
+		timeout, err = time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad timeout %q: %v", parts[1], err)
+		}
+		if timeout != 0 && timeout < interval {
+			return 0, 0, fmt.Errorf("bad timeout %s: want >= interval (or 0 for the default)", timeout)
+		}
+	}
+	return interval, timeout, nil
+}
+
+// renderHeartbeat is the heartbeat knob's Get rendering.
+func renderHeartbeat(interval, timeout time.Duration) string {
+	return fmt.Sprintf("%s,%s", interval, timeout)
+}
+
+// waitingLinks summarizes a manager's non-established links for a
+// readiness detail line ("" when all links are up).
+func waitingLinks(self NodeID, mgr *overlay.Manager) []string {
+	var out []string
+	for _, li := range mgr.Info() {
+		if li.State != overlay.StateEstablished {
+			out = append(out, fmt.Sprintf("%s-%s:%s", self, li.Peer, li.State))
+		}
+	}
+	return out
+}

@@ -53,6 +53,7 @@ type config struct {
 	hbInterval     time.Duration
 	hbTimeout      time.Duration
 	linkObserver   overlay.Observer
+	opsAddr        string
 
 	errs []error
 }
@@ -340,6 +341,29 @@ func WithHeartbeat(interval, timeout time.Duration) Option {
 		c.overlay = true
 		c.hbInterval = interval
 		c.hbTimeout = timeout
+	}
+}
+
+// WithOps hosts the telemetry subsystem's HTTP operations endpoint on addr
+// (e.g. ":9090", or "127.0.0.1:0" to bind an ephemeral port — read it back
+// with Ops().Addr()). The endpoint serves Prometheus-exposition /metrics,
+// /healthz, /readyz (gated on overlay convergence: every broker link
+// established and its initial routing sync applied), /trace?note=<id>
+// (multi-hop path reconstruction from hop-propagated trace spans),
+// GET/POST /config (runtime knobs: heartbeat, rate limits, trace
+// verbosity) and net/http/pprof under /debug/pprof/.
+//
+// The option installs the telemetry middleware stage on every broker and
+// wires the deployment's collectors (overlay link state, WAL segments,
+// stream buffer depths, codec frame sizes) into one registry. Without it a
+// deployment carries no telemetry instrumentation and pays no cost.
+func WithOps(addr string) Option {
+	return func(c *config) {
+		if addr == "" {
+			c.errs = append(c.errs, errors.New("rebeca: WithOps(\"\"): want a listen address"))
+			return
+		}
+		c.opsAddr = addr
 	}
 }
 

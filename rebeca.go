@@ -88,6 +88,22 @@
 // ingress control). Custom stages embed PassMiddleware and override the
 // hooks they care about.
 //
+// # Operations
+//
+// WithOps(addr) gives a deployment an operations endpoint (the
+// internal/telemetry subsystem; rebeca-broker exposes it as -ops):
+// Prometheus-format /metrics fed by per-broker counters and latency
+// histograms plus live collectors (overlay link states, pending queue
+// depths, WAL footprint, stream buffer depths, codec frame sizes);
+// /healthz and /readyz with readiness gated on overlay convergence
+// (every link established and routing-synced); net/http/pprof under
+// /debug/pprof/; /trace?note=<id>, which reconstructs a notification's
+// multi-hop path from span stamps each broker adds in transit (carried
+// across live links by the wire codec); and /config, runtime knobs —
+// heartbeat, rate limits, trace verbosity — applied without restart.
+// Without WithOps none of this exists and the hot paths carry no
+// instrumentation.
+//
 // # Quick start
 //
 //	g := rebeca.NewGraph()

@@ -324,6 +324,26 @@ func (ss *streamSet) setNotify(fn func(n Notification)) {
 	}
 }
 
+// streamStat is one stream's depth snapshot for the telemetry collectors:
+// the subscription ID ("" for the catch-all) with its Stats.
+type streamStat struct {
+	id    SubID
+	stats SubscriptionStats
+}
+
+// stats snapshots every stream's buffered depth and drop count, catch-all
+// included — the feed behind the rebeca_stream_* metrics.
+func (ss *streamSet) stats() []streamStat {
+	ss.mu.Lock()
+	out := make([]streamStat, 0, len(ss.subs)+1)
+	for id, s := range ss.subs {
+		out = append(out, streamStat{id: id, stats: s.Stats()})
+	}
+	out = append(out, streamStat{id: ss.catchAll.id, stats: ss.catchAll.Stats()})
+	ss.mu.Unlock()
+	return out
+}
+
 // dispatch routes one fresh delivery: to the per-subscription streams it
 // matched (by broker-attached identity when present, by filter with
 // markers ignored for session-layer replays), then to the catch-all
