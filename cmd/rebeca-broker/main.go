@@ -2,31 +2,52 @@
 // one process per broker, point-to-point links to overlay neighbors,
 // physical-mobility manager and replicator attached at the border.
 //
-// The full overlay is described with -edges so every node can derive its
-// peers and unicast next-hop table; -dial lists the neighbors this node
-// actively connects to (exactly one side of each edge should dial). Start
-// order does not matter: a dial to a neighbor that is not up yet retries
-// with jittered backoff, and every link (re-)establishment runs a sync
-// handshake that replays routing installs before the link carries traffic
-// — so brokers can boot, restart and rejoin in any order. Established
-// links exchange heartbeats (-heartbeat/-heartbeat-timeout); failed links
-// go degraded, queue outbound traffic, and self-heal.
+// Two ways to describe the overlay:
 //
-// Links speak the length-prefixed binary wire protocol (internal/codec);
-// accepted connections auto-detect peers still talking the old gob
-// encoding, and `-wire gob` makes this node dial in it — run that on the
-// upgraded nodes of a mixed fleet for one release, then drop the flag.
+//   - Static (-edges/-dial): the full edge list is passed to every node,
+//     which derives its peers and unicast next-hop table; -dial lists the
+//     neighbors this node actively connects to (exactly one side of each
+//     edge should dial). The graph must be a tree.
 //
-// Example 3-broker line on one machine:
+//   - Discovery (-registry/-name): the node registers itself with a
+//     membership registry (file:, dns: or seed: — see internal/discovery)
+//     and links to whichever brokers the registry names, no -edges or
+//     -dial flags. Dial direction is derived (the smaller ID dials),
+//     departed brokers are unlinked, and mesh routing is enabled: the
+//     overlay may be an arbitrary connected graph — brokers elect a
+//     spanning tree (re-elected on membership or link changes), and
+//     redundant edges serve as failover paths.
+//
+// Start order does not matter either way: a dial to a neighbor that is
+// not up yet retries with jittered backoff, and every link
+// (re-)establishment runs a sync handshake that replays routing installs
+// before the link carries traffic — so brokers can boot, restart and
+// rejoin in any order. Established links exchange heartbeats
+// (-heartbeat/-heartbeat-timeout); failed links go degraded, queue
+// outbound traffic, and self-heal.
+//
+// Links speak the length-prefixed binary wire protocol (internal/codec).
+// The gob fallback of pre-binary releases has been removed; a legacy
+// peer's connection is refused with a clear error.
+//
+// Example 3-broker line on one machine, statically:
 //
 //	rebeca-broker -id A -listen :7471 -edges A-B,B-C
 //	rebeca-broker -id B -listen :7472 -edges A-B,B-C -dial A=localhost:7471
 //	rebeca-broker -id C -listen :7473 -edges A-B,B-C -dial B=localhost:7472
+//
+// The same fleet from a registry file (which may also describe cyclic
+// meshes), no per-node wiring flags:
+//
+//	rebeca-broker -name A -listen :7471 -registry file:peers.json
+//	rebeca-broker -name B -listen :7472 -registry file:peers.json
+//	rebeca-broker -name C -listen :7473 -registry file:peers.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -37,6 +58,7 @@ import (
 	"rebeca"
 	"rebeca/internal/broker"
 	"rebeca/internal/core"
+	"rebeca/internal/discovery"
 	"rebeca/internal/location"
 	"rebeca/internal/message"
 	"rebeca/internal/mobility"
@@ -50,12 +72,14 @@ import (
 
 func main() {
 	var (
-		id        = flag.String("id", "", "this broker's ID (required)")
+		id        = flag.String("id", "", "this broker's ID (required; -name is an alias)")
+		name      = flag.String("name", "", "alias for -id (the discovery-mode spelling)")
 		listen    = flag.String("listen", ":7471", "TCP listen address")
-		edges     = flag.String("edges", "", "full overlay edge list, e.g. A-B,B-C (required)")
-		dial      = flag.String("dial", "", "neighbors to dial, e.g. A=host:port,B=host:port")
+		edges     = flag.String("edges", "", "full overlay edge list, e.g. A-B,B-C (static mode)")
+		dial      = flag.String("dial", "", "neighbors to dial, e.g. A=host:port,B=host:port (static mode)")
+		registry  = flag.String("registry", "", "membership registry URI (file:<path>, dns:<srv-name>, seed:<listen>[,<seed>...]); replaces -edges/-dial and enables mesh routing")
+		advertise = flag.String("advertise", "", "overlay address to register for peers to dial (default: the bound listen address with unspecified hosts rewritten to 127.0.0.1)")
 		strategy  = flag.String("strategy", "simple", "routing strategy: simple, covering, flooding")
-		wireMode  = flag.String("wire", "binary", "wire codec for links this node dials: binary, gob (fallback for pre-binary peers; accepted links auto-detect)")
 		linearM   = flag.Bool("linear-match", false, "revert routing tables to linear scans (matching-index ablation)")
 		replicate = flag.Bool("replicate", true, "attach the replicator layer (movement graph = overlay)")
 		mobilityM = flag.String("mobility", "transparent", "physical mobility: transparent, jedi, naive, none")
@@ -71,31 +95,49 @@ func main() {
 		linkLog   = flag.Bool("link-log", true, "log overlay link state transitions")
 	)
 	flag.Parse()
-	if *id == "" || *edges == "" {
+	if *id == "" {
+		*id = *name
+	}
+	discovered := *registry != ""
+	if *id == "" || (*edges == "" && !discovered) {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	topo, err := parseEdges(*edges)
-	if err != nil {
-		fatal(err)
-	}
-	if err := topo.Validate(); err != nil {
-		fatal(err)
+	if discovered && (*edges != "" || *dial != "") {
+		fatal(fmt.Errorf("-registry replaces -edges/-dial; drop the static wiring flags"))
 	}
 	self := message.NodeID(*id)
-	hops, ok := topo.NextHops()[self]
-	if !ok {
-		fatal(fmt.Errorf("broker %s does not appear in -edges", self))
-	}
 
-	dials, err := parseDials(*dial)
-	if err != nil {
-		fatal(err)
-	}
-	peers := make(map[message.NodeID]string)
-	for _, n := range topo.Adjacency()[self] {
-		peers[n] = dials[n] // empty = passive side
+	// Static mode derives peers and next hops from the edge list up
+	// front; discovery mode starts empty and lets the membership
+	// supervisor drive links (and the mesh election drive next hops).
+	var (
+		topo  broker.Topology
+		hops  map[message.NodeID]message.NodeID
+		peers map[message.NodeID]string
+		err   error
+	)
+	if !discovered {
+		topo, err = parseEdges(*edges)
+		if err != nil {
+			fatal(err)
+		}
+		if err := topo.Validate(); err != nil {
+			fatal(err)
+		}
+		var ok bool
+		hops, ok = topo.NextHops()[self]
+		if !ok {
+			fatal(fmt.Errorf("broker %s does not appear in -edges", self))
+		}
+		dials, err := parseDials(*dial)
+		if err != nil {
+			fatal(err)
+		}
+		peers = make(map[message.NodeID]string)
+		for _, n := range topo.Adjacency()[self] {
+			peers[n] = dials[n] // empty = passive side
+		}
 	}
 
 	var strat routing.Strategy
@@ -108,16 +150,6 @@ func main() {
 		strat = routing.StrategyFlooding
 	default:
 		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
-	}
-
-	var wcodec wire.Codec
-	switch *wireMode {
-	case "binary":
-		wcodec = wire.CodecBinary
-	case "gob":
-		wcodec = wire.CodecGob
-	default:
-		fatal(fmt.Errorf("unknown -wire %q (want binary or gob)", *wireMode))
 	}
 
 	// Middleware (the same exported chain the simulator installs):
@@ -190,7 +222,6 @@ func main() {
 		Peers:          peers,
 		Strategy:       strat,
 		LinearMatching: *linearM,
-		Wire:           wcodec,
 		NextHop:        hops,
 		Middleware:     mws,
 		Overlay: overlay.Settings{
@@ -200,6 +231,22 @@ func main() {
 		LinkObserver: observer,
 		Telemetry:    reg,
 	})
+
+	// Discovery mode: enable mesh routing (the registry may describe a
+	// cyclic graph) and open the membership registry; the supervisor
+	// starts after the node serves, so link commands land on a live
+	// overlay manager.
+	var (
+		memReg discovery.Registry
+		member *discovery.Membership
+	)
+	if discovered {
+		node.EnableMesh()
+		memReg, err = discovery.Open(*registry)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	// Durable subscriptions: a WAL on -store survives restarts — reopening
 	// the same directory recovers ghost sessions and their pending
@@ -231,7 +278,12 @@ func main() {
 	}
 
 	// Plugin order matters: replicator first, then the mobility manager.
-	if *replicate {
+	// The replicator's movement graph mirrors the static overlay; under a
+	// discovery registry the graph is dynamic, so the layer stays off.
+	if *replicate && discovered {
+		fmt.Println("note: replicator layer disabled under -registry (needs a static -edges movement graph)")
+	}
+	if *replicate && !discovered {
 		g := movement.NewGraph()
 		for _, e := range topo.Edges {
 			g.AddEdge(e[0], e[1])
@@ -264,6 +316,50 @@ func main() {
 	if err := node.Start(); err != nil {
 		fatal(err)
 	}
+	if discovered {
+		addr := *advertise
+		if addr == "" {
+			addr = advertiseAddr(node.Addr())
+		}
+		member = discovery.NewMembership(discovery.MembershipConfig{
+			Self:     self,
+			Addr:     addr,
+			Registry: memReg,
+			Host:     wire.NodeHost{Node: node},
+		})
+		if err := member.Start(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("registered %s at %s with %s\n", self, addr, *registry)
+	}
+	if reg != nil {
+		// The discovery families register unconditionally so every broker's
+		// scrape exposes the same golden set; in static (-edges/-dial) mode
+		// they render as empty families.
+		reg.GaugeFunc(telemetry.MetricDiscoveryPeers,
+			"Overlay peers currently linked by the discovery membership supervisor.",
+			func(emit func(telemetry.Labels, float64)) {
+				if member != nil {
+					emit(telemetry.Labels{"broker": string(self)}, float64(member.Peers()))
+				}
+			})
+		reg.CounterFunc(telemetry.MetricDiscoveryEvents,
+			"Membership events applied, by type (join, leave, update).",
+			func(emit func(telemetry.Labels, float64)) {
+				if member != nil {
+					for typ, n := range member.Events() {
+						emit(telemetry.Labels{"broker": string(self), "type": typ}, float64(n))
+					}
+				}
+			})
+		reg.CounterFunc(telemetry.MetricTreeRecomputations,
+			"Spanning-tree elections run by the mesh routing layer.",
+			func(emit func(telemetry.Labels, float64)) {
+				if m := node.Broker().Mesh(); m != nil {
+					emit(telemetry.Labels{"broker": string(self)}, float64(m.Recomputations()))
+				}
+			})
+	}
 	if st != nil && mgr != nil {
 		// Resume the sessions a previous process persisted on this store.
 		// Start order no longer matters: re-installed subscriptions reach
@@ -277,8 +373,13 @@ func main() {
 			fmt.Printf("recovered %d durable session(s) from %s\n", recovered, *storeDir)
 		}
 	}
-	fmt.Printf("rebeca-broker %s listening on %s (%d neighbors, strategy %s, %d middleware)\n",
-		self, node.Addr(), len(peers), strat, len(mws))
+	if discovered {
+		fmt.Printf("rebeca-broker %s listening on %s (registry-driven mesh, strategy %s, %d middleware)\n",
+			self, node.Addr(), strat, len(mws))
+	} else {
+		fmt.Printf("rebeca-broker %s listening on %s (%d neighbors, strategy %s, %d middleware)\n",
+			self, node.Addr(), len(peers), strat, len(mws))
+	}
 
 	// The ops endpoint: Prometheus /metrics over the registry, readiness
 	// gated on this node's overlay links, hop-trace reconstruction, and
@@ -287,6 +388,9 @@ func main() {
 	if *opsAddr != "" {
 		ops = telemetry.NewOps(reg, spans)
 		ops.AddReadyCheck("links:"+string(self), node.Ready)
+		if member != nil {
+			ops.AddReadyCheck("membership", member.Ready)
+		}
 		ops.AddKnob("heartbeat", telemetry.Knob{
 			Help: "overlay heartbeat as interval[,timeout]; timeout 0 defaults to 3x interval",
 			Get: func() string {
@@ -373,6 +477,14 @@ func main() {
 	// second signal skips the drain.
 	fmt.Println("shutting down: draining in-flight deliveries")
 	close(statsDone)
+	// Deregister first: the fleet converges on our departure without
+	// waiting for heartbeat failure detection.
+	if member != nil {
+		member.Stop(true)
+	}
+	if memReg != nil {
+		_ = memReg.Close()
+	}
 	if ops != nil {
 		_ = ops.Close()
 	}
@@ -422,6 +534,21 @@ func statsLine(reg *telemetry.Registry, node *wire.Node) string {
 		}
 	}
 	return line
+}
+
+// advertiseAddr turns the node's bound listen address into one peers can
+// dial: an unspecified host (":7471", "[::]:7471", "0.0.0.0:7471")
+// becomes 127.0.0.1 — right for single-machine fleets; multi-host
+// deployments pass -advertise explicitly.
+func advertiseAddr(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }
 
 func onOff(on bool) string {

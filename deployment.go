@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"rebeca/internal/broker"
 	"rebeca/internal/client"
 	"rebeca/internal/sim"
 	"rebeca/internal/telemetry"
@@ -119,6 +120,9 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.registry != "" {
+		return nil, errors.New("rebeca: WithRegistry needs a live deployment (NewLive); under New use WithMeshRouting and declare the mesh as the movement graph")
+	}
 	repl := sim.ReplicationPreSubscribe
 	if cfg.reactive {
 		repl = sim.ReplicationReactive
@@ -150,6 +154,13 @@ func New(opts ...Option) (*System, error) {
 	if cfg.overlay {
 		set := cfg.overlaySettings()
 		scfg.Overlay = &set
+	}
+	if cfg.mesh {
+		// Mesh routing: the overlay is the movement graph itself (cycles
+		// and all) rather than its spanning tree; the brokers' replicated
+		// election picks the forwarding tree at runtime.
+		scfg.Mesh = true
+		scfg.Topology = broker.Topology{Edges: cfg.movement.Edges()}
 	}
 	cl, err := sim.NewCluster(scfg)
 	if err != nil {

@@ -20,10 +20,25 @@
 //
 // Since PR 5 live links speak a length-prefixed binary wire protocol and
 // every broker matches through the counting index by default — nothing to
-// configure here. When running distributed brokers (cmd/rebeca-broker)
-// against nodes from before the binary codec, start the upgraded side
-// with `-wire gob` for one release; accepting sides auto-detect either
-// encoding.
+// configure here. (The transitional gob fallback is gone; a legacy peer
+// dialing in is refused with a clear error.)
+//
+// Topologies need not be trees anymore: WithMeshRouting() accepts a
+// cyclic movement graph — the brokers elect a spanning tree over it,
+// redundant edges become failover paths, and dedup keeps delivery
+// exactly-once while floods repair around a cut link. And instead of
+// wiring a fleet by hand, WithRegistry("file:peers.json") (or dns:/seed:)
+// has every broker register itself and discover its peers; mesh routing
+// comes along automatically since a registry may describe any graph. The
+// distributed equivalent replaces all the static -edges/-dial flags:
+//
+//	rebeca-broker -name b1 -listen :7471 -registry file:peers.json
+//	rebeca-broker -name b2 -listen :7472 -registry file:peers.json
+//	rebeca-broker -name b3 -listen :7473 -registry file:peers.json
+//
+// Each node registers under -name, links whoever the registry announces
+// (the lexicographically smaller ID dials), and departures re-elect the
+// tree; /readyz (with -ops) gates on membership + overlay convergence.
 //
 // Run with: go run ./examples/quickstart [-live]
 package main

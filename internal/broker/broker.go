@@ -98,6 +98,13 @@ type Broker struct {
 	nextFlushID uint64
 	flushes     map[flushKey]*flushState
 
+	// Mesh routing (see mesh.go); all nil/unused unless EnableMesh.
+	mesh         *Mesh
+	seen         *seenSet
+	waveSeq      uint64            // re-anchor waves issued by this broker
+	waves        map[string]uint64 // highest wave epoch seen per (kind, anchor, id)
+	onTreeChange func(added, removed []message.NodeID)
+
 	stats Stats
 }
 
@@ -111,8 +118,9 @@ type flushState struct {
 	replyTo message.NodeID // empty when this broker is the origin
 }
 
-// New builds a broker from the config. Peers and next hops may be set later
-// via SetTopology when the overlay is constructed before wiring.
+// New builds a broker from the config. Under mesh routing (EnableMesh +
+// SetMeshTopology) the configured peers and next hops are replaced by the
+// elected spanning tree's.
 func New(cfg Config) *Broker {
 	if cfg.Send == nil {
 		panic("broker: Config.Send is required")
@@ -279,6 +287,35 @@ func (b *Broker) dispatch(from message.NodeID, m proto.Message) {
 		b.handleUnsubscribe(from, m)
 	case proto.KAdvertise:
 		if m.Sub != nil {
+			// Same mesh discipline as handleSubscribe: replays never flip,
+			// re-anchor waves flip toward arrival and propagate
+			// unconditionally over the remaining tree links.
+			if b.mesh != nil && m.Stale {
+				if e, ok := b.router.AdvTable().Get(m.Sub.ID); ok && e.Link != from {
+					return
+				}
+			}
+			if b.mesh != nil && m.Fresh {
+				// Same wave dedup + anchor immunity as handleSubscribe.
+				key := "a|" + string(m.Origin) + "|" + string(m.Sub.ID)
+				if m.Epoch <= b.waves[key] {
+					return
+				}
+				b.waves[key] = m.Epoch
+				if e, ok := b.router.AdvTable().Get(m.Sub.ID); ok && !b.mesh.IsMember(e.Link) {
+					return
+				}
+				b.stats.SubsProcessed++
+				adv := *m.Sub
+				b.router.Advertise(adv, from, b.Peers())
+				fw := proto.Message{Kind: proto.KAdvertise, Sub: &adv, Origin: m.Origin, Epoch: m.Epoch, Fresh: true}
+				for p := range b.peers {
+					if p != from {
+						b.Send(p, fw)
+					}
+				}
+				return
+			}
 			b.stats.SubsProcessed++
 			b.emitForwards(b.router.Advertise(*m.Sub, from, b.Peers()))
 		}
@@ -291,6 +328,8 @@ func (b *Broker) dispatch(from message.NodeID, m proto.Message) {
 		b.AttachPort(m.Client)
 	case proto.KDisconnect:
 		b.DetachPort(m.Client)
+	case proto.KLinkState:
+		b.handleLinkState(from, m)
 	case proto.KFlush:
 		b.handleFlush(from, m)
 	case proto.KFlushAck:
@@ -310,6 +349,29 @@ func (b *Broker) dispatch(from message.NodeID, m proto.Message) {
 func (b *Broker) handlePublish(from message.NodeID, m proto.Message) {
 	if m.Note == nil {
 		return
+	}
+	// Mesh dedup: on a cyclic overlay the same notification can reach a
+	// broker more than once (flood copies during a tree transition). The
+	// forwarding memory decides before the middleware chain runs, so
+	// duplicates are invisible to stages and local ports alike.
+	if b.mesh != nil && !m.Note.ID.IsZero() {
+		if e := b.seen.lookup(m.Note.ID); e != nil {
+			// Seen before: a flood copy still spreads to tree links the
+			// notification has not traveled; anything else is a loop
+			// artifact. Never redelivered — the local delivery decision
+			// was made on first sight.
+			if m.Stale {
+				b.forwardFlood(e, from, m)
+			}
+			return
+		}
+		// Record on first sight. The arrival link is NOT burned into the
+		// forwarding memory: per-call exclusion (the from arguments below)
+		// already stops echoes, and a promoted flood must stay free to
+		// travel back up the arrival path — when a stale route dead-ends
+		// at a broker whose only tree link is the one the publish came in
+		// on, the bounce is the escape (see routePublishMesh).
+		b.seen.record(m.Note.ID)
 	}
 	// The chain sees (and may mutate) a broker-local copy; forwarded
 	// messages carry the mutated copy, queued messages elsewhere don't.
@@ -332,6 +394,11 @@ func (b *Broker) handlePublish(from message.NodeID, m proto.Message) {
 // strictly after the scratch is released.
 func (b *Broker) routePublish(from message.NodeID, m proto.Message, n message.Notification) {
 	b.stats.PublishesRouted++
+
+	if b.mesh != nil {
+		b.routePublishMesh(from, m, n)
+		return
+	}
 
 	var deliver []routing.LinkMatch // nil on inner brokers: no allocation
 	if b.router.Strategy() == routing.StrategyFlooding {
@@ -397,7 +464,56 @@ func (b *Broker) handleSubscribe(from message.NodeID, m proto.Message) {
 	if m.Sub == nil {
 		return
 	}
+	// Mesh replay guard: a handshake replay (Stale) is a copy of the
+	// peer's old state, not a directional claim — the handshake replays
+	// BOTH sides' entries across the link, so accepting a cross-link
+	// flip from one would just as readily accept the mirror-image flip
+	// from the other (each side echoing the sub back toward its stale
+	// direction, up to and including stealing the entry off the
+	// subscriber's own border). Replays therefore never flip: they only
+	// fill entries that are missing outright. Directional repair is the
+	// re-anchor wave's job (see reanchor).
+	if b.mesh != nil && m.Stale {
+		if e, ok := b.router.Table().Get(m.Sub.ID); ok && e.Link != from {
+			return
+		}
+	}
 	sub := *m.Sub
+	if b.mesh != nil && m.Fresh {
+		// Wave dedup and anchor immunity (see reanchor): each (anchor,
+		// epoch) wave is processed at most once per broker, so a wave
+		// that crosses a transiently cyclic tree dies on its second
+		// visit; and a broker holding the entry at a client port IS the
+		// anchor — an echo of its own wave (or a rival's) never flips
+		// the anchored direction.
+		key := "s|" + string(m.Origin) + "|" + string(sub.ID)
+		if m.Epoch <= b.waves[key] {
+			return
+		}
+		b.waves[key] = m.Epoch
+		if e, ok := b.router.Table().Get(sub.ID); ok && !b.mesh.IsMember(e.Link) {
+			return
+		}
+		// Re-anchor wave (see reanchor): the subscriber's border re-issued
+		// this subscription after a tree change. Install or flip toward
+		// the arrival link — the wave came down the current tree from the
+		// anchor, so arrival IS the right direction — then propagate over
+		// every other tree link unconditionally, forwarding memory
+		// notwithstanding: the point is to revisit brokers that already
+		// know the sub but point it the old way. The elected tree is
+		// acyclic, so the wave crosses each component exactly once.
+		b.runSubscribe(from, &sub, func() {
+			b.stats.SubsProcessed++
+			b.router.Subscribe(sub, from, b.Peers())
+			fw := proto.Message{Kind: proto.KSubscribe, Sub: &sub, Origin: m.Origin, Epoch: m.Epoch, Fresh: true}
+			for p := range b.peers {
+				if p != from {
+					b.Send(p, fw)
+				}
+			}
+		})
+		return
+	}
 	b.runSubscribe(from, &sub, func() {
 		b.stats.SubsProcessed++
 		b.emitForwards(b.router.Subscribe(sub, from, b.Peers()))
@@ -489,12 +605,15 @@ func (b *Broker) ApplySyncInstalls(peer message.NodeID, subs, advs []proto.Subsc
 		}
 	}
 	// Advertisements first: under advertisement-based routing they gate
-	// which of the replayed subscriptions propagate.
+	// which of the replayed subscriptions propagate. Replays are marked
+	// Stale so mesh brokers can tell them from fresh directional claims:
+	// a replay flips stale broker-link routes onto the new tree but never
+	// steals a port-anchored entry (see handleSubscribe).
 	for i := range advs {
-		b.HandleMessage(peer, proto.Message{Kind: proto.KAdvertise, Sub: &advs[i], Origin: peer})
+		b.HandleMessage(peer, proto.Message{Kind: proto.KAdvertise, Sub: &advs[i], Origin: peer, Stale: true})
 	}
 	for i := range subs {
-		b.HandleMessage(peer, proto.Message{Kind: proto.KSubscribe, Sub: &subs[i], Origin: peer})
+		b.HandleMessage(peer, proto.Message{Kind: proto.KSubscribe, Sub: &subs[i], Origin: peer, Stale: true})
 	}
 }
 

@@ -91,6 +91,11 @@ type LinkObserver interface {
 // (live node event loop, simulator) — never by the overlay manager
 // directly, so observers run with broker state safely accessible.
 func (b *Broker) NotifyLinkChange(ev overlay.Event) {
+	// Mesh routing folds the transition into the link-state map first, so
+	// observers see the post-election broker state.
+	if b.mesh != nil {
+		b.meshLinkChange(ev)
+	}
 	for _, s := range b.chain {
 		if lo, ok := s.(LinkObserver); ok {
 			lo.OnLinkChange(b, ev)

@@ -51,6 +51,17 @@ func (t Topology) Validate() error {
 		return fmt.Errorf("broker: overlay must be a tree: %d nodes need %d edges, have %d",
 			len(nodes), len(nodes)-1, len(t.Edges))
 	}
+	return t.ValidateConnected()
+}
+
+// ValidateConnected checks only that the overlay is connected — the
+// requirement for mesh-routed deployments, where cycles are legal (the
+// redundant edges become failover paths for the elected spanning tree).
+func (t Topology) ValidateConnected() error {
+	nodes := t.Nodes()
+	if len(nodes) == 0 {
+		return fmt.Errorf("broker: empty topology")
+	}
 	adj := t.Adjacency()
 	seen := map[message.NodeID]bool{nodes[0]: true}
 	queue := []message.NodeID{nodes[0]}

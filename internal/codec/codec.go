@@ -27,8 +27,7 @@
 // 16 = the note carries a telemetry hop trail (version 2). Version 1
 // decoders reject unknown flag bits, so a version-2 encoder only sets the
 // traced bit on links whose handshake negotiated version ≥ 2 — the trail
-// is stripped for older peers, and the gob fallback carries the
-// Notification.Path field natively.
+// is stripped for older peers.
 // Strings are uvarint-length prefixed; lists are uvarint-count prefixed;
 // varint is the zig-zag signed encoding. A notification is
 // publisher+seq+timestamp+attribute list; a value is a one-byte kind tag
@@ -40,8 +39,10 @@
 // panic — so a malformed peer cannot take a broker down.
 //
 // The codec is versioned by the link handshake (see internal/wire): the
-// hello frame carries Magic and Version, and peers that do not speak it
-// fall back to the gob envelope encoding for one release.
+// hello frame carries Magic and Version, and peers agree on the minimum.
+// This codec is the only wire encoding — the gob fallback of early
+// releases is gone, and a peer that does not open with Magic is refused
+// with a diagnosis instead of negotiated down.
 package codec
 
 import (
@@ -59,8 +60,8 @@ import (
 )
 
 // Version is the binary protocol version negotiated by the link handshake.
-// Peers agree on min(theirs, ours); version 0 means "gob". Version 2 added
-// the traced flags bit carrying a notification's hop trail.
+// Peers agree on min(theirs, ours). Version 2 added the traced flags bit
+// carrying a notification's hop trail.
 const Version byte = 2
 
 // Magic opens a binary hello frame; it lets an accepting side distinguish

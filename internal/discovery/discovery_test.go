@@ -1,0 +1,544 @@
+package discovery
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestEntryLinking(t *testing.T) {
+	open := Entry{ID: "a", Addr: "x"}
+	restricted := Entry{ID: "b", Addr: "y", Peers: []message.NodeID{"a"}}
+	other := Entry{ID: "c", Addr: "z", Peers: []message.NodeID{"d"}}
+	if !Linked(open, restricted) {
+		t.Error("open+accepting pair not linked")
+	}
+	if Linked(open, other) {
+		t.Error("one-sided acceptance linked: c restricts to d only")
+	}
+	if Linked(open, open) {
+		t.Error("self-edge linked")
+	}
+}
+
+func TestGraphDerivation(t *testing.T) {
+	// A diamond with a chord, declared through adjacency restrictions.
+	entries := []Entry{
+		{ID: "b1", Peers: []message.NodeID{"b2", "b3"}},
+		{ID: "b2", Peers: []message.NodeID{"b1", "b3", "b4"}},
+		{ID: "b3", Peers: []message.NodeID{"b1", "b2", "b4"}},
+		{ID: "b4", Peers: []message.NodeID{"b2", "b3"}},
+	}
+	members, edges := Graph(entries)
+	wantMembers := []message.NodeID{"b1", "b2", "b3", "b4"}
+	if !reflect.DeepEqual(members, wantMembers) {
+		t.Errorf("members = %v, want %v", members, wantMembers)
+	}
+	wantEdges := [][2]message.NodeID{
+		{"b1", "b2"}, {"b1", "b3"}, {"b2", "b3"}, {"b2", "b4"}, {"b3", "b4"},
+	}
+	if !reflect.DeepEqual(edges, wantEdges) {
+		t.Errorf("edges = %v, want %v", edges, wantEdges)
+	}
+}
+
+func TestOpenURIs(t *testing.T) {
+	if _, err := Open("bogus"); err == nil {
+		t.Error("schemeless URI accepted")
+	}
+	if _, err := Open("carrier:pigeon"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	r, err := Open("file:" + filepath.Join(t.TempDir(), "peers.json"))
+	if err != nil {
+		t.Fatalf("file URI: %v", err)
+	}
+	_ = r.Close()
+	if _, ok := r.(*FileRegistry); !ok {
+		t.Errorf("file: opened %T", r)
+	}
+	d, err := Open("dns:_rebeca._tcp.example.com")
+	if err != nil {
+		t.Fatalf("dns URI: %v", err)
+	}
+	_ = d.Close()
+}
+
+func TestFileRegistryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peers.json")
+	r := NewFileRegistry(path)
+	defer func() { _ = r.Close() }()
+
+	// Missing file reads as empty membership.
+	es, err := r.Discover()
+	if err != nil || len(es) != 0 {
+		t.Fatalf("empty discover = %v, %v", es, err)
+	}
+	if err := r.Register(Entry{ID: "b2", Addr: "127.0.0.1:2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Entry{ID: "b1", Addr: "127.0.0.1:1", Peers: []message.NodeID{"b2"}}); err != nil {
+		t.Fatal(err)
+	}
+	es, err = r.Discover()
+	if err != nil || len(es) != 2 || es[0].ID != "b1" || es[1].ID != "b2" {
+		t.Fatalf("discover = %v, %v", es, err)
+	}
+	if got := es[0].Peers; len(got) != 1 || got[0] != "b2" {
+		t.Errorf("adjacency restriction lost: %v", got)
+	}
+	// Upsert replaces in place.
+	if err := r.Register(Entry{ID: "b1", Addr: "127.0.0.1:9"}); err != nil {
+		t.Fatal(err)
+	}
+	es, _ = r.Discover()
+	if len(es) != 2 || es[0].Addr != "127.0.0.1:9" {
+		t.Fatalf("upsert: %v", es)
+	}
+	if err := r.Deregister("b1"); err != nil {
+		t.Fatal(err)
+	}
+	es, _ = r.Discover()
+	if len(es) != 1 || es[0].ID != "b2" {
+		t.Fatalf("deregister: %v", es)
+	}
+}
+
+func TestFileRegistryHotReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peers.json")
+	r := NewFileRegistry(path)
+	r.SetPollInterval(10 * time.Millisecond)
+	defer func() { _ = r.Close() }()
+
+	var mu sync.Mutex
+	var last []Entry
+	snapshots := 0
+	stop := r.Watch(func(es []Entry) {
+		mu.Lock()
+		last = es
+		snapshots++
+		mu.Unlock()
+	})
+	defer stop()
+	mu.Lock()
+	if snapshots != 1 || len(last) != 0 {
+		t.Fatalf("want one immediate empty snapshot, got %d/%v", snapshots, last)
+	}
+	mu.Unlock()
+
+	// An external edit — another process's Register — is picked up by the
+	// poll without any local call.
+	if err := os.WriteFile(path, []byte(`[{"id":"b7","addr":"127.0.0.1:7"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(last) == 1 && last[0].ID == "b7"
+	}, "hot reload of an external registry edit")
+}
+
+func TestFileRegistryLockContention(t *testing.T) {
+	// Many registries (processes) hammering one file must not lose
+	// registrations: the sidecar lock serializes read-modify-write.
+	path := filepath.Join(t.TempDir(), "peers.json")
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := NewFileRegistry(path)
+			defer func() { _ = r.Close() }()
+			errs[i] = r.Register(Entry{
+				ID:   message.NodeID(fmt.Sprintf("b%d", i)),
+				Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	es, err := NewFileRegistry(path).Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != n {
+		t.Fatalf("lost registrations under contention: %d of %d survived (%v)", len(es), n, es)
+	}
+}
+
+func TestFileRegistryStaleLockBroken(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peers.json")
+	// A crashed writer left its lock behind, older than the staleness
+	// bound; the next writer must break it instead of timing out.
+	lockPath := path + ".lock"
+	if err := os.WriteFile(lockPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * lockStale)
+	if err := os.Chtimes(lockPath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	r := NewFileRegistry(path)
+	defer func() { _ = r.Close() }()
+	if err := r.Register(Entry{ID: "b1", Addr: "x"}); err != nil {
+		t.Fatalf("register under stale lock: %v", err)
+	}
+}
+
+func TestDNSRegistry(t *testing.T) {
+	r := NewDNSRegistry("_rebeca._tcp.example.com")
+	r.SetPollInterval(10 * time.Millisecond)
+	defer func() { _ = r.Close() }()
+
+	var mu sync.Mutex
+	records := []*net.SRV{
+		{Target: "b1.brokers.example.com.", Port: 7001},
+		{Target: "b2.brokers.example.com.", Port: 7002},
+	}
+	r.SetLookup(func(string) ([]*net.SRV, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]*net.SRV(nil), records...), nil
+	})
+
+	es, err := r.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 || es[0].ID != "b1" || es[0].Addr != "b1.brokers.example.com:7001" {
+		t.Fatalf("discover = %v", es)
+	}
+	// Registration is out of band for DNS: no-ops, no error.
+	if err := r.Register(Entry{ID: "bX"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Entry
+	var gmu sync.Mutex
+	stop := r.Watch(func(es []Entry) {
+		gmu.Lock()
+		got = es
+		gmu.Unlock()
+	})
+	defer stop()
+	mu.Lock()
+	records = records[:1] // b2's SRV record withdrawn
+	mu.Unlock()
+	waitFor(t, func() bool {
+		gmu.Lock()
+		defer gmu.Unlock()
+		return len(got) == 1 && got[0].ID == "b1"
+	}, "watch to observe the SRV change")
+}
+
+func TestGossipConvergenceAndTombstone(t *testing.T) {
+	a, err := NewGossipRegistry("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.SetInterval(10 * time.Millisecond)
+	b, err := NewGossipRegistry("127.0.0.1:0", []string{a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	b.SetInterval(10 * time.Millisecond)
+
+	if err := a.Register(Entry{ID: "a", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(Entry{ID: "b", Addr: "127.0.0.1:2"}); err != nil {
+		t.Fatal(err)
+	}
+	both := func(r *GossipRegistry) bool {
+		es, err := r.Discover()
+		return err == nil && len(es) == 2
+	}
+	waitFor(t, func() bool { return both(a) && both(b) }, "gossip convergence on both views")
+
+	// Deregistration travels as a tombstone, not by absence.
+	if err := b.Deregister("b"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		es, err := a.Discover()
+		return err == nil && len(es) == 1 && es[0].ID == "a"
+	}, "tombstone to reach the peer")
+}
+
+func TestGossipSelfRefutation(t *testing.T) {
+	a, err := NewGossipRegistry("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.SetInterval(10 * time.Millisecond)
+	if err := a.Register(Entry{ID: "a", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGossipRegistry("127.0.0.1:0", []string{a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	b.SetInterval(10 * time.Millisecond)
+	if err := b.Register(Entry{ID: "b", Addr: "127.0.0.1:2"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		es, err := b.Discover()
+		return err == nil && len(es) == 2
+	}, "initial convergence")
+	// b spreads the rumor that a died (a failure detector's verdict, or a
+	// stale tombstone from a's previous incarnation). When the tombstone
+	// reaches a, the still-alive node must refute it by out-versioning —
+	// and the refutation must win back the rumor's source.
+	if err := b.Deregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		es, err := a.Discover()
+		if err != nil {
+			return false
+		}
+		for _, e := range es {
+			if e.ID == "a" {
+				return true
+			}
+		}
+		return false
+	}, "the node to refute its own death rumor")
+	// The refutation must also win at the rumor's source.
+	waitFor(t, func() bool {
+		es, err := b.Discover()
+		if err != nil {
+			return false
+		}
+		for _, e := range es {
+			if e.ID == "a" {
+				return true
+			}
+		}
+		return false
+	}, "the refutation to propagate back")
+}
+
+// scriptedRegistry drives Membership.apply directly: snapshots are pushed
+// by the test, Register/Deregister record calls.
+type scriptedRegistry struct {
+	mu         sync.Mutex
+	registered []Entry
+	deregs     []message.NodeID
+	fn         func([]Entry)
+}
+
+func (s *scriptedRegistry) Register(e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registered = append(s.registered, e)
+	return nil
+}
+func (s *scriptedRegistry) Deregister(id message.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deregs = append(s.deregs, id)
+	return nil
+}
+func (s *scriptedRegistry) Discover() ([]Entry, error) { return nil, nil }
+func (s *scriptedRegistry) Watch(fn func([]Entry)) (stop func()) {
+	s.mu.Lock()
+	s.fn = fn
+	s.mu.Unlock()
+	return func() {}
+}
+func (s *scriptedRegistry) Close() error { return nil }
+
+func (s *scriptedRegistry) push(es []Entry) {
+	s.mu.Lock()
+	fn := s.fn
+	s.mu.Unlock()
+	if fn != nil {
+		fn(es)
+	}
+}
+
+// recordingHost records link commands and snapshots.
+type recordingHost struct {
+	mu    sync.Mutex
+	log   []string
+	snaps int
+}
+
+func (h *recordingHost) AddLink(peer message.NodeID, addr string, dial bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.log = append(h.log, fmt.Sprintf("add %s %s dial=%v", peer, addr, dial))
+}
+func (h *recordingHost) RemoveLink(peer message.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.log = append(h.log, fmt.Sprintf("rm %s", peer))
+}
+func (h *recordingHost) MembersChanged([]Entry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.snaps++
+}
+func (h *recordingHost) snapshot() ([]string, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.log...), h.snaps
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	reg := &scriptedRegistry{}
+	host := &recordingHost{}
+	m := NewMembership(MembershipConfig{
+		Self:     "b2",
+		Addr:     "127.0.0.1:2",
+		Registry: reg,
+		Host:     host,
+	})
+	if ok, why := m.Ready(); ok {
+		t.Fatalf("ready before any snapshot (%s)", why)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop(true)
+	reg.mu.Lock()
+	if len(reg.registered) != 1 || reg.registered[0].ID != "b2" || reg.registered[0].Addr != "127.0.0.1:2" {
+		t.Fatalf("registered = %v", reg.registered)
+	}
+	reg.mu.Unlock()
+
+	// First snapshot: b1 and b3 join. Dial direction is deterministic:
+	// b2 dials only the lexicographically larger b3; b1 dials us.
+	reg.push([]Entry{
+		{ID: "b1", Addr: "127.0.0.1:1"},
+		{ID: "b2", Addr: "127.0.0.1:2"},
+		{ID: "b3", Addr: "127.0.0.1:3"},
+	})
+	log, snaps := host.snapshot()
+	want := map[string]bool{
+		"add b1 127.0.0.1:1 dial=false": false,
+		"add b3 127.0.0.1:3 dial=true":  false,
+	}
+	for _, l := range log {
+		if _, ok := want[l]; !ok {
+			t.Errorf("unexpected host command %q", l)
+		} else {
+			want[l] = true
+		}
+	}
+	for l, seen := range want {
+		if !seen {
+			t.Errorf("missing host command %q", l)
+		}
+	}
+	if snaps != 1 {
+		t.Errorf("MembersChanged calls = %d, want 1", snaps)
+	}
+	if m.Peers() != 2 {
+		t.Errorf("Peers = %d, want 2", m.Peers())
+	}
+	if ok, why := m.Ready(); !ok {
+		t.Errorf("not ready after self-including snapshot: %s", why)
+	}
+
+	// b3 departs; b1 moves. The changed address re-dials (rm then add).
+	reg.push([]Entry{
+		{ID: "b1", Addr: "127.0.0.1:99"},
+		{ID: "b2", Addr: "127.0.0.1:2"},
+	})
+	log, snaps = host.snapshot()
+	rest := log[2:]
+	hasRm3, hasRm1, hasAdd1 := false, false, false
+	for _, l := range rest {
+		switch l {
+		case "rm b3":
+			hasRm3 = true
+		case "rm b1":
+			hasRm1 = true
+		case "add b1 127.0.0.1:99 dial=false":
+			hasAdd1 = true
+		}
+	}
+	if !hasRm3 || !hasRm1 || !hasAdd1 {
+		t.Errorf("departure/update commands missing: %v", rest)
+	}
+	if snaps != 2 {
+		t.Errorf("MembersChanged calls = %d, want 2", snaps)
+	}
+	ev := m.Events()
+	if ev["join"] != 2 || ev["leave"] != 1 || ev["update"] != 1 {
+		t.Errorf("events = %v", ev)
+	}
+
+	// A snapshot that drops us flips readiness without dropping links.
+	reg.push([]Entry{{ID: "b1", Addr: "127.0.0.1:99"}})
+	if ok, why := m.Ready(); ok {
+		t.Errorf("ready while absent from the registry (%s)", why)
+	}
+
+	m.Stop(true)
+	reg.mu.Lock()
+	if len(reg.deregs) != 1 || reg.deregs[0] != "b2" {
+		t.Errorf("deregs = %v", reg.deregs)
+	}
+	reg.mu.Unlock()
+}
+
+func TestMembershipAdjacencyRestriction(t *testing.T) {
+	reg := &scriptedRegistry{}
+	host := &recordingHost{}
+	m := NewMembership(MembershipConfig{
+		Self:     "b1",
+		Addr:     "127.0.0.1:1",
+		Peers:    []message.NodeID{"b2"}, // link only to b2
+		Registry: reg,
+		Host:     host,
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop(false)
+	reg.push([]Entry{
+		{ID: "b1", Addr: "127.0.0.1:1", Peers: []message.NodeID{"b2"}},
+		{ID: "b2", Addr: "127.0.0.1:2"},
+		{ID: "b3", Addr: "127.0.0.1:3"},
+	})
+	log, _ := host.snapshot()
+	if len(log) != 1 || log[0] != "add b2 127.0.0.1:2 dial=true" {
+		t.Errorf("adjacency restriction not honored: %v", log)
+	}
+	if m.Peers() != 1 {
+		t.Errorf("Peers = %d, want 1", m.Peers())
+	}
+}

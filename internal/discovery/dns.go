@@ -1,0 +1,179 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// SRVLookup resolves a DNS SRV name to its records. Injectable so tests
+// run without a resolver.
+type SRVLookup func(name string) ([]*net.SRV, error)
+
+// DNSRegistry is the read-only DNS SRV backend: membership is whatever
+// the SRV name resolves to, each record one broker. The broker ID is the
+// target host's first DNS label (b2.brokers.example.com → "b2"), the
+// overlay address its target:port. Register and Deregister are no-ops —
+// DNS is authoritative elsewhere (an operator, an orchestrator's headless
+// service) — and Watch polls the name.
+type DNSRegistry struct {
+	name   string
+	lookup SRVLookup
+
+	mu       sync.Mutex
+	interval time.Duration
+	watchers map[int]func([]Entry)
+	nextID   int
+	last     string
+	stopPoll chan struct{}
+	done     chan struct{}
+	closed   bool
+}
+
+// dnsPollInterval is the default SRV re-resolution cadence; DNS caches
+// make faster polling pointless.
+const dnsPollInterval = 2 * time.Second
+
+// NewDNSRegistry returns a registry resolving the given SRV name with the
+// system resolver.
+func NewDNSRegistry(name string) *DNSRegistry {
+	return &DNSRegistry{
+		name: name,
+		lookup: func(name string) ([]*net.SRV, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_, srvs, err := net.DefaultResolver.LookupSRV(ctx, "", "", name)
+			return srvs, err
+		},
+		interval: dnsPollInterval,
+		watchers: make(map[int]func([]Entry)),
+	}
+}
+
+// SetLookup replaces the resolver (tests).
+func (r *DNSRegistry) SetLookup(fn SRVLookup) { r.lookup = fn }
+
+// SetPollInterval overrides the re-resolution cadence. Call before the
+// first Watch.
+func (r *DNSRegistry) SetPollInterval(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d > 0 {
+		r.interval = d
+	}
+}
+
+// Register is a no-op: DNS membership is managed out of band.
+func (r *DNSRegistry) Register(Entry) error { return nil }
+
+// Deregister is a no-op: DNS membership is managed out of band.
+func (r *DNSRegistry) Deregister(message.NodeID) error { return nil }
+
+// Discover resolves the SRV name into entries.
+func (r *DNSRegistry) Discover() ([]Entry, error) {
+	srvs, err := r.lookup(r.name)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: resolve %s: %w", r.name, err)
+	}
+	es := make([]Entry, 0, len(srvs))
+	for _, srv := range srvs {
+		host := strings.TrimSuffix(srv.Target, ".")
+		id, _, _ := strings.Cut(host, ".")
+		if id == "" {
+			continue
+		}
+		es = append(es, Entry{
+			ID:   message.NodeID(id),
+			Addr: net.JoinHostPort(host, fmt.Sprint(srv.Port)),
+		})
+	}
+	sortEntries(es)
+	return es, nil
+}
+
+// Watch polls the SRV name and broadcasts snapshots on change.
+func (r *DNSRegistry) Watch(fn func([]Entry)) (stop func()) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return func() {}
+	}
+	id := r.nextID
+	r.nextID++
+	r.watchers[id] = fn
+	if r.stopPoll == nil {
+		r.stopPoll = make(chan struct{})
+		r.done = make(chan struct{})
+		go r.poll(r.stopPoll, r.done)
+	}
+	r.mu.Unlock()
+	if es, err := r.Discover(); err == nil {
+		fn(es)
+		r.mu.Lock()
+		r.last = fingerprint(es)
+		r.mu.Unlock()
+	}
+	return func() {
+		r.mu.Lock()
+		delete(r.watchers, id)
+		r.mu.Unlock()
+	}
+}
+
+func (r *DNSRegistry) poll(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	r.mu.Lock()
+	interval := r.interval
+	r.mu.Unlock()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		es, err := r.Discover()
+		if err != nil {
+			continue // transient resolver failure; keep the last view
+		}
+		fp := fingerprint(es)
+		r.mu.Lock()
+		if fp == r.last {
+			r.mu.Unlock()
+			continue
+		}
+		r.last = fp
+		fns := make([]func([]Entry), 0, len(r.watchers))
+		for _, fn := range r.watchers {
+			fns = append(fns, fn)
+		}
+		r.mu.Unlock()
+		for _, fn := range fns {
+			fn(es)
+		}
+	}
+}
+
+// Close stops the watch goroutine.
+func (r *DNSRegistry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	stop, done := r.stopPoll, r.done
+	r.watchers = make(map[int]func([]Entry))
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return nil
+}

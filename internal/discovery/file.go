@@ -1,0 +1,272 @@
+package discovery
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// FileRegistry is the static-file backend: a JSON array of entries,
+// hot-reloaded. Register/Deregister rewrite the file atomically
+// (temp + rename) under a sidecar lock file, so several broker processes
+// can share one registry file; Watch polls for content changes. A missing
+// file reads as an empty membership — brokers may start before the first
+// registration lands.
+type FileRegistry struct {
+	path string
+
+	mu       sync.Mutex
+	interval time.Duration
+	watchers map[int]func([]Entry)
+	nextID   int
+	last     string // fingerprint of the last snapshot broadcast
+	stopPoll chan struct{}
+	done     chan struct{}
+	closed   bool
+}
+
+// filePollInterval is the default watch poll cadence. Fast enough that a
+// membership edit converges in human-imperceptible time, slow enough that
+// an idle fleet costs nothing measurable.
+const filePollInterval = 200 * time.Millisecond
+
+// NewFileRegistry returns a registry backed by a JSON file at path.
+func NewFileRegistry(path string) *FileRegistry {
+	return &FileRegistry{
+		path:     path,
+		interval: filePollInterval,
+		watchers: make(map[int]func([]Entry)),
+	}
+}
+
+// SetPollInterval overrides the watch poll cadence (tests). Call before
+// the first Watch.
+func (r *FileRegistry) SetPollInterval(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d > 0 {
+		r.interval = d
+	}
+}
+
+func (r *FileRegistry) load() ([]Entry, error) {
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("discovery: read %s: %w", r.path, err)
+	}
+	var es []Entry
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &es); err != nil {
+			return nil, fmt.Errorf("discovery: parse %s: %w", r.path, err)
+		}
+	}
+	kept := es[:0]
+	for _, e := range es {
+		if e.ID != "" {
+			kept = append(kept, e)
+		}
+	}
+	sortEntries(kept)
+	return kept, nil
+}
+
+func (r *FileRegistry) store(es []Entry) error {
+	sortEntries(es)
+	data, err := json.MarshalIndent(es, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(r.path)
+	tmp, err := os.CreateTemp(dir, ".peers-*.json")
+	if err != nil {
+		return fmt.Errorf("discovery: write %s: %w", r.path, err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("discovery: write %s: %w", r.path, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), r.path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("discovery: write %s: %w", r.path, err)
+	}
+	return nil
+}
+
+// lock takes the registry's cross-process mutation lock (a sidecar
+// O_EXCL file). A lock older than lockStale is assumed abandoned by a
+// crashed writer and broken.
+const lockStale = 2 * time.Second
+
+func (r *FileRegistry) lock() (unlock func(), err error) {
+	lockPath := r.path + ".lock"
+	deadline := time.Now().Add(lockStale + time.Second)
+	for {
+		f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_ = f.Close()
+			return func() { _ = os.Remove(lockPath) }, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("discovery: lock %s: %w", lockPath, err)
+		}
+		if fi, serr := os.Stat(lockPath); serr == nil && time.Since(fi.ModTime()) > lockStale {
+			_ = os.Remove(lockPath)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("discovery: lock %s: timed out", lockPath)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Register upserts e. Writing is skipped when an identical entry is
+// already present (a fleet booted from a pre-seeded file never rewrites
+// it).
+func (r *FileRegistry) Register(e Entry) error {
+	if e.ID == "" {
+		return errors.New("discovery: register: empty ID")
+	}
+	unlock, err := r.lock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	es, err := r.load()
+	if err != nil {
+		return err
+	}
+	for i, cur := range es {
+		if cur.ID != e.ID {
+			continue
+		}
+		if cur.Addr == e.Addr && fingerprint([]Entry{cur}) == fingerprint([]Entry{e}) {
+			return nil
+		}
+		es[i] = e
+		return r.store(es)
+	}
+	return r.store(append(es, e))
+}
+
+// Deregister removes id's entry (a no-op when absent).
+func (r *FileRegistry) Deregister(id message.NodeID) error {
+	unlock, err := r.lock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	es, err := r.load()
+	if err != nil {
+		return err
+	}
+	kept := es[:0]
+	for _, e := range es {
+		if e.ID != id {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == len(es) {
+		return nil
+	}
+	return r.store(kept)
+}
+
+// Discover returns the file's current entries.
+func (r *FileRegistry) Discover() ([]Entry, error) { return r.load() }
+
+// Watch registers fn; the shared poll goroutine starts on first use.
+func (r *FileRegistry) Watch(fn func([]Entry)) (stop func()) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return func() {}
+	}
+	id := r.nextID
+	r.nextID++
+	r.watchers[id] = fn
+	if r.stopPoll == nil {
+		r.stopPoll = make(chan struct{})
+		r.done = make(chan struct{})
+		go r.poll(r.stopPoll, r.done)
+	}
+	r.mu.Unlock()
+
+	// Immediate initial snapshot: a watcher never waits a poll tick to
+	// learn the current membership.
+	if es, err := r.load(); err == nil {
+		fn(es)
+		r.mu.Lock()
+		r.last = fingerprint(es)
+		r.mu.Unlock()
+	}
+	return func() {
+		r.mu.Lock()
+		delete(r.watchers, id)
+		r.mu.Unlock()
+	}
+}
+
+func (r *FileRegistry) poll(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	r.mu.Lock()
+	interval := r.interval
+	r.mu.Unlock()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		es, err := r.load()
+		if err != nil {
+			continue // transient parse mid-rewrite; next tick retries
+		}
+		fp := fingerprint(es)
+		r.mu.Lock()
+		if fp == r.last {
+			r.mu.Unlock()
+			continue
+		}
+		r.last = fp
+		fns := make([]func([]Entry), 0, len(r.watchers))
+		for _, fn := range r.watchers {
+			fns = append(fns, fn)
+		}
+		r.mu.Unlock()
+		for _, fn := range fns {
+			fn(es)
+		}
+	}
+}
+
+// Close stops the watch goroutine.
+func (r *FileRegistry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	stop, done := r.stopPoll, r.done
+	r.watchers = make(map[int]func([]Entry))
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package discovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// GossipRegistry is the self-election seed backend: every broker runs a
+// tiny anti-entropy agent, and the cluster converges on a shared
+// membership view with no external store — the fleet "elects itself" from
+// nothing but a seed address list. Each agent holds versioned records
+// (entry + incarnation version + tombstone) and periodically push-pulls
+// its full record set with a random known peer; higher versions win, a
+// node refutes stale records about itself by out-versioning them, and
+// Deregister spreads a tombstone. Convergence is O(log n) rounds,
+// SWIM/memberlist style but deliberately simple — membership here is
+// tens of brokers, not thousands.
+type GossipRegistry struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	records  map[message.NodeID]gossipRecord
+	self     message.NodeID // set by Register
+	seeds    []string
+	interval time.Duration
+	watchers map[int]func([]Entry)
+	nextID   int
+	last     string
+	closed   bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// gossipRecord is one node's versioned registration as exchanged on the
+// gossip wire.
+type gossipRecord struct {
+	Entry   Entry  `json:"entry"`
+	Gossip  string `json:"gossip"` // the owner's gossip listen address
+	Version uint64 `json:"version"`
+	Dead    bool   `json:"dead,omitempty"`
+}
+
+// gossipInterval is the default anti-entropy round cadence.
+const gossipInterval = 300 * time.Millisecond
+
+// NewGossipRegistry starts a gossip agent listening on listen (host:port;
+// port 0 picks one) and bootstrapping from the seed addresses — other
+// agents' gossip addresses, any alive subset suffices.
+func NewGossipRegistry(listen string, seeds []string) (*GossipRegistry, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: gossip listen %s: %w", listen, err)
+	}
+	kept := make([]string, 0, len(seeds))
+	for _, s := range seeds {
+		if s != "" && s != ln.Addr().String() {
+			kept = append(kept, s)
+		}
+	}
+	g := &GossipRegistry{
+		ln:       ln,
+		records:  make(map[message.NodeID]gossipRecord),
+		seeds:    kept,
+		interval: gossipInterval,
+		watchers: make(map[int]func([]Entry)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go g.serve()
+	go g.loop()
+	return g, nil
+}
+
+// Addr returns the agent's bound gossip address — what other nodes list
+// as a seed.
+func (g *GossipRegistry) Addr() string { return g.ln.Addr().String() }
+
+// SetInterval overrides the anti-entropy cadence (tests).
+func (g *GossipRegistry) SetInterval(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if d > 0 {
+		g.interval = d
+	}
+}
+
+// Register asserts our own record at a fresh incarnation (out-versioning
+// any tombstone a previous incarnation left behind).
+func (g *GossipRegistry) Register(e Entry) error {
+	g.mu.Lock()
+	cur := g.records[e.ID]
+	g.records[e.ID] = gossipRecord{Entry: e, Gossip: g.Addr(), Version: cur.Version + 1}
+	g.self = e.ID
+	g.mu.Unlock()
+	g.broadcast()
+	g.round() // push immediately so joins converge in one dial, not one tick
+	return nil
+}
+
+// Deregister spreads a tombstone for id and pushes it out synchronously
+// (best effort) so a graceful shutdown converges before the process
+// exits.
+func (g *GossipRegistry) Deregister(id message.NodeID) error {
+	g.mu.Lock()
+	cur, ok := g.records[id]
+	if !ok || cur.Dead {
+		g.mu.Unlock()
+		return nil
+	}
+	cur.Dead = true
+	cur.Version++
+	g.records[id] = cur
+	g.mu.Unlock()
+	g.broadcast()
+	g.round()
+	return nil
+}
+
+// Discover returns the live entries of the current gossip view.
+func (g *GossipRegistry) Discover() ([]Entry, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.snapshotLocked(), nil
+}
+
+func (g *GossipRegistry) snapshotLocked() []Entry {
+	es := make([]Entry, 0, len(g.records))
+	for _, rec := range g.records {
+		if !rec.Dead && rec.Entry.ID != "" {
+			es = append(es, rec.Entry)
+		}
+	}
+	sortEntries(es)
+	return es
+}
+
+// Watch broadcasts the gossip view on every convergence step.
+func (g *GossipRegistry) Watch(fn func([]Entry)) (stop func()) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return func() {}
+	}
+	id := g.nextID
+	g.nextID++
+	g.watchers[id] = fn
+	es := g.snapshotLocked()
+	g.last = fingerprint(es)
+	g.mu.Unlock()
+	fn(es)
+	return func() {
+		g.mu.Lock()
+		delete(g.watchers, id)
+		g.mu.Unlock()
+	}
+}
+
+// broadcast notifies watchers when the view changed since the last
+// broadcast.
+func (g *GossipRegistry) broadcast() {
+	g.mu.Lock()
+	es := g.snapshotLocked()
+	fp := fingerprint(es)
+	if fp == g.last {
+		g.mu.Unlock()
+		return
+	}
+	g.last = fp
+	fns := make([]func([]Entry), 0, len(g.watchers))
+	for _, fn := range g.watchers {
+		fns = append(fns, fn)
+	}
+	g.mu.Unlock()
+	for _, fn := range fns {
+		fn(es)
+	}
+}
+
+// merge folds remote records into ours; higher versions win. A stale or
+// tombstoned record about ourselves is refuted by out-versioning it —
+// the standard incarnation rule, so a restarted broker reclaims its
+// identity.
+func (g *GossipRegistry) merge(remote []gossipRecord) (changed bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, rec := range remote {
+		id := rec.Entry.ID
+		if id == "" {
+			continue
+		}
+		cur, ok := g.records[id]
+		if id == g.self && g.self != "" {
+			if rec.Version >= cur.Version && (rec.Dead || rec.Entry.Addr != cur.Entry.Addr) {
+				cur.Version = rec.Version + 1
+				cur.Dead = false
+				g.records[id] = cur
+				changed = true
+			}
+			continue
+		}
+		if !ok || rec.Version > cur.Version {
+			g.records[id] = rec
+			changed = true
+		}
+	}
+	return changed
+}
+
+// exchange performs one push-pull with addr: send our records, merge the
+// reply.
+func (g *GossipRegistry) exchange(addr string) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	g.mu.Lock()
+	ours := make([]gossipRecord, 0, len(g.records))
+	for _, rec := range g.records {
+		ours = append(ours, rec)
+	}
+	g.mu.Unlock()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(ours); err != nil {
+		return
+	}
+	var theirs []gossipRecord
+	if err := json.NewDecoder(conn).Decode(&theirs); err != nil {
+		return
+	}
+	if g.merge(theirs) {
+		g.broadcast()
+	}
+}
+
+// round gossips with up to two targets chosen from seeds and known
+// agents.
+func (g *GossipRegistry) round() {
+	g.mu.Lock()
+	targets := make(map[string]bool, len(g.seeds)+len(g.records))
+	for _, s := range g.seeds {
+		targets[s] = true
+	}
+	for _, rec := range g.records {
+		if rec.Gossip != "" && rec.Gossip != g.Addr() {
+			targets[rec.Gossip] = true
+		}
+	}
+	g.mu.Unlock()
+	addrs := make([]string, 0, len(targets))
+	for a := range targets {
+		addrs = append(addrs, a)
+	}
+	rand.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+	if len(addrs) > 2 {
+		addrs = addrs[:2]
+	}
+	for _, a := range addrs {
+		g.exchange(a)
+	}
+}
+
+func (g *GossipRegistry) loop() {
+	defer close(g.done)
+	g.mu.Lock()
+	interval := g.interval
+	g.mu.Unlock()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.round()
+		}
+	}
+}
+
+func (g *GossipRegistry) serve() {
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+			var theirs []gossipRecord
+			if err := json.NewDecoder(conn).Decode(&theirs); err != nil {
+				return
+			}
+			changed := g.merge(theirs)
+			g.mu.Lock()
+			ours := make([]gossipRecord, 0, len(g.records))
+			for _, rec := range g.records {
+				ours = append(ours, rec)
+			}
+			g.mu.Unlock()
+			_ = json.NewEncoder(conn).Encode(ours)
+			if changed {
+				g.broadcast()
+			}
+		}(conn)
+	}
+}
+
+// Close stops the agent and its listener.
+func (g *GossipRegistry) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.watchers = make(map[int]func([]Entry))
+	g.mu.Unlock()
+	close(g.stop)
+	err := g.ln.Close()
+	<-g.done
+	return err
+}

@@ -165,6 +165,21 @@ func (g *Graph) ShortestPath(a, b message.NodeID) []message.NodeID {
 	return nil
 }
 
+// Edges returns every undirected edge exactly once, each normalized
+// smaller-ID-first and the list sorted — the full graph as a broker mesh
+// overlay (cycles included), as opposed to SpanningTree's acyclic subset.
+func (g *Graph) Edges() [][2]message.NodeID {
+	var edges [][2]message.NodeID
+	for _, a := range g.Nodes() {
+		for _, b := range g.Neighbors(a) {
+			if a < b {
+				edges = append(edges, [2]message.NodeID{a, b})
+			}
+		}
+	}
+	return edges
+}
+
 // SpanningTree returns the edges of a BFS spanning tree rooted at the
 // lexicographically smallest node, used to derive an acyclic broker overlay
 // from an arbitrary movement graph.

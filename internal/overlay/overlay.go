@@ -309,6 +309,62 @@ func (m *Manager) AddPeer(peer message.NodeID, dialer bool) {
 	}
 }
 
+// RemovePeer stops supervising a departed peer: timers are cancelled,
+// the pending queue is discarded, the physical link is closed and the
+// link forgotten (a later AddPeer starts fresh). Safe to call for
+// unknown peers. Driven by the discovery subsystem when a broker leaves
+// the registry.
+func (m *Manager) RemovePeer(peer message.NodeID) {
+	m.mu.Lock()
+	l := m.links[peer]
+	if l == nil {
+		m.mu.Unlock()
+		return
+	}
+	from := l.state
+	l.cancelTimers()
+	l.state = StateClosed
+	delete(m.links, peer)
+	m.mu.Unlock()
+	if m.cfg.CloseLink != nil {
+		m.cfg.CloseLink(peer)
+	}
+	m.observe(peer, from, StateClosed, "peer removed")
+}
+
+// Resync re-runs the sync handshake's routing replay on an established
+// link without touching its lifecycle: a KHello at the current
+// generation solicits the peer's KSyncInstall (accepted while
+// established), reconciling routing state when a mesh tree change
+// reactivates a standby link. No-op unless the link is established.
+func (m *Manager) Resync(peer message.NodeID) {
+	m.mu.Lock()
+	l := m.links[peer]
+	if l == nil || m.closed || l.state != StateEstablished {
+		m.mu.Unlock()
+		return
+	}
+	gen := l.gen
+	m.mu.Unlock()
+	m.transmit(peer, gen, proto.Message{Kind: proto.KHello, Origin: m.cfg.Self, Epoch: gen})
+}
+
+// TakePending removes and returns the peer's queued backlog. The mesh
+// layer re-routes it along the new spanning tree when the peer's link
+// leaves the tree, so traffic queued toward a cut link is not stranded
+// until (if ever) the link heals.
+func (m *Manager) TakePending(peer message.NodeID) []proto.Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.links[peer]
+	if l == nil || len(l.pending) == 0 {
+		return nil
+	}
+	out := l.pending
+	l.pending = nil
+	return out
+}
+
 // LinkUp reports a freshly established physical link (successful dial
 // or inbound accept). It starts the sync handshake and returns the
 // link's new handshake generation; the host tags the link's read pump
@@ -437,6 +493,17 @@ func (m *Manager) HandleControl(peer message.NodeID, gen uint64, msg proto.Messa
 			Epoch: msg.Epoch, Subs: subs, Advs: advs,
 		})
 	case proto.KSyncInstall:
+		if l.state == StateEstablished && msg.Epoch == curGen {
+			// A resync replay on a live link (Resync: a mesh tree change
+			// reactivated a standby link): reconcile routing state without
+			// touching the link lifecycle — no pending flush, no timer
+			// resets.
+			m.mu.Unlock()
+			if m.cfg.ApplySync != nil {
+				m.cfg.ApplySync(peer, msg.Subs, msg.Advs)
+			}
+			return true
+		}
 		if l.state != StateHandshaking || msg.Epoch != curGen {
 			// A duplicate, or the reply to a hello from a superseded
 			// link generation: the versioning exists to discard exactly

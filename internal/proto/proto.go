@@ -5,7 +5,7 @@
 // propagation, buffer fetch).
 //
 // A single Message struct with optional payload fields keeps the transport,
-// simulator and gob encoding uniform; Kind discriminates.
+// simulator and binary codec uniform; Kind discriminates.
 package proto
 
 import (
@@ -120,6 +120,22 @@ const (
 	// KPong answers a KPing.
 	KPong
 
+	// --- mesh routing (link-state flooding, internal/broker mesh mode) ---
+
+	// KLinkState floods one broker's observation of an incident overlay
+	// edge through the mesh so every broker recomputes the same spanning
+	// tree. It reuses existing envelope fields: Origin is the reporting
+	// broker, Client the far end of the reported edge (reports always
+	// concern the reporter's own incident edges), Epoch the reporter's
+	// monotonic link-state sequence, and Stale marks the edge down
+	// (false = back up). Dest stays empty — a set Dest would make the
+	// record look like a unicast in transit. Brokers keep the highest
+	// Epoch per (reporter, edge), re-flood only fresh records, and never
+	// flood back onto the arrival link.
+	// (reporter, edge), re-flood only fresh records, and never flood back
+	// onto the arrival link.
+	KLinkState
+
 	// numKinds marks the end of the enum; keep it last.
 	numKinds
 )
@@ -155,6 +171,7 @@ var kindNames = map[Kind]string{
 	KSyncInstall:      "sync-install",
 	KPing:             "ping",
 	KPong:             "pong",
+	KLinkState:        "link-state",
 }
 
 // String returns the kind's wire name.

@@ -25,6 +25,15 @@ type ClusterConfig struct {
 	// Topology is the acyclic broker overlay. If empty, it is derived as a
 	// spanning tree of Movement.
 	Topology broker.Topology
+	// Mesh lifts the tree requirement: Topology may be any connected
+	// graph. Brokers run the replicated spanning-tree election over the
+	// declared edges (root = lowest ID) and forward on the elected tree;
+	// redundant links become failover paths. Combine with Overlay so
+	// CutLink feeds the election — the link managers report the failure,
+	// brokers re-elect, and traffic reroutes over a surviving edge. The
+	// election itself is message-driven (no timers), so Settle drains
+	// re-convergence like any other traffic.
+	Mesh bool
 	// Movement is the movement graph (defines nlb). Optional when no
 	// replicators are deployed.
 	Movement *movement.Graph
@@ -147,7 +156,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		topo = broker.Topology{Edges: cfg.Movement.SpanningTree()}
 	}
-	if err := topo.Validate(); err != nil {
+	if cfg.Mesh {
+		if err := topo.ValidateConnected(); err != nil {
+			return nil, err
+		}
+	} else if err := topo.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Strategy == routing.StrategyInvalid {
@@ -225,6 +238,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			NextHop: hops[id],
 		})
 		c.Brokers[id] = b
+		if cfg.Mesh {
+			// Seed the full declared graph before any link events: the
+			// first election replaces the raw adjacency in b.peers and
+			// the BFS next hops with the elected tree's.
+			b.EnableMesh()
+			b.SetMeshTopology(topo.Nodes(), topo.Edges)
+		}
 		net.AddNode(id, EndpointFunc(func(from message.NodeID, m proto.Message) {
 			if mgr := c.Overlays[id]; mgr != nil && peerOf[from] {
 				if mgr.HandleControl(from, 0, m) {
@@ -298,6 +318,23 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 					}
 				},
 			})
+			if cfg.Mesh {
+				// Tree transitions repair through the overlay: links
+				// promoted into the tree resync their routing state, and
+				// traffic queued on demoted links re-floods so nothing
+				// waits out a dead link's pending queue.
+				mgr := c.Overlays[id]
+				b.OnTreeChange(func(added, removed []message.NodeID) {
+					for _, p := range added {
+						mgr.Resync(p)
+					}
+					for _, p := range removed {
+						if msgs := mgr.TakePending(p); len(msgs) > 0 {
+							b.ReforwardPending(p, msgs)
+						}
+					}
+				})
+			}
 		}
 		// Passive sides first: the dialer's AddPeer dials synchronously,
 		// and the sim's "accept" is the peer manager's LinkUp — the peer

@@ -34,6 +34,11 @@ const (
 	MetricStreamDropped  = "rebeca_stream_dropped_total"
 	MetricRateLimited    = "rebeca_rate_limited_total"
 	MetricTracerDropped  = "rebeca_tracer_dropped_total"
+
+	// Discovery subsystem (registry-driven membership + mesh routing).
+	MetricDiscoveryPeers     = "rebeca_discovery_peers"
+	MetricDiscoveryEvents    = "rebeca_discovery_events_total"
+	MetricTreeRecomputations = "rebeca_spanning_tree_recomputations_total"
 )
 
 // instruments is one broker's resolved hot-path handles.

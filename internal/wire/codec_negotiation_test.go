@@ -1,127 +1,79 @@
 package wire
 
 import (
+	"bufio"
+	"encoding/gob"
+	"errors"
 	"fmt"
+	"net"
 	"runtime"
-	"sync"
 	"testing"
 
-	"rebeca/internal/broker"
-	"rebeca/internal/filter"
 	"rebeca/internal/message"
-	"rebeca/internal/proto"
 	"rebeca/internal/routing"
 )
 
-// TestCrossCodecHandshake is the rolling-upgrade scenario: a binary
-// (current) broker and a gob-pinned (previous release) broker share one
-// overlay link, a gob client subscribes at the legacy node and a binary
-// client publishes at the new one. The accepting sides auto-detect each
-// peer's encoding from the hello, so every combination interoperates and
-// the notification crosses the version boundary.
-func TestCrossCodecHandshake(t *testing.T) {
-	a := NewNode(NodeConfig{
-		ID:       "A",
-		Listen:   "127.0.0.1:0",
-		Peers:    map[message.NodeID]string{"B": ""}, // B dials us
-		Strategy: routing.StrategySimple,
-		NextHop:  map[message.NodeID]message.NodeID{"B": "B"},
-		// A speaks binary (the default) on every link it initiates.
-	})
-	if err := a.Start(); err != nil {
-		t.Fatal(err)
-	}
-	b := NewNode(NodeConfig{
-		ID:       "B",
-		Listen:   "127.0.0.1:0",
-		Peers:    map[message.NodeID]string{"A": a.Addr()},
-		Strategy: routing.StrategySimple,
-		NextHop:  map[message.NodeID]message.NodeID{"A": "A"},
-		Wire:     CodecGob, // B still dials in the previous release's encoding
-	})
-	if err := b.Start(); err != nil {
-		_ = a.Close()
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		_ = b.Close()
-		_ = a.Close()
-	})
-
-	var mu sync.Mutex
-	var got []message.Notification
-	sub := NewRemoteClient("sub", func(n message.Notification, _ []message.SubID) {
-		mu.Lock()
-		got = append(got, n)
-		mu.Unlock()
-	})
-	sub.Wire = CodecGob // legacy client library against the legacy node
-	if err := sub.Connect(b.Addr(), "", nil, 1); err != nil {
-		t.Fatal(err)
-	}
-	defer func() { _ = sub.Disconnect() }()
-	f := filter.New(filter.Eq("k", message.Int(7)))
-	s := proto.Subscription{ID: "sub/s1", Filter: f}
-	if err := sub.Send(proto.Message{Kind: proto.KSubscribe, Client: "sub", Sub: &s}); err != nil {
-		t.Fatal(err)
-	}
-	// The subscription must cross the mixed-codec overlay link to A.
-	waitFor(t, func() bool {
-		n := 0
-		a.Inspect(func(b *broker.Broker) { n = b.Router().Table().Len() })
-		return n >= 1
-	}, "subscription across the gob<->binary link")
-
-	pub := NewRemoteClient("pub", nil) // current client library, binary
-	if err := pub.Connect(a.Addr(), "", nil, 1); err != nil {
-		t.Fatal(err)
-	}
-	defer func() { _ = pub.Disconnect() }()
-	n := message.NewNotification(map[string]message.Value{"k": message.Int(7)})
-	n.ID = message.NotificationID{Publisher: "pub", Seq: 1}
-	if err := pub.Send(proto.Message{Kind: proto.KPublish, Client: "pub", Note: &n}); err != nil {
-		t.Fatal(err)
-	}
-	waitFor(t, func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return len(got) >= 1
-	}, "delivery across the version boundary")
-	mu.Lock()
-	defer mu.Unlock()
-	if len(got) != 1 || got[0].ID.Seq != 1 {
-		t.Errorf("got %v", got)
-	}
-	if v, ok := got[0].Get("k"); !ok || v.IntVal() != 7 {
-		t.Errorf("attribute mangled across codecs: %v", got[0])
-	}
+// legacyHello mirrors the gob handshake frame of the pre-binary releases
+// — reconstructed here solely to prove it is now refused.
+type legacyHello struct {
+	ID message.NodeID
 }
 
-// TestBinaryDialerRejectsNothing ensures the auto-detecting accept side
-// answers a binary dialer in kind even when the node itself is pinned to
-// gob for its own dials.
-func TestAcceptAutoDetectsOnGobPinnedNode(t *testing.T) {
+// TestLegacyGobPeerRefused pins the post-removal behavior: a peer opening
+// with the old gob hello (no codec.Magic) is rejected with the diagnosis
+// instead of negotiated down or left to time out, on both handshake
+// sides.
+func TestLegacyGobPeerRefused(t *testing.T) {
+	// Accept side: a legacy node dials our listener with a gob hello.
 	b := NewNode(NodeConfig{
 		ID:       "B",
 		Listen:   "127.0.0.1:0",
 		Peers:    map[message.NodeID]string{},
 		Strategy: routing.StrategySimple,
-		Wire:     CodecGob,
 	})
 	if err := b.Start(); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = b.Close() })
-	conn, err := DialLink("probe", b.Addr())
+
+	c, err := net.Dial("tcp", b.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() { _ = conn.Close() }()
-	if conn.Wire() != CodecBinary {
-		t.Fatalf("negotiated %s, want binary", conn.Wire())
+	defer func() { _ = c.Close() }()
+	bw := bufio.NewWriter(c)
+	if err := gob.NewEncoder(bw).Encode(legacyHello{ID: "legacy"}); err != nil {
+		t.Fatal(err)
 	}
-	if conn.Peer() != "B" {
-		t.Fatalf("peer = %s", conn.Peer())
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The node must hang up rather than answer; a legacy peer would block
+	// decoding our reply forever.
+	var one [1]byte
+	if _, err := c.Read(one[:]); err == nil {
+		t.Fatal("accept side answered a gob hello; want the connection refused")
+	}
+
+	// Dial side: our handshake reaching a gob-speaking listener must fail
+	// with the named diagnosis.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		w := bufio.NewWriter(conn)
+		_ = gob.NewEncoder(w).Encode(legacyHello{ID: "legacy"})
+		_ = w.Flush()
+	}()
+	if _, err := DialLink("probe", ln.Addr().String()); !errors.Is(err, errLegacyPeer) {
+		t.Fatalf("dialing a legacy gob listener: err = %v, want errLegacyPeer", err)
 	}
 }
 

@@ -11,10 +11,15 @@
 // Every link buffers its writes through a bufio.Writer that is flushed by
 // a per-conn flusher goroutine when the writer goes idle — never inline
 // per message — so back-to-back publishes coalesce into one syscall. The
-// identification handshake carries a protocol version byte: accepting
-// sides auto-detect legacy gob peers from the first bytes of the stream,
-// and CodecGob keeps a node dialing in the old encoding for one release
-// (`rebeca-broker -wire gob`).
+// identification handshake opens with codec.Magic and a protocol version
+// byte; both sides speak the version minimum. The gob fallback of the
+// pre-binary releases is gone: a legacy peer's dial is refused with an
+// error naming the mismatch instead of silently hanging.
+//
+// Peer links can be declared statically (NodeConfig.Peers) or managed at
+// runtime (AddPeer/RemovePeer) — the discovery subsystem's membership
+// supervisor drives the latter, and EnableMesh lets the hosted broker
+// route over arbitrary (cyclic) overlay graphs.
 //
 // Broker↔broker links are owned by the node's overlay manager
 // (internal/overlay): dials retry with backoff instead of failing Start,
@@ -29,7 +34,6 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -40,75 +44,13 @@ import (
 
 	"rebeca/internal/broker"
 	"rebeca/internal/codec"
+	"rebeca/internal/discovery"
 	"rebeca/internal/message"
 	"rebeca/internal/overlay"
 	"rebeca/internal/proto"
 	"rebeca/internal/routing"
 	"rebeca/internal/telemetry"
 )
-
-// Codec selects the wire encoding a node or client uses on links it
-// initiates. Accepting sides always auto-detect the peer's choice from
-// the handshake, so mixed deployments interoperate link by link.
-type Codec int
-
-// Wire encodings.
-const (
-	// CodecBinary is the length-prefixed binary protocol (internal/codec),
-	// the default since PR 5.
-	CodecBinary Codec = iota
-	// CodecGob is the reflective gob envelope encoding of earlier
-	// releases, kept as a one-release fallback for rolling upgrades
-	// (`rebeca-broker -wire gob`).
-	CodecGob
-)
-
-// String names the codec.
-func (c Codec) String() string {
-	if c == CodecGob {
-		return "gob"
-	}
-	return "binary"
-}
-
-// hello is the gob link handshake: each side announces its node ID. The
-// binary handshake instead sends codec.Magic, a version byte and the ID.
-type hello struct {
-	ID message.NodeID
-}
-
-// envelope frames a message on the gob wire.
-type envelope struct {
-	M proto.Message
-}
-
-// msgEncoder/msgDecoder abstract the negotiated encoding on one link.
-type msgEncoder interface {
-	Encode(m proto.Message) error
-}
-
-type msgDecoder interface {
-	Decode(m *proto.Message) error
-}
-
-// gobCodec adapts a gob stream pair to the message codec interfaces.
-// Encoder and decoder are created once per conn: gob streams carry type
-// descriptors and read ahead, so they must never be recreated mid-stream.
-type gobCodec struct {
-	enc *gob.Encoder
-	dec *gob.Decoder
-}
-
-func (g *gobCodec) Encode(m proto.Message) error { return g.enc.Encode(envelope{M: m}) }
-
-func (g *gobCodec) Decode(m *proto.Message) error {
-	var env envelope
-	if err := g.dec.Decode(&env); err != nil {
-		return err
-	}
-	*m = env.M
-	return nil
-}
 
 // inboxMsg pairs a received message with its link. gen is the overlay
 // link generation for peer-broker links (0 on client links).
@@ -185,17 +127,16 @@ func (f *flowState) close() {
 // Conn is one established, identified link. All writes go through bw; a
 // dedicated flusher goroutine flushes it when the writer goes idle (see
 // Send), so bursts of messages coalesce into few syscalls. dec is the
-// connection's single decoder: both codecs buffer reads, so the hello
-// handshake and the message pump must share one — a second decoder would
-// start mid-stream on whatever the first one read ahead.
+// connection's single decoder: it buffers reads, so the hello handshake
+// and the message pump must share one — a second decoder would start
+// mid-stream on whatever the first one read ahead.
 type Conn struct {
 	peer message.NodeID
 	c    net.Conn
-	wire Codec
 	ver  byte
 	bw   *bufio.Writer
-	enc  msgEncoder
-	dec  msgDecoder
+	enc  *codec.Encoder
+	dec  *codec.Decoder
 	mu   sync.Mutex
 	fc   *flowState
 
@@ -205,10 +146,10 @@ type Conn struct {
 }
 
 // newConn assembles a post-handshake link and starts its flusher. ver is
-// the negotiated binary protocol version (0 on gob links).
-func newConn(peer message.NodeID, c net.Conn, wire Codec, ver byte, bw *bufio.Writer, enc msgEncoder, dec msgDecoder) *Conn {
+// the negotiated binary protocol version.
+func newConn(peer message.NodeID, c net.Conn, ver byte, bw *bufio.Writer, enc *codec.Encoder, dec *codec.Decoder) *Conn {
 	conn := &Conn{
-		peer: peer, c: c, wire: wire, ver: ver, bw: bw, enc: enc, dec: dec,
+		peer: peer, c: c, ver: ver, bw: bw, enc: enc, dec: dec,
 		fc:       newFlowState(),
 		flushReq: make(chan struct{}, 1),
 		done:     make(chan struct{}),
@@ -217,24 +158,19 @@ func newConn(peer message.NodeID, c net.Conn, wire Codec, ver byte, bw *bufio.Wr
 	return conn
 }
 
-// observeFrames attaches a frame-size observer to a binary link's encoder
-// (no-op on gob links). Attach before the conn carries traffic — the
-// registration paths do, ahead of LinkUp and the read pump.
+// observeFrames attaches a frame-size observer to the link's encoder.
+// Attach before the conn carries traffic — the registration paths do,
+// ahead of LinkUp and the read pump.
 func (c *Conn) observeFrames(fn func(bytes int)) {
-	if e, ok := c.enc.(*codec.Encoder); ok {
-		e.OnFrame(fn)
-	}
+	c.enc.OnFrame(fn)
 }
 
 // Peer returns the remote node's announced ID.
 func (c *Conn) Peer() message.NodeID { return c.peer }
 
-// Wire returns the negotiated encoding.
-func (c *Conn) Wire() Codec { return c.wire }
-
 // ProtocolVersion returns the negotiated binary protocol version,
 // min(ours, peer's) — the version a future multi-version encoder must
-// emit on this link. Gob links report 0.
+// emit on this link.
 func (c *Conn) ProtocolVersion() byte { return c.ver }
 
 // Send encodes one message into the link's write buffer and wakes the
@@ -305,17 +241,15 @@ type NodeConfig struct {
 	// Listen is the TCP address to accept links on (e.g. ":7471").
 	Listen string
 	// Peers maps neighbor broker IDs to their dial addresses. Only one
-	// side of each overlay edge needs to dial; the other accepts.
+	// side of each overlay edge needs to dial; the other accepts. Static
+	// configuration — nodes driven by a discovery registry leave it empty
+	// and manage peers at runtime via AddPeer/RemovePeer.
 	Peers map[message.NodeID]string
 	// Strategy selects the routing algorithm.
 	Strategy routing.Strategy
 	// LinearMatching reverts the broker's routing table to linear scans
 	// (the matching index is the default; this is the E3 ablation knob).
 	LinearMatching bool
-	// Wire selects the encoding for links this node dials; accepted links
-	// auto-detect the peer's choice. CodecBinary (the zero value) unless
-	// a rolling upgrade still has pre-binary neighbors (CodecGob).
-	Wire Codec
 	// NextHop is the unicast routing table (destination -> neighbor).
 	NextHop map[message.NodeID]message.NodeID
 	// Middleware is appended to the broker's extension chain at Start,
@@ -348,8 +282,11 @@ type Node struct {
 	mu      sync.Mutex
 	conns   map[message.NodeID]*Conn
 	blocked map[message.NodeID]bool // link-chaos hook: refuse these peers
+	// peers maps current overlay neighbors to their dial addresses (""
+	// for purely passive links). Seeded from cfg.Peers, mutated at
+	// runtime by AddPeer/RemovePeer; guarded by mu.
+	peers map[message.NodeID]string
 
-	peerSet    map[message.NodeID]bool
 	inbox      chan inboxMsg
 	tasks      chan func()
 	linkEvents chan overlay.Event
@@ -365,16 +302,16 @@ func NewNode(cfg NodeConfig) *Node {
 		cfg:        cfg,
 		conns:      make(map[message.NodeID]*Conn),
 		blocked:    make(map[message.NodeID]bool),
-		peerSet:    make(map[message.NodeID]bool, len(cfg.Peers)),
+		peers:      make(map[message.NodeID]string, len(cfg.Peers)),
 		inbox:      make(chan inboxMsg, 1024),
 		tasks:      make(chan func()),
 		linkEvents: make(chan overlay.Event, 256),
 		done:       make(chan struct{}),
 	}
 	peers := make([]message.NodeID, 0, len(cfg.Peers))
-	for p := range cfg.Peers {
+	for p, addr := range cfg.Peers {
 		peers = append(peers, p)
-		n.peerSet[p] = true
+		n.peers[p] = addr
 	}
 	n.b = broker.New(broker.Config{
 		ID:             cfg.ID,
@@ -457,6 +394,88 @@ func (n *Node) observeLink(ev overlay.Event) {
 // manager, replicator) before Start.
 func (n *Node) Broker() *broker.Broker { return n.b }
 
+// isPeer reports whether id is a current overlay neighbor.
+func (n *Node) isPeer(id message.NodeID) bool {
+	n.mu.Lock()
+	_, ok := n.peers[id]
+	n.mu.Unlock()
+	return ok
+}
+
+// AddPeer adds an overlay neighbor at runtime: the link is handed to the
+// overlay manager, which dials (dial true; addr is the peer's listen
+// address) or awaits the peer's dial. Safe from any goroutine — the
+// discovery membership supervisor calls this from its watch path.
+func (n *Node) AddPeer(peer message.NodeID, addr string, dial bool) {
+	if peer == "" || peer == n.cfg.ID {
+		return
+	}
+	n.mu.Lock()
+	n.peers[peer] = addr
+	n.mu.Unlock()
+	n.ov.AddPeer(peer, dial && addr != "")
+}
+
+// RemovePeer drops an overlay neighbor at runtime: supervision stops, the
+// link closes, pending traffic for it is discarded (a departed broker's
+// backlog has nowhere to go — mesh re-election re-routes what matters).
+func (n *Node) RemovePeer(peer message.NodeID) {
+	n.ov.RemovePeer(peer)
+	n.mu.Lock()
+	delete(n.peers, peer)
+	conn := n.conns[peer]
+	delete(n.conns, peer)
+	n.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// EnableMesh switches the hosted broker to mesh routing (cycle-safe
+// forwarding over arbitrary graphs, see internal/broker mesh mode) and
+// wires the tree-transition hook: links entering the spanning tree get a
+// routing resync, links leaving it get their pending backlog re-flooded
+// on the new tree. Call before Start.
+func (n *Node) EnableMesh() {
+	n.b.EnableMesh()
+	n.b.OnTreeChange(func(added, removed []message.NodeID) {
+		for _, p := range added {
+			n.ov.Resync(p)
+		}
+		for _, p := range removed {
+			if msgs := n.ov.TakePending(p); len(msgs) > 0 {
+				n.b.ReforwardPending(p, msgs)
+			}
+		}
+	})
+}
+
+// SetMeshTopology feeds a discovery membership snapshot (brokers and
+// declared edges) to the hosted broker's mesh, serialized on the event
+// loop. No-op until EnableMesh.
+func (n *Node) SetMeshTopology(members []message.NodeID, edges [][2]message.NodeID) {
+	n.Inspect(func(b *broker.Broker) { b.SetMeshTopology(members, edges) })
+}
+
+// NodeHost adapts a Node to the discovery membership supervisor's Host
+// interface: registry-driven link commands become AddPeer/RemovePeer and
+// every membership snapshot feeds the mesh's spanning-tree election.
+type NodeHost struct{ Node *Node }
+
+// AddLink implements discovery.Host.
+func (h NodeHost) AddLink(peer message.NodeID, addr string, dial bool) {
+	h.Node.AddPeer(peer, addr, dial)
+}
+
+// RemoveLink implements discovery.Host.
+func (h NodeHost) RemoveLink(peer message.NodeID) { h.Node.RemovePeer(peer) }
+
+// MembersChanged implements discovery.Host.
+func (h NodeHost) MembersChanged(entries []discovery.Entry) {
+	members, edges := discovery.Graph(entries)
+	h.Node.SetMeshTopology(members, edges)
+}
+
 // Start listens, runs the event loop, and hands every overlay link to the
 // node's overlay manager: active sides begin dialing (failed dials retry
 // with jittered backoff — a peer that is not up yet is not an error),
@@ -520,7 +539,7 @@ func (n *Node) acceptLoop() {
 				_ = c.Close()
 				return
 			}
-			if n.peerSet[conn.peer] {
+			if n.isPeer(conn.peer) {
 				n.registerPeer(conn)
 				return
 			}
@@ -584,8 +603,8 @@ func (n *Node) registerPeer(conn *Conn) {
 // attempt, reported back as LinkUp (via registerPeer) or DialFailed.
 func (n *Node) dialPeer(peer message.NodeID) {
 	go func() {
-		addr := n.cfg.Peers[peer]
 		n.mu.Lock()
+		addr := n.peers[peer]
 		refused := n.blocked[peer]
 		n.mu.Unlock()
 		if refused || n.isClosed() || addr == "" {
@@ -597,7 +616,7 @@ func (n *Node) dialPeer(peer message.NodeID) {
 			n.ov.DialFailed(peer)
 			return
 		}
-		conn, err := handshakeLink(n.cfg.ID, c, n.cfg.Wire)
+		conn, err := handshakeLink(n.cfg.ID, c)
 		if err != nil {
 			n.ov.DialFailed(peer) // handshakeLink closed the socket
 			return
@@ -770,7 +789,7 @@ func (n *Node) eventLoop() {
 		case im := <-n.inbox:
 			m := im.m
 			m.From = im.from
-			if n.peerSet[im.from] && n.ov.HandleControl(im.from, im.gen, m) {
+			if n.isPeer(im.from) && n.ov.HandleControl(im.from, im.gen, m) {
 				continue
 			}
 			n.b.HandleMessage(im.from, m)
@@ -835,7 +854,7 @@ func (n *Node) Inspect(fn func(b *broker.Broker)) {
 // blocks the event loop while the client's window is exhausted — the
 // backpressure path of the Block overflow policy.
 func (n *Node) send(to message.NodeID, m proto.Message) {
-	if n.peerSet[to] {
+	if n.isPeer(to) {
 		n.ov.Send(to, m)
 		return
 	}
@@ -851,20 +870,14 @@ func (n *Node) send(to message.NodeID, m proto.Message) {
 	_ = conn.Send(m)
 }
 
-// DialLink connects to a remote node and performs the handshake with the
-// default binary codec, announcing `self` as the local ID.
+// DialLink connects to a remote node and performs the binary handshake,
+// announcing `self` as the local ID.
 func DialLink(self message.NodeID, addr string) (*Conn, error) {
-	return DialLinkCodec(self, addr, CodecBinary)
-}
-
-// DialLinkCodec is DialLink with an explicit wire encoding — the gob
-// escape hatch for dialing a pre-binary node.
-func DialLinkCodec(self message.NodeID, addr string, wire Codec) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return handshakeLink(self, c, wire)
+	return handshakeLink(self, c)
 }
 
 // writeBinaryHello emits the binary identification frame:
@@ -915,33 +928,19 @@ func readBinaryHello(br *bufio.Reader) (message.NodeID, byte, error) {
 	return message.NodeID(id), ver, nil
 }
 
-// handshakeLink runs the active side of the identification handshake on an
-// established TCP connection, speaking the given wire encoding. The
-// passive side auto-detects, so a binary dialer reaching a binary-capable
-// node always negotiates binary; reaching a pre-binary (gob-only) node
-// requires CodecGob on the dialer for one release.
-func handshakeLink(self message.NodeID, c net.Conn, wire Codec) (*Conn, error) {
+// errLegacyPeer names the one interop failure worth a precise message:
+// a peer still speaking the gob encoding of the pre-binary releases. The
+// fallback was removed after its one-release grace period — upgrade the
+// peer; mixed gob/binary deployments are no longer supported.
+var errLegacyPeer = errors.New("wire: peer does not speak the binary protocol " +
+	"(a legacy gob-encoding node? the gob fallback was removed — upgrade the peer to the binary wire codec)")
+
+// handshakeLink runs the active side of the identification handshake on
+// an established TCP connection: send our hello, expect the peer's
+// binary hello back.
+func handshakeLink(self message.NodeID, c net.Conn) (*Conn, error) {
 	bw := bufio.NewWriter(c)
 	br := bufio.NewReader(c)
-	if wire == CodecGob {
-		enc := gob.NewEncoder(bw)
-		if err := enc.Encode(hello{ID: self}); err != nil {
-			_ = c.Close()
-			return nil, fmt.Errorf("wire: handshake send: %w", err)
-		}
-		if err := bw.Flush(); err != nil {
-			_ = c.Close()
-			return nil, fmt.Errorf("wire: handshake send: %w", err)
-		}
-		dec := gob.NewDecoder(br)
-		var h hello
-		if err := dec.Decode(&h); err != nil {
-			_ = c.Close()
-			return nil, fmt.Errorf("wire: handshake recv: %w", err)
-		}
-		g := &gobCodec{enc: enc, dec: dec}
-		return newConn(h.ID, c, CodecGob, 0, bw, g, g), nil
-	}
 	if err := writeBinaryHello(bw, self); err != nil {
 		_ = c.Close()
 		return nil, fmt.Errorf("wire: handshake send: %w", err)
@@ -953,7 +952,7 @@ func handshakeLink(self message.NodeID, c net.Conn, wire Codec) (*Conn, error) {
 	}
 	if !bytes.Equal(magic, codec.Magic[:]) {
 		_ = c.Close()
-		return nil, errors.New("wire: peer does not speak the binary protocol (pre-binary node? dial with the gob codec)")
+		return nil, errLegacyPeer
 	}
 	peer, ver, err := readBinaryHello(br)
 	if err != nil {
@@ -963,44 +962,30 @@ func handshakeLink(self message.NodeID, c net.Conn, wire Codec) (*Conn, error) {
 	// The encoder emits what the negotiated version can decode: fields
 	// gated on newer flag bits (the traced hop trail) are stripped for
 	// older peers.
-	return newConn(peer, c, CodecBinary, ver, bw, codec.NewEncoderVersion(bw, ver), codec.NewDecoder(br)), nil
+	return newConn(peer, c, ver, bw, codec.NewEncoderVersion(bw, ver), codec.NewDecoder(br)), nil
 }
 
-// acceptLink performs the passive side of the handshake. It peeks the
-// first bytes of the stream to negotiate the encoding: codec.Magic opens
-// a binary hello, anything else is a legacy gob hello — so one listener
-// serves binary and gob peers side by side during a rolling upgrade.
+// acceptLink performs the passive side of the handshake. The stream must
+// open with codec.Magic; anything else — in particular a legacy gob
+// hello — is refused with a diagnosis rather than left to time out.
 func acceptLink(self message.NodeID, c net.Conn) (*Conn, error) {
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
-	head, err := br.Peek(len(codec.Magic))
-	if err == nil && bytes.Equal(head, codec.Magic[:]) {
-		if _, err := br.Discard(len(codec.Magic)); err != nil {
-			return nil, err
-		}
-		peer, ver, err := readBinaryHello(br)
-		if err != nil {
-			return nil, fmt.Errorf("wire: handshake recv: %w", err)
-		}
-		if err := writeBinaryHello(bw, self); err != nil {
-			return nil, fmt.Errorf("wire: handshake send: %w", err)
-		}
-		return newConn(peer, c, CodecBinary, ver, bw, codec.NewEncoderVersion(bw, ver), codec.NewDecoder(br)), nil
-	}
-	dec := gob.NewDecoder(br)
-	var h hello
-	if err := dec.Decode(&h); err != nil {
+	magic := make([]byte, len(codec.Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("wire: handshake recv: %w", err)
 	}
-	enc := gob.NewEncoder(bw)
-	if err := enc.Encode(hello{ID: self}); err != nil {
+	if !bytes.Equal(magic, codec.Magic[:]) {
+		return nil, errLegacyPeer
+	}
+	peer, ver, err := readBinaryHello(br)
+	if err != nil {
+		return nil, fmt.Errorf("wire: handshake recv: %w", err)
+	}
+	if err := writeBinaryHello(bw, self); err != nil {
 		return nil, fmt.Errorf("wire: handshake send: %w", err)
 	}
-	if err := bw.Flush(); err != nil {
-		return nil, fmt.Errorf("wire: handshake send: %w", err)
-	}
-	g := &gobCodec{enc: enc, dec: dec}
-	return newConn(h.ID, c, CodecGob, 0, bw, g, g), nil
+	return newConn(peer, c, ver, bw, codec.NewEncoderVersion(bw, ver), codec.NewDecoder(br)), nil
 }
 
 // DefaultWindow is the delivery window a RemoteClient announces when none
@@ -1020,9 +1005,6 @@ type RemoteClient struct {
 	// Window is the delivery credit window announced on Connect
 	// (0 = DefaultWindow, negative = disable flow control).
 	Window int
-	// Wire selects the encoding for the broker link (CodecBinary default;
-	// CodecGob when connecting to a pre-binary broker).
-	Wire Codec
 
 	mu        sync.Mutex
 	conn      *Conn
@@ -1053,7 +1035,7 @@ func (r *RemoteClient) window() int {
 // client's monotonic connect counter (see proto.Message.Epoch); pass an
 // incremented value on every connect.
 func (r *RemoteClient) Connect(addr string, prev message.NodeID, profile []proto.Subscription, epoch uint64) error {
-	conn, err := DialLinkCodec(r.ID, addr, r.Wire)
+	conn, err := DialLink(r.ID, addr)
 	if err != nil {
 		return err
 	}

@@ -124,7 +124,7 @@ func TestLiveHandshakeIdentity(t *testing.T) {
 	}
 }
 
-func TestLiveGobRoundTripAllPayloads(t *testing.T) {
+func TestLiveRoundTripAllPayloads(t *testing.T) {
 	// Exercise the codec with every payload field populated.
 	a, b := startLine(t)
 	_ = a
@@ -161,8 +161,8 @@ func TestLiveGobRoundTripAllPayloads(t *testing.T) {
 	}
 	defer func() { _ = ln.Close() }()
 	_ = done
-	// Encode/decode through the default (binary) codec to verify fidelity.
-	back := roundTrip(t, m, CodecBinary)
+	// Encode/decode through the binary codec to verify fidelity.
+	back := roundTrip(t, m)
 	if back.Kind != m.Kind || back.Client != m.Client || len(back.Notes) != 1 ||
 		len(back.Subs) != 1 || back.Watermarks["pub"] != 9 {
 		t.Errorf("round trip mangled message: %+v", back)
@@ -175,9 +175,8 @@ func TestLiveGobRoundTripAllPayloads(t *testing.T) {
 	}
 }
 
-// pipePair runs the full identification handshake over an in-memory pipe:
-// the active side speaks `wire`, the passive side auto-detects.
-func pipePair(t *testing.T, wire Codec) (sender, receiver *Conn) {
+// pipePair runs the full identification handshake over an in-memory pipe.
+func pipePair(t *testing.T) (sender, receiver *Conn) {
 	t.Helper()
 	p1, p2 := net.Pipe()
 	type res struct {
@@ -186,7 +185,7 @@ func pipePair(t *testing.T, wire Codec) (sender, receiver *Conn) {
 	}
 	ch := make(chan res, 1)
 	go func() {
-		c, err := handshakeLink("a", p1, wire)
+		c, err := handshakeLink("a", p1)
 		ch <- res{c, err}
 	}()
 	receiver, err := acceptLink("b", p2)
@@ -202,23 +201,16 @@ func pipePair(t *testing.T, wire Codec) (sender, receiver *Conn) {
 	if sender.Peer() != "b" || receiver.Peer() != "a" {
 		t.Fatalf("handshake identities wrong: %s / %s", sender.Peer(), receiver.Peer())
 	}
-	if sender.Wire() != wire || receiver.Wire() != wire {
-		t.Fatalf("negotiated codec = %s/%s, want %s", sender.Wire(), receiver.Wire(), wire)
-	}
-	wantVer := codec.Version
-	if wire == CodecGob {
-		wantVer = 0
-	}
-	if sender.ProtocolVersion() != wantVer || receiver.ProtocolVersion() != wantVer {
+	if sender.ProtocolVersion() != codec.Version || receiver.ProtocolVersion() != codec.Version {
 		t.Fatalf("negotiated version = %d/%d, want %d",
-			sender.ProtocolVersion(), receiver.ProtocolVersion(), wantVer)
+			sender.ProtocolVersion(), receiver.ProtocolVersion(), codec.Version)
 	}
 	return sender, receiver
 }
 
-func roundTrip(t *testing.T, m proto.Message, wire Codec) proto.Message {
+func roundTrip(t *testing.T, m proto.Message) proto.Message {
 	t.Helper()
-	sender, receiver := pipePair(t, wire)
+	sender, receiver := pipePair(t)
 	if err := sender.Send(m); err != nil {
 		t.Fatal(err)
 	}
@@ -229,29 +221,11 @@ func roundTrip(t *testing.T, m proto.Message, wire Codec) proto.Message {
 	return out
 }
 
-// TestRoundTripGobFallback keeps the legacy encoding honest: the same
-// fidelity check as the binary round trip, negotiated down to gob.
-func TestRoundTripGobFallback(t *testing.T) {
-	f := filter.New(filter.Eq("k", message.Int(1)))
-	n := message.NewNotification(map[string]message.Value{"k": message.Int(1)})
-	n.ID = message.NotificationID{Publisher: "pub", Seq: 3}
-	m := proto.Message{
-		Kind: proto.KRelocProfile, Client: "probe",
-		Notes:      []message.Notification{n},
-		Subs:       []proto.Subscription{{ID: "probe/s1", Filter: f}},
-		Watermarks: map[message.NodeID]uint64{"pub": 9},
-	}
-	back := roundTrip(t, m, CodecGob)
-	if back.Kind != m.Kind || len(back.Notes) != 1 || back.Watermarks["pub"] != 9 {
-		t.Errorf("gob round trip mangled message: %+v", back)
-	}
-}
-
 // TestCoalescedWrites verifies the flush coalescing path end to end: a
 // burst of sends issued while the flusher cannot run must arrive intact
 // and in order on the peer.
 func TestCoalescedWrites(t *testing.T) {
-	sender, receiver := pipePair(t, CodecBinary)
+	sender, receiver := pipePair(t)
 	const burst = 64
 	go func() {
 		for i := 0; i < burst; i++ {

@@ -11,6 +11,7 @@ import (
 	"rebeca/internal/buffer"
 	"rebeca/internal/client"
 	"rebeca/internal/core"
+	"rebeca/internal/discovery"
 	"rebeca/internal/message"
 	"rebeca/internal/mobility"
 	"rebeca/internal/proto"
@@ -35,6 +36,10 @@ type Live struct {
 	addrs map[NodeID]string
 	mgrs  map[NodeID]*mobility.Manager
 	ops   *opsStack
+	// Registry-driven deployments (WithRegistry) run one membership
+	// supervisor and one registry handle per broker.
+	members map[NodeID]*discovery.Membership
+	regs    map[NodeID]discovery.Registry
 
 	mu     sync.Mutex
 	ports  []*livePort
@@ -44,31 +49,42 @@ type Live struct {
 var _ Deployment = (*Live)(nil)
 
 // NewLive builds and starts a loopback TCP deployment from the options.
-// The movement graph must be a tree: the replicator's neighborhood and the
-// broker overlay both derive from its edges, and a live node only holds
-// links to overlay neighbors (simulated deployments accept arbitrary
-// graphs; non-tree live overlays need explicit topology support). The
+// By default the movement graph must be a tree: the replicator's
+// neighborhood and the broker overlay both derive from its edges, and the
 // spanning tree of a tree is the tree itself, so tree graphs behave
-// identically under New and NewLive.
+// identically under New and NewLive. WithMeshRouting lifts the
+// restriction — every movement edge becomes a live link and the brokers'
+// replicated spanning-tree election picks the forwarding tree, with the
+// redundant links held as failover paths. WithRegistry additionally
+// replaces the static neighbor dial-out with registry-driven membership:
+// each broker registers itself and a supervisor dials/closes links as the
+// registry changes.
 func NewLive(opts ...Option) (*Live, error) {
 	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
 	nodesIDs := cfg.movement.Nodes()
-	edgeCount := 0
-	for _, id := range nodesIDs {
-		edgeCount += cfg.movement.Degree(id)
-	}
-	edgeCount /= 2
-	if !cfg.movement.Connected() || edgeCount != len(nodesIDs)-1 {
-		return nil, fmt.Errorf("rebeca: NewLive needs a tree movement graph (%d nodes, %d edges)",
-			len(nodesIDs), edgeCount)
-	}
-
-	topo := broker.Topology{Edges: cfg.movement.SpanningTree()}
-	if err := topo.Validate(); err != nil {
-		return nil, err
+	var topo broker.Topology
+	if cfg.mesh {
+		topo = broker.Topology{Edges: cfg.movement.Edges()}
+		if err := topo.ValidateConnected(); err != nil {
+			return nil, err
+		}
+	} else {
+		edgeCount := 0
+		for _, id := range nodesIDs {
+			edgeCount += cfg.movement.Degree(id)
+		}
+		edgeCount /= 2
+		if !cfg.movement.Connected() || edgeCount != len(nodesIDs)-1 {
+			return nil, fmt.Errorf("rebeca: NewLive needs a tree movement graph (%d nodes, %d edges); opt into WithMeshRouting to run a cyclic mesh",
+				len(nodesIDs), edgeCount)
+		}
+		topo = broker.Topology{Edges: cfg.movement.SpanningTree()}
+		if err := topo.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	adj := topo.Adjacency()
 	hops := topo.NextHops()
@@ -79,11 +95,13 @@ func NewLive(opts ...Option) (*Live, error) {
 	}
 
 	l := &Live{
-		cfg:   cfg,
-		ids:   topo.Nodes(),
-		nodes: make(map[NodeID]*wire.Node),
-		addrs: make(map[NodeID]string),
-		mgrs:  make(map[NodeID]*mobility.Manager),
+		cfg:     cfg,
+		ids:     topo.Nodes(),
+		nodes:   make(map[NodeID]*wire.Node),
+		addrs:   make(map[NodeID]string),
+		mgrs:    make(map[NodeID]*mobility.Manager),
+		members: make(map[NodeID]*discovery.Membership),
+		regs:    make(map[NodeID]discovery.Registry),
 	}
 	if cfg.opsAddr != "" {
 		// Before broker construction: the telemetry stage joins the chain
@@ -92,9 +110,13 @@ func NewLive(opts ...Option) (*Live, error) {
 	}
 	for _, id := range l.ids {
 		peers := make(map[message.NodeID]string)
-		for _, p := range adj[id] {
-			peers[p] = l.addrs[p] // dial already-started neighbors; "" = they dial us
+		if cfg.registry == "" {
+			for _, p := range adj[id] {
+				peers[p] = l.addrs[p] // dial already-started neighbors; "" = they dial us
+			}
 		}
+		// Under WithRegistry links are not configured statically at all —
+		// the membership supervisor adds them as peers register.
 		ncfg := wire.NodeConfig{
 			ID:             id,
 			Listen:         "127.0.0.1:0",
@@ -113,6 +135,9 @@ func NewLive(opts ...Option) (*Live, error) {
 			ncfg.Telemetry = l.ops.reg
 		}
 		node := wire.NewNode(ncfg)
+		if cfg.mesh {
+			node.EnableMesh()
+		}
 		rcfg := core.Config{
 			Broker:        node.Broker(),
 			NLB:           nlb,
@@ -138,6 +163,38 @@ func NewLive(opts ...Option) (*Live, error) {
 		l.nodes[id] = node
 		l.addrs[id] = node.Addr()
 		l.mgrs[id] = mgr
+		if cfg.mesh && cfg.registry == "" {
+			// Static mesh: seed the full declared graph so the election
+			// replaces the raw adjacency before traffic flows. Registry
+			// deployments get their graph from membership snapshots.
+			node.SetMeshTopology(topo.Nodes(), topo.Edges)
+		}
+	}
+	// Registry pass, after every node listens: each broker registers
+	// itself (adjacency restricted to its movement neighbors) and starts
+	// the supervisor that dials discovered peers — link bring-up is driven
+	// entirely by registry snapshots, no static dial list.
+	if cfg.registry != "" {
+		for _, id := range l.ids {
+			reg, err := discovery.Open(cfg.registry)
+			if err != nil {
+				_ = l.Close()
+				return nil, err
+			}
+			l.regs[id] = reg
+			member := discovery.NewMembership(discovery.MembershipConfig{
+				Self:     id,
+				Addr:     l.addrs[id],
+				Peers:    adj[id],
+				Registry: reg,
+				Host:     wire.NodeHost{Node: l.nodes[id]},
+			})
+			if err := member.Start(); err != nil {
+				_ = l.Close()
+				return nil, err
+			}
+			l.members[id] = member
+		}
 	}
 	// Recovery pass, after every node is serving and the overlay links are
 	// dialed: each broker resumes the ghost sessions persisted by a
@@ -169,6 +226,46 @@ func (l *Live) startOps() error {
 	for _, id := range l.ids {
 		node := l.nodes[id]
 		st.ops.AddReadyCheck("links:"+string(id), node.Ready)
+	}
+	// Registry deployments are ready only once every broker has observed a
+	// registry snapshot that includes itself.
+	for _, id := range l.ids {
+		if m := l.members[id]; m != nil {
+			st.ops.AddReadyCheck("membership:"+string(id), m.Ready)
+		}
+	}
+	if len(l.members) > 0 {
+		st.reg.GaugeFunc(telemetry.MetricDiscoveryPeers,
+			"Overlay peers currently linked via the discovery registry.",
+			func(emit func(telemetry.Labels, float64)) {
+				for _, id := range l.ids {
+					if m := l.members[id]; m != nil {
+						emit(telemetry.Labels{"broker": string(id)}, float64(m.Peers()))
+					}
+				}
+			})
+		st.reg.CounterFunc(telemetry.MetricDiscoveryEvents,
+			"Membership changes applied from registry snapshots, by type.",
+			func(emit func(telemetry.Labels, float64)) {
+				for _, id := range l.ids {
+					if m := l.members[id]; m != nil {
+						for typ, n := range m.Events() {
+							emit(telemetry.Labels{"broker": string(id), "type": typ}, float64(n))
+						}
+					}
+				}
+			})
+	}
+	if l.cfg.mesh {
+		st.reg.CounterFunc(telemetry.MetricTreeRecomputations,
+			"Spanning-tree elections run by the mesh routing layer.",
+			func(emit func(telemetry.Labels, float64)) {
+				for _, id := range l.ids {
+					if m := l.nodes[id].Broker().Mesh(); m != nil {
+						emit(telemetry.Labels{"broker": string(id)}, float64(m.Recomputations()))
+					}
+				}
+			})
 	}
 	st.ops.AddKnob("heartbeat", telemetry.Knob{
 		Help: "overlay heartbeat as interval[,timeout] (e.g. 500ms,2s), applied to every broker; timeout 0 defaults to 3x interval",
@@ -332,6 +429,14 @@ func (l *Live) Close() error {
 	l.mu.Unlock()
 	if l.ops != nil {
 		_ = l.ops.ops.Close()
+	}
+	// Membership first: deregistering before the nodes stop lets any
+	// observer of the shared registry converge without failure detection.
+	for _, m := range l.members {
+		m.Stop(true)
+	}
+	for _, r := range l.regs {
+		_ = r.Close()
 	}
 	for _, p := range ports {
 		_ = p.Disconnect()

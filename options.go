@@ -54,6 +54,8 @@ type config struct {
 	hbTimeout      time.Duration
 	linkObserver   overlay.Observer
 	opsAddr        string
+	mesh           bool
+	registry       string
 
 	errs []error
 }
@@ -341,6 +343,40 @@ func WithHeartbeat(interval, timeout time.Duration) Option {
 		c.overlay = true
 		c.hbInterval = interval
 		c.hbTimeout = timeout
+	}
+}
+
+// WithMeshRouting lifts the tree requirement on the movement graph: the
+// broker overlay becomes the graph itself — every movement edge a broker
+// link, cycles legal — instead of its spanning tree. Brokers run a
+// replicated spanning-tree election over the declared edges (root =
+// lowest broker ID, re-elected on any membership or link change) and
+// forward on the elected tree, so the paper's acyclicity invariant holds
+// per election epoch while redundant links become failover paths: cut a
+// tree link and the next election routes around it. Works under both New
+// (combine with WithHeartbeat so CutLink feeds the election) and NewLive.
+func WithMeshRouting() Option {
+	return func(c *config) { c.mesh = true }
+}
+
+// WithRegistry switches a live deployment to registry-driven membership:
+// instead of dialing a static neighbor list, every broker registers with
+// the named registry (same URIs as rebeca-broker's -registry flag —
+// file:<path>, dns:<name>, seed:<listen>[,<seed>…]) and a membership
+// supervisor per node watches it, dialing discovered peers under the
+// deterministic smaller-ID-dials rule and closing links to departed
+// ones. Each broker restricts its adjacency to its movement-graph
+// neighbors, so the registered mesh mirrors the movement graph. Implies
+// WithMeshRouting. NewLive only — the virtual-clock System has no
+// transport for a registry to point at.
+func WithRegistry(uri string) Option {
+	return func(c *config) {
+		if uri == "" {
+			c.errs = append(c.errs, errors.New("rebeca: WithRegistry(\"\"): want a registry URI (file:, dns: or seed:)"))
+			return
+		}
+		c.registry = uri
+		c.mesh = true
 	}
 }
 

@@ -25,8 +25,14 @@
 //     deterministic virtual clock (a discrete-event simulator) — instant,
 //     reproducible, ideal for experiments and tests.
 //   - NewLive builds a Live: the same brokers as real TCP nodes on
-//     loopback, gob-framed links, one event loop per broker. The
+//     loopback, binary-codec framed links, one event loop per broker. The
 //     distributed equivalent (one process per broker) is cmd/rebeca-broker.
+//
+// The broker overlay is the movement graph's spanning tree by default.
+// WithMeshRouting accepts arbitrary connected graphs instead: brokers run
+// a replicated spanning-tree election and treat the redundant edges as
+// failover paths. WithRegistry (NewLive) replaces static neighbor lists
+// with registry-driven membership — see internal/discovery.
 //
 // Clients are created through Deployment.NewClient and driven through the
 // Port interface, so the same scenario code runs against both flavors.
