@@ -487,10 +487,25 @@ func BenchmarkPublishBatch(b *testing.B) {
 // control. ns/op is the steady-state per-notification pipeline cost
 // (publisher → border → overlay link → border → subscriber stream).
 func BenchmarkLivePublishThroughput(b *testing.B) {
-	live, err := rebeca.NewLive(
+	benchLivePublish(b)
+}
+
+// BenchmarkLivePublishThroughputSampled is the same pipeline with the full
+// observability stack on and hop tracing sampled 1-in-64: the unsampled
+// 63/64 majority must stay on the cheap path, so this tracks within a few
+// percent of the plain benchmark.
+func BenchmarkLivePublishThroughputSampled(b *testing.B) {
+	benchLivePublish(b,
+		rebeca.WithOps("127.0.0.1:0"),
+		rebeca.WithTraceSampling(64, 50*time.Millisecond),
+	)
+}
+
+func benchLivePublish(b *testing.B, opts ...rebeca.Option) {
+	live, err := rebeca.NewLive(append([]rebeca.Option{
 		rebeca.WithMovement(movement.Line(2)),
 		rebeca.WithSettleWindow(100*time.Millisecond, 10*time.Second),
-	)
+	}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -47,6 +47,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -93,6 +94,12 @@ func main() {
 		hbEvery   = flag.Duration("heartbeat", time.Second, "overlay link heartbeat interval")
 		hbTimeout = flag.Duration("heartbeat-timeout", 0, "declare an overlay link failed after this much silence (0 = 3x interval)")
 		linkLog   = flag.Bool("link-log", true, "log overlay link state transitions")
+		push      = flag.String("push", "", "push metrics to this URL instead of (or besides) being scraped, e.g. http://gateway:9091/ingest")
+		pushEvery = flag.Duration("push-interval", 15*time.Second, "metric push interval for -push")
+		pushForm  = flag.String("push-format", "prom", "push body format: prom (Prometheus text) or json (compact deltas)")
+		logLevel  = flag.String("log-level", "info", "structured log verbosity for every subsystem: debug|info|warn|error (retune per subsystem via /config log.<subsystem>)")
+		sampleN   = flag.Int64("trace-sample", 0, "hop-trace sampling as 1-in-N notifications (0 or 1 = trace everything)")
+		slowThr   = flag.Duration("trace-slow", 0, "always trace deliveries slower than this, even unsampled (0 = off)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -107,6 +114,15 @@ func main() {
 		fatal(fmt.Errorf("-registry replaces -edges/-dial; drop the static wiring flags"))
 	}
 	self := message.NodeID(*id)
+
+	// Structured logging: one slog root on stderr, every subsystem gated
+	// at -log-level, retunable at runtime via the /config log.* knobs.
+	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLevelDefault(*logLevel))
+	if !*linkLog {
+		// -link-log=false demotes routine overlay chatter; link loss still
+		// warns.
+		_ = logger.SetLevel("overlay", slog.LevelWarn)
+	}
 
 	// Static mode derives peers and next hops from the edge list up
 	// front; discovery mode starts empty and lets the membership
@@ -154,21 +170,28 @@ func main() {
 
 	// Middleware (the same exported chain the simulator installs):
 	// telemetry, tracing and rate limiting are appended at Start, after
-	// the session-layer plugins attached below. Both -stats and -ops are
-	// fed by one telemetry registry; -ops additionally turns on hop-trace
-	// stamping so /trace can reconstruct multi-hop paths.
+	// the session-layer plugins attached below. -stats, -ops and -push are
+	// all fed by one telemetry registry; -ops and -push additionally turn
+	// on hop-trace stamping so /trace can reconstruct multi-hop paths,
+	// with -trace-sample/-trace-slow bounding the stamping cost.
 	var (
-		mws   []rebeca.Middleware
-		reg   *telemetry.Registry
-		spans *telemetry.SpanStore
-		tmw   *telemetry.Middleware
+		mws     []rebeca.Middleware
+		reg     *telemetry.Registry
+		spans   *telemetry.SpanStore
+		tmw     *telemetry.Middleware
+		sampler *telemetry.Sampler
 	)
-	if *stats > 0 || *opsAddr != "" {
+	if *stats > 0 || *opsAddr != "" || *push != "" {
 		reg = telemetry.NewRegistry()
 		spans = telemetry.NewSpanStore(0)
 		tmw = telemetry.NewMiddleware(reg, spans)
-		tmw.EnableHopTrace(*opsAddr != "")
+		tmw.EnableHopTrace(*opsAddr != "" || *push != "")
 		telemetry.RegisterSpanMetrics(reg, spans)
+		if *sampleN > 0 || *slowThr > 0 {
+			sampler = telemetry.NewSampler(spans, *sampleN, *slowThr)
+			tmw.SetSampler(sampler)
+			telemetry.RegisterSamplerMetrics(reg, sampler)
+		}
 		mws = append(mws, tmw)
 	}
 	var tracer *rebeca.Tracer
@@ -186,6 +209,18 @@ func main() {
 	}
 	if reg != nil {
 		if limiter != nil {
+			// Rate-limited publishes always matter: retro-capture their
+			// parked trace with the reason.
+			limiter.SetDropHook(func(_ rebeca.NodeID, nid rebeca.NotificationID) {
+				if tmw == nil || !tmw.HopTraceEnabled() {
+					return
+				}
+				if sampler != nil {
+					sampler.MarkDropped(nid, "rate-limited")
+				} else {
+					spans.RecordReason(nid, nil, 0, "rate-limited")
+				}
+			})
 			reg.CounterFunc(telemetry.MetricRateLimited,
 				"Client publishes rejected by the rate-limiter middleware.",
 				func(emit func(telemetry.Labels, float64)) {
@@ -209,13 +244,6 @@ func main() {
 	if *hbTimeout != 0 && *hbTimeout < *hbEvery {
 		fatal(fmt.Errorf("-heartbeat-timeout %s: want >= -heartbeat %s (or 0 for 3x interval)", *hbTimeout, *hbEvery))
 	}
-	var observer overlay.Observer
-	if *linkLog {
-		observer = func(ev overlay.Event) {
-			fmt.Printf("%s link %s: %s -> %s (%s)\n",
-				ev.At.Format("15:04:05.000"), ev.Peer, ev.From, ev.To, ev.Reason)
-		}
-	}
 	node := wire.NewNode(wire.NodeConfig{
 		ID:             self,
 		Listen:         *listen,
@@ -228,8 +256,10 @@ func main() {
 			HeartbeatInterval: *hbEvery,
 			HeartbeatTimeout:  *hbTimeout,
 		},
-		LinkObserver: observer,
-		Telemetry:    reg,
+		Telemetry:     reg,
+		Logger:        logger.For("wire"),
+		OverlayLogger: logger.For("overlay"),
+		BrokerLogger:  logger.For("broker"),
 	})
 
 	// Discovery mode: enable mesh routing (the registry may describe a
@@ -258,6 +288,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		wal.SetLogger(logger.For("store"))
 		st = wal
 	}
 	if reg != nil && wal != nil {
@@ -326,11 +357,13 @@ func main() {
 			Addr:     addr,
 			Registry: memReg,
 			Host:     wire.NodeHost{Node: node},
+			Logger:   logger.For("discovery"),
 		})
 		if err := member.Start(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("registered %s at %s with %s\n", self, addr, *registry)
+		logger.For("discovery").Info("registered with registry",
+			"self", string(self), "addr", addr, "registry", *registry)
 	}
 	if reg != nil {
 		// The discovery families register unconditionally so every broker's
@@ -370,7 +403,8 @@ func main() {
 		recovered := 0
 		node.Inspect(func(*broker.Broker) { recovered = mgr.Recover() })
 		if recovered > 0 {
-			fmt.Printf("recovered %d durable session(s) from %s\n", recovered, *storeDir)
+			logger.For("store").Info("recovered durable sessions",
+				"sessions", recovered, "dir", *storeDir)
 		}
 	}
 	if discovered {
@@ -418,6 +452,39 @@ func main() {
 				return nil
 			},
 		})
+		if sampler != nil {
+			ops.AddKnob("sample", telemetry.Knob{
+				Help: "hop-trace sampling rate as 1-in-N (1 traces everything)",
+				Get:  func() string { return strconv.FormatInt(sampler.Rate(), 10) },
+				Set: func(v string) error {
+					n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+					if err != nil {
+						return fmt.Errorf("bad rate %q: %v", v, err)
+					}
+					if n < 1 {
+						return fmt.Errorf("bad rate %d: want >= 1", n)
+					}
+					sampler.SetRate(n)
+					return nil
+				},
+			})
+			ops.AddKnob("slow", telemetry.Knob{
+				Help: "retro-capture threshold: deliveries slower than this are always traced (0 disables)",
+				Get:  func() string { return sampler.SlowThreshold().String() },
+				Set: func(v string) error {
+					d, err := time.ParseDuration(strings.TrimSpace(v))
+					if err != nil {
+						return fmt.Errorf("bad threshold %q: %v", v, err)
+					}
+					if d < 0 {
+						return fmt.Errorf("bad threshold %s: want >= 0", d)
+					}
+					sampler.SetSlowThreshold(d)
+					return nil
+				},
+			})
+		}
+		logger.RegisterKnobs(ops)
 		if tracer != nil {
 			ops.AddKnob("tracer", telemetry.Knob{
 				Help: "event-log Tracer recording: on/off",
@@ -448,6 +515,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("ops endpoint on http://%s (/metrics /healthz /readyz /trace /config /debug/pprof)\n", ops.Addr())
+	}
+
+	// -push: report metrics outbound on an interval — the NAT'd-broker
+	// mode, where nothing can scrape us. Coexists with -ops (push and
+	// scrape share the registry).
+	var pusher *telemetry.Pusher
+	if *push != "" {
+		pusher, err = telemetry.NewPusher(reg, telemetry.PusherConfig{
+			URL:      *push,
+			Interval: *pushEvery,
+			Format:   *pushForm,
+			Instance: string(self),
+			Logger:   logger.For("wire"),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		telemetry.RegisterPusherMetrics(reg, pusher)
+		pusher.Start()
+		fmt.Printf("pushing metrics to %s every %s (%s)\n", *push, *pushEvery, *pushForm)
 	}
 
 	// -stats: a periodic one-line digest of the same registry /metrics
@@ -487,6 +574,10 @@ func main() {
 	}
 	if ops != nil {
 		_ = ops.Close()
+	}
+	if pusher != nil {
+		// Final flush rides Close, so the receiver sees the shutdown state.
+		pusher.Close()
 	}
 	drained := make(chan bool, 1)
 	go func() { drained <- node.Drain(*drain) }()

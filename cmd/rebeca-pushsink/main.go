@@ -1,0 +1,97 @@
+// rebeca-pushsink is a tiny metric-push receiver for testing and CI: it
+// accepts the POST bodies a `rebeca-broker -push` (or rebeca.WithOpsPush
+// deployment) emits, appends them to a file, and reports how many pushes
+// arrived. It stands in for a real push gateway when validating that a
+// NAT'd broker — one nothing can scrape — still delivers its metrics.
+//
+//	rebeca-pushsink -listen 127.0.0.1:9091 -out pushes.txt
+//	rebeca-broker -id A -listen :7471 -edges A-B -push http://127.0.0.1:9091/ingest
+//
+// Endpoints:
+//
+//	POST /...    accept a push body (any path), append it to -out
+//	GET  /count  number of pushes accepted so far, as text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	out := flag.String("out", "", "append received push bodies to this file (empty = discard)")
+	quiet := flag.Bool("quiet", false, "suppress the per-push log line")
+	flag.Parse()
+
+	var (
+		mu    sync.Mutex
+		sink  io.Writer = io.Discard
+		count atomic.Int64
+	)
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rebeca-pushsink:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/count", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "%d\n", count.Load())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "push bodies arrive by POST", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := count.Add(1)
+		mu.Lock()
+		fmt.Fprintf(sink, "--- push %d %s %s\n", n, r.URL.Path, r.Header.Get("Content-Type"))
+		sink.Write(body)
+		if len(body) == 0 || body[len(body)-1] != '\n' {
+			fmt.Fprintln(sink)
+		}
+		mu.Unlock()
+		if !*quiet {
+			fmt.Printf("push %d: %d bytes (%s)\n", n, len(body), r.Header.Get("Content-Type"))
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rebeca-pushsink:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Printf("rebeca-pushsink listening on http://%s (POST pushes; GET /count)\n", ln.Addr())
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "rebeca-pushsink:", err)
+			os.Exit(1)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	_ = srv.Close()
+}

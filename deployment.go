@@ -128,9 +128,10 @@ func New(opts ...Option) (*System, error) {
 		repl = sim.ReplicationReactive
 	}
 	var ops *opsStack
-	if cfg.opsAddr != "" {
+	if cfg.opsAddr != "" || cfg.pushURL != "" || cfg.logging {
 		// Before cluster construction: the telemetry stage joins the chain
-		// every broker installs.
+		// every broker installs. Push-only and logging-only deployments
+		// build the stack too, but never open the HTTP listener.
 		ops = newOpsStack(cfg)
 	}
 	scfg := sim.ClusterConfig{
@@ -150,6 +151,8 @@ func New(opts ...Option) (*System, error) {
 		JitterSeed:     cfg.jitterSeed,
 		Store:          cfg.store,
 		LinkObserver:   cfg.linkObserver,
+		OverlayLogger:  ops.logFor("overlay"),
+		BrokerLogger:   ops.logFor("broker"),
 	}
 	if cfg.overlay {
 		set := cfg.overlaySettings()
@@ -232,7 +235,13 @@ func (s *System) startOps(cfg *config) error {
 		}
 	})
 	st.registerCommon(cfg)
-	return st.ops.Start(cfg.opsAddr)
+	if cfg.opsAddr != "" {
+		if err := st.ops.Start(cfg.opsAddr); err != nil {
+			return err
+		}
+	}
+	ids := s.Brokers()
+	return st.startPush(cfg, strings.Join(nodeIDStrings(ids), ","))
 }
 
 // OpsAddr returns the bound address of the telemetry subsystem's HTTP
@@ -272,7 +281,7 @@ func (s *System) Close() error {
 		p.streams.closeAll()
 	}
 	if s.ops != nil {
-		_ = s.ops.ops.Close()
+		s.ops.close()
 	}
 	return nil
 }

@@ -40,6 +40,28 @@
 // (the lexicographically smaller ID dials), and departures re-elect the
 // tree; /readyz (with -ops) gates on membership + overlay convergence.
 //
+// Fleet observability (PR 8) rounds out the ops story. A broker behind
+// NAT that nothing can scrape reports outbound instead:
+//
+//	rebeca-broker -name b1 ... -push http://gateway:9091/ingest -push-interval 15s
+//
+// (-push-format json ships compact counter deltas instead of Prometheus
+// text; facades use WithOpsPush(url, interval).) Hop tracing scales to
+// production rates via sampling — `-trace-sample 64` stamps 1-in-64
+// notifications, deterministically by ID so every broker agrees, while
+// `-trace-slow 250ms` retro-captures any delivery that crosses the
+// threshold (and rate-limited/flood-fallback drops) with its full hop
+// path and a reason tag; facades use WithTraceSampling(n, slow). Both are
+// live knobs: POST /config sample=1 or slow=100ms. Structured slog
+// output replaces ad-hoc prints — `-log-level debug` (or
+// WithLogging(w, "info")) tags every line with its subsystem, and POST
+// /config log.overlay=debug raises one subsystem's verbosity at runtime
+// without a restart. To chase a latency spike: scrape
+// /metrics?exemplars=1, read the worst notification ID off the slow
+// bucket's `# {note="pub#seq"}` trailer, and GET /trace?note=pub#seq for
+// its hop-by-hop path (bare /trace lists every retained span,
+// newest-first).
+//
 // Run with: go run ./examples/quickstart [-live]
 package main
 

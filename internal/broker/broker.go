@@ -13,6 +13,7 @@ package broker
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"rebeca/internal/message"
@@ -105,8 +106,16 @@ type Broker struct {
 	waves        map[string]uint64 // highest wave epoch seen per (kind, anchor, id)
 	onTreeChange func(added, removed []message.NodeID)
 
+	// log receives structured broker-core events (spanning-tree
+	// recomputations, flood fallbacks); nil stays silent.
+	log *slog.Logger
+
 	stats Stats
 }
+
+// SetLogger attaches a structured logger for broker-core events (nil
+// detaches). Call before the broker starts processing messages.
+func (b *Broker) SetLogger(l *slog.Logger) { b.log = l }
 
 type flushKey struct {
 	origin message.NodeID

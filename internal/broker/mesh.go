@@ -28,6 +28,7 @@
 package broker
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"rebeca/internal/message"
@@ -455,6 +456,11 @@ func (b *Broker) recomputeTree() {
 	if len(added)+len(removed) > 0 {
 		sortNodeIDs(added)
 		sortNodeIDs(removed)
+		if b.log != nil {
+			b.log.Debug("spanning tree recomputed",
+				"broker", b.cfg.ID, "added", fmt.Sprint(added), "removed", fmt.Sprint(removed),
+				"recomputations", b.mesh.Recomputations())
+		}
 		// Table entries learned on removed links are NOT dropped or
 		// unsubscribed here: the re-anchor wave below repairs them in
 		// place, and until it lands a stale entry serves as the
@@ -593,6 +599,10 @@ func (b *Broker) routePublishMesh(from message.NodeID, m proto.Message, n messag
 			// unicast, so their other branches were never covered. The
 			// forwarding memory keeps the bounce wave finite and the
 			// first-sight delivery decision keeps it duplicate-free.
+			b.notifyDrop(n.ID, "flood-fallback")
+			if b.log != nil {
+				b.log.Debug("flood fallback", "broker", b.cfg.ID, "note", n.ID.String())
+			}
 			b.forwardFlood(e, "", m)
 		} else {
 			for _, p := range fwds {

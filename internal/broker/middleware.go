@@ -86,6 +86,28 @@ type LinkObserver interface {
 	OnLinkChange(b *Broker, ev overlay.Event)
 }
 
+// DropObserver is an optional Middleware extension: stages that implement
+// it are told when the broker's routing abandons a notification's normal
+// path — today the mesh router's flood fallback (no tree route survived a
+// topology change, so the note was flooded instead of forwarded). Reason
+// is a short stable tag ("flood-fallback", ...). Observe-only; stages
+// must not block (the hook runs on the broker's event loop).
+type DropObserver interface {
+	Middleware
+	// OnDrop observes one abandoned-path event.
+	OnDrop(b *Broker, id message.NotificationID, reason string)
+}
+
+// notifyDrop hands an abandoned-path event to every DropObserver stage on
+// the chain, in attachment order.
+func (b *Broker) notifyDrop(id message.NotificationID, reason string) {
+	for _, s := range b.chain {
+		if d, ok := s.(DropObserver); ok {
+			d.OnDrop(b, id, reason)
+		}
+	}
+}
+
 // NotifyLinkChange hands an overlay link transition to every LinkObserver
 // stage on the chain, in attachment order. Called by the hosting runtime
 // (live node event loop, simulator) — never by the overlay manager

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"log/slog"
 	"sync"
 
 	"rebeca/internal/message"
@@ -38,6 +39,9 @@ type MembershipConfig struct {
 	// OnEvent observes membership events ("join", "leave", "update") for
 	// metrics; may be nil.
 	OnEvent func(typ string)
+	// Logger, when non-nil, receives structured membership events (one
+	// info line per join/leave/update command applied).
+	Logger *slog.Logger
 }
 
 // Membership supervises one broker's overlay links from a registry:
@@ -144,15 +148,18 @@ func (m *Membership) apply(entries []Entry) {
 			// Deterministic dial direction: the smaller ID dials.
 			m.cfg.Host.AddLink(c.peer, c.addr, m.cfg.Self < c.peer)
 		}
+		typ := "leave"
+		switch {
+		case c.add && c.rm:
+			typ = "update"
+		case c.add:
+			typ = "join"
+		}
+		if l := m.cfg.Logger; l != nil {
+			l.Info("membership "+typ, "self", m.cfg.Self, "peer", c.peer, "addr", c.addr)
+		}
 		if onEvent != nil {
-			switch {
-			case c.add && c.rm:
-				onEvent("update")
-			case c.add:
-				onEvent("join")
-			default:
-				onEvent("leave")
-			}
+			onEvent(typ)
 		}
 	}
 	// Every snapshot reaches the mesh layer, even when our own link set

@@ -45,6 +45,7 @@ package overlay
 import (
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
@@ -195,6 +196,10 @@ type Config struct {
 	ApplySync func(peer message.NodeID, subs, advs []proto.Subscription)
 	// Observer, when non-nil, sees every link transition.
 	Observer Observer
+	// Logger, when non-nil, receives structured link-transition events
+	// (established = info, loss of an established link = warn, the
+	// intermediate supervision states = debug).
+	Logger *slog.Logger
 }
 
 // LinkInfo is a link's introspection snapshot.
@@ -754,7 +759,21 @@ func (m *Manager) transmit(peer message.NodeID, gen uint64, msg proto.Message) {
 }
 
 func (m *Manager) observe(peer message.NodeID, from, to State, reason string) {
-	if m.cfg.Observer == nil || from == to {
+	if from == to {
+		return
+	}
+	if l := m.cfg.Logger; l != nil {
+		switch {
+		case to == StateEstablished:
+			l.Info("link established", "self", m.cfg.Self, "peer", peer, "from", from.String())
+		case from == StateEstablished:
+			l.Warn("link lost", "self", m.cfg.Self, "peer", peer, "to", to.String(), "reason", reason)
+		default:
+			l.Debug("link transition", "self", m.cfg.Self, "peer", peer,
+				"from", from.String(), "to", to.String(), "reason", reason)
+		}
+	}
+	if m.cfg.Observer == nil {
 		return
 	}
 	m.cfg.Observer(Event{Peer: peer, From: from, To: to, Reason: reason, At: m.cfg.Now()})

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"time"
 
@@ -89,6 +90,12 @@ type ClusterConfig struct {
 	JitterSeed int64
 	// DirectLatency is the replicator out-of-band delay (default 2×link).
 	DirectLatency time.Duration
+	// OverlayLogger, when non-nil, gives every simulated overlay manager
+	// a structured logger for link transitions.
+	OverlayLogger *slog.Logger
+	// BrokerLogger, when non-nil, is attached to every simulated broker
+	// core (spanning-tree recomputations, flood fallbacks).
+	BrokerLogger *slog.Logger
 }
 
 // MobilityMode mirrors mobility.Mode plus "none". Using a separate type
@@ -238,6 +245,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			NextHop: hops[id],
 		})
 		c.Brokers[id] = b
+		if cfg.BrokerLogger != nil {
+			b.SetLogger(cfg.BrokerLogger)
+		}
 		if cfg.Mesh {
 			// Seed the full declared graph before any link events: the
 			// first election replaces the raw adjacency in b.peers and
@@ -317,6 +327,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 						cfg.LinkObserver(ev)
 					}
 				},
+				Logger: cfg.OverlayLogger,
 			})
 			if cfg.Mesh {
 				// Tree transitions repair through the overlay: links

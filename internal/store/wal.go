@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -65,9 +66,21 @@ type WAL struct {
 	queues map[string]*memQueue
 	snaps  map[string][]byte
 	closed bool
+
+	// log receives structured segment lifecycle events (rotation,
+	// compaction); nil stays silent.
+	log *slog.Logger
 }
 
 var _ Store = (*WAL)(nil)
+
+// SetLogger attaches a structured logger for WAL segment lifecycle
+// events (nil detaches).
+func (w *WAL) SetLogger(l *slog.Logger) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.log = l
+}
 
 // WALOption configures OpenWAL.
 type WALOption func(*WAL)
@@ -306,11 +319,16 @@ func (w *WAL) write(rec walRecord) error {
 		}
 	}
 	if w.segSize >= w.maxSeg {
+		full, fullSize := w.segID, w.segSize
 		if err := w.seg.Close(); err != nil {
 			return err
 		}
 		if err := w.openSegment(w.segID + 1); err != nil {
 			return err
+		}
+		if w.log != nil {
+			w.log.Info("wal segment rotated", "dir", w.dir, "segment", full,
+				"bytes", fullSize, "next", w.segID)
 		}
 	}
 	return nil
@@ -450,12 +468,18 @@ func (w *WAL) Compact() error {
 	if err != nil {
 		return err
 	}
+	removed := 0
 	for _, id := range ids {
 		if id <= oldID {
 			if err := os.Remove(filepath.Join(w.dir, segName(id))); err != nil {
 				return err
 			}
+			removed++
 		}
+	}
+	if w.log != nil {
+		w.log.Info("wal compacted", "dir", w.dir, "segments_removed", removed,
+			"segment", w.segID, "bytes", w.segSize)
 	}
 	return nil
 }

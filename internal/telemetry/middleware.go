@@ -39,6 +39,14 @@ const (
 	MetricDiscoveryPeers     = "rebeca_discovery_peers"
 	MetricDiscoveryEvents    = "rebeca_discovery_events_total"
 	MetricTreeRecomputations = "rebeca_spanning_tree_recomputations_total"
+
+	// Fleet observability (trace sampling + push export).
+	MetricTraceSampled = "rebeca_trace_sampled_total"
+	MetricTraceRetro   = "rebeca_trace_retro_total"
+	MetricTracePending = "rebeca_trace_pending"
+	MetricPushAttempts = "rebeca_push_attempts_total"
+	MetricPushFailures = "rebeca_push_failures_total"
+	MetricPushSpooled  = "rebeca_push_spooled"
 )
 
 // instruments is one broker's resolved hot-path handles.
@@ -64,6 +72,7 @@ type Middleware struct {
 	reg   *Registry
 	spans *SpanStore
 	trace atomic.Bool
+	smp   atomic.Pointer[Sampler]
 
 	mu  sync.Mutex
 	ins sync.Map // message.NodeID -> *instruments
@@ -89,6 +98,16 @@ func (t *Middleware) EnableHopTrace(on bool) { t.trace.Store(on && t.spans != ni
 
 // HopTraceEnabled reports whether hop stamping is on.
 func (t *Middleware) HopTraceEnabled() bool { return t.trace.Load() }
+
+// SetSampler attaches (or, with nil, detaches) a trace sampler. Without
+// one, hop tracing keeps its original stamp-everything behavior; with
+// one, only the 1-in-N sample is stamped and recorded up front, while
+// unsampled paths park in the sampler's pending ring for retro-capture
+// on slow or dropped verdicts.
+func (t *Middleware) SetSampler(s *Sampler) { t.smp.Store(s) }
+
+// Sampler returns the attached trace sampler (nil when none).
+func (t *Middleware) Sampler() *Sampler { return t.smp.Load() }
 
 // at resolves a broker's instruments, registering them on first use.
 func (t *Middleware) at(b message.NodeID) *instruments {
@@ -127,10 +146,25 @@ func (t *Middleware) OnPublish(b *broker.Broker, _ message.NodeID, n *message.No
 	ins.publishes.Inc()
 	if t.trace.Load() && n != nil {
 		self := b.ID()
-		if len(n.Path) == 0 || n.Path[len(n.Path)-1].Broker != self {
-			n.Path = append(n.Path, message.HopStamp{Broker: self, At: b.Now()})
+		first := len(n.Path) == 0 || n.Path[len(n.Path)-1].Broker != self
+		s := t.smp.Load()
+		switch {
+		case s == nil || s.Sampled(n.ID):
+			// In the sample (or no sampler): stamp and retain up front.
+			// Every broker on the path reaches the same verdict from the
+			// ID alone, so the trail accumulates with no wire bits.
+			if first {
+				n.Path = append(n.Path, message.HopStamp{Broker: self, At: b.Now()})
+				if s != nil {
+					s.sampled.Add(1)
+				}
+			}
+			t.spans.Record(n.ID, n.Path)
+		case first:
+			// Not sampled: leave the wire untouched, park the stamp so a
+			// late slow/drop verdict can still retro-capture the path.
+			s.Observe(n.ID, message.HopStamp{Broker: self, At: b.Now()})
 		}
-		t.spans.Record(n.ID, n.Path)
 	}
 	start := time.Now()
 	next()
@@ -138,16 +172,47 @@ func (t *Middleware) OnPublish(b *broker.Broker, _ message.NodeID, n *message.No
 }
 
 // OnDeliver implements broker.Middleware: count and observe end-to-end
-// latency on the broker's clock.
+// latency on the broker's clock. Traced deliveries leave the notification
+// ID as the latency histogram's exemplar (the /metrics?exemplars=1 →
+// /trace cross-link), and with a sampler attached a delivery over the
+// slow threshold retro-captures its parked path regardless of the dice.
 func (t *Middleware) OnDeliver(b *broker.Broker, _ message.NodeID, n *message.Notification, _ []message.SubID, next func()) {
 	ins := t.at(b.ID())
 	ins.deliveries.Inc()
 	if n != nil && !n.Published.IsZero() {
 		if lat := b.Now().Sub(n.Published); lat > 0 {
-			ins.e2eSeconds.Observe(lat.Seconds())
+			sec := lat.Seconds()
+			if !t.trace.Load() {
+				ins.e2eSeconds.Observe(sec)
+			} else if s := t.smp.Load(); s == nil || s.Sampled(n.ID) {
+				ins.e2eSeconds.ObserveExemplar(sec, n.ID.String())
+				t.spans.Observe(n.ID, lat)
+				if s != nil && s.SlowerThan(lat) {
+					s.MarkSlow(n.ID, lat)
+				}
+			} else if s.SlowerThan(lat) {
+				s.MarkSlow(n.ID, lat)
+				ins.e2eSeconds.ObserveExemplar(sec, n.ID.String())
+			} else {
+				ins.e2eSeconds.Observe(sec)
+			}
 		}
 	}
 	next()
+}
+
+// OnDrop implements the broker.DropObserver extension: a notification
+// hitting a drop branch (flood fallback, overflow) is a path that always
+// matters — retro-capture it with its reason.
+func (t *Middleware) OnDrop(b *broker.Broker, id message.NotificationID, reason string) {
+	if !t.trace.Load() {
+		return
+	}
+	if s := t.smp.Load(); s != nil {
+		s.MarkDropped(id, reason)
+	} else if t.spans != nil {
+		t.spans.RecordReason(id, nil, 0, reason)
+	}
 }
 
 // OnSubscribe implements broker.Middleware.
@@ -176,8 +241,37 @@ func RegisterSpanMetrics(reg *Registry, spans *SpanStore) {
 		func(emit func(Labels, float64)) { emit(nil, float64(spans.Evicted())) })
 }
 
+// RegisterSamplerMetrics exposes a sampler's decisions on the registry:
+// how many notifications won the 1-in-N roll here, retro-captures by
+// reason, and the pending-ring occupancy.
+func RegisterSamplerMetrics(reg *Registry, s *Sampler) {
+	reg.CounterFunc(MetricTraceSampled, "Notifications stamped by the 1-in-N trace sample at this broker.",
+		func(emit func(Labels, float64)) { emit(nil, float64(s.SampledCount())) })
+	reg.CounterFunc(MetricTraceRetro, "Trace spans retro-captured outside the sample, by reason.",
+		func(emit func(Labels, float64)) {
+			for reason, n := range s.RetroCounts() {
+				emit(Labels{"reason": reason}, float64(n))
+			}
+		})
+	reg.GaugeFunc(MetricTracePending, "Hop paths parked in the sampler's pending-decision ring.",
+		func(emit func(Labels, float64)) { emit(nil, float64(s.PendingLen())) })
+}
+
+// RegisterPusherMetrics exposes a push exporter's delivery health on the
+// registry, so the pushed bodies themselves report spool pressure and
+// receiver outages.
+func RegisterPusherMetrics(reg *Registry, p *Pusher) {
+	reg.CounterFunc(MetricPushAttempts, "Metric push POSTs attempted.",
+		func(emit func(Labels, float64)) { emit(nil, float64(p.Attempts())) })
+	reg.CounterFunc(MetricPushFailures, "Metric push POSTs that failed.",
+		func(emit func(Labels, float64)) { emit(nil, float64(p.Failures())) })
+	reg.GaugeFunc(MetricPushSpooled, "Metric push bodies spooled awaiting delivery.",
+		func(emit func(Labels, float64)) { emit(nil, float64(p.SpoolLen())) })
+}
+
 // compile-time interface checks
 var (
 	_ broker.Middleware   = (*Middleware)(nil)
 	_ broker.LinkObserver = (*Middleware)(nil)
+	_ broker.DropObserver = (*Middleware)(nil)
 )

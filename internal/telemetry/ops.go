@@ -144,8 +144,15 @@ func (o *Ops) Close() error {
 	return srv.Close()
 }
 
-func (o *Ops) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (o *Ops) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// ?exemplars=1 appends `# {note=...}` trailers to histogram bucket
+	// lines — the cross-link into /trace. Off the plain scrape path, so
+	// strict 0.0.4 parsers never see the non-standard trailer.
+	if r.URL.Query().Get("exemplars") == "1" {
+		_ = o.reg.WritePrometheusExemplars(w)
+		return
+	}
 	_ = o.reg.WritePrometheus(w)
 }
 
@@ -200,8 +207,25 @@ type traceHop struct {
 
 // traceResponse is the /trace?note=<id> JSON body.
 type traceResponse struct {
-	Note string     `json:"note"`
-	Hops []traceHop `json:"hops"`
+	Note      string     `json:"note"`
+	LatencyMS float64    `json:"latency_ms,omitempty"`
+	Reason    string     `json:"reason,omitempty"`
+	Hops      []traceHop `json:"hops"`
+}
+
+// traceListEntry is one row of the bare /trace listing.
+type traceListEntry struct {
+	Note      string  `json:"note"`
+	Hops      int     `json:"hops"`
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+}
+
+// traceListResponse is the /trace (no note) JSON body: retained spans,
+// newest first.
+type traceListResponse struct {
+	Retained int              `json:"retained"`
+	Spans    []traceListEntry `json:"spans"`
 }
 
 // parseNoteID parses the "publisher#seq" rendering of a NotificationID.
@@ -224,7 +248,30 @@ func (o *Ops) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	note := r.URL.Query().Get("note")
 	if note == "" {
-		http.Error(w, "missing note parameter (note=publisher#seq)", http.StatusBadRequest)
+		// No note: list retained spans newest-first, so operators (and
+		// exemplar links) can browse without knowing an ID up front.
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", s), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		list := traceListResponse{Retained: o.spans.Len(), Spans: []traceListEntry{}}
+		for _, info := range o.spans.List(limit) {
+			list.Spans = append(list.Spans, traceListEntry{
+				Note:      info.ID.String(),
+				Hops:      info.Hops,
+				LatencyMS: float64(info.Latency) / float64(time.Millisecond),
+				Reason:    info.Reason,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(list)
 		return
 	}
 	id, err := parseNoteID(note)
@@ -232,13 +279,17 @@ func (o *Ops) handleTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	path := o.spans.Get(id)
-	if len(path) == 0 {
+	span, ok := o.spans.GetSpan(id)
+	if !ok || (len(span.Path) == 0 && span.Reason == "") {
 		http.Error(w, "unknown notification (not traced, or evicted)", http.StatusNotFound)
 		return
 	}
-	resp := traceResponse{Note: id.String()}
-	for i, h := range path {
+	resp := traceResponse{
+		Note:      id.String(),
+		LatencyMS: float64(span.Latency) / float64(time.Millisecond),
+		Reason:    span.Reason,
+	}
+	for i, h := range span.Path {
 		resp.Hops = append(resp.Hops, traceHop{Hop: i, Broker: string(h.Broker), At: h.At})
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,286 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Push body formats.
+const (
+	PushFormatProm = "prom" // Prometheus text exposition 0.0.4
+	PushFormatJSON = "json" // compact delta JSON (pushPayload)
+)
+
+// DefaultPushSpool bounds the in-memory spool of undelivered push bodies.
+const DefaultPushSpool = 64
+
+// PusherConfig configures a metrics push exporter.
+type PusherConfig struct {
+	// URL receives POSTed metric snapshots.
+	URL string
+	// Interval between snapshots (default 15s).
+	Interval time.Duration
+	// Format is PushFormatProm (default) or PushFormatJSON.
+	Format string
+	// SpoolCap bounds bodies retained across receiver outages
+	// (drop-oldest; default DefaultPushSpool).
+	SpoolCap int
+	// Instance tags JSON payloads with the reporting broker's identity.
+	Instance string
+	// Client overrides the HTTP client (default: 5s-timeout client).
+	Client *http.Client
+	// MaxBackoff caps the retry backoff (default 2m).
+	MaxBackoff time.Duration
+	// Logger receives delivery-failure warnings (nil = silent).
+	Logger *slog.Logger
+}
+
+// Pusher periodically snapshots a Registry and POSTs it to a collector —
+// the push-model complement to the /metrics scrape endpoint, for brokers
+// behind NAT that nothing can scrape. Undeliverable snapshots spool in a
+// bounded drop-oldest ring and drain in order once the receiver returns,
+// with exponential backoff between failed attempts.
+type Pusher struct {
+	reg *Registry
+	cfg PusherConfig
+
+	mu           sync.Mutex
+	spool        [][]byte
+	prev         map[string]float64 // last-pushed counter values, JSON deltas
+	backoff      time.Duration
+	blockedUntil time.Time
+
+	attempts     atomic.Uint64
+	failures     atomic.Uint64
+	spoolDropped atomic.Uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	startErr error
+	started  bool
+}
+
+// NewPusher builds a pusher over reg. Start launches it.
+func NewPusher(reg *Registry, cfg PusherConfig) (*Pusher, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("telemetry: push URL required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Second
+	}
+	switch cfg.Format {
+	case "":
+		cfg.Format = PushFormatProm
+	case PushFormatProm, PushFormatJSON:
+	default:
+		return nil, fmt.Errorf("telemetry: bad push format %q (want %s|%s)", cfg.Format, PushFormatProm, PushFormatJSON)
+	}
+	if cfg.SpoolCap <= 0 {
+		cfg.SpoolCap = DefaultPushSpool
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Minute
+	}
+	return &Pusher{
+		reg:  reg,
+		cfg:  cfg,
+		prev: make(map[string]float64),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the snapshot/push loop.
+func (p *Pusher) Start() {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = true
+	p.mu.Unlock()
+	go p.run()
+}
+
+func (p *Pusher) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.Flush()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Close stops the loop after one final snapshot and best-effort drain.
+func (p *Pusher) Close() {
+	p.mu.Lock()
+	started := p.started
+	p.mu.Unlock()
+	if started {
+		select {
+		case <-p.stop:
+		default:
+			close(p.stop)
+		}
+		<-p.done
+	}
+	p.Flush()
+}
+
+// Flush snapshots the registry into the spool and attempts to drain it —
+// one synchronous push cycle. Exported so tests and Close can drive the
+// cycle without waiting out the interval.
+func (p *Pusher) Flush() {
+	body, ctype := p.snapshot()
+	p.mu.Lock()
+	if body != nil {
+		if len(p.spool) >= p.cfg.SpoolCap {
+			p.spool = p.spool[1:]
+			p.spoolDropped.Add(1)
+		}
+		p.spool = append(p.spool, body)
+	}
+	if time.Now().Before(p.blockedUntil) {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.drain(ctype)
+}
+
+// snapshot renders the current registry state as one push body (nil when
+// there is nothing to report, e.g. a JSON delta cycle with no movement).
+func (p *Pusher) snapshot() (body []byte, contentType string) {
+	if p.cfg.Format == PushFormatJSON {
+		return p.snapshotJSON(), "application/json"
+	}
+	var b bytes.Buffer
+	if err := p.reg.WritePrometheus(&b); err != nil || b.Len() == 0 {
+		return nil, "text/plain; version=0.0.4"
+	}
+	return b.Bytes(), "text/plain; version=0.0.4"
+}
+
+// pushPayload is the JSON push body: counter movement since the last
+// successful snapshot plus absolute gauge readings.
+type pushPayload struct {
+	Instance string        `json:"instance,omitempty"`
+	Points   []MetricPoint `json:"points"`
+}
+
+func (p *Pusher) snapshotJSON() []byte {
+	points := p.reg.Gather()
+	p.mu.Lock()
+	out := make([]MetricPoint, 0, len(points))
+	for _, pt := range points {
+		if pt.Type == typeCounter {
+			key := pt.Name + pt.Labels
+			prev, seen := p.prev[key]
+			p.prev[key] = pt.Value
+			delta := pt.Value - prev
+			if seen && delta == 0 {
+				continue // compact: unchanged counters stay home
+			}
+			if seen && delta > 0 {
+				pt.Value = delta
+			}
+			// First sighting (or a reset going backwards) ships absolute.
+		}
+		out = append(out, pt)
+	}
+	p.mu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(pushPayload{Instance: p.cfg.Instance, Points: out})
+	if err != nil {
+		return nil
+	}
+	return body
+}
+
+// drain POSTs spooled bodies in order until empty or a delivery fails
+// (which arms the backoff window).
+func (p *Pusher) drain(contentType string) {
+	for {
+		p.mu.Lock()
+		if len(p.spool) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		body := p.spool[0]
+		p.mu.Unlock()
+
+		p.attempts.Add(1)
+		err := p.post(body, contentType)
+		p.mu.Lock()
+		if err != nil {
+			p.failures.Add(1)
+			if p.backoff <= 0 {
+				p.backoff = p.cfg.Interval
+			} else {
+				p.backoff *= 2
+			}
+			if p.backoff > p.cfg.MaxBackoff {
+				p.backoff = p.cfg.MaxBackoff
+			}
+			p.blockedUntil = time.Now().Add(p.backoff)
+			p.mu.Unlock()
+			if p.cfg.Logger != nil {
+				p.cfg.Logger.Warn("metrics push failed",
+					"url", p.cfg.URL, "err", err, "spooled", p.SpoolLen(), "backoff", p.backoff)
+			}
+			return
+		}
+		p.backoff = 0
+		p.blockedUntil = time.Time{}
+		if len(p.spool) > 0 {
+			p.spool = p.spool[1:]
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *Pusher) post(body []byte, contentType string) error {
+	resp, err := p.cfg.Client.Post(p.cfg.URL, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("receiver returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Attempts counts push POSTs tried.
+func (p *Pusher) Attempts() uint64 { return p.attempts.Load() }
+
+// Failures counts push POSTs that failed.
+func (p *Pusher) Failures() uint64 { return p.failures.Load() }
+
+// SpoolLen returns the number of bodies awaiting delivery.
+func (p *Pusher) SpoolLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.spool)
+}
+
+// SpoolDropped counts bodies evicted by the spool bound.
+func (p *Pusher) SpoolDropped() uint64 { return p.spoolDropped.Load() }

@@ -15,6 +15,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -74,6 +75,8 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    atomicFloat
 	count  atomic.Uint64
+	ex     []exemplarSlot // one per bucket incl. +Inf; nil until first exemplar
+	exMu   sync.Mutex     // guards ex allocation and slot contents
 }
 
 // Observe records one value.
@@ -86,6 +89,54 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.sum.add(v)
 	h.count.Add(1)
+}
+
+// exemplarSlot remembers the worst observation that landed in one bucket
+// since the window last reset (an exemplars render resets it).
+type exemplarSlot struct {
+	set   bool
+	value float64
+	note  string
+}
+
+// ObserveExemplar records one value and, when note is non-empty, keeps it
+// as the bucket's exemplar if it is the worst observation this window.
+// Exemplar upkeep takes a mutex, so call this only on already-traced
+// paths (sampled or retro-captured notifications), never unconditionally
+// on a hot path — plain Observe stays lock-free.
+func (h *Histogram) ObserveExemplar(v float64, note string) {
+	h.Observe(v)
+	if note == "" {
+		return
+	}
+	i := len(h.bounds) // +Inf slot
+	for j, b := range h.bounds {
+		if v <= b {
+			i = j
+			break
+		}
+	}
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]exemplarSlot, len(h.bounds)+1)
+	}
+	s := &h.ex[i]
+	if !s.set || v > s.value {
+		*s = exemplarSlot{set: true, value: v, note: note}
+	}
+	h.exMu.Unlock()
+}
+
+// takeExemplar returns bucket i's exemplar and resets its window.
+func (h *Histogram) takeExemplar(i int) (note string, value float64, ok bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil || i >= len(h.ex) || !h.ex[i].set {
+		return "", 0, false
+	}
+	s := h.ex[i]
+	h.ex[i] = exemplarSlot{}
+	return s.note, s.value, true
 }
 
 // Sum returns the sum of all observations.
@@ -265,58 +316,153 @@ func (r *Registry) HistogramStats(name string) (sum float64, count uint64) {
 	return sum, count
 }
 
+// exposPool recycles exposition buffers across scrapes: a 1k-family
+// render is tens of KiB, and re-growing a fresh buffer per scrape is the
+// dominant scrape cost (see BenchmarkWritePrometheus1k). bytes.Buffer —
+// not strings.Builder, whose Reset discards its array because String()
+// aliases it.
+var exposPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // WritePrometheus renders every family in the Prometheus text exposition
 // format (version 0.0.4), families in registration order and samples in
 // first-seen order, so scrapes are stable across calls.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WritePrometheusExemplars renders the exposition with exemplar trailers
+// (`# {note="pub#seq"} value`) after histogram bucket lines — the
+// /metrics?exemplars=1 view. Rendering consumes the exemplar window:
+// each bucket's worst-observation slot resets. Non-standard in 0.0.4, so
+// it never appears on a plain scrape.
+func (r *Registry) WritePrometheusExemplars(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, exemplars bool) error {
+	b := exposPool.Get().(*bytes.Buffer)
+	b.Reset()
+	defer exposPool.Put(b)
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	var b strings.Builder
 	for _, name := range r.order {
 		f := r.families[name]
-		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
 		for _, key := range f.order {
 			s := f.samples[key]
 			switch {
 			case s.counter != nil:
-				writeSample(&b, f.name, s.labelKey, float64(s.counter.Value()))
+				writeSample(b, f.name, s.labelKey, float64(s.counter.Value()))
 			case s.hist != nil:
-				writeHistogram(&b, f, s)
+				writeHistogram(b, f, s, exemplars)
 			}
 		}
 		for _, fn := range f.collect {
 			fn(func(labels Labels, v float64) {
-				writeSample(&b, f.name, renderLabels(labels), v)
+				writeSample(b, f.name, renderLabels(labels), v)
 			})
 		}
 	}
-	_, err := io.WriteString(w, b.String())
+	r.mu.RUnlock()
+	_, err := w.Write(b.Bytes())
 	return err
 }
 
-func writeSample(b *strings.Builder, name, labelKey string, v float64) {
+func writeSample(b *bytes.Buffer, name, labelKey string, v float64) {
 	b.WriteString(name)
 	b.WriteString(labelKey)
-	fmt.Fprintf(b, " %s\n", formatValue(v))
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
 }
 
 // writeHistogram renders one histogram sample's cumulative buckets, sum
 // and count. Snapshot order — buckets before count — keeps the invariant
 // +Inf bucket == count even while writers race the scrape.
-func writeHistogram(b *strings.Builder, f *family, s *sample) {
+func writeHistogram(b *bytes.Buffer, f *family, s *sample, exemplars bool) {
 	var cum uint64
 	for i, bound := range f.bounds {
 		cum += s.hist.counts[i].Load()
-		writeSample(b, f.name+"_bucket", mergeLabelKey(s.labelKey, "le", formatValue(bound)), float64(cum))
+		writeBucket(b, f, s, mergeLabelKey(s.labelKey, "le", formatValue(bound)), float64(cum), i, exemplars)
 	}
 	count := s.hist.Count()
 	if count < cum {
 		count = cum
 	}
-	writeSample(b, f.name+"_bucket", mergeLabelKey(s.labelKey, "le", "+Inf"), float64(count))
+	writeBucket(b, f, s, mergeLabelKey(s.labelKey, "le", "+Inf"), float64(count), len(f.bounds), exemplars)
 	writeSample(b, f.name+"_sum", s.labelKey, s.hist.Sum())
 	writeSample(b, f.name+"_count", s.labelKey, float64(count))
+}
+
+// writeBucket renders one cumulative bucket line, with its exemplar
+// trailer when requested and one is set.
+func writeBucket(b *bytes.Buffer, f *family, s *sample, labelKey string, v float64, bucket int, exemplars bool) {
+	b.WriteString(f.name)
+	b.WriteString("_bucket")
+	b.WriteString(labelKey)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	if exemplars {
+		if note, value, ok := s.hist.takeExemplar(bucket); ok {
+			fmt.Fprintf(b, " # {note=%q} %s", note, formatValue(value))
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// MetricPoint is one flattened sample in a Gather snapshot: histograms
+// expand into their cumulative bucket/sum/count series, so a snapshot is
+// a flat list the push exporter can diff and ship as compact JSON.
+type MetricPoint struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"` // pre-rendered {k="v",...}
+	Type   string  `json:"type"`
+	Value  float64 `json:"value"`
+}
+
+// Gather snapshots every family — hot-path samples and pull collectors —
+// into a flat, deterministically ordered point list. This is the push
+// exporter's source: same data as WritePrometheus, structured instead of
+// rendered.
+func (r *Registry) Gather() []MetricPoint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []MetricPoint
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, key := range f.order {
+			s := f.samples[key]
+			switch {
+			case s.counter != nil:
+				out = append(out, MetricPoint{Name: f.name, Labels: s.labelKey, Type: f.typ, Value: float64(s.counter.Value())})
+			case s.hist != nil:
+				var cum uint64
+				for i, bound := range f.bounds {
+					cum += s.hist.counts[i].Load()
+					out = append(out, MetricPoint{
+						Name: f.name + "_bucket", Labels: mergeLabelKey(s.labelKey, "le", formatValue(bound)),
+						Type: typeCounter, Value: float64(cum),
+					})
+				}
+				count := s.hist.Count()
+				if count < cum {
+					count = cum
+				}
+				out = append(out, MetricPoint{
+					Name: f.name + "_bucket", Labels: mergeLabelKey(s.labelKey, "le", "+Inf"),
+					Type: typeCounter, Value: float64(count),
+				})
+				out = append(out, MetricPoint{Name: f.name + "_sum", Labels: s.labelKey, Type: typeCounter, Value: s.hist.Sum()})
+				out = append(out, MetricPoint{Name: f.name + "_count", Labels: s.labelKey, Type: typeCounter, Value: float64(count)})
+			}
+		}
+		for _, fn := range f.collect {
+			fn(func(labels Labels, v float64) {
+				out = append(out, MetricPoint{Name: f.name, Labels: renderLabels(labels), Type: f.typ, Value: v})
+			})
+		}
+	}
+	return out
 }
 
 // renderLabels renders a label set as a stable `{k="v",…}` key (empty

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"sync"
+	"time"
 
 	"rebeca/internal/message"
 )
@@ -9,6 +10,25 @@ import (
 // DefaultSpanCap is the number of distinct notification IDs a SpanStore
 // retains when built with NewSpanStore(0).
 const DefaultSpanCap = 4096
+
+// Span is one retained trace: the hop path a notification took, the
+// worst end-to-end latency observed for it, and — when the span was
+// retro-captured rather than sampled — the reason it was kept ("slow",
+// "rate-limited", "flood-fallback", ...).
+type Span struct {
+	Path    []message.HopStamp
+	Latency time.Duration
+	Reason  string
+}
+
+// SpanInfo is the listing row for one retained span — what
+// GET /trace (no note) returns per entry.
+type SpanInfo struct {
+	ID      message.NotificationID
+	Hops    int
+	Latency time.Duration
+	Reason  string
+}
 
 // SpanStore retains the hop paths of recently seen notifications, keyed by
 // notification ID — the data behind the ops server's /trace endpoint. It
@@ -18,7 +38,7 @@ const DefaultSpanCap = 4096
 type SpanStore struct {
 	mu      sync.Mutex
 	cap     int
-	paths   map[message.NotificationID][]message.HopStamp
+	spans   map[message.NotificationID]*Span
 	ring    []message.NotificationID
 	head    int
 	evicted uint64
@@ -32,7 +52,7 @@ func NewSpanStore(capacity int) *SpanStore {
 	}
 	return &SpanStore{
 		cap:   capacity,
-		paths: make(map[message.NotificationID][]message.HopStamp, capacity),
+		spans: make(map[message.NotificationID]*Span, capacity),
 	}
 }
 
@@ -45,39 +65,127 @@ func (s *SpanStore) Record(id message.NotificationID, path []message.HopStamp) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.paths[id]; ok {
-		if len(path) > len(old) {
-			s.paths[id] = append(old[:0], path...)
+	s.recordLocked(id, path, 0, "")
+}
+
+// RecordReason stores a retro-captured span: a path (possibly empty —
+// the pending ring may have already dropped the stamps), the latency that
+// triggered capture, and why it was kept. Re-observations merge: longer
+// path wins, latency is max'd, and the first non-empty reason sticks.
+func (s *SpanStore) RecordReason(id message.NotificationID, path []message.HopStamp, latency time.Duration, reason string) {
+	if id.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recordLocked(id, path, latency, reason)
+}
+
+func (s *SpanStore) recordLocked(id message.NotificationID, path []message.HopStamp, latency time.Duration, reason string) {
+	if sp, ok := s.spans[id]; ok {
+		if len(path) > len(sp.Path) {
+			sp.Path = append(sp.Path[:0], path...)
+		}
+		if latency > sp.Latency {
+			sp.Latency = latency
+		}
+		if sp.Reason == "" {
+			sp.Reason = reason
 		}
 		return
 	}
 	if len(s.ring) < s.cap {
 		s.ring = append(s.ring, id)
 	} else {
-		delete(s.paths, s.ring[s.head])
+		delete(s.spans, s.ring[s.head])
 		s.evicted++
 		s.ring[s.head] = id
 		s.head = (s.head + 1) % s.cap
 	}
-	s.paths[id] = append([]message.HopStamp(nil), path...)
+	s.spans[id] = &Span{
+		Path:    append([]message.HopStamp(nil), path...),
+		Latency: latency,
+		Reason:  reason,
+	}
+}
+
+// Observe records an end-to-end latency for an already retained span
+// (max wins); unknown IDs are ignored — latency alone doesn't earn a
+// span, sampling or a retro-capture reason does.
+func (s *SpanStore) Observe(id message.NotificationID, latency time.Duration) {
+	if id.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp, ok := s.spans[id]; ok && latency > sp.Latency {
+		sp.Latency = latency
+	}
 }
 
 // Get returns the recorded hop path for id (nil when unknown or evicted).
 func (s *SpanStore) Get(id message.NotificationID) []message.HopStamp {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	path, ok := s.paths[id]
+	sp, ok := s.spans[id]
 	if !ok {
 		return nil
 	}
-	return append([]message.HopStamp(nil), path...)
+	return append([]message.HopStamp(nil), sp.Path...)
+}
+
+// GetSpan returns the full retained span for id.
+func (s *SpanStore) GetSpan(id message.NotificationID) (Span, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp, ok := s.spans[id]
+	if !ok {
+		return Span{}, false
+	}
+	return Span{
+		Path:    append([]message.HopStamp(nil), sp.Path...),
+		Latency: sp.Latency,
+		Reason:  sp.Reason,
+	}, true
+}
+
+// List returns up to limit retained spans, newest first (0 = all). This
+// is the browsable index behind GET /trace with no note parameter.
+func (s *SpanStore) List(limit int) []SpanInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.ring)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]SpanInfo, 0, limit)
+	// Newest entry: before the ring is full, the last append; once full,
+	// the slot just behind the next-eviction cursor.
+	newest := n - 1
+	if n == s.cap {
+		newest = (s.head - 1 + s.cap) % s.cap
+	}
+	for i := 0; i < limit; i++ {
+		id := s.ring[(newest-i+n)%n]
+		sp, ok := s.spans[id]
+		if !ok {
+			continue
+		}
+		out = append(out, SpanInfo{
+			ID:      id,
+			Hops:    len(sp.Path),
+			Latency: sp.Latency,
+			Reason:  sp.Reason,
+		})
+	}
+	return out
 }
 
 // Len returns the number of retained notification paths.
 func (s *SpanStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.paths)
+	return len(s.spans)
 }
 
 // Evicted counts paths discarded by the capacity bound.

@@ -213,9 +213,10 @@ func TestOpsTraceEndpoint(t *testing.T) {
 	}
 
 	for path, want := range map[string]int{
-		"/trace":               http.StatusBadRequest, // missing note
+		"/trace":               http.StatusOK,         // no note: retained-span listing
 		"/trace?note=garbage":  http.StatusBadRequest, // unparseable id
 		"/trace?note=bob%2312": http.StatusNotFound,   // never traced
+		"/trace?limit=x":       http.StatusBadRequest, // unparseable limit
 	} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
@@ -225,6 +226,66 @@ func TestOpsTraceEndpoint(t *testing.T) {
 		if resp.StatusCode != want {
 			t.Errorf("%s = %d, want %d", path, resp.StatusCode, want)
 		}
+	}
+}
+
+func TestOpsTraceListing(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanStore(0)
+	for seq := uint64(1); seq <= 3; seq++ {
+		spans.Record(message.NotificationID{Publisher: "alice", Seq: seq},
+			[]message.HopStamp{{Broker: "A", At: time.Unix(0, 1)}, {Broker: "B", At: time.Unix(0, 2)}})
+	}
+	spans.Observe(message.NotificationID{Publisher: "alice", Seq: 2}, 5*time.Millisecond)
+	spans.RecordReason(message.NotificationID{Publisher: "bob", Seq: 7}, nil, 0, "rate-limited")
+	ops := telemetry.NewOps(reg, spans)
+	srv := httptest.NewServer(ops.Handler())
+	defer srv.Close()
+
+	var got struct {
+		Retained int `json:"retained"`
+		Spans    []struct {
+			Note      string  `json:"note"`
+			Hops      int     `json:"hops"`
+			LatencyMS float64 `json:"latency_ms"`
+			Reason    string  `json:"reason"`
+		} `json:"spans"`
+	}
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("trace listing json: %v", err)
+	}
+	if got.Retained != 4 || len(got.Spans) != 4 {
+		t.Fatalf("retained=%d spans=%d, want 4/4", got.Retained, len(got.Spans))
+	}
+	// Newest-first: bob#7 recorded last.
+	if got.Spans[0].Note != "bob#7" || got.Spans[0].Reason != "rate-limited" {
+		t.Fatalf("listing head = %+v, want bob#7 rate-limited", got.Spans[0])
+	}
+	if got.Spans[3].Note != "alice#1" || got.Spans[3].Hops != 2 {
+		t.Fatalf("listing tail = %+v, want alice#1 with 2 hops", got.Spans[3])
+	}
+	for _, s := range got.Spans {
+		if s.Note == "alice#2" && s.LatencyMS != 5 {
+			t.Fatalf("alice#2 latency_ms = %v, want 5", s.LatencyMS)
+		}
+	}
+
+	// limit clips from the newest end.
+	resp2, err := http.Get(srv.URL + "/trace?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatalf("limited listing json: %v", err)
+	}
+	if got.Retained != 4 || len(got.Spans) != 2 || got.Spans[0].Note != "bob#7" {
+		t.Fatalf("limited listing = %+v, want newest 2 of 4", got)
 	}
 }
 

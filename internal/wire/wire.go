@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
@@ -270,6 +271,17 @@ type NodeConfig struct {
 	// pull-model collectors, and encoded frame sizes as a per-broker
 	// histogram every binary link's encoder observes.
 	Telemetry *telemetry.Registry
+	// Logger, when non-nil, receives structured wire-layer events —
+	// today, inbound links refused at the handshake (a legacy peer or
+	// junk on the listen port).
+	Logger *slog.Logger
+	// OverlayLogger, when non-nil, is handed to the overlay manager for
+	// structured link-transition logs (a separate gate from Logger so
+	// each subsystem's verbosity tunes independently).
+	OverlayLogger *slog.Logger
+	// BrokerLogger, when non-nil, is attached to the hosted broker core
+	// (spanning-tree recomputations, flood fallbacks).
+	BrokerLogger *slog.Logger
 }
 
 // Node is a live broker process host.
@@ -343,7 +355,11 @@ func NewNode(cfg NodeConfig) *Node {
 		SyncState: n.b.SyncInstalls,
 		ApplySync: n.b.ApplySyncInstalls,
 		Observer:  n.observeLink,
+		Logger:    cfg.OverlayLogger,
 	})
+	if cfg.BrokerLogger != nil {
+		n.b.SetLogger(cfg.BrokerLogger)
+	}
 	if reg := cfg.Telemetry; reg != nil {
 		bid := string(cfg.ID)
 		hist := reg.Histogram(telemetry.MetricFrameBytes,
@@ -536,6 +552,10 @@ func (n *Node) acceptLoop() {
 		go func() {
 			conn, err := acceptLink(n.cfg.ID, c)
 			if err != nil {
+				if n.cfg.Logger != nil {
+					n.cfg.Logger.Warn("inbound link refused at handshake",
+						"self", n.cfg.ID, "remote", c.RemoteAddr().String(), "err", err)
+				}
 				_ = c.Close()
 				return
 			}

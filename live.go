@@ -103,9 +103,11 @@ func NewLive(opts ...Option) (*Live, error) {
 		members: make(map[NodeID]*discovery.Membership),
 		regs:    make(map[NodeID]discovery.Registry),
 	}
-	if cfg.opsAddr != "" {
+	if cfg.opsAddr != "" || cfg.pushURL != "" || cfg.logging {
 		// Before broker construction: the telemetry stage joins the chain
-		// every broker installs.
+		// every broker installs. Push-only and logging-only deployments
+		// build the stack too — they feed the same registry and spans —
+		// but never open the HTTP listener.
 		l.ops = newOpsStack(cfg)
 	}
 	for _, id := range l.ids {
@@ -133,6 +135,9 @@ func NewLive(opts ...Option) (*Live, error) {
 		}
 		if l.ops != nil {
 			ncfg.Telemetry = l.ops.reg
+			ncfg.Logger = l.ops.logFor("wire")
+			ncfg.OverlayLogger = l.ops.logFor("overlay")
+			ncfg.BrokerLogger = l.ops.logFor("broker")
 		}
 		node := wire.NewNode(ncfg)
 		if cfg.mesh {
@@ -188,6 +193,7 @@ func NewLive(opts ...Option) (*Live, error) {
 				Peers:    adj[id],
 				Registry: reg,
 				Host:     wire.NodeHost{Node: l.nodes[id]},
+				Logger:   l.ops.logFor("discovery"),
 			})
 			if err := member.Start(); err != nil {
 				_ = l.Close()
@@ -294,7 +300,21 @@ func (l *Live) startOps() error {
 		}
 	})
 	st.registerCommon(l.cfg)
-	return st.ops.Start(l.cfg.opsAddr)
+	if l.cfg.opsAddr != "" {
+		if err := st.ops.Start(l.cfg.opsAddr); err != nil {
+			return err
+		}
+	}
+	return st.startPush(l.cfg, strings.Join(nodeIDStrings(l.ids), ","))
+}
+
+// nodeIDStrings renders broker IDs for the push exporter's instance tag.
+func nodeIDStrings(ids []NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
 }
 
 // OpsAddr returns the bound address of the telemetry subsystem's HTTP
@@ -428,7 +448,7 @@ func (l *Live) Close() error {
 	ports := append([]*livePort(nil), l.ports...)
 	l.mu.Unlock()
 	if l.ops != nil {
-		_ = l.ops.ops.Close()
+		l.ops.close()
 	}
 	// Membership first: deregistering before the nodes stop lets any
 	// observer of the shared registry converge without failure detection.

@@ -376,6 +376,7 @@ type RateLimiter struct {
 	buckets   map[NodeID]*tokenBucket
 	dropped   int
 	droppedBy map[NodeID]int
+	dropHook  func(broker NodeID, id NotificationID)
 }
 
 type tokenBucket struct {
@@ -400,7 +401,7 @@ func NewRateLimiter(perSecond float64, burst int) *RateLimiter {
 }
 
 // OnPublish implements Middleware: take a token or drop the publish.
-func (r *RateLimiter) OnPublish(b *Broker, from NodeID, _ *Notification, next func()) {
+func (r *RateLimiter) OnPublish(b *Broker, from NodeID, n *Notification, next func()) {
 	if !b.HasPort(from) {
 		next() // transit traffic was already admitted at its ingress broker
 		return
@@ -431,10 +432,22 @@ func (r *RateLimiter) OnPublish(b *Broker, from NodeID, _ *Notification, next fu
 		r.dropped++
 		r.droppedBy[b.ID()]++
 	}
+	hook := r.dropHook
 	r.mu.Unlock()
 	if admit {
 		next()
+	} else if hook != nil && n != nil {
+		hook(b.ID(), n.ID)
 	}
+}
+
+// SetDropHook registers a callback invoked (outside the limiter's lock,
+// on the broker's event loop) for every rejected publish — the telemetry
+// sampler uses it to retro-capture rate-limited notifications' traces.
+func (r *RateLimiter) SetDropHook(fn func(broker NodeID, id NotificationID)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropHook = fn
 }
 
 // SetLimit retunes the limiter at runtime (the ops /config knobs): the

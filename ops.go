@@ -2,6 +2,8 @@ package rebeca
 
 import (
 	"fmt"
+	"log/slog"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -13,14 +15,18 @@ import (
 
 // opsStack bundles one deployment's telemetry objects: the metric
 // registry, the hop-trace span store, the broker-chain middleware stage
-// feeding both, and the HTTP endpoint serving them. Built by New/NewLive
-// when WithOps is configured; without the option none of it exists and
-// the hot paths carry no instrumentation.
+// feeding both, the HTTP endpoint serving them, and — when configured —
+// the trace sampler, the push exporter and the structured log root.
+// Built by New/NewLive when WithOps or WithOpsPush is configured; without
+// either none of it exists and the hot paths carry no instrumentation.
 type opsStack struct {
-	reg   *telemetry.Registry
-	spans *telemetry.SpanStore
-	mw    *telemetry.Middleware
-	ops   *telemetry.Ops
+	reg     *telemetry.Registry
+	spans   *telemetry.SpanStore
+	mw      *telemetry.Middleware
+	ops     *telemetry.Ops
+	sampler *telemetry.Sampler
+	push    *telemetry.Pusher
+	logger  *telemetry.Logger
 }
 
 // newOpsStack builds the registry/span-store/middleware triple and
@@ -33,7 +39,66 @@ func newOpsStack(cfg *config) *opsStack {
 	mw.EnableHopTrace(true)
 	cfg.middleware = append(cfg.middleware, mw)
 	telemetry.RegisterSpanMetrics(reg, spans)
-	return &opsStack{reg: reg, spans: spans, mw: mw, ops: telemetry.NewOps(reg, spans)}
+	st := &opsStack{reg: reg, spans: spans, mw: mw, ops: telemetry.NewOps(reg, spans)}
+	if cfg.sampleN > 0 || cfg.slowThresh > 0 {
+		st.sampler = telemetry.NewSampler(spans, cfg.sampleN, cfg.slowThresh)
+		mw.SetSampler(st.sampler)
+		telemetry.RegisterSamplerMetrics(reg, st.sampler)
+	}
+	if cfg.logging {
+		level := telemetry.ParseLevelDefault(cfg.logLevel)
+		w := cfg.logWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		st.logger = telemetry.NewLogger(w, level)
+	}
+	return st
+}
+
+// startPush launches the push exporter when WithOpsPush is configured.
+// instance tags JSON payloads with the deployment's identity.
+func (st *opsStack) startPush(cfg *config, instance string) error {
+	if cfg.pushURL == "" {
+		return nil
+	}
+	var plog *slog.Logger
+	if st.logger != nil {
+		plog = st.logger.For("wire")
+	}
+	p, err := telemetry.NewPusher(st.reg, telemetry.PusherConfig{
+		URL:      cfg.pushURL,
+		Interval: cfg.pushInterval,
+		Format:   cfg.pushFormat,
+		Instance: instance,
+		Logger:   plog,
+	})
+	if err != nil {
+		return err
+	}
+	st.push = p
+	telemetry.RegisterPusherMetrics(st.reg, p)
+	p.Start()
+	return nil
+}
+
+// close tears the stack's background pieces down (endpoint + pusher).
+func (st *opsStack) close() {
+	if st.ops != nil {
+		_ = st.ops.Close()
+	}
+	if st.push != nil {
+		st.push.Close()
+	}
+}
+
+// logFor returns the subsystem logger when logging is configured (nil
+// otherwise — internal packages treat nil as silent).
+func (st *opsStack) logFor(subsystem string) *slog.Logger {
+	if st == nil || st.logger == nil {
+		return nil
+	}
+	return st.logger.For(subsystem)
 }
 
 // registerCommon wires the knobs and collectors both deployment flavors
@@ -52,10 +117,57 @@ func (st *opsStack) registerCommon(cfg *config) {
 			return nil
 		},
 	})
+	if s := st.sampler; s != nil {
+		st.ops.AddKnob("sample", telemetry.Knob{
+			Help: "hop-trace sampling rate as 1-in-N (1 traces everything)",
+			Get:  func() string { return strconv.FormatInt(s.Rate(), 10) },
+			Set: func(v string) error {
+				n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad rate %q: %v", v, err)
+				}
+				if n < 1 {
+					return fmt.Errorf("bad rate %d: want >= 1", n)
+				}
+				s.SetRate(n)
+				return nil
+			},
+		})
+		st.ops.AddKnob("slow", telemetry.Knob{
+			Help: "retro-capture threshold: deliveries slower than this are always traced (0 disables)",
+			Get:  func() string { return s.SlowThreshold().String() },
+			Set: func(v string) error {
+				d, err := time.ParseDuration(strings.TrimSpace(v))
+				if err != nil {
+					return fmt.Errorf("bad threshold %q: %v", v, err)
+				}
+				if d < 0 {
+					return fmt.Errorf("bad threshold %s: want >= 0", d)
+				}
+				s.SetSlowThreshold(d)
+				return nil
+			},
+		})
+	}
+	if st.logger != nil {
+		st.logger.RegisterKnobs(st.ops)
+	}
 	for _, m := range cfg.middleware {
 		switch m := m.(type) {
 		case *RateLimiter:
 			rl := m
+			// Rate-limited publishes are paths that always matter:
+			// retro-capture their parked trace with the reason.
+			rl.SetDropHook(func(_ NodeID, id NotificationID) {
+				if !st.mw.HopTraceEnabled() {
+					return
+				}
+				if st.sampler != nil {
+					st.sampler.MarkDropped(id, "rate-limited")
+				} else {
+					st.spans.RecordReason(id, nil, 0, "rate-limited")
+				}
+			})
 			st.ops.AddKnob("rate_limit", telemetry.Knob{
 				Help: "client publish admission as perSecond[,burst]; perSecond <= 0 disables",
 				Get: func() string {
@@ -108,6 +220,9 @@ func (st *opsStack) registerCommon(cfg *config) {
 		}
 	}
 	if w, ok := cfg.store.(*store.WAL); ok {
+		if l := st.logFor("store"); l != nil {
+			w.SetLogger(l)
+		}
 		st.reg.GaugeFunc(telemetry.MetricWALSegments,
 			"Write-ahead-log segment files on disk.",
 			func(emit func(telemetry.Labels, float64)) {

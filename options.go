@@ -3,6 +3,7 @@ package rebeca
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"rebeca/internal/broker"
@@ -12,6 +13,7 @@ import (
 	"rebeca/internal/overlay"
 	"rebeca/internal/routing"
 	"rebeca/internal/store"
+	"rebeca/internal/telemetry"
 )
 
 // RoutingStrategy selects the subscription-forwarding algorithm.
@@ -56,6 +58,14 @@ type config struct {
 	opsAddr        string
 	mesh           bool
 	registry       string
+	pushURL        string
+	pushInterval   time.Duration
+	pushFormat     string
+	sampleN        int64
+	slowThresh     time.Duration
+	logWriter      io.Writer
+	logLevel       string
+	logging        bool
 
 	errs []error
 }
@@ -400,6 +410,90 @@ func WithOps(addr string) Option {
 			return
 		}
 		c.opsAddr = addr
+	}
+}
+
+// WithOpsPush adds a push-model metric export path: a pusher goroutine
+// snapshots the telemetry registry every interval and POSTs it to url —
+// Prometheus text exposition by default (see WithOpsPushFormat) — with
+// retry/backoff and a bounded in-memory spool across receiver outages.
+// This is how a broker behind NAT reports without being scraped; it
+// builds the same telemetry stack as WithOps and composes with it, but
+// does not require it — push-only deployments never open a listen port.
+// interval 0 defaults to 15s.
+func WithOpsPush(url string, interval time.Duration) Option {
+	return func(c *config) {
+		if url == "" {
+			c.errs = append(c.errs, errors.New("rebeca: WithOpsPush(\"\"): want a receiver URL"))
+			return
+		}
+		if interval < 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithOpsPush(%q, %s): negative interval", url, interval))
+			return
+		}
+		c.pushURL = url
+		c.pushInterval = interval
+	}
+}
+
+// WithOpsPushFormat selects the push body format: "prom" (Prometheus
+// text exposition, the default) or "json" (compact delta JSON — counters
+// ship movement since the last snapshot, gauges ship absolute).
+func WithOpsPushFormat(format string) Option {
+	return func(c *config) {
+		switch format {
+		case "prom", "json":
+			c.pushFormat = format
+		default:
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithOpsPushFormat(%q): want prom or json", format))
+		}
+	}
+}
+
+// WithTraceSampling bounds hop tracing to 1-in-n notifications, decided
+// by a deterministic hash of the notification ID so every broker on a
+// path agrees with no extra wire bits (n <= 1 restores stamp-everything).
+// Paths that matter escape the dice: a delivery slower than slow (0
+// disables the threshold) and anything hitting a drop/rate-limit/
+// flood-fallback branch is retro-captured from a small pending-decision
+// ring, tagged with its reason. Both n and slow are runtime-tunable via
+// the ops endpoint's "sample" and "slow" knobs.
+func WithTraceSampling(n int64, slow time.Duration) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithTraceSampling(%d, %s): negative rate", n, slow))
+			return
+		}
+		if slow < 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithTraceSampling(%d, %s): negative threshold", n, slow))
+			return
+		}
+		if n == 0 {
+			n = 1
+		}
+		c.sampleN = n
+		c.slowThresh = slow
+	}
+}
+
+// WithLogging attaches the deployment's structured log stream: slog text
+// lines to w (nil = os.Stderr) from every subsystem — overlay link
+// transitions, discovery membership events, spanning-tree recomputations,
+// WAL rotation/compaction, wire handshake refusals — each behind its own
+// verbosity gate starting at level ("debug", "info", "warn" or "error";
+// "" = info). With an ops endpoint, the gates surface as /config
+// log.<subsystem> knobs, so verbosity tunes per subsystem at runtime.
+func WithLogging(w io.Writer, level string) Option {
+	return func(c *config) {
+		if level != "" {
+			if _, err := telemetry.ParseLevel(level); err != nil {
+				c.errs = append(c.errs, fmt.Errorf("rebeca: WithLogging: %v", err))
+				return
+			}
+		}
+		c.logging = true
+		c.logWriter = w
+		c.logLevel = level
 	}
 }
 
