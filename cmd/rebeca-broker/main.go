@@ -96,10 +96,11 @@ func main() {
 		linkLog   = flag.Bool("link-log", true, "log overlay link state transitions")
 		push      = flag.String("push", "", "push metrics to this URL instead of (or besides) being scraped, e.g. http://gateway:9091/ingest")
 		pushEvery = flag.Duration("push-interval", 15*time.Second, "metric push interval for -push")
-		pushForm  = flag.String("push-format", "prom", "push body format: prom (Prometheus text) or json (compact deltas)")
+		pushForm  = flag.String("push-format", "prom", "push body format: prom (Prometheus text), json (compact deltas) or remote-write (Prometheus remote-write 1.0 protobuf; disables span export)")
 		logLevel  = flag.String("log-level", "info", "structured log verbosity for every subsystem: debug|info|warn|error (retune per subsystem via /config log.<subsystem>)")
 		sampleN   = flag.Int64("trace-sample", 0, "hop-trace sampling as 1-in-N notifications (0 or 1 = trace everything)")
 		slowThr   = flag.Duration("trace-slow", 0, "always trace deliveries slower than this, even unsampled (0 = off)")
+		pendCap   = flag.Int("trace-pending", 0, "pending-decision ring capacity: hop paths parked awaiting a retro-capture verdict (0 = default 1024)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -187,8 +188,12 @@ func main() {
 		tmw = telemetry.NewMiddleware(reg, spans)
 		tmw.EnableHopTrace(*opsAddr != "" || *push != "")
 		telemetry.RegisterSpanMetrics(reg, spans)
-		if *sampleN > 0 || *slowThr > 0 {
+		telemetry.RegisterGoRuntime(reg)
+		if *sampleN > 0 || *slowThr > 0 || *pendCap > 0 {
 			sampler = telemetry.NewSampler(spans, *sampleN, *slowThr)
+			if *pendCap > 0 {
+				sampler.SetPendingCap(*pendCap)
+			}
 			tmw.SetSampler(sampler)
 			telemetry.RegisterSamplerMetrics(reg, sampler)
 		}
@@ -483,6 +488,21 @@ func main() {
 					return nil
 				},
 			})
+			ops.AddKnob("trace.pending", telemetry.Knob{
+				Help: "pending-decision ring capacity: hop paths parked awaiting a retro-capture verdict (shrinking evicts oldest)",
+				Get:  func() string { return strconv.Itoa(sampler.PendingCap()) },
+				Set: func(v string) error {
+					n, err := strconv.Atoi(strings.TrimSpace(v))
+					if err != nil {
+						return fmt.Errorf("bad capacity %q: %v", v, err)
+					}
+					if n < 1 {
+						return fmt.Errorf("bad capacity %d: want >= 1", n)
+					}
+					sampler.SetPendingCap(n)
+					return nil
+				},
+			})
 		}
 		logger.RegisterKnobs(ops)
 		if tracer != nil {
@@ -522,13 +542,20 @@ func main() {
 	// scrape share the registry).
 	var pusher *telemetry.Pusher
 	if *push != "" {
-		pusher, err = telemetry.NewPusher(reg, telemetry.PusherConfig{
+		pcfg := telemetry.PusherConfig{
 			URL:      *push,
 			Interval: *pushEvery,
 			Format:   *pushForm,
 			Instance: string(self),
 			Logger:   logger.For("wire"),
-		})
+		}
+		// Spans ship outbound with the metric snapshots — except in
+		// remote-write format, where the receiver is a real Prometheus
+		// backend that would reject span bodies and wedge the spool.
+		if *pushForm != telemetry.PushFormatRemoteWrite {
+			pcfg.Spans = spans
+		}
+		pusher, err = telemetry.NewPusher(reg, pcfg)
 		if err != nil {
 			fatal(err)
 		}

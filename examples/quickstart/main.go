@@ -62,6 +62,31 @@
 // its hop-by-hop path (bare /trace lists every retained span,
 // newest-first).
 //
+// Watching a fleet (PR 9): per-broker scrapes stop scaling once the
+// fleet does, so the push path now ships the whole story — each broker
+// POSTs its metric snapshot AND its completed trace spans to one
+// rebeca-collector, which reassembles the cross-process view:
+//
+//	rebeca-collector -listen :9290
+//	rebeca-broker -name b1 ... -push http://collector:9290/ingest -push-interval 15s -trace-sample 64
+//	rebeca-broker -name b2 ... -push http://collector:9290/ingest -push-interval 15s -trace-sample 64
+//
+// The collector's /metrics re-exports every broker's families tagged
+// instance="b1" etc. plus rebeca_fleet_* counter totals folded across
+// the fleet, so one Prometheus scrape covers N brokers. Its
+// /trace?note=pub#seq merges the partial spans different brokers
+// shipped for the same notification into one hop-ordered path (a trace
+// is flagged partial until every broker on the path has reported), and
+// /fleet lists each broker with its observed push cadence, flagging any
+// that miss 2x their interval as stale — a SIGKILLed broker shows up
+// there within two push intervals, no scrape target churn involved.
+// `-push-format remote-write` instead speaks Prometheus remote-write
+// 1.0 straight to a real TSDB (spans stay local: a TSDB would reject
+// them); `-trace-pending 4096` (WithTracePendingCap) bounds the
+// sampler's in-flight window, and the "trace.pending" /config knob
+// resizes it live. Registry gauges for the Go runtime (goroutines, GC
+// pause, heap) ride along on every broker and on the collector itself.
+//
 // Run with: go run ./examples/quickstart [-live]
 package main
 

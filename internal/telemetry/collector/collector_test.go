@@ -1,0 +1,448 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"rebeca/internal/telemetry"
+)
+
+// postBody pushes one body through the collector's HTTP surface.
+func postBody(t *testing.T, c *Collector, ctype, instance string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(body))
+	req.Header.Set("Content-Type", ctype)
+	if instance != "" {
+		req.Header.Set(telemetry.InstanceHeader, instance)
+	}
+	w := httptest.NewRecorder()
+	c.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func postSpans(t *testing.T, c *Collector, instance string, recs []telemetry.SpanExport) {
+	t.Helper()
+	body, err := telemetry.EncodeSpanBatch(recs)
+	if err != nil {
+		t.Fatalf("EncodeSpanBatch: %v", err)
+	}
+	if w := postBody(t, c, telemetry.ContentTypeSpans, instance, body); w.Code != 204 {
+		t.Fatalf("span push: %d %s", w.Code, w.Body)
+	}
+}
+
+func getJSON(t *testing.T, c *Collector, path string, into any) int {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	c.Handler().ServeHTTP(w, req)
+	if w.Code == 200 {
+		if err := json.Unmarshal(w.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: decode: %v\n%s", path, err, w.Body)
+		}
+	}
+	return w.Code
+}
+
+// TestTraceAssemblyAdversity drives the assembly through the failure
+// modes a real fleet produces — duplicated shipments, out-of-order
+// arrival, partial paths — and requires an idempotent, hop-timestamp-
+// ordered result.
+func TestTraceAssemblyAdversity(t *testing.T) {
+	c := New(Config{})
+	t0 := time.Unix(1700000000, 0).UTC()
+	// The delivering broker B ships the full trail; transit broker A ships
+	// only its prefix — and its batch arrives FIRST? No: out of order, B's
+	// full trail lands before A's prefix.
+	full := telemetry.SpanExport{
+		Instance: "B", Note: "pub#1", LatencyMS: 2.5,
+		Hops: []telemetry.SpanExportHop{
+			{Broker: "A", At: t0},
+			{Broker: "B", At: t0.Add(2 * time.Millisecond)},
+		},
+	}
+	prefix := telemetry.SpanExport{
+		Instance: "A", Note: "pub#1",
+		Hops: []telemetry.SpanExportHop{{Broker: "A", At: t0}},
+	}
+	postSpans(t, c, "B", []telemetry.SpanExport{full})
+	postSpans(t, c, "A", []telemetry.SpanExport{prefix})
+	// Duplicated shipments (the pusher is at-least-once): same records again.
+	postSpans(t, c, "B", []telemetry.SpanExport{full})
+	postSpans(t, c, "A", []telemetry.SpanExport{prefix, prefix})
+
+	var tr AssembledTrace
+	if code := getJSON(t, c, "/trace?note=pub%231", &tr); code != 200 {
+		t.Fatalf("/trace = %d", code)
+	}
+	if len(tr.Hops) != 2 {
+		t.Fatalf("assembled %d hops, want 2 (duplicates must merge): %+v", len(tr.Hops), tr.Hops)
+	}
+	if tr.Hops[0].Broker != "A" || tr.Hops[1].Broker != "B" {
+		t.Fatalf("hops out of stamp order: %+v", tr.Hops)
+	}
+	for i, h := range tr.Hops {
+		if h.Hop != i {
+			t.Fatalf("hop index %d = %d", i, h.Hop)
+		}
+		if i > 0 && h.At.Before(tr.Hops[i-1].At) {
+			t.Fatalf("hop timestamps not monotone: %+v", tr.Hops)
+		}
+	}
+	if tr.Partial {
+		t.Fatalf("both hop brokers reported; trace marked partial: %+v", tr)
+	}
+	if tr.LatencyMS != 2.5 {
+		t.Fatalf("latency = %v, want 2.5", tr.LatencyMS)
+	}
+	if len(tr.Reporters) != 2 {
+		t.Fatalf("reporters = %v, want [A B]", tr.Reporters)
+	}
+	if c.TraceCount() != 1 {
+		t.Fatalf("TraceCount = %d, want 1", c.TraceCount())
+	}
+
+	// Partial path: a hop names broker C, but C never pushed to this
+	// collector — the assembled view cannot be assumed complete.
+	postSpans(t, c, "A", []telemetry.SpanExport{{
+		Instance: "A", Note: "pub#2",
+		Hops: []telemetry.SpanExportHop{
+			{Broker: "A", At: t0},
+			{Broker: "C", At: t0.Add(time.Millisecond)},
+		},
+	}})
+	var tr2 AssembledTrace
+	if code := getJSON(t, c, "/trace?note=pub%232", &tr2); code != 200 {
+		t.Fatalf("/trace = %d", code)
+	}
+	if !tr2.Partial {
+		t.Fatalf("hop broker C never reported; trace not marked partial: %+v", tr2)
+	}
+	// ...until C's shipment arrives, which completes it.
+	postSpans(t, c, "C", []telemetry.SpanExport{{
+		Instance: "C", Note: "pub#2",
+		Hops: []telemetry.SpanExportHop{{Broker: "C", At: t0.Add(time.Millisecond)}},
+	}})
+	if getJSON(t, c, "/trace?note=pub%232", &tr2); tr2.Partial {
+		t.Fatalf("all brokers reported; still partial: %+v", tr2)
+	}
+
+	// A deployment instance ("A,B" — in-process brokers pushing through
+	// one pusher) covers every broker it joins.
+	postSpans(t, c, "A,B", []telemetry.SpanExport{{
+		Instance: "A,B", Note: "pub#3",
+		Hops: []telemetry.SpanExportHop{
+			{Broker: "A", At: t0},
+			{Broker: "B", At: t0.Add(time.Millisecond)},
+		},
+	}})
+	var tr3 AssembledTrace
+	getJSON(t, c, "/trace?note=pub%233", &tr3)
+	if tr3.Partial || len(tr3.Hops) != 2 {
+		t.Fatalf("deployment-instance trace: %+v", tr3)
+	}
+
+	// Reason-only retro-capture records (no hops yet) assemble too and
+	// read as partial.
+	postSpans(t, c, "A", []telemetry.SpanExport{{Instance: "A", Note: "pub#4", Reason: "rate-limited"}})
+	var tr4 AssembledTrace
+	getJSON(t, c, "/trace?note=pub%234", &tr4)
+	if tr4.Reason != "rate-limited" || !tr4.Partial {
+		t.Fatalf("reason-only trace: %+v", tr4)
+	}
+
+	// The listing returns newest-first.
+	var list struct {
+		Retained int              `json:"retained"`
+		Traces   []AssembledTrace `json:"traces"`
+	}
+	getJSON(t, c, "/trace", &list)
+	if list.Retained != 4 || len(list.Traces) != 4 || list.Traces[0].Note != "pub#4" {
+		t.Fatalf("trace listing: retained=%d first=%+v", list.Retained, list.Traces)
+	}
+}
+
+func TestTraceRetentionBound(t *testing.T) {
+	c := New(Config{TraceCap: 2})
+	t0 := time.Unix(1700000000, 0).UTC()
+	for i := 1; i <= 3; i++ {
+		postSpans(t, c, "A", []telemetry.SpanExport{{
+			Instance: "A", Note: fmt.Sprintf("pub#%d", i),
+			Hops: []telemetry.SpanExportHop{{Broker: "A", At: t0.Add(time.Duration(i) * time.Millisecond)}},
+		}})
+	}
+	if c.TraceCount() != 2 {
+		t.Fatalf("TraceCount = %d, want 2", c.TraceCount())
+	}
+	var tr AssembledTrace
+	if code := getJSON(t, c, "/trace?note=pub%231", &tr); code != 404 {
+		t.Fatalf("evicted trace returned %d, want 404", code)
+	}
+	got := c.Traces(0)
+	if len(got) != 2 || got[0].Note != "pub#3" || got[1].Note != "pub#2" {
+		t.Fatalf("retained traces: %+v", got)
+	}
+}
+
+// TestMetricFoldingProm pushes Prometheus text snapshots from two
+// brokers and checks per-instance re-export plus fleet delta folding
+// with counter-reset handling.
+func TestMetricFoldingProm(t *testing.T) {
+	c := New(Config{})
+	prom := func(v int) []byte {
+		return []byte(fmt.Sprintf(
+			"# HELP rebeca_publishes_total Client publishes accepted.\n"+
+				"# TYPE rebeca_publishes_total counter\n"+
+				"rebeca_publishes_total{broker=\"A\"} %d\n"+
+				"# TYPE rebeca_link_state gauge\n"+
+				"rebeca_link_state{link=\"A-B\"} 1\n", v))
+	}
+	if w := postBody(t, c, "text/plain; version=0.0.4", "A", prom(5)); w.Code != 204 {
+		t.Fatalf("prom push: %d %s", w.Code, w.Body)
+	}
+	postBody(t, c, "text/plain; version=0.0.4", "B", []byte(
+		"# TYPE rebeca_publishes_total counter\nrebeca_publishes_total{broker=\"B\"} 2\n"))
+
+	out := string(c.renderMetrics())
+	for _, want := range []string{
+		`rebeca_publishes_total{broker="A",instance="A"} 5`,
+		`rebeca_publishes_total{broker="B",instance="B"} 2`,
+		`rebeca_link_state{link="A-B",instance="A"} 1`,
+		`rebeca_fleet_publishes_total 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Second push folds only the movement.
+	postBody(t, c, "text/plain; version=0.0.4", "A", prom(9))
+	out = string(c.renderMetrics())
+	if !strings.Contains(out, "rebeca_fleet_publishes_total 11") {
+		t.Fatalf("delta fold wrong (want 2+9=11):\n%s", out)
+	}
+	// A counter going backwards is a broker restart: the new reading is
+	// all new movement, not a negative delta.
+	postBody(t, c, "text/plain; version=0.0.4", "A", prom(3))
+	out = string(c.renderMetrics())
+	if !strings.Contains(out, "rebeca_fleet_publishes_total 14") {
+		t.Fatalf("reset fold wrong (want 11+3=14):\n%s", out)
+	}
+	// Gauges never fold into fleet totals.
+	if strings.Contains(out, "rebeca_fleet_link_state") {
+		t.Fatalf("gauge folded into a fleet total:\n%s", out)
+	}
+}
+
+func TestMetricFoldingJSONAndRemoteWrite(t *testing.T) {
+	c := New(Config{})
+	// JSON bodies carry deltas for counters; the in-band instance wins.
+	body, _ := json.Marshal(map[string]any{
+		"instance": "J",
+		"points": []telemetry.MetricPoint{
+			{Name: "rebeca_deliveries_total", Labels: `{broker="J"}`, Type: "counter", Value: 4},
+			{Name: "rebeca_trace_pending", Type: "gauge", Value: 7},
+		},
+	})
+	if w := postBody(t, c, "application/json", "", body); w.Code != 204 {
+		t.Fatalf("json push: %d %s", w.Code, w.Body)
+	}
+	body2, _ := json.Marshal(map[string]any{
+		"instance": "J",
+		"points": []telemetry.MetricPoint{
+			{Name: "rebeca_deliveries_total", Labels: `{broker="J"}`, Type: "counter", Value: 3},
+		},
+	})
+	postBody(t, c, "application/json", "", body2)
+
+	out := string(c.renderMetrics())
+	for _, want := range []string{
+		`rebeca_deliveries_total{broker="J",instance="J"} 7`, // deltas accumulate
+		`rebeca_trace_pending{instance="J"} 7`,
+		`rebeca_fleet_deliveries_total 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Remote-write bodies: absolute samples, _total names fold.
+	rw, err := telemetry.EncodeRemoteWrite([]telemetry.MetricPoint{
+		{Name: "rebeca_publishes_total", Labels: `{broker="R"}`, Type: "counter", Value: 10},
+	}, "R", time.UnixMilli(1700000000000))
+	if err != nil {
+		t.Fatalf("EncodeRemoteWrite: %v", err)
+	}
+	if w := postBody(t, c, telemetry.ContentTypeRemoteWrite, "", rw); w.Code != 204 {
+		t.Fatalf("remote-write push: %d %s", w.Code, w.Body)
+	}
+	out = string(c.renderMetrics())
+	for _, want := range []string{
+		`rebeca_publishes_total{broker="R",instance="R"} 10`,
+		`rebeca_fleet_publishes_total 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged render missing %q:\n%s", want, out)
+		}
+	}
+
+	var fleet FleetStatus
+	getJSON(t, c, "/fleet", &fleet)
+	if len(fleet.Brokers) != 2 {
+		t.Fatalf("fleet brokers = %+v, want J and R", fleet.Brokers)
+	}
+}
+
+// TestStaleness drives the push-interval-derived deadline with a fake
+// clock: a broker pushing every second goes stale once silent past 2x
+// its cadence.
+func TestStaleness(t *testing.T) {
+	now := time.Unix(1700000000, 0).UTC()
+	c := New(Config{Now: func() time.Time { return now }})
+	push := func() {
+		postBody(t, c, "text/plain; version=0.0.4", "A",
+			[]byte("# TYPE rebeca_publishes_total counter\nrebeca_publishes_total 1\n"))
+	}
+	push()
+	now = now.Add(time.Second)
+	push()
+
+	var fleet FleetStatus
+	getJSON(t, c, "/fleet", &fleet)
+	if fleet.Brokers[0].Status != "ok" || fleet.Brokers[0].StaleAfterMS != 2000 {
+		t.Fatalf("fresh broker: %+v", fleet.Brokers[0])
+	}
+
+	// 1.5s silent: inside the 2x deadline.
+	now = now.Add(1500 * time.Millisecond)
+	getJSON(t, c, "/fleet", &fleet)
+	if fleet.Brokers[0].Status != "ok" {
+		t.Fatalf("broker stale inside deadline: %+v", fleet.Brokers[0])
+	}
+
+	// Past 2x the observed interval: stale.
+	now = now.Add(time.Second)
+	getJSON(t, c, "/fleet", &fleet)
+	if fleet.Brokers[0].Status != "stale" || fleet.Stale != 1 {
+		t.Fatalf("silent broker not stale: %+v", fleet)
+	}
+
+	// A fresh push recovers it.
+	push()
+	getJSON(t, c, "/fleet", &fleet)
+	if fleet.Brokers[0].Status != "ok" {
+		t.Fatalf("recovered broker still stale: %+v", fleet.Brokers[0])
+	}
+
+	// A fixed -stale-after overrides the derived deadline.
+	c2 := New(Config{StaleAfter: 10 * time.Second, Now: func() time.Time { return now }})
+	postBody(t, c2, "text/plain; version=0.0.4", "A",
+		[]byte("# TYPE x_total counter\nx_total 1\n"))
+	now = now.Add(5 * time.Second)
+	getJSON(t, c2, "/fleet", &fleet)
+	if fleet.Brokers[0].Status != "ok" || fleet.Brokers[0].StaleAfterMS != 10000 {
+		t.Fatalf("fixed deadline: %+v", fleet.Brokers[0])
+	}
+	now = now.Add(6 * time.Second)
+	getJSON(t, c2, "/fleet", &fleet)
+	if fleet.Brokers[0].Status != "stale" {
+		t.Fatalf("fixed deadline never fired: %+v", fleet.Brokers[0])
+	}
+}
+
+// expositionLine is the 0.0.4 shape CI validates scrapes against.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9.eE+-]+|\+Inf|NaN)$`)
+
+// TestMergedExpositionStrict renders the merged fleet scrape — self
+// telemetry, two brokers (one with a histogram), fleet totals — and
+// requires strict 0.0.4: every sample line parseable, exactly one TYPE
+// line per family.
+func TestMergedExpositionStrict(t *testing.T) {
+	c := New(Config{})
+	// A broker snapshot with a histogram family, straight from a real
+	// registry render.
+	reg := telemetry.NewRegistry()
+	reg.Counter("rebeca_publishes_total", "publishes", telemetry.Labels{"broker": "A"}).Add(3)
+	reg.Histogram("rebeca_e2e_latency_seconds", "latency", nil, telemetry.Labels{"broker": "A"}).Observe(0.004)
+	var promBody bytes.Buffer
+	if err := reg.WritePrometheus(&promBody); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	postBody(t, c, "text/plain; version=0.0.4", "A", promBody.Bytes())
+	postBody(t, c, "text/plain; version=0.0.4", "B",
+		[]byte("# TYPE rebeca_publishes_total counter\nrebeca_publishes_total{broker=\"B\"} 1\n"))
+
+	out := string(c.renderMetrics())
+	types := make(map[string]int)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			types[fields[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("bad exposition line: %q", line)
+		}
+	}
+	for name, n := range types {
+		if n != 1 {
+			t.Fatalf("family %s has %d TYPE lines", name, n)
+		}
+	}
+	// One histogram family block, not three counter families.
+	if types["rebeca_e2e_latency_seconds"] != 1 || types["rebeca_e2e_latency_seconds_bucket"] != 0 {
+		t.Fatalf("histogram family split: %v", types)
+	}
+	// Self-telemetry and fleet totals are present.
+	for _, want := range []string{
+		"# TYPE " + MetricPushes + " counter",
+		"# TYPE " + telemetry.MetricGoGoroutines + " gauge",
+		`instance="collector"`,
+		"rebeca_fleet_publishes_total 4",
+		`rebeca_e2e_latency_seconds_bucket{broker="A",le="+Inf",instance="A"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestIngestRejectsGarbage covers the error paths: undecodable bodies
+// 400 and count on the error counter, not the accept counter.
+func TestIngestRejectsGarbage(t *testing.T) {
+	c := New(Config{})
+	if w := postBody(t, c, "application/json", "A", []byte("{nope")); w.Code != 400 {
+		t.Fatalf("bad json: %d", w.Code)
+	}
+	if w := postBody(t, c, telemetry.ContentTypeSpans, "A", []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2}); w.Code != 400 {
+		t.Fatalf("bad span frame: %d", w.Code)
+	}
+	if w := postBody(t, c, telemetry.ContentTypeRemoteWrite, "A", []byte{0x99, 0x01}); w.Code != 400 {
+		t.Fatalf("bad protobuf: %d", w.Code)
+	}
+	if c.Accepted() != 0 {
+		t.Fatalf("Accepted = %d after rejects, want 0", c.Accepted())
+	}
+	if got := c.self.Total(MetricPushErrors); got != 3 {
+		t.Fatalf("push errors = %v, want 3", got)
+	}
+	// GET on the ingest path is a 405, like the pushsink before it.
+	req := httptest.NewRequest("GET", "/somewhere", nil)
+	w := httptest.NewRecorder()
+	c.Handler().ServeHTTP(w, req)
+	if w.Code != 405 {
+		t.Fatalf("GET /somewhere = %d, want 405", w.Code)
+	}
+}

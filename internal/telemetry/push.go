@@ -14,12 +14,21 @@ import (
 
 // Push body formats.
 const (
-	PushFormatProm = "prom" // Prometheus text exposition 0.0.4
-	PushFormatJSON = "json" // compact delta JSON (pushPayload)
+	PushFormatProm        = "prom"         // Prometheus text exposition 0.0.4
+	PushFormatJSON        = "json"         // compact delta JSON (pushPayload)
+	PushFormatRemoteWrite = "remote-write" // Prometheus remote-write 1.0 protobuf
 )
 
 // DefaultPushSpool bounds the in-memory spool of undelivered push bodies.
 const DefaultPushSpool = 64
+
+// DefaultSpanBatch bounds the span records of one exported batch body.
+const DefaultSpanBatch = 256
+
+// InstanceHeader carries the reporting process's identity on every push
+// POST, so a collector can attribute bodies that have no in-band instance
+// (Prometheus text, span batches).
+const InstanceHeader = "X-Rebeca-Instance"
 
 // PusherConfig configures a metrics push exporter.
 type PusherConfig struct {
@@ -27,13 +36,23 @@ type PusherConfig struct {
 	URL string
 	// Interval between snapshots (default 15s).
 	Interval time.Duration
-	// Format is PushFormatProm (default) or PushFormatJSON.
+	// Format is PushFormatProm (default), PushFormatJSON or
+	// PushFormatRemoteWrite.
 	Format string
 	// SpoolCap bounds bodies retained across receiver outages
 	// (drop-oldest; default DefaultPushSpool).
 	SpoolCap int
-	// Instance tags JSON payloads with the reporting broker's identity.
+	// Instance tags payloads (and the InstanceHeader) with the reporting
+	// broker's identity.
 	Instance string
+	// Spans, when non-nil, ships completed and retro-captured spans
+	// outbound alongside metric snapshots as length-framed JSON batches
+	// (ContentTypeSpans), through the same spool/retry machinery. Skip it
+	// for remote-write pushes aimed at a real Prometheus backend — only a
+	// rebeca collector understands span bodies.
+	Spans *SpanStore
+	// SpanBatch bounds spans per exported batch (default DefaultSpanBatch).
+	SpanBatch int
 	// Client overrides the HTTP client (default: 5s-timeout client).
 	Client *http.Client
 	// MaxBackoff caps the retry backoff (default 2m).
@@ -42,9 +61,18 @@ type PusherConfig struct {
 	Logger *slog.Logger
 }
 
-// Pusher periodically snapshots a Registry and POSTs it to a collector —
-// the push-model complement to the /metrics scrape endpoint, for brokers
-// behind NAT that nothing can scrape. Undeliverable snapshots spool in a
+// pushBody is one spooled POST body with its wire metadata. spans counts
+// the span records inside a span batch (0 = a metrics snapshot).
+type pushBody struct {
+	data  []byte
+	ctype string
+	spans int
+}
+
+// Pusher periodically snapshots a Registry — and, when configured, the
+// SpanStore's recent mutations — and POSTs them to a collector: the
+// push-model complement to the /metrics scrape endpoint, for brokers
+// behind NAT that nothing can scrape. Undeliverable bodies spool in a
 // bounded drop-oldest ring and drain in order once the receiver returns,
 // with exponential backoff between failed attempts.
 type Pusher struct {
@@ -52,19 +80,21 @@ type Pusher struct {
 	cfg PusherConfig
 
 	mu           sync.Mutex
-	spool        [][]byte
+	spool        []pushBody
 	prev         map[string]float64 // last-pushed counter values, JSON deltas
+	spanCursor   uint64             // SpanStore export cursor
 	backoff      time.Duration
 	blockedUntil time.Time
 
 	attempts     atomic.Uint64
 	failures     atomic.Uint64
+	spansShipped atomic.Uint64
+	spanFailures atomic.Uint64
 	spoolDropped atomic.Uint64
 
-	stop     chan struct{}
-	done     chan struct{}
-	startErr error
-	started  bool
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
 }
 
 // NewPusher builds a pusher over reg. Start launches it.
@@ -78,12 +108,16 @@ func NewPusher(reg *Registry, cfg PusherConfig) (*Pusher, error) {
 	switch cfg.Format {
 	case "":
 		cfg.Format = PushFormatProm
-	case PushFormatProm, PushFormatJSON:
+	case PushFormatProm, PushFormatJSON, PushFormatRemoteWrite:
 	default:
-		return nil, fmt.Errorf("telemetry: bad push format %q (want %s|%s)", cfg.Format, PushFormatProm, PushFormatJSON)
+		return nil, fmt.Errorf("telemetry: bad push format %q (want %s|%s|%s)",
+			cfg.Format, PushFormatProm, PushFormatJSON, PushFormatRemoteWrite)
 	}
 	if cfg.SpoolCap <= 0 {
 		cfg.SpoolCap = DefaultPushSpool
+	}
+	if cfg.SpanBatch <= 0 {
+		cfg.SpanBatch = DefaultSpanBatch
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 5 * time.Second}
@@ -126,7 +160,9 @@ func (p *Pusher) run() {
 	}
 }
 
-// Close stops the loop after one final snapshot and best-effort drain.
+// Close stops the loop after one final snapshot and a best-effort drain of
+// everything spooled — metric snapshots and span batches alike — even if a
+// failed attempt had armed the backoff window.
 func (p *Pusher) Close() {
 	p.mu.Lock()
 	started := p.started
@@ -139,41 +175,89 @@ func (p *Pusher) Close() {
 		}
 		<-p.done
 	}
-	p.Flush()
+	p.flush(true)
 }
 
-// Flush snapshots the registry into the spool and attempts to drain it —
-// one synchronous push cycle. Exported so tests and Close can drive the
-// cycle without waiting out the interval.
-func (p *Pusher) Flush() {
-	body, ctype := p.snapshot()
+// Flush snapshots the registry (and span store) into the spool and
+// attempts to drain it — one synchronous push cycle. Exported so tests and
+// Close can drive the cycle without waiting out the interval.
+func (p *Pusher) Flush() { p.flush(false) }
+
+func (p *Pusher) flush(force bool) {
+	metric := p.snapshot()
+	spans := p.snapshotSpans()
 	p.mu.Lock()
-	if body != nil {
-		if len(p.spool) >= p.cfg.SpoolCap {
-			p.spool = p.spool[1:]
-			p.spoolDropped.Add(1)
-		}
-		p.spool = append(p.spool, body)
+	if metric.data != nil {
+		p.spoolLocked(metric)
 	}
-	if time.Now().Before(p.blockedUntil) {
+	if spans.data != nil {
+		p.spoolLocked(spans)
+	}
+	if !force && time.Now().Before(p.blockedUntil) {
 		p.mu.Unlock()
 		return
 	}
 	p.mu.Unlock()
-	p.drain(ctype)
+	p.drain()
 }
 
-// snapshot renders the current registry state as one push body (nil when
-// there is nothing to report, e.g. a JSON delta cycle with no movement).
-func (p *Pusher) snapshot() (body []byte, contentType string) {
-	if p.cfg.Format == PushFormatJSON {
-		return p.snapshotJSON(), "application/json"
+// spoolLocked appends one body under the drop-oldest bound.
+func (p *Pusher) spoolLocked(b pushBody) {
+	if len(p.spool) >= p.cfg.SpoolCap {
+		p.spool = p.spool[1:]
+		p.spoolDropped.Add(1)
+	}
+	p.spool = append(p.spool, b)
+}
+
+// snapshot renders the current registry state as one push body (zero body
+// when there is nothing to report, e.g. a JSON delta cycle with no
+// movement).
+func (p *Pusher) snapshot() pushBody {
+	switch p.cfg.Format {
+	case PushFormatJSON:
+		return pushBody{data: p.snapshotJSON(), ctype: "application/json"}
+	case PushFormatRemoteWrite:
+		body, err := EncodeRemoteWrite(p.reg.Gather(), p.cfg.Instance, time.Now())
+		if err != nil || len(body) == 0 {
+			return pushBody{}
+		}
+		return pushBody{data: body, ctype: ContentTypeRemoteWrite}
 	}
 	var b bytes.Buffer
 	if err := p.reg.WritePrometheus(&b); err != nil || b.Len() == 0 {
-		return nil, "text/plain; version=0.0.4"
+		return pushBody{}
 	}
-	return b.Bytes(), "text/plain; version=0.0.4"
+	return pushBody{data: b.Bytes(), ctype: "text/plain; version=0.0.4"}
+}
+
+// snapshotSpans drains the span store's mutations since the last cycle
+// into one length-framed batch body. The cursor only advances for spans
+// that made it into a body, so nothing is skipped; re-shipping after a
+// failed POST is fine — collectors merge idempotently.
+func (p *Pusher) snapshotSpans() pushBody {
+	if p.cfg.Spans == nil {
+		return pushBody{}
+	}
+	p.mu.Lock()
+	cursor := p.spanCursor
+	p.mu.Unlock()
+	changes, next := p.cfg.Spans.ExportSince(cursor, p.cfg.SpanBatch)
+	if len(changes) == 0 {
+		return pushBody{}
+	}
+	recs := make([]SpanExport, 0, len(changes))
+	for _, ch := range changes {
+		recs = append(recs, spanExportRecord(p.cfg.Instance, ch))
+	}
+	body, err := EncodeSpanBatch(recs)
+	if err != nil {
+		return pushBody{}
+	}
+	p.mu.Lock()
+	p.spanCursor = next
+	p.mu.Unlock()
+	return pushBody{data: body, ctype: ContentTypeSpans, spans: len(recs)}
 }
 
 // pushPayload is the JSON push body: counter movement since the last
@@ -216,7 +300,7 @@ func (p *Pusher) snapshotJSON() []byte {
 
 // drain POSTs spooled bodies in order until empty or a delivery fails
 // (which arms the backoff window).
-func (p *Pusher) drain(contentType string) {
+func (p *Pusher) drain() {
 	for {
 		p.mu.Lock()
 		if len(p.spool) == 0 {
@@ -226,11 +310,19 @@ func (p *Pusher) drain(contentType string) {
 		body := p.spool[0]
 		p.mu.Unlock()
 
-		p.attempts.Add(1)
-		err := p.post(body, contentType)
+		// Span batches mirror the metric-push health counters on their own
+		// pair, so operators can see span loss independently.
+		if body.spans == 0 {
+			p.attempts.Add(1)
+		}
+		err := p.post(body)
 		p.mu.Lock()
 		if err != nil {
-			p.failures.Add(1)
+			if body.spans > 0 {
+				p.spanFailures.Add(1)
+			} else {
+				p.failures.Add(1)
+			}
 			if p.backoff <= 0 {
 				p.backoff = p.cfg.Interval
 			} else {
@@ -247,6 +339,9 @@ func (p *Pusher) drain(contentType string) {
 			}
 			return
 		}
+		if body.spans > 0 {
+			p.spansShipped.Add(uint64(body.spans))
+		}
 		p.backoff = 0
 		p.blockedUntil = time.Time{}
 		if len(p.spool) > 0 {
@@ -256,8 +351,20 @@ func (p *Pusher) drain(contentType string) {
 	}
 }
 
-func (p *Pusher) post(body []byte, contentType string) error {
-	resp, err := p.cfg.Client.Post(p.cfg.URL, contentType, bytes.NewReader(body))
+func (p *Pusher) post(body pushBody) error {
+	req, err := http.NewRequest(http.MethodPost, p.cfg.URL, bytes.NewReader(body.data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", body.ctype)
+	if p.cfg.Instance != "" {
+		req.Header.Set(InstanceHeader, p.cfg.Instance)
+	}
+	if body.ctype == ContentTypeRemoteWrite {
+		req.Header.Set("Content-Encoding", "identity")
+		req.Header.Set("X-Prometheus-Remote-Write-Version", RemoteWriteVersion)
+	}
+	resp, err := p.cfg.Client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -269,11 +376,17 @@ func (p *Pusher) post(body []byte, contentType string) error {
 	return nil
 }
 
-// Attempts counts push POSTs tried.
+// Attempts counts metric push POSTs tried.
 func (p *Pusher) Attempts() uint64 { return p.attempts.Load() }
 
-// Failures counts push POSTs that failed.
+// Failures counts metric push POSTs that failed.
 func (p *Pusher) Failures() uint64 { return p.failures.Load() }
+
+// SpansShipped counts span records delivered to the receiver.
+func (p *Pusher) SpansShipped() uint64 { return p.spansShipped.Load() }
+
+// SpanFailures counts span batch POSTs that failed.
+func (p *Pusher) SpanFailures() uint64 { return p.spanFailures.Load() }
 
 // SpoolLen returns the number of bodies awaiting delivery.
 func (p *Pusher) SpoolLen() int {

@@ -1,0 +1,378 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ContentTypeRemoteWrite is the Content-Type of a Prometheus remote-write
+// push body. The protocol also wants an X-Prometheus-Remote-Write-Version
+// header; the Pusher sets it alongside Content-Encoding: identity (this
+// implementation ships uncompressed — stdlib has no snappy, and identity
+// bodies are accepted by Prometheus, Mimir and Thanos receivers).
+const ContentTypeRemoteWrite = "application/x-protobuf"
+
+// RemoteWriteVersion is the protocol version header value.
+const RemoteWriteVersion = "0.1.0"
+
+// Remote-write 1.0 message schema (prometheus/prompb), hand-rolled:
+//
+//	message WriteRequest { repeated TimeSeries timeseries = 1; }
+//	message TimeSeries   { repeated Label labels = 1; repeated Sample samples = 2; }
+//	message Label        { string name = 1; string value = 2; }
+//	message Sample       { double value = 1; int64 timestamp = 2; }
+//
+// Only the encode direction ships in the product; a minimal decoder lives
+// in the tests so the golden bodies cannot drift silently.
+
+// RemoteWriteLabel is one label pair of an encoded series.
+type RemoteWriteLabel struct {
+	Name  string
+	Value string
+}
+
+// EncodeRemoteWrite renders a Gather snapshot as one remote-write 1.0
+// WriteRequest: every point becomes a single-sample TimeSeries named by
+// the __name__ label, with the point's labels expanded, instance (when
+// non-empty) merged in, and ts as the sample timestamp. Series order is
+// the snapshot's (registration) order, so equal snapshots encode to
+// byte-equal bodies.
+func EncodeRemoteWrite(points []MetricPoint, instance string, ts time.Time) ([]byte, error) {
+	tsMillis := ts.UnixMilli()
+	var out []byte
+	for _, pt := range points {
+		labels, err := remoteWriteLabels(pt, instance)
+		if err != nil {
+			return nil, err
+		}
+		series := encodeTimeSeries(labels, pt.Value, tsMillis)
+		// WriteRequest field 1: embedded TimeSeries message.
+		out = appendTag(out, 1, wireBytes)
+		out = appendUvarint(out, uint64(len(series)))
+		out = append(out, series...)
+	}
+	return out, nil
+}
+
+// remoteWriteLabels expands one point's label set, sorted by name as the
+// protocol requires ("__name__" sorts first on its own).
+func remoteWriteLabels(pt MetricPoint, instance string) ([]RemoteWriteLabel, error) {
+	pairs, err := ParseLabelKey(pt.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: remote-write %s: %w", pt.Name, err)
+	}
+	labels := make([]RemoteWriteLabel, 0, len(pairs)+2)
+	labels = append(labels, RemoteWriteLabel{Name: "__name__", Value: pt.Name})
+	seenInstance := false
+	for _, p := range pairs {
+		if p.Name == "instance" {
+			seenInstance = true
+		}
+		labels = append(labels, p)
+	}
+	if instance != "" && !seenInstance {
+		labels = append(labels, RemoteWriteLabel{Name: "instance", Value: instance})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	return labels, nil
+}
+
+// protobuf wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+)
+
+func appendTag(b []byte, field int, wire int) []byte {
+	return appendUvarint(b, uint64(field)<<3|uint64(wire))
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendLenString(b []byte, field int, s string) []byte {
+	b = appendTag(b, field, wireBytes)
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func encodeLabel(l RemoteWriteLabel) []byte {
+	var b []byte
+	b = appendLenString(b, 1, l.Name)
+	b = appendLenString(b, 2, l.Value)
+	return b
+}
+
+func encodeSample(value float64, tsMillis int64) []byte {
+	var b []byte
+	b = appendTag(b, 1, wireFixed64)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(value))
+	// Sample timestamps are int64 varints; push timestamps are always
+	// positive, but encode negatives correctly anyway (two's complement,
+	// ten bytes) rather than silently corrupting pre-epoch clocks.
+	b = appendTag(b, 2, wireVarint)
+	b = appendUvarint(b, uint64(tsMillis))
+	return b
+}
+
+func encodeTimeSeries(labels []RemoteWriteLabel, value float64, tsMillis int64) []byte {
+	var b []byte
+	for _, l := range labels {
+		enc := encodeLabel(l)
+		b = appendTag(b, 1, wireBytes)
+		b = appendUvarint(b, uint64(len(enc)))
+		b = append(b, enc...)
+	}
+	sample := encodeSample(value, tsMillis)
+	b = appendTag(b, 2, wireBytes)
+	b = appendUvarint(b, uint64(len(sample)))
+	return append(b, sample...)
+}
+
+// RemoteWriteSeries is one decoded TimeSeries: its label pairs and single
+// sample (the encoder ships one sample per series).
+type RemoteWriteSeries struct {
+	Labels    []RemoteWriteLabel
+	Value     float64
+	Timestamp int64 // milliseconds
+}
+
+// Name returns the series' __name__ label ("" when absent).
+func (s RemoteWriteSeries) Name() string {
+	for _, l := range s.Labels {
+		if l.Name == "__name__" {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// DecodeRemoteWrite parses a WriteRequest body back into series — the
+// collector's ingest path for remote-write pushes, and the golden tests'
+// proof that the encoder emits what it claims. Unknown fields are
+// skipped per protobuf rules.
+func DecodeRemoteWrite(body []byte) ([]RemoteWriteSeries, error) {
+	var out []RemoteWriteSeries
+	for len(body) > 0 {
+		field, wire, rest, err := readTag(body)
+		if err != nil {
+			return nil, err
+		}
+		body = rest
+		if field == 1 && wire == wireBytes {
+			msg, rest, err := readBytes(body)
+			if err != nil {
+				return nil, err
+			}
+			body = rest
+			series, err := decodeTimeSeries(msg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, series)
+			continue
+		}
+		if body, err = skipField(body, wire); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decodeTimeSeries(b []byte) (RemoteWriteSeries, error) {
+	var s RemoteWriteSeries
+	for len(b) > 0 {
+		field, wire, rest, err := readTag(b)
+		if err != nil {
+			return s, err
+		}
+		b = rest
+		switch {
+		case field == 1 && wire == wireBytes: // Label
+			msg, rest, err := readBytes(b)
+			if err != nil {
+				return s, err
+			}
+			b = rest
+			l, err := decodeLabel(msg)
+			if err != nil {
+				return s, err
+			}
+			s.Labels = append(s.Labels, l)
+		case field == 2 && wire == wireBytes: // Sample
+			msg, rest, err := readBytes(b)
+			if err != nil {
+				return s, err
+			}
+			b = rest
+			if err := decodeSample(msg, &s); err != nil {
+				return s, err
+			}
+		default:
+			if b, err = skipField(b, wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func decodeLabel(b []byte) (RemoteWriteLabel, error) {
+	var l RemoteWriteLabel
+	for len(b) > 0 {
+		field, wire, rest, err := readTag(b)
+		if err != nil {
+			return l, err
+		}
+		b = rest
+		if wire == wireBytes {
+			str, rest, err := readBytes(b)
+			if err != nil {
+				return l, err
+			}
+			b = rest
+			switch field {
+			case 1:
+				l.Name = string(str)
+			case 2:
+				l.Value = string(str)
+			}
+			continue
+		}
+		if b, err = skipField(b, wire); err != nil {
+			return l, err
+		}
+	}
+	return l, nil
+}
+
+func decodeSample(b []byte, s *RemoteWriteSeries) error {
+	for len(b) > 0 {
+		field, wire, rest, err := readTag(b)
+		if err != nil {
+			return err
+		}
+		b = rest
+		switch {
+		case field == 1 && wire == wireFixed64:
+			if len(b) < 8 {
+				return fmt.Errorf("telemetry: remote-write sample truncated")
+			}
+			s.Value = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+		case field == 2 && wire == wireVarint:
+			v, n := binary.Uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("telemetry: remote-write timestamp truncated")
+			}
+			s.Timestamp = int64(v)
+			b = b[n:]
+		default:
+			if b, err = skipField(b, wire); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readTag(b []byte) (field int, wire int, rest []byte, err error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("telemetry: remote-write tag truncated")
+	}
+	return int(v >> 3), int(v & 7), b[n:], nil
+}
+
+func readBytes(b []byte) (msg, rest []byte, err error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < v {
+		return nil, nil, fmt.Errorf("telemetry: remote-write length truncated")
+	}
+	return b[n : n+int(v)], b[n+int(v):], nil
+}
+
+func skipField(b []byte, wire int) ([]byte, error) {
+	switch wire {
+	case wireVarint:
+		_, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("telemetry: remote-write varint truncated")
+		}
+		return b[n:], nil
+	case wireFixed64:
+		if len(b) < 8 {
+			return nil, fmt.Errorf("telemetry: remote-write fixed64 truncated")
+		}
+		return b[8:], nil
+	case wireBytes:
+		_, rest, err := readBytes(b)
+		return rest, err
+	default:
+		return nil, fmt.Errorf("telemetry: remote-write wire type %d unsupported", wire)
+	}
+}
+
+// ParseLabelKey parses a pre-rendered `{k="v",...}` label key (the
+// MetricPoint.Labels / sample labelKey format) back into pairs. The
+// rendering escapes values with %q, so values round-trip through
+// strconv.Unquote. "" parses to no pairs.
+func ParseLabelKey(key string) ([]RemoteWriteLabel, error) {
+	if key == "" {
+		return nil, nil
+	}
+	if len(key) < 2 || key[0] != '{' || key[len(key)-1] != '}' {
+		return nil, fmt.Errorf("bad label key %q", key)
+	}
+	s := key[1 : len(key)-1]
+	var out []RemoteWriteLabel
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, fmt.Errorf("bad label key %q", key)
+		}
+		name := s[:eq]
+		rest := s[eq+1:]
+		end := quotedEnd(rest)
+		if end < 0 {
+			return nil, fmt.Errorf("bad label key %q: unterminated value", key)
+		}
+		value, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label key %q: %v", key, err)
+		}
+		out = append(out, RemoteWriteLabel{Name: name, Value: value})
+		s = rest[end+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("bad label key %q", key)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+// quotedEnd returns the index of the closing quote of a leading %q-quoted
+// string (respecting backslash escapes), -1 if unterminated.
+func quotedEnd(s string) int {
+	if len(s) == 0 || s[0] != '"' {
+		return -1
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

@@ -176,6 +176,45 @@ func (s *Sampler) SlowerThan(latency time.Duration) bool {
 	return t > 0 && latency > time.Duration(t)
 }
 
+// SetPendingCap resizes the pending-decision ring at runtime (n <= 0
+// restores DefaultPendingCap). Shrinking evicts the oldest parked paths
+// (counted in PendingDropped); growing keeps everything parked.
+func (s *Sampler) SetPendingCap(n int) {
+	if n <= 0 {
+		n = DefaultPendingCap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == s.cap {
+		return
+	}
+	// Flatten the circular ring oldest-first, then keep the newest n.
+	ordered := make([]message.NotificationID, 0, len(s.ring))
+	if len(s.ring) < s.cap {
+		ordered = append(ordered, s.ring...)
+	} else {
+		ordered = append(ordered, s.ring[s.head:]...)
+		ordered = append(ordered, s.ring[:s.head]...)
+	}
+	if drop := len(ordered) - n; drop > 0 {
+		for _, id := range ordered[:drop] {
+			delete(s.pending, id)
+			s.ringDropped.Add(1)
+		}
+		ordered = ordered[drop:]
+	}
+	s.cap = n
+	s.ring = ordered
+	s.head = 0
+}
+
+// PendingCap returns the pending-decision ring's current capacity.
+func (s *Sampler) PendingCap() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap
+}
+
 // SetRate tunes the 1-in-N rate at runtime (<= 1 traces everything).
 func (s *Sampler) SetRate(n int64) { s.n.Store(n) }
 

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -19,6 +20,12 @@ type Span struct {
 	Path    []message.HopStamp
 	Latency time.Duration
 	Reason  string
+
+	// ver orders span mutations for the outbound exporter: every change
+	// (new span, longer path, worse latency, first reason) stamps the
+	// store's monotone clock, so ExportSince ships exactly the spans that
+	// moved since the last push cycle.
+	ver uint64
 }
 
 // SpanInfo is the listing row for one retained span — what
@@ -42,6 +49,7 @@ type SpanStore struct {
 	ring    []message.NotificationID
 	head    int
 	evicted uint64
+	clock   uint64 // monotone mutation counter feeding Span.ver
 }
 
 // NewSpanStore returns a store retaining up to capacity notification
@@ -83,14 +91,22 @@ func (s *SpanStore) RecordReason(id message.NotificationID, path []message.HopSt
 
 func (s *SpanStore) recordLocked(id message.NotificationID, path []message.HopStamp, latency time.Duration, reason string) {
 	if sp, ok := s.spans[id]; ok {
+		changed := false
 		if len(path) > len(sp.Path) {
 			sp.Path = append(sp.Path[:0], path...)
+			changed = true
 		}
 		if latency > sp.Latency {
 			sp.Latency = latency
+			changed = true
 		}
-		if sp.Reason == "" {
+		if sp.Reason == "" && reason != "" {
 			sp.Reason = reason
+			changed = true
+		}
+		if changed {
+			s.clock++
+			sp.ver = s.clock
 		}
 		return
 	}
@@ -102,10 +118,12 @@ func (s *SpanStore) recordLocked(id message.NotificationID, path []message.HopSt
 		s.ring[s.head] = id
 		s.head = (s.head + 1) % s.cap
 	}
+	s.clock++
 	s.spans[id] = &Span{
 		Path:    append([]message.HopStamp(nil), path...),
 		Latency: latency,
 		Reason:  reason,
+		ver:     s.clock,
 	}
 }
 
@@ -120,6 +138,8 @@ func (s *SpanStore) Observe(id message.NotificationID, latency time.Duration) {
 	defer s.mu.Unlock()
 	if sp, ok := s.spans[id]; ok && latency > sp.Latency {
 		sp.Latency = latency
+		s.clock++
+		sp.ver = s.clock
 	}
 }
 
@@ -193,4 +213,47 @@ func (s *SpanStore) Evicted() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.evicted
+}
+
+// SpanChange is one span the store mutated since an export cursor: the
+// full current span (not a delta — re-shipping a grown span is how the
+// exporter stays idempotent) plus the ID it is retained under.
+type SpanChange struct {
+	ID   message.NotificationID
+	Span Span
+}
+
+// ExportSince returns up to max spans mutated after cursor, oldest
+// mutation first, and the cursor to resume from (pass 0 to start from the
+// beginning of the store's history; max <= 0 means no bound). A span that
+// changed again after the returned cursor will be returned again by the
+// next call — exports are at-least-once and consumers must merge
+// idempotently.
+func (s *SpanStore) ExportSince(cursor uint64, max int) ([]SpanChange, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []SpanChange
+	for id, sp := range s.spans {
+		if sp.ver <= cursor {
+			continue
+		}
+		out = append(out, SpanChange{
+			ID: id,
+			Span: Span{
+				Path:    append([]message.HopStamp(nil), sp.Path...),
+				Latency: sp.Latency,
+				Reason:  sp.Reason,
+				ver:     sp.ver,
+			},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Span.ver < out[j].Span.ver })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	next := cursor
+	if n := len(out); n > 0 {
+		next = out[n-1].Span.ver
+	}
+	return out, next
 }

@@ -313,13 +313,21 @@ func TestLoggingKnobsLive(t *testing.T) {
 // TestOpsPushDeployment: a deployment with WithOpsPush and no scrape
 // listener still delivers its metric families to the receiver.
 func TestOpsPushDeployment(t *testing.T) {
-	var pushes atomic.Int64
-	var last atomic.Value
+	// The pusher ships two body kinds: metric snapshots and (since PR 9)
+	// span batches, distinguished by Content-Type. Track the latest of
+	// each.
+	var pushes, spanPushes atomic.Int64
+	var last, lastSpans atomic.Value
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		b := new(bytes.Buffer)
 		if _, err := b.ReadFrom(r.Body); err == nil && b.Len() > 0 {
-			last.Store(b.String())
-			pushes.Add(1)
+			if strings.Contains(r.Header.Get("Content-Type"), "x-rebeca-spans") {
+				lastSpans.Store(b.String())
+				spanPushes.Add(1)
+			} else {
+				last.Store(b.String())
+				pushes.Add(1)
+			}
 		}
 		w.WriteHeader(http.StatusNoContent)
 	}))
@@ -370,5 +378,16 @@ func TestOpsPushDeployment(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Fatalf("push body missing %q:\n%s", want, body)
 		}
+	}
+	// The traced publish above also ships outbound as a span batch.
+	for spanPushes.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if spanPushes.Load() == 0 {
+		t.Fatal("no span batch arrived within 5s")
+	}
+	spanBody, _ := lastSpans.Load().(string)
+	if !strings.Contains(spanBody, `"hops"`) || !strings.Contains(spanBody, `"broker":"A"`) {
+		t.Fatalf("span batch missing the traced hop path:\n%s", spanBody)
 	}
 }

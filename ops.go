@@ -40,11 +40,15 @@ func newOpsStack(cfg *config) *opsStack {
 	cfg.middleware = append(cfg.middleware, mw)
 	telemetry.RegisterSpanMetrics(reg, spans)
 	st := &opsStack{reg: reg, spans: spans, mw: mw, ops: telemetry.NewOps(reg, spans)}
-	if cfg.sampleN > 0 || cfg.slowThresh > 0 {
+	if cfg.sampleN > 0 || cfg.slowThresh > 0 || cfg.pendingCap > 0 {
 		st.sampler = telemetry.NewSampler(spans, cfg.sampleN, cfg.slowThresh)
+		if cfg.pendingCap > 0 {
+			st.sampler.SetPendingCap(cfg.pendingCap)
+		}
 		mw.SetSampler(st.sampler)
 		telemetry.RegisterSamplerMetrics(reg, st.sampler)
 	}
+	telemetry.RegisterGoRuntime(reg)
 	if cfg.logging {
 		level := telemetry.ParseLevelDefault(cfg.logLevel)
 		w := cfg.logWriter
@@ -66,13 +70,21 @@ func (st *opsStack) startPush(cfg *config, instance string) error {
 	if st.logger != nil {
 		plog = st.logger.For("wire")
 	}
-	p, err := telemetry.NewPusher(st.reg, telemetry.PusherConfig{
+	pcfg := telemetry.PusherConfig{
 		URL:      cfg.pushURL,
 		Interval: cfg.pushInterval,
 		Format:   cfg.pushFormat,
 		Instance: instance,
 		Logger:   plog,
-	})
+	}
+	// Completed and retro-captured spans ship outbound alongside the
+	// metric snapshots — except to remote-write receivers, where a real
+	// Prometheus backend would reject (and wedge the spool behind) the
+	// span bodies only a rebeca collector understands.
+	if cfg.pushFormat != telemetry.PushFormatRemoteWrite {
+		pcfg.Spans = st.spans
+	}
+	p, err := telemetry.NewPusher(st.reg, pcfg)
 	if err != nil {
 		return err
 	}
@@ -145,6 +157,21 @@ func (st *opsStack) registerCommon(cfg *config) {
 					return fmt.Errorf("bad threshold %s: want >= 0", d)
 				}
 				s.SetSlowThreshold(d)
+				return nil
+			},
+		})
+		st.ops.AddKnob("trace.pending", telemetry.Knob{
+			Help: "pending-decision ring capacity: hop paths parked awaiting a retro-capture verdict (shrinking evicts oldest)",
+			Get:  func() string { return strconv.Itoa(s.PendingCap()) },
+			Set: func(v string) error {
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil {
+					return fmt.Errorf("bad capacity %q: %v", v, err)
+				}
+				if n < 1 {
+					return fmt.Errorf("bad capacity %d: want >= 1", n)
+				}
+				s.SetPendingCap(n)
 				return nil
 			},
 		})

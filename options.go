@@ -63,6 +63,7 @@ type config struct {
 	pushFormat     string
 	sampleN        int64
 	slowThresh     time.Duration
+	pendingCap     int
 	logWriter      io.Writer
 	logLevel       string
 	logging        bool
@@ -437,15 +438,19 @@ func WithOpsPush(url string, interval time.Duration) Option {
 }
 
 // WithOpsPushFormat selects the push body format: "prom" (Prometheus
-// text exposition, the default) or "json" (compact delta JSON — counters
-// ship movement since the last snapshot, gauges ship absolute).
+// text exposition, the default), "json" (compact delta JSON — counters
+// ship movement since the last snapshot, gauges ship absolute) or
+// "remote-write" (Prometheus remote-write 1.0 protobuf, uncompressed —
+// for pushing straight into a Prometheus/Mimir/Thanos receiver; span
+// export is disabled in this format, since only a rebeca collector
+// understands span bodies).
 func WithOpsPushFormat(format string) Option {
 	return func(c *config) {
 		switch format {
-		case "prom", "json":
+		case "prom", "json", "remote-write":
 			c.pushFormat = format
 		default:
-			c.errs = append(c.errs, fmt.Errorf("rebeca: WithOpsPushFormat(%q): want prom or json", format))
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithOpsPushFormat(%q): want prom, json or remote-write", format))
 		}
 	}
 }
@@ -473,6 +478,24 @@ func WithTraceSampling(n int64, slow time.Duration) Option {
 		}
 		c.sampleN = n
 		c.slowThresh = slow
+	}
+}
+
+// WithTracePendingCap bounds the trace sampler's pending-decision ring:
+// how many unsampled notifications keep their hop paths parked awaiting
+// a possible slow/drop retro-capture verdict (default 1024, drop-oldest;
+// evictions count in rebeca_trace_pending_evicted_total). Raise it on
+// high-fan-in brokers where verdicts lag arrivals; lower it to shrink
+// the tracing footprint. Runtime-tunable via the ops endpoint's
+// "trace.pending" knob. Implies trace sampling state exists even without
+// WithTraceSampling (at the stamp-everything default rate).
+func WithTracePendingCap(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithTracePendingCap(%d): want n > 0", n))
+			return
+		}
+		c.pendingCap = n
 	}
 }
 
