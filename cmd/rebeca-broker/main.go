@@ -93,6 +93,10 @@ func main() {
 		drain     = flag.Duration("drain", 3*time.Second, "max time to drain in-flight deliveries on shutdown")
 		hbEvery   = flag.Duration("heartbeat", time.Second, "overlay link heartbeat interval")
 		hbTimeout = flag.Duration("heartbeat-timeout", 0, "declare an overlay link failed after this much silence (0 = 3x interval)")
+		linkSpill = flag.String("link-spill", "", "WAL directory for store-backed link spill: pending-queue overflow on a partitioned overlay link spills here and replays on re-establishment instead of being dropped (use the -store directory to share its WAL)")
+		spillMax  = flag.Int64("link-spill-max", 0, "per-link spill byte budget for -link-spill (0 = default 256 MiB); past it the spill drops its own oldest records")
+		linkPend  = flag.Int("link-pending", 0, "in-memory pending-queue cap per overlay link (0 = default 4096)")
+		regTTL    = flag.Duration("registry-ttl", 0, "file-registry lease: stamp our entry with this TTL and refresh it, so a killed broker's registration ages out (file: registries only; 0 = entries never expire)")
 		linkLog   = flag.Bool("link-log", true, "log overlay link state transitions")
 		push      = flag.String("push", "", "push metrics to this URL instead of (or besides) being scraped, e.g. http://gateway:9091/ingest")
 		pushEvery = flag.Duration("push-interval", 15*time.Second, "metric push interval for -push")
@@ -249,6 +253,39 @@ func main() {
 	if *hbTimeout != 0 && *hbTimeout < *hbEvery {
 		fatal(fmt.Errorf("-heartbeat-timeout %s: want >= -heartbeat %s (or 0 for 3x interval)", *hbTimeout, *hbEvery))
 	}
+
+	// Durable subscriptions: a WAL on -store survives restarts — reopening
+	// the same directory recovers ghost sessions and their pending
+	// notifications below. Opened before the node so -link-spill can share
+	// the same WAL instance (queue namespaces never collide).
+	var st store.Store
+	var wal *store.WAL
+	if *storeDir != "" {
+		wal, err = store.OpenWAL(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		wal.SetLogger(logger.For("store"))
+		st = wal
+	}
+	// Link spill: overlay pending-queue overflow spills to this store and
+	// replays on re-establishment, so partitions longer than the in-memory
+	// cap's worth of traffic lose nothing (up to the byte budget).
+	var spillStore store.Store
+	var spillWAL *store.WAL
+	if *linkSpill != "" {
+		if *linkSpill == *storeDir && wal != nil {
+			spillStore = wal
+		} else {
+			spillWAL, err = store.OpenWAL(*linkSpill)
+			if err != nil {
+				fatal(err)
+			}
+			spillWAL.SetLogger(logger.For("store"))
+			spillStore = spillWAL
+		}
+	}
+
 	node := wire.NewNode(wire.NodeConfig{
 		ID:             self,
 		Listen:         *listen,
@@ -260,7 +297,10 @@ func main() {
 		Overlay: overlay.Settings{
 			HeartbeatInterval: *hbEvery,
 			HeartbeatTimeout:  *hbTimeout,
+			PendingCap:        *linkPend,
 		},
+		Spill:         spillStore,
+		SpillBudget:   *spillMax,
 		Telemetry:     reg,
 		Logger:        logger.For("wire"),
 		OverlayLogger: logger.For("overlay"),
@@ -281,21 +321,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *regTTL > 0 {
+			fr, ok := memReg.(*discovery.FileRegistry)
+			if !ok {
+				fatal(fmt.Errorf("-registry-ttl needs a file: registry (the gossip backend detects failures on its own)"))
+			}
+			fr.SetTTL(*regTTL)
+		}
 	}
 
-	// Durable subscriptions: a WAL on -store survives restarts — reopening
-	// the same directory recovers ghost sessions and their pending
-	// notifications below.
-	var st store.Store
-	var wal *store.WAL
-	if *storeDir != "" {
-		wal, err = store.OpenWAL(*storeDir)
-		if err != nil {
-			fatal(err)
-		}
-		wal.SetLogger(logger.For("store"))
-		st = wal
-	}
 	if reg != nil && wal != nil {
 		reg.GaugeFunc(telemetry.MetricWALSegments,
 			"Write-ahead-log segment files on disk.",
@@ -628,6 +662,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rebeca-broker: store close:", err)
 		}
 	}
+	if spillWAL != nil {
+		// Only when -link-spill has its own WAL; a shared -store WAL was
+		// closed above. The unflushed backlog stays on disk for the next
+		// incarnation to replay.
+		if err := spillWAL.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "rebeca-broker: spill sync:", err)
+		}
+		if err := spillWAL.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rebeca-broker: spill close:", err)
+		}
+	}
 }
 
 // statsLine renders the -stats digest from the telemetry registry.
@@ -649,6 +694,9 @@ func statsLine(reg *telemetry.Registry, node *wire.Node) string {
 		line += fmt.Sprintf(" link[%s]=%s", li.Peer, li.State)
 		if li.Pending > 0 {
 			line += fmt.Sprintf("(+%d queued)", li.Pending)
+		}
+		if li.SpillDepth > 0 {
+			line += fmt.Sprintf("(spill=%d/%dB)", li.SpillDepth, li.SpillBytes)
 		}
 	}
 	return line

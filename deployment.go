@@ -158,6 +158,13 @@ func New(opts ...Option) (*System, error) {
 		set := cfg.overlaySettings()
 		scfg.Overlay = &set
 	}
+	if cfg.spillStore != nil {
+		if !cfg.overlay {
+			return nil, errors.New("rebeca: WithLinkSpill under New needs the overlay deployed (WithHeartbeat)")
+		}
+		scfg.LinkSpill = cfg.spillStore
+		scfg.LinkSpillBudget = cfg.spillMax
+	}
 	if cfg.mesh {
 		// Mesh routing: the overlay is the movement graph itself (cycles
 		// and all) rather than its spanning tree; the brokers' replicated
@@ -335,6 +342,17 @@ func (s *System) LinkStates(b NodeID) map[NodeID]LinkState {
 		return nil
 	}
 	return mgr.States()
+}
+
+// LinkInfos snapshots a broker's overlay links in full — state, pending
+// backlog, spill depth/bytes, drop counters (nil when the overlay is not
+// deployed or the broker is unknown).
+func (s *System) LinkInfos(b NodeID) []LinkInfo {
+	mgr, ok := s.cluster.Overlays[b]
+	if !ok {
+		return nil
+	}
+	return mgr.Info()
 }
 
 func (s *System) hasBroker(id NodeID) bool {

@@ -1,0 +1,213 @@
+package discovery
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rebeca/internal/message"
+)
+
+// verdictLog collects OnVerdict emissions for assertion.
+type verdictLog struct {
+	mu sync.Mutex
+	vs []string // "<id>:<verdict>"
+}
+
+func (l *verdictLog) record(id message.NodeID, verdict string) {
+	l.mu.Lock()
+	l.vs = append(l.vs, string(id)+":"+verdict)
+	l.mu.Unlock()
+}
+
+func (l *verdictLog) has(want string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, v := range l.vs {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// A SIGKILLed peer — its gossip agent gone without a Deregister — is
+// suspected after the configured misses and tombstoned after the
+// timeout, leaving the survivor's snapshot with no operator action.
+func TestGossipFailureDetectionTombstonesSilentPeer(t *testing.T) {
+	a, err := NewGossipRegistry("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.SetInterval(10 * time.Millisecond)
+	a.SetFailureDetection(2, 50*time.Millisecond)
+	var log verdictLog
+	a.OnVerdict(log.record)
+
+	b, err := NewGossipRegistry("127.0.0.1:0", []string{a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetInterval(10 * time.Millisecond)
+	if err := a.Register(Entry{ID: "a", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(Entry{ID: "b", Addr: "127.0.0.1:2"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		es, err := a.Discover()
+		return err == nil && len(es) == 2
+	}, "initial convergence")
+
+	// The "SIGKILL": b's agent vanishes without a tombstone of its own.
+	_ = b.Close()
+
+	waitFor(t, func() bool { return log.has("b:suspect") }, "the silent peer to be suspected")
+	waitFor(t, func() bool {
+		es, err := a.Discover()
+		return err == nil && len(es) == 1 && es[0].ID == "a"
+	}, "the suspicion to expire into a tombstone")
+	if !log.has("b:tombstone") {
+		t.Fatalf("no tombstone verdict; verdicts: %v", log.vs)
+	}
+}
+
+// A suspected member that proves alive — by exchanging again or by a
+// fresher record arriving — is refuted, not tombstoned. Driven through
+// assess/merge directly for determinism.
+func TestGossipSuspicionRefuted(t *testing.T) {
+	g, err := NewGossipRegistry("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = g.Close() }()
+	var log verdictLog
+	g.OnVerdict(log.record)
+	g.SetFailureDetection(2, time.Hour) // suspicion never expires here
+
+	const deadAddr = "127.0.0.1:9" // nothing listens; exchanges fail
+	g.mu.Lock()
+	g.records["b"] = gossipRecord{Entry: Entry{ID: "b", Addr: "x"}, Gossip: deadAddr, Version: 1}
+	g.mu.Unlock()
+
+	miss := map[string]bool{deadAddr: false}
+	g.assess(miss)
+	if log.has("b:suspect") {
+		t.Fatal("suspected after a single miss, want two")
+	}
+	g.assess(miss)
+	if !log.has("b:suspect") {
+		t.Fatalf("no suspicion after two misses; verdicts: %v", log.vs)
+	}
+
+	// Path 1: a fresher live record out-versions the suspicion.
+	g.merge([]gossipRecord{{Entry: Entry{ID: "b", Addr: "x"}, Gossip: deadAddr, Version: 2}})
+	if !log.has("b:refute") {
+		t.Fatalf("out-versioned suspicion not refuted; verdicts: %v", log.vs)
+	}
+
+	// Path 2: a completed exchange clears a fresh suspicion too.
+	g.assess(miss)
+	g.assess(miss)
+	g.assess(map[string]bool{deadAddr: true})
+	g.mu.Lock()
+	_, stillSuspected := g.suspected["b"]
+	misses := g.misses["b"]
+	g.mu.Unlock()
+	if stillSuspected || misses != 0 {
+		t.Fatalf("exchange did not clear suspicion (suspected=%v misses=%d)", stillSuspected, misses)
+	}
+}
+
+// With a TTL set, a file-registry entry is a lease: the refresher keeps
+// it alive while the process runs, and it ages out of every reader's
+// snapshot once the owner dies.
+func TestFileRegistryTTLExpiry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peers.json")
+	owner := NewFileRegistry(path)
+	owner.SetTTL(150 * time.Millisecond)
+	if err := owner.Register(Entry{ID: "b1", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	reader := NewFileRegistry(path)
+	defer func() { _ = reader.Close() }()
+
+	es, err := reader.Discover()
+	if err != nil || len(es) != 1 || es[0].Expires == 0 {
+		t.Fatalf("leased entry not visible/stamped: %v (err=%v)", es, err)
+	}
+
+	// The refresher outlives the original TTL.
+	time.Sleep(300 * time.Millisecond)
+	if es, _ := reader.Discover(); len(es) != 1 {
+		t.Fatalf("entry lapsed while its owner was alive: %v", es)
+	}
+
+	// Owner dies (Close stops the refresher — the SIGKILL analog for the
+	// lease); the entry ages out with no Deregister.
+	_ = owner.Close()
+	waitFor(t, func() bool {
+		es, err := reader.Discover()
+		return err == nil && len(es) == 0
+	}, "the dead owner's lease to lapse")
+
+	// The stale bytes are still in the file — pruning is read-side.
+	if data, err := os.ReadFile(path); err != nil || len(data) == 0 {
+		t.Fatalf("registry file unexpectedly empty (err=%v)", err)
+	}
+}
+
+// Membership counts failure-detector verdicts in its event feed (the
+// rebeca_discovery_events_total surface).
+func TestMembershipCountsVerdicts(t *testing.T) {
+	g, err := NewGossipRegistry("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = g.Close() }()
+	var events []string
+	var mu sync.Mutex
+	m := NewMembership(MembershipConfig{
+		Self:     "a",
+		Addr:     "127.0.0.1:1",
+		Registry: g,
+		Host:     &recordingHost{},
+		OnEvent: func(typ string) {
+			mu.Lock()
+			events = append(events, typ)
+			mu.Unlock()
+		},
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop(false)
+
+	g.SetFailureDetection(1, time.Millisecond)
+	const deadAddr = "127.0.0.1:9"
+	g.mu.Lock()
+	g.records["b"] = gossipRecord{Entry: Entry{ID: "b", Addr: "x"}, Gossip: deadAddr, Version: 1}
+	g.mu.Unlock()
+	miss := map[string]bool{deadAddr: false}
+	g.assess(miss) // suspect
+	time.Sleep(5 * time.Millisecond)
+	g.assess(miss) // tombstone
+
+	ev := m.Events()
+	if ev["suspect"] != 1 || ev["tombstone"] != 1 {
+		t.Fatalf("events = %v, want suspect=1 tombstone=1", ev)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e] = true
+	}
+	if !seen["suspect"] || !seen["tombstone"] {
+		t.Fatalf("OnEvent saw %v, want suspect and tombstone", events)
+	}
+}

@@ -29,6 +29,14 @@ type FileRegistry struct {
 	stopPoll chan struct{}
 	done     chan struct{}
 	closed   bool
+
+	// TTL lease state: with a TTL set, Register stamps the entry's Expires
+	// and a refresh goroutine re-stamps it every ttl/3; load prunes
+	// expired entries on every read, so a SIGKILLed broker's registration
+	// ages out of everyone's snapshot without operator action.
+	ttl         time.Duration
+	stopRefresh chan struct{}
+	refreshDone chan struct{}
 }
 
 // filePollInterval is the default watch poll cadence. Fast enough that a
@@ -55,6 +63,18 @@ func (r *FileRegistry) SetPollInterval(d time.Duration) {
 	}
 }
 
+// SetTTL turns registrations into leases: every entry this registry
+// Registers from now on carries Expires = now + d and is re-stamped by a
+// background refresher every d/3, and expired entries (anyone's) are
+// pruned from every snapshot this registry reads. Call before Register.
+// d <= 0 disables the lease (the default — hand-written registry files
+// never expire).
+func (r *FileRegistry) SetTTL(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ttl = d
+}
+
 func (r *FileRegistry) load() ([]Entry, error) {
 	data, err := os.ReadFile(r.path)
 	if err != nil {
@@ -69,11 +89,16 @@ func (r *FileRegistry) load() ([]Entry, error) {
 			return nil, fmt.Errorf("discovery: parse %s: %w", r.path, err)
 		}
 	}
+	now := time.Now().UnixMilli()
 	kept := es[:0]
 	for _, e := range es {
-		if e.ID != "" {
-			kept = append(kept, e)
+		if e.ID == "" {
+			continue
 		}
+		if e.Expires != 0 && e.Expires <= now {
+			continue // lease lapsed: the owner stopped refreshing
+		}
+		kept = append(kept, e)
 	}
 	sortEntries(kept)
 	return kept, nil
@@ -133,11 +158,23 @@ func (r *FileRegistry) lock() (unlock func(), err error) {
 
 // Register upserts e. Writing is skipped when an identical entry is
 // already present (a fleet booted from a pre-seeded file never rewrites
-// it).
+// it). With a TTL set the entry is stamped with its expiry and a
+// background refresher keeps re-stamping it until Close.
 func (r *FileRegistry) Register(e Entry) error {
 	if e.ID == "" {
 		return errors.New("discovery: register: empty ID")
 	}
+	r.mu.Lock()
+	ttl := r.ttl
+	if ttl > 0 {
+		e.Expires = time.Now().Add(ttl).UnixMilli()
+		if r.stopRefresh == nil && !r.closed {
+			r.stopRefresh = make(chan struct{})
+			r.refreshDone = make(chan struct{})
+			go r.refresh(e, ttl, r.stopRefresh, r.refreshDone)
+		}
+	}
+	r.mu.Unlock()
 	unlock, err := r.lock()
 	if err != nil {
 		return err
@@ -151,13 +188,50 @@ func (r *FileRegistry) Register(e Entry) error {
 		if cur.ID != e.ID {
 			continue
 		}
-		if cur.Addr == e.Addr && fingerprint([]Entry{cur}) == fingerprint([]Entry{e}) {
+		if cur.Addr == e.Addr && cur.Expires == e.Expires &&
+			fingerprint([]Entry{cur}) == fingerprint([]Entry{e}) {
 			return nil
 		}
 		es[i] = e
 		return r.store(es)
 	}
 	return r.store(append(es, e))
+}
+
+// refresh re-stamps the registered entry's lease every ttl/3 until the
+// registry closes. A re-Register with changed fields supersedes the
+// snapshot this goroutine carries only in Expires — the file's content
+// for the entry is whatever the last Register wrote, re-stamped.
+func (r *FileRegistry) refresh(e Entry, ttl time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	period := ttl / 3
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		unlock, err := r.lock()
+		if err != nil {
+			continue
+		}
+		es, err := r.load()
+		if err == nil {
+			for i := range es {
+				if es[i].ID == e.ID {
+					es[i].Expires = time.Now().Add(ttl).UnixMilli()
+					_ = r.store(es)
+					break
+				}
+			}
+		}
+		unlock()
+	}
 }
 
 // Deregister removes id's entry (a no-op when absent).
@@ -253,7 +327,7 @@ func (r *FileRegistry) poll(stop <-chan struct{}, done chan<- struct{}) {
 	}
 }
 
-// Close stops the watch goroutine.
+// Close stops the watch and lease-refresh goroutines.
 func (r *FileRegistry) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -262,11 +336,16 @@ func (r *FileRegistry) Close() error {
 	}
 	r.closed = true
 	stop, done := r.stopPoll, r.done
+	rstop, rdone := r.stopRefresh, r.refreshDone
 	r.watchers = make(map[int]func([]Entry))
 	r.mu.Unlock()
 	if stop != nil {
 		close(stop)
 		<-done
+	}
+	if rstop != nil {
+		close(rstop)
+		<-rdone
 	}
 	return nil
 }

@@ -35,6 +35,18 @@ type GossipRegistry struct {
 	closed   bool
 	stop     chan struct{}
 	done     chan struct{}
+
+	// Failure detection: a member whose gossip agent misses suspectAfter
+	// consecutive attempted exchanges is suspected; a suspicion standing
+	// for tombstoneAfter is converted to a tombstone (Dead + version
+	// bump), which gossips out like a Deregister. A live peer refutes
+	// either state the moment it exchanges again or out-versions the
+	// record (the incarnation rule) — so only the genuinely silent die.
+	suspectAfter   int
+	tombstoneAfter time.Duration
+	misses         map[message.NodeID]int
+	suspected      map[message.NodeID]time.Time
+	verdictFns     []func(id message.NodeID, verdict string)
 }
 
 // gossipRecord is one node's versioned registration as exchanged on the
@@ -48,6 +60,14 @@ type gossipRecord struct {
 
 // gossipInterval is the default anti-entropy round cadence.
 const gossipInterval = 300 * time.Millisecond
+
+// Failure-detection defaults: ~1s of silence raises a suspicion, ~2s
+// more turns it into a tombstone — a SIGKILLed broker leaves every
+// survivor's view in a few seconds with no operator action.
+const (
+	defaultSuspectAfter   = 3
+	defaultTombstoneAfter = 2 * time.Second
+)
 
 // NewGossipRegistry starts a gossip agent listening on listen (host:port;
 // port 0 picks one) and bootstrapping from the seed addresses — other
@@ -64,13 +84,17 @@ func NewGossipRegistry(listen string, seeds []string) (*GossipRegistry, error) {
 		}
 	}
 	g := &GossipRegistry{
-		ln:       ln,
-		records:  make(map[message.NodeID]gossipRecord),
-		seeds:    kept,
-		interval: gossipInterval,
-		watchers: make(map[int]func([]Entry)),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		ln:             ln,
+		records:        make(map[message.NodeID]gossipRecord),
+		seeds:          kept,
+		interval:       gossipInterval,
+		watchers:       make(map[int]func([]Entry)),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		suspectAfter:   defaultSuspectAfter,
+		tombstoneAfter: defaultTombstoneAfter,
+		misses:         make(map[message.NodeID]int),
+		suspected:      make(map[message.NodeID]time.Time),
 	}
 	go g.serve()
 	go g.loop()
@@ -87,6 +111,48 @@ func (g *GossipRegistry) SetInterval(d time.Duration) {
 	defer g.mu.Unlock()
 	if d > 0 {
 		g.interval = d
+	}
+}
+
+// SetFailureDetection tunes the suspect→tombstone machine: a member is
+// suspected after misses consecutive failed exchanges with its agent and
+// tombstoned once the suspicion stands for timeout. Non-positive values
+// keep the current settings.
+func (g *GossipRegistry) SetFailureDetection(misses int, timeout time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if misses > 0 {
+		g.suspectAfter = misses
+	}
+	if timeout > 0 {
+		g.tombstoneAfter = timeout
+	}
+}
+
+// OnVerdict subscribes fn to failure-detection verdicts: "suspect" when
+// a member's agent goes silent, "refute" when a suspected member proves
+// alive, "tombstone" when a suspicion expires into removal. fn runs off
+// the gossip round goroutine; keep it brief.
+func (g *GossipRegistry) OnVerdict(fn func(id message.NodeID, verdict string)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.verdictFns = append(g.verdictFns, fn)
+}
+
+// emitVerdicts fans verdicts out to subscribers. Callers must NOT hold
+// g.mu.
+func (g *GossipRegistry) emitVerdicts(verdicts [][2]string) {
+	if len(verdicts) == 0 {
+		return
+	}
+	g.mu.Lock()
+	fns := make([]func(message.NodeID, string), len(g.verdictFns))
+	copy(fns, g.verdictFns)
+	g.mu.Unlock()
+	for _, v := range verdicts {
+		for _, fn := range fns {
+			fn(message.NodeID(v[0]), v[1])
+		}
 	}
 }
 
@@ -187,8 +253,8 @@ func (g *GossipRegistry) broadcast() {
 // the standard incarnation rule, so a restarted broker reclaims its
 // identity.
 func (g *GossipRegistry) merge(remote []gossipRecord) (changed bool) {
+	var refuted [][2]string
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	for _, rec := range remote {
 		id := rec.Entry.ID
 		if id == "" {
@@ -207,17 +273,31 @@ func (g *GossipRegistry) merge(remote []gossipRecord) (changed bool) {
 		if !ok || rec.Version > cur.Version {
 			g.records[id] = rec
 			changed = true
+			if !rec.Dead {
+				// A fresher live record refutes any local suspicion — the
+				// incarnation rule applied to failure detection: only the
+				// member itself (or an agent that heard from it) can
+				// out-version, so the evidence of life is authoritative.
+				if _, sus := g.suspected[id]; sus {
+					refuted = append(refuted, [2]string{string(id), "refute"})
+				}
+				delete(g.suspected, id)
+				delete(g.misses, id)
+			}
 		}
 	}
+	g.mu.Unlock()
+	g.emitVerdicts(refuted)
 	return changed
 }
 
 // exchange performs one push-pull with addr: send our records, merge the
-// reply.
-func (g *GossipRegistry) exchange(addr string) {
+// reply. Returns whether the full exchange completed — the failure
+// detector's evidence of the remote agent's liveness.
+func (g *GossipRegistry) exchange(addr string) bool {
 	conn, err := net.DialTimeout("tcp", addr, time.Second)
 	if err != nil {
-		return
+		return false
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
@@ -229,19 +309,20 @@ func (g *GossipRegistry) exchange(addr string) {
 	g.mu.Unlock()
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(ours); err != nil {
-		return
+		return false
 	}
 	var theirs []gossipRecord
 	if err := json.NewDecoder(conn).Decode(&theirs); err != nil {
-		return
+		return false
 	}
 	if g.merge(theirs) {
 		g.broadcast()
 	}
+	return true
 }
 
-// round gossips with up to two targets chosen from seeds and known
-// agents.
+// round gossips with up to two targets chosen from seeds and known live
+// agents, then feeds the outcomes to the failure detector.
 func (g *GossipRegistry) round() {
 	g.mu.Lock()
 	targets := make(map[string]bool, len(g.seeds)+len(g.records))
@@ -249,7 +330,9 @@ func (g *GossipRegistry) round() {
 		targets[s] = true
 	}
 	for _, rec := range g.records {
-		if rec.Gossip != "" && rec.Gossip != g.Addr() {
+		// Tombstoned members are not gossip targets: their agents are
+		// gone, and redialing them forever would starve live exchanges.
+		if !rec.Dead && rec.Gossip != "" && rec.Gossip != g.Addr() {
 			targets[rec.Gossip] = true
 		}
 	}
@@ -262,8 +345,63 @@ func (g *GossipRegistry) round() {
 	if len(addrs) > 2 {
 		addrs = addrs[:2]
 	}
+	results := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
-		g.exchange(a)
+		results[a] = g.exchange(a)
+	}
+	g.assess(results)
+}
+
+// assess folds one round's exchange outcomes into the suspect→tombstone
+// machine: consecutive misses raise suspicion, a completed exchange
+// clears it, and a suspicion older than tombstoneAfter becomes a
+// tombstone that gossips out like a Deregister (refutable by the
+// member's next incarnation).
+func (g *GossipRegistry) assess(results map[string]bool) {
+	var verdicts [][2]string
+	now := time.Now()
+	changed := false
+	g.mu.Lock()
+	for id, rec := range g.records {
+		if id == g.self || rec.Dead || rec.Gossip == "" {
+			continue
+		}
+		ok, attempted := results[rec.Gossip]
+		if !attempted {
+			continue
+		}
+		if ok {
+			if _, sus := g.suspected[id]; sus {
+				verdicts = append(verdicts, [2]string{string(id), "refute"})
+			}
+			delete(g.suspected, id)
+			delete(g.misses, id)
+			continue
+		}
+		g.misses[id]++
+		if g.misses[id] < g.suspectAfter {
+			continue
+		}
+		since, sus := g.suspected[id]
+		if !sus {
+			g.suspected[id] = now
+			verdicts = append(verdicts, [2]string{string(id), "suspect"})
+			continue
+		}
+		if now.Sub(since) >= g.tombstoneAfter {
+			rec.Dead = true
+			rec.Version++
+			g.records[id] = rec
+			delete(g.suspected, id)
+			delete(g.misses, id)
+			verdicts = append(verdicts, [2]string{string(id), "tombstone"})
+			changed = true
+		}
+	}
+	g.mu.Unlock()
+	g.emitVerdicts(verdicts)
+	if changed {
+		g.broadcast()
 	}
 }
 

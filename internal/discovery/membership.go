@@ -72,14 +72,39 @@ func NewMembership(cfg MembershipConfig) *Membership {
 }
 
 // Start registers the broker and begins watching the registry. Link
-// commands flow to the host from here on.
+// commands flow to the host from here on. A registry with its own
+// failure detector additionally feeds suspect/refute/tombstone verdicts
+// into the membership event counters — link closure itself still rides
+// the snapshot diff (a tombstone drops the member from the next
+// snapshot, and apply closes the link), so verdicts are observability,
+// not a second removal path.
 func (m *Membership) Start() error {
 	err := m.cfg.Registry.Register(Entry{ID: m.cfg.Self, Addr: m.cfg.Addr, Peers: m.cfg.Peers})
 	if err != nil {
 		return err
 	}
+	if fd, ok := m.cfg.Registry.(FailureDetector); ok {
+		fd.OnVerdict(m.verdict)
+	}
 	m.stop = m.cfg.Registry.Watch(m.apply)
 	return nil
+}
+
+// verdict records one failure-detection transition about a peer.
+func (m *Membership) verdict(id message.NodeID, verdict string) {
+	if id == m.cfg.Self {
+		return
+	}
+	m.mu.Lock()
+	m.events[verdict]++
+	onEvent := m.cfg.OnEvent
+	m.mu.Unlock()
+	if l := m.cfg.Logger; l != nil {
+		l.Info("membership "+verdict, "self", m.cfg.Self, "peer", id)
+	}
+	if onEvent != nil {
+		onEvent(verdict)
+	}
 }
 
 // Stop ends supervision; with deregister, the broker's entry is removed

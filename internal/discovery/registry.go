@@ -28,6 +28,12 @@ type Entry struct {
 	// so a registry file can describe sparse meshes (rings, diamonds,
 	// chords) as well as full ones.
 	Peers []message.NodeID `json:"peers,omitempty"`
+	// Expires, when non-zero, is the unix-millisecond instant past which
+	// this entry no longer counts as a member — the file backend's lease:
+	// a broker with a TTL re-stamps its entry periodically, and a
+	// SIGKILLed one stops, so its entry ages out with no operator pruning.
+	// 0 means the entry never expires (the hand-written registry file).
+	Expires int64 `json:"expires,omitempty"`
 }
 
 // Accepts reports whether this entry's adjacency restriction allows a
@@ -69,6 +75,16 @@ type Registry interface {
 	// Close releases the registry's resources (watch goroutines,
 	// listeners). Registered entries are not deregistered implicitly.
 	Close() error
+}
+
+// FailureDetector is the optional registry capability of noticing dead
+// members on its own: backends that implement it (the gossip registry)
+// emit verdicts — "suspect" when a member's agent goes silent, "refute"
+// when a suspected member proves alive, "tombstone" when the suspicion
+// expires into removal. Membership subscribes when its registry offers
+// the capability, so the verdicts reach the discovery event counters.
+type FailureDetector interface {
+	OnVerdict(fn func(id message.NodeID, verdict string))
 }
 
 // Open builds a registry from a URI:

@@ -53,6 +53,7 @@ import (
 
 	"rebeca/internal/message"
 	"rebeca/internal/proto"
+	"rebeca/internal/store"
 )
 
 // State is a link's lifecycle position.
@@ -194,6 +195,17 @@ type Config struct {
 	// ApplySync reconciles the peer's replayed installs into local
 	// routing state (the broker's ApplySyncInstalls).
 	ApplySync func(peer message.NodeID, subs, advs []proto.Subscription)
+	// Spill, when non-nil, extends every link's pending queue onto
+	// persistent storage: messages evicted by PendingCap move to a
+	// per-link store queue ("ovl/<self>/<peer>") instead of being
+	// dropped, bounded by SpillBudget bytes (drop-oldest past it), and
+	// replay in order on re-establishment — after the sync handshake,
+	// before fresh traffic. Spill IO runs only on degraded-link paths;
+	// established links never touch it.
+	Spill store.Store
+	// SpillBudget bounds each link's spilled bytes (default
+	// DefaultSpillBudget). Only meaningful with Spill.
+	SpillBudget int64
 	// Observer, when non-nil, sees every link transition.
 	Observer Observer
 	// Logger, when non-nil, receives structured link-transition events
@@ -215,8 +227,18 @@ type LinkInfo struct {
 	Established int
 	// Pending is the number of messages queued for the down link.
 	Pending int
-	// Dropped counts messages discarded by the pending-queue bound.
+	// Dropped counts messages discarded by the pending-queue bound (and,
+	// with spill configured, by the spill's byte budget — every loss is
+	// counted exactly once, here).
 	Dropped int
+	// SpillDepth is the number of messages currently spilled to the
+	// store for this link (0 without spill).
+	SpillDepth int
+	// SpillBytes is the encoded size of the spilled backlog.
+	SpillBytes int64
+	// SpillDropped counts messages the spill itself discarded (byte
+	// budget, append failures). Included in Dropped.
+	SpillDropped int
 	// LastSeen is the time of the last inbound message on the link.
 	LastSeen time.Time
 }
@@ -231,8 +253,9 @@ type link struct {
 	dropped     int
 	established int
 	backoff     time.Duration
-	cancelHB    func() // heartbeat tick or handshake deadline
-	cancelRetry func() // pending redial
+	spill       *spillState // store-backed overflow queue (nil without spill)
+	cancelHB    func()      // heartbeat tick or handshake deadline
+	cancelRetry func()      // pending redial
 }
 
 func (l *link) cancelTimers() {
@@ -268,6 +291,9 @@ func New(cfg Config) *Manager {
 		panic("overlay: Config.Transmit is required")
 	}
 	set := cfg.Settings.withDefaults()
+	if cfg.Spill != nil && cfg.SpillBudget <= 0 {
+		cfg.SpillBudget = DefaultSpillBudget
+	}
 	seed := set.BackoffSeed
 	if seed == 0 {
 		// Derive the default from the broker's identity: deterministic
@@ -296,6 +322,9 @@ func (m *Manager) Self() message.NodeID { return m.cfg.Self }
 // starts its first dial attempt immediately; the passive side waits for
 // the host to report an inbound link via LinkUp.
 func (m *Manager) AddPeer(peer message.NodeID, dialer bool) {
+	// Discover any persisted backlog before taking the lock (store IO):
+	// a broker restarted with a non-empty spill on disk resumes it.
+	sp := m.loadSpill(peer)
 	m.mu.Lock()
 	if m.closed || m.links[peer] != nil {
 		m.mu.Unlock()
@@ -306,6 +335,7 @@ func (m *Manager) AddPeer(peer message.NodeID, dialer bool) {
 		dialer:  dialer,
 		state:   StateConnecting,
 		backoff: m.set.BackoffBase,
+		spill:   sp,
 	}
 	m.mu.Unlock()
 	m.observe(peer, StateClosed, StateConnecting, "peer added")
@@ -329,6 +359,10 @@ func (m *Manager) RemovePeer(peer message.NodeID) {
 	from := l.state
 	l.cancelTimers()
 	l.state = StateClosed
+	// With spill configured the undelivered backlog outlives the peer's
+	// membership: it moves to the store and replays if the peer ever
+	// returns (a later AddPeer rediscovers the queue).
+	m.spillPendingLocked(l)
 	delete(m.links, peer)
 	m.mu.Unlock()
 	if m.cfg.CloseLink != nil {
@@ -527,6 +561,17 @@ func (m *Manager) HandleControl(peer message.NodeID, gen uint64, msg proto.Messa
 		m.mu.Unlock()
 		m.observe(peer, from, StateEstablished,
 			fmt.Sprintf("synced (%d installs replayed by peer)", len(msg.Subs)+len(msg.Advs)))
+		// The spilled backlog is strictly older than the in-memory pending
+		// queue (eviction moves the pending head to the spill tail), so it
+		// replays first. A mid-drain transmit failure marks the link down;
+		// the pending batch goes back through requeueFront so nothing is
+		// silently lost.
+		if m.cfg.Spill != nil {
+			if !m.drainSpill(peer, curGen) {
+				m.requeueFront(peer, curGen, pending)
+				return true
+			}
+		}
 		// Flush the backlog before applying the peer's replay: our sync
 		// reply already precedes the backlog on the wire (FIFO link), so
 		// the peer routes it against re-synced tables — and anything our
@@ -566,6 +611,10 @@ func (m *Manager) Send(peer message.NodeID, msg proto.Message) {
 		m.mu.Lock()
 		if l := m.links[peer]; l != nil && l.gen == gen {
 			m.enqueueLocked(l, msg)
+		} else if l != nil {
+			// Re-established under a new generation while this transmit was
+			// failing: the message cannot be ordered into the new queue.
+			l.dropped++
 		}
 		m.mu.Unlock()
 		m.LinkDown(peer, gen, fmt.Sprintf("send: %v", err))
@@ -623,11 +672,17 @@ func (m *Manager) Info() []LinkInfo {
 	m.mu.Lock()
 	out := make([]LinkInfo, 0, len(m.links))
 	for _, l := range m.links {
-		out = append(out, LinkInfo{
+		li := LinkInfo{
 			Peer: l.peer, State: l.state, Dialer: l.dialer,
 			Established: l.established, Pending: len(l.pending),
 			Dropped: l.dropped, LastSeen: l.lastSeen,
-		})
+		}
+		if l.spill != nil {
+			li.SpillDepth = l.spill.depth()
+			li.SpillBytes = l.spill.bytes
+			li.SpillDropped = l.spill.drops
+		}
+		out = append(out, li)
 	}
 	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
@@ -652,25 +707,48 @@ func (m *Manager) Close() {
 
 // --- internals ----------------------------------------------------------
 
-// enqueueLocked appends to the bounded pending buffer, dropping the
-// oldest beyond the cap. Callers hold m.mu.
+// enqueueLocked appends to the bounded pending buffer. Beyond the cap
+// the oldest message is spilled to the store when spill is configured
+// (append-before-evict: the eviction happens only once the record is
+// persisted — a failed append degrades to a counted drop), and dropped
+// otherwise. Callers hold m.mu.
 func (m *Manager) enqueueLocked(l *link, msg proto.Message) {
 	if len(l.pending) >= m.set.PendingCap {
+		if l.spill != nil {
+			m.evictToSpillLocked(l, l.pending[0])
+		} else {
+			l.dropped++
+		}
 		l.pending = l.pending[1:]
-		l.dropped++
 	}
 	l.pending = append(l.pending, msg)
 }
 
 // requeueFront puts an unflushed backlog suffix back at the head of the
-// pending buffer (gen-guarded against a racing re-establishment).
+// pending buffer (gen-guarded against a racing re-establishment). Front
+// overflow spills when configured; every discarded message is counted
+// — including a whole batch that loses the generation race, which was
+// silently lost before.
 func (m *Manager) requeueFront(peer message.NodeID, gen uint64, msgs []proto.Message) {
 	m.mu.Lock()
-	if l := m.links[peer]; l != nil && l.gen == gen {
+	l := m.links[peer]
+	switch {
+	case l == nil:
+		// Peer removed mid-flush: the batch is gone with the link.
+	case l.gen != gen:
+		// A re-establishment superseded this flush; its batch cannot be
+		// ordered against the new generation's queue — count the loss so
+		// rebeca_link_dropped_total stays truthful.
+		l.dropped += len(msgs)
+	default:
 		l.pending = append(append([]proto.Message(nil), msgs...), l.pending...)
-		if over := len(l.pending) - m.set.PendingCap; over > 0 {
-			l.pending = l.pending[over:]
-			l.dropped += over
+		for len(l.pending) > m.set.PendingCap {
+			if l.spill != nil {
+				m.evictToSpillLocked(l, l.pending[0])
+			} else {
+				l.dropped++
+			}
+			l.pending = l.pending[1:]
 		}
 	}
 	m.mu.Unlock()

@@ -35,7 +35,9 @@ type fakeTimer struct {
 	cancelled bool
 }
 
-func newHarness(t *testing.T) *harness {
+// newHarness builds the two-manager L-R world. Optional mutators adjust
+// each side's Config before construction (spill stores, transmit taps).
+func newHarness(t *testing.T, mut ...func(self message.NodeID, c *Config)) *harness {
 	h := &harness{
 		t:        t,
 		now:      time.Date(2003, 6, 16, 12, 0, 0, 0, time.UTC),
@@ -46,7 +48,7 @@ func newHarness(t *testing.T) *harness {
 	}
 	for _, pair := range [][2]message.NodeID{{"L", "R"}, {"R", "L"}} {
 		s, p := pair[0], pair[1]
-		h.mgrs[s] = New(Config{
+		cfg := Config{
 			Self: s,
 			Settings: Settings{
 				HeartbeatInterval: 100 * time.Millisecond,
@@ -84,7 +86,11 @@ func newHarness(t *testing.T) *harness {
 				h.applied[s] = append(h.applied[s], subs)
 			},
 			Observer: func(ev Event) { h.events = append(h.events, ev) },
-		})
+		}
+		for _, fn := range mut {
+			fn(s, &cfg)
+		}
+		h.mgrs[s] = New(cfg)
 	}
 	return h
 }

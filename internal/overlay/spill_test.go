@@ -1,0 +1,308 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rebeca/internal/message"
+	"rebeca/internal/proto"
+	"rebeca/internal/store"
+)
+
+// withSpill returns a harness mutator attaching the store to L's manager
+// and recording every successfully transmitted publish's Hops (the test
+// sequence number) in *got.
+func withSpill(st store.Store, budget int64, got *[]int) func(message.NodeID, *Config) {
+	return func(self message.NodeID, c *Config) {
+		if self != "L" {
+			return
+		}
+		c.Spill = st
+		c.SpillBudget = budget
+		inner := c.Transmit
+		c.Transmit = func(to message.NodeID, m proto.Message) error {
+			if err := inner(to, m); err != nil {
+				return err
+			}
+			if m.Kind == proto.KPublish {
+				*got = append(*got, m.Hops)
+			}
+			return nil
+		}
+	}
+}
+
+func wantSeq(t *testing.T, got []int, from, to int) {
+	t.Helper()
+	want := make([]int, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		want = append(want, i)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+}
+
+// A partition longer than PendingCap's worth of traffic spills beyond
+// the cap, and the re-establishment replays spill-then-pending with no
+// loss and no reordering.
+func TestSpillEngagesAndDrainsInOrder(t *testing.T) {
+	st := store.NewMemory()
+	var got []int
+	h := newHarness(t, withSpill(st, 1<<20, &got))
+
+	h.cutLink = true
+	h.mgrs["R"].AddPeer("L", false)
+	h.mgrs["L"].AddPeer("R", true) // dial fails; link stays connecting
+	for i := 1; i <= 10; i++ {
+		h.mgrs["L"].Send("R", proto.Message{Kind: proto.KPublish, Hops: i})
+	}
+	info := h.mgrs["L"].Info()
+	if info[0].Pending != 4 || info[0].SpillDepth != 6 || info[0].Dropped != 0 {
+		t.Fatalf("pending=%d spill=%d dropped=%d, want 4/6/0",
+			info[0].Pending, info[0].SpillDepth, info[0].Dropped)
+	}
+	if info[0].SpillBytes <= 0 {
+		t.Fatalf("SpillBytes = %d, want > 0", info[0].SpillBytes)
+	}
+
+	h.cutLink = false
+	h.advance(time.Second)
+	h.wantState("L", "R", StateEstablished)
+	wantSeq(t, got, 1, 10)
+
+	info = h.mgrs["L"].Info()
+	if info[0].SpillDepth != 0 || info[0].SpillBytes != 0 || info[0].Pending != 0 {
+		t.Fatalf("after drain: %+v, want empty spill and pending", info[0])
+	}
+	// The drained queue was acked and compacted away.
+	if recs, err := st.ReplayFrom(spillQueue("L", "R"), 0); err != nil || len(recs) != 0 {
+		t.Fatalf("store retains %d records after drain (err=%v), want 0", len(recs), err)
+	}
+}
+
+// Past the byte budget the spill drops its own oldest records — counted
+// in both LinkInfo.Dropped and SpillDropped — and replay delivers the
+// surviving suffix in order.
+func TestSpillBudgetExhaustionDropsOldestCounted(t *testing.T) {
+	st := store.NewMemory()
+	var got []int
+	// A 1-byte budget retains exactly one spilled record (the budget loop
+	// never evicts the last survivor).
+	h := newHarness(t, withSpill(st, 1, &got))
+
+	h.cutLink = true
+	h.mgrs["R"].AddPeer("L", false)
+	h.mgrs["L"].AddPeer("R", true)
+	for i := 1; i <= 10; i++ {
+		h.mgrs["L"].Send("R", proto.Message{Kind: proto.KPublish, Hops: i})
+	}
+	info := h.mgrs["L"].Info()
+	if info[0].SpillDepth != 1 || info[0].SpillDropped != 5 || info[0].Dropped != 5 {
+		t.Fatalf("spill=%d spillDropped=%d dropped=%d, want 1/5/5",
+			info[0].SpillDepth, info[0].SpillDropped, info[0].Dropped)
+	}
+
+	h.cutLink = false
+	h.advance(time.Second)
+	// Survivors: the newest spilled record (6) plus the pending window.
+	wantSeq(t, got, 6, 10)
+}
+
+// A non-empty spill queue on disk survives a WAL reopen ("broker
+// restart") and replays before anything the restarted process queues.
+func TestSpillSurvivesWALRestart(t *testing.T) {
+	dir := t.TempDir()
+	w, err := store.OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	h := newHarness(t, withSpill(w, 1<<20, &got))
+	h.cutLink = true
+	h.mgrs["R"].AddPeer("L", false)
+	h.mgrs["L"].AddPeer("R", true)
+	for i := 1; i <= 10; i++ {
+		h.mgrs["L"].Send("R", proto.Message{Kind: proto.KPublish, Hops: i})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen the WAL into a fresh pair of managers. The four
+	// in-memory pending messages died with the process; the six spilled
+	// ones must not.
+	w2, err := store.OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got = nil
+	h2 := newHarness(t, withSpill(w2, 1<<20, &got))
+	h2.mgrs["R"].AddPeer("L", false)
+	h2.mgrs["L"].AddPeer("R", true)
+	info := h2.mgrs["L"].Info()
+	if info[0].SpillDepth != 6 {
+		t.Fatalf("recovered spill depth = %d, want 6", info[0].SpillDepth)
+	}
+	h2.mgrs["L"].Send("R", proto.Message{Kind: proto.KPublish, Hops: 11})
+	h2.deliver()
+	h2.advance(time.Second)
+	h2.wantState("L", "R", StateEstablished)
+	// Recovered backlog (1..6) strictly before the post-restart send (11).
+	if fmt.Sprint(got) != fmt.Sprint([]int{1, 2, 3, 4, 5, 6, 11}) {
+		t.Fatalf("delivered %v, want [1 2 3 4 5 6 11]", got)
+	}
+}
+
+// A transmit failure mid-drain acks exactly the flushed prefix, marks
+// the link down, and the next establishment resumes from the suffix —
+// exactly-once delivery across the interrupted drain.
+func TestSpillDrainInterruptedResumesWithoutLossOrDup(t *testing.T) {
+	st := store.NewMemory()
+	var got []int
+	failOnce := true
+	h := newHarness(t, withSpill(st, 1<<20, &got), func(self message.NodeID, c *Config) {
+		if self != "L" {
+			return
+		}
+		inner := c.Transmit
+		c.Transmit = func(to message.NodeID, m proto.Message) error {
+			if m.Kind == proto.KPublish && failOnce && len(got) == 3 {
+				failOnce = false
+				return errors.New("mid-drain cut")
+			}
+			return inner(to, m)
+		}
+	})
+
+	h.cutLink = true
+	h.mgrs["R"].AddPeer("L", false)
+	h.mgrs["L"].AddPeer("R", true)
+	for i := 1; i <= 10; i++ {
+		h.mgrs["L"].Send("R", proto.Message{Kind: proto.KPublish, Hops: i})
+	}
+	h.cutLink = false
+	// First establishment drains 1..3, fails on 4, goes down; backoff
+	// re-establishes and resumes from 4.
+	h.advance(2 * time.Second)
+	h.wantState("L", "R", StateEstablished)
+	wantSeq(t, got, 1, 10)
+	if info := h.mgrs["L"].Info(); info[0].Dropped != 0 {
+		t.Fatalf("dropped = %d across interrupted drain, want 0", info[0].Dropped)
+	}
+}
+
+// Without spill the same partition degrades gracefully: drop-oldest at
+// the cap, every discard counted, newest window delivered on heal.
+func TestSpillDisabledDegradesGracefully(t *testing.T) {
+	var got []int
+	h := newHarness(t, func(self message.NodeID, c *Config) {
+		if self != "L" {
+			return
+		}
+		inner := c.Transmit
+		c.Transmit = func(to message.NodeID, m proto.Message) error {
+			if err := inner(to, m); err != nil {
+				return err
+			}
+			if m.Kind == proto.KPublish {
+				got = append(got, m.Hops)
+			}
+			return nil
+		}
+	})
+	h.cutLink = true
+	h.mgrs["R"].AddPeer("L", false)
+	h.mgrs["L"].AddPeer("R", true)
+	for i := 1; i <= 10; i++ {
+		h.mgrs["L"].Send("R", proto.Message{Kind: proto.KPublish, Hops: i})
+	}
+	info := h.mgrs["L"].Info()
+	if info[0].Pending != 4 || info[0].Dropped != 6 {
+		t.Fatalf("pending=%d dropped=%d, want 4/6", info[0].Pending, info[0].Dropped)
+	}
+	h.cutLink = false
+	h.advance(time.Second)
+	wantSeq(t, got, 7, 10)
+}
+
+// Regression for the silent requeueFront losses: a batch whose link
+// generation was superseded (or whose link is gone) must be counted,
+// and front overflow must spill when a store is configured.
+func TestRequeueFrontAccountsForEveryDiscard(t *testing.T) {
+	m := New(Config{
+		Self:     "X",
+		Settings: Settings{PendingCap: 4},
+		Transmit: func(message.NodeID, proto.Message) error { return nil },
+	})
+	m.AddPeer("p", false)
+	gen, ok := m.LinkUp("p")
+	if !ok {
+		t.Fatal("LinkUp refused")
+	}
+	// Supersede the generation, then requeue a batch tagged with the old
+	// one: the batch cannot be ordered into the new queue — it must be
+	// counted, not silently discarded.
+	gen2, _ := m.LinkUp("p")
+	if gen2 == gen {
+		t.Fatal("generation did not advance")
+	}
+	batch := []proto.Message{{Kind: proto.KPublish}, {Kind: proto.KPublish}, {Kind: proto.KPublish}}
+	m.requeueFront("p", gen, batch)
+	if info := m.Info(); info[0].Dropped != 3 {
+		t.Fatalf("stale-gen requeue counted %d drops, want 3", info[0].Dropped)
+	}
+	// A removed link's batch is gone with the link — no panic, no count
+	// to attribute it to.
+	m.requeueFront("q", 1, batch)
+
+	// Front overflow with a matching generation spills instead of
+	// dropping when a store is configured.
+	st := store.NewMemory()
+	ms := New(Config{
+		Self:     "X",
+		Settings: Settings{PendingCap: 2},
+		Spill:    st, SpillBudget: 1 << 20,
+		Now:      time.Now,
+		Transmit: func(message.NodeID, proto.Message) error { return nil },
+	})
+	ms.AddPeer("p", false)
+	g, _ := ms.LinkUp("p")
+	ms.requeueFront("p", g, []proto.Message{
+		{Kind: proto.KPublish, Hops: 1}, {Kind: proto.KPublish, Hops: 2},
+		{Kind: proto.KPublish, Hops: 3}, {Kind: proto.KPublish, Hops: 4},
+	})
+	info := ms.Info()
+	if info[0].Pending != 2 || info[0].SpillDepth != 2 || info[0].Dropped != 0 {
+		t.Fatalf("overflow requeue: pending=%d spill=%d dropped=%d, want 2/2/0",
+			info[0].Pending, info[0].SpillDepth, info[0].Dropped)
+	}
+}
+
+// RemovePeer parks the link's in-memory backlog in the spill so the
+// peer's possible return finds it, and a fresh AddPeer rediscovers it.
+func TestRemovePeerParksBacklogInSpill(t *testing.T) {
+	st := store.NewMemory()
+	var got []int
+	h := newHarness(t, withSpill(st, 1<<20, &got))
+	h.cutLink = true
+	h.mgrs["R"].AddPeer("L", false)
+	h.mgrs["L"].AddPeer("R", true)
+	for i := 1; i <= 3; i++ {
+		h.mgrs["L"].Send("R", proto.Message{Kind: proto.KPublish, Hops: i})
+	}
+	h.mgrs["L"].RemovePeer("R")
+	if recs, err := st.ReplayFrom(spillQueue("L", "R"), 0); err != nil || len(recs) != 3 {
+		t.Fatalf("parked %d records (err=%v), want 3", len(recs), err)
+	}
+	h.mgrs["L"].AddPeer("R", true)
+	if info := h.mgrs["L"].Info(); info[0].SpillDepth != 3 {
+		t.Fatalf("rediscovered spill depth = %d, want 3", info[0].SpillDepth)
+	}
+	h.cutLink = false
+	h.advance(time.Second)
+	wantSeq(t, got, 1, 3)
+}

@@ -77,6 +77,16 @@ type ClusterConfig struct {
 	// default), brokers send to peers directly — the pre-overlay behavior
 	// every traffic-accounting experiment assumes.
 	Overlay *overlay.Settings
+	// LinkSpill, when non-nil, backs every overlay link's pending queue
+	// with persistent storage: overflow beyond the pending cap spills to
+	// a per-link store queue ("ovl/<broker>/<peer>") and replays in order
+	// on re-establishment instead of being dropped. Requires Overlay. The
+	// store may be the same instance as Store — queue names never
+	// collide.
+	LinkSpill store.Store
+	// LinkSpillBudget bounds each link's spilled bytes (default
+	// overlay.DefaultSpillBudget). Only meaningful with LinkSpill.
+	LinkSpillBudget int64
 	// LinkObserver, when non-nil, observes every overlay link transition
 	// (the broker chain's LinkObserver stages are notified regardless).
 	LinkObserver overlay.Observer
@@ -304,9 +314,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			id := id
 			b := c.Brokers[id]
 			c.Overlays[id] = overlay.New(overlay.Config{
-				Self:     id,
-				Settings: *cfg.Overlay,
-				Now:      net.Now,
+				Self:        id,
+				Settings:    *cfg.Overlay,
+				Spill:       cfg.LinkSpill,
+				SpillBudget: cfg.LinkSpillBudget,
+				Now:         net.Now,
 				Transmit: func(peer message.NodeID, m proto.Message) error {
 					// A cut link refuses the send — the closed-conn
 					// analog — so the manager queues instead of feeding

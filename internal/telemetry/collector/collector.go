@@ -512,6 +512,10 @@ type FleetBroker struct {
 	StaleAfterMS  float64 `json:"stale_after_ms"`
 	Pushes        uint64  `json:"pushes"`
 	SpanRecords   uint64  `json:"span_records"`
+	// SpillDepth sums the broker's per-link store-backed spill queues
+	// (rebeca_link_spill_depth) as of its last push — an operator watches
+	// a partition backlog drain fleet-wide from here.
+	SpillDepth float64 `json:"spill_depth,omitempty"`
 }
 
 // FleetStatus is the /fleet JSON body.
@@ -529,6 +533,12 @@ func (c *Collector) Fleet() FleetStatus {
 	defer c.mu.Unlock()
 	now := c.cfg.Now()
 	out := FleetStatus{Brokers: make([]FleetBroker, 0, len(c.instOrder)), Traces: len(c.traces)}
+	spill := make(map[string]float64)
+	if fam, ok := c.fams[telemetry.MetricLinkSpillDepth]; ok {
+		for _, row := range fam.rows {
+			spill[labelValue(row.labelKey, "instance")] += row.value
+		}
+	}
 	names := append([]string(nil), c.instOrder...)
 	sort.Strings(names)
 	for _, name := range names {
@@ -542,6 +552,7 @@ func (c *Collector) Fleet() FleetStatus {
 			StaleAfterMS:  float64(deadline) / float64(time.Millisecond),
 			Pushes:        inst.pushes,
 			SpanRecords:   inst.spanRecords,
+			SpillDepth:    spill[name],
 		}
 		if now.Sub(inst.lastPush) > deadline {
 			b.Status = "stale"
@@ -550,6 +561,22 @@ func (c *Collector) Fleet() FleetStatus {
 		out.Brokers = append(out.Brokers, b)
 	}
 	return out
+}
+
+// labelValue extracts one label's value from a pre-rendered label key
+// like {broker="A",peer="B",instance="c1"} ("" when absent).
+func labelValue(key, label string) string {
+	marker := label + `="`
+	i := strings.Index(key, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := key[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
 }
 
 // mergeInstanceKey splices instance="..." into a pre-rendered label key,

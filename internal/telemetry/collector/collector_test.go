@@ -446,3 +446,31 @@ func TestIngestRejectsGarbage(t *testing.T) {
 		t.Fatalf("GET /somewhere = %d, want 405", w.Code)
 	}
 }
+
+// TestFleetSpillDepth: per-broker spill gauges roll up onto /fleet so
+// an operator watches a partition backlog drain fleet-wide.
+func TestFleetSpillDepth(t *testing.T) {
+	c := New(Config{})
+	postBody(t, c, "text/plain; version=0.0.4", "A", []byte(
+		"# TYPE rebeca_link_spill_depth gauge\n"+
+			`rebeca_link_spill_depth{broker="A",peer="B"} 7`+"\n"+
+			`rebeca_link_spill_depth{broker="A",peer="C"} 5`+"\n"))
+	postBody(t, c, "text/plain; version=0.0.4", "B", []byte(
+		"# TYPE rebeca_publishes_total counter\nrebeca_publishes_total 1\n"))
+
+	var fleet FleetStatus
+	getJSON(t, c, "/fleet", &fleet)
+	if len(fleet.Brokers) != 2 {
+		t.Fatalf("brokers = %d, want 2", len(fleet.Brokers))
+	}
+	byName := map[string]FleetBroker{}
+	for _, b := range fleet.Brokers {
+		byName[b.Instance] = b
+	}
+	if byName["A"].SpillDepth != 12 {
+		t.Fatalf("A spill depth = %v, want 12 (7+5 across links)", byName["A"].SpillDepth)
+	}
+	if byName["B"].SpillDepth != 0 {
+		t.Fatalf("B spill depth = %v, want 0", byName["B"].SpillDepth)
+	}
+}

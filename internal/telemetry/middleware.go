@@ -50,6 +50,11 @@ const (
 	MetricPushSpooled         = "rebeca_push_spooled"
 	MetricPushSpans           = "rebeca_push_spans_total"
 	MetricPushSpanFailures    = "rebeca_push_span_failures_total"
+
+	// Outage-proof links (store-backed spill for partition survival).
+	MetricLinkSpillDepth   = "rebeca_link_spill_depth"
+	MetricLinkSpillBytes   = "rebeca_link_spill_bytes"
+	MetricLinkSpillDropped = "rebeca_link_spill_dropped_total"
 )
 
 // instruments is one broker's resolved hot-path handles.

@@ -50,6 +50,7 @@ import (
 	"rebeca/internal/overlay"
 	"rebeca/internal/proto"
 	"rebeca/internal/routing"
+	"rebeca/internal/store"
 	"rebeca/internal/telemetry"
 )
 
@@ -262,6 +263,14 @@ type NodeConfig struct {
 	// timeout, redial backoff, pending-queue bound); zero fields take the
 	// overlay package's defaults.
 	Overlay overlay.Settings
+	// Spill, when non-nil, backs every overlay link's pending queue with
+	// persistent storage: overflow beyond the pending cap spills to a
+	// per-link store queue and replays in order on re-establishment
+	// instead of being dropped. See overlay.Config.Spill.
+	Spill store.Store
+	// SpillBudget bounds each link's spilled bytes (default
+	// overlay.DefaultSpillBudget). Only meaningful with Spill.
+	SpillBudget int64
 	// LinkObserver, when non-nil, observes every overlay link transition
 	// (in addition to the broker chain's LinkObserver stages). Called from
 	// whatever goroutine drove the transition; must not block.
@@ -334,10 +343,12 @@ func NewNode(cfg NodeConfig) *Node {
 		NextHop:        cfg.NextHop,
 	})
 	n.ov = overlay.New(overlay.Config{
-		Self:     cfg.ID,
-		Settings: cfg.Overlay,
-		Transmit: n.transmitPeer,
-		Dial:     n.dialPeer,
+		Self:        cfg.ID,
+		Settings:    cfg.Overlay,
+		Spill:       cfg.Spill,
+		SpillBudget: cfg.SpillBudget,
+		Transmit:    n.transmitPeer,
+		Dial:        n.dialPeer,
 		CloseLink: func(peer message.NodeID) {
 			n.mu.Lock()
 			conn := n.conns[peer]
@@ -387,6 +398,29 @@ func NewNode(cfg NodeConfig) *Node {
 					emit(telemetry.Labels{"broker": bid, "peer": string(li.Peer)}, float64(li.Dropped))
 				}
 			})
+		if cfg.Spill != nil {
+			reg.GaugeFunc(telemetry.MetricLinkSpillDepth,
+				"Messages parked in a link's store-backed spill queue.",
+				func(emit func(telemetry.Labels, float64)) {
+					for _, li := range n.ov.Info() {
+						emit(telemetry.Labels{"broker": bid, "peer": string(li.Peer)}, float64(li.SpillDepth))
+					}
+				})
+			reg.GaugeFunc(telemetry.MetricLinkSpillBytes,
+				"Bytes held by a link's store-backed spill queue.",
+				func(emit func(telemetry.Labels, float64)) {
+					for _, li := range n.ov.Info() {
+						emit(telemetry.Labels{"broker": bid, "peer": string(li.Peer)}, float64(li.SpillBytes))
+					}
+				})
+			reg.CounterFunc(telemetry.MetricLinkSpillDropped,
+				"Messages the spill discarded (append failures and byte-budget evictions).",
+				func(emit func(telemetry.Labels, float64)) {
+					for _, li := range n.ov.Info() {
+						emit(telemetry.Labels{"broker": bid, "peer": string(li.Peer)}, float64(li.SpillDropped))
+					}
+				})
+		}
 	}
 	return n
 }
@@ -709,8 +743,14 @@ func (n *Node) LinkInfo() []overlay.LinkInfo { return n.ov.Info() }
 func (n *Node) Ready() (ok bool, detail string) {
 	var waiting []string
 	for _, li := range n.ov.Info() {
-		if li.State != overlay.StateEstablished {
+		switch {
+		case li.State != overlay.StateEstablished:
 			waiting = append(waiting, fmt.Sprintf("%s:%s", li.Peer, li.State))
+		case li.SpillDepth > 0:
+			// The handshake completed but the link is still replaying its
+			// store-backed partition backlog: fresh traffic is ordered
+			// behind it, so the node is not yet serving at full fidelity.
+			waiting = append(waiting, fmt.Sprintf("%s:established,flushing(%d)", li.Peer, li.SpillDepth))
 		}
 	}
 	if len(waiting) > 0 {

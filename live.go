@@ -131,6 +131,8 @@ func NewLive(opts ...Option) (*Live, error) {
 			// only tunes it): links queue-then-flush across flaps and
 			// restarted neighbors are redialed with backoff.
 			Overlay:      cfg.overlaySettings(),
+			Spill:        cfg.spillStore,
+			SpillBudget:  cfg.spillMax,
 			LinkObserver: cfg.linkObserver,
 		}
 		if l.ops != nil {
@@ -435,6 +437,16 @@ func (l *Live) LinkStates(b NodeID) map[NodeID]LinkState {
 		return nil
 	}
 	return n.LinkStates()
+}
+
+// LinkInfos snapshots a broker's overlay links in full — state, pending
+// backlog, spill depth/bytes, drop counters (nil for unknown brokers).
+func (l *Live) LinkInfos(b NodeID) []LinkInfo {
+	n := l.nodes[b]
+	if n == nil {
+		return nil
+	}
+	return n.LinkInfo()
 }
 
 // Close disconnects all clients and stops all broker nodes.

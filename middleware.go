@@ -28,6 +28,9 @@ type (
 	LinkEvent = overlay.Event
 	// LinkState is an overlay link's lifecycle state.
 	LinkState = overlay.State
+	// LinkInfo is an overlay link's full introspection snapshot: state,
+	// pending backlog, store-backed spill depth/bytes, and drop counters.
+	LinkInfo = overlay.LinkInfo
 	// Broker is the broker a middleware stage is attached to.
 	Broker = broker.Broker
 	// SubscriptionInfo pairs a filter with its end-to-end identity (the

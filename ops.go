@@ -342,12 +342,18 @@ func renderHeartbeat(interval, timeout time.Duration) string {
 }
 
 // waitingLinks summarizes a manager's non-established links for a
-// readiness detail line ("" when all links are up).
+// readiness detail line ("" when all links are up). An established link
+// still replaying its store-backed spill backlog counts as waiting —
+// "established, flushing" — since fresh traffic is ordered behind the
+// backlog.
 func waitingLinks(self NodeID, mgr *overlay.Manager) []string {
 	var out []string
 	for _, li := range mgr.Info() {
-		if li.State != overlay.StateEstablished {
+		switch {
+		case li.State != overlay.StateEstablished:
 			out = append(out, fmt.Sprintf("%s-%s:%s", self, li.Peer, li.State))
+		case li.SpillDepth > 0:
+			out = append(out, fmt.Sprintf("%s-%s:established,flushing(%d)", self, li.Peer, li.SpillDepth))
 		}
 	}
 	return out

@@ -54,6 +54,9 @@ type config struct {
 	overlay        bool
 	hbInterval     time.Duration
 	hbTimeout      time.Duration
+	linkPendingCap int
+	spillStore     store.Store
+	spillMax       int64
 	linkObserver   overlay.Observer
 	opsAddr        string
 	mesh           bool
@@ -71,12 +74,14 @@ type config struct {
 	errs []error
 }
 
-// overlaySettings resolves the heartbeat options into the overlay
-// manager's settings (zero fields take the overlay package defaults).
+// overlaySettings resolves the heartbeat and queue options into the
+// overlay manager's settings (zero fields take the overlay package
+// defaults).
 func (c *config) overlaySettings() overlay.Settings {
 	return overlay.Settings{
 		HeartbeatInterval: c.hbInterval,
 		HeartbeatTimeout:  c.hbTimeout,
+		PendingCap:        c.linkPendingCap,
 	}
 }
 
@@ -354,6 +359,52 @@ func WithHeartbeat(interval, timeout time.Duration) Option {
 		c.overlay = true
 		c.hbInterval = interval
 		c.hbTimeout = timeout
+	}
+}
+
+// WithLinkSpill makes arbitrarily long partitions survivable: when a
+// degraded broker↔broker link's in-memory pending queue reaches its cap,
+// overflow spills to the store as a per-link queue ("ovl/<broker>/<peer>")
+// instead of being dropped — append-before-evict, replayed in order after
+// the re-establishment sync handshake and before fresh traffic, acked on
+// confirmed flush and compacted on drain. maxBytes bounds each link's
+// spilled bytes (0 = the overlay package default, 256 MiB); past the
+// budget the spill drops its own oldest records, counted in
+// rebeca_link_spill_dropped_total and rebeca_link_dropped_total. A link
+// still replaying its backlog reports "established, flushing" on /readyz.
+//
+// The store may be the same instance as WithDurable's — queue namespaces
+// never collide. Spill IO runs only on paths a healthy link never takes,
+// so deployments without this option (or whose links stay up) pay
+// nothing. Under New the overlay must be deployed (WithHeartbeat); under
+// NewLive it always is.
+func WithLinkSpill(s Store, maxBytes int64) Option {
+	return func(c *config) {
+		if s == nil {
+			c.errs = append(c.errs, errors.New("rebeca: WithLinkSpill(nil)"))
+			return
+		}
+		if maxBytes < 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithLinkSpill(%d): negative budget", maxBytes))
+			return
+		}
+		c.spillStore = s
+		c.spillMax = maxBytes
+	}
+}
+
+// WithLinkPendingCap bounds each overlay link's in-memory pending queue
+// (default overlay.DefaultSettings' 4096). Messages beyond the cap spill
+// to the WithLinkSpill store when one is configured and are dropped
+// oldest-first otherwise. Chaos tests use small caps to exercise the
+// overflow paths without pumping thousands of messages.
+func WithLinkPendingCap(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.errs = append(c.errs, fmt.Errorf("rebeca: WithLinkPendingCap(%d): want n > 0", n))
+			return
+		}
+		c.linkPendingCap = n
 	}
 }
 

@@ -110,6 +110,40 @@
 // Without WithOps none of this exists and the hot paths carry no
 // instrumentation.
 //
+// # Surviving long partitions
+//
+// A degraded broker↔broker link queues outbound traffic in a bounded
+// in-memory window (WithLinkPendingCap); past the cap the oldest message
+// is dropped — fine for a blip, lossy for a real outage. WithLinkSpill
+// hands the overflow to a persistence store instead: the backlog spills
+// to a per-link queue, survives broker restarts, and replays in order —
+// after the routing re-sync, ahead of fresh traffic — when the link
+// heals, so volatile subscribers see a gap-free stream across outages
+// bounded only by the spill's byte budget. In code:
+//
+//	sys, _ := rebeca.New(
+//		rebeca.WithMovement(g),
+//		rebeca.WithHeartbeat(time.Second, 4*time.Second),
+//		rebeca.WithLinkSpill(rebeca.NewMemoryStore(), 0), // 0 = default 256MiB budget
+//		rebeca.WithLinkPendingCap(1024),
+//	)
+//
+// Operationally, a three-broker gossip mesh where both partitions and
+// killed brokers heal without intervention:
+//
+//	rebeca-broker -name b1 -listen :7471 -registry seed::7481 -link-spill /var/lib/rebeca/b1
+//	rebeca-broker -name b2 -listen :7472 -registry seed::7482,host1:7481 -link-spill /var/lib/rebeca/b2
+//	rebeca-broker -name b3 -listen :7473 -registry seed::7483,host1:7481 -link-spill /var/lib/rebeca/b3
+//
+// A partitioned peer's backlog parks in the spill (watch
+// rebeca_link_spill_depth, or -stats, or the collector's /fleet) and
+// /readyz reports "established,flushing(N)" until the replay drains. A
+// SIGKILLed broker is suspected after missed gossip rounds, tombstoned,
+// and dropped from every survivor's mesh — with a file registry, the
+// same comes from -registry-ttl lease expiry. Losses only happen past
+// the byte budget, and then oldest-first and counted
+// (rebeca_link_spill_dropped_total).
+//
 // # Quick start
 //
 //	g := rebeca.NewGraph()
